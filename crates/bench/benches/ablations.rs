@@ -1,0 +1,67 @@
+//! Ablation benches: the cost of the design novelties DESIGN.md calls out.
+//!
+//! * T(A)'s deciding rounds add one wire message per process per phase;
+//!   this bench compares clean-run wall time with and without them.
+//! * Figure 5's vote superround adds one authenticated broadcast per
+//!   process per phase; same comparison. (What the novelties *buy* —
+//!   correctness under attack — is asserted in `tests/ablations.rs` and
+//!   the psync unit tests, not benchable.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use homonym_bench::{psync_cfg, sync_cfg};
+use homonym_classic::Eig;
+use homonym_core::{Domain, IdAssignment};
+use homonym_psync::AgreementFactory;
+use homonym_sim::Simulation;
+use homonym_sync::TransformedFactory;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(20);
+
+    let run_transformer = |factory: &TransformedFactory<Eig<bool>>| {
+        let mut sim = Simulation::builder(
+            sync_cfg(6, 4, 1),
+            IdAssignment::stacked(4, 6).unwrap(),
+            vec![true; 6],
+        )
+        .build_with(factory);
+        let report = sim.run(factory.round_bound() + 9);
+        assert!(report.verdict.all_hold());
+        report.messages_sent
+    };
+    group.bench_function("transformer_with_decide_relay", |b| {
+        let factory = TransformedFactory::new(Eig::new(4, 1, Domain::binary()), 1);
+        b.iter(|| run_transformer(&factory))
+    });
+    group.bench_function("transformer_without_decide_relay", |b| {
+        let factory =
+            TransformedFactory::ablated_without_decide_relay(Eig::new(4, 1, Domain::binary()), 1);
+        b.iter(|| run_transformer(&factory))
+    });
+
+    let run_fig5 = |factory: &AgreementFactory<bool>| {
+        let mut sim = Simulation::builder(
+            psync_cfg(4, 4, 1),
+            IdAssignment::unique(4),
+            vec![true; 4],
+        )
+        .build_with(factory);
+        let report = sim.run(factory.round_bound() + 24);
+        assert!(report.verdict.all_hold());
+        report.messages_sent
+    };
+    group.bench_function("fig5_with_votes", |b| {
+        let factory = AgreementFactory::new(4, 4, 1, Domain::binary());
+        b.iter(|| run_fig5(&factory))
+    });
+    group.bench_function("fig5_without_votes", |b| {
+        let factory = AgreementFactory::ablated_without_votes(4, 4, 1, Domain::binary());
+        b.iter(|| run_fig5(&factory))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

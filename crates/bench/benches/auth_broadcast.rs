@@ -1,0 +1,63 @@
+//! E7 — Proposition 6: the authenticated echo broadcast. Cost of a
+//! broadcast-accept cycle as ℓ grows, and of the forever-echo
+//! retransmission the relay property demands.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_core::{Id, Round};
+use homonym_psync::{EchoBroadcast, EchoItem};
+
+/// Runs one broadcast through a fully synchronous ℓ-process network of
+/// bare broadcast layers and returns rounds until every process accepted.
+fn broadcast_cycle(ell: usize, t: usize, extra_rounds: u64) -> u64 {
+    let mut procs: Vec<EchoBroadcast<u64>> = (0..ell).map(|_| EchoBroadcast::new(ell, t)).collect();
+    procs[0].broadcast(42);
+    let mut accepted = vec![false; ell];
+    let mut first_all = 0;
+    for r in 0..(4 + extra_rounds) {
+        let round = Round::new(r);
+        let mut inits: Vec<(Id, u64)> = Vec::new();
+        let mut echoes: Vec<(Id, EchoItem<u64>)> = Vec::new();
+        for (k, p) in procs.iter_mut().enumerate() {
+            let (i, e) = p.to_send(round);
+            for m in i {
+                inits.push((Id::from_index(k), m));
+            }
+            for item in e {
+                echoes.push((Id::from_index(k), item));
+            }
+        }
+        let inits_ref: Vec<(Id, &u64)> = inits.iter().map(|(i, m)| (*i, m)).collect();
+        let echo_ref: Vec<(Id, &EchoItem<u64>)> = echoes.iter().map(|(i, e)| (*i, e)).collect();
+        for (k, p) in procs.iter_mut().enumerate() {
+            if !p.observe(round, &inits_ref, &echo_ref).is_empty() {
+                accepted[k] = true;
+            }
+        }
+        if accepted.iter().all(|&a| a) && first_all == 0 {
+            first_all = r + 1;
+        }
+    }
+    assert!(first_all > 0, "broadcast must be accepted by everyone");
+    first_all
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auth_broadcast");
+    group.sample_size(30);
+    for (ell, t) in [(4, 1), (7, 2), (10, 3), (13, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("ell{ell}_t{t}")),
+            &(ell, t),
+            |b, &(ell, t)| b.iter(|| broadcast_cycle(ell, t, 0)),
+        );
+    }
+    // The echo-forever tail: additional rounds after acceptance keep
+    // costing retransmissions.
+    group.bench_function("echo_tail_ell7_t2_plus16", |b| {
+        b.iter(|| broadcast_cycle(7, 2, 16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

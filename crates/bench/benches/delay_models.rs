@@ -1,0 +1,53 @@
+//! E14 — the Section 2 model-equivalence claim: Figure 5 on the basic
+//! lossy-round model versus the two delay-based DLS models (known bound
+//! holding eventually; unknown bound holding always).
+//!
+//! The series of interest is decision latency (in rounds) as the timing
+//! assumption degrades — all three substrates decide, and the delay
+//! substrates pay only the simulated-drop prefix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::{run_fig5, run_fig5_known_bound, run_fig5_unknown_bound};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_models");
+    group.sample_size(10);
+
+    // Baseline: the basic lossy-round model at matched stabilization.
+    for gst in [0u64, 16] {
+        group.bench_with_input(BenchmarkId::new("basic_rounds_gst", gst), &gst, |b, &gst| {
+            b.iter(|| {
+                let report = run_fig5(4, 4, 1, gst, 3);
+                assert!(report.verdict.all_hold());
+                report.rounds
+            })
+        });
+    }
+
+    // Known-bound model: chaos until the calm tick, then delays ≤ Δ = 2.
+    for calm in [0u64, 32] {
+        group.bench_with_input(BenchmarkId::new("known_bound_calm", calm), &calm, |b, &calm| {
+            b.iter(|| {
+                let report = run_fig5_known_bound(4, 4, 1, 2, calm, 3);
+                assert!(report.verdict.all_hold());
+                report.rounds
+            })
+        });
+    }
+
+    // Unknown-bound model: delays ≤ Δ from the start, doubling pacing.
+    for delta in [2u64, 6] {
+        group.bench_with_input(BenchmarkId::new("unknown_bound_delta", delta), &delta, |b, &delta| {
+            b.iter(|| {
+                let report = run_fig5_unknown_bound(4, 4, 1, delta, 3);
+                assert!(report.verdict.all_hold());
+                report.rounds
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

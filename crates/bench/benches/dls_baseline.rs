@@ -1,0 +1,46 @@
+//! E15 — the price of homonymy: the Figure 5 protocol at `ℓ = n` *is* the
+//! classical Dwork–Lynch–Stockmeyer algorithm (unique identifiers,
+//! `n − t` quorums). Sweeping `ℓ` down from `n` toward the
+//! `2ℓ > n + 3t` wall measures what shrinking the identifier budget costs
+//! in latency — the complexity dimension the paper's conclusion leaves
+//! open.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::run_fig5;
+use homonym_psync::classic_dls_factory;
+use homonym_core::Domain;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dls_baseline");
+    group.sample_size(10);
+
+    // The classical baseline: ℓ = n = 8, t = 1 — quorums are the familiar
+    // n − t; confirm the factory alias agrees with the generic one.
+    let classic = classic_dls_factory(8, 1, Domain::binary());
+    assert_eq!(classic.round_bound(), homonym_bench::fig5_factory(8, 8, 1).round_bound());
+
+    group.bench_function("classic_dls_n8", |b| {
+        b.iter(|| {
+            let report = run_fig5(8, 8, 1, 8, 3);
+            assert!(report.verdict.all_hold());
+            report.rounds
+        })
+    });
+
+    // Shrinking identifier budgets at n = 8, t = 1: the wall is
+    // 2ℓ > 11, i.e. ℓ ≥ 6.
+    for ell in [7usize, 6] {
+        group.bench_with_input(BenchmarkId::new("homonym_ell", ell), &ell, |b, &ell| {
+            b.iter(|| {
+                let report = run_fig5(8, ell, 1, 8, 3);
+                assert!(report.verdict.all_hold());
+                report.rounds
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

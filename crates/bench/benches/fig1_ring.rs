@@ -1,0 +1,38 @@
+//! E4 — the Figure 1 ring construction: cost of building and running the
+//! 2(n − t)-process counterexample system against `T(EIG)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::t_eig_factory;
+use homonym_core::Domain;
+use homonym_lowerbounds::fig1;
+use homonym_sync::TransformedFactory;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_ring");
+    group.sample_size(20);
+    for (n, t) in [(4, 1), (6, 1), (7, 2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                let algo = homonym_classic::Eig::new_unchecked(3 * t, t, Domain::binary());
+                let factory = TransformedFactory::new(algo, t);
+                let sys = fig1::build(n, t);
+                b.iter(|| {
+                    let report = fig1::run(&factory, &sys, factory.round_bound() + 9);
+                    assert!(report.contradiction_exhibited());
+                    report.rounds
+                })
+            },
+        );
+    }
+    // A solvable-side control: the same ring budget spent on a legal run.
+    group.bench_function("control_t_eig_n7_ell4_t1", |b| {
+        let _ = t_eig_factory(4, 1);
+        b.iter(|| homonym_bench::run_t_eig_clean(7, 4, 1).rounds)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

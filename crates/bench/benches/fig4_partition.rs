@@ -1,0 +1,29 @@
+//! E5 — the Figure 4 partition construction: cost of recording α and β and
+//! replaying them into the split-brain execution γ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::{fig5_factory, psync_cfg};
+use homonym_lowerbounds::fig4;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_partition");
+    group.sample_size(10);
+    for (n, ell, t) in [(5, 4, 1), (7, 5, 1), (8, 5, 1)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_ell{ell}_t{t}")),
+            &(n, ell, t),
+            |b, &(n, ell, t)| {
+                let factory = fig5_factory(n, ell, t);
+                let cfg = psync_cfg(n, ell, t);
+                b.iter(|| {
+                    let outcome = fig4::run(&factory, cfg, 8 * 14);
+                    assert!(outcome.violation_exhibited());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

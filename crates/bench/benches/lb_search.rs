@@ -1,0 +1,45 @@
+//! E10 — bounded adversary exploration: cost of the Lemma 21 multivalence
+//! demonstration and of the exhaustive strategy sweep on tiny systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use homonym_bench::fig7_factory;
+use homonym_core::{IdAssignment, Pid};
+use homonym_lowerbounds::search;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lb_search");
+    group.sample_size(10);
+    group.bench_function("multivalence_n4_ell1_t1", |b| {
+        let factory = fig7_factory(4, 1, 1);
+        let assignment = IdAssignment::anonymous(4);
+        b.iter(|| {
+            let report = search::multivalence_demo(
+                &factory,
+                &assignment,
+                &[false, true, true, false],
+                Pid::new(3),
+                &[false, true],
+                8 * 5,
+            );
+            assert!(report.multivalent());
+        })
+    });
+    group.bench_function("exhaustive_n4_ell2_t1_depth8", |b| {
+        let factory = fig7_factory(4, 2, 1);
+        let assignment = IdAssignment::round_robin(2, 4).unwrap();
+        b.iter(|| {
+            search::exhaustive_search(
+                &factory,
+                &assignment,
+                &[false, true, false, true],
+                Pid::new(3),
+                8,
+                800,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

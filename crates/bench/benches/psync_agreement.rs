@@ -1,0 +1,34 @@
+//! E8 — Figure 5 end-to-end: decision latency and message cost versus the
+//! stabilization time and the identifier budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::run_fig5;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psync_agreement");
+    group.sample_size(10);
+    // GST sweep at fixed (n, ℓ, t).
+    for gst in [0u64, 8, 16, 24] {
+        group.bench_with_input(BenchmarkId::new("gst_sweep", gst), &gst, |b, &gst| {
+            b.iter(|| {
+                let report = run_fig5(4, 4, 1, gst, 3);
+                assert!(report.verdict.all_hold());
+                report.rounds
+            })
+        });
+    }
+    // Identifier sweep at fixed n = 7, t = 1 (ℓ must exceed (n+3t)/2 = 5).
+    for ell in [6usize, 7] {
+        group.bench_with_input(BenchmarkId::new("ell_sweep_n7", ell), &ell, |b, &ell| {
+            b.iter(|| {
+                let report = run_fig5(7, ell, 1, 8, 3);
+                assert!(report.verdict.all_hold());
+                report.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

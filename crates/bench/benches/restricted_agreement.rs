@@ -1,0 +1,42 @@
+//! E9 — Figures 6/7 versus Figure 5: the restricted-Byzantine protocol
+//! needs only t + 1 identifiers where Figure 5 needs > (n + 3t)/2, at
+//! comparable per-round cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::{run_fig5, run_fig7};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restricted_agreement");
+    group.sample_size(10);
+    // Same n and t; minimum legal ℓ for each protocol.
+    for (n, t) in [(4usize, 1usize), (7, 2)] {
+        let ell5 = (n + 3 * t) / 2 + 1; // Figure 5 minimum
+        let ell7 = t + 1; // Figure 7 minimum
+        group.bench_with_input(
+            BenchmarkId::new("fig5_min_ell", format!("n{n}_t{t}_ell{ell5}")),
+            &(n, ell5, t),
+            |b, &(n, ell, t)| {
+                b.iter(|| {
+                    let report = run_fig5(n, ell, t, 8, 9);
+                    assert!(report.verdict.all_hold());
+                    report.rounds
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fig7_min_ell", format!("n{n}_t{t}_ell{ell7}")),
+            &(n, ell7, t),
+            |b, &(n, ell, t)| {
+                b.iter(|| {
+                    let report = run_fig7(n, ell, t, 8, 9);
+                    assert!(report.verdict.all_hold());
+                    report.rounds
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E12 — threaded runtime versus simulator: same automata, same verdicts;
+//! the bench contrasts the wall-clock cost of thread-based lock-step
+//! against the in-process simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use homonym_bench::{sync_cfg, t_eig_factory};
+use homonym_core::IdAssignment;
+use homonym_runtime::Cluster;
+use homonym_sim::Simulation;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_throughput");
+    group.sample_size(10);
+    let (n, ell, t) = (6usize, 4usize, 1usize);
+    group.bench_function("simulator", |b| {
+        let factory = t_eig_factory(ell, t);
+        b.iter(|| {
+            let mut sim = Simulation::builder(
+                sync_cfg(n, ell, t),
+                IdAssignment::stacked(ell, n).unwrap(),
+                vec![true; n],
+            )
+            .build_with(&factory);
+            let report = sim.run(factory.round_bound() + 9);
+            assert!(report.verdict.all_hold());
+        })
+    });
+    group.bench_function("threads", |b| {
+        let factory = t_eig_factory(ell, t);
+        b.iter(|| {
+            let report = Cluster::new(
+                sync_cfg(n, ell, t),
+                IdAssignment::stacked(ell, n).unwrap(),
+                vec![true; n],
+            )
+            .run(&factory, factory.round_bound() + 9);
+            assert!(report.verdict.all_hold());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E2 — Table 1, partially synchronous column: wall time of Figure 5 runs
+//! on solvable cells, across stabilization times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::run_fig5;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_psync");
+    group.sample_size(10);
+    for (n, ell, t, gst) in [(4, 4, 1, 0), (4, 4, 1, 8), (5, 5, 1, 8), (7, 6, 1, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_ell{ell}_t{t}_gst{gst}")),
+            &(n, ell, t, gst),
+            |b, &(n, ell, t, gst)| {
+                b.iter(|| {
+                    let report = run_fig5(n, ell, t, gst, 7);
+                    assert!(report.verdict.all_hold());
+                    report.rounds
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E3 — Table 1, restricted-Byzantine row: wall time of Figure 7 runs at
+//! `ℓ = t + 1`, the minimum the paper proves sufficient for numerate
+//! processes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::run_fig7;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_restricted");
+    group.sample_size(10);
+    for (n, ell, t, gst) in [(4, 2, 1, 0), (4, 2, 1, 8), (7, 3, 2, 8), (10, 2, 1, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_ell{ell}_t{t}_gst{gst}")),
+            &(n, ell, t, gst),
+            |b, &(n, ell, t, gst)| {
+                b.iter(|| {
+                    let report = run_fig7(n, ell, t, gst, 5);
+                    assert!(report.verdict.all_hold());
+                    report.rounds
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1 — Table 1, synchronous column: wall time of `T(EIG)` runs at and
+//! around the `ℓ = 3t + 1` boundary (the solvability *shape* itself is
+//! asserted in `tests/table1_sync_boundary.rs` and printed by
+//! `paper_report`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::run_t_eig_clean;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_sync");
+    group.sample_size(20);
+    for (n, ell, t) in [(4, 4, 1), (7, 4, 1), (10, 4, 1), (8, 7, 2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_ell{ell}_t{t}")),
+            &(n, ell, t),
+            |b, &(n, ell, t)| {
+                b.iter(|| {
+                    let report = run_t_eig_clean(n, ell, t);
+                    assert!(report.verdict.all_hold());
+                    report.rounds
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

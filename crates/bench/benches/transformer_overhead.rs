@@ -1,0 +1,51 @@
+//! E6 — Figures 2/3: the cost of the T(A) simulation. Three homonym rounds
+//! simulate one round of A, so T(EIG) should take ≈ 3× the rounds of raw
+//! EIG (plus the deciding-round slack), independent of n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::{run_t_eig_clean, sync_cfg, t_eig_factory};
+use homonym_classic::{Eig, UniqueRunner};
+use homonym_core::{Domain, FnFactory, IdAssignment};
+use homonym_sim::Simulation;
+
+fn run_raw_eig(ell: usize, t: usize) -> u64 {
+    let domain = Domain::binary();
+    let factory = FnFactory::new(move |id, input| {
+        UniqueRunner::new(Eig::new(ell, t, domain.clone()), id, input)
+    });
+    let mut sim = Simulation::builder(sync_cfg(ell, ell, t), IdAssignment::unique(ell), vec![true; ell])
+        .build_with(&factory);
+    let report = sim.run(16);
+    assert!(report.verdict.all_hold());
+    report.rounds
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transformer_overhead");
+    group.sample_size(20);
+    for (ell, t) in [(4, 1), (7, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("raw_eig", format!("ell{ell}_t{t}")),
+            &(ell, t),
+            |b, &(ell, t)| b.iter(|| run_raw_eig(ell, t)),
+        );
+        for n in [ell, ell + 3] {
+            group.bench_with_input(
+                BenchmarkId::new("t_eig", format!("n{n}_ell{ell}_t{t}")),
+                &(n, ell, t),
+                |b, &(n, ell, t)| {
+                    let _ = t_eig_factory(ell, t);
+                    b.iter(|| {
+                        let report = run_t_eig_clean(n, ell, t);
+                        assert!(report.verdict.all_hold());
+                        report.rounds
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

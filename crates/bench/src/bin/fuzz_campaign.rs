@@ -1,0 +1,315 @@
+//! Randomized failure-injection campaign across the protocol families.
+//!
+//! Where the standard suite enumerates a fixed grid, this binary *draws*
+//! configurations: random solvable `(n, ℓ, t)` cells, random identifier
+//! assignments, random inputs, random Byzantine placements, random
+//! **compositions** of adversary strategies, random stabilization times —
+//! everything derived from one per-iteration seed, so any failure line
+//! can be replayed exactly.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p homonym-bench --bin fuzz_campaign [iters] [base_seed]
+//! ```
+//!
+//! Defaults: 150 iterations per protocol family, base seed 1.
+
+use std::collections::BTreeSet;
+
+use homonym_bench::{fig5_factory, fig7_factory, psync_cfg, restricted_cfg, sync_cfg, t_eig_factory};
+use homonym_core::{
+    Domain, IdAssignment, Pid, ProtocolFactory, Round, SystemConfig,
+};
+use homonym_sim::adversary::{
+    Adversary, CloneSpammer, Compose, CrashAt, Equivocator, Flooder, Mimic, ReplayFuzzer, Silent,
+    StaleReplayer,
+};
+use homonym_sim::{RandomUntilGst, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One drawn scenario, fully determined by its seed.
+struct Draw {
+    assignment: IdAssignment,
+    inputs: Vec<bool>,
+    byz: BTreeSet<Pid>,
+    gst: u64,
+    strategy_names: Vec<&'static str>,
+}
+
+fn draw_assignment(rng: &mut StdRng, n: usize, ell: usize) -> IdAssignment {
+    match rng.gen_range(0..3u8) {
+        0 => IdAssignment::stacked(ell, n).expect("ℓ ≤ n"),
+        1 => IdAssignment::round_robin(ell, n).expect("ℓ ≤ n"),
+        _ => {
+            // Random surjective assignment: first ℓ processes cover every
+            // identifier, the rest land anywhere.
+            let mut ids: Vec<homonym_core::Id> =
+                (1..=ell as u16).map(homonym_core::Id::new).collect();
+            for _ in ell..n {
+                ids.push(homonym_core::Id::new(rng.gen_range(1..=ell as u16)));
+            }
+            IdAssignment::new(ell, ids).expect("surjective by construction")
+        }
+    }
+}
+
+fn draw_strategies<P, F>(
+    rng: &mut StdRng,
+    factory: &F,
+    assignment: &IdAssignment,
+    byz: &BTreeSet<Pid>,
+    horizon: u64,
+) -> (Vec<&'static str>, Compose<P::Msg>)
+where
+    P: homonym_core::Protocol<Value = bool> + 'static,
+    F: ProtocolFactory<P = P>,
+{
+    let n = assignment.n();
+    let byz_inputs: Vec<(Pid, bool)> = byz.iter().map(|&p| (p, rng.gen())).collect();
+    let split: BTreeSet<Pid> = Pid::all(n).filter(|_| rng.gen()).collect();
+
+    let mut names = Vec::new();
+    let mut parts: Vec<Box<dyn Adversary<P::Msg>>> = Vec::new();
+    let count = rng.gen_range(1..=3usize);
+    for _ in 0..count {
+        let (name, part): (&'static str, Box<dyn Adversary<P::Msg>>) = match rng.gen_range(0..8u8) {
+            0 => ("silent", Box::new(Silent)),
+            1 => (
+                "crash(mimic)",
+                Box::new(CrashAt::new(
+                    Round::new(rng.gen_range(1..horizon.max(2))),
+                    Mimic::new(factory, assignment, &byz_inputs),
+                )),
+            ),
+            2 => ("mimic", Box::new(Mimic::new(factory, assignment, &byz_inputs))),
+            3 => (
+                "equivocator",
+                Box::new(Equivocator::new(
+                    factory,
+                    assignment,
+                    byz,
+                    false,
+                    true,
+                    split.clone(),
+                )),
+            ),
+            4 => (
+                "clone-spammer",
+                Box::new(CloneSpammer::new(factory, assignment, byz, &[false, true])),
+            ),
+            5 => ("replay-fuzzer", Box::new(ReplayFuzzer::new(rng.gen(), rng.gen_range(1..4)))),
+            6 => (
+                "stale-replayer",
+                Box::new(StaleReplayer::new(rng.gen_range(1..4), rng.gen_range(1..5))),
+            ),
+            _ => ("flooder", Box::new(Flooder::new(rng.gen_range(2..6)))),
+        };
+        names.push(name);
+        parts.push(part);
+    }
+    (names, Compose::new(parts))
+}
+
+fn draw_scenario<P, F>(
+    seed: u64,
+    cfg: &SystemConfig,
+    factory: &F,
+    horizon: u64,
+) -> (Draw, Compose<P::Msg>)
+where
+    P: homonym_core::Protocol<Value = bool> + 'static,
+    F: ProtocolFactory<P = P>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let assignment = draw_assignment(&mut rng, cfg.n, cfg.ell);
+    let inputs: Vec<bool> = (0..cfg.n).map(|_| rng.gen()).collect();
+    let mut pids: Vec<Pid> = Pid::all(cfg.n).collect();
+    let mut byz = BTreeSet::new();
+    for _ in 0..cfg.t {
+        let k = rng.gen_range(0..pids.len());
+        byz.insert(pids.swap_remove(k));
+    }
+    let gst = rng.gen_range(0..20u64);
+    let (strategy_names, adversary) =
+        draw_strategies::<P, F>(&mut rng, factory, &assignment, &byz, horizon);
+    (
+        Draw {
+            assignment,
+            inputs,
+            byz,
+            gst,
+            strategy_names,
+        },
+        adversary,
+    )
+}
+
+/// Runs one drawn scenario; returns `(decision round, message count)`.
+/// Panics with a replay line on any property violation.
+fn run_draw<P, F>(
+    family: &str,
+    seed: u64,
+    cfg: SystemConfig,
+    factory: &F,
+    slack: u64,
+) -> (Option<u64>, u64)
+where
+    P: homonym_core::Protocol<Value = bool> + 'static,
+    F: ProtocolFactory<P = P>,
+{
+    let horizon = 20 + slack; // gst is drawn below 20
+    let (draw, adversary) = draw_scenario::<P, F>(seed, &cfg, factory, horizon);
+    // A zero drop probability turns the policy into NoDrops for the
+    // synchronous family, keeping one concrete policy type.
+    let drop_p = match cfg.synchrony {
+        homonym_core::Synchrony::Synchronous => 0.0,
+        homonym_core::Synchrony::PartiallySynchronous => 0.3,
+    };
+    let mut sim = Simulation::builder(cfg, draw.assignment, draw.inputs)
+        .byzantine(draw.byz.clone(), adversary)
+        .drops(RandomUntilGst::new(Round::new(draw.gst), drop_p, seed))
+        .build_with(factory);
+    let report = sim.run(draw.gst + slack);
+    assert!(
+        report.verdict.all_hold(),
+        "VIOLATION family={family} seed={seed} strategies={:?} gst={} byz={:?}: {}",
+        draw.strategy_names,
+        draw.gst,
+        draw.byz,
+        report.verdict
+    );
+    (
+        report.all_decided_round.map(|r| r.index()),
+        report.messages_sent,
+    )
+}
+
+/// Runs `iters` draws for each protocol family starting at `base_seed`.
+/// Returns (runs, worst decision round, total messages).
+pub fn campaign(iters: u64, base_seed: u64, verbose: bool) -> (u64, u64, u64) {
+    let mut runs = 0u64;
+    let mut worst = 0u64;
+    let mut messages = 0u64;
+
+    for k in 0..iters {
+        let seed = base_seed.wrapping_add(k).wrapping_mul(0x9e37_79b9);
+
+        // Family 1: T(EIG), synchronous, random solvable cell (ℓ > 3t).
+        {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA);
+            let t = rng.gen_range(1..=2usize);
+            let ell = 3 * t + rng.gen_range(1..=2usize);
+            let n = ell + rng.gen_range(0..=3usize);
+            let factory = t_eig_factory(ell, t);
+            let slack = factory.round_bound() + 9;
+            let (decided, msgs) =
+                run_draw("sync/T(EIG)", seed ^ 0xA, sync_cfg(n, ell, t), &factory, slack);
+            runs += 1;
+            worst = worst.max(decided.unwrap_or(0));
+            messages += msgs;
+            if verbose {
+                println!("sync    seed={:016x} n={n} ell={ell} t={t} decided={decided:?}", seed ^ 0xA);
+            }
+        }
+
+        // Family 2: Figure 5, partially synchronous (2ℓ > n + 3t).
+        {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xB);
+            let t = 1usize;
+            let ell = rng.gen_range(4..=6usize);
+            let n_hi = 2 * ell - 3 * t - 1;
+            let n = rng.gen_range(ell..=n_hi);
+            let factory = fig5_factory(n, ell, t);
+            let slack = factory.round_bound() + 24;
+            let (decided, msgs) =
+                run_draw("psync/Fig5", seed ^ 0xB, psync_cfg(n, ell, t), &factory, slack);
+            runs += 1;
+            worst = worst.max(decided.unwrap_or(0));
+            messages += msgs;
+            if verbose {
+                println!("psync   seed={:016x} n={n} ell={ell} t={t} decided={decided:?}", seed ^ 0xB);
+            }
+        }
+
+        // Family 3: Figure 7, restricted + numerate (ℓ > t, n > 3t).
+        {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC);
+            let t = rng.gen_range(1..=2usize);
+            let ell = t + rng.gen_range(1..=2usize);
+            let n = 3 * t + 1 + rng.gen_range(0..=3usize);
+            let factory = fig7_factory(n, ell.min(n), t);
+            let slack = factory.round_bound() + 24;
+            let (decided, msgs) = run_draw(
+                "restricted/Fig7",
+                seed ^ 0xC,
+                restricted_cfg(n, ell.min(n), t),
+                &factory,
+                slack,
+            );
+            runs += 1;
+            worst = worst.max(decided.unwrap_or(0));
+            messages += msgs;
+            if verbose {
+                println!("restr   seed={:016x} n={n} ell={ell} t={t} decided={decided:?}", seed ^ 0xC);
+            }
+        }
+    }
+    (runs, worst, messages)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let iters: u64 = args
+        .next()
+        .map(|s| s.parse().expect("iters must be a number"))
+        .unwrap_or(150);
+    let base_seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be a number"))
+        .unwrap_or(1);
+
+    println!(
+        "fuzz campaign: {iters} iterations × 3 families, base seed {base_seed} \
+         (all draws replayable from the seed)"
+    );
+    let (runs, worst, messages) = campaign(iters, base_seed, false);
+    println!(
+        "{runs} adversarial runs, 0 violations; worst decision round {worst}; \
+         {messages} total messages"
+    );
+
+    // A quick domain check: the binary-domain assumption above is not
+    // load-bearing; re-run a few draws on a 4-value domain via Fig. 5.
+    let domain = Domain::new(vec![0u8, 1, 2, 3]);
+    let factory = homonym_psync::AgreementFactory::new(5, 5, 1, domain);
+    let mut sim = Simulation::builder(
+        psync_cfg(5, 5, 1),
+        IdAssignment::unique(5),
+        vec![3u8, 0, 2, 0, 1],
+    )
+    .byzantine([Pid::new(4)], ReplayFuzzer::new(base_seed, 2))
+    .drops(RandomUntilGst::new(Round::new(8), 0.3, base_seed))
+    .build_with(&factory);
+    let report = sim.run(8 + factory.round_bound() + 24);
+    assert!(report.verdict.all_hold());
+    println!("multi-valued domain check: {}", report.verdict);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::campaign;
+
+    #[test]
+    fn short_campaign_is_clean() {
+        let (runs, _, messages) = campaign(2, 42, false);
+        assert_eq!(runs, 6);
+        assert!(messages > 0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        assert_eq!(campaign(2, 7, false), campaign(2, 7, false));
+    }
+}

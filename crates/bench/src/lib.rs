@@ -1,0 +1,218 @@
+//! Shared helpers for the Criterion benches and the paper-report binary.
+//!
+//! Each bench target regenerates one experiment from DESIGN.md §6
+//! (one per table/figure of the paper); `cargo run -p homonym-bench --bin
+//! paper_report` prints every table and series in one go, and
+//! EXPERIMENTS.md records the outputs next to the paper's claims.
+
+use homonym_classic::Eig;
+use homonym_core::{
+    bounds, ByzPower, Counting, Domain, IdAssignment, Round, Synchrony, SystemConfig,
+};
+use homonym_delay::{
+    AlwaysBounded, DelayCluster, DelayReport, DoublingPacing, EventuallyBounded, FixedPacing,
+};
+use homonym_psync::{AgreementFactory, RestrictedFactory};
+use homonym_sim::harness::{run_standard_suite, SuiteParams, SuiteResult};
+use homonym_sim::{RandomUntilGst, RunReport, Simulation};
+use homonym_sync::TransformedFactory;
+
+/// A `T(EIG)` factory for `ell` identifiers tolerating `t` faults.
+pub fn t_eig_factory(ell: usize, t: usize) -> TransformedFactory<Eig<bool>> {
+    TransformedFactory::new(Eig::new(ell, t, Domain::binary()), t)
+}
+
+/// The Figure 5 factory for `(n, ℓ, t)`.
+pub fn fig5_factory(n: usize, ell: usize, t: usize) -> AgreementFactory<bool> {
+    AgreementFactory::new(n, ell, t, Domain::binary())
+}
+
+/// The Figure 7 factory for `(n, ℓ, t)`.
+pub fn fig7_factory(n: usize, ell: usize, t: usize) -> RestrictedFactory<bool> {
+    RestrictedFactory::new(n, ell, t, Domain::binary())
+}
+
+/// A synchronous configuration.
+pub fn sync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t).build().expect("valid parameters")
+}
+
+/// A partially synchronous configuration.
+pub fn psync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters")
+}
+
+/// A restricted-Byzantine, numerate, partially synchronous configuration.
+pub fn restricted_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .counting(Counting::Numerate)
+        .byz_power(ByzPower::Restricted)
+        .build()
+        .expect("valid parameters")
+}
+
+/// One clean (failure-free, unanimous-input) run of `T(EIG)`; returns the
+/// report for round/message accounting.
+pub fn run_t_eig_clean(n: usize, ell: usize, t: usize) -> RunReport<bool> {
+    let factory = t_eig_factory(ell, t);
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let mut sim = Simulation::builder(sync_cfg(n, ell, t), assignment, vec![true; n])
+        .build_with(&factory);
+    sim.run(factory.round_bound() + 9)
+}
+
+/// One clean run of the Figure 5 protocol with the given stabilization
+/// round (messages drop with probability 0.3 before it).
+pub fn run_fig5(n: usize, ell: usize, t: usize, gst: u64, seed: u64) -> RunReport<bool> {
+    let factory = fig5_factory(n, ell, t);
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let inputs = (0..n).map(|k| k % 2 == 0).collect();
+    let mut sim = Simulation::builder(psync_cfg(n, ell, t), assignment, inputs)
+        .drops(RandomUntilGst::new(Round::new(gst), 0.3, seed))
+        .build_with(&factory);
+    sim.run(gst + factory.round_bound() + 24)
+}
+
+/// One clean run of the Figure 7 protocol.
+pub fn run_fig7(n: usize, ell: usize, t: usize, gst: u64, seed: u64) -> RunReport<bool> {
+    let factory = fig7_factory(n, ell, t);
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let inputs = (0..n).map(|k| k % 2 == 0).collect();
+    let mut sim = Simulation::builder(restricted_cfg(n, ell, t), assignment, inputs)
+        .drops(RandomUntilGst::new(Round::new(gst), 0.3, seed))
+        .build_with(&factory);
+    sim.run(gst + factory.round_bound() + 24)
+}
+
+/// One Figure 5 run on the **known-bound** delay model (delays ≤ `delta`
+/// from `calm_tick` on, chaos before) with rounds of `delta` ticks.
+pub fn run_fig5_known_bound(
+    n: usize,
+    ell: usize,
+    t: usize,
+    delta: u64,
+    calm_tick: u64,
+    seed: u64,
+) -> DelayReport<bool> {
+    let factory = fig5_factory(n, ell, t);
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let inputs = (0..n).map(|k| k % 2 == 0).collect();
+    let mut cluster = DelayCluster::builder(psync_cfg(n, ell, t), assignment, inputs)
+        .model(EventuallyBounded::new(delta, calm_tick, 20 * delta, seed))
+        .pacing(FixedPacing::new(delta))
+        .build();
+    cluster.run(&factory, calm_tick / delta + factory.round_bound() + 24)
+}
+
+/// One Figure 5 run on the **unknown-bound** delay model (delays ≤ `delta`
+/// always) with guess-and-double pacing that never reads `delta`.
+pub fn run_fig5_unknown_bound(
+    n: usize,
+    ell: usize,
+    t: usize,
+    delta: u64,
+    seed: u64,
+) -> DelayReport<bool> {
+    let factory = fig5_factory(n, ell, t);
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let inputs = (0..n).map(|k| k % 2 == 0).collect();
+    let mut cluster = DelayCluster::builder(psync_cfg(n, ell, t), assignment, inputs)
+        .model(AlwaysBounded::new(delta, seed))
+        .pacing(DoublingPacing::new(1, 8))
+        .build();
+    // Doubling reaches `delta` within 8·log2(delta) rounds.
+    let catch_up = 8 * (64 - delta.leading_zeros() as u64 + 1);
+    cluster.run(&factory, catch_up + factory.round_bound() + 24)
+}
+
+/// Runs the standard adversary suite for a synchronous `T(EIG)` cell.
+pub fn suite_t_eig(n: usize, ell: usize, t: usize, seed: u64) -> SuiteResult<bool> {
+    let cfg = sync_cfg(n, ell, t);
+    let factory = t_eig_factory(ell, t);
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let domain = Domain::binary();
+    run_standard_suite(
+        &factory,
+        &SuiteParams {
+            cfg,
+            assignment: &assignment,
+            domain: &domain,
+            horizon: factory.round_bound() + 9,
+            gst: 0,
+            seed,
+        },
+    )
+}
+
+/// Runs the standard adversary suite for a partially synchronous Figure 5
+/// cell.
+pub fn suite_fig5(n: usize, ell: usize, t: usize, gst: u64, seed: u64) -> SuiteResult<bool> {
+    let cfg = psync_cfg(n, ell, t);
+    let factory = fig5_factory(n, ell, t);
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let domain = Domain::binary();
+    run_standard_suite(
+        &factory,
+        &SuiteParams {
+            cfg,
+            assignment: &assignment,
+            domain: &domain,
+            horizon: gst + factory.round_bound() + 24,
+            gst,
+            seed,
+        },
+    )
+}
+
+/// Runs the standard adversary suite for a restricted Figure 7 cell.
+pub fn suite_fig7(n: usize, ell: usize, t: usize, gst: u64, seed: u64) -> SuiteResult<bool> {
+    let cfg = restricted_cfg(n, ell, t);
+    let factory = fig7_factory(n, ell, t);
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let domain = Domain::binary();
+    run_standard_suite(
+        &factory,
+        &SuiteParams {
+            cfg,
+            assignment: &assignment,
+            domain: &domain,
+            horizon: gst + factory.round_bound() + 24,
+            gst,
+            seed,
+        },
+    )
+}
+
+/// Formats a solvability cell for the report: predicted vs empirical.
+pub fn cell_line(cfg: &SystemConfig, empirical: &str) -> String {
+    format!(
+        "n={:<2} ell={:<2} t={} | predicted {:<10} | empirical {}",
+        cfg.n,
+        cfg.ell,
+        cfg.t,
+        if bounds::solvable(cfg) { "solvable" } else { "unsolvable" },
+        empirical
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_runs_decide() {
+        assert!(run_t_eig_clean(5, 4, 1).verdict.all_hold());
+        assert!(run_fig5(4, 4, 1, 4, 1).verdict.all_hold());
+        assert!(run_fig7(4, 2, 1, 4, 1).verdict.all_hold());
+    }
+
+    #[test]
+    fn cell_line_mentions_prediction() {
+        let line = cell_line(&sync_cfg(4, 4, 1), "ok");
+        assert!(line.contains("solvable"));
+    }
+}

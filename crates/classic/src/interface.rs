@@ -1,0 +1,144 @@
+//! The paper's specification of a unique-identifier algorithm `A`, plus an
+//! adapter to run one directly as a [`Protocol`].
+
+use std::collections::BTreeMap;
+
+use homonym_core::{Id, Inbox, Message, Protocol, Recipients, Round, Value};
+
+/// A synchronous Byzantine agreement algorithm for `ℓ` processes with
+/// unique identifiers — the object the `T(A)` transformer consumes.
+///
+/// This trait transcribes the paper's specification of `A` (Section 3.2):
+///
+/// 1. a set of local process states — [`SyncBa::State`];
+/// 2. `init(i, v)`, the initial state of process `pᵢ` with input `v` —
+///    [`SyncBa::init`];
+/// 3. `M(s, r)`, the message broadcast from state `s` in round `r` —
+///    [`SyncBa::message`];
+/// 4. `δ(s, r, R)`, the transition on receiving the messages `R` —
+///    [`SyncBa::transition`]; `R` holds at most one message per identifier
+///    (the transformer's running round filters equivocators out first,
+///    exactly as Figure 3 lines 12–14 prescribe);
+/// 5. `decide(s)`, the decision in state `s`, or `None` — [`SyncBa::decide`].
+///
+/// Rounds are numbered from 1, as in the paper. Once `decide` returns
+/// `Some(v)` it must return `Some(v)` in every reachable successor state.
+///
+/// The implementing type itself plays the role of the *algorithm
+/// description* (`ℓ`, `t`, value domain, defaults); the state is explicit
+/// and must be [`Message`] because the transformer sends states over the
+/// wire (Figure 3 line 3).
+pub trait SyncBa {
+    /// Local process state (sent over the wire by the transformer).
+    type State: Message;
+    /// Broadcast message type.
+    type Msg: Message;
+    /// Agreement value type.
+    type Value: Value;
+
+    /// Number of processes (= number of identifiers) `A` is designed for.
+    fn ell(&self) -> usize;
+
+    /// Fault bound `A` tolerates.
+    fn t(&self) -> usize;
+
+    /// `init(i, v)`: the initial state of the process with identifier `i`
+    /// and input `v`.
+    fn init(&self, id: Id, input: Self::Value) -> Self::State;
+
+    /// `M(s, r)`: the message broadcast in round `ba_round` (1-based) from
+    /// state `s`.
+    fn message(&self, s: &Self::State, ba_round: u64) -> Self::Msg;
+
+    /// `δ(s, r, R)`: the successor of `s` after receiving `received` in
+    /// round `ba_round` (at most one message per identifier; identifiers
+    /// absent from the map sent nothing usable).
+    fn transition(
+        &self,
+        s: &Self::State,
+        ba_round: u64,
+        received: &BTreeMap<Id, Self::Msg>,
+    ) -> Self::State;
+
+    /// `decide(s)`: the decision in state `s`, if any.
+    fn decide(&self, s: &Self::State) -> Option<Self::Value>;
+
+    /// An upper bound on the number of rounds until every correct process
+    /// has decided, used by harnesses to choose horizons. (`t + 1` for
+    /// [`Eig`](crate::Eig), `2(t + 1)` for [`PhaseKing`](crate::PhaseKing).)
+    fn round_bound(&self) -> u64;
+}
+
+/// Runs a [`SyncBa`] algorithm directly as a [`Protocol`], for classical
+/// systems where `ℓ = n` and every process holds a unique identifier.
+///
+/// Each engine round `r` (0-based) executes `A`'s round `r + 1`: broadcast
+/// `M(s, r + 1)`, then apply `δ`. If an identifier delivers more than one
+/// distinct message in a round (impossible for correct processes in the
+/// unique-identifier model), the smallest is used.
+///
+/// # Example
+///
+/// ```
+/// use homonym_classic::{Eig, UniqueRunner};
+/// use homonym_core::{Domain, Id};
+///
+/// let algo = Eig::new(4, 1, Domain::binary());
+/// let runner = UniqueRunner::new(algo, Id::new(2), true);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UniqueRunner<A: SyncBa> {
+    algo: A,
+    id: Id,
+    state: A::State,
+    decision: Option<A::Value>,
+}
+
+impl<A: SyncBa> UniqueRunner<A> {
+    /// Creates a runner for the process holding `id` proposing `input`.
+    pub fn new(algo: A, id: Id, input: A::Value) -> Self {
+        let state = algo.init(id, input);
+        UniqueRunner {
+            algo,
+            id,
+            state,
+            decision: None,
+        }
+    }
+
+    /// The current `A`-state (exposed for tests and the transformer's
+    /// cross-validation).
+    pub fn state(&self) -> &A::State {
+        &self.state
+    }
+}
+
+impl<A: SyncBa> Protocol for UniqueRunner<A> {
+    type Msg = A::Msg;
+    type Value = A::Value;
+
+    fn id(&self) -> Id {
+        self.id
+    }
+
+    fn send(&mut self, round: Round) -> Vec<(Recipients, A::Msg)> {
+        vec![(Recipients::All, self.algo.message(&self.state, round.index() + 1))]
+    }
+
+    fn receive(&mut self, round: Round, inbox: &Inbox<A::Msg>) {
+        let mut received: BTreeMap<Id, A::Msg> = BTreeMap::new();
+        for id in inbox.ids() {
+            if let Some((msg, _)) = inbox.from_id(id).next() {
+                received.insert(id, msg.clone());
+            }
+        }
+        self.state = self.algo.transition(&self.state, round.index() + 1, &received);
+        if self.decision.is_none() {
+            self.decision = self.algo.decide(&self.state);
+        }
+    }
+
+    fn decision(&self) -> Option<A::Value> {
+        self.decision.clone()
+    }
+}

@@ -1,0 +1,34 @@
+//! Unique-identifier synchronous Byzantine agreement baselines.
+//!
+//! The paper's synchronous homonym algorithm is a *transformer*: "given any
+//! synchronous Byzantine agreement algorithm for ℓ processes with unique
+//! identifiers (such algorithms exist when ℓ = n > 3t, e.g., reference 13 of the paper), we
+//! transform it into an algorithm for n processes and ℓ identifiers". This
+//! crate supplies such algorithms `A`:
+//!
+//! * [`Eig`] — exponential information gathering (Lamport–Shostak–Pease /
+//!   Bar-Noy–Dolev style), correct for `n > 3t`, decides after `t + 1`
+//!   rounds; the workhorse plugged into `T(A)`;
+//! * [`PhaseKing`] — the Berman–Garay–Perry phase-king protocol, correct
+//!   for `n > 4t`, decides after `2(t + 1)` rounds with constant-size
+//!   messages; included as an independent second instantiation.
+//!
+//! Both implement the [`SyncBa`] trait, which mirrors the paper's
+//! five-part specification of `A` — `init(i, v)`, `M(s, r)`, `δ(s, r, R)`,
+//! `decide(s)` over an explicit state type — because the transformer needs
+//! to *ship states over the wire* (Figure 3 line 3 sends the state `s`).
+//!
+//! [`UniqueRunner`] adapts any [`SyncBa`] into a
+//! [`Protocol`](homonym_core::Protocol) so the baselines can run directly
+//! in the simulator on classical (`ℓ = n`) systems.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod eig;
+mod interface;
+mod phase_king;
+
+pub use eig::{Eig, EigMsg, EigState};
+pub use interface::{SyncBa, UniqueRunner};
+pub use phase_king::{PhaseKing, PhaseKingMsg, PhaseKingState};

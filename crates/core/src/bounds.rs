@@ -1,0 +1,310 @@
+//! The Table 1 solvability characterization, as executable predicates.
+//!
+//! The paper completely characterizes when Byzantine agreement is solvable
+//! in a system of `n` processes using `ℓ` identifiers with at most `t`
+//! Byzantine processes (always requiring `n > 3t`):
+//!
+//! | model | unrestricted Byzantine | restricted Byzantine |
+//! |---|---|---|
+//! | synchronous | `ℓ > 3t` | numerate: `ℓ > t`; innumerate: `ℓ > 3t` |
+//! | partially synchronous | `2ℓ > n + 3t` | numerate: `ℓ > t`; innumerate: `2ℓ > n + 3t` |
+//!
+//! These predicates are the ground truth that the experiment harness
+//! compares against: a configuration's empirical verdict (the algorithm
+//! survives the adversary suite / a lower-bound scenario exhibits a
+//! violation) must match [`solvable`].
+
+use crate::config::{ByzPower, Counting, Synchrony, SystemConfig};
+
+/// Which Table 1 condition applies to a configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// `ℓ > 3t` (synchronous, or restricted+innumerate synchronous).
+    EllGt3T,
+    /// `2ℓ > n + 3t` (partially synchronous).
+    TwoEllGtNPlus3T,
+    /// `ℓ > t` (restricted Byzantine processes with numerate receivers).
+    EllGtT,
+}
+
+impl Condition {
+    /// Evaluates this condition on `(n, ℓ, t)`.
+    pub fn holds(self, n: usize, ell: usize, t: usize) -> bool {
+        match self {
+            Condition::EllGt3T => ell > 3 * t,
+            Condition::TwoEllGtNPlus3T => 2 * ell > n + 3 * t,
+            Condition::EllGtT => ell > t,
+        }
+    }
+
+    /// The smallest `ℓ` satisfying this condition for the given `n` and `t`,
+    /// ignoring the `ℓ ≤ n` cap.
+    pub fn min_ell(self, n: usize, t: usize) -> usize {
+        match self {
+            Condition::EllGt3T => 3 * t + 1,
+            // smallest ℓ with 2ℓ ≥ n + 3t + 1
+            Condition::TwoEllGtNPlus3T => (n + 3 * t) / 2 + 1,
+            Condition::EllGtT => t + 1,
+        }
+    }
+}
+
+/// The Table 1 condition applicable to `cfg`'s model axes.
+pub fn condition(cfg: &SystemConfig) -> Condition {
+    match (cfg.synchrony, cfg.byz_power, cfg.counting) {
+        (_, ByzPower::Restricted, Counting::Numerate) => Condition::EllGtT,
+        (Synchrony::Synchronous, _, _) => Condition::EllGt3T,
+        (Synchrony::PartiallySynchronous, _, _) => Condition::TwoEllGtNPlus3T,
+    }
+}
+
+/// Whether Byzantine agreement is solvable in `cfg`, per Table 1 of the
+/// paper (including the baseline `n > 3t` requirement).
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::{SystemConfig, Synchrony, bounds};
+///
+/// // Synchronous: ℓ > 3t.
+/// assert!(bounds::solvable(&SystemConfig::builder(7, 4, 1).build().unwrap()));
+/// assert!(!bounds::solvable(&SystemConfig::builder(7, 3, 1).build().unwrap()));
+/// ```
+pub fn solvable(cfg: &SystemConfig) -> bool {
+    cfg.n_exceeds_3t() && condition(cfg).holds(cfg.n, cfg.ell, cfg.t)
+}
+
+/// The smallest number of identifiers that makes `cfg`'s model solvable for
+/// its `n` and `t`, or `None` if no `ℓ ≤ n` suffices (or `n ≤ 3t`).
+pub fn min_solvable_ell(cfg: &SystemConfig) -> Option<usize> {
+    if !cfg.n_exceeds_3t() {
+        return None;
+    }
+    let ell = condition(cfg).min_ell(cfg.n, cfg.t);
+    (ell <= cfg.n).then_some(ell)
+}
+
+/// Whether the quorum-intersection property of Lemma 7 holds: with
+/// `2ℓ > n + 3t`, any two sets of `ℓ − t` identifiers share an identifier
+/// that belongs to exactly one process, and that process is correct.
+///
+/// This is the arithmetic core of the Figure 5 protocol's safety:
+/// `2(ℓ − t) − ℓ > n − ℓ + t`.
+pub fn lemma7_holds(n: usize, ell: usize, t: usize) -> bool {
+    ell >= t && 2 * (ell - t) >= ell && (2 * (ell - t) - ell) > (n - ell.min(n)) + t
+}
+
+/// One cell of the reproduced Table 1 grid: a configuration and whether the
+/// paper says it is solvable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridCell {
+    /// The configuration.
+    pub cfg: SystemConfig,
+    /// Whether Table 1 declares it solvable.
+    pub solvable: bool,
+    /// Whether this cell sits exactly on the boundary (solvable with the
+    /// minimum `ℓ`, or unsolvable with `ℓ` one below the minimum).
+    pub boundary: bool,
+}
+
+/// Enumerates a grid of configurations straddling the solvability boundary
+/// for the given model axes: for each `t` in `ts` and each `n`, the cells
+/// with `ℓ` ranging `lo..=hi` around the bound.
+///
+/// Used by the Table 1 experiments to pick exactly the configurations whose
+/// empirical verdict is informative.
+pub fn boundary_grid(
+    synchrony: Synchrony,
+    counting: Counting,
+    byz_power: ByzPower,
+    ts: &[usize],
+    ns_per_t: usize,
+) -> Vec<GridCell> {
+    let mut cells = Vec::new();
+    for &t in ts {
+        let n_lo = 3 * t + 1;
+        for n in n_lo..n_lo + ns_per_t {
+            let probe = SystemConfig {
+                n,
+                ell: 1,
+                t,
+                synchrony,
+                counting,
+                byz_power,
+            };
+            let min_ell = condition(&probe).min_ell(n, t);
+            let lo = min_ell.saturating_sub(2).max(1);
+            let hi = (min_ell + 1).min(n);
+            for ell in lo..=hi {
+                let cfg = SystemConfig { ell, ..probe };
+                if cfg.validate().is_err() {
+                    continue;
+                }
+                let s = solvable(&cfg);
+                let boundary = ell == min_ell || ell + 1 == min_ell;
+                cells.push(GridCell {
+                    cfg,
+                    solvable: s,
+                    boundary,
+                });
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(
+        n: usize,
+        ell: usize,
+        t: usize,
+        synchrony: Synchrony,
+        counting: Counting,
+        byz_power: ByzPower,
+    ) -> SystemConfig {
+        SystemConfig::builder(n, ell, t)
+            .synchrony(synchrony)
+            .counting(counting)
+            .byz_power(byz_power)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn synchronous_bound_is_3t() {
+        use ByzPower::*;
+        use Counting::*;
+        for t in 1..4usize {
+            let n = 4 * t + 1;
+            for (counting, byz) in [(Innumerate, Unrestricted), (Numerate, Unrestricted), (Innumerate, Restricted)] {
+                let c = cfg(n, 3 * t, t, Synchrony::Synchronous, counting, byz);
+                assert!(!solvable(&c), "ℓ = 3t must be unsolvable: {c:?}");
+                let c = cfg(n, (3 * t + 1).min(n), t, Synchrony::Synchronous, counting, byz);
+                assert!(solvable(&c), "ℓ = 3t+1 must be solvable: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partially_synchronous_bound_depends_on_n() {
+        // The paper's example: t = 1, ℓ = 4 works for n = 4 but not n = 5.
+        let base = |n| {
+            cfg(
+                n,
+                4,
+                1,
+                Synchrony::PartiallySynchronous,
+                Counting::Innumerate,
+                ByzPower::Unrestricted,
+            )
+        };
+        assert!(solvable(&base(4)));
+        assert!(!solvable(&base(5)));
+    }
+
+    #[test]
+    fn psync_bound_strictly_harder_than_sync_with_homonyms() {
+        for t in 1..4usize {
+            for n in (3 * t + 2)..(3 * t + 8) {
+                let sync_min = Condition::EllGt3T.min_ell(n, t);
+                let psync_min = Condition::TwoEllGtNPlus3T.min_ell(n, t);
+                assert!(
+                    psync_min > sync_min,
+                    "psync needs more ids whenever n > 3t+1: n={n}, t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_numerate_bound_is_t() {
+        for synchrony in [Synchrony::Synchronous, Synchrony::PartiallySynchronous] {
+            for t in 1..4usize {
+                let n = 3 * t + 1;
+                let c = cfg(n, t, t, synchrony, Counting::Numerate, ByzPower::Restricted);
+                assert!(!solvable(&c));
+                let c = cfg(n, t + 1, t, synchrony, Counting::Numerate, ByzPower::Restricted);
+                assert!(solvable(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_innumerate_matches_unrestricted() {
+        // Theorems 19 and 20: restriction does not help innumerate processes.
+        for (synchrony, want) in [
+            (Synchrony::Synchronous, Condition::EllGt3T),
+            (Synchrony::PartiallySynchronous, Condition::TwoEllGtNPlus3T),
+        ] {
+            let c = cfg(7, 5, 1, synchrony, Counting::Innumerate, ByzPower::Restricted);
+            assert_eq!(condition(&c), want);
+        }
+    }
+
+    #[test]
+    fn n_at_most_3t_is_never_solvable() {
+        let c = cfg(3, 3, 1, Synchrony::Synchronous, Counting::Numerate, ByzPower::Unrestricted);
+        assert!(!solvable(&c));
+        assert_eq!(min_solvable_ell(&c), None);
+    }
+
+    #[test]
+    fn min_solvable_ell_matches_predicate() {
+        for t in 1..3usize {
+            for n in (3 * t + 1)..(3 * t + 6) {
+                for synchrony in [Synchrony::Synchronous, Synchrony::PartiallySynchronous] {
+                    let probe = SystemConfig::builder(n, 1, t)
+                        .synchrony(synchrony)
+                        .build()
+                        .unwrap();
+                    if let Some(min) = min_solvable_ell(&probe) {
+                        let at = SystemConfig { ell: min, ..probe };
+                        assert!(solvable(&at));
+                        if min > 1 {
+                            let below = SystemConfig { ell: min - 1, ..probe };
+                            assert!(!solvable(&below));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma7_iff_psync_condition() {
+        // Lemma 7's arithmetic is exactly the 2ℓ > n + 3t condition.
+        for t in 0..4usize {
+            for n in (3 * t + 1)..(3 * t + 10) {
+                for ell in t.max(1)..=n {
+                    let cond = Condition::TwoEllGtNPlus3T.holds(n, ell, t);
+                    assert_eq!(
+                        lemma7_holds(n, ell, t),
+                        cond,
+                        "n={n} ell={ell} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_grid_straddles_the_bound() {
+        let cells = boundary_grid(
+            Synchrony::Synchronous,
+            Counting::Innumerate,
+            ByzPower::Unrestricted,
+            &[1, 2],
+            3,
+        );
+        assert!(!cells.is_empty());
+        assert!(cells.iter().any(|c| c.solvable));
+        assert!(cells.iter().any(|c| !c.solvable));
+        for c in &cells {
+            assert_eq!(c.solvable, solvable(&c.cfg));
+            assert!(c.cfg.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! System parameters: `(n, ℓ, t)` and the three model axes of the paper.
+
+use crate::error::ConfigError;
+
+/// The synchrony model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Synchrony {
+    /// Lock-step rounds; every message sent is delivered in its round.
+    Synchronous,
+    /// The *basic partially synchronous* model of Dwork, Lynch and
+    /// Stockmeyer: computation still proceeds in rounds, but in each
+    /// execution a finite (though unbounded) number of messages may fail to
+    /// be delivered. Operationally: there is an unknown global stabilization
+    /// round after which every message is delivered.
+    PartiallySynchronous,
+}
+
+/// Whether processes can count copies of identical messages in a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counting {
+    /// Messages received in a round form a **multiset**: a process can count
+    /// copies of identical messages.
+    Numerate,
+    /// Messages received in a round form a **set**: identical copies
+    /// collapse, so counting is impossible.
+    Innumerate,
+}
+
+/// How many messages a Byzantine process may send to a single recipient in
+/// one round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ByzPower {
+    /// A Byzantine process may send arbitrarily many messages per recipient
+    /// per round — in particular it can impersonate a whole stack of
+    /// homonyms by itself (used by the Figure 1 and Figure 4 lower bounds).
+    Unrestricted,
+    /// A Byzantine process sends at most one message per recipient per
+    /// round, like a correct process. The paper shows this weakening drops
+    /// the identifier requirement to `ℓ > t` for numerate processes.
+    Restricted,
+}
+
+/// Full system parameters: `n` processes, `ℓ` identifiers, at most `t`
+/// Byzantine processes, plus the model axes.
+///
+/// `SystemConfig` is a passive parameter record (all fields public); use
+/// [`SystemConfig::builder`] for validated construction and
+/// [`SystemConfig::validate`] after mutating fields.
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::{SystemConfig, Synchrony, Counting, ByzPower};
+///
+/// let cfg = SystemConfig::builder(7, 5, 1)
+///     .synchrony(Synchrony::PartiallySynchronous)
+///     .counting(Counting::Innumerate)
+///     .byz_power(ByzPower::Unrestricted)
+///     .build()?;
+/// assert_eq!(cfg.quorum(), 4); // ℓ - t identifiers
+/// # Ok::<(), homonym_core::ConfigError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SystemConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// Number of identifiers actually assigned, `1 ≤ ℓ ≤ n`.
+    pub ell: usize,
+    /// Maximum number of Byzantine processes.
+    pub t: usize,
+    /// Synchrony model.
+    pub synchrony: Synchrony,
+    /// Numerate or innumerate reception.
+    pub counting: Counting,
+    /// Byzantine sending power.
+    pub byz_power: ByzPower,
+}
+
+impl SystemConfig {
+    /// Starts building a configuration for `n` processes, `ell` identifiers
+    /// and fault bound `t`. Defaults: synchronous, innumerate, unrestricted
+    /// (the paper's base model).
+    pub fn builder(n: usize, ell: usize, t: usize) -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig {
+                n,
+                ell,
+                t,
+                synchrony: Synchrony::Synchronous,
+                counting: Counting::Innumerate,
+                byz_power: ByzPower::Unrestricted,
+            },
+        }
+    }
+
+    /// Checks the structural constraints `n ≥ 2`, `1 ≤ ℓ ≤ n`, `t < n`.
+    ///
+    /// Note that this does **not** check `n > 3t` — that is a *solvability*
+    /// condition, not a model constraint, and lower-bound experiments
+    /// deliberately configure unsolvable systems. Use
+    /// [`bounds::solvable`](crate::bounds::solvable) for solvability.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n < 2 {
+            return Err(ConfigError::TooFewProcesses { n: self.n });
+        }
+        if self.ell == 0 || self.ell > self.n {
+            return Err(ConfigError::BadEll { ell: self.ell, n: self.n });
+        }
+        if self.t >= self.n {
+            return Err(ConfigError::TooManyFaults { t: self.t, n: self.n });
+        }
+        Ok(())
+    }
+
+    /// The identifier quorum `ℓ − t` used throughout the Figure 5 protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > ℓ` (such configurations never pass solvability checks).
+    pub fn quorum(&self) -> usize {
+        self.ell
+            .checked_sub(self.t)
+            .expect("quorum requires t <= ell")
+    }
+
+    /// The echo-join threshold `ℓ − 2t` of the authenticated broadcast
+    /// (Proposition 6). Saturates at zero for out-of-range configurations so
+    /// lower-bound experiments can still instantiate the protocol.
+    pub fn echo_join(&self) -> usize {
+        self.ell.saturating_sub(2 * self.t)
+    }
+
+    /// `n − t`, the process-count quorum of the Figure 6/7 protocols.
+    pub fn n_minus_t(&self) -> usize {
+        self.n.checked_sub(self.t).expect("t < n is validated")
+    }
+
+    /// `n − 2t`, the echo-join threshold of the Figure 6 broadcast.
+    /// Saturates at zero.
+    pub fn n_minus_2t(&self) -> usize {
+        self.n.saturating_sub(2 * self.t)
+    }
+
+    /// Whether `n > 3t`, the baseline requirement for Byzantine agreement
+    /// even with unique identifiers.
+    pub fn n_exceeds_3t(&self) -> bool {
+        self.n > 3 * self.t
+    }
+}
+
+/// Builder for [`SystemConfig`]; see [`SystemConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Sets the synchrony model.
+    pub fn synchrony(mut self, synchrony: Synchrony) -> Self {
+        self.cfg.synchrony = synchrony;
+        self
+    }
+
+    /// Sets numerate or innumerate reception.
+    pub fn counting(mut self, counting: Counting) -> Self {
+        self.cfg.counting = counting;
+        self
+    }
+
+    /// Sets the Byzantine sending power.
+    pub fn byz_power(mut self, byz_power: ByzPower) -> Self {
+        self.cfg.byz_power = byz_power;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural constraint.
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_base_model() {
+        let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+        assert_eq!(cfg.synchrony, Synchrony::Synchronous);
+        assert_eq!(cfg.counting, Counting::Innumerate);
+        assert_eq!(cfg.byz_power, ByzPower::Unrestricted);
+    }
+
+    #[test]
+    fn validation_catches_each_constraint() {
+        assert!(matches!(
+            SystemConfig::builder(1, 1, 0).build(),
+            Err(ConfigError::TooFewProcesses { .. })
+        ));
+        assert!(matches!(
+            SystemConfig::builder(3, 0, 1).build(),
+            Err(ConfigError::BadEll { .. })
+        ));
+        assert!(matches!(
+            SystemConfig::builder(3, 4, 1).build(),
+            Err(ConfigError::BadEll { .. })
+        ));
+        assert!(matches!(
+            SystemConfig::builder(3, 3, 3).build(),
+            Err(ConfigError::TooManyFaults { .. })
+        ));
+    }
+
+    #[test]
+    fn unsolvable_systems_are_still_valid_models() {
+        // ℓ = 3t is unsolvable but must be constructible for lower-bound
+        // experiments.
+        let cfg = SystemConfig::builder(4, 3, 1).build().unwrap();
+        assert!(cfg.n_exceeds_3t());
+        assert_eq!(cfg.quorum(), 2);
+    }
+
+    #[test]
+    fn thresholds() {
+        let cfg = SystemConfig::builder(7, 6, 1).build().unwrap();
+        assert_eq!(cfg.quorum(), 5);
+        assert_eq!(cfg.echo_join(), 4);
+        assert_eq!(cfg.n_minus_t(), 6);
+        assert_eq!(cfg.n_minus_2t(), 5);
+    }
+
+    #[test]
+    fn echo_join_saturates() {
+        let cfg = SystemConfig::builder(4, 1, 1).build().unwrap();
+        assert_eq!(cfg.echo_join(), 0);
+        assert_eq!(cfg.n_minus_2t(), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error types for configuration and assignment validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::id::Id;
+
+/// An invalid [`SystemConfig`](crate::SystemConfig).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Fewer than two processes.
+    TooFewProcesses {
+        /// The offending process count.
+        n: usize,
+    },
+    /// `ℓ` must satisfy `1 ≤ ℓ ≤ n`.
+    BadEll {
+        /// The offending identifier count.
+        ell: usize,
+        /// The process count.
+        n: usize,
+    },
+    /// `t` must satisfy `t < n`.
+    TooManyFaults {
+        /// The offending fault bound.
+        t: usize,
+        /// The process count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewProcesses { n } => {
+                write!(f, "system needs at least 2 processes, got n = {n}")
+            }
+            ConfigError::BadEll { ell, n } => {
+                write!(f, "identifier count must satisfy 1 <= ell <= n, got ell = {ell}, n = {n}")
+            }
+            ConfigError::TooManyFaults { t, n } => {
+                write!(f, "fault bound must satisfy t < n, got t = {t}, n = {n}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// An invalid [`IdAssignment`](crate::IdAssignment).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AssignmentError {
+    /// No processes at all.
+    Empty,
+    /// `ℓ` must satisfy `1 ≤ ℓ ≤ n`.
+    BadEll {
+        /// The offending identifier count.
+        ell: usize,
+        /// The process count.
+        n: usize,
+    },
+    /// A process was assigned an identifier outside `1..=ℓ`.
+    IdOutOfRange {
+        /// The offending identifier.
+        id: Id,
+        /// The identifier count.
+        ell: usize,
+    },
+    /// Some identifier in `1..=ℓ` has no holder; the paper requires every
+    /// identifier to be assigned to at least one process.
+    UnassignedId {
+        /// The identifier with no holder.
+        id: Id,
+    },
+}
+
+impl fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignmentError::Empty => write!(f, "assignment must cover at least one process"),
+            AssignmentError::BadEll { ell, n } => {
+                write!(f, "identifier count must satisfy 1 <= ell <= n, got ell = {ell}, n = {n}")
+            }
+            AssignmentError::IdOutOfRange { id, ell } => {
+                write!(f, "identifier {id} out of range 1..={ell}")
+            }
+            AssignmentError::UnassignedId { id } => {
+                write!(f, "identifier {id} is not assigned to any process")
+            }
+        }
+    }
+}
+
+impl Error for AssignmentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<Box<dyn Error>> = vec![
+            Box::new(ConfigError::TooFewProcesses { n: 1 }),
+            Box::new(ConfigError::BadEll { ell: 0, n: 3 }),
+            Box::new(ConfigError::TooManyFaults { t: 3, n: 3 }),
+            Box::new(AssignmentError::Empty),
+            Box::new(AssignmentError::UnassignedId { id: Id::new(2) }),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

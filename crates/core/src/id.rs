@@ -1,0 +1,461 @@
+//! Identifiers, process names, and identifier assignments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::AssignmentError;
+
+/// An authenticated identifier, `1..=ℓ`, exactly as in the paper.
+///
+/// Identifiers are the *only* names protocols may use. Several processes may
+/// hold the same identifier (homonyms). Messages are authenticated with the
+/// sender's identifier: a receiver knows the identifier but not which holder
+/// of it sent the message.
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::Id;
+/// let leader = Id::new(3);
+/// assert_eq!(leader.get(), 3);
+/// assert_eq!(leader.index(), 2); // zero-based position
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Id(u16);
+
+impl Id {
+    /// Creates the identifier with 1-based value `raw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw == 0`; the paper numbers identifiers from 1.
+    pub fn new(raw: u16) -> Self {
+        assert!(raw >= 1, "identifiers are numbered from 1");
+        Id(raw)
+    }
+
+    /// Creates the identifier at zero-based position `index` (so `Id::from_index(0) == Id::new(1)`).
+    pub fn from_index(index: usize) -> Self {
+        Id(u16::try_from(index + 1).expect("identifier index out of range"))
+    }
+
+    /// The 1-based value of this identifier.
+    pub fn get(self) -> u16 {
+        self.0
+    }
+
+    /// The zero-based position of this identifier (`get() - 1`).
+    pub fn index(self) -> usize {
+        usize::from(self.0) - 1
+    }
+
+    /// The identifier of the leaders of phase `ph` among `ell` identifiers:
+    /// `(ph mod ℓ) + 1`, as on line 10 of Figure 5.
+    pub fn phase_leader(ph: u64, ell: usize) -> Self {
+        Id::from_index((ph % ell as u64) as usize)
+    }
+
+    /// Iterates over all `ell` identifiers, `1..=ell`.
+    pub fn all(ell: usize) -> impl DoubleEndedIterator<Item = Id> + Clone {
+        (0..ell).map(Id::from_index)
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Id({})", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A *process name*: the zero-based index of a process in the execution
+/// environment.
+///
+/// The paper is explicit that such names exist only in proofs: "these names
+/// cannot be used by the processes themselves in their algorithms". In this
+/// workspace, `Pid` appears exclusively in the simulator, the adversary
+/// interfaces, and the property checkers — never in a [`Protocol`]
+/// implementation.
+///
+/// [`Protocol`]: crate::Protocol
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// Creates the process name with index `index`.
+    pub fn new(index: usize) -> Self {
+        Pid(u32::try_from(index).expect("process index out of range"))
+    }
+
+    /// The zero-based index of this process.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the names of all `n` processes.
+    pub fn all(n: usize) -> impl DoubleEndedIterator<Item = Pid> + Clone {
+        (0..n).map(Pid::new)
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pid({})", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An assignment of the `ℓ` identifiers to the `n` processes.
+///
+/// Every identifier must be held by at least one process (the paper requires
+/// each identifier to be assigned), and identifiers are `1..=ℓ`.
+///
+/// The agreement problem must be solved *regardless of how the `n` processes
+/// are assigned the `ℓ` identifiers*, so test harnesses quantify over several
+/// assignments; the constructors here include the adversarial packings used
+/// in the paper's proofs.
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::{Id, IdAssignment};
+///
+/// // 5 processes, 3 identifiers, worst-case packing: identifier 1 is held
+/// // by the n - ℓ + 1 = 3 surplus processes.
+/// let a = IdAssignment::stacked(3, 5).unwrap();
+/// assert_eq!(a.group(Id::new(1)).len(), 3);
+/// assert_eq!(a.group(Id::new(2)).len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IdAssignment {
+    ids: Vec<Id>,
+    ell: usize,
+}
+
+impl IdAssignment {
+    /// Creates an assignment from the identifier of each process.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ids` is empty, any identifier is out of
+    /// `1..=ell`, or some identifier in `1..=ell` has no holder.
+    pub fn new(ell: usize, ids: Vec<Id>) -> Result<Self, AssignmentError> {
+        if ids.is_empty() {
+            return Err(AssignmentError::Empty);
+        }
+        if ell == 0 || ell > ids.len() {
+            return Err(AssignmentError::BadEll { ell, n: ids.len() });
+        }
+        let mut seen = vec![false; ell];
+        for &id in &ids {
+            if id.index() >= ell {
+                return Err(AssignmentError::IdOutOfRange { id, ell });
+            }
+            seen[id.index()] = true;
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(AssignmentError::UnassignedId {
+                id: Id::from_index(missing),
+            });
+        }
+        Ok(IdAssignment { ids, ell })
+    }
+
+    /// The classical assignment: `ℓ = n`, process `i` holds identifier `i+1`.
+    pub fn unique(n: usize) -> Self {
+        IdAssignment {
+            ids: (0..n).map(Id::from_index).collect(),
+            ell: n,
+        }
+    }
+
+    /// The fully anonymous assignment: `ℓ = 1`, everyone holds identifier 1.
+    pub fn anonymous(n: usize) -> Self {
+        IdAssignment {
+            ids: vec![Id::new(1); n],
+            ell: 1,
+        }
+    }
+
+    /// The paper's worst-case packing: identifier 1 is held by the
+    /// `n − ℓ + 1` surplus processes and identifiers `2..=ℓ` by one process
+    /// each (the "stack" used in the Figure 1 and Figure 4 constructions).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ell` is 0 or exceeds `n`.
+    pub fn stacked(ell: usize, n: usize) -> Result<Self, AssignmentError> {
+        if ell == 0 || ell > n {
+            return Err(AssignmentError::BadEll { ell, n });
+        }
+        let stack = n - ell + 1;
+        let mut ids = vec![Id::new(1); stack];
+        ids.extend((1..ell).map(Id::from_index));
+        Ok(IdAssignment { ids, ell })
+    }
+
+    /// A balanced assignment: identifiers dealt round-robin, so group sizes
+    /// differ by at most one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ell` is 0 or exceeds `n`.
+    pub fn round_robin(ell: usize, n: usize) -> Result<Self, AssignmentError> {
+        if ell == 0 || ell > n {
+            return Err(AssignmentError::BadEll { ell, n });
+        }
+        Ok(IdAssignment {
+            ids: (0..n).map(|i| Id::from_index(i % ell)).collect(),
+            ell,
+        })
+    }
+
+    /// Every surjective assignment of `ell` identifiers to `n` processes,
+    /// in lexicographic order — `ℓ! · S(n, ℓ)`-ish many, so keep `n`
+    /// small.
+    ///
+    /// The paper's solvability statements quantify over *every* way the
+    /// `n` processes may be assigned the `ℓ` identifiers; the
+    /// `assignment_sweep` tests use this to close that quantifier
+    /// exhaustively at small scale rather than sampling shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell == 0`, `ell > n`, or the enumeration would exceed
+    /// a million assignments (`ellⁿ` grows fast).
+    pub fn enumerate_all(ell: usize, n: usize) -> Vec<IdAssignment> {
+        assert!(ell >= 1 && ell <= n, "need 1 <= ell <= n");
+        assert!(
+            (ell as u128).pow(n as u32) <= 1_000_000,
+            "enumeration too large: {ell}^{n}"
+        );
+        let mut out = Vec::new();
+        let mut ids = vec![Id::new(1); n];
+        loop {
+            if let Ok(assignment) = IdAssignment::new(ell, ids.clone()) {
+                out.push(assignment);
+            }
+            // Increment the base-ℓ counter.
+            let mut k = n;
+            loop {
+                if k == 0 {
+                    return out;
+                }
+                k -= 1;
+                if ids[k].index() + 1 < ell {
+                    ids[k] = Id::from_index(ids[k].index() + 1);
+                    for slot in ids.iter_mut().skip(k + 1) {
+                        *slot = Id::new(1);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The number of processes, `n`.
+    pub fn n(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The number of identifiers, `ℓ`.
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// The identifier held by process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn id_of(&self, pid: Pid) -> Id {
+        self.ids[pid.index()]
+    }
+
+    /// The *group* `G(i)`: all processes holding identifier `id`, in
+    /// ascending process order.
+    pub fn group(&self, id: Id) -> Vec<Pid> {
+        self.ids
+            .iter()
+            .enumerate()
+            .filter(|(_, &i)| i == id)
+            .map(|(p, _)| Pid::new(p))
+            .collect()
+    }
+
+    /// The size of each identifier's group, keyed by identifier.
+    pub fn group_sizes(&self) -> BTreeMap<Id, usize> {
+        let mut sizes: BTreeMap<Id, usize> = Id::all(self.ell).map(|i| (i, 0)).collect();
+        for &id in &self.ids {
+            *sizes.get_mut(&id).expect("validated id") += 1;
+        }
+        sizes
+    }
+
+    /// The identifiers held by exactly one process (non-homonyms).
+    pub fn sole_identifiers(&self) -> Vec<Id> {
+        self.group_sizes()
+            .into_iter()
+            .filter(|&(_, c)| c == 1)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Iterates over `(Pid, Id)` pairs in process order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pid, Id)> + '_ {
+        self.ids.iter().enumerate().map(|(p, &i)| (Pid::new(p), i))
+    }
+
+    /// A borrowed view of the per-process identifiers.
+    pub fn as_slice(&self) -> &[Id] {
+        &self.ids
+    }
+}
+
+impl fmt::Debug for IdAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IdAssignment")
+            .field("ell", &self.ell)
+            .field("ids", &self.ids)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_all_counts_surjections() {
+        // Surjections from 4 processes onto 2 identifiers: 2⁴ − 2 = 14.
+        let all = IdAssignment::enumerate_all(2, 4);
+        assert_eq!(all.len(), 14);
+        // All distinct, all valid.
+        let distinct: std::collections::BTreeSet<Vec<Id>> =
+            all.iter().map(|a| a.as_slice().to_vec()).collect();
+        assert_eq!(distinct.len(), 14);
+        for a in &all {
+            assert_eq!(a.n(), 4);
+            assert_eq!(a.ell(), 2);
+            assert_eq!(a.group_sizes().len(), 2);
+        }
+    }
+
+    #[test]
+    fn enumerate_all_degenerate_cases() {
+        // ℓ = 1: exactly the anonymous assignment.
+        let all = IdAssignment::enumerate_all(1, 3);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].as_slice(), IdAssignment::anonymous(3).as_slice());
+        // ℓ = n: the n! permutations.
+        assert_eq!(IdAssignment::enumerate_all(3, 3).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn enumerate_all_rejects_explosions() {
+        let _ = IdAssignment::enumerate_all(10, 10);
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        for raw in 1u16..=20 {
+            let id = Id::new(raw);
+            assert_eq!(id.get(), raw);
+            assert_eq!(Id::from_index(id.index()), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn id_zero_rejected() {
+        let _ = Id::new(0);
+    }
+
+    #[test]
+    fn phase_leader_rotates_through_all_ids() {
+        let ell = 5;
+        let leaders: Vec<Id> = (0..ell as u64).map(|ph| Id::phase_leader(ph, ell)).collect();
+        assert_eq!(leaders, Id::all(ell).collect::<Vec<_>>());
+        // And wraps around.
+        assert_eq!(Id::phase_leader(ell as u64, ell), Id::new(1));
+    }
+
+    #[test]
+    fn unique_assignment() {
+        let a = IdAssignment::unique(4);
+        assert_eq!(a.n(), 4);
+        assert_eq!(a.ell(), 4);
+        for (p, i) in a.iter() {
+            assert_eq!(p.index() + 1, usize::from(i.get()));
+            assert_eq!(a.group(i), vec![p]);
+        }
+        assert_eq!(a.sole_identifiers().len(), 4);
+    }
+
+    #[test]
+    fn anonymous_assignment() {
+        let a = IdAssignment::anonymous(6);
+        assert_eq!(a.ell(), 1);
+        assert_eq!(a.group(Id::new(1)).len(), 6);
+        assert!(a.sole_identifiers().is_empty());
+    }
+
+    #[test]
+    fn stacked_assignment_shape() {
+        let a = IdAssignment::stacked(4, 9).unwrap();
+        assert_eq!(a.group(Id::new(1)).len(), 6); // n - ℓ + 1
+        for i in 2..=4 {
+            assert_eq!(a.group(Id::new(i)).len(), 1);
+        }
+        assert_eq!(a.sole_identifiers(), vec![Id::new(2), Id::new(3), Id::new(4)]);
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let a = IdAssignment::round_robin(3, 8).unwrap();
+        let sizes: Vec<usize> = a.group_sizes().values().copied().collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 8);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn new_rejects_unassigned_identifier() {
+        let err = IdAssignment::new(3, vec![Id::new(1), Id::new(1), Id::new(2)]).unwrap_err();
+        assert!(matches!(err, AssignmentError::UnassignedId { id } if id == Id::new(3)));
+    }
+
+    #[test]
+    fn new_rejects_out_of_range_identifier() {
+        let err = IdAssignment::new(2, vec![Id::new(1), Id::new(3)]).unwrap_err();
+        assert!(matches!(err, AssignmentError::IdOutOfRange { .. }));
+    }
+
+    #[test]
+    fn new_rejects_ell_larger_than_n() {
+        assert!(matches!(
+            IdAssignment::new(5, vec![Id::new(1)]),
+            Err(AssignmentError::BadEll { .. })
+        ));
+        assert!(matches!(
+            IdAssignment::stacked(6, 5),
+            Err(AssignmentError::BadEll { .. })
+        ));
+    }
+
+    #[test]
+    fn group_sizes_sum_to_n() {
+        let a = IdAssignment::stacked(3, 7).unwrap();
+        assert_eq!(a.group_sizes().values().sum::<usize>(), 7);
+    }
+}

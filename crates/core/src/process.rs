@@ -1,0 +1,249 @@
+//! The deterministic round-automaton interface implemented by every
+//! algorithm in this workspace, plus round arithmetic.
+
+use std::fmt;
+
+use crate::id::Id;
+use crate::message::{Inbox, Message, Recipients};
+use crate::value::Value;
+
+/// A round number, starting at 0.
+///
+/// The paper's algorithms are phrased over *rounds* (send, then receive),
+/// *superrounds* (two consecutive rounds, used by the authenticated
+/// broadcasts), and *phases* (a fixed number of superrounds, used by the
+/// agreement protocols). `Round` provides the conversions.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Round(u64);
+
+impl Round {
+    /// The first round.
+    pub const ZERO: Round = Round(0);
+
+    /// Creates a round from its index.
+    pub fn new(index: u64) -> Self {
+        Round(index)
+    }
+
+    /// The index of this round.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The superround containing this round (superround `r` consists of
+    /// rounds `2r` and `2r + 1`).
+    pub fn superround(self) -> Superround {
+        Superround(self.0 / 2)
+    }
+
+    /// Whether this is the first round of its superround.
+    pub fn is_first_of_superround(self) -> bool {
+        self.0 % 2 == 0
+    }
+
+    /// The next round.
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Round({})", self.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A superround number (two consecutive rounds), starting at 0.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Superround(u64);
+
+impl Superround {
+    /// Creates a superround from its index.
+    pub fn new(index: u64) -> Self {
+        Superround(index)
+    }
+
+    /// The index of this superround.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first of the two rounds of this superround.
+    pub fn first_round(self) -> Round {
+        Round(self.0 * 2)
+    }
+
+    /// The second of the two rounds of this superround.
+    pub fn second_round(self) -> Round {
+        Round(self.0 * 2 + 1)
+    }
+
+    /// The phase containing this superround, with `per_phase` superrounds
+    /// per phase (4 for the Figure 5 and Figure 7 protocols).
+    pub fn phase(self, per_phase: u64) -> u64 {
+        self.0 / per_phase
+    }
+}
+
+impl fmt::Debug for Superround {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Superround({})", self.0)
+    }
+}
+
+impl fmt::Display for Superround {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sr{}", self.0)
+    }
+}
+
+/// A deterministic round automaton: the interface every protocol implements.
+///
+/// The contract per round `r` (matching the paper's "send, then receive"
+/// round structure):
+///
+/// 1. the environment calls [`send`](Protocol::send) and collects the
+///    outgoing messages (each addressed to all processes or to all holders
+///    of one identifier — never to an individual process);
+/// 2. the environment delivers an [`Inbox`] via
+///    [`receive`](Protocol::receive);
+/// 3. the environment reads [`decision`](Protocol::decision).
+///
+/// A correct process may send at most one message to each recipient per
+/// round, so the messages returned by `send` must have non-overlapping
+/// recipient sets (at most one `Recipients::All`, or group messages to
+/// distinct identifiers). The simulator enforces this.
+///
+/// Implementations must be deterministic: identical states and inboxes must
+/// produce identical behaviour. All state iteration should use ordered
+/// collections (`BTreeMap`/`BTreeSet`).
+pub trait Protocol {
+    /// The wire message type.
+    type Msg: Message;
+    /// The agreement value type.
+    type Value: Value;
+
+    /// The identifier this process was assigned. Constant over the run.
+    fn id(&self) -> Id;
+
+    /// Produces this round's outgoing messages.
+    fn send(&mut self, round: Round) -> Vec<(Recipients, Self::Msg)>;
+
+    /// Consumes this round's received messages.
+    fn receive(&mut self, round: Round, inbox: &Inbox<Self::Msg>);
+
+    /// The decision, if this process has decided. Must never change once
+    /// `Some` (decisions are irrevocable); processes keep participating
+    /// after deciding.
+    fn decision(&self) -> Option<Self::Value>;
+}
+
+/// Creates protocol instances for the correct processes of a run (and for
+/// adversary strategies that internally simulate correct behaviour).
+///
+/// A factory captures everything common to the run — the system
+/// configuration, the value domain — while `spawn` supplies the per-process
+/// identifier and input.
+pub trait ProtocolFactory {
+    /// The protocol this factory builds.
+    type P: Protocol;
+
+    /// Creates the automaton for a process holding `id` that proposes
+    /// `input`.
+    fn spawn(&self, id: Id, input: <Self::P as Protocol>::Value) -> Self::P;
+}
+
+/// A [`ProtocolFactory`] backed by a closure.
+///
+/// # Example
+///
+/// ```no_run
+/// use homonym_core::{FnFactory, Id, ProtocolFactory};
+/// # use homonym_core::{Inbox, Protocol, Recipients, Round};
+/// # #[derive(Debug)] struct Echo { id: Id }
+/// # impl Protocol for Echo {
+/// #     type Msg = u8; type Value = bool;
+/// #     fn id(&self) -> Id { self.id }
+/// #     fn send(&mut self, _: Round) -> Vec<(Recipients, u8)> { vec![] }
+/// #     fn receive(&mut self, _: Round, _: &Inbox<u8>) {}
+/// #     fn decision(&self) -> Option<bool> { None }
+/// # }
+/// let factory = FnFactory::new(|id: Id, _input: bool| Echo { id });
+/// let p = factory.spawn(Id::new(1), true);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FnFactory<P, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P, F> FnFactory<P, F>
+where
+    P: Protocol,
+    F: Fn(Id, P::Value) -> P,
+{
+    /// Wraps a `Fn(Id, Value) -> P` closure as a factory.
+    pub fn new(f: F) -> Self {
+        FnFactory {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<P, F> ProtocolFactory for FnFactory<P, F>
+where
+    P: Protocol,
+    F: Fn(Id, P::Value) -> P,
+{
+    type P = P;
+
+    fn spawn(&self, id: Id, input: P::Value) -> P {
+        (self.f)(id, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_superround_mapping() {
+        assert_eq!(Round::new(0).superround(), Superround::new(0));
+        assert_eq!(Round::new(1).superround(), Superround::new(0));
+        assert_eq!(Round::new(2).superround(), Superround::new(1));
+        assert!(Round::new(4).is_first_of_superround());
+        assert!(!Round::new(5).is_first_of_superround());
+    }
+
+    #[test]
+    fn superround_round_mapping() {
+        let sr = Superround::new(3);
+        assert_eq!(sr.first_round(), Round::new(6));
+        assert_eq!(sr.second_round(), Round::new(7));
+        assert_eq!(sr.first_round().superround(), sr);
+        assert_eq!(sr.second_round().superround(), sr);
+    }
+
+    #[test]
+    fn phase_arithmetic() {
+        // Figure 5: four superrounds per phase.
+        assert_eq!(Superround::new(0).phase(4), 0);
+        assert_eq!(Superround::new(3).phase(4), 0);
+        assert_eq!(Superround::new(4).phase(4), 1);
+        assert_eq!(Round::new(8).superround().phase(4), 1);
+    }
+
+    #[test]
+    fn round_ordering_and_next() {
+        let r = Round::ZERO;
+        assert!(r < r.next());
+        assert_eq!(r.next().index(), 1);
+    }
+}

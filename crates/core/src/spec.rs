@@ -1,0 +1,352 @@
+//! The Byzantine agreement problem specification and trace-level checkers.
+//!
+//! Byzantine agreement (Section 2 of the paper) is defined by three
+//! properties over the *correct* processes:
+//!
+//! 1. **Validity** — if all correct processes propose the same value `v`,
+//!    no correct process decides a value other than `v`;
+//! 2. **Agreement** — no two correct processes decide differently;
+//! 3. **Termination** — every correct process eventually decides.
+//!
+//! [`check`] evaluates all three over an [`Outcome`] (the observable result
+//! of one execution) and produces a structured [`Verdict`] so experiments
+//! can assert not just *that* something broke, but *which* property and
+//! *where* — the impossibility scenarios rely on this.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::id::Pid;
+use crate::process::Round;
+use crate::value::Value;
+
+/// The observable result of one execution, from the checker's perspective.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcome<V> {
+    /// The proposal of each *correct* process.
+    pub inputs: BTreeMap<Pid, V>,
+    /// The decision (if any) of each correct process, with the round in
+    /// which it first decided.
+    pub decisions: BTreeMap<Pid, (V, Round)>,
+    /// The horizon up to which the execution was observed.
+    pub horizon: Round,
+}
+
+impl<V: Value> Outcome<V> {
+    /// The correct processes that never decided within the horizon.
+    pub fn undecided(&self) -> Vec<Pid> {
+        self.inputs
+            .keys()
+            .filter(|p| !self.decisions.contains_key(p))
+            .copied()
+            .collect()
+    }
+
+    /// The latest round in which any correct process decided, if any did.
+    pub fn last_decision_round(&self) -> Option<Round> {
+        self.decisions.values().map(|&(_, r)| r).max()
+    }
+}
+
+/// Why a property failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation<V> {
+    /// All correct processes proposed `proposed`, yet `who` decided
+    /// `decided`.
+    Validity {
+        /// The common proposal of all correct processes.
+        proposed: V,
+        /// The offending decision.
+        decided: V,
+        /// The process that decided it.
+        who: Pid,
+    },
+    /// Two correct processes decided different values.
+    Agreement {
+        /// One process and its decision.
+        a: (Pid, V),
+        /// Another process and its conflicting decision.
+        b: (Pid, V),
+    },
+    /// Some correct processes never decided within the horizon.
+    Termination {
+        /// The processes that never decided.
+        undecided: Vec<Pid>,
+        /// The observation horizon.
+        horizon: Round,
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for Violation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Validity { proposed, decided, who } => write!(
+                f,
+                "validity violated: all correct processes proposed {proposed:?} but {who} decided {decided:?}"
+            ),
+            Violation::Agreement { a, b } => write!(
+                f,
+                "agreement violated: {} decided {:?} but {} decided {:?}",
+                a.0, a.1, b.0, b.1
+            ),
+            Violation::Termination { undecided, horizon } => write!(
+                f,
+                "termination violated: {} correct process(es) undecided after {horizon}",
+                undecided.len()
+            ),
+        }
+    }
+}
+
+/// The result of checking one property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropertyResult<V> {
+    /// The property holds in this execution.
+    Holds,
+    /// The property is violated, with a witness.
+    Violated(Violation<V>),
+}
+
+impl<V> PropertyResult<V> {
+    /// Whether the property holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, PropertyResult::Holds)
+    }
+}
+
+/// The verdict of one execution against the Byzantine agreement spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Verdict<V> {
+    /// Validity result.
+    pub validity: PropertyResult<V>,
+    /// Agreement result.
+    pub agreement: PropertyResult<V>,
+    /// Termination result (within the observation horizon).
+    pub termination: PropertyResult<V>,
+}
+
+impl<V: Value> Verdict<V> {
+    /// Whether all three properties hold.
+    pub fn all_hold(&self) -> bool {
+        self.validity.holds() && self.agreement.holds() && self.termination.holds()
+    }
+
+    /// Whether the *safety* properties (validity and agreement) hold,
+    /// regardless of termination. Lower-bound experiments distinguish
+    /// algorithms that stall from algorithms that err.
+    pub fn safe(&self) -> bool {
+        self.validity.holds() && self.agreement.holds()
+    }
+
+    /// The violations, in (validity, agreement, termination) order.
+    pub fn violations(&self) -> Vec<&Violation<V>> {
+        [&self.validity, &self.agreement, &self.termination]
+            .into_iter()
+            .filter_map(|p| match p {
+                PropertyResult::Holds => None,
+                PropertyResult::Violated(v) => Some(v),
+            })
+            .collect()
+    }
+}
+
+impl<V: Value> fmt::Display for Verdict<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.all_hold() {
+            return write!(f, "validity ok, agreement ok, termination ok");
+        }
+        let mut first = true;
+        for (name, p) in [
+            ("validity", &self.validity),
+            ("agreement", &self.agreement),
+            ("termination", &self.termination),
+        ] {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            match p {
+                PropertyResult::Holds => write!(f, "{name} ok")?,
+                PropertyResult::Violated(v) => write!(f, "{v}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks validity, agreement, and termination of an outcome.
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::{Pid, Round};
+/// use homonym_core::spec::{check, Outcome};
+/// use std::collections::BTreeMap;
+///
+/// let outcome = Outcome {
+///     inputs: BTreeMap::from([(Pid::new(0), true), (Pid::new(1), true)]),
+///     decisions: BTreeMap::from([
+///         (Pid::new(0), (true, Round::new(3))),
+///         (Pid::new(1), (true, Round::new(4))),
+///     ]),
+///     horizon: Round::new(10),
+/// };
+/// assert!(check(&outcome).all_hold());
+/// ```
+pub fn check<V: Value>(outcome: &Outcome<V>) -> Verdict<V> {
+    Verdict {
+        validity: check_validity(outcome),
+        agreement: check_agreement(outcome),
+        termination: check_termination(outcome),
+    }
+}
+
+/// Checks only validity: meaningful whenever all correct inputs coincide.
+pub fn check_validity<V: Value>(outcome: &Outcome<V>) -> PropertyResult<V> {
+    let mut inputs = outcome.inputs.values();
+    let Some(first) = inputs.next() else {
+        return PropertyResult::Holds;
+    };
+    if !inputs.all(|v| v == first) {
+        // Correct inputs differ: validity constrains nothing.
+        return PropertyResult::Holds;
+    }
+    for (&pid, (decided, _)) in &outcome.decisions {
+        if decided != first {
+            return PropertyResult::Violated(Violation::Validity {
+                proposed: first.clone(),
+                decided: decided.clone(),
+                who: pid,
+            });
+        }
+    }
+    PropertyResult::Holds
+}
+
+/// Checks only agreement.
+pub fn check_agreement<V: Value>(outcome: &Outcome<V>) -> PropertyResult<V> {
+    let mut decided = outcome.decisions.iter();
+    let Some((&p0, (v0, _))) = decided.next() else {
+        return PropertyResult::Holds;
+    };
+    for (&p, (v, _)) in decided {
+        if v != v0 {
+            return PropertyResult::Violated(Violation::Agreement {
+                a: (p0, v0.clone()),
+                b: (p, v.clone()),
+            });
+        }
+    }
+    PropertyResult::Holds
+}
+
+/// Checks only termination, within the outcome's horizon.
+///
+/// Termination is an eventual property; an execution observed to a finite
+/// horizon can only ever *refute* it relative to that horizon. The harness
+/// chooses horizons comfortably above each algorithm's proven decision
+/// bound, so a refutation at the horizon is reported as a violation.
+pub fn check_termination<V: Value>(outcome: &Outcome<V>) -> PropertyResult<V> {
+    let undecided = outcome.undecided();
+    if undecided.is_empty() {
+        PropertyResult::Holds
+    } else {
+        PropertyResult::Violated(Violation::Termination {
+            undecided,
+            horizon: outcome.horizon,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(
+        inputs: &[(usize, bool)],
+        decisions: &[(usize, bool, u64)],
+        horizon: u64,
+    ) -> Outcome<bool> {
+        Outcome {
+            inputs: inputs.iter().map(|&(p, v)| (Pid::new(p), v)).collect(),
+            decisions: decisions
+                .iter()
+                .map(|&(p, v, r)| (Pid::new(p), (v, Round::new(r))))
+                .collect(),
+            horizon: Round::new(horizon),
+        }
+    }
+
+    #[test]
+    fn all_good() {
+        let o = outcome(&[(0, true), (1, true)], &[(0, true, 1), (1, true, 2)], 5);
+        let v = check(&o);
+        assert!(v.all_hold());
+        assert!(v.safe());
+        assert!(v.violations().is_empty());
+        assert_eq!(o.last_decision_round(), Some(Round::new(2)));
+    }
+
+    #[test]
+    fn validity_violation_detected() {
+        let o = outcome(&[(0, true), (1, true)], &[(0, false, 1), (1, false, 1)], 5);
+        let v = check(&o);
+        assert!(!v.validity.holds());
+        assert!(v.agreement.holds());
+        assert!(matches!(
+            v.violations()[0],
+            Violation::Validity { proposed: true, decided: false, .. }
+        ));
+    }
+
+    #[test]
+    fn validity_vacuous_when_inputs_differ() {
+        let o = outcome(&[(0, true), (1, false)], &[(0, false, 1), (1, false, 1)], 5);
+        assert!(check(&o).all_hold());
+    }
+
+    #[test]
+    fn agreement_violation_detected() {
+        let o = outcome(&[(0, true), (1, false)], &[(0, true, 1), (1, false, 1)], 5);
+        let v = check(&o);
+        assert!(!v.agreement.holds());
+        assert!(!v.all_hold());
+        assert!(!v.safe());
+    }
+
+    #[test]
+    fn termination_violation_detected() {
+        let o = outcome(&[(0, true), (1, true), (2, true)], &[(0, true, 1)], 9);
+        let v = check(&o);
+        assert!(v.safe());
+        assert!(!v.termination.holds());
+        match &v.termination {
+            PropertyResult::Violated(Violation::Termination { undecided, horizon }) => {
+                assert_eq!(undecided, &[Pid::new(1), Pid::new(2)]);
+                assert_eq!(*horizon, Round::new(9));
+            }
+            other => panic!("expected termination violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_decisions_still_checked_for_agreement() {
+        let o = outcome(&[(0, true), (1, false), (2, true)], &[(0, true, 1), (1, false, 2)], 5);
+        let v = check(&o);
+        assert!(!v.agreement.holds());
+        assert!(!v.termination.holds());
+    }
+
+    #[test]
+    fn empty_outcome_holds_vacuously() {
+        let o = outcome(&[], &[], 0);
+        assert!(check(&o).all_hold());
+    }
+
+    #[test]
+    fn display_mentions_failing_property() {
+        let o = outcome(&[(0, true), (1, false)], &[(0, true, 1), (1, false, 1)], 5);
+        let s = check(&o).to_string();
+        assert!(s.contains("agreement violated"), "{s}");
+    }
+}

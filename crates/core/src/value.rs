@@ -1,0 +1,347 @@
+//! Proposal values, value domains, and the *proper set* bookkeeping used by
+//! the partially synchronous protocols.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::id::Id;
+
+/// A value that can be proposed to and decided by Byzantine agreement.
+///
+/// This is a marker trait with a blanket implementation: any ordered,
+/// hashable, cloneable, printable, `Send + 'static` type qualifies (`bool`,
+/// `u64`, `String`, …). Ordering is required because the paper's algorithms
+/// make *deterministic choices* among candidate values (e.g. Figure 3
+/// line 5, Figure 7's lock selection), which we implement as "smallest".
+pub trait Value: Clone + Ord + Eq + Hash + fmt::Debug + Send + 'static {}
+
+impl<T: Clone + Ord + Eq + Hash + fmt::Debug + Send + 'static> Value for T {}
+
+/// The finite domain of values processes may propose.
+///
+/// The Figure 5 and Figure 7 protocols need the domain explicitly: one of
+/// the proper-set rules is "add **all possible input values**", which only
+/// makes sense over a known finite domain. Binary agreement uses
+/// [`Domain::binary`].
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::Domain;
+/// let d = Domain::binary();
+/// assert_eq!(d.values(), &[false, true]);
+/// assert!(d.contains(&true));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Domain<V> {
+    values: Vec<V>,
+}
+
+impl<V: Value> Domain<V> {
+    /// Creates a domain from the given values (sorted, deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty: agreement over an empty domain is
+    /// meaningless.
+    pub fn new(mut values: Vec<V>) -> Self {
+        assert!(!values.is_empty(), "value domain must be non-empty");
+        values.sort();
+        values.dedup();
+        Domain { values }
+    }
+
+    /// The sorted, deduplicated values of this domain.
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Whether `v` belongs to this domain.
+    pub fn contains(&self, v: &V) -> bool {
+        self.values.binary_search(v).is_ok()
+    }
+
+    /// The number of values in the domain.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the domain is empty (never true; see [`Domain::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The smallest value, used as the deterministic default in several
+    /// algorithms.
+    pub fn default_value(&self) -> &V {
+        &self.values[0]
+    }
+}
+
+impl Domain<bool> {
+    /// The binary domain `{false, true}` (the paper's 0 and 1).
+    pub fn binary() -> Self {
+        Domain::new(vec![false, true])
+    }
+}
+
+impl Domain<u32> {
+    /// The domain `{0, 1, …, k−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn range(k: u32) -> Self {
+        Domain::new((0..k).collect())
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for Domain<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Domain").field(&self.values).finish()
+    }
+}
+
+/// A process's set of *proper values*: values it could output without
+/// violating validity (Section 4.2 of the paper).
+///
+/// Initially only the process's own input is proper. Proper sets are
+/// appended to every message; on reception the set grows by two rules:
+///
+/// 1. if proper sets containing `v` arrive from `t + 1` different
+///    *identifiers* (innumerate rule, Figure 5) or in `t + 1` *messages*
+///    (numerate rule, Figure 7), then `v` becomes proper;
+/// 2. if proper sets arrive from `2t + 1` different identifiers (resp.
+///    messages) and **no** value reaches the `t + 1` threshold, every domain
+///    value becomes proper (possible only when correct inputs already
+///    differ, so validity is vacuous).
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::{Domain, Id, ProperSet};
+/// use std::collections::BTreeSet;
+///
+/// let domain = Domain::binary();
+/// let mut proper = ProperSet::new(false);
+/// let from_true: BTreeSet<bool> = [true].into();
+/// // Three distinct identifiers report {true}: with t = 2 that meets t + 1.
+/// let batch: Vec<(Id, &BTreeSet<bool>)> = (1..=3).map(|i| (Id::new(i), &from_true)).collect();
+/// proper.update_by_identifiers(&batch, 2, &domain);
+/// assert!(proper.contains(&true));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ProperSet<V> {
+    set: BTreeSet<V>,
+}
+
+impl<V: Value> ProperSet<V> {
+    /// Creates a proper set containing only the process's own input.
+    pub fn new(input: V) -> Self {
+        ProperSet {
+            set: BTreeSet::from([input]),
+        }
+    }
+
+    /// Whether `v` is currently proper.
+    pub fn contains(&self, v: &V) -> bool {
+        self.set.contains(v)
+    }
+
+    /// The current proper values, sorted.
+    pub fn as_set(&self) -> &BTreeSet<V> {
+        &self.set
+    }
+
+    /// Number of proper values.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether no value is proper (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Applies the innumerate (Figure 5) update rules to one round's
+    /// received proper sets, counting **distinct identifiers**: an
+    /// identifier supports `v` if any of its messages' proper sets contains
+    /// `v`.
+    pub fn update_by_identifiers(&mut self, received: &[(Id, &BTreeSet<V>)], t: usize, domain: &Domain<V>) {
+        let reporter_ids: BTreeSet<Id> = received.iter().map(|&(i, _)| i).collect();
+        let mut reached = false;
+        for v in domain.values() {
+            let supporters = received
+                .iter()
+                .filter(|(_, s)| s.contains(v))
+                .map(|&(i, _)| i)
+                .collect::<BTreeSet<Id>>()
+                .len();
+            if supporters >= t + 1 {
+                self.set.insert(v.clone());
+                reached = true;
+            }
+        }
+        if !reached && reporter_ids.len() >= 2 * t + 1 {
+            self.set.extend(domain.values().iter().cloned());
+        }
+    }
+
+    /// Applies the numerate (Figure 7) update rules to one round's received
+    /// proper sets, counting **messages with multiplicity**.
+    pub fn update_by_count(&mut self, received: &[(u64, &BTreeSet<V>)], t: usize, domain: &Domain<V>) {
+        let total: u64 = received.iter().map(|&(c, _)| c).sum();
+        let mut reached = false;
+        for v in domain.values() {
+            let support: u64 = received
+                .iter()
+                .filter(|(_, s)| s.contains(v))
+                .map(|&(c, _)| c)
+                .sum();
+            if support >= t as u64 + 1 {
+                self.set.insert(v.clone());
+                reached = true;
+            }
+        }
+        if !reached && total >= 2 * t as u64 + 1 {
+            self.set.extend(domain.values().iter().cloned());
+        }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for ProperSet<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ProperSet").field(&self.set).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_sorts_and_dedups() {
+        let d = Domain::new(vec![3u32, 1, 2, 3, 1]);
+        assert_eq!(d.values(), &[1, 2, 3]);
+        assert_eq!(*d.default_value(), 1);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_rejected() {
+        let _ = Domain::<u32>::new(vec![]);
+    }
+
+    #[test]
+    fn binary_domain() {
+        let d = Domain::binary();
+        assert!(d.contains(&false) && d.contains(&true));
+        assert_eq!(*d.default_value(), false);
+    }
+
+    #[test]
+    fn proper_starts_with_input_only() {
+        let p = ProperSet::new(true);
+        assert!(p.contains(&true));
+        assert!(!p.contains(&false));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn identifier_rule_needs_t_plus_1_distinct_ids() {
+        let domain = Domain::binary();
+        let s: BTreeSet<bool> = [true].into();
+        let t = 1;
+
+        // Two messages from the SAME identifier do not count twice.
+        let mut p = ProperSet::new(false);
+        p.update_by_identifiers(&[(Id::new(1), &s), (Id::new(1), &s)], t, &domain);
+        assert!(!p.contains(&true));
+
+        // Two distinct identifiers reach t + 1 = 2.
+        let mut p = ProperSet::new(false);
+        p.update_by_identifiers(&[(Id::new(1), &s), (Id::new(2), &s)], t, &domain);
+        assert!(p.contains(&true));
+    }
+
+    #[test]
+    fn fallback_rule_adds_domain_when_no_common_value() {
+        let domain = Domain::range(4);
+        let t = 1;
+        let s0: BTreeSet<u32> = [0].into();
+        let s1: BTreeSet<u32> = [1].into();
+        let s2: BTreeSet<u32> = [2].into();
+        let mut p = ProperSet::new(3u32);
+        // 2t + 1 = 3 identifiers, no value with t + 1 = 2 supporters.
+        p.update_by_identifiers(
+            &[(Id::new(1), &s0), (Id::new(2), &s1), (Id::new(3), &s2)],
+            t,
+            &domain,
+        );
+        for v in domain.values() {
+            assert!(p.contains(v), "fallback must add {v}");
+        }
+    }
+
+    #[test]
+    fn fallback_rule_does_not_fire_below_2t_plus_1() {
+        let domain = Domain::range(4);
+        let t = 1;
+        let s0: BTreeSet<u32> = [0].into();
+        let s1: BTreeSet<u32> = [1].into();
+        let mut p = ProperSet::new(3u32);
+        p.update_by_identifiers(&[(Id::new(1), &s0), (Id::new(2), &s1)], t, &domain);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn fallback_rule_suppressed_when_some_value_reaches_threshold() {
+        // Validity guard: if all correct processes propose v, every correct
+        // proper set contains v, so the t+1 rule fires and the fallback
+        // cannot.
+        let domain = Domain::binary();
+        let t = 1;
+        let sv: BTreeSet<bool> = [false].into();
+        let junk: BTreeSet<bool> = [true].into();
+        let mut p = ProperSet::new(false);
+        p.update_by_identifiers(
+            &[(Id::new(1), &sv), (Id::new(2), &sv), (Id::new(3), &junk)],
+            t,
+            &domain,
+        );
+        assert!(p.contains(&false));
+        assert!(!p.contains(&true), "one Byzantine identifier must not smuggle values in");
+    }
+
+    #[test]
+    fn count_rule_uses_multiplicity() {
+        let domain = Domain::binary();
+        let t = 1;
+        let s: BTreeSet<bool> = [true].into();
+        // Two identical copies (homonym clones) DO count in the numerate rule.
+        let mut p = ProperSet::new(false);
+        p.update_by_count(&[(2, &s)], t, &domain);
+        assert!(p.contains(&true));
+
+        let mut p = ProperSet::new(false);
+        p.update_by_count(&[(1, &s)], t, &domain);
+        assert!(!p.contains(&true));
+    }
+
+    #[test]
+    fn count_fallback_rule() {
+        let domain = Domain::range(3);
+        let t = 1;
+        let s0: BTreeSet<u32> = [0].into();
+        let s1: BTreeSet<u32> = [1].into();
+        let mut p = ProperSet::new(2u32);
+        p.update_by_count(&[(1, &s0), (2, &s1)], t, &domain);
+        // Value 1 has multiplicity 2 = t + 1, so the threshold rule fires
+        // and the fallback must not.
+        assert!(p.contains(&1));
+        assert!(!p.contains(&0));
+    }
+}

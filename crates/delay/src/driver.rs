@@ -1,0 +1,634 @@
+//! The discrete-event driver: basic lossy rounds simulated over a delay
+//! network.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use homonym_core::spec::{self, Outcome, Verdict};
+use homonym_core::{
+    ByzPower, Envelope, Inbox, Pid, Protocol, ProtocolFactory, Recipients, Round, SystemConfig,
+};
+use homonym_core::IdAssignment;
+use homonym_sim::adversary::{AdvCtx, Adversary, ByzTarget, Silent};
+
+use crate::model::{DelayModel, Instant};
+use crate::net::{Flight, InFlight};
+use crate::pacing::{FixedPacing, RoundPacing};
+
+/// The report of one delay-world execution.
+///
+/// Everything [`homonym_sim::RunReport`] reports, plus the timing facts
+/// that make the model-equivalence argument observable: how many messages
+/// missed their round (`late`), how many never arrived before the run
+/// ended (`unarrived`), and the last round whose inbox lost a message
+/// (`last_lossy_round`).
+#[derive(Clone, Debug)]
+pub struct DelayReport<V> {
+    /// Inputs and decisions of the correct processes.
+    pub outcome: Outcome<V>,
+    /// The three-property verdict.
+    pub verdict: Verdict<V>,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Wall-clock ticks elapsed.
+    pub ticks: u64,
+    /// Non-self messages handed to the network.
+    pub messages_sent: u64,
+    /// Non-self messages that arrived within their round.
+    pub delivered_on_time: u64,
+    /// Messages that arrived after their round closed (the basic model's
+    /// drops).
+    pub late: u64,
+    /// Messages still in flight when the run ended (also drops).
+    pub unarrived: u64,
+    /// The last round whose inbox missed at least one message, if any.
+    pub last_lossy_round: Option<Round>,
+}
+
+impl<V> DelayReport<V> {
+    /// Total messages the simulated basic-model execution dropped.
+    pub fn dropped(&self) -> u64 {
+        self.late + self.unarrived
+    }
+
+    /// The first round from which every executed round was loss-free —
+    /// the `T` of the paper's basic model, as realized by this execution.
+    ///
+    /// Returns `None` if lateness persisted into the final executed round
+    /// (no clean suffix was demonstrated).
+    pub fn clean_from(&self) -> Option<Round> {
+        match self.last_lossy_round {
+            None => Some(Round::ZERO),
+            Some(last) if last.index() + 1 < self.rounds => Some(last.next()),
+            Some(_) => None,
+        }
+    }
+}
+
+/// Builder for [`DelayCluster`]; see [`DelayCluster::builder`].
+pub struct DelayClusterBuilder<P: Protocol> {
+    cfg: SystemConfig,
+    assignment: IdAssignment,
+    inputs: Vec<P::Value>,
+    byz: BTreeSet<Pid>,
+    adversary: Box<dyn Adversary<P::Msg>>,
+    model: Box<dyn DelayModel>,
+    pacing: Box<dyn RoundPacing>,
+}
+
+impl<P: Protocol> DelayClusterBuilder<P> {
+    /// Declares the Byzantine processes and the strategy controlling them.
+    /// Byzantine traffic crosses the same delay network as correct
+    /// traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `t` processes are declared Byzantine or any is
+    /// out of range.
+    pub fn byzantine(
+        mut self,
+        byz: impl IntoIterator<Item = Pid>,
+        adversary: impl Adversary<P::Msg> + 'static,
+    ) -> Self {
+        self.byz = byz.into_iter().collect();
+        assert!(
+            self.byz.len() <= self.cfg.t,
+            "{} byzantine processes exceed t = {}",
+            self.byz.len(),
+            self.cfg.t
+        );
+        assert!(
+            self.byz.iter().all(|p| p.index() < self.cfg.n),
+            "byzantine pid out of range"
+        );
+        self.adversary = Box::new(adversary);
+        self
+    }
+
+    /// Installs the delay model (default: [`Instant`]).
+    pub fn model(mut self, model: impl DelayModel + 'static) -> Self {
+        self.model = Box::new(model);
+        self
+    }
+
+    /// Installs the round pacing (default: [`FixedPacing`] of 1 tick).
+    pub fn pacing(mut self, pacing: impl RoundPacing + 'static) -> Self {
+        self.pacing = Box::new(pacing);
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration, assignment and inputs disagree on `n`
+    /// or `ℓ`.
+    pub fn build(self) -> DelayCluster<P> {
+        self.cfg.validate().expect("invalid system configuration");
+        assert_eq!(self.assignment.n(), self.cfg.n, "assignment covers n processes");
+        assert_eq!(self.assignment.ell(), self.cfg.ell, "assignment uses ell identifiers");
+        assert_eq!(self.inputs.len(), self.cfg.n, "one input per process");
+        DelayCluster {
+            cfg: self.cfg,
+            assignment: self.assignment,
+            inputs: self.inputs,
+            byz: self.byz,
+            adversary: self.adversary,
+            model: self.model,
+            pacing: self.pacing,
+        }
+    }
+}
+
+/// A deterministic execution of homonym protocols over a delay network.
+///
+/// Rounds are simulated: all processes share the pacing schedule, send at
+/// a round's opening tick, and close the round `duration` ticks later,
+/// treating whatever arrived by then as the round's inbox. A message that
+/// misses its round is discarded — it becomes one of the finitely many
+/// drops the basic partially synchronous model allows.
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::{Domain, IdAssignment, SystemConfig, Synchrony};
+/// use homonym_delay::{DelayCluster, EventuallyBounded, FixedPacing};
+/// use homonym_psync::AgreementFactory;
+///
+/// let cfg = SystemConfig::builder(4, 4, 1)
+///     .synchrony(Synchrony::PartiallySynchronous)
+///     .build()
+///     .unwrap();
+/// let factory = AgreementFactory::new(4, 4, 1, Domain::binary());
+/// // Known bound Δ = 2 that only holds from tick 30 on; rounds of 2 ticks.
+/// let report = DelayCluster::builder(cfg, IdAssignment::unique(4), vec![true; 4])
+///     .model(EventuallyBounded::new(2, 30, 40, 9))
+///     .pacing(FixedPacing::new(2))
+///     .build()
+///     .run(&factory, 400);
+/// assert!(report.verdict.all_hold());
+/// ```
+pub struct DelayCluster<P: Protocol> {
+    cfg: SystemConfig,
+    assignment: IdAssignment,
+    inputs: Vec<P::Value>,
+    byz: BTreeSet<Pid>,
+    adversary: Box<dyn Adversary<P::Msg>>,
+    model: Box<dyn DelayModel>,
+    pacing: Box<dyn RoundPacing>,
+}
+
+impl<P: Protocol> DelayCluster<P> {
+    /// Starts building a delay-world run of `cfg` under `assignment`,
+    /// where process `i` proposes `inputs[i]`. Defaults: no Byzantine
+    /// processes, [`Instant`] delays, [`FixedPacing`] of 1 tick (which
+    /// together replicate the lock-step simulator exactly).
+    pub fn builder(
+        cfg: SystemConfig,
+        assignment: IdAssignment,
+        inputs: Vec<P::Value>,
+    ) -> DelayClusterBuilder<P> {
+        DelayClusterBuilder {
+            cfg,
+            assignment,
+            inputs,
+            byz: BTreeSet::new(),
+            adversary: Box::new(Silent),
+            model: Box::new(Instant),
+            pacing: Box::new(FixedPacing::new(1)),
+        }
+    }
+
+    /// Runs until every correct process decides or `max_rounds` rounds
+    /// have executed, then reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same contract violations as the lock-step simulator:
+    /// a correct process addressing a recipient twice in one round, the
+    /// adversary emitting from a correct process, or a decision changing.
+    pub fn run<F>(&mut self, factory: &F, max_rounds: u64) -> DelayReport<P::Value>
+    where
+        F: ProtocolFactory<P = P>,
+    {
+        let n = self.cfg.n;
+        let mut procs: BTreeMap<Pid, P> = self
+            .assignment
+            .iter()
+            .filter(|(pid, _)| !self.byz.contains(pid))
+            .map(|(pid, id)| (pid, factory.spawn(id, self.inputs[pid.index()].clone())))
+            .collect();
+        let correct_inputs: BTreeMap<Pid, P::Value> = procs
+            .keys()
+            .map(|&pid| (pid, self.inputs[pid.index()].clone()))
+            .collect();
+
+        let mut net: InFlight<P::Msg> = InFlight::new();
+        let mut decisions: BTreeMap<Pid, (P::Value, Round)> = BTreeMap::new();
+        let mut tick = 0u64;
+        let mut round = Round::ZERO;
+        let mut messages_sent = 0u64;
+        let mut delivered_on_time = 0u64;
+        let mut late = 0u64;
+        let mut last_lossy_round: Option<Round> = None;
+        let mark_lossy = |last: &mut Option<Round>, r: Round| {
+            *last = Some(last.map_or(r, |prev: Round| prev.max(r)));
+        };
+
+        while round.index() < max_rounds && decisions.len() < procs.len() {
+            let start = tick;
+            let duration = self.pacing.duration(round).max(1);
+            let deadline = start + duration;
+
+            // Per-recipient buffers for this round's on-time arrivals.
+            let mut buffers: BTreeMap<Pid, Vec<Envelope<P::Msg>>> = BTreeMap::new();
+
+            // 1. Correct sends at the round's opening tick.
+            for (&pid, proc_) in procs.iter_mut() {
+                let out = proc_.send(round);
+                let src_id = self.assignment.id_of(pid);
+                let mut addressed: BTreeSet<Pid> = BTreeSet::new();
+                for (recipients, msg) in out {
+                    let targets: Vec<Pid> = match recipients {
+                        Recipients::All => Pid::all(n).collect(),
+                        Recipients::Group(id) => self.assignment.group(id),
+                    };
+                    for to in targets {
+                        assert!(
+                            addressed.insert(to),
+                            "correct process {pid} addressed {to} twice in {round}"
+                        );
+                        if to == pid {
+                            // Self-delivery costs no network trip.
+                            buffers.entry(to).or_default().push(Envelope {
+                                src: src_id,
+                                msg: msg.clone(),
+                            });
+                        } else {
+                            messages_sent += 1;
+                            let arrive = start + self.model.delay(start, pid, to).max(1);
+                            net.send(
+                                arrive,
+                                Flight {
+                                    from: pid,
+                                    src: src_id,
+                                    to,
+                                    round,
+                                    msg: msg.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+
+            // 2. Adversary sends; restricted clamp, same network.
+            let ctx = AdvCtx {
+                round,
+                cfg: &self.cfg,
+                assignment: &self.assignment,
+                byz: &self.byz,
+            };
+            let emissions = self.adversary.send(&ctx);
+            let mut byz_sent: BTreeMap<(Pid, Pid), u32> = BTreeMap::new();
+            for emission in emissions {
+                assert!(
+                    self.byz.contains(&emission.from),
+                    "adversary emitted from non-byzantine {}",
+                    emission.from
+                );
+                let src_id = self.assignment.id_of(emission.from);
+                let targets: Vec<Pid> = match emission.to {
+                    ByzTarget::One(p) => vec![p],
+                    ByzTarget::All => Pid::all(n).collect(),
+                    ByzTarget::Group(id) => self.assignment.group(id),
+                };
+                for to in targets {
+                    if self.cfg.byz_power == ByzPower::Restricted {
+                        let count = byz_sent.entry((emission.from, to)).or_insert(0);
+                        if *count >= 1 {
+                            continue;
+                        }
+                        *count += 1;
+                    }
+                    if to == emission.from {
+                        continue; // a Byzantine process gains nothing from self-sends
+                    }
+                    messages_sent += 1;
+                    let arrive = start + self.model.delay(start, emission.from, to).max(1);
+                    net.send(
+                        arrive,
+                        Flight {
+                            from: emission.from,
+                            src: src_id,
+                            to,
+                            round,
+                            msg: emission.msg.clone(),
+                        },
+                    );
+                }
+            }
+
+            // 3. Advance the clock to the deadline and sort arrivals into
+            //    on-time (tagged with this round) and late (an earlier
+            //    round's inbox already closed without them).
+            for flight in net.arrivals_up_to(deadline) {
+                if flight.round == round {
+                    delivered_on_time += 1;
+                    buffers.entry(flight.to).or_default().push(Envelope {
+                        src: flight.src,
+                        msg: flight.msg,
+                    });
+                } else {
+                    debug_assert!(flight.round < round, "messages cannot arrive early");
+                    late += 1;
+                    mark_lossy(&mut last_lossy_round, flight.round);
+                }
+            }
+
+            // 4. Close the round: deliver inboxes, record decisions.
+            for (&pid, proc_) in procs.iter_mut() {
+                let inbox = Inbox::collect(
+                    buffers.remove(&pid).unwrap_or_default(),
+                    self.cfg.counting,
+                );
+                proc_.receive(round, &inbox);
+                if let Some(v) = proc_.decision() {
+                    match decisions.get(&pid) {
+                        None => {
+                            decisions.insert(pid, (v, round));
+                        }
+                        Some((prev, _)) => {
+                            assert!(*prev == v, "decision of {pid} changed from {prev:?} to {v:?}");
+                        }
+                    }
+                }
+            }
+
+            // 5. Byzantine inboxes to the adversary.
+            let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = self
+                .byz
+                .iter()
+                .map(|&pid| {
+                    (
+                        pid,
+                        Inbox::collect(buffers.remove(&pid).unwrap_or_default(), self.cfg.counting),
+                    )
+                })
+                .collect();
+            self.adversary.receive(round, &byz_inboxes);
+
+            tick = deadline;
+            round = round.next();
+        }
+
+        // Whatever never arrived is also a drop; attribute it to the round
+        // it was sent in.
+        let mut unarrived = 0u64;
+        for flight in net.arrivals_up_to(u64::MAX) {
+            unarrived += 1;
+            mark_lossy(&mut last_lossy_round, flight.round);
+        }
+
+        let outcome = Outcome {
+            inputs: correct_inputs,
+            decisions,
+            horizon: round,
+        };
+        let verdict = spec::check(&outcome);
+        DelayReport {
+            outcome,
+            verdict,
+            rounds: round.index(),
+            ticks: tick,
+            messages_sent,
+            delivered_on_time,
+            late,
+            unarrived,
+            last_lossy_round,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AlwaysBounded, EventuallyBounded};
+    use crate::pacing::DoublingPacing;
+    use homonym_core::{FnFactory, Id};
+
+    /// Flood the running minimum for `horizon` rounds, then decide it.
+    #[derive(Clone, Debug)]
+    struct FloodMin {
+        id: Id,
+        min: u32,
+        horizon: u64,
+        decision: Option<u32>,
+    }
+
+    impl Protocol for FloodMin {
+        type Msg = u32;
+        type Value = u32;
+
+        fn id(&self) -> Id {
+            self.id
+        }
+
+        fn send(&mut self, _round: Round) -> Vec<(Recipients, u32)> {
+            vec![(Recipients::All, self.min)]
+        }
+
+        fn receive(&mut self, round: Round, inbox: &Inbox<u32>) {
+            for (_, &msg, _) in inbox.iter() {
+                self.min = self.min.min(msg);
+            }
+            if round.index() + 1 >= self.horizon && self.decision.is_none() {
+                self.decision = Some(self.min);
+            }
+        }
+
+        fn decision(&self) -> Option<u32> {
+            self.decision
+        }
+    }
+
+    fn flood_factory(horizon: u64) -> impl ProtocolFactory<P = FloodMin> {
+        FnFactory::new(move |id, input| FloodMin {
+            id,
+            min: input,
+            horizon,
+            decision: None,
+        })
+    }
+
+    fn cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+        SystemConfig::builder(n, ell, t).build().unwrap()
+    }
+
+    #[test]
+    fn instant_fixed1_matches_lockstep_simulator() {
+        let factory = flood_factory(3);
+        let inputs = vec![9u32, 4, 7, 2];
+        let mut delay = DelayCluster::builder(cfg(4, 4, 1), IdAssignment::unique(4), inputs.clone())
+            .build();
+        let dr = delay.run(&factory, 10);
+
+        let mut sim =
+            homonym_sim::Simulation::builder(cfg(4, 4, 1), IdAssignment::unique(4), inputs)
+                .build_with(&factory);
+        let sr = sim.run(10);
+
+        assert_eq!(dr.outcome.decisions, sr.outcome.decisions);
+        assert_eq!(dr.rounds, sr.rounds);
+        assert_eq!(dr.messages_sent, sr.messages_sent);
+        assert_eq!(dr.late, 0);
+        assert_eq!(dr.clean_from(), Some(Round::ZERO));
+    }
+
+    #[test]
+    fn slow_network_under_fast_rounds_loses_everything() {
+        // Delays of 4..=6 ticks against 1-tick rounds: every non-self
+        // message misses its round; processes only ever hear themselves.
+        let factory = flood_factory(3);
+        let mut delay =
+            DelayCluster::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![5u32, 3, 8])
+                .model(AlwaysBounded::between(4, 6, 1))
+                .pacing(FixedPacing::new(1))
+                .build();
+        let report = delay.run(&factory, 3);
+        assert_eq!(report.delivered_on_time, 0);
+        assert_eq!(report.dropped(), report.messages_sent);
+        // Everyone decided their own input: agreement is violated.
+        assert!(!report.verdict.agreement.holds());
+        assert!(report.clean_from().is_none());
+    }
+
+    #[test]
+    fn doubling_pacing_outruns_unknown_bound() {
+        // Unknown bound Δ = 6 against doubling rounds: early rounds lose
+        // messages, later rounds are clean, and a late-enough decision
+        // horizon sees the true minimum everywhere.
+        let factory = flood_factory(12);
+        let mut delay =
+            DelayCluster::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![5u32, 3, 8])
+                .model(AlwaysBounded::between(4, 6, 2))
+                .pacing(DoublingPacing::new(1, 2))
+                .build();
+        let report = delay.run(&factory, 20);
+        assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+        assert!(report.late > 0, "early rounds must lose messages");
+        let clean = report.clean_from().expect("lateness must cease");
+        assert!(clean.index() > 0);
+        // All decisions equal the global minimum.
+        for (_, (v, _)) in &report.outcome.decisions {
+            assert_eq!(*v, 3);
+        }
+    }
+
+    #[test]
+    fn eventually_bounded_with_matching_pacing_stabilizes() {
+        let factory = flood_factory(30);
+        let mut delay =
+            DelayCluster::builder(cfg(4, 4, 1), IdAssignment::unique(4), vec![5u32, 3, 8, 1])
+                .model(EventuallyBounded::new(2, 25, 30, 13))
+                .pacing(FixedPacing::new(2))
+                .build();
+        let report = delay.run(&factory, 40);
+        assert!(report.verdict.all_hold());
+        let clean = report.clean_from().expect("post-calm rounds are clean");
+        // The calm tick is 25; rounds are 2 ticks; every round from
+        // ⌈25/2⌉ + 1 on is necessarily clean (the +1 covers a message sent
+        // just before calm).
+        assert!(clean.index() <= 25 / 2 + 2, "clean from {clean}");
+    }
+
+    #[test]
+    fn self_delivery_is_immune_to_delays() {
+        let factory = flood_factory(1);
+        let mut delay =
+            DelayCluster::builder(cfg(2, 2, 0), IdAssignment::unique(2), vec![7u32, 9])
+                .model(AlwaysBounded::between(50, 50, 5))
+                .pacing(FixedPacing::new(1))
+                .build();
+        let report = delay.run(&factory, 1);
+        // Deciding after one round, each process heard (only) itself.
+        let vals: Vec<u32> = report.outcome.decisions.values().map(|&(v, _)| v).collect();
+        assert_eq!(vals, vec![7, 9]);
+    }
+
+    #[test]
+    fn restricted_clamp_applies_on_the_delay_network() {
+        use homonym_sim::adversary::{Emission, Scripted};
+        // The Byzantine process tries three copies to one recipient in
+        // round 0; the restricted model lets exactly one through.
+        let spam = Scripted::new((0..3).map(|_| {
+            (
+                Round::ZERO,
+                Emission {
+                    from: Pid::new(2),
+                    to: ByzTarget::One(Pid::new(0)),
+                    msg: 0u32,
+                },
+            )
+        }));
+        let mut config = cfg(4, 4, 1);
+        config.byz_power = ByzPower::Restricted;
+        config.counting = homonym_core::Counting::Numerate;
+        let factory = flood_factory(2);
+        let mut delay =
+            DelayCluster::builder(config, IdAssignment::unique(4), vec![5u32, 5, 5, 5])
+                .byzantine([Pid::new(2)], spam)
+                .build();
+        let report = delay.run(&factory, 3);
+        // 2 rounds × 3 correct × 3 peers = 18 correct sends, plus exactly
+        // one clamped Byzantine copy.
+        assert_eq!(report.messages_sent, 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "byzantine processes exceed t")]
+    fn too_many_byzantine_rejected() {
+        let _ = DelayCluster::<FloodMin>::builder(
+            cfg(3, 3, 0),
+            IdAssignment::unique(3),
+            vec![1u32, 2, 3],
+        )
+        .byzantine([Pid::new(0)], homonym_sim::adversary::Silent)
+        .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per process")]
+    fn wrong_input_count_rejected() {
+        let _ = DelayCluster::<FloodMin>::builder(
+            cfg(3, 3, 0),
+            IdAssignment::unique(3),
+            vec![1u32, 2],
+        )
+        .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment covers n processes")]
+    fn mismatched_assignment_rejected() {
+        let _ = DelayCluster::<FloodMin>::builder(
+            cfg(3, 3, 0),
+            IdAssignment::unique(4),
+            vec![1u32, 2, 3],
+        )
+        .build();
+    }
+
+    #[test]
+    fn unarrived_messages_count_as_drops() {
+        let factory = flood_factory(1);
+        let mut delay =
+            DelayCluster::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![1u32, 2, 3])
+                .model(AlwaysBounded::between(90, 100, 8))
+                .pacing(FixedPacing::new(1))
+                .build();
+        let report = delay.run(&factory, 1);
+        assert_eq!(report.unarrived, report.messages_sent);
+        assert_eq!(report.dropped(), report.messages_sent);
+        assert_eq!(report.last_lossy_round, Some(Round::ZERO));
+    }
+}

@@ -1,0 +1,345 @@
+//! Per-message delivery-delay models.
+
+use homonym_core::Pid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assigns a delivery delay, in ticks, to every message handed to the
+/// network.
+///
+/// The two non-trivial implementations are the two partially synchronous
+/// timing models of Dwork, Lynch and Stockmeyer that the paper's Section 2
+/// declares interchangeable with the basic lossy-round model:
+/// [`EventuallyBounded`] (known bound, holds eventually) and
+/// [`AlwaysBounded`] (unknown bound, holds always).
+///
+/// Delays must be at least 1 tick: a message sent at the start of a round
+/// can at best arrive during that same round.
+pub trait DelayModel: Send {
+    /// The delay for a message handed to the network at `tick`, flowing
+    /// `from → to`. Must be at least 1.
+    fn delay(&mut self, tick: u64, from: Pid, to: Pid) -> u64;
+
+    /// A tick from which the model guarantees its bound, if it guarantees
+    /// one. Diagnostics only: pacing policies must never read this (the
+    /// unknown-constant model is unknown precisely to them).
+    fn calm_tick(&self) -> Option<u64>;
+
+    /// The delay bound that holds from [`calm_tick`](Self::calm_tick)
+    /// onward, if any. Diagnostics only.
+    fn bound(&self) -> Option<u64>;
+}
+
+/// Every message takes exactly one tick: the synchronous control model,
+/// used for parity tests against the lock-step simulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Instant;
+
+impl DelayModel for Instant {
+    fn delay(&mut self, _tick: u64, _from: Pid, _to: Pid) -> u64 {
+        1
+    }
+
+    fn calm_tick(&self) -> Option<u64> {
+        Some(0)
+    }
+
+    fn bound(&self) -> Option<u64> {
+        Some(1)
+    }
+}
+
+/// Delivery times eventually bounded by a **known** constant.
+///
+/// Before an (unknown to the processes) calm tick, delays are chaotic:
+/// uniform in `[1, pre_max]`, with `pre_max` typically much larger than
+/// any round. From the calm tick onward, delays are uniform in
+/// `[1, delta]`. Pairing this model with [`FixedPacing`] of duration
+/// `≥ delta` yields the basic partially synchronous model: the finitely
+/// many pre-calm messages that outlive their round are the basic model's
+/// finitely many drops.
+///
+/// [`FixedPacing`]: crate::FixedPacing
+#[derive(Clone, Debug)]
+pub struct EventuallyBounded {
+    delta: u64,
+    calm_at: u64,
+    pre_max: u64,
+    rng: StdRng,
+}
+
+impl EventuallyBounded {
+    /// Delays uniform in `[1, delta]` from tick `calm_at` on, and uniform
+    /// in `[1, pre_max]` before it. Randomness is seeded for reproducible
+    /// executions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0` or `pre_max < delta`.
+    pub fn new(delta: u64, calm_at: u64, pre_max: u64, seed: u64) -> Self {
+        assert!(delta >= 1, "delays are at least one tick");
+        assert!(pre_max >= delta, "pre-calm chaos includes the calm range");
+        EventuallyBounded {
+            delta,
+            calm_at,
+            pre_max,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The known bound `Δ`.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+}
+
+impl DelayModel for EventuallyBounded {
+    fn delay(&mut self, tick: u64, _from: Pid, _to: Pid) -> u64 {
+        if tick >= self.calm_at {
+            self.rng.gen_range(1..=self.delta)
+        } else {
+            self.rng.gen_range(1..=self.pre_max)
+        }
+    }
+
+    fn calm_tick(&self) -> Option<u64> {
+        Some(self.calm_at)
+    }
+
+    fn bound(&self) -> Option<u64> {
+        Some(self.delta)
+    }
+}
+
+/// Delivery times always bounded by an **unknown** constant.
+///
+/// Delays are uniform in `[1, delta]` from the very first tick — but
+/// `delta` is not available to the processes, so no fixed round length is
+/// safe a priori. Pairing this model with [`DoublingPacing`] yields the
+/// basic partially synchronous model: rounds grow until they outlast
+/// `delta`, after which no message is ever late, and the finitely many
+/// earlier late messages are the basic model's drops.
+///
+/// [`DoublingPacing`]: crate::DoublingPacing
+#[derive(Clone, Debug)]
+pub struct AlwaysBounded {
+    lo: u64,
+    delta: u64,
+    rng: StdRng,
+}
+
+impl AlwaysBounded {
+    /// Delays uniform in `[1, delta]`, seeded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`.
+    pub fn new(delta: u64, seed: u64) -> Self {
+        AlwaysBounded::between(1, delta, seed)
+    }
+
+    /// Delays uniform in `[lo, delta]` — a floor models links that are
+    /// never fast, which stresses pacing policies whose early rounds are
+    /// shorter than any delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo == 0` or `lo > delta`.
+    pub fn between(lo: u64, delta: u64, seed: u64) -> Self {
+        assert!(delta >= 1 && lo >= 1, "delays are at least one tick");
+        assert!(lo <= delta, "empty delay range");
+        AlwaysBounded {
+            lo,
+            delta,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The bound `Δ` (the *test* may read it; the pacing may not).
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+}
+
+impl DelayModel for AlwaysBounded {
+    fn delay(&mut self, _tick: u64, _from: Pid, _to: Pid) -> u64 {
+        self.rng.gen_range(self.lo..=self.delta)
+    }
+
+    fn calm_tick(&self) -> Option<u64> {
+        Some(0)
+    }
+
+    fn bound(&self) -> Option<u64> {
+        Some(self.delta)
+    }
+}
+
+/// Adversarially targeted delays: the scheduler stalls a chosen set of
+/// directed links until a calm tick, and behaves uniformly afterwards.
+///
+/// This is the delay-world rendering of the partition/isolation drop
+/// policies: before calm, messages on targeted links take `slow` ticks
+/// (pick `slow` much larger than any round to starve the link); all other
+/// traffic, and all traffic after calm, takes at most `fast` ticks.
+/// Unlike the random models this one is a *worst-case* scheduler — the
+/// DLS adversary gets to pick which links are slow, not a coin.
+#[derive(Clone, Debug)]
+pub struct LinkTargeted {
+    slow_links: std::collections::BTreeSet<(Pid, Pid)>,
+    slow: u64,
+    fast: u64,
+    calm_at: u64,
+}
+
+impl LinkTargeted {
+    /// Messages on `slow_links` (directed `(from, to)` pairs) take `slow`
+    /// ticks before tick `calm_at`; everything else takes `fast` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fast == 0` or `slow < fast`.
+    pub fn new(
+        slow_links: impl IntoIterator<Item = (Pid, Pid)>,
+        slow: u64,
+        fast: u64,
+        calm_at: u64,
+    ) -> Self {
+        assert!(fast >= 1, "delays are at least one tick");
+        assert!(slow >= fast, "slow links cannot be faster than fast ones");
+        LinkTargeted {
+            slow_links: slow_links.into_iter().collect(),
+            slow,
+            fast,
+            calm_at,
+        }
+    }
+
+    /// Stalls every link *into and out of* each process in `isolated` —
+    /// the delay-world `IsolateUntil`.
+    pub fn isolating(
+        isolated: impl IntoIterator<Item = Pid>,
+        n: usize,
+        slow: u64,
+        fast: u64,
+        calm_at: u64,
+    ) -> Self {
+        let isolated: std::collections::BTreeSet<Pid> = isolated.into_iter().collect();
+        let mut slow_links = std::collections::BTreeSet::new();
+        for &p in &isolated {
+            for q in Pid::all(n) {
+                if q != p {
+                    slow_links.insert((p, q));
+                    slow_links.insert((q, p));
+                }
+            }
+        }
+        LinkTargeted {
+            slow_links,
+            slow,
+            fast,
+            calm_at,
+        }
+    }
+}
+
+impl DelayModel for LinkTargeted {
+    fn delay(&mut self, tick: u64, from: Pid, to: Pid) -> u64 {
+        if tick < self.calm_at && self.slow_links.contains(&(from, to)) {
+            self.slow
+        } else {
+            self.fast
+        }
+    }
+
+    fn calm_tick(&self) -> Option<u64> {
+        Some(self.calm_at)
+    }
+
+    fn bound(&self) -> Option<u64> {
+        Some(self.fast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_is_one_tick() {
+        let mut m = Instant;
+        assert_eq!(m.delay(0, Pid::new(0), Pid::new(1)), 1);
+        assert_eq!(m.delay(99, Pid::new(1), Pid::new(0)), 1);
+        assert_eq!(m.bound(), Some(1));
+    }
+
+    #[test]
+    fn eventually_bounded_respects_bound_after_calm() {
+        let mut m = EventuallyBounded::new(3, 50, 100, 7);
+        for tick in 50..500 {
+            let d = m.delay(tick, Pid::new(0), Pid::new(1));
+            assert!((1..=3).contains(&d), "post-calm delay {d} out of range");
+        }
+    }
+
+    #[test]
+    fn eventually_bounded_chaos_before_calm_exceeds_bound_sometimes() {
+        let mut m = EventuallyBounded::new(2, 1_000, 64, 11);
+        let max = (0..200)
+            .map(|tick| m.delay(tick, Pid::new(0), Pid::new(1)))
+            .max()
+            .unwrap();
+        assert!(max > 2, "pre-calm chaos should exceed the calm bound");
+    }
+
+    #[test]
+    fn always_bounded_never_exceeds_delta() {
+        let mut m = AlwaysBounded::new(5, 3);
+        for tick in 0..500 {
+            let d = m.delay(tick, Pid::new(0), Pid::new(1));
+            assert!((1..=5).contains(&d));
+        }
+        assert_eq!(m.calm_tick(), Some(0));
+    }
+
+    #[test]
+    fn models_are_deterministic_per_seed() {
+        let sample = |seed| {
+            let mut m = AlwaysBounded::new(9, seed);
+            (0..32)
+                .map(|t| m.delay(t, Pid::new(0), Pid::new(1)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(42), sample(42));
+        assert_ne!(sample(42), sample(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tick")]
+    fn zero_delta_rejected() {
+        let _ = AlwaysBounded::new(0, 1);
+    }
+
+    #[test]
+    fn targeted_links_stall_until_calm() {
+        let mut m = LinkTargeted::new([(Pid::new(0), Pid::new(1))], 100, 2, 50);
+        assert_eq!(m.delay(0, Pid::new(0), Pid::new(1)), 100);
+        assert_eq!(m.delay(0, Pid::new(1), Pid::new(0)), 2, "only the directed link stalls");
+        assert_eq!(m.delay(50, Pid::new(0), Pid::new(1)), 2, "calm ends the stall");
+    }
+
+    #[test]
+    fn isolation_covers_both_directions() {
+        let mut m = LinkTargeted::isolating([Pid::new(2)], 4, 99, 1, 10);
+        assert_eq!(m.delay(0, Pid::new(2), Pid::new(0)), 99);
+        assert_eq!(m.delay(0, Pid::new(0), Pid::new(2)), 99);
+        assert_eq!(m.delay(0, Pid::new(0), Pid::new(1)), 1, "bystander links unaffected");
+        assert_eq!(m.delay(10, Pid::new(2), Pid::new(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be faster")]
+    fn inverted_targeted_delays_rejected() {
+        let _ = LinkTargeted::new([], 1, 2, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! The in-flight message store of the delay network.
+
+use std::collections::BTreeMap;
+
+use homonym_core::{Id, Pid, Round};
+
+/// A message travelling through the delay network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Flight<M> {
+    /// The sending process (environment knowledge only).
+    pub from: Pid,
+    /// The sender's authenticated identifier (what the receiver sees).
+    pub src: Id,
+    /// The recipient.
+    pub to: Pid,
+    /// The round the message belongs to.
+    pub round: Round,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Messages in flight, keyed by arrival tick.
+///
+/// The store is deterministic: arrivals at the same tick keep insertion
+/// order, and insertion order is itself deterministic because the driver
+/// iterates processes in `Pid` order.
+#[derive(Clone, Debug)]
+pub struct InFlight<M> {
+    queue: BTreeMap<u64, Vec<Flight<M>>>,
+    len: usize,
+}
+
+impl<M> InFlight<M> {
+    /// An empty store.
+    pub fn new() -> Self {
+        InFlight {
+            queue: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// The number of messages still in flight.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn send(&mut self, arrive_at: u64, flight: Flight<M>) {
+        self.queue.entry(arrive_at).or_default().push(flight);
+        self.len += 1;
+    }
+
+    /// Removes and returns every message whose arrival tick is `<= tick`,
+    /// in (tick, insertion) order.
+    pub(crate) fn arrivals_up_to(&mut self, tick: u64) -> Vec<Flight<M>> {
+        let mut due = Vec::new();
+        let later = self.queue.split_off(&tick.saturating_add(1));
+        for (_, mut batch) in std::mem::replace(&mut self.queue, later) {
+            due.append(&mut batch);
+        }
+        self.len -= due.len();
+        due
+    }
+
+    /// The earliest pending arrival tick, if any.
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.queue.keys().next().copied()
+    }
+}
+
+impl<M> Default for InFlight<M> {
+    fn default() -> Self {
+        InFlight::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flight(to: usize, round: u64, msg: u32) -> Flight<u32> {
+        Flight {
+            from: Pid::new(0),
+            src: Id::new(1),
+            to: Pid::new(to),
+            round: Round::new(round),
+            msg,
+        }
+    }
+
+    #[test]
+    fn arrivals_respect_tick_order() {
+        let mut net = InFlight::new();
+        net.send(5, flight(1, 0, 10));
+        net.send(3, flight(2, 0, 20));
+        net.send(5, flight(1, 0, 30));
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.next_arrival(), Some(3));
+
+        let due = net.arrivals_up_to(4);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].msg, 20);
+        assert_eq!(net.len(), 2);
+
+        let due = net.arrivals_up_to(5);
+        assert_eq!(due.iter().map(|f| f.msg).collect::<Vec<_>>(), vec![10, 30]);
+        assert!(net.is_empty());
+        assert_eq!(net.next_arrival(), None);
+    }
+
+    #[test]
+    fn same_tick_preserves_insertion_order() {
+        let mut net = InFlight::new();
+        for (k, msg) in [(7u64, 1u32), (7, 2), (7, 3)] {
+            net.send(k, flight(0, 0, msg));
+        }
+        let due = net.arrivals_up_to(7);
+        assert_eq!(due.iter().map(|f| f.msg).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn arrivals_up_to_zero_only_takes_due() {
+        let mut net = InFlight::new();
+        net.send(0, flight(0, 0, 1));
+        net.send(1, flight(0, 0, 2));
+        let due = net.arrivals_up_to(0);
+        assert_eq!(due.len(), 1);
+        assert_eq!(net.len(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Round pacing: how processes map wall-clock ticks back into rounds.
+
+use homonym_core::Round;
+
+/// The length, in ticks, that processes allot to each simulated round.
+///
+/// In the delay world, processes cannot wait "until every message of the
+/// round has arrived" — they would wait forever on a lost sender. Instead
+/// they close round `r` after a deadline and treat whatever arrived by
+/// then as the round's inbox; anything later is discarded, which is
+/// exactly a basic-model drop.
+pub trait RoundPacing: Send {
+    /// The duration of `round`, in ticks. Must be at least 1.
+    fn duration(&self, round: Round) -> u64;
+
+    /// The tick at which `round` begins (the prefix sum of durations).
+    fn start_of(&self, round: Round) -> u64 {
+        (0..round.index()).map(|r| self.duration(Round::new(r))).sum()
+    }
+
+    /// The first round whose duration is at least `delta`, if pacing ever
+    /// reaches it. Diagnostics: with [`AlwaysBounded`] delays, all rounds
+    /// from this one on are clean.
+    ///
+    /// [`AlwaysBounded`]: crate::AlwaysBounded
+    fn outlasts(&self, delta: u64, search_horizon: u64) -> Option<Round> {
+        (0..search_horizon)
+            .map(Round::new)
+            .find(|&r| self.duration(r) >= delta)
+    }
+}
+
+/// Every round lasts exactly `D` ticks.
+///
+/// This is the pacing for the *known*-constant model: with delays
+/// eventually bounded by a known `Δ`, choosing `D ≥ Δ` guarantees that
+/// every message sent at or after the calm tick arrives within its round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixedPacing {
+    duration: u64,
+}
+
+impl FixedPacing {
+    /// Rounds of `duration` ticks each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration == 0`.
+    pub fn new(duration: u64) -> Self {
+        assert!(duration >= 1, "rounds last at least one tick");
+        FixedPacing { duration }
+    }
+}
+
+impl RoundPacing for FixedPacing {
+    fn duration(&self, _round: Round) -> u64 {
+        self.duration
+    }
+
+    fn start_of(&self, round: Round) -> u64 {
+        self.duration * round.index()
+    }
+}
+
+/// Round lengths that double every `every` rounds, starting from
+/// `initial`.
+///
+/// This is the pacing for the *unknown*-constant model: whatever the true
+/// bound `Δ` is, some round eventually lasts at least `Δ`, and from that
+/// round on no message is late. The geometric growth keeps the time wasted
+/// on too-short rounds proportional to the time actually needed — the
+/// standard guess-and-double argument of Dwork–Lynch–Stockmeyer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DoublingPacing {
+    initial: u64,
+    every: u64,
+}
+
+impl DoublingPacing {
+    /// Rounds start at `initial` ticks and double every `every` rounds
+    /// (the growth saturates after 32 doublings rather than overflowing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial == 0` or `every == 0`.
+    pub fn new(initial: u64, every: u64) -> Self {
+        assert!(initial >= 1, "rounds last at least one tick");
+        assert!(every >= 1, "doubling period is at least one round");
+        DoublingPacing { initial, every }
+    }
+}
+
+impl RoundPacing for DoublingPacing {
+    fn duration(&self, round: Round) -> u64 {
+        let doublings = (round.index() / self.every).min(32);
+        self.initial.saturating_mul(1u64 << doublings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_pacing_is_flat() {
+        let p = FixedPacing::new(4);
+        assert_eq!(p.duration(Round::ZERO), 4);
+        assert_eq!(p.duration(Round::new(100)), 4);
+        assert_eq!(p.start_of(Round::new(3)), 12);
+    }
+
+    #[test]
+    fn doubling_pacing_grows_geometrically() {
+        let p = DoublingPacing::new(1, 2);
+        let durations: Vec<u64> = (0..8).map(|r| p.duration(Round::new(r))).collect();
+        assert_eq!(durations, vec![1, 1, 2, 2, 4, 4, 8, 8]);
+        // Prefix sums line up with the default start_of.
+        assert_eq!(p.start_of(Round::new(4)), 1 + 1 + 2 + 2);
+    }
+
+    #[test]
+    fn doubling_pacing_outlasts_any_bound() {
+        let p = DoublingPacing::new(1, 4);
+        let r = p.outlasts(1_000, 100).expect("must outlast");
+        assert!(p.duration(r) >= 1_000);
+        // And before that round, it had not yet caught up.
+        assert!(p.duration(Round::new(r.index() - 1)) < 1_000);
+    }
+
+    #[test]
+    fn fixed_pacing_outlasts_only_within_its_duration() {
+        let p = FixedPacing::new(5);
+        assert_eq!(p.outlasts(5, 10), Some(Round::ZERO));
+        assert_eq!(p.outlasts(6, 10), None);
+    }
+
+    #[test]
+    fn doubling_saturates_instead_of_overflowing() {
+        let p = DoublingPacing::new(u64::MAX / 2, 1);
+        // Far out, the duration saturates rather than wrapping.
+        assert_eq!(p.duration(Round::new(64)), u64::MAX);
+    }
+}

@@ -1,0 +1,290 @@
+//! The standard adversary suite, replayed on the delay substrate.
+//!
+//! [`homonym_sim::harness::run_standard_suite`] sweeps
+//! `input patterns × Byzantine placements × strategies` on the lock-step
+//! engine; this module runs the same grid over [`DelayCluster`], so every
+//! upper-bound claim that holds on basic rounds is re-checked on the
+//! delay-based models. Strategies and grid helpers are shared with the
+//! lock-step harness — only the substrate changes.
+
+use std::collections::BTreeSet;
+
+use homonym_core::{Domain, IdAssignment, Pid, Protocol, ProtocolFactory, Round, SystemConfig, Value};
+use homonym_sim::adversary::{
+    Adversary, CloneSpammer, CrashAt, Equivocator, Flooder, Mimic, ReplayFuzzer, Silent,
+    StaleReplayer,
+};
+use homonym_sim::harness::{byzantine_placements, input_patterns};
+
+use crate::driver::{DelayCluster, DelayReport};
+use crate::model::EventuallyBounded;
+use crate::pacing::FixedPacing;
+
+/// One scenario's outcome on the delay substrate.
+#[derive(Clone, Debug)]
+pub struct DelayScenarioResult<V> {
+    /// `inputs=… byz=… adversary=…`, as in the lock-step suite.
+    pub name: String,
+    /// The full report.
+    pub report: DelayReport<V>,
+}
+
+/// The outcomes of a full grid sweep.
+#[derive(Clone, Debug)]
+pub struct DelaySuiteResult<V> {
+    /// One entry per scenario, in grid order.
+    pub results: Vec<DelayScenarioResult<V>>,
+}
+
+impl<V: Value> DelaySuiteResult<V> {
+    /// Whether every scenario satisfied all three properties.
+    pub fn all_hold(&self) -> bool {
+        self.results.iter().all(|r| r.report.verdict.all_hold())
+    }
+
+    /// The scenarios that violated a property.
+    pub fn failures(&self) -> Vec<&DelayScenarioResult<V>> {
+        self.results
+            .iter()
+            .filter(|r| !r.report.verdict.all_hold())
+            .collect()
+    }
+
+    /// Whether lateness died out in every scenario.
+    pub fn all_stabilized(&self) -> bool {
+        self.results.iter().all(|r| r.report.clean_from().is_some())
+    }
+}
+
+/// Parameters of a delay-substrate suite run.
+#[derive(Clone, Copy, Debug)]
+pub struct DelaySuiteParams<'a, V> {
+    /// The system configuration (must be partially synchronous).
+    pub cfg: SystemConfig,
+    /// The identifier assignment.
+    pub assignment: &'a IdAssignment,
+    /// The value domain.
+    pub domain: &'a Domain<V>,
+    /// Known delay bound Δ (rounds are paced at exactly Δ ticks).
+    pub delta: u64,
+    /// The tick from which the bound holds.
+    pub calm_tick: u64,
+    /// Rounds to run after the calm point.
+    pub slack: u64,
+    /// Seed for the delay model and the seeded strategies.
+    pub seed: u64,
+}
+
+/// Runs the full `inputs × placements × strategies` grid over
+/// [`DelayCluster`] with the known-bound delay model.
+pub fn run_delay_suite<P, F>(
+    factory: &F,
+    params: &DelaySuiteParams<'_, P::Value>,
+) -> DelaySuiteResult<P::Value>
+where
+    P: Protocol + 'static,
+    F: ProtocolFactory<P = P>,
+{
+    let cfg = params.cfg;
+    let assignment = params.assignment;
+    let domain = params.domain;
+    let horizon = params.calm_tick / params.delta.max(1) + params.slack;
+    let mut results = Vec::new();
+    let mut salt = 0u64;
+
+    for (input_name, inputs) in input_patterns(domain, cfg.n) {
+        for (placement_name, byz) in byzantine_placements(assignment, cfg.t) {
+            let byz_inputs: Vec<(Pid, P::Value)> = byz
+                .iter()
+                .enumerate()
+                .map(|(k, &pid)| (pid, domain.values()[k % domain.len()].clone()))
+                .collect();
+            let opposite = domain.values().last().expect("non-empty domain").clone();
+            let split_half: BTreeSet<Pid> =
+                Pid::all(cfg.n).filter(|p| p.index() % 2 == 0).collect();
+
+            let mut adversaries: Vec<(&str, Box<dyn Adversary<P::Msg>>)> = vec![
+                ("silent", Box::new(Silent)),
+                (
+                    "crash",
+                    Box::new(CrashAt::new(
+                        Round::new(horizon / 2),
+                        Mimic::new(factory, assignment, &byz_inputs),
+                    )),
+                ),
+                ("mimic", Box::new(Mimic::new(factory, assignment, &byz_inputs))),
+                (
+                    "equivocator",
+                    Box::new(Equivocator::new(
+                        factory,
+                        assignment,
+                        &byz,
+                        domain.default_value().clone(),
+                        opposite.clone(),
+                        split_half,
+                    )),
+                ),
+                (
+                    "clone-spammer",
+                    Box::new(CloneSpammer::new(factory, assignment, &byz, domain.values())),
+                ),
+                (
+                    "replay-fuzzer",
+                    Box::new(ReplayFuzzer::new(params.seed ^ 0x5eed ^ salt, 3)),
+                ),
+                ("stale-replayer", Box::new(StaleReplayer::new(2, 4))),
+                ("flooder", Box::new(Flooder::new(4))),
+            ];
+            if cfg.t == 0 {
+                adversaries.truncate(1);
+            }
+
+            for (adv_name, adversary) in adversaries {
+                salt += 1;
+                let mut cluster = DelayClusterWithBoxed::build(
+                    cfg,
+                    assignment.clone(),
+                    inputs.clone(),
+                    byz.clone(),
+                    adversary,
+                    EventuallyBounded::new(
+                        params.delta,
+                        params.calm_tick,
+                        10 * params.delta + 20,
+                        params.seed ^ salt,
+                    ),
+                    FixedPacing::new(params.delta),
+                );
+                let report = cluster.run(factory, horizon);
+                results.push(DelayScenarioResult {
+                    name: format!(
+                        "inputs={input_name} byz={placement_name} adversary={adv_name}"
+                    ),
+                    report,
+                });
+            }
+        }
+    }
+
+    DelaySuiteResult { results }
+}
+
+/// Internal shim: [`DelayCluster::builder`] takes `impl Adversary`, but the
+/// suite owns its strategies as boxed trait objects; this adapter forwards
+/// a box through the `Adversary` interface.
+struct BoxedAdversary<M: homonym_core::Message>(Box<dyn Adversary<M>>);
+
+impl<M: homonym_core::Message> Adversary<M> for BoxedAdversary<M> {
+    fn send(
+        &mut self,
+        ctx: &homonym_sim::adversary::AdvCtx<'_>,
+    ) -> Vec<homonym_sim::adversary::Emission<M>> {
+        self.0.send(ctx)
+    }
+
+    fn receive(
+        &mut self,
+        round: Round,
+        inboxes: &std::collections::BTreeMap<Pid, homonym_core::Inbox<M>>,
+    ) {
+        self.0.receive(round, inboxes)
+    }
+}
+
+struct DelayClusterWithBoxed;
+
+impl DelayClusterWithBoxed {
+    #[allow(clippy::too_many_arguments)]
+    fn build<P: Protocol>(
+        cfg: SystemConfig,
+        assignment: IdAssignment,
+        inputs: Vec<P::Value>,
+        byz: BTreeSet<Pid>,
+        adversary: Box<dyn Adversary<P::Msg>>,
+        model: EventuallyBounded,
+        pacing: FixedPacing,
+    ) -> DelayCluster<P> {
+        DelayCluster::builder(cfg, assignment, inputs)
+            .byzantine(byz, BoxedAdversary(adversary))
+            .model(model)
+            .pacing(pacing)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_core::{ByzPower, Counting, Synchrony};
+
+    #[test]
+    fn suite_result_accounting() {
+        let suite: DelaySuiteResult<bool> = DelaySuiteResult { results: Vec::new() };
+        assert!(suite.all_hold());
+        assert!(suite.all_stabilized());
+        assert!(suite.failures().is_empty());
+    }
+
+    // The full grid runs live in tests/delay_suite.rs at the workspace
+    // root (they need the psync protocols, a dev-dependency there); this
+    // in-crate test only checks the plumbing with a trivial protocol.
+    #[derive(Clone, Debug)]
+    struct Fixed {
+        id: homonym_core::Id,
+        v: bool,
+    }
+
+    impl Protocol for Fixed {
+        type Msg = bool;
+        type Value = bool;
+
+        fn id(&self) -> homonym_core::Id {
+            self.id
+        }
+
+        fn send(&mut self, _round: Round) -> Vec<(homonym_core::Recipients, bool)> {
+            vec![(homonym_core::Recipients::All, self.v)]
+        }
+
+        fn receive(&mut self, _round: Round, _inbox: &homonym_core::Inbox<bool>) {}
+
+        fn decision(&self) -> Option<bool> {
+            Some(self.v)
+        }
+    }
+
+    #[test]
+    fn grid_covers_placements_and_strategies() {
+        let cfg = SystemConfig::builder(4, 4, 1)
+            .synchrony(Synchrony::PartiallySynchronous)
+            .counting(Counting::Numerate)
+            .byz_power(ByzPower::Unrestricted)
+            .build()
+            .unwrap();
+        let assignment = IdAssignment::unique(4);
+        let domain = Domain::binary();
+        let factory = homonym_core::FnFactory::new(|id, v| Fixed { id, v });
+        let suite = run_delay_suite(
+            &factory,
+            &DelaySuiteParams {
+                cfg,
+                assignment: &assignment,
+                domain: &domain,
+                delta: 1,
+                calm_tick: 0,
+                slack: 4,
+                seed: 3,
+            },
+        );
+        // 3 input patterns × placements × 8 strategies, all non-empty.
+        assert!(suite.results.len() >= 24, "{}", suite.results.len());
+        // `Fixed` decides its own input instantly: unanimous patterns
+        // hold, the split pattern violates agreement — the checker works.
+        assert!(!suite.all_hold());
+        assert!(suite
+            .results
+            .iter()
+            .filter(|r| r.name.contains("unanimous"))
+            .all(|r| r.report.verdict.all_hold()));
+    }
+}

@@ -1,0 +1,192 @@
+//! The Theorem 19 clone reduction: restricting Byzantine processes does not
+//! help *innumerate* processes.
+//!
+//! The proof observes that if the Byzantine processes send every holder of
+//! an identifier the same messages, then homonym clones with equal inputs
+//! receive identical inboxes forever (innumerate reception collapses their
+//! own duplicate messages), so they march in lockstep and the system is
+//! indistinguishable from one with a single process per identifier — i.e.
+//! a classical system of `ℓ ≤ 3t` processes, where Byzantine agreement is
+//! impossible.
+//!
+//! Two executable pieces:
+//!
+//! * [`lockstep_report`] — runs any protocol with a stack of clones and a
+//!   group-uniform restricted adversary, and verifies the clones send
+//!   identical messages and decide identically in every round (the
+//!   reduction's key invariant);
+//! * [`innumerate_starvation`] — runs the Figure 7 protocol (which counts
+//!   message multiplicities) under innumerate delivery and reports whether
+//!   it stalls: duplicate bundles collapse, witness counts starve below
+//!   `n − t`, and no progress is possible — a concrete instance of why the
+//!   `ℓ > t` bound cannot survive innumeracy (Theorems 19 and 20).
+
+use std::collections::BTreeSet;
+
+use homonym_core::{
+    Counting, Domain, Id, IdAssignment, Pid, Protocol, ProtocolFactory, Round, SystemConfig,
+    Synchrony,
+};
+use homonym_psync::RestrictedFactory;
+use homonym_sim::adversary::Mimic;
+use homonym_sim::Simulation;
+
+/// The result of a clone-lockstep run.
+#[derive(Clone, Debug)]
+pub struct LockstepReport {
+    /// The clone processes observed.
+    pub clones: Vec<Pid>,
+    /// Whether all clones sent identical message sequences.
+    pub sends_identical: bool,
+    /// Whether all clones decided identically (value and round).
+    pub decisions_identical: bool,
+    /// Rounds observed.
+    pub rounds: u64,
+}
+
+impl LockstepReport {
+    /// The reduction's invariant: clones are indistinguishable from one
+    /// process.
+    pub fn in_lockstep(&self) -> bool {
+        self.sends_identical && self.decisions_identical
+    }
+}
+
+/// Runs `factory`'s protocol in a system where identifier 1 is held by a
+/// stack of `n − ℓ + 1` clones with equal inputs, with a restricted,
+/// group-uniform Byzantine process (a [`Mimic`] — it runs the real protocol,
+/// which broadcasts, hence sends every clone the same thing), and verifies
+/// the lockstep invariant from the trace.
+pub fn lockstep_report<P, F>(
+    factory: &F,
+    n: usize,
+    ell: usize,
+    t: usize,
+    input: P::Value,
+    byz_input: P::Value,
+    horizon: u64,
+) -> LockstepReport
+where
+    P: Protocol + 'static,
+    F: ProtocolFactory<P = P>,
+{
+    let cfg = SystemConfig::builder(n, ell, t)
+        .counting(Counting::Innumerate)
+        .byz_power(homonym_core::ByzPower::Restricted)
+        .build()
+        .expect("valid configuration");
+    let assignment = IdAssignment::stacked(ell, n).expect("ell <= n");
+    let clones: Vec<Pid> = assignment.group(Id::new(1));
+    // The Byzantine process is the last one (a singleton identifier), so
+    // the whole clone stack stays correct.
+    let byz = Pid::new(n - 1);
+    let adversary = Mimic::new(factory, &assignment, &[(byz, byz_input)]);
+    let mut sim = Simulation::builder(cfg, assignment.clone(), vec![input; n])
+        .byzantine([byz], adversary)
+        .record_trace(true)
+        .build_with(factory);
+    let report = sim.run_exact(horizon);
+
+    let trace = sim.trace().expect("trace enabled");
+    let mut sends_identical = true;
+    for r in 0..horizon {
+        let round = Round::new(r);
+        let reference: BTreeSet<_> = trace
+            .sent_by(clones[0], round)
+            .map(|d| d.msg.clone())
+            .collect();
+        for &clone in &clones[1..] {
+            let other: BTreeSet<_> = trace
+                .sent_by(clone, round)
+                .map(|d| d.msg.clone())
+                .collect();
+            if other != reference {
+                sends_identical = false;
+            }
+        }
+    }
+
+    let first = report.outcome.decisions.get(&clones[0]);
+    let decisions_identical = clones
+        .iter()
+        .all(|p| report.outcome.decisions.get(p) == first);
+
+    LockstepReport {
+        clones,
+        sends_identical,
+        decisions_identical,
+        rounds: report.rounds,
+    }
+}
+
+/// The result of the innumerate-starvation experiment.
+#[derive(Clone, Debug)]
+pub struct StarvationReport {
+    /// Whether the numerate run decided (it should).
+    pub numerate_decides: bool,
+    /// Whether the innumerate run decided (it should not — witness counts
+    /// collapse).
+    pub innumerate_decides: bool,
+    /// The horizon both runs were observed to.
+    pub horizon: u64,
+}
+
+impl StarvationReport {
+    /// The contrast the experiment is after: counting is what makes
+    /// `ℓ > t` identifiers sufficient.
+    pub fn counting_is_essential(&self) -> bool {
+        self.numerate_decides && !self.innumerate_decides
+    }
+}
+
+/// Runs the Figure 7 protocol twice on the same homonym-heavy system —
+/// once numerate, once innumerate — with no Byzantine process at all, and
+/// reports which run decides. With `ℓ ≤ 3t` identifiers the innumerate run
+/// starves: clones' identical bundles collapse to one, so witness counts
+/// cannot reach `n − t`.
+pub fn innumerate_starvation(n: usize, ell: usize, t: usize, horizon: u64) -> StarvationReport {
+    let factory = RestrictedFactory::new(n, ell, t, Domain::binary());
+    let run = |counting: Counting| -> bool {
+        let cfg = SystemConfig::builder(n, ell, t)
+            .synchrony(Synchrony::PartiallySynchronous)
+            .counting(counting)
+            .byz_power(homonym_core::ByzPower::Restricted)
+            .build()
+            .expect("valid configuration");
+        let assignment = IdAssignment::stacked(ell, n).expect("ell <= n");
+        let mut sim = Simulation::builder(cfg, assignment, vec![true; n]).build_with(&factory);
+        sim.run(horizon).all_decided_round.is_some()
+    };
+    StarvationReport {
+        numerate_decides: run(Counting::Numerate),
+        innumerate_decides: run(Counting::Innumerate),
+        horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_psync::RestrictedFactory;
+
+    #[test]
+    fn clones_stay_in_lockstep() {
+        // n = 5, ℓ = 2, t = 1: identifier 1 is a stack of 4 clones.
+        let factory = RestrictedFactory::new(5, 2, 1, Domain::binary());
+        let report = lockstep_report(&factory, 5, 2, 1, true, false, 8 * 4);
+        assert_eq!(report.clones.len(), 4);
+        assert!(report.sends_identical, "clones must send identically");
+        assert!(report.decisions_identical);
+        assert!(report.in_lockstep());
+    }
+
+    #[test]
+    fn counting_is_what_ell_gt_t_buys() {
+        // n = 4, ℓ = 2, t = 1 (stack of 3 on identifier 1): numerate
+        // decides, innumerate starves.
+        let report = innumerate_starvation(4, 2, 1, 8 * 6);
+        assert!(report.numerate_decides, "{report:?}");
+        assert!(!report.innumerate_decides, "{report:?}");
+        assert!(report.counting_is_essential());
+    }
+}

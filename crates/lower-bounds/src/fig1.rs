@@ -1,0 +1,391 @@
+//! The Proposition 1 ring construction (Figure 1): synchronous Byzantine
+//! agreement is unsolvable when `ℓ ≤ 3t`, even for numerate processes.
+//!
+//! For an algorithm `A` designed for `n` processes with `ℓ = 3t`
+//! identifiers, build one big *correct* system of `2(n − t)` processes:
+//!
+//! * the **X side**: identifiers `1..=2t` with input 0 — identifier 1 is a
+//!   stack of `n − 3t + 1` processes, the rest singletons;
+//! * the **Y side**: identifiers `t+1..=3t` with input 1 — identifier
+//!   `t+1` is a stack, the rest singletons.
+//!
+//! Three views are carved out, each of `n − t` processes, and the
+//! communication graph is exactly the union of the three view cliques:
+//!
+//! 1. **view I** — the Y side. Its members' joint history is a legal
+//!    execution of an `n`-process system where identifiers `1..=t` are
+//!    held by Byzantine processes (the X processes of identifiers `1..=t`,
+//!    visible only to some members, are "explained" as Byzantine — this
+//!    needs multi-send, since identifier 1 is a whole stack). All inputs
+//!    are 1, so validity forces output 1.
+//! 2. **view II** — the X side; symmetric, validity forces output 0.
+//! 3. **view III** — X's identifiers `1..=t` plus Y's `2t+1..=3t`:
+//!    a legal execution with Byzantine identifiers `t+1..=2t`; agreement
+//!    forces a common output, contradicting views I and II.
+//!
+//! Running any deterministic algorithm in this system *must* produce a
+//! property violation in at least one view — [`run`] reports which.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use homonym_core::{Id, IdAssignment, Pid, Protocol, ProtocolFactory, SystemConfig};
+use homonym_sim::{Simulation, Topology};
+
+/// The ring system layout.
+#[derive(Clone, Debug)]
+pub struct Fig1System {
+    /// The tested system's process count `n`.
+    pub n: usize,
+    /// The tested system's fault bound `t` (so `ℓ = 3t`).
+    pub t: usize,
+    /// Identifier of each big-system process.
+    pub assignment: IdAssignment,
+    /// Input (0 = `false`, 1 = `true`) of each big-system process.
+    pub inputs: Vec<bool>,
+    /// The union-of-cliques communication graph.
+    pub topology: Topology,
+    /// The three views: members and imagined-Byzantine identifiers.
+    pub views: [View; 3],
+}
+
+/// One projected view of the ring system.
+#[derive(Clone, Debug)]
+pub struct View {
+    /// A short name ("I", "II", "III").
+    pub name: &'static str,
+    /// The big-system processes whose joint history forms this view.
+    pub members: Vec<Pid>,
+    /// The identifiers attributed to Byzantine processes in this view.
+    pub byz_ids: Vec<Id>,
+    /// What Byzantine agreement requires of this view: `Some(v)` if
+    /// validity forces output `v`, `None` if only agreement applies.
+    pub forced_output: Option<bool>,
+}
+
+/// What one view's claim evaluation produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewVerdict {
+    /// The required property held in this view.
+    Holds,
+    /// Some member never decided.
+    TerminationViolated {
+        /// Members without a decision.
+        undecided: Vec<Pid>,
+    },
+    /// Validity was violated: a member decided against the forced output.
+    ValidityViolated {
+        /// The offending member.
+        who: Pid,
+        /// What it decided.
+        decided: bool,
+        /// What validity forced.
+        forced: bool,
+    },
+    /// Agreement was violated inside the view.
+    AgreementViolated {
+        /// One member and its decision.
+        a: (Pid, bool),
+        /// A conflicting member and its decision.
+        b: (Pid, bool),
+    },
+}
+
+impl ViewVerdict {
+    /// Whether the view satisfied its claim.
+    pub fn holds(&self) -> bool {
+        matches!(self, ViewVerdict::Holds)
+    }
+}
+
+impl fmt::Display for ViewVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewVerdict::Holds => write!(f, "holds"),
+            ViewVerdict::TerminationViolated { undecided } => {
+                write!(f, "termination violated ({} undecided)", undecided.len())
+            }
+            ViewVerdict::ValidityViolated { who, decided, forced } => write!(
+                f,
+                "validity violated ({who} decided {decided} against forced {forced})"
+            ),
+            ViewVerdict::AgreementViolated { a, b } => write!(
+                f,
+                "agreement violated ({} decided {}, {} decided {})",
+                a.0, a.1, b.0, b.1
+            ),
+        }
+    }
+}
+
+/// The outcome of running an algorithm inside the ring.
+#[derive(Clone, Debug)]
+pub struct Fig1Report {
+    /// Per-view verdicts, in view order (I, II, III).
+    pub verdicts: [ViewVerdict; 3],
+    /// Whether the wiring was verified: every message a view member
+    /// received from outside its view carried one of the view's
+    /// imagined-Byzantine identifiers (so each view really is a legal
+    /// execution).
+    pub views_legal: bool,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+impl Fig1Report {
+    /// The proposition's prediction: at least one view violates its claim.
+    pub fn contradiction_exhibited(&self) -> bool {
+        self.verdicts.iter().any(|v| !v.holds())
+    }
+
+    /// The first failing view (name, verdict), if any.
+    pub fn failing_view(&self) -> Option<(&'static str, &ViewVerdict)> {
+        const NAMES: [&str; 3] = ["I", "II", "III"];
+        self.verdicts
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.holds())
+            .map(|(k, v)| (NAMES[k], v))
+    }
+}
+
+/// Builds the ring system for an algorithm designed for `n` processes and
+/// `ℓ = 3t` identifiers.
+///
+/// # Panics
+///
+/// Panics if `t == 0` or `n < 3t` (the construction needs a non-empty
+/// stack and at least `3t` identifiers' worth of processes).
+pub fn build(n: usize, t: usize) -> Fig1System {
+    assert!(t >= 1, "the construction needs at least one Byzantine identifier");
+    assert!(n >= 3 * t, "need n >= 3t so every identifier is assigned");
+    let ell = 3 * t;
+    let stack = n - ell + 1;
+    let side = n - t; // processes per side
+
+    let mut ids: Vec<Id> = Vec::new();
+    let mut inputs: Vec<bool> = Vec::new();
+
+    // X side (pids 0..side): ids 1..=2t, input 0; id 1 is the stack.
+    for _ in 0..stack {
+        ids.push(Id::new(1));
+        inputs.push(false);
+    }
+    for j in 2..=(2 * t) {
+        ids.push(Id::new(j as u16));
+        inputs.push(false);
+    }
+    // Y side (pids side..2*side): ids t+1..=3t, input 1; id t+1 is the stack.
+    for _ in 0..stack {
+        ids.push(Id::new((t + 1) as u16));
+        inputs.push(true);
+    }
+    for j in (t + 2)..=(3 * t) {
+        ids.push(Id::new(j as u16));
+        inputs.push(true);
+    }
+    debug_assert_eq!(ids.len(), 2 * side);
+
+    let x_side: Vec<Pid> = (0..side).map(Pid::new).collect();
+    let y_side: Vec<Pid> = (side..2 * side).map(Pid::new).collect();
+    // X processes with identifiers 1..=t: the stack plus singles 2..=t.
+    let x_low: Vec<Pid> = (0..(stack + t - 1)).map(Pid::new).collect();
+    // Y processes with identifiers 2t+1..=3t: the last t singles.
+    let y_high: Vec<Pid> = ((2 * side - t)..(2 * side)).map(Pid::new).collect();
+
+    let views = [
+        View {
+            name: "I",
+            members: y_side.clone(),
+            byz_ids: (1..=t).map(|j| Id::new(j as u16)).collect(),
+            forced_output: Some(true),
+        },
+        View {
+            name: "II",
+            members: x_side.clone(),
+            byz_ids: ((2 * t + 1)..=(3 * t)).map(|j| Id::new(j as u16)).collect(),
+            forced_output: Some(false),
+        },
+        View {
+            name: "III",
+            members: x_low.iter().chain(&y_high).copied().collect(),
+            byz_ids: ((t + 1)..=(2 * t)).map(|j| Id::new(j as u16)).collect(),
+            forced_output: None,
+        },
+    ];
+
+    // Communication graph: union of the view cliques.
+    let mut edges: BTreeSet<(Pid, Pid)> = BTreeSet::new();
+    for view in &views {
+        for &a in &view.members {
+            for &b in &view.members {
+                if a < b {
+                    edges.insert((a, b));
+                }
+            }
+        }
+    }
+    let topology = Topology::with_edges(2 * side, edges);
+
+    Fig1System {
+        n,
+        t,
+        assignment: IdAssignment::new(ell, ids).expect("construction covers all identifiers"),
+        inputs,
+        topology,
+        views,
+    }
+}
+
+/// Runs the algorithm produced by `factory` (designed for `ℓ = 3t`
+/// identifiers and fault bound `t`) inside the ring for `horizon` rounds
+/// and evaluates the three view claims.
+///
+/// Every process in the big system is *correct*; the Byzantine behaviour
+/// exists only in each view's imagination.
+pub fn run<P, F>(factory: &F, sys: &Fig1System, horizon: u64) -> Fig1Report
+where
+    P: Protocol<Value = bool> + 'static,
+    F: ProtocolFactory<P = P>,
+{
+    let big_n = sys.assignment.n();
+    let cfg = SystemConfig::builder(big_n, 3 * sys.t, 0)
+        .build()
+        .expect("ring configuration is structurally valid");
+    let mut sim = Simulation::builder(cfg, sys.assignment.clone(), sys.inputs.clone())
+        .topology(sys.topology.clone())
+        .record_trace(true)
+        .build_with(factory);
+    let report = sim.run_exact(horizon);
+
+    // Verify each view is legal: outside messages only from imagined-
+    // Byzantine identifiers.
+    let trace = sim.trace().expect("trace was enabled");
+    let mut views_legal = true;
+    for view in &sys.views {
+        let members: BTreeSet<Pid> = view.members.iter().copied().collect();
+        for d in trace.deliveries() {
+            if d.dropped || !members.contains(&d.to) || members.contains(&d.from) {
+                continue;
+            }
+            if !view.byz_ids.contains(&d.src_id) {
+                views_legal = false;
+            }
+        }
+    }
+
+    let decisions = sim.decisions();
+    let verdict_for = |view: &View| -> ViewVerdict {
+        let undecided: Vec<Pid> = view
+            .members
+            .iter()
+            .filter(|p| !decisions.contains_key(p))
+            .copied()
+            .collect();
+        if !undecided.is_empty() {
+            return ViewVerdict::TerminationViolated { undecided };
+        }
+        if let Some(forced) = view.forced_output {
+            for &p in &view.members {
+                let (v, _) = decisions[&p];
+                if v != forced {
+                    return ViewVerdict::ValidityViolated {
+                        who: p,
+                        decided: v,
+                        forced,
+                    };
+                }
+            }
+        }
+        let mut iter = view.members.iter();
+        let first = *iter.next().expect("views are non-empty");
+        let (v0, _) = decisions[&first];
+        for &p in iter {
+            let (v, _) = decisions[&p];
+            if v != v0 {
+                return ViewVerdict::AgreementViolated {
+                    a: (first, v0),
+                    b: (p, v),
+                };
+            }
+        }
+        ViewVerdict::Holds
+    };
+
+    Fig1Report {
+        verdicts: [
+            verdict_for(&sys.views[0]),
+            verdict_for(&sys.views[1]),
+            verdict_for(&sys.views[2]),
+        ],
+        views_legal,
+        rounds: report.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_classic::Eig;
+    use homonym_core::Domain;
+    use homonym_sync::TransformedFactory;
+
+    #[test]
+    fn layout_counts() {
+        let sys = build(5, 1); // ℓ = 3, stack = 3, side = 4
+        assert_eq!(sys.assignment.n(), 8);
+        assert_eq!(sys.assignment.ell(), 3);
+        assert_eq!(sys.assignment.group(Id::new(1)).len(), 3); // X stack
+        assert_eq!(sys.assignment.group(Id::new(2)).len(), 4); // X single + Y stack
+        assert_eq!(sys.assignment.group(Id::new(3)).len(), 1); // Y single
+        for view in &sys.views {
+            assert_eq!(view.members.len(), 4, "each view has n - t members");
+        }
+    }
+
+    #[test]
+    fn views_see_only_their_byzantine_ids_from_outside() {
+        // Structural check: every edge crossing a view boundary lands on an
+        // imagined-Byzantine identifier of that view.
+        let sys = build(5, 1);
+        for view in &sys.views {
+            let members: BTreeSet<Pid> = view.members.iter().copied().collect();
+            for &m in &view.members {
+                for other in Pid::all(sys.assignment.n()) {
+                    if members.contains(&other) || !sys.topology.connected(other, m) {
+                        continue;
+                    }
+                    assert!(
+                        view.byz_ids.contains(&sys.assignment.id_of(other)),
+                        "view {}: outsider {other} with id {} is connected to {m}",
+                        view.name,
+                        sys.assignment.id_of(other)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_forces_a_violation_on_t_eig() {
+        // T(EIG) configured (incorrectly, per Proposition 1) for ℓ = 3t.
+        let t = 1;
+        let n = 5;
+        let algo = Eig::new_unchecked(3 * t, t, Domain::binary());
+        let factory = TransformedFactory::new(algo, t);
+        let sys = build(n, t);
+        let report = run(&factory, &sys, factory.round_bound() + 6);
+        assert!(report.views_legal, "the construction must be a legal wiring");
+        assert!(
+            report.contradiction_exhibited(),
+            "some view must violate its claim: {:?}",
+            report.verdicts
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one Byzantine")]
+    fn t_zero_rejected() {
+        let _ = build(4, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The Proposition 4 partition construction (Figure 4): partially
+//! synchronous Byzantine agreement is unsolvable when `ℓ ≤ (n + 3t)/2`,
+//! even for numerate processes.
+//!
+//! Given an algorithm for `(n, ℓ, t)` with `3t < ℓ ≤ (n + 3t)/2`:
+//!
+//! 1. **α** — `n` processes, identifier 1 a stack of `n − ℓ + 1`, the
+//!    rest singletons; the holders of identifiers `t+1..=2t` are Byzantine
+//!    and silent; all inputs 0; full delivery. Validity and termination
+//!    make every correct process decide 0 by some round `rα`.
+//! 2. **β** — symmetric with inputs 1 and Byzantine identifiers
+//!    `2t+1..=3t`; decides 1 by `rβ`.
+//! 3. **γ** — `n` processes: Byzantine identifiers `1..=t`; a **0-side**
+//!    (identifiers `2t+1..=ℓ`, input 0), a **1-side** (identifiers
+//!    `t+1..=2t` and `3t+1..=ℓ`, input 1), and `n − 2ℓ + 3t` padding
+//!    processes isolated until the end. Messages between the sides are
+//!    dropped until round `max(rα, rβ)`; the Byzantine processes replay to
+//!    each 0-side process exactly what its α-counterpart received from
+//!    identifiers `1..=t` in α (this impersonates the whole identifier-1
+//!    stack, hence needs multi-send), and symmetrically replay β to the
+//!    1-side.
+//!
+//! The 0-side cannot distinguish γ from α, so it decides 0; the 1-side
+//! decides 1 — an agreement violation on the real protocol, with only
+//! finitely many messages dropped (legal in the basic partially
+//! synchronous model).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use homonym_core::{Id, IdAssignment, Pid, Protocol, ProtocolFactory, Round, SystemConfig};
+use homonym_sim::adversary::{Compose, Silent, TraceReplayer};
+use homonym_sim::{Both, IsolateUntil, PartitionUntil, Simulation, Trace};
+
+/// The outcome of the construction.
+#[derive(Clone, Debug)]
+pub enum Fig4Outcome {
+    /// The reference execution α (or β) did not decide within the horizon,
+    /// so the algorithm forfeits termination instead of agreement — also a
+    /// Byzantine agreement violation, reported as such.
+    ReferenceStalled {
+        /// Which reference execution stalled ("alpha" or "beta").
+        which: &'static str,
+        /// The observation horizon.
+        horizon: u64,
+    },
+    /// γ ran; the construction predicts (and the test asserts) an
+    /// agreement violation between the sides.
+    Partitioned {
+        /// Decisions of the 0-side processes.
+        zero_side: BTreeMap<Pid, Option<bool>>,
+        /// Decisions of the 1-side processes.
+        one_side: BTreeMap<Pid, Option<bool>>,
+        /// Round at which the partition healed (`max(rα, rβ) + 1`).
+        healed_at: u64,
+        /// Whether the replay was perfect: every 0-side process received
+        /// in γ, round for round, exactly the multiset of messages its
+        /// α-counterpart received (and symmetrically for the 1-side).
+        replay_faithful: bool,
+    },
+}
+
+impl Fig4Outcome {
+    /// Whether the run exhibited a Byzantine agreement violation
+    /// (disagreement between the sides, or a stalled reference run).
+    pub fn violation_exhibited(&self) -> bool {
+        match self {
+            Fig4Outcome::ReferenceStalled { .. } => true,
+            Fig4Outcome::Partitioned {
+                zero_side,
+                one_side,
+                ..
+            } => {
+                let zeros: BTreeSet<Option<bool>> = zero_side.values().copied().collect();
+                let ones: BTreeSet<Option<bool>> = one_side.values().copied().collect();
+                zeros.contains(&Some(false)) && ones.contains(&Some(true))
+                    || zero_side.values().any(|d| d.is_none())
+                    || one_side.values().any(|d| d.is_none())
+            }
+        }
+    }
+
+    /// Whether it was specifically the predicted *agreement* violation:
+    /// every 0-side process decided 0 and every 1-side process decided 1.
+    pub fn split_brain(&self) -> bool {
+        match self {
+            Fig4Outcome::ReferenceStalled { .. } => false,
+            Fig4Outcome::Partitioned {
+                zero_side,
+                one_side,
+                ..
+            } => {
+                zero_side.values().all(|d| *d == Some(false))
+                    && one_side.values().all(|d| *d == Some(true))
+            }
+        }
+    }
+}
+
+/// The α/β reference layout: identifier 1 stacked, everything else single.
+fn reference_assignment(n: usize, ell: usize) -> IdAssignment {
+    IdAssignment::stacked(ell, n).expect("ell <= n")
+}
+
+/// The process holding single identifier `j ≥ 2` in the reference layout.
+fn reference_pid_of_id(n: usize, ell: usize, j: usize) -> Pid {
+    debug_assert!(j >= 2 && j <= ell);
+    Pid::new(n - ell + j - 1)
+}
+
+/// Runs one reference execution (inputs all `input`, Byzantine identifiers
+/// `byz_ids` silent) and returns its trace and the all-decided round.
+fn run_reference<P, F>(
+    factory: &F,
+    cfg: SystemConfig,
+    input: bool,
+    byz_ids: std::ops::RangeInclusive<usize>,
+    horizon: u64,
+) -> (Trace<P::Msg>, Option<u64>)
+where
+    P: Protocol<Value = bool> + 'static,
+    F: ProtocolFactory<P = P>,
+{
+    let assignment = reference_assignment(cfg.n, cfg.ell);
+    let byz: Vec<Pid> = byz_ids
+        .map(|j| reference_pid_of_id(cfg.n, cfg.ell, j))
+        .collect();
+    let mut sim = Simulation::builder(cfg, assignment, vec![input; cfg.n])
+        .byzantine(byz, Silent)
+        .record_trace(true)
+        .build_with(factory);
+    let report = sim.run_exact(horizon);
+    let decided = report.all_decided_round.map(|r| r.index());
+    (sim.into_trace().expect("trace enabled"), decided)
+}
+
+/// Builds and runs the whole construction for the algorithm produced by
+/// `factory`, which must be configured for exactly `(n, ℓ, t)`.
+///
+/// `horizon` bounds the reference executions (choose it above the
+/// algorithm's decision bound).
+///
+/// # Panics
+///
+/// Panics unless `3t < ℓ ≤ (n + 3t)/2` and `t ≥ 1` — the construction's
+/// applicability range.
+pub fn run<P, F>(factory: &F, cfg: SystemConfig, horizon: u64) -> Fig4Outcome
+where
+    P: Protocol<Value = bool> + 'static,
+    F: ProtocolFactory<P = P>,
+{
+    let (n, ell, t) = (cfg.n, cfg.ell, cfg.t);
+    assert!(t >= 1, "the construction needs a Byzantine process");
+    assert!(ell > 3 * t, "for ell <= 3t use the Figure 1 construction");
+    assert!(
+        2 * ell <= n + 3 * t,
+        "ell > (n + 3t)/2 is solvable; the construction does not apply"
+    );
+
+    // Step 1 and 2: record α and β.
+    let (alpha, r_alpha) = run_reference(factory, cfg, false, (t + 1)..=(2 * t), horizon);
+    let Some(r_alpha) = r_alpha else {
+        return Fig4Outcome::ReferenceStalled { which: "alpha", horizon };
+    };
+    let (beta, r_beta) = run_reference(factory, cfg, true, (2 * t + 1)..=(3 * t), horizon);
+    let Some(r_beta) = r_beta else {
+        return Fig4Outcome::ReferenceStalled { which: "beta", horizon };
+    };
+    let heal = r_alpha.max(r_beta) + 1;
+
+    // Step 3: lay out γ.
+    //   pids 0..t:                Byzantine, identifiers 1..=t
+    //   next ℓ−2t pids:           0-side, identifiers 2t+1..=ℓ, input 0
+    //   next ℓ−2t pids:           1-side, identifiers t+1..=2t, 3t+1..=ℓ, input 1
+    //   remaining n−2ℓ+3t pids:   padding, identifier 2t+1, input 0, isolated
+    let side = ell - 2 * t;
+    let mut ids: Vec<Id> = Vec::new();
+    let mut inputs: Vec<bool> = Vec::new();
+    for j in 1..=t {
+        ids.push(Id::new(j as u16));
+        inputs.push(false); // ignored: Byzantine
+    }
+    let zero_ids: Vec<usize> = ((2 * t + 1)..=ell).collect();
+    for &j in &zero_ids {
+        ids.push(Id::new(j as u16));
+        inputs.push(false);
+    }
+    let one_ids: Vec<usize> = ((t + 1)..=(2 * t)).chain((3 * t + 1)..=ell).collect();
+    for &j in &one_ids {
+        ids.push(Id::new(j as u16));
+        inputs.push(true);
+    }
+    let pad = n - (t + 2 * side);
+    for _ in 0..pad {
+        ids.push(Id::new((2 * t + 1) as u16));
+        inputs.push(false);
+    }
+    let assignment = IdAssignment::new(ell, ids).expect("gamma covers all identifiers");
+
+    let byz: Vec<Pid> = (0..t).map(Pid::new).collect();
+    let zero_pids: Vec<Pid> = (t..t + side).map(Pid::new).collect();
+    let one_pids: Vec<Pid> = (t + side..t + 2 * side).map(Pid::new).collect();
+    let pad_pids: BTreeSet<Pid> = (t + 2 * side..n).map(Pid::new).collect();
+
+    // Replay maps: γ-side process → reference process with the same single
+    // identifier.
+    let zero_map: BTreeMap<Pid, Pid> = zero_pids
+        .iter()
+        .zip(&zero_ids)
+        .map(|(&p, &j)| (p, reference_pid_of_id(n, ell, j)))
+        .collect();
+    let one_map: BTreeMap<Pid, Pid> = one_pids
+        .iter()
+        .zip(&one_ids)
+        .map(|(&p, &j)| (p, reference_pid_of_id(n, ell, j)))
+        .collect();
+
+    let adversary = Compose::new(vec![
+        Box::new(TraceReplayer::new(alpha.clone(), zero_map.clone())),
+        Box::new(TraceReplayer::new(beta.clone(), one_map.clone())),
+    ]);
+    let drops = Both(
+        PartitionUntil::new(
+            vec![
+                zero_pids.iter().copied().collect(),
+                one_pids.iter().copied().collect(),
+            ],
+            Round::new(heal),
+        ),
+        IsolateUntil::new(pad_pids, Round::new(heal)),
+    );
+
+    let mut sim = Simulation::builder(cfg, assignment, inputs)
+        .byzantine(byz, adversary)
+        .drops(drops)
+        .record_trace(true)
+        .build_with(factory);
+    let gamma_report = sim.run_exact(heal);
+
+    // Fidelity check: each side received, per round, exactly what its
+    // reference counterpart received (as innumerate/numerate-agnostic
+    // multisets of (identifier, message)).
+    let gamma_trace = sim.trace().expect("trace enabled");
+    let mut replay_faithful = true;
+    for (map, reference) in [(&zero_map, &alpha), (&one_map, &beta)] {
+        for (&gpid, &rpid) in map.iter() {
+            for r in 0..heal.min(8) {
+                let round = Round::new(r);
+                let mut got: Vec<_> = gamma_trace
+                    .received_by(gpid, round)
+                    .map(|d| (d.src_id, d.msg.clone()))
+                    .collect();
+                let mut want: Vec<_> = reference
+                    .received_by(rpid, round)
+                    .map(|d| (d.src_id, d.msg.clone()))
+                    .collect();
+                got.sort();
+                want.sort();
+                if got != want {
+                    replay_faithful = false;
+                }
+            }
+        }
+    }
+
+    let decisions = &gamma_report.outcome.decisions;
+    let collect = |pids: &[Pid]| -> BTreeMap<Pid, Option<bool>> {
+        pids.iter()
+            .map(|&p| (p, decisions.get(&p).map(|&(v, _)| v)))
+            .collect()
+    };
+    Fig4Outcome::Partitioned {
+        zero_side: collect(&zero_pids),
+        one_side: collect(&one_pids),
+        healed_at: heal,
+        replay_faithful,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_core::{Domain, Synchrony};
+    use homonym_psync::AgreementFactory;
+
+    fn cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+        SystemConfig::builder(n, ell, t)
+            .synchrony(Synchrony::PartiallySynchronous)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reference_layout() {
+        let a = reference_assignment(5, 4);
+        assert_eq!(a.group(Id::new(1)).len(), 2);
+        assert_eq!(reference_pid_of_id(5, 4, 2), Pid::new(2));
+        assert_eq!(reference_pid_of_id(5, 4, 4), Pid::new(4));
+        assert_eq!(a.id_of(reference_pid_of_id(5, 4, 3)), Id::new(3));
+    }
+
+    #[test]
+    fn headline_case_n5_ell4_t1_split_brain() {
+        // The paper's surprise: t = 1, ℓ = 4 works for n = 4 but not n = 5.
+        // Here is n = 5 failing concretely.
+        let cfg = cfg(5, 4, 1);
+        let factory = AgreementFactory::new(5, 4, 1, Domain::binary());
+        let outcome = run(&factory, cfg, 8 * 12);
+        assert!(outcome.violation_exhibited(), "{outcome:?}");
+        match &outcome {
+            Fig4Outcome::Partitioned { replay_faithful, .. } => {
+                assert!(replay_faithful, "replay must mirror the references");
+                assert!(outcome.split_brain(), "{outcome:?}");
+            }
+            Fig4Outcome::ReferenceStalled { .. } => {
+                panic!("Figure 5 protocol should decide in the reference runs")
+            }
+        }
+    }
+
+    #[test]
+    fn larger_case_n7_ell5_t1() {
+        // 2ℓ = 10 ≤ n + 3t = 10: unsolvable; the construction applies.
+        let cfg = cfg(7, 5, 1);
+        let factory = AgreementFactory::new(7, 5, 1, Domain::binary());
+        let outcome = run(&factory, cfg, 8 * 12);
+        assert!(outcome.violation_exhibited(), "{outcome:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "solvable")]
+    fn solvable_configuration_rejected() {
+        let cfg = cfg(4, 4, 1); // 2ℓ = 8 > 7: solvable
+        let factory = AgreementFactory::new(4, 4, 1, Domain::binary());
+        let _ = run(&factory, cfg, 64);
+    }
+}

@@ -1,0 +1,37 @@
+//! Executable impossibility arguments.
+//!
+//! The paper's lower bounds are constructive: each impossibility proof
+//! builds a concrete system and adversary under which *any* algorithm must
+//! violate one of the agreement properties. This crate realizes those
+//! constructions so they can be *run* against the actual algorithm
+//! implementations:
+//!
+//! * [`fig1`] — the Proposition 1 ring: wire up `2(n − t)` correct
+//!   processes so that three overlapping views each look like a legal
+//!   `n`-process execution with `ℓ = 3t` identifiers; validity forces two
+//!   views to decide differently and the third view straddles them, so at
+//!   least one view exhibits a violation — for every algorithm you plug in.
+//! * [`fig4`] — the Proposition 4 partition: record executions α (all 0)
+//!   and β (all 1), then build γ where the Byzantine processes replay α to
+//!   the 0-side and β to the 1-side while the network partitions them.
+//!   Whenever `3t < ℓ ≤ (n + 3t)/2`, both sides decide before the
+//!   partition heals — an agreement violation on the real protocol.
+//! * [`clones`] — Theorem 19's reduction: against restricted Byzantine
+//!   processes, innumerate homonym clones with equal inputs stay in
+//!   lockstep forever, collapsing the system to `ℓ ≤ 3t` unique processes
+//!   where agreement is impossible; also demonstrates that the Figure 7
+//!   protocol's witness counting starves under innumerate delivery.
+//! * [`search`] — bounded adversary exploration for tiny systems: the
+//!   Lemma 21 multivalence construction (the adversary controls the
+//!   outcome from a mixed initial configuration), an exhaustive
+//!   group-uniform strategy search with state deduplication, and a
+//!   two-faced **split search** whose per-side menus express the
+//!   equivocation that group-uniform strategies cannot.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clones;
+pub mod fig1;
+pub mod fig4;
+pub mod search;

@@ -1,0 +1,636 @@
+//! Bounded adversary exploration for tiny systems (Proposition 16's
+//! valency argument, made executable).
+//!
+//! The valency proof shows that with `ℓ ≤ t` identifiers (numerate
+//! processes, restricted Byzantine senders) the adversary can forever keep
+//! the system undecided: Lemma 21 exhibits a *multivalent* initial
+//! configuration — one where the Byzantine process's behaviour alone
+//! determines the outcome — and Lemma 22 extends multivalence round by
+//! round.
+//!
+//! * [`multivalence_demo`] realizes Lemma 21's construction: run the same
+//!   initial configuration against a Byzantine process that perfectly
+//!   impersonates a correct process with input `v`, for each `v`; if
+//!   different personas steer the system to different decisions, the
+//!   configuration is multivalent and the adversary owns the outcome.
+//! * [`exhaustive_search`] explores all per-round, group-uniform Byzantine
+//!   strategies over a candidate message pool (the messages correct
+//!   processes are about to send — computable by the omniscient adversary
+//!   because algorithms are deterministic — plus silence), with state
+//!   deduplication, hunting for safety violations within a depth budget.
+//!   A clean sweep is *not* a proof of correctness; a hit is a concrete
+//!   counterexample trace.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use homonym_core::spec::{check, Outcome};
+use homonym_core::{
+    Counting, Envelope, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Round,
+};
+
+/// The outcome of [`multivalence_demo`].
+#[derive(Clone, Debug)]
+pub struct MultivalenceReport<V> {
+    /// For each Byzantine persona input, the (unique) decision the correct
+    /// processes reached, or `None` if they did not all decide alike.
+    pub outcomes: BTreeMap<V, Option<V>>,
+}
+
+impl<V: Ord> MultivalenceReport<V> {
+    /// Whether the initial configuration is multivalent: at least two
+    /// persona inputs lead to different unanimous decisions.
+    pub fn multivalent(&self) -> bool {
+        let decided: BTreeSet<&V> = self.outcomes.values().flatten().collect();
+        decided.len() >= 2
+    }
+}
+
+/// Lemma 21's construction: fully synchronous runs of the protocol where
+/// the single Byzantine process runs the protocol itself with input `v`
+/// (an impersonation indistinguishable from a correct process — the heart
+/// of Lemma 17), for each `v` in `personas`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != assignment.n()`.
+pub fn multivalence_demo<P, F>(
+    factory: &F,
+    assignment: &IdAssignment,
+    inputs: &[P::Value],
+    byz: Pid,
+    personas: &[P::Value],
+    horizon: u64,
+) -> MultivalenceReport<P::Value>
+where
+    P: Protocol,
+    F: ProtocolFactory<P = P>,
+{
+    assert_eq!(inputs.len(), assignment.n(), "one input per process");
+    let mut outcomes = BTreeMap::new();
+    for persona in personas {
+        let mut procs: BTreeMap<Pid, P> = assignment
+            .iter()
+            .map(|(pid, id)| {
+                let input = if pid == byz { persona } else { &inputs[pid.index()] };
+                (pid, factory.spawn(id, input.clone()))
+            })
+            .collect();
+        for r in 0..horizon {
+            let round = Round::new(r);
+            let mut deliveries: Vec<Envelope<P::Msg>> = Vec::new();
+            for (&pid, p) in procs.iter_mut() {
+                for (_, msg) in p.send(round) {
+                    deliveries.push(Envelope {
+                        src: assignment.id_of(pid),
+                        msg,
+                    });
+                }
+            }
+            let inbox = Inbox::collect(deliveries, Counting::Numerate);
+            for p in procs.values_mut() {
+                p.receive(round, &inbox);
+            }
+        }
+        let decisions: BTreeSet<Option<P::Value>> = procs
+            .iter()
+            .filter(|(&pid, _)| pid != byz)
+            .map(|(_, p)| p.decision())
+            .collect();
+        let unanimous = if decisions.len() == 1 {
+            decisions.into_iter().next().expect("non-empty")
+        } else {
+            None
+        };
+        outcomes.insert(persona.clone(), unanimous);
+    }
+    MultivalenceReport { outcomes }
+}
+
+/// What the exhaustive search found.
+#[derive(Clone, Debug)]
+pub enum SearchResult {
+    /// A safety violation, with the per-round Byzantine choices that
+    /// produce it (`None` = silent, `Some(k)` = replay the message correct
+    /// process `k` is about to send).
+    ViolationFound {
+        /// The violating schedule.
+        schedule: Vec<Option<usize>>,
+        /// Human-readable description of the violated property.
+        description: String,
+    },
+    /// The budget was exhausted without finding a violation. **Not** a
+    /// correctness proof — only a bounded sweep.
+    Exhausted {
+        /// Configurations explored.
+        states_explored: usize,
+        /// Depth reached.
+        depth: u64,
+    },
+}
+
+impl SearchResult {
+    /// Whether a violation was found.
+    pub fn violated(&self) -> bool {
+        matches!(self, SearchResult::ViolationFound { .. })
+    }
+}
+
+/// Breadth-first exploration of group-uniform Byzantine strategies.
+///
+/// Each round the Byzantine process either stays silent or replays the
+/// bundle some correct process is about to broadcast (computable without
+/// rushing: the adversary knows the deterministic algorithm and the full
+/// state). All correct-process states are deduplicated across branches via
+/// their `Debug` rendering, which is canonical for the ordered collections
+/// all protocols here use.
+///
+/// Searches for **safety** violations: two correct processes deciding
+/// differently, or a decision violating validity.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != assignment.n()`.
+pub fn exhaustive_search<P, F>(
+    factory: &F,
+    assignment: &IdAssignment,
+    inputs: &[P::Value],
+    byz: Pid,
+    max_depth: u64,
+    max_states: usize,
+) -> SearchResult
+where
+    P: Protocol + Clone + std::fmt::Debug,
+    F: ProtocolFactory<P = P>,
+{
+    assert_eq!(inputs.len(), assignment.n(), "one input per process");
+    let correct: Vec<Pid> = Pid::all(assignment.n()).filter(|&p| p != byz).collect();
+    let initial: Vec<P> = correct
+        .iter()
+        .map(|&pid| factory.spawn(assignment.id_of(pid), inputs[pid.index()].clone()))
+        .collect();
+    let correct_inputs: BTreeMap<Pid, P::Value> = correct
+        .iter()
+        .map(|&pid| (pid, inputs[pid.index()].clone()))
+        .collect();
+
+    let mut queue: VecDeque<(Vec<P>, Vec<Option<usize>>)> = VecDeque::new();
+    queue.push_back((initial, Vec::new()));
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    let mut explored = 0usize;
+    let mut max_reached = 0u64;
+
+    while let Some((mut procs, schedule)) = queue.pop_front() {
+        let depth = schedule.len() as u64;
+        max_reached = max_reached.max(depth);
+        if explored >= max_states {
+            return SearchResult::Exhausted {
+                states_explored: explored,
+                depth: max_reached,
+            };
+        }
+        explored += 1;
+
+        let round = Round::new(depth);
+        // Correct sends this round (deterministic).
+        let sends: Vec<Vec<(homonym_core::Recipients, P::Msg)>> =
+            procs.iter_mut().map(|p| p.send(round)).collect();
+
+        // Candidate byzantine moves: silence, or replaying correct k's
+        // broadcast (deduplicated).
+        let mut candidates: Vec<Option<usize>> = vec![None];
+        let mut seen_msgs: BTreeSet<&P::Msg> = BTreeSet::new();
+        for (k, out) in sends.iter().enumerate() {
+            if let Some((_, msg)) = out.first() {
+                if seen_msgs.insert(msg) {
+                    candidates.push(Some(k));
+                }
+            }
+        }
+
+        for choice in candidates {
+            let mut branch = procs.clone();
+            let mut deliveries: Vec<Envelope<P::Msg>> = Vec::new();
+            for (k, out) in sends.iter().enumerate() {
+                for (_, msg) in out {
+                    deliveries.push(Envelope {
+                        src: assignment.id_of(correct[k]),
+                        msg: msg.clone(),
+                    });
+                }
+            }
+            if let Some(k) = choice {
+                if let Some((_, msg)) = sends[k].first() {
+                    deliveries.push(Envelope {
+                        src: assignment.id_of(byz),
+                        msg: msg.clone(),
+                    });
+                }
+            }
+            let inbox = Inbox::collect(deliveries, Counting::Numerate);
+            for p in branch.iter_mut() {
+                p.receive(round, &inbox);
+            }
+
+            // Safety check.
+            let outcome = Outcome {
+                inputs: correct_inputs.clone(),
+                decisions: branch
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(k, p)| p.decision().map(|v| (correct[k], (v, round))))
+                    .collect(),
+                horizon: round.next(),
+            };
+            let verdict = check(&outcome);
+            if !verdict.safe() {
+                let mut schedule = schedule.clone();
+                schedule.push(choice);
+                return SearchResult::ViolationFound {
+                    schedule,
+                    description: verdict.to_string(),
+                };
+            }
+
+            if depth + 1 < max_depth {
+                // The round number is part of the configuration: identical
+                // states at different depths behave differently.
+                let fingerprint = format!(
+                    "{}:{:?}",
+                    depth + 1,
+                    branch.iter().map(|p| format!("{p:?}")).collect::<Vec<_>>()
+                );
+                if visited.insert(fingerprint) {
+                    let mut schedule = schedule.clone();
+                    schedule.push(choice);
+                    queue.push_back((branch, schedule));
+                }
+            }
+        }
+    }
+
+    SearchResult::Exhausted {
+        states_explored: explored,
+        depth: max_reached,
+    }
+}
+
+/// What the split search found.
+#[derive(Clone, Debug)]
+pub enum SplitSearchResult {
+    /// A safety violation, with the per-round Byzantine choices that
+    /// produce it: `(a, b)` per round, where side-A recipients receive
+    /// choice `a` and the rest receive `b` (`None` = silence, `Some(k)` =
+    /// replay correct process `k`'s outgoing message).
+    ViolationFound {
+        /// The violating schedule.
+        schedule: Vec<(Option<usize>, Option<usize>)>,
+        /// Human-readable description of the violated property.
+        description: String,
+    },
+    /// Budget exhausted with no violation — a bounded sweep, not a proof.
+    Exhausted {
+        /// Configurations explored.
+        states_explored: usize,
+        /// Depth reached.
+        depth: u64,
+    },
+}
+
+impl SplitSearchResult {
+    /// Whether a violation was found.
+    pub fn violated(&self) -> bool {
+        matches!(self, SplitSearchResult::ViolationFound { .. })
+    }
+}
+
+/// Breadth-first exploration of **two-faced** Byzantine strategies: each
+/// round, the Byzantine process picks one message for the recipients in
+/// `side_a` and (independently) one for everyone else.
+///
+/// This is the equivocation the group-uniform [`exhaustive_search`]
+/// cannot express, and the attack shape behind both the Figure 4
+/// partition argument and the Lemma 8 hazard that the vote superround
+/// guards against. The candidate messages are again the bundles correct
+/// processes are about to send (plus silence), per side.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != assignment.n()`.
+pub fn split_search<P, F>(
+    factory: &F,
+    assignment: &IdAssignment,
+    inputs: &[P::Value],
+    byz: Pid,
+    side_a: &BTreeSet<Pid>,
+    max_depth: u64,
+    max_states: usize,
+) -> SplitSearchResult
+where
+    P: Protocol + Clone + std::fmt::Debug,
+    F: ProtocolFactory<P = P>,
+{
+    assert_eq!(inputs.len(), assignment.n(), "one input per process");
+    let correct: Vec<Pid> = Pid::all(assignment.n()).filter(|&p| p != byz).collect();
+    let initial: Vec<P> = correct
+        .iter()
+        .map(|&pid| factory.spawn(assignment.id_of(pid), inputs[pid.index()].clone()))
+        .collect();
+    let correct_inputs: BTreeMap<Pid, P::Value> = correct
+        .iter()
+        .map(|&pid| (pid, inputs[pid.index()].clone()))
+        .collect();
+
+    let mut queue: VecDeque<(Vec<P>, Vec<(Option<usize>, Option<usize>)>)> = VecDeque::new();
+    queue.push_back((initial, Vec::new()));
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    let mut explored = 0usize;
+    let mut max_reached = 0u64;
+
+    while let Some((mut procs, schedule)) = queue.pop_front() {
+        let depth = schedule.len() as u64;
+        max_reached = max_reached.max(depth);
+        if explored >= max_states {
+            return SplitSearchResult::Exhausted {
+                states_explored: explored,
+                depth: max_reached,
+            };
+        }
+        explored += 1;
+
+        let round = Round::new(depth);
+        let sends: Vec<Vec<(homonym_core::Recipients, P::Msg)>> =
+            procs.iter_mut().map(|p| p.send(round)).collect();
+
+        // Per-side candidates: silence or replay of a distinct message.
+        let mut candidates: Vec<Option<usize>> = vec![None];
+        let mut seen_msgs: BTreeSet<&P::Msg> = BTreeSet::new();
+        for (k, out) in sends.iter().enumerate() {
+            if let Some((_, msg)) = out.first() {
+                if seen_msgs.insert(msg) {
+                    candidates.push(Some(k));
+                }
+            }
+        }
+
+        for &a in &candidates {
+            for &b in &candidates {
+                let mut branch = procs.clone();
+                // Base deliveries: all correct broadcasts reach everyone.
+                let base: Vec<Envelope<P::Msg>> = sends
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(k, out)| {
+                        let src = assignment.id_of(correct[k]);
+                        out.iter().map(move |(_, msg)| Envelope {
+                            src,
+                            msg: msg.clone(),
+                        })
+                    })
+                    .collect();
+                let byz_payload = |choice: Option<usize>| -> Option<Envelope<P::Msg>> {
+                    choice.and_then(|k| {
+                        sends[k].first().map(|(_, msg)| Envelope {
+                            src: assignment.id_of(byz),
+                            msg: msg.clone(),
+                        })
+                    })
+                };
+                for (k, p) in branch.iter_mut().enumerate() {
+                    let mut deliveries = base.clone();
+                    let choice = if side_a.contains(&correct[k]) { a } else { b };
+                    deliveries.extend(byz_payload(choice));
+                    let inbox = Inbox::collect(deliveries, Counting::Numerate);
+                    p.receive(round, &inbox);
+                }
+
+                let outcome = Outcome {
+                    inputs: correct_inputs.clone(),
+                    decisions: branch
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(k, p)| p.decision().map(|v| (correct[k], (v, round))))
+                        .collect(),
+                    horizon: round.next(),
+                };
+                let verdict = check(&outcome);
+                if !verdict.safe() {
+                    let mut schedule = schedule.clone();
+                    schedule.push((a, b));
+                    return SplitSearchResult::ViolationFound {
+                        schedule,
+                        description: verdict.to_string(),
+                    };
+                }
+
+                if depth + 1 < max_depth {
+                    let fingerprint = format!(
+                        "{}:{:?}",
+                        depth + 1,
+                        branch.iter().map(|p| format!("{p:?}")).collect::<Vec<_>>()
+                    );
+                    if visited.insert(fingerprint) {
+                        let mut schedule = schedule.clone();
+                        schedule.push((a, b));
+                        queue.push_back((branch, schedule));
+                    }
+                }
+            }
+        }
+    }
+
+    SplitSearchResult::Exhausted {
+        states_explored: explored,
+        depth: max_reached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_core::Domain;
+    use homonym_psync::RestrictedFactory;
+
+    #[test]
+    fn lemma21_multivalent_initial_configuration_at_ell_le_t() {
+        // n = 4, ℓ = 1 = t: fully anonymous, one restricted Byzantine
+        // process. Inputs (0, 1, 1): the Byzantine persona decides the
+        // outcome — the initial configuration is multivalent, exactly
+        // Lemma 21.
+        let factory = RestrictedFactory::new(4, 1, 1, Domain::binary());
+        let assignment = IdAssignment::anonymous(4);
+        let report = multivalence_demo(
+            &factory,
+            &assignment,
+            &[false, true, true, false],
+            Pid::new(3),
+            &[false, true],
+            8 * 4,
+        );
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(
+            report.multivalent(),
+            "the adversary must control the outcome: {report:?}"
+        );
+    }
+
+    #[test]
+    fn solvable_configuration_is_not_adversary_controlled_on_unanimity() {
+        // With unanimous inputs, validity pins the outcome regardless of
+        // the persona — even at ℓ = 1 (this is not where impossibility
+        // bites; it bites on mixed inputs, as the previous test shows).
+        let factory = RestrictedFactory::new(4, 2, 1, Domain::binary());
+        let assignment = IdAssignment::round_robin(2, 4).unwrap();
+        let report = multivalence_demo(
+            &factory,
+            &assignment,
+            &[true, true, true, true],
+            Pid::new(3),
+            &[false, true],
+            8 * 4,
+        );
+        for (_, outcome) in &report.outcomes {
+            assert_eq!(*outcome, Some(true), "{report:?}");
+        }
+        assert!(!report.multivalent());
+    }
+
+    #[test]
+    fn bounded_search_finds_no_safety_violation_on_solvable_config() {
+        // n = 4, ℓ = 2, t = 1 (solvable for restricted+numerate): the
+        // sweep must come back clean.
+        let factory = RestrictedFactory::new(4, 2, 1, Domain::binary());
+        let assignment = IdAssignment::round_robin(2, 4).unwrap();
+        let result = exhaustive_search(
+            &factory,
+            &assignment,
+            &[false, true, false, true],
+            Pid::new(3),
+            10,
+            2_000,
+        );
+        assert!(!result.violated(), "{result:?}");
+    }
+
+    /// A deliberately naive one-round protocol: broadcast the input, then
+    /// decide the majority of everything heard (ties become `false`).
+    /// Safe against any *group-uniform* Byzantine strategy, broken by a
+    /// two-faced one — the canonical equivocation target.
+    #[derive(Clone, Debug)]
+    struct NaiveMajority {
+        id: homonym_core::Id,
+        input: bool,
+        decision: Option<bool>,
+    }
+
+    impl Protocol for NaiveMajority {
+        type Msg = bool;
+        type Value = bool;
+
+        fn id(&self) -> homonym_core::Id {
+            self.id
+        }
+
+        fn send(&mut self, _round: Round) -> Vec<(homonym_core::Recipients, bool)> {
+            vec![(homonym_core::Recipients::All, self.input)]
+        }
+
+        fn receive(&mut self, round: Round, inbox: &Inbox<bool>) {
+            if round == Round::ZERO && self.decision.is_none() {
+                let mut yes = 0u64;
+                let mut no = 0u64;
+                for (_, &v, count) in inbox.iter() {
+                    if v {
+                        yes += count;
+                    } else {
+                        no += count;
+                    }
+                }
+                self.decision = Some(yes > no);
+            }
+        }
+
+        fn decision(&self) -> Option<bool> {
+            self.decision
+        }
+    }
+
+    #[test]
+    fn split_search_finds_equivocation_that_uniform_search_cannot() {
+        use homonym_core::FnFactory;
+        let factory = FnFactory::new(|id, input| NaiveMajority {
+            id,
+            input,
+            decision: None,
+        });
+        let assignment = IdAssignment::unique(4);
+        // Correct inputs (true, true, false): with the Byzantine silent or
+        // uniform, everyone tallies the same multiset — no disagreement.
+        let inputs = [true, true, false, false];
+        let byz = Pid::new(3);
+
+        let uniform = exhaustive_search(&factory, &assignment, &inputs, byz, 3, 500);
+        assert!(
+            !uniform.violated(),
+            "group-uniform strategies cannot split a shared tally: {uniform:?}"
+        );
+
+        // Two-faced: send `true` to one side, `false` to the other — the
+        // sides tally 3:1 vs 2:2 and decide differently in round 0.
+        let side_a: BTreeSet<Pid> = [Pid::new(0)].into();
+        let split = split_search(&factory, &assignment, &inputs, byz, &side_a, 3, 500);
+        match &split {
+            SplitSearchResult::ViolationFound { schedule, description } => {
+                assert_eq!(schedule.len(), 1, "one round suffices");
+                let (a, b) = schedule[0];
+                assert_ne!(a, b, "the violation requires two faces");
+                assert!(description.contains("agreement"), "{description}");
+            }
+            SplitSearchResult::Exhausted { .. } => {
+                panic!("split search must find the equivocation: {split:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn split_search_sweeps_clean_on_solvable_configuration() {
+        // The real Figure 7 protocol at a solvable cell must survive every
+        // two-faced schedule in budget.
+        let factory = RestrictedFactory::new(4, 2, 1, Domain::binary());
+        let assignment = IdAssignment::round_robin(2, 4).unwrap();
+        let side_a: BTreeSet<Pid> = [Pid::new(0), Pid::new(1)].into();
+        let result = split_search(
+            &factory,
+            &assignment,
+            &[false, true, false, true],
+            Pid::new(3),
+            &side_a,
+            9,
+            1_500,
+        );
+        assert!(!result.violated(), "{result:?}");
+    }
+
+    #[test]
+    fn bounded_search_reports_budget() {
+        let factory = RestrictedFactory::new(4, 1, 1, Domain::binary());
+        let assignment = IdAssignment::anonymous(4);
+        let result = exhaustive_search(
+            &factory,
+            &assignment,
+            &[false, true, true, false],
+            Pid::new(3),
+            6,
+            500,
+        );
+        match result {
+            SearchResult::Exhausted { states_explored, .. } => {
+                assert!(states_explored > 0);
+            }
+            SearchResult::ViolationFound { description, .. } => {
+                // Also acceptable: the sweep found a concrete safety
+                // violation within budget.
+                assert!(!description.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! The authenticated broadcast of Proposition 6.
+//!
+//! A straightforward generalization of Srikanth–Toueg echo broadcast to
+//! identifiers: to `Broadcast(m)` in superround `r`, send `⟨init m⟩` in the
+//! first round of superround `r`; whoever receives it from identifier `i`
+//! echoes `⟨echo m, r, i⟩` in every subsequent round; whoever has seen the
+//! echo from `ℓ − 2t` distinct identifiers joins the echoing; whoever has
+//! seen it from `ℓ − t` distinct identifiers performs `Accept(m, i)`.
+//!
+//! Guarantees (for `ℓ > 3t`, in the basic partially synchronous model):
+//!
+//! * **Correctness** — a broadcast by a correct process in superround
+//!   `r ≥ T` is accepted by every correct process within superround `r`;
+//! * **Unforgeability** — if every holder of identifier `i` is correct and
+//!   none broadcast `m`, nobody accepts `(m, i)`: seeding an echo requires
+//!   `ℓ − 2t > t` distinct identifiers, more than the Byzantine processes
+//!   control;
+//! * **Relay** — once any correct process accepts `(m, i)`, every correct
+//!   process accepts it by superround `max(r + 1, T)` (echoes are
+//!   retransmitted forever).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use homonym_core::{Id, Message, Round};
+
+/// An `⟨echo m, r, i⟩` item: this sender vouches that identifier `src`
+/// performed `Broadcast(payload)` in superround `sr`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EchoItem<M> {
+    /// The broadcast payload `m`.
+    pub payload: M,
+    /// The superround `r` of the original `⟨init m⟩`.
+    pub sr: u64,
+    /// The identifier `i` the broadcast is attributed to.
+    pub src: Id,
+}
+
+/// An `Accept(m, i)` event.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Accept<M> {
+    /// The accepted payload.
+    pub payload: M,
+    /// The identifier it is attributed to.
+    pub src: Id,
+    /// The superround of the original broadcast.
+    pub sr: u64,
+}
+
+/// One process's view of the echo-broadcast layer.
+///
+/// The component is transport-agnostic: the owning protocol embeds the
+/// items produced by [`EchoBroadcast::to_send`] in its per-round bundle and
+/// feeds extracted items back through [`EchoBroadcast::observe`].
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::{Id, Round};
+/// use homonym_psync::EchoBroadcast;
+///
+/// // ℓ = 4 identifiers, t = 1.
+/// let mut bc: EchoBroadcast<&str> = EchoBroadcast::new(4, 1);
+/// bc.broadcast("hello");
+/// let (inits, _echoes) = bc.to_send(Round::new(0));
+/// assert_eq!(inits, vec!["hello"]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EchoBroadcast<M> {
+    ell: usize,
+    t: usize,
+    /// Keys this process echoes in every round from now on.
+    echoing: BTreeSet<(M, u64, Id)>,
+    /// Distinct identifiers seen echoing each key.
+    evidence: BTreeMap<(M, u64, Id), BTreeSet<Id>>,
+    /// Keys already accepted (each accept fires once).
+    accepted: BTreeSet<(M, u64, Id)>,
+    /// Payloads queued for `⟨init⟩` at the next first-of-superround send.
+    queue: Vec<M>,
+}
+
+impl<M: Message> EchoBroadcast<M> {
+    /// Creates the layer for `ell` identifiers tolerating `t` faults.
+    ///
+    /// The thresholds are `ℓ − 2t` (echo join) and `ℓ − t` (accept); for
+    /// `ℓ ≤ 3t` they lose their guarantees, but the component still
+    /// operates — lower-bound experiments run it out of range on purpose.
+    pub fn new(ell: usize, t: usize) -> Self {
+        EchoBroadcast {
+            ell,
+            t,
+            echoing: BTreeSet::new(),
+            evidence: BTreeMap::new(),
+            accepted: BTreeSet::new(),
+            queue: Vec::new(),
+        }
+    }
+
+    /// The accept threshold `ℓ − t` (saturating).
+    pub fn accept_threshold(&self) -> usize {
+        self.ell.saturating_sub(self.t)
+    }
+
+    /// The echo-join threshold `ℓ − 2t` (saturating, at least 1 so a
+    /// forged zero-threshold can never arise).
+    pub fn join_threshold(&self) -> usize {
+        self.ell.saturating_sub(2 * self.t).max(1)
+    }
+
+    /// Queues `Broadcast(payload)`: the `⟨init⟩` goes out at the next
+    /// first-of-superround send.
+    pub fn broadcast(&mut self, payload: M) {
+        self.queue.push(payload);
+    }
+
+    /// The items to embed in this round's bundle: `⟨init⟩`s (only in the
+    /// first round of a superround) and all active echoes.
+    pub fn to_send(&mut self, round: Round) -> (Vec<M>, Vec<EchoItem<M>>) {
+        let inits = if round.is_first_of_superround() {
+            std::mem::take(&mut self.queue)
+        } else {
+            Vec::new()
+        };
+        let echoes = self
+            .echoing
+            .iter()
+            .map(|(payload, sr, src)| EchoItem {
+                payload: payload.clone(),
+                sr: *sr,
+                src: *src,
+            })
+            .collect();
+        (inits, echoes)
+    }
+
+    /// Feeds one round's received items: `inits` as `(sender identifier,
+    /// payload)` pairs — only meaningful in the first round of a superround
+    /// — and `echoes` as `(echoing identifier, item)` pairs. Returns the
+    /// accepts newly performed.
+    pub fn observe(
+        &mut self,
+        round: Round,
+        inits: &[(Id, &M)],
+        echoes: &[(Id, &EchoItem<M>)],
+    ) -> Vec<Accept<M>> {
+        // An ⟨init m⟩ from identifier i in the first round of superround r
+        // starts our echoing of (m, r, i) from the next round on.
+        if round.is_first_of_superround() {
+            let sr = round.superround().index();
+            for &(src, payload) in inits {
+                self.echoing.insert((payload.clone(), sr, src));
+            }
+        }
+
+        // Record echo evidence by distinct echoing identifier.
+        for &(echoer, item) in echoes {
+            self.evidence
+                .entry((item.payload.clone(), item.sr, item.src))
+                .or_default()
+                .insert(echoer);
+        }
+
+        // Join echoing at ℓ − 2t, accept at ℓ − t.
+        let join = self.join_threshold();
+        let accept = self.accept_threshold();
+        let mut accepts = Vec::new();
+        for (key, supporters) in &self.evidence {
+            if supporters.len() >= join {
+                self.echoing.insert(key.clone());
+            }
+            if supporters.len() >= accept && self.accepted.insert(key.clone()) {
+                accepts.push(Accept {
+                    payload: key.0.clone(),
+                    sr: key.1,
+                    src: key.2,
+                });
+            }
+        }
+        accepts
+    }
+
+    /// Whether `(payload, src)` has been accepted (at any superround).
+    pub fn has_accepted(&self, payload: &M, src: Id) -> bool {
+        self.accepted
+            .iter()
+            .any(|(m, _, i)| m == payload && *i == src)
+    }
+
+    /// Number of keys currently being echoed (diagnostic; grows over the
+    /// run because echoes are retransmitted forever, which the relay
+    /// property requires).
+    pub fn echoing_len(&self) -> usize {
+        self.echoing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny synchronous network of `ell` correct processes (one per
+    /// identifier) running only the broadcast layer.
+    struct Net {
+        procs: Vec<EchoBroadcast<&'static str>>,
+        round: Round,
+    }
+
+    impl Net {
+        fn new(ell: usize, t: usize) -> Self {
+            Net {
+                procs: (0..ell).map(|_| EchoBroadcast::new(ell, t)).collect(),
+                round: Round::ZERO,
+            }
+        }
+
+        /// Runs one round with full delivery plus adversarial extra items.
+        fn step(
+            &mut self,
+            extra_inits: &[(Id, &'static str)],
+            extra_echoes: &[(Id, EchoItem<&'static str>)],
+        ) -> Vec<Vec<Accept<&'static str>>> {
+            let r = self.round;
+            let mut all_inits: Vec<(Id, &'static str)> = extra_inits.to_vec();
+            let mut all_echoes: Vec<(Id, EchoItem<&'static str>)> = extra_echoes.to_vec();
+            for (k, p) in self.procs.iter_mut().enumerate() {
+                let (inits, echoes) = p.to_send(r);
+                let id = Id::from_index(k);
+                for m in inits {
+                    all_inits.push((id, m));
+                }
+                for e in echoes {
+                    all_echoes.push((id, e));
+                }
+            }
+            let inits_ref: Vec<(Id, &&'static str)> =
+                all_inits.iter().map(|(i, m)| (*i, m)).collect();
+            let echoes_ref: Vec<(Id, &EchoItem<&'static str>)> =
+                all_echoes.iter().map(|(i, e)| (*i, e)).collect();
+            let out = self
+                .procs
+                .iter_mut()
+                .map(|p| p.observe(r, &inits_ref, &echoes_ref))
+                .collect();
+            self.round = r.next();
+            out
+        }
+    }
+
+    #[test]
+    fn correctness_accept_within_the_superround() {
+        let mut net = Net::new(4, 1);
+        net.procs[0].broadcast("m");
+        let accepts = net.step(&[], &[]); // round 0: init flows
+        assert!(accepts.iter().all(|a| a.is_empty()));
+        let accepts = net.step(&[], &[]); // round 1: echoes flow, accept
+        for per_proc in &accepts {
+            assert_eq!(per_proc.len(), 1);
+            assert_eq!(per_proc[0].payload, "m");
+            assert_eq!(per_proc[0].src, Id::new(1));
+            assert_eq!(per_proc[0].sr, 0);
+        }
+    }
+
+    #[test]
+    fn accept_fires_once() {
+        let mut net = Net::new(4, 1);
+        net.procs[0].broadcast("m");
+        net.step(&[], &[]);
+        net.step(&[], &[]);
+        // Echoes keep flowing but the accept must not repeat.
+        let accepts = net.step(&[], &[]);
+        assert!(accepts.iter().all(|a| a.is_empty()));
+        assert!(net.procs[2].has_accepted(&"m", Id::new(1)));
+    }
+
+    #[test]
+    fn unforgeability_t_echoes_do_not_seed() {
+        // t = 1 Byzantine identifier injects echoes for a message nobody
+        // broadcast; ℓ − 2t = 2 > 1, so the echo never catches on.
+        let mut net = Net::new(4, 1);
+        let forged = EchoItem {
+            payload: "forged",
+            sr: 0,
+            src: Id::new(2),
+        };
+        for _ in 0..6 {
+            let accepts = net.step(&[], &[(Id::new(4), forged.clone())]);
+            assert!(accepts.iter().all(|a| a.is_empty()));
+        }
+        assert!(!net.procs[0].has_accepted(&"forged", Id::new(2)));
+    }
+
+    #[test]
+    fn byzantine_init_can_be_accepted_but_attributed_correctly() {
+        // A Byzantine identifier CAN get its own broadcast accepted — the
+        // broadcast only authenticates the identifier, it does not certify
+        // correctness of the content.
+        let mut net = Net::new(4, 1);
+        let accepts = net.step(&[(Id::new(3), "lie")], &[]);
+        assert!(accepts.iter().all(|a| a.is_empty()));
+        let accepts = net.step(&[], &[]);
+        for per_proc in &accepts {
+            assert_eq!(per_proc.len(), 1);
+            assert_eq!(per_proc[0].src, Id::new(3));
+        }
+    }
+
+    #[test]
+    fn relay_via_continued_echoes() {
+        // Process 0 accepts thanks to echoes the others never saw (they
+        // were "dropped"); once it echoes itself and the network heals,
+        // everyone else accepts one superround later.
+        let ell = 4;
+        let t = 1;
+        let mut lonely: EchoBroadcast<&'static str> = EchoBroadcast::new(ell, t);
+        let item = EchoItem {
+            payload: "m",
+            sr: 0,
+            src: Id::new(1),
+        };
+        // ℓ − t = 3 distinct identifiers echo to process 0 only.
+        let echoes: Vec<(Id, EchoItem<&'static str>)> = (2..=4)
+            .map(|i| (Id::new(i), item.clone()))
+            .collect();
+        let refs: Vec<(Id, &EchoItem<&'static str>)> =
+            echoes.iter().map(|(i, e)| (*i, e)).collect();
+        let accepts = lonely.observe(Round::new(1), &[], &refs);
+        assert_eq!(accepts.len(), 1);
+        // It now echoes the key forever — the relay mechanism.
+        let (_, out) = lonely.to_send(Round::new(2));
+        assert!(out.iter().any(|e| e.payload == "m" && e.src == Id::new(1)));
+    }
+
+    #[test]
+    fn init_outside_first_round_of_superround_is_ignored() {
+        let mut p: EchoBroadcast<&'static str> = EchoBroadcast::new(4, 1);
+        // Round 1 is the second round of superround 0.
+        let accepts = p.observe(Round::new(1), &[(Id::new(2), &"late")], &[]);
+        assert!(accepts.is_empty());
+        let (_, echoes) = p.to_send(Round::new(2));
+        assert!(echoes.is_empty(), "late init must not start echoing");
+    }
+
+    #[test]
+    fn queued_broadcast_waits_for_superround_start() {
+        let mut p: EchoBroadcast<&'static str> = EchoBroadcast::new(4, 1);
+        p.broadcast("m");
+        let (inits, _) = p.to_send(Round::new(1)); // second round of sr 0
+        assert!(inits.is_empty());
+        let (inits, _) = p.to_send(Round::new(2)); // first round of sr 1
+        assert_eq!(inits, vec!["m"]);
+    }
+
+    #[test]
+    fn thresholds() {
+        let p: EchoBroadcast<&'static str> = EchoBroadcast::new(7, 2);
+        assert_eq!(p.accept_threshold(), 5);
+        assert_eq!(p.join_threshold(), 3);
+        // Saturation keeps degenerate configurations operational.
+        let p: EchoBroadcast<&'static str> = EchoBroadcast::new(2, 1);
+        assert_eq!(p.join_threshold(), 1);
+    }
+}

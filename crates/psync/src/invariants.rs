@@ -1,0 +1,232 @@
+//! Executable forms of the paper's safety lemmas.
+//!
+//! The correctness proofs of the Figure 5 and Figure 7 protocols rest on a
+//! small number of state invariants. This module phrases each as a pure
+//! function over observable protocol state (lock sets, sent acks,
+//! identifier sets), so that tests can assert them on *every round of
+//! every adversarial execution*, not just on final outcomes:
+//!
+//! * **Lemma 7** — identifier quorums of size `ℓ − t` pairwise intersect
+//!   in an identifier held by exactly one process, which is correct
+//!   (needs `2ℓ > n + 3t`): [`sole_correct_witness`].
+//! * **Lemma 8 / Lemma 32** — all `⟨ack v, ph⟩` messages sent by correct
+//!   processes in one phase carry the same value:
+//!   [`ack_values_by_phase`] + [`phase_acks_unique`].
+//! * **Lemma 11 / Lemma 36** — after stabilization, the lock sets of all
+//!   correct processes agree on a single value: [`distinct_locked_values`].
+//! * **Lemma 34** — a correct Figure 7 process holds at most one lock
+//!   pair at any phase end: checked directly on
+//!   [`RestrictedAgreement::locks`](crate::RestrictedAgreement::locks).
+//!
+//! None of these functions is used by the protocols themselves — they are
+//! *observers*. Their value is in the test harnesses: a protocol bug that
+//! still happens to produce agreeing decisions (e.g. by luck of the
+//! schedule) will usually break one of these invariants long before it
+//! breaks an outcome.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use homonym_core::{Id, IdAssignment, Pid, Value};
+
+/// The identifiers in `a ∩ b` that are held by exactly one process and no
+/// Byzantine process, ascending — Lemma 7's witnesses.
+///
+/// Lemma 7 asserts this is non-empty whenever `|a| ≥ ℓ − t`,
+/// `|b| ≥ ℓ − t` and `2ℓ > n + 3t`; [`sole_correct_witness`] returns the
+/// first witness, and the property tests sweep random assignments
+/// asserting existence.
+pub fn sole_correct_witnesses(
+    assignment: &IdAssignment,
+    byz: &BTreeSet<Pid>,
+    a: &BTreeSet<Id>,
+    b: &BTreeSet<Id>,
+) -> Vec<Id> {
+    a.intersection(b)
+        .copied()
+        .filter(|&id| {
+            let holders = assignment.group(id);
+            holders.len() == 1 && holders.iter().all(|p| !byz.contains(p))
+        })
+        .collect()
+}
+
+/// The first Lemma 7 witness in `a ∩ b`, if any.
+pub fn sole_correct_witness(
+    assignment: &IdAssignment,
+    byz: &BTreeSet<Pid>,
+    a: &BTreeSet<Id>,
+    b: &BTreeSet<Id>,
+) -> Option<Id> {
+    sole_correct_witnesses(assignment, byz, a, b).into_iter().next()
+}
+
+/// Whether Lemma 7's *premise* holds for these parameters: quorums of
+/// size `ℓ − t` are meaningful and `2ℓ > n + 3t`.
+pub fn lemma7_applies(n: usize, ell: usize, t: usize) -> bool {
+    ell > t && 2 * ell > n + 3 * t
+}
+
+/// Groups observed `(value, phase)` ack pairs by phase.
+///
+/// Feed it the acks extracted from correct processes' outgoing bundles
+/// (via [`Bundle::acks`](crate::Bundle::acks) or
+/// [`RestrictedBundle::acks`](crate::RestrictedBundle::acks)).
+pub fn ack_values_by_phase<V: Value>(
+    acks: impl IntoIterator<Item = (V, u64)>,
+) -> BTreeMap<u64, BTreeSet<V>> {
+    let mut by_phase: BTreeMap<u64, BTreeSet<V>> = BTreeMap::new();
+    for (v, ph) in acks {
+        by_phase.entry(ph).or_default().insert(v);
+    }
+    by_phase
+}
+
+/// Lemma 8 / Lemma 32: every phase's correct acks carry one value.
+/// Returns the offending phases (empty = invariant holds).
+pub fn phase_acks_unique<V: Value>(by_phase: &BTreeMap<u64, BTreeSet<V>>) -> Vec<u64> {
+    by_phase
+        .iter()
+        .filter(|(_, values)| values.len() > 1)
+        .map(|(&ph, _)| ph)
+        .collect()
+}
+
+/// The distinct values appearing in any of the given lock sets.
+///
+/// Lemma 11 / Lemma 36: at the end of any phase after stabilization, this
+/// must have at most one element across all correct processes.
+pub fn distinct_locked_values<'a, V: Value>(
+    lock_sets: impl IntoIterator<Item = &'a BTreeSet<(V, u64)>>,
+) -> BTreeSet<&'a V> {
+    lock_sets
+        .into_iter()
+        .flat_map(|locks| locks.iter().map(|(v, _)| v))
+        .collect()
+}
+
+/// For Lemma 10 / Lemma 35: given that a quorum of distinct identifiers
+/// acked `(v, ph)`, a correct process that sent one of those acks must
+/// hold a lock `(v, ph')` with `ph' ≥ ph`. Returns whether `locks`
+/// satisfies that obligation.
+pub fn retains_acked_lock<V: Value>(locks: &BTreeSet<(V, u64)>, v: &V, ph: u64) -> bool {
+    locks.iter().any(|(w, ph2)| w == v && *ph2 >= ph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raws: impl IntoIterator<Item = u16>) -> BTreeSet<Id> {
+        raws.into_iter().map(Id::new).collect()
+    }
+
+    #[test]
+    fn lemma7_witness_on_unique_assignment() {
+        // n = ℓ = 7, t = 2: quorums of 5 among 7 identifiers always
+        // intersect in ≥ 3 identifiers; with ≤ 2 Byzantine, one is a
+        // sole-correct witness.
+        let assignment = IdAssignment::unique(7);
+        let byz: BTreeSet<Pid> = [Pid::new(0), Pid::new(1)].into();
+        let a = ids(1..=5);
+        let b = ids(3..=7);
+        let witness =
+            sole_correct_witness(&assignment, &byz, &a, &b).expect("lemma 7 guarantees one");
+        assert!(a.contains(&witness) && b.contains(&witness));
+        // Identifiers 1 and 2 belong to Byzantine processes 0 and 1.
+        assert!(witness.get() > 2);
+    }
+
+    #[test]
+    fn lemma7_witness_excludes_homonym_groups() {
+        // n = 6, ℓ = 5 (stacked: identifier 1 held by two processes),
+        // t = 1: 2ℓ = 10 > 9 = n + 3t. A witness must avoid identifier 1
+        // whatever the quorums, because it is not sole.
+        let assignment = IdAssignment::stacked(5, 6).unwrap();
+        let byz: BTreeSet<Pid> = BTreeSet::new();
+        let a = ids(1..=4);
+        let b = ids(1..=4);
+        let witnesses = sole_correct_witnesses(&assignment, &byz, &a, &b);
+        assert!(!witnesses.is_empty());
+        assert!(witnesses.iter().all(|id| assignment.group(*id).len() == 1));
+    }
+
+    #[test]
+    fn no_witness_when_bound_violated() {
+        // n = 5, ℓ = 4, t = 1: 2ℓ = 8 ≤ 8 = n + 3t — Lemma 7's conclusion
+        // can fail. Construct quorums intersecting only in the homonym
+        // identifier.
+        assert!(!lemma7_applies(5, 4, 1));
+        let assignment = IdAssignment::stacked(4, 5).unwrap(); // id 1 twice
+        let a = ids([1, 2, 3]); // ℓ − t = 3
+        let b = ids([1, 2, 4]);
+        // Intersection {1, 2}: 1 is the homonym group; make 2
+        // Byzantine-held to kill the last candidate.
+        let byz: BTreeSet<Pid> = assignment.group(Id::new(2)).into_iter().collect();
+        assert_eq!(
+            sole_correct_witness(&assignment, &byz, &a, &b),
+            None,
+            "{{homonym, byzantine}} intersection has no sole-correct witness"
+        );
+    }
+
+    #[test]
+    fn lemma7_exhaustive_at_small_scale() {
+        // n = 6, ℓ = 5, t = 1 (2ℓ = 10 > 9 = n + 3t): check the witness
+        // exists for EVERY surjective assignment × every pair of
+        // (ℓ − t)-sized identifier quorums × every Byzantine placement.
+        let (n, ell, t) = (6usize, 5usize, 1usize);
+        assert!(lemma7_applies(n, ell, t));
+        let quorums: Vec<BTreeSet<Id>> = (1..=ell as u16)
+            .map(|out| (1..=ell as u16).filter(|&i| i != out).map(Id::new).collect())
+            .collect();
+        let mut checked = 0u64;
+        for assignment in IdAssignment::enumerate_all(ell, n) {
+            for byz_idx in 0..n {
+                let byz: BTreeSet<Pid> = [Pid::new(byz_idx)].into();
+                for a in &quorums {
+                    for b in &quorums {
+                        checked += 1;
+                        assert!(
+                            sole_correct_witness(&assignment, &byz, a, b).is_some(),
+                            "no witness: assignment {:?}, byz {byz_idx}, a {a:?}, b {b:?}",
+                            assignment.as_slice()
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(checked, 1800 * 6 * 25, "the sweep must be exhaustive");
+    }
+
+    #[test]
+    fn ack_grouping_and_uniqueness() {
+        let by_phase =
+            ack_values_by_phase([(true, 0), (true, 0), (false, 1), (false, 1), (true, 2)]);
+        assert!(phase_acks_unique(&by_phase).is_empty());
+
+        let bad = ack_values_by_phase([(true, 3), (false, 3)]);
+        assert_eq!(phase_acks_unique(&bad), vec![3]);
+    }
+
+    #[test]
+    fn locked_values_collects_across_processes() {
+        let p1: BTreeSet<(bool, u64)> = [(true, 4)].into();
+        let p2: BTreeSet<(bool, u64)> = [(true, 6)].into();
+        let p3: BTreeSet<(bool, u64)> = BTreeSet::new();
+        let distinct = distinct_locked_values([&p1, &p2, &p3]);
+        assert_eq!(distinct.len(), 1);
+
+        let p4: BTreeSet<(bool, u64)> = [(false, 5)].into();
+        let distinct = distinct_locked_values([&p1, &p4]);
+        assert_eq!(distinct.len(), 2, "coherence violation must be visible");
+    }
+
+    #[test]
+    fn lock_retention_obligation() {
+        let locks: BTreeSet<(bool, u64)> = [(true, 5)].into();
+        assert!(retains_acked_lock(&locks, &true, 5));
+        assert!(retains_acked_lock(&locks, &true, 3), "later re-lock satisfies");
+        assert!(!retains_acked_lock(&locks, &true, 6), "stale lock does not");
+        assert!(!retains_acked_lock(&locks, &false, 5), "wrong value does not");
+    }
+}

@@ -1,0 +1,378 @@
+//! Property-based tests: the broadcast-layer guarantees and the quorum
+//! lemma, swept over random loss schedules, assignments and adversarial
+//! injections (rather than the hand-picked schedules of the unit tests).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use homonym_core::{Id, IdAssignment, Pid, Round};
+use proptest::prelude::*;
+
+use crate::broadcast::{EchoBroadcast, EchoItem};
+use crate::invariants::sole_correct_witness;
+use crate::mult_broadcast::{MultBroadcast, MultPart};
+
+// ---------------------------------------------------------------- Lemma 7
+
+/// Generates `(t, ell, n, tail assignment, byz picks, excluded-id picks)`.
+/// The first `ell` processes take identifiers `1..=ell` (covering every
+/// identifier); the tail is assigned randomly.
+fn lemma7_params() -> impl Strategy<
+    Value = (usize, usize, usize, Vec<u16>, Vec<usize>, Vec<u16>, Vec<u16>),
+> {
+    (1usize..=2)
+        .prop_flat_map(|t| {
+            (Just(t), (3 * t + 1)..=(3 * t + 4)).prop_flat_map(move |(t, ell)| {
+                let n_hi = 2 * ell - 3 * t - 1; // largest n with 2ℓ > n + 3t
+                (Just(t), Just(ell), ell..=n_hi)
+            })
+        })
+        .prop_flat_map(|(t, ell, n)| {
+            (
+                Just(t),
+                Just(ell),
+                Just(n),
+                proptest::collection::vec(1..=ell as u16, n - ell),
+                proptest::collection::vec(0..n, t),
+                proptest::collection::vec(1..=ell as u16, 0..=t),
+                proptest::collection::vec(1..=ell as u16, 0..=t),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 7: whenever `2ℓ > n + 3t`, any two identifier sets of size
+    /// `≥ ℓ − t` intersect in an identifier held by exactly one process,
+    /// which is correct — for **every** assignment of the tail and every
+    /// Byzantine placement.
+    #[test]
+    fn lemma7_witness_exists_whenever_bound_holds(
+        (t, ell, n, tail, byz_picks, excl_a, excl_b) in lemma7_params()
+    ) {
+        prop_assume!(2 * ell > n + 3 * t);
+        let mut ids: Vec<Id> = (1..=ell as u16).map(Id::new).collect();
+        ids.extend(tail.iter().map(|&i| Id::new(i)));
+        let assignment = IdAssignment::new(ell, ids).expect("every id covered");
+        let byz: BTreeSet<Pid> = byz_picks.into_iter().map(Pid::new).collect();
+        prop_assume!(byz.len() <= t);
+
+        let quorum_from = |excl: &[u16]| -> BTreeSet<Id> {
+            let excluded: BTreeSet<Id> = excl.iter().map(|&i| Id::new(i)).collect();
+            (1..=ell as u16)
+                .map(Id::new)
+                .filter(|id| !excluded.contains(id))
+                .collect()
+        };
+        let a = quorum_from(&excl_a);
+        let b = quorum_from(&excl_b);
+        prop_assert!(a.len() >= ell - t && b.len() >= ell - t);
+
+        let witness = sole_correct_witness(&assignment, &byz, &a, &b);
+        prop_assert!(
+            witness.is_some(),
+            "no sole-correct witness: n={n} ell={ell} t={t} a={a:?} b={b:?} byz={byz:?}"
+        );
+    }
+}
+
+// ------------------------------------------- EchoBroadcast under loss
+
+/// A lossy synchronous network over the echo-broadcast layer alone:
+/// `assignment[k]` is process `k`'s identifier; `(round, from, to)`
+/// triples in `drops` are lost; everything from round `gst` on is
+/// delivered.
+struct LossyEchoNet {
+    procs: Vec<EchoBroadcast<&'static str>>,
+    assignment: Vec<Id>,
+    drops: BTreeSet<(u64, usize, usize)>,
+    round: u64,
+    /// Per process: `(payload, src)` → superround of acceptance.
+    accepted: Vec<BTreeMap<(&'static str, Id), u64>>,
+}
+
+impl LossyEchoNet {
+    fn new(ell: usize, t: usize, assignment: &[u16], drops: BTreeSet<(u64, usize, usize)>) -> Self {
+        let n = assignment.len();
+        LossyEchoNet {
+            procs: (0..n).map(|_| EchoBroadcast::new(ell, t)).collect(),
+            assignment: assignment.iter().map(|&i| Id::new(i)).collect(),
+            drops,
+            round: 0,
+            accepted: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// One round; `forged_echoes` are delivered to every process, from
+    /// the given (Byzantine) identifiers, immune to drops.
+    fn step(&mut self, forged_echoes: &[(Id, EchoItem<&'static str>)]) {
+        let r = Round::new(self.round);
+        let sends: Vec<(Vec<&'static str>, Vec<EchoItem<&'static str>>)> =
+            self.procs.iter_mut().map(|p| p.to_send(r)).collect();
+        for k in 0..self.procs.len() {
+            let mut inits: Vec<(Id, &&'static str)> = Vec::new();
+            let mut echoes: Vec<(Id, &EchoItem<&'static str>)> = Vec::new();
+            for (j, (j_inits, j_echoes)) in sends.iter().enumerate() {
+                if j != k && self.drops.contains(&(self.round, j, k)) {
+                    continue;
+                }
+                for m in j_inits {
+                    inits.push((self.assignment[j], m));
+                }
+                for e in j_echoes {
+                    echoes.push((self.assignment[j], e));
+                }
+            }
+            for (id, e) in forged_echoes {
+                echoes.push((*id, e));
+            }
+            for accept in self.procs[k].observe(r, &inits, &echoes) {
+                self.accepted[k]
+                    .entry((accept.payload, accept.src))
+                    .or_insert(self.round / 2);
+            }
+        }
+        self.round += 1;
+    }
+}
+
+fn echo_drops(gst_sr: u64, n: usize) -> impl Strategy<Value = BTreeSet<(u64, usize, usize)>> {
+    proptest::collection::btree_set(
+        (0..gst_sr.max(1) * 2, 0..n, 0..n),
+        0..(gst_sr as usize * n * n).max(1),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Correctness + relay across random pre-stabilization loss: a
+    /// broadcast performed *at* stabilization is accepted by everyone in
+    /// that very superround; a broadcast performed *before* it obeys the
+    /// relay bound (if anyone accepts at superround `r`, everyone accepts
+    /// by `max(r + 1, T)`).
+    #[test]
+    fn echo_correctness_and_relay_under_random_loss(
+        gst_sr in 1u64..4,
+        drops in echo_drops(3, 5),
+        early_src in 0usize..5,
+    ) {
+        // n = 5, ℓ = 4, t = 1: identifier 1 is a homonym pair (procs 0, 4).
+        let assignment = [1u16, 2, 3, 4, 1];
+        // Loss only before stabilization — that is what "stabilization"
+        // means in the basic model.
+        let drops: BTreeSet<(u64, usize, usize)> =
+            drops.into_iter().filter(|&(r, _, _)| r < gst_sr * 2).collect();
+        let mut net = LossyEchoNet::new(4, 1, &assignment, drops);
+
+        // An early broadcast, exposed to the loss.
+        net.procs[early_src].broadcast("early");
+        let early_id = Id::new(assignment[early_src]);
+
+        // Run the lossy prefix.
+        for _ in 0..(gst_sr * 2) {
+            net.step(&[]);
+        }
+        // Broadcast "fresh" exactly at stabilization.
+        net.procs[2].broadcast("fresh");
+        for _ in 0..8 {
+            net.step(&[]);
+        }
+
+        // Correctness: everyone accepted ("fresh", id 3) in superround
+        // gst_sr itself.
+        for (k, acc) in net.accepted.iter().enumerate() {
+            let sr = acc.get(&("fresh", Id::new(3)));
+            prop_assert_eq!(
+                sr, Some(&gst_sr),
+                "proc {} accepted fresh at {:?}, not at stabilization {}", k, sr, gst_sr
+            );
+        }
+
+        // Relay: if anyone accepted the early broadcast, everyone did, by
+        // max(first + 1, T).
+        let accept_srs: Vec<u64> = net
+            .accepted
+            .iter()
+            .filter_map(|acc| acc.get(&("early", early_id)).copied())
+            .collect();
+        if let Some(&first) = accept_srs.iter().min() {
+            prop_assert_eq!(accept_srs.len(), net.procs.len(), "relay must reach everyone");
+            let deadline = (first + 1).max(gst_sr);
+            for &sr in &accept_srs {
+                prop_assert!(sr <= deadline, "accept at {sr} after relay deadline {deadline}");
+            }
+        }
+    }
+
+    /// Unforgeability: if no holder of identifier `i` broadcasts, then no
+    /// flood of forged echo items from `t` Byzantine identifiers — across
+    /// any loss schedule — makes any correct process accept from `i`.
+    #[test]
+    fn echo_unforgeability_under_forged_echo_floods(
+        drops in echo_drops(2, 4),
+        byz_id in 1u16..=4,
+        victim_id in 1u16..=4,
+        claimed_sr in 0u64..3,
+    ) {
+        prop_assume!(byz_id != victim_id);
+        let assignment = [1u16, 2, 3, 4];
+        let mut net = LossyEchoNet::new(4, 1, &assignment, drops);
+        let forged = EchoItem { payload: "forged", sr: claimed_sr, src: Id::new(victim_id) };
+        for _ in 0..10 {
+            net.step(&[(Id::new(byz_id), forged.clone())]);
+        }
+        for acc in &net.accepted {
+            prop_assert!(
+                !acc.contains_key(&("forged", Id::new(victim_id))),
+                "forged message accepted from innocent identifier {victim_id}"
+            );
+        }
+    }
+}
+
+// ------------------------------------- MultBroadcast α-bounds under loss
+
+/// A lossy network over the Figure 6 layer: numerate delivery (identical
+/// parts from homonyms aggregate into multiplicities), per-receiver drops,
+/// plus forged parts from a Byzantine identifier.
+struct LossyMultNet {
+    procs: Vec<MultBroadcast<&'static str>>,
+    assignment: Vec<Id>,
+    /// The Byzantine process: its correct automaton is silenced; the
+    /// forged part replaces it (so each round it sends exactly one
+    /// message per recipient — the restricted model).
+    byz: usize,
+    drops: BTreeSet<(u64, usize, usize)>,
+    round: u64,
+    /// Per process: accepted `(src, alpha, sr)` triples for "m".
+    accepted: Vec<Vec<(Id, u64, u64)>>,
+}
+
+impl LossyMultNet {
+    fn new(
+        n: usize,
+        t: usize,
+        assignment: &[u16],
+        byz: usize,
+        drops: BTreeSet<(u64, usize, usize)>,
+    ) -> Self {
+        let assignment: Vec<Id> = assignment.iter().map(|&i| Id::new(i)).collect();
+        LossyMultNet {
+            procs: (0..n)
+                .map(|k| MultBroadcast::new(n, t, assignment[k]))
+                .collect(),
+            assignment: assignment.clone(),
+            byz,
+            drops,
+            round: 0,
+            accepted: vec![Vec::new(); n],
+        }
+    }
+
+    fn step(&mut self, forged: Option<MultPart<&'static str>>) {
+        let r = Round::new(self.round);
+        let parts: Vec<MultPart<&'static str>> =
+            self.procs.iter_mut().map(|p| p.part_to_send(r)).collect();
+        for k in 0..self.procs.len() {
+            // Numerate inbox: aggregate surviving identical (id, part)s.
+            let mut multiset: BTreeMap<(Id, MultPart<&'static str>), u64> = BTreeMap::new();
+            for (j, part) in parts.iter().enumerate() {
+                if j == self.byz {
+                    continue; // silenced: the forged part replaces it
+                }
+                if j != k && self.drops.contains(&(self.round, j, k)) {
+                    continue;
+                }
+                *multiset.entry((self.assignment[j], part.clone())).or_insert(0) += 1;
+            }
+            if let Some(part) = &forged {
+                // Byzantine traffic rides out the loss (worst case).
+                *multiset
+                    .entry((self.assignment[self.byz], part.clone()))
+                    .or_insert(0) += 1;
+            }
+            let received: Vec<(Id, &MultPart<&'static str>, u64)> = multiset
+                .iter()
+                .map(|((id, part), &mult)| (*id, part, mult))
+                .collect();
+            for accept in self.procs[k].observe(r, &received) {
+                if accept.payload == "m" {
+                    self.accepted[k].push((accept.src, accept.alpha, accept.sr));
+                }
+            }
+        }
+        self.round += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Figure 6's α bounds (Lemmas 23–28) under random loss and forged
+    /// parts: for identifier 1, broadcast by its α = 2 correct holders
+    /// with f₁ = 0 Byzantine holders, every accept reports exactly α = 2;
+    /// for the Byzantine identifier (α = 0 correct, f = 1), every accept
+    /// reports α ≤ 1.
+    #[test]
+    fn mult_alpha_bounds_under_loss_and_forgery(
+        gst_sr in 1u64..3,
+        drops in echo_drops(2, 5),
+        claimed_alpha in 2u64..20,
+    ) {
+        // Processes 0, 1 hold identifier 1; 2, 3, 4 hold 2, 3, 4.
+        // Process 4 is Byzantine: its automaton is silenced and a forged
+        // part carrying identifier 4 goes out instead (restricted: one
+        // message per recipient per round).
+        let assignment = [1u16, 1, 2, 3, 4];
+        let (n, t) = (5, 1);
+        let byz_id = Id::new(4);
+        let drops: BTreeSet<(u64, usize, usize)> =
+            drops.into_iter().filter(|&(r, _, _)| r < gst_sr * 2).collect();
+        let mut net = LossyMultNet::new(n, t, &assignment, 4, drops);
+
+        // Both holders of identifier 1 broadcast "m" at stabilization.
+        net.procs[0].broadcast("m", gst_sr);
+        net.procs[1].broadcast("m", gst_sr);
+
+        for _ in 0..(gst_sr * 2 + 10) {
+            // The forger floods inflated echo claims for the honest
+            // identifier 1 and fabricated inits for itself, every round.
+            let round_sr = net.round / 2;
+            let forged = MultPart {
+                inits: if net.round % 2 == 0 {
+                    [("m", round_sr)].into_iter().collect()
+                } else {
+                    BTreeMap::new()
+                },
+                echoes: [
+                    ((Id::new(1), "m", round_sr), claimed_alpha),
+                    ((byz_id, "m", round_sr), claimed_alpha),
+                ]
+                .into_iter()
+                .collect(),
+            };
+            net.step(Some(forged));
+        }
+
+        for (k, accepts) in net.accepted.iter().enumerate().take(4) {
+            // Unforgeability (Lemma 28): α′ ≤ α + fᵢ.
+            for &(src, alpha, _) in accepts {
+                if src == Id::new(1) {
+                    prop_assert!(alpha <= 2, "proc {k}: α = {alpha} > 2 for honest id 1");
+                } else if src == byz_id {
+                    prop_assert!(alpha <= 1, "proc {k}: α = {alpha} > 1 for byz id 4");
+                }
+            }
+            // Correctness (Lemma 26): at stabilization the honest
+            // broadcast is accepted with full multiplicity — α exactly 2,
+            // by the bound above.
+            prop_assert!(
+                accepts
+                    .iter()
+                    .any(|&(src, alpha, sr)| src == Id::new(1) && alpha == 2 && sr == gst_sr),
+                "correct proc {k} must accept (id 1, m, sr {gst_sr}) with α = 2: {accepts:?}"
+            );
+        }
+    }
+}

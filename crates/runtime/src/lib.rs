@@ -1,0 +1,392 @@
+//! A threaded actor runtime for homonym protocols.
+//!
+//! Runs the same deterministic [`Protocol`] automata as the simulator, but
+//! with every correct process on its own OS thread, exchanging messages
+//! through channels. A coordinator thread implements the network fabric —
+//! lock-step rounds, identifier-based delivery, drop schedules, the
+//! numerate/innumerate transform, and the restricted-Byzantine clamp —
+//! with exactly the semantics of
+//! [`homonym_sim::Simulation`], so a run here must produce
+//! the same decisions as the simulator given the same inputs (the
+//! `runtime_parity` integration tests assert this).
+//!
+//! This is the "deployment-shaped" substrate: it exists to demonstrate the
+//! protocol automata are runtime-agnostic, and to benchmark the protocol
+//! logic under real thread scheduling.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::thread;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use homonym_core::spec::{self, Outcome};
+use homonym_core::{
+    ByzPower, Envelope, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Recipients,
+    Round, SystemConfig,
+};
+use homonym_sim::adversary::{AdvCtx, Adversary, ByzTarget, Silent};
+use homonym_sim::{DropPolicy, NoDrops, RunReport};
+
+enum ToActor<M> {
+    Collect(Round),
+    Deliver(Round, Inbox<M>),
+    Stop,
+}
+
+enum FromActor<M, V> {
+    Sends(Pid, Vec<(Recipients, M)>),
+    Received(Pid, Option<V>),
+}
+
+/// Builder for a threaded cluster run.
+///
+/// # Example
+///
+/// ```
+/// use homonym_classic::{Eig, UniqueRunner};
+/// use homonym_core::{Domain, FnFactory, IdAssignment, SystemConfig};
+/// use homonym_runtime::Cluster;
+///
+/// let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+/// let domain = Domain::binary();
+/// let factory = FnFactory::new(move |id, input| {
+///     UniqueRunner::new(Eig::new(4, 1, domain.clone()), id, input)
+/// });
+/// let report = Cluster::new(cfg, IdAssignment::unique(4), vec![true; 4])
+///     .run(&factory, 10);
+/// assert!(report.verdict.all_hold());
+/// ```
+pub struct Cluster<P: Protocol> {
+    cfg: SystemConfig,
+    assignment: IdAssignment,
+    inputs: Vec<P::Value>,
+    byz: BTreeSet<Pid>,
+    adversary: Box<dyn Adversary<P::Msg>>,
+    drops: Box<dyn DropPolicy>,
+}
+
+impl<P> Cluster<P>
+where
+    P: Protocol + Send + 'static,
+    P::Value: Send,
+{
+    /// Starts configuring a threaded run of `cfg` under `assignment` with
+    /// the given per-process proposals. Defaults: no Byzantine processes,
+    /// no drops.
+    pub fn new(cfg: SystemConfig, assignment: IdAssignment, inputs: Vec<P::Value>) -> Self {
+        Cluster {
+            cfg,
+            assignment,
+            inputs,
+            byz: BTreeSet::new(),
+            adversary: Box::new(Silent),
+            drops: Box::new(NoDrops),
+        }
+    }
+
+    /// Declares Byzantine processes and their strategy (runs on the
+    /// coordinator thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `t` processes are declared Byzantine.
+    pub fn byzantine(
+        mut self,
+        byz: impl IntoIterator<Item = Pid>,
+        adversary: impl Adversary<P::Msg> + 'static,
+    ) -> Self {
+        self.byz = byz.into_iter().collect();
+        assert!(
+            self.byz.len() <= self.cfg.t,
+            "{} byzantine processes exceed t = {}",
+            self.byz.len(),
+            self.cfg.t
+        );
+        self.adversary = Box::new(adversary);
+        self
+    }
+
+    /// Installs a drop policy (default: none).
+    pub fn drops(mut self, drops: impl DropPolicy + 'static) -> Self {
+        self.drops = Box::new(drops);
+        self
+    }
+
+    /// Spawns one thread per correct process and runs lock-step rounds
+    /// until every correct process decides or `max_rounds` elapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same contract violations as the simulator (double
+    /// addressing, adversary emitting from a correct process, changed
+    /// decisions), and if a worker thread panics.
+    pub fn run<F>(mut self, factory: &F, max_rounds: u64) -> RunReport<P::Value>
+    where
+        F: ProtocolFactory<P = P>,
+    {
+        let cfg = self.cfg;
+        cfg.validate().expect("invalid system configuration");
+        assert_eq!(self.assignment.n(), cfg.n, "assignment covers n processes");
+        assert_eq!(self.inputs.len(), cfg.n, "one input per process");
+
+        let correct: Vec<Pid> = Pid::all(cfg.n).filter(|p| !self.byz.contains(p)).collect();
+        let correct_inputs: BTreeMap<Pid, P::Value> = correct
+            .iter()
+            .map(|&p| (p, self.inputs[p.index()].clone()))
+            .collect();
+
+        // Spawn actors.
+        let (from_tx, from_rx): (
+            Sender<FromActor<P::Msg, P::Value>>,
+            Receiver<FromActor<P::Msg, P::Value>>,
+        ) = bounded(cfg.n * 2);
+        let mut to_actors: BTreeMap<Pid, Sender<ToActor<P::Msg>>> = BTreeMap::new();
+        let mut handles = Vec::new();
+        for &pid in &correct {
+            let (to_tx, to_rx) = bounded::<ToActor<P::Msg>>(2);
+            to_actors.insert(pid, to_tx);
+            let from_tx = from_tx.clone();
+            let mut proc_ =
+                factory.spawn(self.assignment.id_of(pid), self.inputs[pid.index()].clone());
+            handles.push(thread::spawn(move || {
+                while let Ok(msg) = to_rx.recv() {
+                    match msg {
+                        ToActor::Collect(round) => {
+                            let out = proc_.send(round);
+                            from_tx
+                                .send(FromActor::Sends(pid, out))
+                                .expect("coordinator alive");
+                        }
+                        ToActor::Deliver(round, inbox) => {
+                            proc_.receive(round, &inbox);
+                            from_tx
+                                .send(FromActor::Received(pid, proc_.decision()))
+                                .expect("coordinator alive");
+                        }
+                        ToActor::Stop => break,
+                    }
+                }
+            }));
+        }
+
+        // Coordinator loop.
+        let mut decisions: BTreeMap<Pid, (P::Value, Round)> = BTreeMap::new();
+        let mut messages_sent = 0u64;
+        let mut messages_delivered = 0u64;
+        let mut messages_dropped = 0u64;
+        let mut round = Round::ZERO;
+
+        while round.index() < max_rounds && decisions.len() < correct.len() {
+            // 1. Collect correct sends (in parallel across actors).
+            for tx in to_actors.values() {
+                tx.send(ToActor::Collect(round)).expect("actor alive");
+            }
+            let mut sends: BTreeMap<Pid, Vec<(Recipients, P::Msg)>> = BTreeMap::new();
+            for _ in 0..correct.len() {
+                match from_rx.recv().expect("actor alive") {
+                    FromActor::Sends(pid, out) => {
+                        sends.insert(pid, out);
+                    }
+                    FromActor::Received(..) => unreachable!("no delivery outstanding"),
+                }
+            }
+
+            // 2. Wires: correct then adversary (same order as the
+            //    simulator, for determinism parity).
+            let mut wires: Vec<(Pid, Id, Pid, P::Msg)> = Vec::new();
+            for (&pid, out) in &sends {
+                let src_id = self.assignment.id_of(pid);
+                let mut addressed: BTreeSet<Pid> = BTreeSet::new();
+                for (recipients, msg) in out {
+                    let targets: Vec<Pid> = match recipients {
+                        Recipients::All => Pid::all(cfg.n).collect(),
+                        Recipients::Group(id) => self.assignment.group(*id),
+                    };
+                    for to in targets {
+                        assert!(
+                            addressed.insert(to),
+                            "correct process {pid} addressed {to} twice in {round}"
+                        );
+                        wires.push((pid, src_id, to, msg.clone()));
+                    }
+                }
+            }
+            let ctx = AdvCtx {
+                round,
+                cfg: &cfg,
+                assignment: &self.assignment,
+                byz: &self.byz,
+            };
+            let mut byz_sent: BTreeMap<(Pid, Pid), u32> = BTreeMap::new();
+            for emission in self.adversary.send(&ctx) {
+                assert!(
+                    self.byz.contains(&emission.from),
+                    "adversary emitted from non-byzantine {}",
+                    emission.from
+                );
+                let src_id = self.assignment.id_of(emission.from);
+                let targets: Vec<Pid> = match emission.to {
+                    ByzTarget::One(p) => vec![p],
+                    ByzTarget::All => Pid::all(cfg.n).collect(),
+                    ByzTarget::Group(id) => self.assignment.group(id),
+                };
+                for to in targets {
+                    if cfg.byz_power == ByzPower::Restricted {
+                        let count = byz_sent.entry((emission.from, to)).or_insert(0);
+                        if *count >= 1 {
+                            continue;
+                        }
+                        *count += 1;
+                    }
+                    wires.push((emission.from, src_id, to, emission.msg.clone()));
+                }
+            }
+
+            // 3. Drops and routing.
+            let mut buffers: BTreeMap<Pid, Vec<Envelope<P::Msg>>> = BTreeMap::new();
+            for (from, src_id, to, msg) in wires {
+                let is_self = from == to;
+                if !is_self {
+                    messages_sent += 1;
+                    if self.drops.drops(round, from, to) {
+                        messages_dropped += 1;
+                        continue;
+                    }
+                    messages_delivered += 1;
+                }
+                buffers.entry(to).or_default().push(Envelope { src: src_id, msg });
+            }
+
+            // 4. Deliver to actors; collect decisions.
+            for (&pid, tx) in &to_actors {
+                let inbox = Inbox::collect(
+                    buffers.remove(&pid).unwrap_or_default(),
+                    cfg.counting,
+                );
+                tx.send(ToActor::Deliver(round, inbox)).expect("actor alive");
+            }
+            for _ in 0..correct.len() {
+                match from_rx.recv().expect("actor alive") {
+                    FromActor::Received(pid, decision) => {
+                        if let Some(v) = decision {
+                            match decisions.get(&pid) {
+                                None => {
+                                    decisions.insert(pid, (v, round));
+                                }
+                                Some((prev, _)) => {
+                                    assert!(
+                                        *prev == v,
+                                        "decision of {pid} changed from {prev:?} to {v:?}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    FromActor::Sends(..) => unreachable!("no collect outstanding"),
+                }
+            }
+
+            // 5. Byzantine inboxes to the adversary.
+            let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = self
+                .byz
+                .iter()
+                .map(|&pid| {
+                    (
+                        pid,
+                        Inbox::collect(buffers.remove(&pid).unwrap_or_default(), cfg.counting),
+                    )
+                })
+                .collect();
+            self.adversary.receive(round, &byz_inboxes);
+
+            round = round.next();
+        }
+
+        // Shut down actors.
+        for tx in to_actors.values() {
+            let _ = tx.send(ToActor::Stop);
+        }
+        drop(to_actors);
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+
+        let outcome = Outcome {
+            inputs: correct_inputs,
+            decisions: decisions.clone(),
+            horizon: round,
+        };
+        let verdict = spec::check(&outcome);
+        RunReport {
+            all_decided_round: (decisions.len() == correct.len())
+                .then(|| decisions.values().map(|&(_, r)| r).max())
+                .flatten(),
+            outcome,
+            verdict,
+            rounds: round.index(),
+            messages_sent,
+            messages_delivered,
+            messages_dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_classic::{Eig, UniqueRunner};
+    use homonym_core::{Domain, FnFactory};
+
+    fn eig_factory(
+        ell: usize,
+        t: usize,
+    ) -> impl ProtocolFactory<P = UniqueRunner<Eig<bool>>> {
+        let domain = Domain::binary();
+        FnFactory::new(move |id, input| {
+            UniqueRunner::new(Eig::new(ell, t, domain.clone()), id, input)
+        })
+    }
+
+    #[test]
+    fn threads_decide_like_the_simulator() {
+        let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+        let factory = eig_factory(4, 1);
+        let threaded = Cluster::new(cfg, IdAssignment::unique(4), vec![true, false, true, false])
+            .run(&factory, 10);
+        let mut sim = homonym_sim::Simulation::builder(
+            cfg,
+            IdAssignment::unique(4),
+            vec![true, false, true, false],
+        )
+        .build_with(&factory);
+        let simulated = sim.run(10);
+        assert!(threaded.verdict.all_hold());
+        assert_eq!(threaded.outcome.decisions, simulated.outcome.decisions);
+        assert_eq!(threaded.messages_sent, simulated.messages_sent);
+    }
+
+    #[test]
+    fn byzantine_strategy_runs_on_coordinator() {
+        let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+        let factory = eig_factory(4, 1);
+        let report = Cluster::new(cfg, IdAssignment::unique(4), vec![true; 4])
+            .byzantine([Pid::new(3)], Silent)
+            .run(&factory, 10);
+        assert!(report.verdict.all_hold());
+        assert_eq!(report.outcome.decisions.len(), 3);
+    }
+
+    #[test]
+    fn horizon_stops_before_decisions() {
+        // EIG needs t + 1 = 2 rounds; a horizon of 1 must stop the cluster
+        // cleanly with termination (within the horizon) unmet.
+        let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+        let factory = eig_factory(4, 1);
+        let report = Cluster::new(cfg, IdAssignment::unique(4), vec![true; 4]).run(&factory, 1);
+        assert_eq!(report.rounds, 1);
+        assert!(report.outcome.decisions.is_empty());
+        assert!(!report.verdict.termination.holds());
+    }
+}

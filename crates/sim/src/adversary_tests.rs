@@ -1,0 +1,319 @@
+//! Unit tests for the adversary strategy library, exercised through the
+//! engine against a transparent probe protocol.
+
+use std::collections::BTreeSet;
+
+use homonym_core::{
+    Counting, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Recipients, Round,
+    SystemConfig,
+};
+
+use crate::adversary::{
+    CloneSpammer, Compose, CrashAt, Equivocator, Mimic, ReplayFuzzer, Scripted, Silent,
+};
+use crate::adversary::{Adversary, ByzTarget, Emission};
+use crate::engine::Simulation;
+use crate::trace::Trace;
+
+/// A probe protocol: broadcasts `(id, input, round)` every round and
+/// remembers everything it hears. Never decides.
+#[derive(Clone, Debug)]
+struct Probe {
+    id: Id,
+    input: u32,
+    heard: Vec<(Round, Id, (u16, u32, u64), u64)>,
+}
+
+impl Protocol for Probe {
+    type Msg = (u16, u32, u64);
+    type Value = u32;
+
+    fn id(&self) -> Id {
+        self.id
+    }
+
+    fn send(&mut self, round: Round) -> Vec<(Recipients, Self::Msg)> {
+        vec![(Recipients::All, (self.id.get(), self.input, round.index()))]
+    }
+
+    fn receive(&mut self, round: Round, inbox: &Inbox<Self::Msg>) {
+        for (id, msg, count) in inbox.iter() {
+            self.heard.push((round, id, *msg, count));
+        }
+    }
+
+    fn decision(&self) -> Option<u32> {
+        None
+    }
+}
+
+fn probe_factory() -> impl ProtocolFactory<P = Probe> {
+    homonym_core::FnFactory::new(|id, input| Probe {
+        id,
+        input,
+        heard: Vec::new(),
+    })
+}
+
+fn run_with<A: Adversary<(u16, u32, u64)> + 'static>(
+    adversary: A,
+    rounds: u64,
+) -> Trace<(u16, u32, u64)> {
+    let cfg = SystemConfig::builder(4, 4, 1)
+        .counting(Counting::Numerate)
+        .build()
+        .unwrap();
+    let factory = probe_factory();
+    let mut sim = Simulation::builder(cfg, IdAssignment::unique(4), vec![10, 20, 30, 40])
+        .byzantine([Pid::new(3)], adversary)
+        .record_trace(true)
+        .build_with(&factory);
+    sim.run_exact(rounds);
+    sim.into_trace().expect("trace enabled")
+}
+
+fn byz_deliveries(trace: &Trace<(u16, u32, u64)>) -> Vec<&crate::trace::Delivery<(u16, u32, u64)>> {
+    trace
+        .deliveries()
+        .iter()
+        .filter(|d| d.from == Pid::new(3) && d.to != Pid::new(3))
+        .collect()
+}
+
+#[test]
+fn silent_sends_nothing() {
+    let trace = run_with(Silent, 3);
+    assert!(byz_deliveries(&trace).is_empty());
+}
+
+#[test]
+fn mimic_is_indistinguishable_from_a_correct_process() {
+    let factory = probe_factory();
+    let assignment = IdAssignment::unique(4);
+    let mimic = Mimic::new(&factory, &assignment, &[(Pid::new(3), 99u32)]);
+    let trace = run_with(mimic, 3);
+    let sent = byz_deliveries(&trace);
+    // One broadcast to each of the three correct processes per round.
+    assert_eq!(sent.len(), 9);
+    for d in &sent {
+        let (id, input, round) = d.msg;
+        assert_eq!(id, 4);
+        assert_eq!(input, 99);
+        assert_eq!(round, d.round.index());
+    }
+}
+
+#[test]
+fn crash_at_goes_silent_at_the_given_round() {
+    let factory = probe_factory();
+    let assignment = IdAssignment::unique(4);
+    let inner = Mimic::new(&factory, &assignment, &[(Pid::new(3), 99u32)]);
+    let trace = run_with(CrashAt::new(Round::new(2), inner), 4);
+    let sent = byz_deliveries(&trace);
+    assert!(sent.iter().all(|d| d.round < Round::new(2)));
+    assert_eq!(sent.len(), 6); // two live rounds × three recipients
+}
+
+#[test]
+fn equivocator_shows_each_half_a_different_persona() {
+    let factory = probe_factory();
+    let assignment = IdAssignment::unique(4);
+    let byz: BTreeSet<Pid> = [Pid::new(3)].into();
+    let split: BTreeSet<Pid> = [Pid::new(0)].into();
+    let trace = run_with(
+        Equivocator::new(&factory, &assignment, &byz, 7u32, 8u32, split),
+        2,
+    );
+    for d in byz_deliveries(&trace) {
+        let (_, input, _) = d.msg;
+        if d.to == Pid::new(0) {
+            assert_eq!(input, 7, "persona A for the split set");
+        } else {
+            assert_eq!(input, 8, "persona B for everyone else");
+        }
+    }
+}
+
+#[test]
+fn clone_spammer_multiplies_under_unrestricted_power() {
+    let factory = probe_factory();
+    let assignment = IdAssignment::unique(4);
+    let byz: BTreeSet<Pid> = [Pid::new(3)].into();
+    let trace = run_with(
+        CloneSpammer::new(&factory, &assignment, &byz, &[1u32, 2, 3]),
+        1,
+    );
+    let sent = byz_deliveries(&trace);
+    // Three personas × three recipients in one round.
+    assert_eq!(sent.len(), 9);
+    let inputs: BTreeSet<u32> = sent.iter().map(|d| d.msg.1).collect();
+    assert_eq!(inputs, BTreeSet::from([1, 2, 3]));
+}
+
+#[test]
+fn clone_spammer_clamped_under_restriction() {
+    let cfg = SystemConfig::builder(4, 4, 1)
+        .counting(Counting::Numerate)
+        .byz_power(homonym_core::ByzPower::Restricted)
+        .build()
+        .unwrap();
+    let factory = probe_factory();
+    let assignment = IdAssignment::unique(4);
+    let byz: BTreeSet<Pid> = [Pid::new(3)].into();
+    let spammer = CloneSpammer::new(&factory, &assignment, &byz, &[1u32, 2, 3]);
+    let mut sim = Simulation::builder(cfg, assignment.clone(), vec![10, 20, 30, 40])
+        .byzantine([Pid::new(3)], spammer)
+        .record_trace(true)
+        .build_with(&factory);
+    sim.run_exact(1);
+    let trace = sim.into_trace().unwrap();
+    let sent = byz_deliveries(&trace);
+    // The engine clamps to one message per recipient per round.
+    assert_eq!(sent.len(), 3);
+}
+
+#[test]
+fn replay_fuzzer_only_replays_observed_messages() {
+    let trace = run_with(ReplayFuzzer::new(42, 4), 5);
+    let correct_msgs: BTreeSet<(u16, u32, u64)> = trace
+        .deliveries()
+        .iter()
+        .filter(|d| d.from != Pid::new(3))
+        .map(|d| d.msg)
+        .collect();
+    let byz = byz_deliveries(&trace);
+    assert!(!byz.is_empty(), "the fuzzer should fire once its pool fills");
+    for d in byz {
+        assert!(
+            correct_msgs.contains(&d.msg),
+            "fuzzer invented a message: {:?}",
+            d.msg
+        );
+    }
+}
+
+#[test]
+fn scripted_emits_exactly_the_script() {
+    let script = Scripted::new([
+        (
+            Round::new(1),
+            Emission {
+                from: Pid::new(3),
+                to: ByzTarget::One(Pid::new(0)),
+                msg: (4u16, 999u32, 1u64),
+            },
+        ),
+        (
+            Round::new(1),
+            Emission {
+                from: Pid::new(3),
+                to: ByzTarget::Group(Id::new(2)),
+                msg: (4u16, 998u32, 1u64),
+            },
+        ),
+    ]);
+    let trace = run_with(script, 3);
+    let sent = byz_deliveries(&trace);
+    assert_eq!(sent.len(), 2);
+    assert!(sent
+        .iter()
+        .any(|d| d.to == Pid::new(0) && d.msg.1 == 999));
+    assert!(sent
+        .iter()
+        .any(|d| d.to == Pid::new(1) && d.msg.1 == 998)); // group(2) = pid 1
+}
+
+#[test]
+fn compose_concatenates_strategies() {
+    let factory = probe_factory();
+    let assignment = IdAssignment::unique(4);
+    let mimic = Mimic::new(&factory, &assignment, &[(Pid::new(3), 99u32)]);
+    let script = Scripted::new([(
+        Round::new(0),
+        Emission {
+            from: Pid::new(3),
+            to: ByzTarget::All,
+            msg: (4u16, 1000u32, 0u64),
+        },
+    )]);
+    let composed: Compose<(u16, u32, u64)> =
+        Compose::new(vec![Box::new(mimic), Box::new(script)]);
+    let trace = run_with(composed, 1);
+    let sent = byz_deliveries(&trace);
+    // Mimic: 3 recipients; script: 3 non-self recipients.
+    assert_eq!(sent.len(), 6);
+    let inputs: BTreeSet<u32> = sent.iter().map(|d| d.msg.1).collect();
+    assert_eq!(inputs, BTreeSet::from([99, 1000]));
+}
+
+#[test]
+fn stale_replayer_echoes_with_the_configured_delay() {
+    use crate::adversary::StaleReplayer;
+    let trace = run_with(StaleReplayer::new(2, 8), 5);
+    let byz = byz_deliveries(&trace);
+    assert!(!byz.is_empty());
+    for d in byz {
+        let (_, _, tagged_round) = d.msg;
+        assert_eq!(
+            tagged_round + 2,
+            d.round.index(),
+            "every replayed message is exactly two rounds stale"
+        );
+    }
+}
+
+#[test]
+fn flooder_duplicates_are_counted_by_numerate_receivers() {
+    use crate::adversary::Flooder;
+    let trace = run_with(Flooder::new(5), 3);
+    let byz = byz_deliveries(&trace);
+    // From round 1 on, 5 copies × 3 recipients per round.
+    assert_eq!(byz.len(), 2 * 5 * 3);
+}
+
+#[test]
+fn flooder_clamped_under_restriction() {
+    use crate::adversary::Flooder;
+    let cfg = SystemConfig::builder(4, 4, 1)
+        .counting(Counting::Numerate)
+        .byz_power(homonym_core::ByzPower::Restricted)
+        .build()
+        .unwrap();
+    let factory = probe_factory();
+    let mut sim = Simulation::builder(cfg, IdAssignment::unique(4), vec![10, 20, 30, 40])
+        .byzantine([Pid::new(3)], Flooder::new(5))
+        .record_trace(true)
+        .build_with(&factory);
+    sim.run_exact(3);
+    let trace = sim.into_trace().unwrap();
+    let byz = byz_deliveries(&trace);
+    assert_eq!(byz.len(), 2 * 3, "one copy per recipient per active round");
+}
+
+#[test]
+fn per_round_sent_grows_with_flooding() {
+    use crate::adversary::Flooder;
+    let cfg = SystemConfig::builder(4, 4, 1)
+        .counting(Counting::Numerate)
+        .build()
+        .unwrap();
+    let factory = probe_factory();
+    let mut sim = Simulation::builder(cfg, IdAssignment::unique(4), vec![10, 20, 30, 40])
+        .byzantine([Pid::new(3)], Flooder::new(5))
+        .build_with(&factory);
+    sim.run_exact(3);
+    let per_round = sim.per_round_sent().to_vec();
+    assert_eq!(per_round.len(), 3);
+    // Round 0: only the 3 correct broadcasts (9 non-self deliveries);
+    // later rounds add the flood.
+    assert_eq!(per_round[0], 9);
+    assert_eq!(per_round[1], 9 + 15);
+}
+
+#[test]
+fn adversary_names_are_stable() {
+    // Report output keys off these names.
+    assert_eq!(Adversary::<(u16, u32, u64)>::name(&Silent), "silent");
+    let fuzzer: ReplayFuzzer<(u16, u32, u64)> = ReplayFuzzer::new(1, 1);
+    assert_eq!(fuzzer.name(), "replay-fuzzer");
+}

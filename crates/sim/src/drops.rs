@@ -1,0 +1,285 @@
+//! Message-drop policies: the basic partially synchronous model.
+//!
+//! Dwork, Lynch and Stockmeyer's *basic* partially synchronous model (which
+//! the paper adopts verbatim) is the synchronous round model where, in each
+//! execution, a finite but unbounded number of messages may fail to be
+//! delivered. Operationally every policy here has a *global stabilization
+//! round* ([`DropPolicy::gst`]) at and after which it drops nothing, making
+//! the total number of drops finite.
+//!
+//! Self-delivery is never subject to drops: the engine does not consult the
+//! policy when a process sends to itself.
+
+use std::collections::BTreeSet;
+
+use homonym_core::{Pid, Round};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decides which messages are lost.
+///
+/// Implementations must be deterministic given their construction
+/// parameters (seeded randomness included) so executions are replayable.
+pub trait DropPolicy {
+    /// Whether the message sent in `round` from `from` to `to` is lost.
+    ///
+    /// Must return `false` for every round at or after [`gst`](Self::gst).
+    fn drops(&mut self, round: Round, from: Pid, to: Pid) -> bool;
+
+    /// The global stabilization round: no drops at or after it. Harnesses
+    /// use this to size observation horizons.
+    fn gst(&self) -> Round;
+}
+
+/// The fully synchronous model: nothing is ever dropped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoDrops;
+
+impl DropPolicy for NoDrops {
+    fn drops(&mut self, _round: Round, _from: Pid, _to: Pid) -> bool {
+        false
+    }
+
+    fn gst(&self) -> Round {
+        Round::ZERO
+    }
+}
+
+/// Drops each non-self message independently with probability `p` before
+/// the stabilization round, nothing afterwards.
+#[derive(Clone, Debug)]
+pub struct RandomUntilGst {
+    gst: Round,
+    p: f64,
+    rng: StdRng,
+}
+
+impl RandomUntilGst {
+    /// Creates a policy dropping with probability `p` until `gst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn new(gst: Round, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0, 1]");
+        RandomUntilGst {
+            gst,
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DropPolicy for RandomUntilGst {
+    fn drops(&mut self, round: Round, _from: Pid, _to: Pid) -> bool {
+        // Consume one random draw per queried message pre-GST so the
+        // decision sequence does not depend on short-circuiting callers.
+        if round < self.gst {
+            self.rng.gen_bool(self.p)
+        } else {
+            false
+        }
+    }
+
+    fn gst(&self) -> Round {
+        self.gst
+    }
+}
+
+/// Partitions the processes into sides and drops everything crossing
+/// between different sides until the heal round (exclusive). Processes not
+/// listed on any side communicate freely.
+///
+/// This is the drop schedule of the Figure 4 lower-bound construction: the
+/// input-0 half and the input-1 half cannot hear each other until both have
+/// decided.
+#[derive(Clone, Debug)]
+pub struct PartitionUntil {
+    sides: Vec<BTreeSet<Pid>>,
+    heal: Round,
+}
+
+impl PartitionUntil {
+    /// Creates a partition of the given sides, healing at `heal`.
+    pub fn new(sides: Vec<BTreeSet<Pid>>, heal: Round) -> Self {
+        PartitionUntil { sides, heal }
+    }
+
+    fn side_of(&self, p: Pid) -> Option<usize> {
+        self.sides.iter().position(|s| s.contains(&p))
+    }
+}
+
+impl DropPolicy for PartitionUntil {
+    fn drops(&mut self, round: Round, from: Pid, to: Pid) -> bool {
+        if round >= self.heal {
+            return false;
+        }
+        match (self.side_of(from), self.side_of(to)) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
+    }
+
+    fn gst(&self) -> Round {
+        self.heal
+    }
+}
+
+/// Isolates a set of processes — everything to or from them is dropped —
+/// until the heal round (exclusive). Used to pad lower-bound constructions
+/// with processes that must stay invisible while the contradiction forms.
+#[derive(Clone, Debug)]
+pub struct IsolateUntil {
+    isolated: BTreeSet<Pid>,
+    heal: Round,
+}
+
+impl IsolateUntil {
+    /// Creates the policy isolating `isolated` until `heal`.
+    pub fn new(isolated: BTreeSet<Pid>, heal: Round) -> Self {
+        IsolateUntil { isolated, heal }
+    }
+}
+
+impl DropPolicy for IsolateUntil {
+    fn drops(&mut self, round: Round, from: Pid, to: Pid) -> bool {
+        round < self.heal && (self.isolated.contains(&from) || self.isolated.contains(&to))
+    }
+
+    fn gst(&self) -> Round {
+        self.heal
+    }
+}
+
+/// Drops an explicit list of `(round, from, to)` triples; everything else
+/// is delivered. The stabilization round is one past the last scripted
+/// drop.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedDrops {
+    drops: BTreeSet<(Round, Pid, Pid)>,
+}
+
+impl ScriptedDrops {
+    /// Creates the policy from explicit drop triples.
+    pub fn new(drops: impl IntoIterator<Item = (Round, Pid, Pid)>) -> Self {
+        ScriptedDrops {
+            drops: drops.into_iter().collect(),
+        }
+    }
+}
+
+impl DropPolicy for ScriptedDrops {
+    fn drops(&mut self, round: Round, from: Pid, to: Pid) -> bool {
+        self.drops.contains(&(round, from, to))
+    }
+
+    fn gst(&self) -> Round {
+        self.drops
+            .iter()
+            .next_back()
+            .map(|&(r, _, _)| r.next())
+            .unwrap_or(Round::ZERO)
+    }
+}
+
+/// Combines two policies: a message is dropped if either policy drops it.
+/// The stabilization round is the later of the two.
+#[derive(Clone, Debug)]
+pub struct Both<A, B>(pub A, pub B);
+
+impl<A: DropPolicy, B: DropPolicy> DropPolicy for Both<A, B> {
+    fn drops(&mut self, round: Round, from: Pid, to: Pid) -> bool {
+        // Evaluate both so stateful policies consume their randomness
+        // deterministically.
+        let a = self.0.drops(round, from, to);
+        let b = self.1.drops(round, from, to);
+        a || b
+    }
+
+    fn gst(&self) -> Round {
+        self.0.gst().max(self.1.gst())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> Pid {
+        Pid::new(i)
+    }
+
+    #[test]
+    fn no_drops_never_drops() {
+        let mut d = NoDrops;
+        assert!(!d.drops(Round::new(0), p(0), p(1)));
+        assert_eq!(d.gst(), Round::ZERO);
+    }
+
+    #[test]
+    fn random_stops_at_gst() {
+        let mut d = RandomUntilGst::new(Round::new(10), 1.0, 42);
+        assert!(d.drops(Round::new(9), p(0), p(1)));
+        assert!(!d.drops(Round::new(10), p(0), p(1)));
+        assert!(!d.drops(Round::new(11), p(0), p(1)));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut d = RandomUntilGst::new(Round::new(50), 0.5, seed);
+            (0..50)
+                .map(|r| d.drops(Round::new(r), p(0), p(1)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn partition_blocks_cross_side_only() {
+        let mut d = PartitionUntil::new(
+            vec![[p(0), p(1)].into(), [p(2)].into()],
+            Round::new(5),
+        );
+        assert!(d.drops(Round::new(0), p(0), p(2)));
+        assert!(d.drops(Round::new(4), p(2), p(1)));
+        assert!(!d.drops(Round::new(0), p(0), p(1)));
+        // Unlisted processes communicate freely.
+        assert!(!d.drops(Round::new(0), p(3), p(2)));
+        // Healed.
+        assert!(!d.drops(Round::new(5), p(0), p(2)));
+        assert_eq!(d.gst(), Round::new(5));
+    }
+
+    #[test]
+    fn isolate_blocks_both_directions() {
+        let mut d = IsolateUntil::new([p(3)].into(), Round::new(2));
+        assert!(d.drops(Round::new(1), p(3), p(0)));
+        assert!(d.drops(Round::new(1), p(0), p(3)));
+        assert!(!d.drops(Round::new(1), p(0), p(1)));
+        assert!(!d.drops(Round::new(2), p(3), p(0)));
+    }
+
+    #[test]
+    fn scripted_drops_exactly_the_listed_triples() {
+        let mut d = ScriptedDrops::new([(Round::new(1), p(0), p(1)), (Round::new(3), p(2), p(0))]);
+        assert!(d.drops(Round::new(1), p(0), p(1)));
+        assert!(!d.drops(Round::new(1), p(1), p(0)));
+        assert!(!d.drops(Round::new(2), p(0), p(1)));
+        assert_eq!(d.gst(), Round::new(4));
+    }
+
+    #[test]
+    fn both_is_a_union() {
+        let mut d = Both(
+            ScriptedDrops::new([(Round::new(0), p(0), p(1))]),
+            ScriptedDrops::new([(Round::new(1), p(1), p(0))]),
+        );
+        assert!(d.drops(Round::new(0), p(0), p(1)));
+        assert!(d.drops(Round::new(1), p(1), p(0)));
+        assert!(!d.drops(Round::new(2), p(0), p(1)));
+        assert_eq!(d.gst(), Round::new(2));
+    }
+}

@@ -1,0 +1,642 @@
+//! The lock-step round execution engine.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use homonym_core::spec::{self, Outcome, Verdict};
+use homonym_core::{
+    ByzPower, Envelope, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Recipients,
+    Round, SystemConfig,
+};
+
+use crate::adversary::{AdvCtx, Adversary, ByzTarget, Silent};
+use crate::drops::{DropPolicy, NoDrops};
+use crate::topology::Topology;
+use crate::trace::{Delivery, Trace};
+
+/// The report of one simulated execution.
+#[derive(Clone, Debug)]
+pub struct RunReport<V> {
+    /// Inputs and decisions of the correct processes, for the checker.
+    pub outcome: Outcome<V>,
+    /// The three-property verdict.
+    pub verdict: Verdict<V>,
+    /// Rounds actually executed.
+    pub rounds: u64,
+    /// The round by which every correct process had decided, if all did.
+    pub all_decided_round: Option<Round>,
+    /// Non-self messages handed to the network.
+    pub messages_sent: u64,
+    /// Non-self messages delivered.
+    pub messages_delivered: u64,
+    /// Non-self messages lost to the drop policy.
+    pub messages_dropped: u64,
+}
+
+/// Builder for [`Simulation`]; see [`Simulation::builder`].
+pub struct SimulationBuilder<P: Protocol> {
+    cfg: SystemConfig,
+    assignment: IdAssignment,
+    inputs: Vec<P::Value>,
+    byz: BTreeSet<Pid>,
+    adversary: Box<dyn Adversary<P::Msg>>,
+    drops: Box<dyn DropPolicy>,
+    topology: Topology,
+    record_trace: bool,
+}
+
+impl<P: Protocol> SimulationBuilder<P> {
+    /// Declares the Byzantine processes and the strategy controlling them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `t` processes are declared Byzantine or any is
+    /// out of range.
+    pub fn byzantine(
+        mut self,
+        byz: impl IntoIterator<Item = Pid>,
+        adversary: impl Adversary<P::Msg> + 'static,
+    ) -> Self {
+        self.byz = byz.into_iter().collect();
+        assert!(
+            self.byz.len() <= self.cfg.t,
+            "{} byzantine processes exceed t = {}",
+            self.byz.len(),
+            self.cfg.t
+        );
+        assert!(
+            self.byz.iter().all(|p| p.index() < self.cfg.n),
+            "byzantine pid out of range"
+        );
+        self.adversary = Box::new(adversary);
+        self
+    }
+
+    /// Installs a drop policy (default: no drops — the synchronous model).
+    pub fn drops(mut self, drops: impl DropPolicy + 'static) -> Self {
+        self.drops = Box::new(drops);
+        self
+    }
+
+    /// Installs a topology (default: complete).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's size differs from `n`.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        assert_eq!(topology.n(), self.cfg.n, "topology size must equal n");
+        self.topology = topology;
+        self
+    }
+
+    /// Records a full delivery trace (off by default; required for the
+    /// replay adversaries).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Spawns the correct processes from `factory` and finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration, assignment and inputs disagree on `n`
+    /// or `ℓ`.
+    pub fn build_with<F>(self, factory: &F) -> Simulation<P>
+    where
+        F: ProtocolFactory<P = P>,
+    {
+        self.cfg.validate().expect("invalid system configuration");
+        assert_eq!(self.assignment.n(), self.cfg.n, "assignment covers n processes");
+        assert_eq!(self.assignment.ell(), self.cfg.ell, "assignment uses ell identifiers");
+        assert_eq!(self.inputs.len(), self.cfg.n, "one input per process");
+
+        let procs: BTreeMap<Pid, P> = self
+            .assignment
+            .iter()
+            .filter(|(pid, _)| !self.byz.contains(pid))
+            .map(|(pid, id)| (pid, factory.spawn(id, self.inputs[pid.index()].clone())))
+            .collect();
+        let inputs = self
+            .assignment
+            .iter()
+            .filter(|(pid, _)| !self.byz.contains(pid))
+            .map(|(pid, _)| (pid, self.inputs[pid.index()].clone()))
+            .collect();
+        Simulation {
+            cfg: self.cfg,
+            assignment: self.assignment,
+            inputs,
+            procs,
+            byz: self.byz,
+            adversary: self.adversary,
+            drops: self.drops,
+            topology: self.topology,
+            round: Round::ZERO,
+            decisions: BTreeMap::new(),
+            trace: self.record_trace.then(Trace::new),
+            messages_sent: 0,
+            messages_delivered: 0,
+            messages_dropped: 0,
+            per_round_sent: Vec::new(),
+        }
+    }
+}
+
+/// A deterministic lock-step execution of one system.
+///
+/// # Example
+///
+/// ```
+/// use homonym_classic::{Eig, UniqueRunner};
+/// use homonym_core::{Domain, FnFactory, IdAssignment, SystemConfig};
+/// use homonym_sim::Simulation;
+///
+/// // Classical system: 4 processes, unique identifiers, no faults present.
+/// let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+/// let domain = Domain::binary();
+/// let factory = FnFactory::new(move |id, input| {
+///     UniqueRunner::new(Eig::new(4, 1, domain.clone()), id, input)
+/// });
+/// let mut sim = Simulation::builder(cfg, IdAssignment::unique(4), vec![true; 4])
+///     .build_with(&factory);
+/// let report = sim.run(10);
+/// assert!(report.verdict.all_hold());
+/// ```
+pub struct Simulation<P: Protocol> {
+    cfg: SystemConfig,
+    assignment: IdAssignment,
+    inputs: BTreeMap<Pid, P::Value>,
+    procs: BTreeMap<Pid, P>,
+    byz: BTreeSet<Pid>,
+    adversary: Box<dyn Adversary<P::Msg>>,
+    drops: Box<dyn DropPolicy>,
+    topology: Topology,
+    round: Round,
+    decisions: BTreeMap<Pid, (P::Value, Round)>,
+    trace: Option<Trace<P::Msg>>,
+    messages_sent: u64,
+    messages_delivered: u64,
+    messages_dropped: u64,
+    per_round_sent: Vec<u64>,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Starts building a simulation of `cfg` under `assignment`, where
+    /// process `i` proposes `inputs[i]` (inputs of Byzantine processes are
+    /// ignored). Defaults: no Byzantine processes, no drops, complete
+    /// topology, no trace.
+    pub fn builder(
+        cfg: SystemConfig,
+        assignment: IdAssignment,
+        inputs: Vec<P::Value>,
+    ) -> SimulationBuilder<P> {
+        SimulationBuilder {
+            cfg,
+            assignment,
+            inputs,
+            byz: BTreeSet::new(),
+            adversary: Box::new(Silent),
+            drops: Box::new(NoDrops),
+            topology: Topology::complete(cfg.n),
+            record_trace: false,
+        }
+    }
+
+    /// The current round (the next one to execute).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The system configuration.
+    pub fn cfg(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The stabilization round of the installed drop policy.
+    pub fn gst(&self) -> Round {
+        self.drops.gst()
+    }
+
+    /// Whether every correct process has decided.
+    pub fn all_decided(&self) -> bool {
+        self.decisions.len() == self.procs.len()
+    }
+
+    /// The decisions recorded so far.
+    pub fn decisions(&self) -> &BTreeMap<Pid, (P::Value, Round)> {
+        &self.decisions
+    }
+
+    /// The correct processes' automata, ascending by [`Pid`] — for
+    /// inspecting protocol state between [`step`](Simulation::step)s (the
+    /// lemma-invariant tests check lock coherence this way).
+    pub fn processes(&self) -> impl Iterator<Item = (Pid, &P)> {
+        self.procs.iter().map(|(&pid, p)| (pid, p))
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace<P::Msg>> {
+        self.trace.as_ref()
+    }
+
+    /// Consumes the simulation, returning the trace (if recorded).
+    pub fn into_trace(self) -> Option<Trace<P::Msg>> {
+        self.trace
+    }
+
+    /// Non-self messages handed to the network in each executed round.
+    ///
+    /// Protocols that retransmit forever (the echo broadcast's relay
+    /// property) show their growth here; the E7 experiment plots it.
+    pub fn per_round_sent(&self) -> &[u64] {
+        &self.per_round_sent
+    }
+
+    fn expand_byz_target(&self, target: ByzTarget) -> Vec<Pid> {
+        match target {
+            ByzTarget::One(p) => vec![p],
+            ByzTarget::All => Pid::all(self.cfg.n).collect(),
+            ByzTarget::Group(id) => self.assignment.group(id),
+        }
+    }
+
+    /// Executes one round: correct sends, adversary sends, topology /
+    /// restriction / drops, delivery, decision recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a correct process addresses the same recipient twice in
+    /// one round (a protocol bug), if the adversary emits from a
+    /// non-Byzantine process (a scenario bug), or if a decision changes
+    /// (a protocol bug).
+    pub fn step(&mut self) {
+        let r = self.round;
+
+        // (from, src_id, to, msg) quadruples for this round.
+        let mut wires: Vec<(Pid, Id, Pid, P::Msg)> = Vec::new();
+
+        // 1. Correct processes send; enforce one message per recipient.
+        for (&pid, proc_) in self.procs.iter_mut() {
+            let out = proc_.send(r);
+            let src_id = self.assignment.id_of(pid);
+            let mut addressed: BTreeSet<Pid> = BTreeSet::new();
+            for (recipients, msg) in out {
+                let targets = match recipients {
+                    Recipients::All => Pid::all(self.cfg.n).collect(),
+                    Recipients::Group(id) => self.assignment.group(id),
+                };
+                for to in targets {
+                    assert!(
+                        addressed.insert(to),
+                        "correct process {pid} addressed {to} twice in {r}"
+                    );
+                    wires.push((pid, src_id, to, msg.clone()));
+                }
+            }
+        }
+
+        // 2. Adversary sends; clamp to one per recipient if restricted.
+        let ctx = AdvCtx {
+            round: r,
+            cfg: &self.cfg,
+            assignment: &self.assignment,
+            byz: &self.byz,
+        };
+        let emissions = self.adversary.send(&ctx);
+        let mut byz_sent: BTreeMap<(Pid, Pid), u32> = BTreeMap::new();
+        for emission in emissions {
+            assert!(
+                self.byz.contains(&emission.from),
+                "adversary emitted from non-byzantine {}",
+                emission.from
+            );
+            let src_id = self.assignment.id_of(emission.from);
+            for to in self.expand_byz_target(emission.to) {
+                if self.cfg.byz_power == ByzPower::Restricted {
+                    let count = byz_sent.entry((emission.from, to)).or_insert(0);
+                    if *count >= 1 {
+                        continue; // the model forbids the second message
+                    }
+                    *count += 1;
+                }
+                wires.push((emission.from, src_id, to, emission.msg.clone()));
+            }
+        }
+
+        // 3. Topology and drops; route into per-recipient buffers.
+        let sent_before = self.messages_sent;
+        let mut buffers: BTreeMap<Pid, Vec<Envelope<P::Msg>>> = BTreeMap::new();
+        for (from, src_id, to, msg) in wires {
+            if !self.topology.connected(from, to) {
+                continue; // no channel: the message is never sent
+            }
+            let is_self = from == to;
+            if !is_self {
+                self.messages_sent += 1;
+            }
+            let dropped = !is_self && self.drops.drops(r, from, to);
+            if let Some(trace) = &mut self.trace {
+                trace.record(Delivery {
+                    round: r,
+                    from,
+                    src_id,
+                    to,
+                    msg: msg.clone(),
+                    dropped,
+                });
+            }
+            if dropped {
+                self.messages_dropped += 1;
+                continue;
+            }
+            if !is_self {
+                self.messages_delivered += 1;
+            }
+            buffers.entry(to).or_default().push(Envelope { src: src_id, msg });
+        }
+
+        // 4. Deliver to correct processes; record decisions.
+        for (&pid, proc_) in self.procs.iter_mut() {
+            let inbox = Inbox::collect(
+                buffers.remove(&pid).unwrap_or_default(),
+                self.cfg.counting,
+            );
+            proc_.receive(r, &inbox);
+            if let Some(v) = proc_.decision() {
+                match self.decisions.get(&pid) {
+                    None => {
+                        self.decisions.insert(pid, (v, r));
+                    }
+                    Some((prev, _)) => {
+                        assert!(*prev == v, "decision of {pid} changed from {prev:?} to {v:?}");
+                    }
+                }
+            }
+        }
+
+        self.per_round_sent.push(self.messages_sent - sent_before);
+
+        // 5. Tell the adversary what its processes received.
+        let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = self
+            .byz
+            .iter()
+            .map(|&pid| {
+                (
+                    pid,
+                    Inbox::collect(buffers.remove(&pid).unwrap_or_default(), self.cfg.counting),
+                )
+            })
+            .collect();
+        self.adversary.receive(r, &byz_inboxes);
+
+        self.round = r.next();
+    }
+
+    /// Runs until every correct process has decided or `max_rounds` rounds
+    /// have executed, then reports.
+    pub fn run(&mut self, max_rounds: u64) -> RunReport<P::Value> {
+        while self.round.index() < max_rounds && !self.all_decided() {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Runs exactly `max_rounds` rounds (decided processes keep
+    /// participating, as the paper's algorithms prescribe), then reports.
+    pub fn run_exact(&mut self, max_rounds: u64) -> RunReport<P::Value> {
+        while self.round.index() < max_rounds {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// The report for the execution so far.
+    pub fn report(&self) -> RunReport<P::Value> {
+        let outcome = Outcome {
+            inputs: self.inputs.clone(),
+            decisions: self.decisions.clone(),
+            horizon: self.round,
+        };
+        let verdict = spec::check(&outcome);
+        RunReport {
+            all_decided_round: self
+                .all_decided()
+                .then(|| self.decisions.values().map(|&(_, r)| r).max())
+                .flatten(),
+            outcome,
+            verdict,
+            rounds: self.round.index(),
+            messages_sent: self.messages_sent,
+            messages_delivered: self.messages_delivered,
+            messages_dropped: self.messages_dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_core::FnFactory;
+
+    /// A toy protocol: broadcast the input every round; decide on the
+    /// smallest value heard from at least `quorum` distinct identifiers
+    /// after round 0.
+    #[derive(Clone, Debug)]
+    struct Gossip {
+        id: Id,
+        input: u32,
+        heard: BTreeMap<u32, BTreeSet<Id>>,
+        quorum: usize,
+        decision: Option<u32>,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u32;
+        type Value = u32;
+
+        fn id(&self) -> Id {
+            self.id
+        }
+
+        fn send(&mut self, _round: Round) -> Vec<(Recipients, u32)> {
+            vec![(Recipients::All, self.input)]
+        }
+
+        fn receive(&mut self, _round: Round, inbox: &Inbox<u32>) {
+            for (id, &msg, _count) in inbox.iter() {
+                self.heard.entry(msg).or_default().insert(id);
+            }
+            if self.decision.is_none() {
+                self.decision = self
+                    .heard
+                    .iter()
+                    .find(|(_, ids)| ids.len() >= self.quorum)
+                    .map(|(&v, _)| v);
+            }
+        }
+
+        fn decision(&self) -> Option<u32> {
+            self.decision
+        }
+    }
+
+    fn gossip_factory(quorum: usize) -> impl ProtocolFactory<P = Gossip> {
+        FnFactory::new(move |id, input| Gossip {
+            id,
+            input,
+            heard: BTreeMap::new(),
+            quorum,
+            decision: None,
+        })
+    }
+
+    fn cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+        SystemConfig::builder(n, ell, t).build().unwrap()
+    }
+
+    #[test]
+    fn decides_and_reports() {
+        let factory = gossip_factory(3);
+        let mut sim = Simulation::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![7, 7, 7])
+            .build_with(&factory);
+        let report = sim.run(5);
+        assert!(report.verdict.all_hold());
+        assert_eq!(report.all_decided_round, Some(Round::ZERO));
+        // 3 processes broadcast to 2 peers each, for 1 round.
+        assert_eq!(report.messages_sent, 6);
+        assert_eq!(report.messages_delivered, 6);
+    }
+
+    #[test]
+    fn innumerate_collapses_homonym_copies() {
+        // Two homonyms (id 1) with the same input look like one sender to an
+        // innumerate receiver: quorum 3 needs a third distinct identifier.
+        let factory = gossip_factory(3);
+        let assignment = IdAssignment::new(2, vec![Id::new(1), Id::new(1), Id::new(2)]).unwrap();
+        let mut sim = Simulation::builder(cfg(3, 2, 0), assignment, vec![5, 5, 5])
+            .build_with(&factory);
+        let report = sim.run(4);
+        // Only 2 distinct identifiers exist; quorum 3 unreachable.
+        assert!(!report.verdict.termination.holds());
+    }
+
+    #[test]
+    fn byzantine_inputs_are_excluded_from_validity() {
+        let factory = gossip_factory(2);
+        let mut sim = Simulation::builder(cfg(3, 3, 1), IdAssignment::unique(3), vec![7, 7, 9])
+            .byzantine([Pid::new(2)], Silent)
+            .build_with(&factory);
+        let report = sim.run(5);
+        // The Byzantine process's "input" 9 does not make validity vacuous.
+        assert!(report.verdict.validity.holds());
+        assert_eq!(report.outcome.inputs.len(), 2);
+    }
+
+    #[test]
+    fn drops_lose_messages() {
+        use crate::drops::ScriptedDrops;
+        let factory = gossip_factory(3);
+        let mut sim = Simulation::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![1, 1, 1])
+            .drops(ScriptedDrops::new([
+                (Round::ZERO, Pid::new(0), Pid::new(1)),
+                (Round::ZERO, Pid::new(0), Pid::new(2)),
+            ]))
+            .build_with(&factory);
+        let report = sim.run(3);
+        assert_eq!(report.messages_dropped, 2);
+        // Still decides in a later round once drops cease.
+        assert!(report.verdict.all_hold());
+        assert!(report.all_decided_round > Some(Round::ZERO));
+    }
+
+    #[test]
+    fn restricted_clamps_byzantine_multisend() {
+        use crate::adversary::{ByzTarget, Emission, Scripted};
+        // The Byzantine process tries to send three copies to one recipient.
+        let spam = Scripted::new((0..3).map(|_| {
+            (
+                Round::ZERO,
+                Emission {
+                    from: Pid::new(2),
+                    to: ByzTarget::One(Pid::new(0)),
+                    msg: 9u32,
+                },
+            )
+        }));
+        let run = |byz_power| {
+            let factory = gossip_factory(2);
+            let mut config = cfg(3, 3, 1);
+            config.byz_power = byz_power;
+            config.counting = homonym_core::Counting::Numerate;
+            let mut sim =
+                Simulation::builder(config, IdAssignment::unique(3), vec![1, 1, 0])
+                    .byzantine([Pid::new(2)], spam.clone())
+                    .record_trace(true)
+                    .build_with(&factory);
+            sim.run(1);
+            sim.into_trace().unwrap().len()
+        };
+        // Unrestricted: 3 spam + 6 correct broadcasts land in the trace
+        // (self-deliveries included: 2 correct senders × 3 targets).
+        assert_eq!(run(ByzPower::Unrestricted), 9);
+        // Restricted: the clamp keeps only the first spam copy.
+        assert_eq!(run(ByzPower::Restricted), 7);
+    }
+
+    #[test]
+    fn topology_restricts_channels() {
+        // A line topology 0-1-2: process 0 and 2 cannot hear each other.
+        let factory = gossip_factory(3);
+        let topo = Topology::with_edges(3, [(Pid::new(0), Pid::new(1)), (Pid::new(1), Pid::new(2))]);
+        let mut sim = Simulation::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![1, 2, 3])
+            .topology(topo)
+            .record_trace(true)
+            .build_with(&factory);
+        sim.run_exact(1);
+        let trace = sim.trace().unwrap();
+        assert!(trace
+            .received_from_id(Pid::new(2), Id::new(1), Round::ZERO)
+            .is_empty());
+        assert!(!trace
+            .received_from_id(Pid::new(1), Id::new(1), Round::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "byzantine processes exceed t")]
+    fn too_many_byzantine_rejected() {
+        let factory = gossip_factory(2);
+        let _ = Simulation::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![1, 1, 1])
+            .byzantine([Pid::new(0)], Silent)
+            .build_with(&factory);
+    }
+
+    #[test]
+    fn run_exact_continues_after_decision() {
+        let factory = gossip_factory(3);
+        let mut sim = Simulation::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![2, 2, 2])
+            .build_with(&factory);
+        let report = sim.run_exact(6);
+        assert_eq!(report.rounds, 6);
+        assert!(report.verdict.all_hold());
+        // Messages kept flowing after the decision round.
+        assert_eq!(report.messages_sent, 6 * 6);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run_once = || {
+            let factory = gossip_factory(2);
+            let mut sim =
+                Simulation::builder(cfg(4, 4, 1), IdAssignment::unique(4), vec![3, 1, 2, 0])
+                    .byzantine([Pid::new(3)], crate::adversary::ReplayFuzzer::new(11, 2))
+                    .record_trace(true)
+                    .build_with(&factory);
+            sim.run_exact(5);
+            let decisions: Vec<_> = sim.decisions().clone().into_iter().collect();
+            let n = sim.trace().unwrap().len();
+            (decisions, n)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic round-based simulator for homonym message-passing systems.
+//!
+//! The paper's model is an abstract lock-step round system; this crate
+//! realizes it exactly:
+//!
+//! * [`Simulation`] — the engine. Each round it (1) collects the broadcast
+//!   of every correct process, (2) asks the [`Adversary`] for the Byzantine
+//!   processes' messages, (3) applies the [`Topology`], the restricted-
+//!   Byzantine clamp, and the [`DropPolicy`], (4) builds per-process
+//!   [`Inbox`](homonym_core::Inbox)es under the configured counting model,
+//!   and (5) delivers them.
+//! * [`DropPolicy`] — the basic partially synchronous model of Dwork,
+//!   Lynch and Stockmeyer: any message may be lost, but only finitely many
+//!   (operationally: none at or after a global stabilization round).
+//! * [`Adversary`] — full Byzantine power: per-recipient messages, and in
+//!   the unrestricted model arbitrarily many per recipient per round. The
+//!   [`adversary`] module ships a strategy library (silent, crash,
+//!   correct-mimicking, equivocation, homonym-clone spam, replay fuzzing,
+//!   scripted).
+//! * [`Trace`] — per-delivery records supporting the replay adversaries
+//!   used by the Figure 4 partition construction.
+//! * [`harness`] — run-and-check: executes a protocol against a whole
+//!   scenario grid and compares the empirical verdicts with the Table 1
+//!   prediction.
+//!
+//! Everything is deterministic given the seed: protocols are deterministic
+//! by contract, and all randomness (fuzz adversaries, random drop policies)
+//! flows from explicitly seeded PRNGs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversary;
+#[cfg(test)]
+mod adversary_tests;
+mod drops;
+mod engine;
+pub mod harness;
+mod topology;
+mod trace;
+
+pub use adversary::{AdvCtx, Adversary, ByzTarget, Emission};
+pub use drops::{Both, DropPolicy, IsolateUntil, NoDrops, PartitionUntil, RandomUntilGst, ScriptedDrops};
+pub use engine::{RunReport, Simulation, SimulationBuilder};
+pub use topology::Topology;
+pub use trace::{Delivery, Trace};

@@ -1,0 +1,225 @@
+//! Execution traces: every (attempted) delivery, queryable for replay.
+//!
+//! The Figure 4 partition construction needs to *replay* recorded
+//! executions: the Byzantine process `Bᵢ` sends to each 0-input process
+//! "the same messages as that process receives in α" from identifier `i`.
+//! [`Trace::received_from_id`] is exactly that query.
+
+use homonym_core::{Id, Message, Pid, Round};
+
+/// One attempted delivery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// The round in which the message was sent.
+    pub round: Round,
+    /// The sending process (environment-level name).
+    pub from: Pid,
+    /// The sender's authenticated identifier as seen by the receiver.
+    pub src_id: Id,
+    /// The receiving process.
+    pub to: Pid,
+    /// The payload.
+    pub msg: M,
+    /// Whether the drop policy lost this message.
+    pub dropped: bool,
+}
+
+/// A recorded execution: all attempted deliveries in order.
+#[derive(Clone, Debug, Default)]
+pub struct Trace<M> {
+    deliveries: Vec<Delivery<M>>,
+}
+
+impl<M: Message> Trace<M> {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace {
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Records a delivery (used by the engine).
+    pub fn record(&mut self, delivery: Delivery<M>) {
+        self.deliveries.push(delivery);
+    }
+
+    /// All recorded deliveries, in recording order.
+    pub fn deliveries(&self) -> &[Delivery<M>] {
+        &self.deliveries
+    }
+
+    /// Number of recorded (attempted) deliveries.
+    pub fn len(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.deliveries.is_empty()
+    }
+
+    /// The messages actually delivered to `to` in `round`.
+    pub fn received_by(&self, to: Pid, round: Round) -> impl Iterator<Item = &Delivery<M>> {
+        self.deliveries
+            .iter()
+            .filter(move |d| d.to == to && d.round == round && !d.dropped)
+    }
+
+    /// The payloads delivered to `to` in `round` that carried identifier
+    /// `src_id` — the Figure 4 replay query.
+    pub fn received_from_id(&self, to: Pid, src_id: Id, round: Round) -> Vec<&M> {
+        self.received_by(to, round)
+            .filter(|d| d.src_id == src_id)
+            .map(|d| &d.msg)
+            .collect()
+    }
+
+    /// The messages `from` sent in `round` (dropped or not).
+    pub fn sent_by(&self, from: Pid, round: Round) -> impl Iterator<Item = &Delivery<M>> {
+        self.deliveries
+            .iter()
+            .filter(move |d| d.from == from && d.round == round)
+    }
+
+    /// The last round present in the trace, if any.
+    pub fn last_round(&self) -> Option<Round> {
+        self.deliveries.iter().map(|d| d.round).max()
+    }
+
+    /// Per-round traffic digests, ascending by round.
+    pub fn round_digests(&self) -> Vec<RoundDigest> {
+        let mut digests: std::collections::BTreeMap<Round, RoundDigest> =
+            std::collections::BTreeMap::new();
+        for d in &self.deliveries {
+            let digest = digests.entry(d.round).or_insert_with(|| RoundDigest {
+                round: d.round,
+                sent: 0,
+                dropped: 0,
+                senders: std::collections::BTreeSet::new(),
+            });
+            digest.sent += 1;
+            if d.dropped {
+                digest.dropped += 1;
+            }
+            digest.senders.insert(d.src_id);
+        }
+        digests.into_values().collect()
+    }
+
+    /// Renders a per-round traffic timeline — a quick way to *see* where
+    /// a drop schedule bit, which identifiers went quiet, and when the
+    /// network stabilized.
+    ///
+    /// ```text
+    /// round | sent dropped | identifiers heard
+    ///    r0 |   12       4 | 1 2 3 4
+    ///    r1 |   12       0 | 1 2 3 4
+    /// ```
+    pub fn render_timeline(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("round | sent dropped | identifiers heard\n");
+        for digest in self.round_digests() {
+            let ids: Vec<String> = digest.senders.iter().map(|i| i.get().to_string()).collect();
+            let _ = writeln!(
+                out,
+                "{:>5} | {:>4} {:>7} | {}",
+                digest.round.to_string(),
+                digest.sent,
+                digest.dropped,
+                ids.join(" ")
+            );
+        }
+        out
+    }
+}
+
+/// One round's traffic summary (see [`Trace::round_digests`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundDigest {
+    /// The round.
+    pub round: Round,
+    /// Attempted deliveries (including drops).
+    pub sent: u64,
+    /// Deliveries lost to the drop policy.
+    pub dropped: u64,
+    /// Identifiers that sent at least one message this round.
+    pub senders: std::collections::BTreeSet<Id>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(round: u64, from: usize, src: u16, to: usize, msg: &str, dropped: bool) -> Delivery<String> {
+        Delivery {
+            round: Round::new(round),
+            from: Pid::new(from),
+            src_id: Id::new(src),
+            to: Pid::new(to),
+            msg: msg.to_string(),
+            dropped,
+        }
+    }
+
+    #[test]
+    fn queries() {
+        let mut t = Trace::new();
+        t.record(d(0, 0, 1, 1, "a", false));
+        t.record(d(0, 2, 1, 1, "b", false));
+        t.record(d(0, 3, 2, 1, "c", true));
+        t.record(d(1, 0, 1, 1, "d", false));
+
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.received_by(Pid::new(1), Round::new(0)).count(), 2);
+        // Dropped messages are not "received".
+        let from_id1 = t.received_from_id(Pid::new(1), Id::new(1), Round::new(0));
+        assert_eq!(from_id1.len(), 2);
+        assert!(t
+            .received_from_id(Pid::new(1), Id::new(2), Round::new(0))
+            .is_empty());
+        assert_eq!(t.sent_by(Pid::new(3), Round::new(0)).count(), 1);
+        assert_eq!(t.last_round(), Some(Round::new(1)));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t: Trace<String> = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.last_round(), None);
+    }
+
+    #[test]
+    fn digests_aggregate_per_round() {
+        let mut t = Trace::new();
+        t.record(d(0, 0, 1, 1, "a", false));
+        t.record(d(0, 2, 2, 1, "b", true));
+        t.record(d(1, 0, 1, 2, "c", false));
+        let digests = t.round_digests();
+        assert_eq!(digests.len(), 2);
+        assert_eq!(digests[0].sent, 2);
+        assert_eq!(digests[0].dropped, 1);
+        assert_eq!(digests[0].senders.len(), 2);
+        assert_eq!(digests[1].sent, 1);
+        assert_eq!(digests[1].dropped, 0);
+    }
+
+    #[test]
+    fn timeline_renders_one_line_per_round() {
+        let mut t = Trace::new();
+        t.record(d(0, 0, 1, 1, "a", false));
+        t.record(d(3, 0, 2, 1, "b", true));
+        let rendered = t.render_timeline();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3, "{rendered}");
+        assert!(lines[0].contains("round"));
+        assert!(lines[1].contains("r0"));
+        assert!(lines[2].contains("r3"));
+        assert!(lines[2].contains('1'), "dropped count shown");
+    }
+
+    #[test]
+    fn empty_timeline_is_just_the_header() {
+        let t: Trace<String> = Trace::new();
+        assert_eq!(t.render_timeline().lines().count(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! The synchronous homonym Byzantine agreement transformer `T(A)`
+//! (Section 3.2, Figure 3 of the paper).
+//!
+//! Given any synchronous Byzantine agreement algorithm `A` for `ℓ`
+//! processes with unique identifiers (a [`SyncBa`](homonym_classic::SyncBa)
+//! implementation), [`Transformed`] runs it in a system of `n ≥ ℓ`
+//! processes sharing `ℓ` identifiers, tolerating `t` Byzantine processes
+//! whenever `ℓ > 3t` — which Theorem 3 shows is optimal.
+//!
+//! The construction groups processes by identifier; each group `G(i)`
+//! cooperatively simulates the single process `pᵢ` of `A`. Three rounds of
+//! the homonym system simulate one round of `A` (a *phase*):
+//!
+//! 1. **selection** — group members exchange their `A`-states and
+//!    deterministically adopt one, so a fully correct group acts as one
+//!    process from then on;
+//! 2. **deciding** — processes exchange `decide(s)` values and decide on
+//!    any value reported by `t + 1` distinct identifiers (at least one of
+//!    which names a fully correct group), which lets a correct process
+//!    stuck in a group with a Byzantine member decide too;
+//! 3. **running** — one actual round of `A`, where messages from any
+//!    identifier that equivocated (sent more than one distinct message)
+//!    are discarded, making a Byzantine-infiltrated group indistinguishable
+//!    from a single Byzantine process of `A`.
+//!
+//! The transformer works for innumerate processes — it never counts
+//! message copies, only distinct identifiers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod transformer;
+
+pub use transformer::{Transformed, TransformedFactory, TransformerMsg, TransformerMsgOf};

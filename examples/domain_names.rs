@@ -1,0 +1,110 @@
+//! The paper's privacy motivation: users identified only by their domain.
+//!
+//! "Users of a distributed protocol might use only their domain names as
+//! identifiers. Thus, others will see that some user within the domain is
+//! participating, but will not know exactly which one. If several users
+//! within the same domain participate in the protocol, they will behave as
+//! homonyms."
+//!
+//! Nine users from seven domains vote yes/no on a proposal over a
+//! partially synchronous network (messages are lost until the network
+//! stabilizes), with one compromised user equivocating. The Figure 5
+//! protocol reaches agreement because `2ℓ = 14 > n + 3t = 12`. Note how
+//! tight that is: with six domains (`2ℓ = 12`) the same nine users could
+//! not tolerate even one compromised account — homonym slack is expensive
+//! in partial synchrony (Theorem 13).
+//!
+//! Run with: `cargo run --example domain_names`
+
+use homonyms::core::{bounds, Domain, Id, IdAssignment, Round, Synchrony, SystemConfig};
+use homonyms::psync::AgreementFactory;
+use homonyms::sim::adversary::Equivocator;
+use homonyms::sim::{RandomUntilGst, Simulation};
+
+fn main() {
+    // Nine users; domains (identifiers) with their member counts:
+    //   rennes.example   — 2 users      (homonyms)
+    //   paris.example    — 2 users      (homonyms)
+    //   lausanne.example — 1 user
+    //   toronto.example  — 1 user
+    //   york.example     — 1 user
+    //   delhi.example    — 1 user
+    //   kyoto.example    — 1 user
+    let domains = [
+        ("rennes.example", 2),
+        ("paris.example", 2),
+        ("lausanne.example", 1),
+        ("toronto.example", 1),
+        ("york.example", 1),
+        ("delhi.example", 1),
+        ("kyoto.example", 1),
+    ];
+    let n: usize = domains.iter().map(|&(_, k)| k).sum();
+    let ell = domains.len();
+    let t = 1;
+
+    let cfg = SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters");
+    println!("{n} users across {ell} domains, tolerating {t} compromised user");
+    println!(
+        "partially synchronous bound 2ℓ > n + 3t: 2·{ell} = {} > {} — solvable: {}",
+        2 * ell,
+        n + 3 * t,
+        bounds::solvable(&cfg)
+    );
+    assert!(bounds::solvable(&cfg));
+
+    let mut ids = Vec::new();
+    for (k, &(_, members)) in domains.iter().enumerate() {
+        for _ in 0..members {
+            ids.push(Id::from_index(k));
+        }
+    }
+    let assignment = IdAssignment::new(ell, ids).expect("every domain participates");
+
+    // Votes: the two rennes users disagree with each other — homonyms with
+    // different inputs, the exact hazard Section 4.2 opens with.
+    let votes = vec![true, false, true, true, false, true, false, true, true];
+
+    // One paris user is compromised (pid 2) and equivocates: it shows half
+    // the system a yes-voter and the other half a no-voter.
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let byz = homonyms::core::Pid::new(2);
+    let byz_set: std::collections::BTreeSet<_> = [byz].into();
+    let split = (0..n)
+        .filter(|k| k % 2 == 0)
+        .map(homonyms::core::Pid::new)
+        .collect();
+    let adversary = Equivocator::new(&factory, &assignment, &byz_set, true, false, split);
+
+    // The network loses 30% of messages for the first 12 rounds.
+    let gst = 12;
+    let mut sim = Simulation::builder(cfg, assignment, votes)
+        .byzantine([byz], adversary)
+        .drops(RandomUntilGst::new(Round::new(gst), 0.3, 7))
+        .build_with(&factory);
+
+    let report = sim.run(gst + factory.round_bound() + 16);
+    println!(
+        "messages: {} sent, {} lost pre-stabilization",
+        report.messages_sent, report.messages_dropped
+    );
+    for (pid, (value, round)) in &report.outcome.decisions {
+        let domain = domains[sim_domain_index(pid.index(), &domains)].0;
+        println!("  user {pid} ({domain}) decided {value} in {round}");
+    }
+    println!("verdict: {}", report.verdict);
+    assert!(report.verdict.all_hold());
+}
+
+fn sim_domain_index(mut user: usize, domains: &[(&str, usize)]) -> usize {
+    for (k, &(_, members)) in domains.iter().enumerate() {
+        if user < members {
+            return k;
+        }
+        user -= members;
+    }
+    domains.len() - 1
+}

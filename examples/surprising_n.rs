@@ -1,0 +1,94 @@
+//! The paper's headline surprise: **adding correct processes can make
+//! agreement impossible**.
+//!
+//! With `t = 1` Byzantine process and `ℓ = 4` identifiers, partially
+//! synchronous Byzantine agreement is solvable for `n = 4` processes but
+//! **not** for `n = 5` — the bound is `2ℓ > n + 3t`, so a larger `n`
+//! (more correct processes!) pushes a fixed identifier budget below the
+//! threshold. Nothing like this happens in the classical `ℓ = n` model.
+//!
+//! This example shows both sides concretely:
+//!
+//! * `n = 4`: the Figure 5 protocol survives an equivocating Byzantine
+//!   process and heavy message loss;
+//! * `n = 5`: the Figure 4 partition construction drives the very same
+//!   protocol into split-brain — the 0-side decides 0, the 1-side
+//!   decides 1.
+//!
+//! Run with: `cargo run --example surprising_n`
+
+use homonyms::core::{bounds, Domain, IdAssignment, Round, Synchrony, SystemConfig};
+use homonyms::lower_bounds::fig4;
+use homonyms::psync::AgreementFactory;
+use homonyms::sim::adversary::Equivocator;
+use homonyms::sim::{RandomUntilGst, Simulation};
+
+fn psync_cfg(n: usize) -> SystemConfig {
+    SystemConfig::builder(n, 4, 1)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters")
+}
+
+fn main() {
+    println!("t = 1 Byzantine process, ℓ = 4 identifiers\n");
+
+    // ---- n = 4: solvable, and the protocol delivers. ----
+    let cfg = psync_cfg(4);
+    println!(
+        "n = 4: 2ℓ = 8 > n + 3t = 7 — Table 1 says solvable: {}",
+        bounds::solvable(&cfg)
+    );
+    let factory = AgreementFactory::new(4, 4, 1, Domain::binary());
+    let assignment = IdAssignment::unique(4);
+    let byz = homonyms::core::Pid::new(3);
+    let byz_set: std::collections::BTreeSet<_> = [byz].into();
+    let split = [homonyms::core::Pid::new(0), homonyms::core::Pid::new(2)].into();
+    let adversary = Equivocator::new(&factory, &assignment, &byz_set, false, true, split);
+    let gst = 10;
+    let mut sim = Simulation::builder(cfg, assignment, vec![false, true, false, true])
+        .byzantine([byz], adversary)
+        .drops(RandomUntilGst::new(Round::new(gst), 0.3, 3))
+        .build_with(&factory);
+    let report = sim.run(gst + factory.round_bound() + 16);
+    for (pid, (value, round)) in &report.outcome.decisions {
+        println!("  {pid} decided {value} in {round}");
+    }
+    println!("  verdict: {}\n", report.verdict);
+    assert!(report.verdict.all_hold());
+
+    // ---- n = 5: one MORE correct process, and agreement is impossible. ----
+    let cfg = psync_cfg(5);
+    println!(
+        "n = 5: 2ℓ = 8 > n + 3t = 8 is FALSE — Table 1 says solvable: {}",
+        bounds::solvable(&cfg)
+    );
+    println!("  running the Figure 4 partition construction against the same protocol…");
+    let factory = AgreementFactory::new(5, 4, 1, Domain::binary());
+    let outcome = fig4::run(&factory, cfg, 8 * 12);
+    match &outcome {
+        fig4::Fig4Outcome::Partitioned {
+            zero_side,
+            one_side,
+            healed_at,
+            replay_faithful,
+        } => {
+            println!("  replay faithful to α/β: {replay_faithful}");
+            for (pid, d) in zero_side {
+                println!("  0-side {pid} decided {d:?}");
+            }
+            for (pid, d) in one_side {
+                println!("  1-side {pid} decided {d:?}");
+            }
+            println!("  (partition would have healed at round {healed_at} — too late)");
+        }
+        fig4::Fig4Outcome::ReferenceStalled { which, horizon } => {
+            println!("  reference execution {which} stalled within {horizon} rounds");
+        }
+    }
+    assert!(outcome.violation_exhibited());
+    println!(
+        "  split-brain (0-side decided 0 AND 1-side decided 1): {}",
+        outcome.split_brain()
+    );
+}

@@ -1,0 +1,77 @@
+//! The paper's DHT motivation: identifier collisions in Pastry/Chord-style
+//! overlays.
+//!
+//! "Assuming in systems such as Pastry or Chord that all processes have
+//! unique (unforgeable) identifiers might be too strong an assumption in
+//! practice. We may wish to design protocols that still work if, by a rare
+//! coincidence, two processes are assigned the same identifier. This
+//! approach is also useful if security is breached and a malicious process
+//! can forge the identifier of a correct process."
+//!
+//! Eight overlay nodes draw 160-bit-style node IDs; two of them collide.
+//! On top of that, an attacker who stole a correct node's key runs under
+//! that node's identifier — a *malicious homonym*. A protocol designed for
+//! unique identifiers would be in undefined territory; `T(EIG)` is
+//! designed for exactly this and stays correct because the number of
+//! distinct identifiers (7) still exceeds `3t = 3`.
+//!
+//! Run with: `cargo run --example sybil_collision`
+
+use homonyms::classic::Eig;
+use homonyms::core::{bounds, Domain, Id, IdAssignment, Pid, SystemConfig};
+use homonyms::sim::adversary::CloneSpammer;
+use homonyms::sim::Simulation;
+use homonyms::sync::TransformedFactory;
+
+fn main() {
+    // Eight nodes; hash-derived node IDs, with a birthday collision between
+    // nodes 2 and 5, and node 7 (the attacker) holding a stolen copy of
+    // node 6's identity.
+    let node_ids = ["4f2a", "91c3", "b7e0", "dd42", "0a11", "b7e0", "77f5", "77f5"];
+    // Distinct identifiers, in first-appearance order.
+    let mut distinct: Vec<&str> = Vec::new();
+    for id in node_ids {
+        if !distinct.contains(&id) {
+            distinct.push(id);
+        }
+    }
+    let ell = distinct.len();
+    let n = node_ids.len();
+    let t = 1;
+
+    let cfg = SystemConfig::builder(n, ell, t).build().expect("valid parameters");
+    println!("{n} overlay nodes, {ell} distinct node IDs after collisions");
+    println!("ℓ = {ell} > 3t = {} — solvable: {}", 3 * t, bounds::solvable(&cfg));
+    assert!(bounds::solvable(&cfg));
+
+    let ids: Vec<Id> = node_ids
+        .iter()
+        .map(|id| Id::from_index(distinct.iter().position(|d| d == id).expect("present")))
+        .collect();
+    let assignment = IdAssignment::new(ell, ids).expect("all identifiers in use");
+
+    // The nodes vote on whether to accept a routing-table update.
+    let inputs = vec![true, true, false, true, true, false, true, true];
+
+    // The attacker (node 7) impersonates a whole stack of clones of the
+    // stolen identity, spamming both a yes-persona and a no-persona —
+    // the unrestricted multi-send power.
+    let factory = TransformedFactory::new(Eig::new(ell, t, Domain::binary()), t);
+    let byz = Pid::new(7);
+    let byz_set: std::collections::BTreeSet<_> = [byz].into();
+    let adversary = CloneSpammer::new(&factory, &assignment, &byz_set, &[false, true]);
+
+    let mut sim = Simulation::builder(cfg, assignment.clone(), inputs)
+        .byzantine([byz], adversary)
+        .build_with(&factory);
+    let report = sim.run(factory.round_bound() + 6);
+
+    for (pid, (value, round)) in &report.outcome.decisions {
+        let label = node_ids[pid.index()];
+        let homonyms = assignment.group(assignment.id_of(*pid)).len();
+        let note = if homonyms > 1 { " (shared ID)" } else { "" };
+        println!("  node {pid} [{label}]{note} decided {value} in {round}");
+    }
+    println!("verdict: {}", report.verdict);
+    assert!(report.verdict.all_hold());
+}

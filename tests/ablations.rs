@@ -1,0 +1,127 @@
+//! Ablation experiments: remove each of the paper's design novelties and
+//! show the exact failure it was protecting against.
+//!
+//! * **T(A)'s deciding rounds** (Figure 3, lines 6–9): "useful for correct
+//!   processes that belong to a group with a Byzantine process". Without
+//!   them, a process trusts `decide(s)` on its own simulated state — and a
+//!   Byzantine homonym can swap a poisoned, pre-decided state into the
+//!   group's selection round, making its correct group-mate output the
+//!   wrong value.
+//! * **Figure 5's vote superround** is ablated at the component level in
+//!   `homonym-psync` (see `ablation_without_votes_breaks_lemma8`); here we
+//!   confirm the ablated variant still passes clean end-to-end runs, i.e.
+//!   the ablation is only observable under attack.
+
+use homonyms::classic::{Eig, SyncBa};
+use homonyms::core::{Domain, Id, IdAssignment, Pid, Round, SystemConfig};
+use homonyms::psync::AgreementFactory;
+use homonyms::sim::adversary::Scripted;
+use homonyms::sim::{ByzTarget, Emission, Simulation};
+use homonyms::sync::{TransformedFactory, TransformerMsg};
+
+/// The adversary of the decide-relay ablation: a Byzantine homonym that
+/// injects, in every selection round, an `A`-state that has *already
+/// decided the wrong value*. The poisoned state is minimal in the
+/// deterministic state order (its root holds the smallest value), so its
+/// correct group-mate adopts it — and in the ablated transformer, which
+/// trusts `decide(s)` on its own state, that group-mate instantly
+/// "decides" the poison.
+fn state_poisoner(horizon: u64) -> Scripted<<homonyms::sync::Transformed<Eig<bool>> as homonyms::core::Protocol>::Msg> {
+    let algo = Eig::new(4, 1, Domain::binary());
+    // Run A privately in silence until it decides the default value.
+    let mut poisoned = algo.init(Id::new(1), false);
+    for ba_round in 1..=algo.round_bound() {
+        poisoned = algo.transition(&poisoned, ba_round, &std::collections::BTreeMap::new());
+    }
+    assert_eq!(algo.decide(&poisoned), Some(false));
+    Scripted::new((0..horizon).filter(|r| r % 3 == 0).map(|r| {
+        (
+            Round::new(r),
+            Emission {
+                from: Pid::new(1),
+                to: ByzTarget::All,
+                msg: TransformerMsg::State(poisoned.clone()),
+            },
+        )
+    }))
+}
+
+fn run_transformer(factory: &TransformedFactory<Eig<bool>>, horizon: u64) -> homonyms::sim::RunReport<bool> {
+    let cfg = SystemConfig::builder(5, 4, 1).build().unwrap();
+    // Group 1 = {p0 correct, p1 Byzantine}: the hijackable pair.
+    let assignment =
+        IdAssignment::new(4, vec![Id::new(1), Id::new(1), Id::new(2), Id::new(3), Id::new(4)])
+            .unwrap();
+    let mut sim = Simulation::builder(cfg, assignment, vec![true; 5])
+        .byzantine([Pid::new(1)], state_poisoner(horizon))
+        .build_with(factory);
+    sim.run(horizon)
+}
+
+#[test]
+fn decide_relay_rescues_the_hijacked_homonym() {
+    let factory = TransformedFactory::new(Eig::new(4, 1, Domain::binary()), 1);
+    let report = run_transformer(&factory, factory.round_bound() + 9);
+    assert!(
+        report.verdict.all_hold(),
+        "with the deciding rounds, even the hijacked process decides: {}",
+        report.verdict
+    );
+    assert!(report.outcome.decisions.contains_key(&Pid::new(0)));
+}
+
+#[test]
+fn without_decide_relay_the_hijacked_homonym_decides_the_poison() {
+    let factory = TransformedFactory::ablated_without_decide_relay(Eig::new(4, 1, Domain::binary()), 1);
+    let report = run_transformer(&factory, factory.round_bound() + 9);
+    // All correct processes proposed `true`, yet the hijacked homonym p0
+    // adopted the poisoned pre-decided state and output `false`: a
+    // validity violation the deciding rounds exist to prevent.
+    assert!(
+        !report.verdict.validity.holds(),
+        "the ablated transformer must mis-decide the hijacked process: {}",
+        report.verdict
+    );
+    assert_eq!(
+        report.outcome.decisions.get(&Pid::new(0)).map(|&(v, _)| v),
+        Some(false),
+        "p0 is the victim"
+    );
+    // The sole-identifier processes still decide the proposed value.
+    for p in [2, 3, 4] {
+        assert_eq!(
+            report.outcome.decisions.get(&Pid::new(p)).map(|&(v, _)| v),
+            Some(true)
+        );
+    }
+}
+
+#[test]
+fn ablated_transformer_fine_without_byzantine_groupmates() {
+    // The ablation only bites when a Byzantine process shares a group:
+    // with the Byzantine process on a sole identifier, everyone decides.
+    let factory = TransformedFactory::ablated_without_decide_relay(Eig::new(4, 1, Domain::binary()), 1);
+    let cfg = SystemConfig::builder(5, 4, 1).build().unwrap();
+    let assignment =
+        IdAssignment::new(4, vec![Id::new(1), Id::new(1), Id::new(2), Id::new(3), Id::new(4)])
+            .unwrap();
+    // Byzantine process on identifier 4 (pid 4), silent.
+    let mut sim = Simulation::builder(cfg, assignment, vec![true; 5])
+        .byzantine([Pid::new(4)], homonyms::sim::adversary::Silent)
+        .build_with(&factory);
+    let report = sim.run(factory.round_bound() + 9);
+    assert!(report.verdict.all_hold(), "{}", report.verdict);
+}
+
+#[test]
+fn ablated_fig5_decides_on_clean_runs_end_to_end() {
+    let factory = AgreementFactory::ablated_without_votes(4, 4, 1, Domain::binary());
+    let cfg = SystemConfig::builder(4, 4, 1)
+        .synchrony(homonyms::core::Synchrony::PartiallySynchronous)
+        .build()
+        .unwrap();
+    let mut sim = Simulation::builder(cfg, IdAssignment::unique(4), vec![true; 4])
+        .build_with(&factory);
+    let report = sim.run(factory.round_bound() + 24);
+    assert!(report.verdict.all_hold(), "{}", report.verdict);
+}

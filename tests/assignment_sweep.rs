@@ -1,0 +1,154 @@
+//! Experiment E20 — closing the assignment quantifier exhaustively.
+//!
+//! The paper's solvability statements hold "regardless of the way the n
+//! processes are assigned the ℓ identifiers" (Section 2). The grid suites
+//! sample assignment *shapes* (stacked, balanced, random); at small scale
+//! we can do better and sweep **every** surjective assignment:
+//!
+//! * Figure 7 at `(n = 4, ℓ = 2, t = 1)`: all 14 assignments × all
+//!   Byzantine placements, against an equivocating adversary.
+//! * Figure 5 at `(n = 5, ℓ = 4, t = 1)` — wait, `2·4 = 8 ≤ 5 + 3`:
+//!   that cell is unsolvable; the solvable small cell with a genuine
+//!   homonym is `(n = 5, ℓ = 5)` (unique only) — so the exhaustive sweep
+//!   for Figure 5 runs `(n = 6, ℓ = 5, t = 1)` restricted to its 1800
+//!   assignments' canonical representatives: too many to run at full
+//!   depth, so we sweep all assignments at a lighter adversary.
+//! * `T(EIG)` at `(n = 5, ℓ = 4, t = 1)` (synchronous, `ℓ > 3t`): all
+//!   240 surjective assignments under a clone-spamming Byzantine process.
+
+use std::collections::BTreeSet;
+
+use homonyms::core::{
+    ByzPower, Counting, Domain, IdAssignment, Pid, Round, Synchrony, SystemConfig,
+};
+use homonyms::psync::RestrictedFactory;
+use homonyms::sim::adversary::{CloneSpammer, Equivocator};
+use homonyms::sim::{RandomUntilGst, Simulation};
+use homonyms::sync::TransformedFactory;
+
+#[test]
+fn fig7_survives_every_assignment_at_4_2_1() {
+    let (n, ell, t) = (4, 2, 1);
+    let cfg = SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .counting(Counting::Numerate)
+        .byz_power(ByzPower::Restricted)
+        .build()
+        .expect("valid parameters");
+    let factory = RestrictedFactory::new(n, ell, t, Domain::binary());
+    let gst = 8;
+    let horizon = gst + factory.round_bound() + 24;
+
+    let assignments = IdAssignment::enumerate_all(ell, n);
+    assert_eq!(assignments.len(), 14, "2^4 - 2 surjections");
+    for assignment in &assignments {
+        for byz_idx in 0..n {
+            let byz = Pid::new(byz_idx);
+            let byz_set: BTreeSet<Pid> = [byz].into();
+            let split: BTreeSet<Pid> = Pid::all(n).filter(|p| p.index() % 2 == 0).collect();
+            let adversary =
+                Equivocator::new(&factory, assignment, &byz_set, false, true, split);
+            let mut sim = Simulation::builder(
+                cfg,
+                assignment.clone(),
+                vec![true, false, true, false],
+            )
+            .byzantine([byz], adversary)
+            .drops(RandomUntilGst::new(Round::new(gst), 0.3, byz_idx as u64))
+            .build_with(&factory);
+            let report = sim.run(horizon);
+            assert!(
+                report.verdict.all_hold(),
+                "assignment {:?}, byz {byz}: {}",
+                assignment.as_slice(),
+                report.verdict
+            );
+        }
+    }
+}
+
+#[test]
+fn t_eig_survives_every_assignment_at_5_4_1() {
+    let (n, ell, t) = (5, 4, 1);
+    let cfg = SystemConfig::builder(n, ell, t).build().expect("valid parameters");
+    let factory = TransformedFactory::new(
+        homonyms::classic::Eig::new(ell, t, Domain::binary()),
+        t,
+    );
+    let horizon = factory.round_bound() + 9;
+
+    let assignments = IdAssignment::enumerate_all(ell, n);
+    assert_eq!(assignments.len(), 240, "surjections of 5 onto 4");
+    for assignment in &assignments {
+        // Place the Byzantine process inside the (unique) homonym group —
+        // the hardest placement for the transformer's group simulation.
+        let sizes = assignment.group_sizes();
+        let stacked_id = sizes
+            .iter()
+            .find(|(_, &size)| size > 1)
+            .map(|(&id, _)| id)
+            .expect("n > ℓ forces one homonym group");
+        let byz = assignment.group(stacked_id)[0];
+        let byz_set: BTreeSet<Pid> = [byz].into();
+        let adversary = CloneSpammer::new(&factory, assignment, &byz_set, &[false, true]);
+        let mut sim = Simulation::builder(
+            cfg,
+            assignment.clone(),
+            vec![true, false, true, true, false],
+        )
+        .byzantine([byz], adversary)
+        .build_with(&factory);
+        let report = sim.run(horizon);
+        assert!(
+            report.verdict.all_hold(),
+            "assignment {:?}, byz {byz}: {}",
+            assignment.as_slice(),
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn fig5_survives_every_assignment_at_6_5_1() {
+    // 2ℓ = 10 > n + 3t = 9 — the smallest genuinely homonymous solvable
+    // Figure 5 cell. 1800 assignments: run each against the equivocator
+    // with the Byzantine process in the homonym group.
+    let (n, ell, t) = (6, 5, 1);
+    let cfg = SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters");
+    let factory = homonyms::psync::AgreementFactory::new(n, ell, t, Domain::binary());
+    let gst = 4;
+    let horizon = gst + factory.round_bound() + 24;
+
+    let assignments = IdAssignment::enumerate_all(ell, n);
+    assert_eq!(assignments.len(), 1800, "surjections of 6 onto 5");
+    for (k, assignment) in assignments.iter().enumerate() {
+        let sizes = assignment.group_sizes();
+        let stacked_id = sizes
+            .iter()
+            .find(|(_, &size)| size > 1)
+            .map(|(&id, _)| id)
+            .expect("n > ℓ forces one homonym group");
+        let byz = assignment.group(stacked_id)[0];
+        let byz_set: BTreeSet<Pid> = [byz].into();
+        let split: BTreeSet<Pid> = Pid::all(n).filter(|p| p.index() < n / 2).collect();
+        let adversary = Equivocator::new(&factory, assignment, &byz_set, false, true, split);
+        let mut sim = Simulation::builder(
+            cfg,
+            assignment.clone(),
+            vec![true, false, true, false, true, false],
+        )
+        .byzantine([byz], adversary)
+        .drops(RandomUntilGst::new(Round::new(gst), 0.2, k as u64))
+        .build_with(&factory);
+        let report = sim.run(horizon);
+        assert!(
+            report.verdict.all_hold(),
+            "assignment {:?}, byz {byz}: {}",
+            assignment.as_slice(),
+            report.verdict
+        );
+    }
+}

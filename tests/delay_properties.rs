@@ -1,0 +1,99 @@
+//! Property tests for the delay substrate (E14): across random bounds,
+//! calm points, pacing and inputs, the two delay-based models keep
+//! simulating the basic partially synchronous model — the Figure 5
+//! protocol decides, and lateness always dies out.
+
+use homonyms::core::{Domain, IdAssignment, Round, Synchrony, SystemConfig};
+use homonyms::delay::{
+    AlwaysBounded, DelayCluster, DoublingPacing, EventuallyBounded, FixedPacing, Instant,
+    RoundPacing,
+};
+use homonyms::psync::AgreementFactory;
+use homonyms::sim::Simulation;
+use proptest::prelude::*;
+
+fn psync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Known-bound model: whenever the pacing's fixed round length covers
+    /// the calm-phase bound, Figure 5 decides and lateness ends.
+    #[test]
+    fn known_bound_always_decides(
+        delta in 1u64..4,
+        slack in 0u64..3,
+        calm in 0u64..40,
+        seed in 0u64..1_000,
+        inputs in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let (n, ell, t) = (4, 4, 1);
+        let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+        let pacing = FixedPacing::new(delta + slack);
+        let mut cluster = DelayCluster::builder(psync_cfg(n, ell, t), IdAssignment::unique(n), inputs)
+            .model(EventuallyBounded::new(delta, calm, 10 * delta + 20, seed))
+            .pacing(pacing)
+            .build();
+        let report = cluster.run(&factory, calm / (delta + slack).max(1) + factory.round_bound() + 40);
+        prop_assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+        prop_assert!(report.clean_from().is_some(), "lateness must die out");
+    }
+
+    /// Unknown-bound model: guess-and-double pacing outruns any bound the
+    /// adversary picks, without ever being told it.
+    #[test]
+    fn unknown_bound_always_decides(
+        delta in 1u64..7,
+        every in 2u64..6,
+        seed in 0u64..1_000,
+        inputs in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let (n, ell, t) = (4, 4, 1);
+        let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+        let pacing = DoublingPacing::new(1, every);
+        let catch_up = pacing
+            .outlasts(delta, 200)
+            .expect("doubling reaches any bound")
+            .index();
+        let mut cluster = DelayCluster::builder(psync_cfg(n, ell, t), IdAssignment::unique(n), inputs)
+            .model(AlwaysBounded::new(delta, seed))
+            .pacing(pacing)
+            .build();
+        let report = cluster.run(&factory, catch_up + factory.round_bound() + 40);
+        prop_assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+        prop_assert!(report.clean_from().is_some(), "lateness must die out");
+    }
+
+    /// Degenerate delays: the delay world collapses to the lock-step
+    /// simulator, decision for decision, for every input vector.
+    #[test]
+    fn instant_delays_equal_lockstep(
+        inputs in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        let (n, ell, t) = (5, 5, 1);
+        let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+        let mut cluster = DelayCluster::builder(
+            psync_cfg(n, ell, t),
+            IdAssignment::unique(n),
+            inputs.clone(),
+        )
+        .model(Instant)
+        .pacing(FixedPacing::new(1))
+        .build();
+        let dr = cluster.run(&factory, 200);
+
+        let mut sim = Simulation::builder(psync_cfg(n, ell, t), IdAssignment::unique(n), inputs)
+            .build_with(&factory);
+        let sr = sim.run(200);
+
+        prop_assert_eq!(&dr.outcome.decisions, &sr.outcome.decisions);
+        prop_assert_eq!(dr.rounds, sr.rounds);
+        prop_assert_eq!(dr.late, 0);
+        prop_assert_eq!(dr.clean_from(), Some(Round::ZERO));
+    }
+}

@@ -1,0 +1,109 @@
+//! Experiment E14 (hardening) — the full standard adversary grid
+//! (`input patterns × Byzantine placements × 8 strategies`), replayed on
+//! the **delay substrate** instead of lock-step rounds: the Table 1
+//! upper-bound cells must survive unchanged when partial synchrony comes
+//! from delivery delays rather than scripted drops.
+
+use homonyms::core::{
+    ByzPower, Counting, Domain, IdAssignment, Synchrony, SystemConfig,
+};
+use homonyms::delay::{run_delay_suite, DelaySuiteParams};
+use homonyms::psync::{AgreementFactory, RestrictedFactory};
+
+fn psync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters")
+}
+
+fn restricted_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .counting(Counting::Numerate)
+        .byz_power(ByzPower::Restricted)
+        .build()
+        .expect("valid parameters")
+}
+
+#[test]
+fn figure5_survives_the_full_grid_on_the_delay_substrate() {
+    let (n, ell, t) = (5, 5, 1);
+    let cfg = psync_cfg(n, ell, t);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let assignment = IdAssignment::unique(n);
+    let domain = Domain::binary();
+    let suite = run_delay_suite(
+        &factory,
+        &DelaySuiteParams {
+            cfg,
+            assignment: &assignment,
+            domain: &domain,
+            delta: 2,
+            calm_tick: 24,
+            slack: factory.round_bound() + 24,
+            seed: 11,
+        },
+    );
+    assert!(
+        suite.all_hold(),
+        "failures: {:?}",
+        suite.failures().iter().map(|f| &f.name).collect::<Vec<_>>()
+    );
+    assert!(suite.all_stabilized(), "every scenario's lateness must die out");
+    assert!(suite.results.len() >= 24, "the grid must be non-trivial");
+}
+
+#[test]
+fn figure5_survives_the_grid_with_homonym_groups() {
+    // n = 6, ℓ = 5: a correct homonym pair shares identifier 1.
+    let (n, ell, t) = (6, 5, 1);
+    let cfg = psync_cfg(n, ell, t);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let domain = Domain::binary();
+    let suite = run_delay_suite(
+        &factory,
+        &DelaySuiteParams {
+            cfg,
+            assignment: &assignment,
+            domain: &domain,
+            delta: 2,
+            calm_tick: 20,
+            slack: factory.round_bound() + 32,
+            seed: 23,
+        },
+    );
+    assert!(
+        suite.all_hold(),
+        "failures: {:?}",
+        suite.failures().iter().map(|f| &f.name).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn figure7_survives_the_full_grid_on_the_delay_substrate() {
+    let (n, ell, t) = (5, 2, 1);
+    let cfg = restricted_cfg(n, ell, t);
+    let factory = RestrictedFactory::new(n, ell, t, Domain::binary());
+    let assignment = IdAssignment::round_robin(ell, n).expect("ℓ ≤ n");
+    let domain = Domain::binary();
+    let suite = run_delay_suite(
+        &factory,
+        &DelaySuiteParams {
+            cfg,
+            assignment: &assignment,
+            domain: &domain,
+            delta: 2,
+            calm_tick: 24,
+            slack: factory.round_bound() + 32,
+            seed: 31,
+        },
+    );
+    assert!(
+        suite.all_hold(),
+        "failures: {:?}",
+        suite.failures().iter().map(|f| &f.name).collect::<Vec<_>>()
+    );
+    assert!(suite.all_stabilized());
+}

@@ -1,0 +1,83 @@
+//! Experiment E4 — the Figure 1 ring construction in detail: `ℓ = 3t`
+//! makes synchronous agreement impossible for *any* algorithm, numerate or
+//! not.
+
+use homonyms::classic::{Eig, PhaseKing};
+use homonyms::core::{Domain, Id, Pid};
+use homonyms::lower_bounds::fig1;
+use homonyms::sync::TransformedFactory;
+
+#[test]
+fn ring_size_and_views() {
+    for (n, t) in [(4, 1), (5, 1), (8, 2)] {
+        let sys = fig1::build(n, t);
+        // 2(n − t) processes in total.
+        assert_eq!(sys.assignment.n(), 2 * (n - t));
+        assert_eq!(sys.assignment.ell(), 3 * t);
+        // Two stacks of n − 3t + 1 processes: identifiers 1 and t + 1.
+        assert_eq!(
+            sys.views.iter().map(|v| v.members.len()).collect::<Vec<_>>(),
+            vec![n - t; 3]
+        );
+    }
+}
+
+#[test]
+fn stacks_are_where_the_proof_puts_them() {
+    let sys = fig1::build(6, 1);
+    let stack = 6 - 3 + 1;
+    // X stack: identifier 1, input 0.
+    let g1 = sys.assignment.group(Id::new(1));
+    assert_eq!(g1.len(), stack);
+    for p in &g1 {
+        assert!(!sys.inputs[p.index()], "X stack has input 0");
+    }
+    // Y stack: identifier t + 1 = 2 with input 1 (plus the X singleton of
+    // identifier 2 with input 0).
+    let g2 = sys.assignment.group(Id::new(2));
+    let y_members: Vec<Pid> = g2.iter().filter(|p| sys.inputs[p.index()]).copied().collect();
+    assert_eq!(y_members.len(), stack);
+}
+
+#[test]
+fn multiple_algorithms_all_fail_the_ring() {
+    // The argument quantifies over algorithms; we can only sample, but the
+    // sample is diverse: two different A's under T(·).
+    let t = 1;
+    let n = 5;
+    let sys = fig1::build(n, t);
+
+    let eig = TransformedFactory::new(Eig::new_unchecked(3 * t, t, Domain::binary()), t);
+    let report = fig1::run(&eig, &sys, eig.round_bound() + 9);
+    assert!(report.views_legal);
+    assert!(report.contradiction_exhibited(), "T(EIG): {:?}", report.verdicts);
+
+    let pk = TransformedFactory::new(PhaseKing::new_unchecked(3 * t, t, Domain::binary()), t);
+    let report = fig1::run(&pk, &sys, pk.round_bound() + 9);
+    assert!(report.views_legal);
+    assert!(report.contradiction_exhibited(), "T(PhaseKing): {:?}", report.verdicts);
+}
+
+#[test]
+fn failing_view_is_identified() {
+    let t = 1;
+    let sys = fig1::build(4, t);
+    let factory = TransformedFactory::new(Eig::new_unchecked(3, 1, Domain::binary()), 1);
+    let report = fig1::run(&factory, &sys, factory.round_bound() + 9);
+    let (name, verdict) = report.failing_view().expect("some view must fail");
+    assert!(["I", "II", "III"].contains(&name));
+    assert!(!verdict.holds());
+    // The display form is useful for the experiment report.
+    assert!(!verdict.to_string().is_empty());
+}
+
+#[test]
+fn larger_fault_budget() {
+    let t = 2;
+    let n = 7;
+    let sys = fig1::build(n, t);
+    let factory = TransformedFactory::new(Eig::new_unchecked(3 * t, t, Domain::binary()), t);
+    let report = fig1::run(&factory, &sys, factory.round_bound() + 12);
+    assert!(report.views_legal);
+    assert!(report.contradiction_exhibited(), "{:?}", report.verdicts);
+}

@@ -1,0 +1,76 @@
+//! Experiment E5 — the Figure 4 partition construction in detail.
+//!
+//! Beyond the boundary sweep in `table1_psync_boundary`, these tests pin
+//! down the *mechanics* the proof relies on: replay fidelity (each side's
+//! processes are fed byte-for-byte what their α/β counterparts received),
+//! the exact split-brain outcome, and the role of multi-send (the
+//! identifier-1 stack is impersonated by a single Byzantine process).
+
+use homonyms::core::{Domain, Synchrony, SystemConfig};
+use homonyms::lower_bounds::fig4;
+use homonyms::psync::AgreementFactory;
+
+fn psync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters")
+}
+
+#[test]
+fn headline_split_brain_is_exact() {
+    let cfg = psync_cfg(5, 4, 1);
+    let factory = AgreementFactory::new(5, 4, 1, Domain::binary());
+    let outcome = fig4::run(&factory, cfg, 8 * 14);
+    match &outcome {
+        fig4::Fig4Outcome::Partitioned {
+            zero_side,
+            one_side,
+            replay_faithful,
+            ..
+        } => {
+            assert!(replay_faithful, "sides must be indistinguishable from α/β");
+            assert_eq!(zero_side.len(), 2, "0-side holds identifiers 3 and 4");
+            assert_eq!(one_side.len(), 2, "1-side holds identifiers 2 and 4");
+            assert!(zero_side.values().all(|d| *d == Some(false)), "{outcome:?}");
+            assert!(one_side.values().all(|d| *d == Some(true)), "{outcome:?}");
+        }
+        other => panic!("expected a partitioned run, got {other:?}"),
+    }
+    assert!(outcome.split_brain());
+}
+
+#[test]
+fn padded_system_still_splits() {
+    // n = 8 > 2ℓ − 3t = 7: one padding process must stay invisible while
+    // the contradiction forms.
+    let cfg = psync_cfg(8, 5, 1);
+    let factory = AgreementFactory::new(8, 5, 1, Domain::binary());
+    let outcome = fig4::run(&factory, cfg, 8 * 14);
+    assert!(outcome.violation_exhibited(), "{outcome:?}");
+}
+
+#[test]
+fn two_fault_band() {
+    // t = 2: ℓ = 7 > 3t = 6, and 2ℓ = 14 ≤ n + 3t = 14 for n = 8.
+    let cfg = psync_cfg(8, 7, 2);
+    let factory = AgreementFactory::new(8, 7, 2, Domain::binary());
+    let outcome = fig4::run(&factory, cfg, 8 * 16);
+    assert!(outcome.violation_exhibited(), "{outcome:?}");
+}
+
+#[test]
+fn finitely_many_drops_only() {
+    // The construction is legal in the basic partially synchronous model:
+    // the partition heals at max(rα, rβ) + 1, after which nothing is
+    // dropped. Healing time must be finite and reported.
+    let cfg = psync_cfg(5, 4, 1);
+    let factory = AgreementFactory::new(5, 4, 1, Domain::binary());
+    match fig4::run(&factory, cfg, 8 * 14) {
+        fig4::Fig4Outcome::Partitioned { healed_at, .. } => {
+            assert!(healed_at > 0);
+            assert!(healed_at <= 8 * 14);
+        }
+        other => panic!("expected a partitioned run, got {other:?}"),
+    }
+}

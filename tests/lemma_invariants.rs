@@ -1,0 +1,348 @@
+//! Experiment E16 — the paper’s safety lemmas checked on **every round**
+//! of adversarial executions, not just on final outcomes.
+//!
+//! * Lemma 8: all `⟨ack v, ph⟩` sent by correct processes in a phase
+//!   carry one value (the vote superround's whole purpose).
+//! * Lemma 10: once a quorum of identifiers acked `(v, ph)`, every correct
+//!   acker keeps a `(v, ph' ≥ ph)` lock at all later phase ends.
+//! * Lemma 11: at the end of any phase after stabilization, all correct
+//!   lock sets agree on a single value.
+//! * Lemma 32/34/35/36: the Figure 7 counterparts (witness quorums), plus
+//!   the at-most-one-lock-pair invariant.
+//!
+//! A protocol bug that never happens to produce disagreeing decisions in
+//! these schedules would still trip these checks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use homonyms::core::{
+    ByzPower, Counting, Domain, Id, IdAssignment, Pid, Round, Synchrony, SystemConfig,
+};
+use homonyms::psync::invariants::{
+    ack_values_by_phase, distinct_locked_values, phase_acks_unique, retains_acked_lock,
+};
+use homonyms::psync::{AgreementFactory, HomonymAgreement, RestrictedAgreement, RestrictedFactory};
+use homonyms::sim::adversary::{Adversary, CloneSpammer, Equivocator, ReplayFuzzer, StaleReplayer};
+use homonyms::sim::{RandomUntilGst, Simulation};
+
+type Locks = BTreeSet<(bool, u64)>;
+
+/// Per-phase-end snapshots of every correct process's lock set.
+struct LockHistory {
+    /// `snapshots[k]` = locks at the end of phase `k`.
+    snapshots: Vec<BTreeMap<Pid, Locks>>,
+}
+
+fn psync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters")
+}
+
+fn restricted_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .counting(Counting::Numerate)
+        .byz_power(ByzPower::Restricted)
+        .build()
+        .expect("valid parameters")
+}
+
+/// Steps a Figure 5 run to completion, snapshotting locks at phase ends,
+/// then asserts Lemmas 8, 10 and 11 against the trace and the snapshots.
+fn check_fig5_lemmas(
+    n: usize,
+    ell: usize,
+    t: usize,
+    assignment: IdAssignment,
+    inputs: Vec<bool>,
+    byz: Vec<Pid>,
+    adversary: impl Adversary<<HomonymAgreement<bool> as homonyms::core::Protocol>::Msg> + 'static,
+    gst: u64,
+    horizon: u64,
+    drop_seed: u64,
+) {
+    let cfg = psync_cfg(n, ell, t);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let mut sim = Simulation::builder(cfg, assignment.clone(), inputs)
+        .byzantine(byz.clone(), adversary)
+        .drops(RandomUntilGst::new(Round::new(gst), 0.3, drop_seed))
+        .record_trace(true)
+        .build_with(&factory);
+
+    let mut history = LockHistory { snapshots: Vec::new() };
+    for r in 0..horizon {
+        sim.step();
+        if r % 8 == 7 {
+            history.snapshots.push(
+                sim.processes()
+                    .map(|(pid, p)| (pid, p.locks().clone()))
+                    .collect(),
+            );
+        }
+    }
+    let report = sim.report();
+    assert!(
+        report.verdict.all_hold(),
+        "run must decide cleanly before lemma checks mean anything: {:?}",
+        report.verdict
+    );
+
+    // --- Lemma 11: single locked value at phase ends after GST. ---
+    let first_clean_phase = (gst / 8 + 1) as usize;
+    for (k, snapshot) in history.snapshots.iter().enumerate().skip(first_clean_phase) {
+        let distinct = distinct_locked_values(snapshot.values());
+        assert!(
+            distinct.len() <= 1,
+            "phase {k}: correct processes lock different values: {distinct:?}"
+        );
+    }
+
+    // --- Lemma 8: per-phase ack values from correct processes. ---
+    let trace = sim.trace().expect("trace was recorded");
+    let byz_set: BTreeSet<Pid> = byz.iter().copied().collect();
+    let mut correct_acks: Vec<(bool, u64)> = Vec::new();
+    // (value, phase) → identifiers that acked it (any sender).
+    let mut ack_ids: BTreeMap<(bool, u64), BTreeSet<Id>> = BTreeMap::new();
+    // (value, phase) → correct processes that acked it.
+    let mut ack_senders: BTreeMap<(bool, u64), BTreeSet<Pid>> = BTreeMap::new();
+    for d in trace.deliveries() {
+        for (&v, ph) in d.msg.acks() {
+            ack_ids.entry((v, ph)).or_default().insert(d.src_id);
+            if !byz_set.contains(&d.from) {
+                correct_acks.push((v, ph));
+                ack_senders.entry((v, ph)).or_default().insert(d.from);
+            }
+        }
+    }
+    let by_phase = ack_values_by_phase(correct_acks);
+    assert!(
+        phase_acks_unique(&by_phase).is_empty(),
+        "Lemma 8 violated in phases {:?}",
+        phase_acks_unique(&by_phase)
+    );
+
+    // --- Lemma 10: quorum-acked values stay locked by their ackers. ---
+    let quorum = ell - t;
+    for ((v, ph), ids) in &ack_ids {
+        if ids.len() < quorum {
+            continue; // premise unmet
+        }
+        for &p in ack_senders.get(&(*v, *ph)).into_iter().flatten() {
+            for (k, snapshot) in history.snapshots.iter().enumerate() {
+                if (k as u64) < *ph {
+                    continue;
+                }
+                let locks = &snapshot[&p];
+                assert!(
+                    retains_acked_lock(locks, v, *ph),
+                    "Lemma 10: {p} acked ({v}, {ph}) under a quorum but holds {locks:?} \
+                     at end of phase {k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig5_lemmas_hold_under_replay_fuzzing() {
+    let (n, ell, t) = (5, 5, 1);
+    check_fig5_lemmas(
+        n,
+        ell,
+        t,
+        IdAssignment::unique(n),
+        vec![true, false, true, false, true],
+        vec![Pid::new(4)],
+        ReplayFuzzer::new(21, 2),
+        16,
+        16 + 8 * (ell as u64 + 2) + 24,
+        5,
+    );
+}
+
+#[test]
+fn fig5_lemmas_hold_under_equivocation() {
+    let (n, ell, t) = (5, 5, 1);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let assignment = IdAssignment::unique(n);
+    let byz: BTreeSet<Pid> = [Pid::new(2)].into();
+    let split: BTreeSet<Pid> = [Pid::new(0), Pid::new(1)].into();
+    let adversary = Equivocator::new(&factory, &assignment, &byz, false, true, split);
+    check_fig5_lemmas(
+        n,
+        ell,
+        t,
+        assignment,
+        vec![false, true, true, true, false],
+        vec![Pid::new(2)],
+        adversary,
+        16,
+        16 + 8 * (ell as u64 + 2) + 24,
+        9,
+    );
+}
+
+#[test]
+fn fig5_lemmas_hold_with_homonym_groups_and_clone_spam() {
+    // n = 6, ℓ = 5, t = 1: identifier 1 is a correct homonym pair; the
+    // Byzantine process spams clone personas (multi-send allowed in the
+    // unrestricted model).
+    let (n, ell, t) = (6, 5, 1);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let byz: BTreeSet<Pid> = [Pid::new(5)].into();
+    let adversary = CloneSpammer::new(&factory, &assignment, &byz, &[false, true]);
+    check_fig5_lemmas(
+        n,
+        ell,
+        t,
+        assignment,
+        vec![true, true, false, false, true, false],
+        vec![Pid::new(5)],
+        adversary,
+        16,
+        16 + 8 * (ell as u64 + 2) + 32,
+        13,
+    );
+}
+
+#[test]
+fn fig5_lemmas_hold_under_stale_replay() {
+    let (n, ell, t) = (4, 4, 1);
+    check_fig5_lemmas(
+        n,
+        ell,
+        t,
+        IdAssignment::unique(n),
+        vec![true, false, false, true],
+        vec![Pid::new(3)],
+        StaleReplayer::new(3, 4),
+        8,
+        8 + 8 * (ell as u64 + 2) + 24,
+        17,
+    );
+}
+
+/// Figure 7 counterpart: Lemma 32 (per-phase ack uniqueness), Lemma 34
+/// (at most one lock pair), Lemma 36 (post-GST lock coherence).
+fn check_fig7_lemmas(
+    n: usize,
+    ell: usize,
+    t: usize,
+    inputs: Vec<bool>,
+    byz: Vec<Pid>,
+    adversary: impl Adversary<<RestrictedAgreement<bool> as homonyms::core::Protocol>::Msg> + 'static,
+    gst: u64,
+    horizon: u64,
+    drop_seed: u64,
+) {
+    let cfg = restricted_cfg(n, ell, t);
+    let factory = RestrictedFactory::new(n, ell, t, Domain::binary());
+    let assignment = IdAssignment::round_robin(ell, n).expect("ℓ ≤ n");
+    let mut sim = Simulation::builder(cfg, assignment, inputs)
+        .byzantine(byz.clone(), adversary)
+        .drops(RandomUntilGst::new(Round::new(gst), 0.3, drop_seed))
+        .record_trace(true)
+        .build_with(&factory);
+
+    let mut snapshots: Vec<BTreeMap<Pid, Locks>> = Vec::new();
+    for r in 0..horizon {
+        sim.step();
+        if r % 8 == 7 {
+            let snapshot: BTreeMap<Pid, Locks> = sim
+                .processes()
+                .map(|(pid, p)| (pid, p.locks().clone()))
+                .collect();
+            // Lemma 34: at most one pair per process, at every phase end.
+            for (pid, locks) in &snapshot {
+                assert!(
+                    locks.len() <= 1,
+                    "Lemma 34: {pid} holds {} lock pairs: {locks:?}",
+                    locks.len()
+                );
+            }
+            snapshots.push(snapshot);
+        }
+    }
+    let report = sim.report();
+    assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+
+    // Lemma 36: post-GST coherence.
+    let first_clean_phase = (gst / 8 + 1) as usize;
+    for (k, snapshot) in snapshots.iter().enumerate().skip(first_clean_phase) {
+        let distinct = distinct_locked_values(snapshot.values());
+        assert!(
+            distinct.len() <= 1,
+            "phase {k}: correct processes lock different values: {distinct:?}"
+        );
+    }
+
+    // Lemma 32: per-phase ack uniqueness among correct senders.
+    let trace = sim.trace().expect("trace was recorded");
+    let byz_set: BTreeSet<Pid> = byz.iter().copied().collect();
+    let correct_acks: Vec<(bool, u64)> = trace
+        .deliveries()
+        .iter()
+        .filter(|d| !byz_set.contains(&d.from))
+        .flat_map(|d| d.msg.acks().into_iter().map(|(&v, ph)| (v, ph)).collect::<Vec<_>>())
+        .collect();
+    let by_phase = ack_values_by_phase(correct_acks);
+    assert!(
+        phase_acks_unique(&by_phase).is_empty(),
+        "Lemma 32 violated in phases {:?}",
+        phase_acks_unique(&by_phase)
+    );
+}
+
+#[test]
+fn fig7_lemmas_hold_under_replay_fuzzing() {
+    let (n, ell, t) = (5, 2, 1);
+    check_fig7_lemmas(
+        n,
+        ell,
+        t,
+        vec![true, false, false, true, true],
+        vec![Pid::new(2)],
+        ReplayFuzzer::new(33, 2),
+        16,
+        16 + 8 * (ell as u64 + 2) + 32,
+        7,
+    );
+}
+
+#[test]
+fn fig7_lemmas_hold_under_stale_replay() {
+    let (n, ell, t) = (4, 2, 1);
+    check_fig7_lemmas(
+        n,
+        ell,
+        t,
+        vec![false, true, false, true],
+        vec![Pid::new(1)],
+        StaleReplayer::new(2, 3),
+        8,
+        8 + 8 * (ell as u64 + 2) + 32,
+        11,
+    );
+}
+
+#[test]
+fn fig7_lemmas_hold_at_the_liveness_edge() {
+    // ℓ = t + 1 = 2 with n = 7: the minimum identifier budget the model
+    // allows. All lemmas must hold; liveness comes from identifier 2's
+    // being all-correct.
+    let (n, ell, t) = (7, 2, 2);
+    check_fig7_lemmas(
+        n,
+        ell,
+        t,
+        vec![true, true, false, false, true, false, true],
+        vec![Pid::new(0), Pid::new(2)],
+        ReplayFuzzer::new(41, 1),
+        8,
+        8 + 8 * (ell as u64 + 4) + 48,
+        3,
+    );
+}

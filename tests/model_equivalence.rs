@@ -1,0 +1,216 @@
+//! Experiment E14 — the paper's Section 2 model-equivalence claim, made
+//! executable: the two delay-based partially synchronous models of
+//! Dwork–Lynch–Stockmeyer (delivery times *eventually bounded by a known
+//! constant*; delivery times *always bounded by an unknown constant*)
+//! simulate the basic lossy-round model, so the Figure 5 and Figure 7
+//! protocols decide on them unchanged, with a finite lossy prefix playing
+//! the role of the basic model's dropped messages.
+
+use homonyms::core::{
+    ByzPower, Counting, Domain, IdAssignment, Pid, Round, Synchrony, SystemConfig,
+};
+use homonyms::delay::{
+    AlwaysBounded, DelayCluster, DoublingPacing, EventuallyBounded, FixedPacing, Instant,
+    LinkTargeted,
+};
+use homonyms::psync::{AgreementFactory, RestrictedFactory};
+use homonyms::sim::adversary::{ReplayFuzzer, Silent};
+use homonyms::sim::Simulation;
+
+fn psync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters")
+}
+
+fn restricted_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .counting(Counting::Numerate)
+        .byz_power(ByzPower::Restricted)
+        .build()
+        .expect("valid parameters")
+}
+
+#[test]
+fn known_bound_model_runs_figure5_unchanged() {
+    // Known Δ = 2, calm from tick 40; rounds of exactly Δ ticks. The
+    // pre-calm chaos loses messages (the basic model's drops); the Figure
+    // 5 protocol rides it out and decides.
+    let (n, ell, t) = (5, 5, 1);
+    let cfg = psync_cfg(n, ell, t);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let mut cluster = DelayCluster::builder(
+        cfg,
+        IdAssignment::unique(n),
+        vec![true, false, true, false, true],
+    )
+    .byzantine([Pid::new(4)], ReplayFuzzer::new(17, 2))
+    .model(EventuallyBounded::new(2, 40, 60, 23))
+    .pacing(FixedPacing::new(2))
+    .build();
+    let report = cluster.run(&factory, 600);
+    assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+    let clean = report.clean_from().expect("lateness must cease after calm");
+    // Calm tick 40 / 2-tick rounds: round 22 is safely past the chaos.
+    assert!(clean.index() <= 22, "clean from {clean}");
+}
+
+#[test]
+fn unknown_bound_model_runs_figure5_unchanged() {
+    // Unknown Δ = 5 against doubling pacing: early rounds lose traffic,
+    // the guess-and-double schedule eventually outlasts Δ, and the
+    // protocol decides. The pacing never reads Δ.
+    let (n, ell, t) = (5, 5, 1);
+    let cfg = psync_cfg(n, ell, t);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let pacing = DoublingPacing::new(1, 8);
+    let mut cluster = DelayCluster::builder(
+        cfg,
+        IdAssignment::unique(n),
+        vec![false, false, true, true, false],
+    )
+    .byzantine([Pid::new(0)], Silent)
+    .model(AlwaysBounded::between(2, 5, 31))
+    .pacing(pacing)
+    .build();
+    let report = cluster.run(&factory, 400);
+    assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+    assert!(report.late > 0, "short early rounds must lose messages");
+    report.clean_from().expect("doubling must outrun the bound");
+}
+
+#[test]
+fn homonym_assignment_survives_delay_network() {
+    // n = 6, ℓ = 5, t = 1 (2ℓ = 10 > n + 3t = 9): one identifier is
+    // shared by two correct processes. Stacked assignment, known-bound
+    // delays.
+    let (n, ell, t) = (6, 5, 1);
+    let cfg = psync_cfg(n, ell, t);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let mut cluster = DelayCluster::builder(
+        cfg,
+        assignment,
+        vec![true, true, false, false, true, false],
+    )
+    .byzantine([Pid::new(5)], ReplayFuzzer::new(5, 1))
+    .model(EventuallyBounded::new(3, 30, 45, 41))
+    .pacing(FixedPacing::new(3))
+    .build();
+    let report = cluster.run(&factory, 800);
+    assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+}
+
+#[test]
+fn restricted_figure7_runs_on_both_delay_models() {
+    // ℓ = t + 1 = 2 identifiers for 5 processes — far below the
+    // unrestricted bound — and the Figure 7 protocol still decides on
+    // either delay model, because the delay network enforces the same
+    // restricted clamp as the lock-step engine.
+    let (n, ell, t) = (5, 2, 1);
+    let inputs = vec![true, false, false, true, true];
+    let assignment = IdAssignment::round_robin(ell, n).expect("ℓ ≤ n");
+
+    let factory = RestrictedFactory::new(n, ell, t, Domain::binary());
+    let mut known = DelayCluster::builder(restricted_cfg(n, ell, t), assignment.clone(), inputs.clone())
+        .byzantine([Pid::new(2)], ReplayFuzzer::new(29, 1))
+        .model(EventuallyBounded::new(2, 24, 40, 7))
+        .pacing(FixedPacing::new(2))
+        .build();
+    let report = known.run(&factory, 600);
+    assert!(report.verdict.all_hold(), "known-bound: {:?}", report.verdict);
+
+    let mut unknown = DelayCluster::builder(restricted_cfg(n, ell, t), assignment, inputs)
+        .byzantine([Pid::new(2)], Silent)
+        .model(AlwaysBounded::between(1, 4, 11))
+        .pacing(DoublingPacing::new(1, 6))
+        .build();
+    let report = unknown.run(&factory, 400);
+    assert!(report.verdict.all_hold(), "unknown-bound: {:?}", report.verdict);
+}
+
+#[test]
+fn instant_delays_reproduce_the_lockstep_simulator_exactly() {
+    // With 1-tick delays and 1-tick rounds the delay world *is* the
+    // lock-step world: same decisions, same decision rounds, same message
+    // counts, for the full Figure 5 protocol.
+    let (n, ell, t) = (4, 4, 1);
+    let cfg = psync_cfg(n, ell, t);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let inputs = vec![true, false, false, true];
+
+    let mut delay = DelayCluster::builder(cfg, IdAssignment::unique(n), inputs.clone())
+        .byzantine([Pid::new(3)], ReplayFuzzer::new(3, 2))
+        .model(Instant)
+        .pacing(FixedPacing::new(1))
+        .build();
+    let dr = delay.run(&factory, 200);
+
+    let mut sim = Simulation::builder(cfg, IdAssignment::unique(n), inputs)
+        .byzantine([Pid::new(3)], ReplayFuzzer::new(3, 2))
+        .build_with(&factory);
+    let sr = sim.run(200);
+
+    assert_eq!(dr.outcome.decisions, sr.outcome.decisions);
+    assert_eq!(dr.rounds, sr.rounds);
+    assert_eq!(dr.messages_sent, sr.messages_sent);
+    assert_eq!(dr.late, 0);
+    assert_eq!(dr.clean_from(), Some(Round::ZERO));
+}
+
+#[test]
+fn worst_case_isolation_delays_but_does_not_break_agreement() {
+    // The adversarial scheduler stalls every link touching p0 until tick
+    // 48 — a delay-world partition. Once calm, the broadcast relay and
+    // the decide relay catch p0 up, and all properties hold.
+    let (n, ell, t) = (5, 5, 1);
+    let cfg = psync_cfg(n, ell, t);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let calm = 48;
+    let mut cluster = DelayCluster::builder(
+        cfg,
+        IdAssignment::unique(n),
+        vec![false, true, true, false, true],
+    )
+    .byzantine([Pid::new(4)], Silent)
+    .model(LinkTargeted::isolating([Pid::new(0)], n, 10_000, 2, calm))
+    .pacing(FixedPacing::new(2))
+    .build();
+    let report = cluster.run(&factory, 800);
+    assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+    assert!(report.late + report.unarrived > 0, "the stall must cost something");
+    // p0 cannot decide before the stall lifts.
+    let (_, p0_round) = report.outcome.decisions[&Pid::new(0)];
+    assert!(
+        p0_round.index() * 2 >= calm,
+        "p0 decided at round {p0_round} while isolated until tick {calm}"
+    );
+}
+
+#[test]
+fn decision_happens_after_the_network_stabilizes_under_heavy_chaos() {
+    // With pre-calm delays up to 50 ticks against 2-tick rounds, no phase
+    // can complete before calm: the decision round must come after it.
+    let (n, ell, t) = (4, 4, 1);
+    let cfg = psync_cfg(n, ell, t);
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let calm_tick = 64;
+    let mut cluster = DelayCluster::builder(cfg, IdAssignment::unique(n), vec![true, false, true, false])
+        .model(EventuallyBounded::new(2, calm_tick, 50, 19))
+        .pacing(FixedPacing::new(2))
+        .build();
+    let report = cluster.run(&factory, 800);
+    assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+    let decided = report
+        .outcome
+        .last_decision_round()
+        .expect("all decided")
+        .index();
+    assert!(
+        decided * 2 >= calm_tick / 2,
+        "decision at round {decided} is implausibly early for calm tick {calm_tick}"
+    );
+    assert!(report.late > 0, "chaos must actually have lost messages");
+}

@@ -1,0 +1,250 @@
+//! Property-based tests (proptest) over the core invariants:
+//! randomized adversaries, assignments, inputs, and drop schedules on
+//! solvable configurations must never produce a violation; executions are
+//! deterministic given the seed; quorum arithmetic matches Lemma 7.
+
+use std::collections::BTreeSet;
+
+use homonyms::classic::Eig;
+use homonyms::core::{
+    bounds, ByzPower, Counting, Domain, Id, IdAssignment, Pid, ProperSet, Round, Synchrony,
+    SystemConfig,
+};
+use homonyms::psync::{AgreementFactory, RestrictedFactory};
+use homonyms::sim::adversary::{
+    Adversary, CloneSpammer, CrashAt, Equivocator, Mimic, ReplayFuzzer, Silent,
+};
+use homonyms::sim::{RandomUntilGst, Simulation};
+use homonyms::sync::TransformedFactory;
+use proptest::prelude::*;
+
+/// Picks one of the six standard strategies for a Figure 5 run.
+fn fig5_adversary(
+    kind: u8,
+    factory: &AgreementFactory<bool>,
+    assignment: &IdAssignment,
+    byz: &BTreeSet<Pid>,
+    seed: u64,
+    horizon: u64,
+) -> Box<dyn Adversary<<homonyms::psync::HomonymAgreement<bool> as homonyms::core::Protocol>::Msg>>
+{
+    let byz_inputs: Vec<(Pid, bool)> = byz.iter().map(|&p| (p, p.index() % 2 == 0)).collect();
+    let split: BTreeSet<Pid> = Pid::all(assignment.n()).filter(|p| p.index() % 2 == 0).collect();
+    match kind % 6 {
+        0 => Box::new(Silent),
+        1 => Box::new(Mimic::new(factory, assignment, &byz_inputs)),
+        2 => Box::new(CrashAt::new(
+            Round::new(horizon / 2),
+            Mimic::new(factory, assignment, &byz_inputs),
+        )),
+        3 => Box::new(Equivocator::new(factory, assignment, byz, false, true, split)),
+        4 => Box::new(CloneSpammer::new(factory, assignment, byz, &[false, true])),
+        _ => Box::new(ReplayFuzzer::new(seed, 3)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// T(EIG) on the solvable cell (n ∈ 4..8, ℓ = 4, t = 1): random
+    /// inputs, random Byzantine placement, random strategy — all three
+    /// properties always hold.
+    #[test]
+    fn transformer_always_correct_on_solvable_cell(
+        n in 4usize..8,
+        inputs in proptest::collection::vec(any::<bool>(), 8),
+        byz_index in 0usize..8,
+        kind in 0u8..6,
+        seed in 0u64..1_000,
+    ) {
+        let (ell, t) = (4usize, 1usize);
+        let cfg = SystemConfig::builder(n, ell, t).build().unwrap();
+        prop_assume!(bounds::solvable(&cfg));
+        let assignment = IdAssignment::stacked(ell, n).unwrap();
+        let factory = TransformedFactory::new(Eig::new(ell, t, Domain::binary()), t);
+        let byz = Pid::new(byz_index % n);
+        let byz_set: BTreeSet<Pid> = [byz].into();
+        let horizon = factory.round_bound() + 9;
+        let byz_inputs = vec![(byz, true)];
+        let split: BTreeSet<Pid> = Pid::all(n).filter(|p| p.index() % 2 == 0).collect();
+        let adversary: Box<dyn Adversary<_>> = match kind {
+            0 => Box::new(Silent),
+            1 => Box::new(Mimic::new(&factory, &assignment, &byz_inputs)),
+            2 => Box::new(CrashAt::new(Round::new(4), Mimic::new(&factory, &assignment, &byz_inputs))),
+            3 => Box::new(Equivocator::new(&factory, &assignment, &byz_set, false, true, split)),
+            4 => Box::new(CloneSpammer::new(&factory, &assignment, &byz_set, &[false, true])),
+            _ => Box::new(ReplayFuzzer::new(seed, 3)),
+        };
+        struct B<M>(Box<dyn Adversary<M>>);
+        impl<M: homonyms::core::Message> Adversary<M> for B<M> {
+            fn send(&mut self, ctx: &homonyms::sim::AdvCtx<'_>) -> Vec<homonyms::sim::Emission<M>> { self.0.send(ctx) }
+            fn receive(&mut self, round: Round, inboxes: &std::collections::BTreeMap<Pid, homonyms::core::Inbox<M>>) { self.0.receive(round, inboxes); }
+        }
+        let mut sim = Simulation::builder(cfg, assignment, inputs[..n].to_vec())
+            .byzantine([byz], B(adversary))
+            .build_with(&factory);
+        let report = sim.run(horizon);
+        prop_assert!(report.verdict.all_hold(), "{}", report.verdict);
+    }
+
+    /// Figure 5 on (4, 4, 1): random GST, drop seed, inputs, strategy.
+    #[test]
+    fn psync_agreement_always_correct_on_solvable_cell(
+        inputs in proptest::collection::vec(any::<bool>(), 4),
+        byz_index in 0usize..4,
+        kind in 0u8..6,
+        gst in 0u64..16,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = SystemConfig::builder(4, 4, 1)
+            .synchrony(Synchrony::PartiallySynchronous)
+            .build()
+            .unwrap();
+        let assignment = IdAssignment::unique(4);
+        let factory = AgreementFactory::new(4, 4, 1, Domain::binary());
+        let byz = Pid::new(byz_index);
+        let byz_set: BTreeSet<Pid> = [byz].into();
+        let horizon = gst + factory.round_bound() + 24;
+        let adversary = fig5_adversary(kind, &factory, &assignment, &byz_set, seed, horizon);
+        struct B<M>(Box<dyn Adversary<M>>);
+        impl<M: homonyms::core::Message> Adversary<M> for B<M> {
+            fn send(&mut self, ctx: &homonyms::sim::AdvCtx<'_>) -> Vec<homonyms::sim::Emission<M>> { self.0.send(ctx) }
+            fn receive(&mut self, round: Round, inboxes: &std::collections::BTreeMap<Pid, homonyms::core::Inbox<M>>) { self.0.receive(round, inboxes); }
+        }
+        let mut sim = Simulation::builder(cfg, assignment, inputs)
+            .byzantine([byz], B(adversary))
+            .drops(RandomUntilGst::new(Round::new(gst), 0.3, seed))
+            .build_with(&factory);
+        let report = sim.run(horizon);
+        prop_assert!(report.verdict.all_hold(), "{}", report.verdict);
+    }
+
+    /// Figure 7 (restricted, numerate) on (4, 2, 1): random everything.
+    #[test]
+    fn restricted_agreement_always_correct_on_solvable_cell(
+        inputs in proptest::collection::vec(any::<bool>(), 4),
+        byz_index in 0usize..4,
+        mimic_input in any::<bool>(),
+        gst in 0u64..12,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = SystemConfig::builder(4, 2, 1)
+            .synchrony(Synchrony::PartiallySynchronous)
+            .counting(Counting::Numerate)
+            .byz_power(ByzPower::Restricted)
+            .build()
+            .unwrap();
+        let assignment = IdAssignment::round_robin(2, 4).unwrap();
+        let factory = RestrictedFactory::new(4, 2, 1, Domain::binary());
+        let byz = Pid::new(byz_index);
+        let horizon = gst + factory.round_bound() + 24;
+        let adversary = Mimic::new(&factory, &assignment, &[(byz, mimic_input)]);
+        let mut sim = Simulation::builder(cfg, assignment, inputs)
+            .byzantine([byz], adversary)
+            .drops(RandomUntilGst::new(Round::new(gst), 0.25, seed))
+            .build_with(&factory);
+        let report = sim.run(horizon);
+        prop_assert!(report.verdict.all_hold(), "{}", report.verdict);
+    }
+
+    /// Same seed ⇒ identical execution (decisions, rounds, messages).
+    #[test]
+    fn executions_are_deterministic(seed in 0u64..500, gst in 0u64..10) {
+        let run = || {
+            let cfg = SystemConfig::builder(4, 4, 1)
+                .synchrony(Synchrony::PartiallySynchronous)
+                .build()
+                .unwrap();
+            let factory = AgreementFactory::new(4, 4, 1, Domain::binary());
+            let mut sim = Simulation::builder(
+                cfg,
+                IdAssignment::unique(4),
+                vec![true, false, false, true],
+            )
+            .byzantine([Pid::new(1)], ReplayFuzzer::new(seed, 2))
+            .drops(RandomUntilGst::new(Round::new(gst), 0.4, seed))
+            .build_with(&factory);
+            let report = sim.run(gst + factory.round_bound() + 24);
+            (
+                report.outcome.decisions,
+                report.rounds,
+                report.messages_sent,
+                report.messages_dropped,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Lemma 7 arithmetic ⟺ the partially synchronous Table 1 condition.
+    #[test]
+    fn lemma7_matches_condition(n in 1usize..40, ell in 1usize..40, t in 0usize..12) {
+        prop_assume!(ell <= n && t < n);
+        let expected = 2 * ell > n + 3 * t;
+        prop_assert_eq!(bounds::lemma7_holds(n, ell, t), expected);
+    }
+
+    /// Proper sets only ever grow, and never leave the domain.
+    #[test]
+    fn proper_sets_grow_monotonically(
+        updates in proptest::collection::vec(
+            proptest::collection::vec((1u16..6, proptest::collection::btree_set(0u32..4, 0..4)), 0..5),
+            0..6,
+        ),
+        t in 0usize..3,
+    ) {
+        let domain = Domain::range(4);
+        let mut proper = ProperSet::new(1u32);
+        let mut previous: BTreeSet<u32> = proper.as_set().clone();
+        for round in updates {
+            let views: Vec<(Id, &BTreeSet<u32>)> =
+                round.iter().map(|(i, s)| (Id::new(*i), s)).collect();
+            proper.update_by_identifiers(&views, t, &domain);
+            let current = proper.as_set().clone();
+            prop_assert!(current.is_superset(&previous), "proper set shrank");
+            prop_assert!(current.iter().all(|v| domain.contains(v)));
+            previous = current;
+        }
+    }
+
+    /// Inbox semantics: innumerate is the multiplicity-1 projection of
+    /// numerate; identifier counting agrees between the two.
+    #[test]
+    fn inbox_innumerate_is_a_projection(
+        deliveries in proptest::collection::vec((1u16..5, 0u8..4), 0..20),
+    ) {
+        use homonyms::core::{Envelope, Inbox};
+        let envs: Vec<Envelope<u8>> = deliveries
+            .iter()
+            .map(|&(i, m)| Envelope { src: Id::new(i), msg: m })
+            .collect();
+        let numerate = Inbox::collect(envs.clone(), Counting::Numerate);
+        let innumerate = Inbox::collect(envs, Counting::Innumerate);
+        for (id, msg, count) in numerate.iter() {
+            prop_assert!(count >= 1);
+            prop_assert_eq!(innumerate.count(id, msg), 1);
+        }
+        prop_assert_eq!(
+            numerate.ids_where(|m| *m == 0).collect::<Vec<_>>(),
+            innumerate.ids_where(|m| *m == 0).collect::<Vec<_>>()
+        );
+        prop_assert!(numerate.count_where(|m| *m == 0) >= innumerate.count_where(|m| *m == 0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two independent renderings of Lemma 7's precondition — the
+    /// arithmetic in `core::bounds` (derived from the quorum-overlap
+    /// algebra) and the plain restatement in `psync::invariants` — agree
+    /// everywhere (for ℓ ≤ n, where assignments exist).
+    #[test]
+    fn lemma7_predicates_agree(n in 1usize..40, ell in 1usize..40, t in 0usize..12) {
+        prop_assume!(ell <= n);
+        prop_assert_eq!(
+            homonyms::core::bounds::lemma7_holds(n, ell, t),
+            homonyms::psync::invariants::lemma7_applies(n, ell, t),
+            "n={} ell={} t={}", n, ell, t
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Experiment E17 — the multi-send **restriction is load-bearing**.
+//!
+//! Section 5's headline: with numerate processes and Byzantine senders
+//! restricted to one message per recipient per round, `ℓ > t` identifiers
+//! suffice — far below the unrestricted bounds (`ℓ > 3t` synchronous,
+//! `2ℓ > n + 3t` partially synchronous). The other direction must hold
+//! too: hand multi-send back to the adversary and the very same Figure 7
+//! protocol *must* fail once `ℓ` is below the unrestricted bound, because
+//! the impossibility constructions apply to every algorithm.
+//!
+//! * In the restricted model at `ℓ = 3t = 3`, Figure 7 survives the full
+//!   adversary suite (the engine clamps multi-send — that is the model).
+//! * In the unrestricted model, the Figure 1 ring (whose imagined
+//!   Byzantine processes need multi-send to explain whole stacks) forces
+//!   a view violation on Figure 7 at the same `ℓ = 3t`.
+//! * In the unrestricted partially synchronous model, the Figure 4
+//!   partition forces split-brain on Figure 7 at `3t < ℓ ≤ (n + 3t)/2`.
+
+use homonyms::core::{ByzPower, Counting, Domain, IdAssignment, Synchrony, SystemConfig};
+use homonyms::lower_bounds::{fig1, fig4};
+use homonyms::psync::RestrictedFactory;
+use homonyms::sim::harness::{run_standard_suite, SuiteParams};
+
+#[test]
+fn fig7_survives_restricted_adversaries_at_ell_3t() {
+    // n = 4, ℓ = 3, t = 1: ℓ ≤ 3t, yet with restricted Byzantine senders
+    // and numerate processes this is comfortably above the ℓ > t bound.
+    let (n, ell, t) = (4, 3, 1);
+    let cfg = SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .counting(Counting::Numerate)
+        .byz_power(ByzPower::Restricted)
+        .build()
+        .expect("valid parameters");
+    let factory = RestrictedFactory::new(n, ell, t, Domain::binary());
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let domain = Domain::binary();
+    let gst = 8;
+    let suite = run_standard_suite(
+        &factory,
+        &SuiteParams {
+            cfg,
+            assignment: &assignment,
+            domain: &domain,
+            horizon: gst + factory.round_bound() + 24,
+            gst,
+            seed: 7,
+        },
+    );
+    assert!(
+        suite.all_hold(),
+        "restricted model must be safe at ℓ = 3t: {:?}",
+        suite.failures().iter().map(|f| &f.name).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fig7_falls_to_the_ring_once_multisend_is_allowed() {
+    // The Proposition 1 ring applies to *any* algorithm for ℓ = 3t — its
+    // per-view "explanation" attributes a whole stack of identical
+    // processes to one Byzantine process, which only an unrestricted
+    // (multi-send) Byzantine process can imitate. Running Figure 7 inside
+    // it must therefore break some view's claim, even though the same
+    // protocol just survived the restricted suite above.
+    let (n, t) = (4, 1);
+    let sys = fig1::build(n, t);
+    let factory = RestrictedFactory::new(n, 3 * t, t, Domain::binary());
+    let report = fig1::run(&factory, &sys, factory.round_bound() + 16);
+    assert!(report.views_legal, "every cross-view message must be explainable");
+    assert!(
+        report.contradiction_exhibited(),
+        "some view must violate its claim: {:?}",
+        report.verdicts
+    );
+}
+
+#[test]
+fn fig7_split_brains_under_the_partition_once_multisend_is_allowed() {
+    // n = 5, ℓ = 4, t = 1: 3t < ℓ and 2ℓ = 8 ≤ n + 3t = 8 — inside the
+    // unrestricted-impossibility band, while ℓ = 4 > t = 1 keeps the
+    // restricted model solvable. The Figure 4 replay (Byzantine B₁ must
+    // send several messages per recipient per round) drives Figure 7 into
+    // disagreement.
+    let (n, ell, t) = (5, 4, 1);
+    let cfg = SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .counting(Counting::Numerate)
+        .byz_power(ByzPower::Unrestricted)
+        .build()
+        .expect("valid parameters");
+    let factory = RestrictedFactory::new(n, ell, t, Domain::binary());
+    let outcome = fig4::run(&factory, cfg, 8 * 16);
+    assert!(
+        outcome.violation_exhibited(),
+        "the partition must break the protocol: {outcome:?}"
+    );
+}

@@ -1,0 +1,114 @@
+//! Experiment E12 — the threaded runtime and the deterministic simulator
+//! execute the same automata with identical semantics: same decisions,
+//! same decision rounds, same message counts, for every protocol family.
+
+use homonyms::classic::{Eig, UniqueRunner};
+use homonyms::core::{
+    ByzPower, Counting, Domain, FnFactory, IdAssignment, Pid, ProtocolFactory, Round, Synchrony,
+    SystemConfig,
+};
+use homonyms::psync::{AgreementFactory, RestrictedFactory};
+use homonyms::runtime::Cluster;
+use homonyms::sim::adversary::Silent;
+use homonyms::sim::{RandomUntilGst, Simulation};
+use homonyms::sync::TransformedFactory;
+
+fn assert_parity<F, P>(
+    factory: &F,
+    cfg: SystemConfig,
+    assignment: IdAssignment,
+    inputs: Vec<bool>,
+    byz: Vec<Pid>,
+    gst: u64,
+    horizon: u64,
+) where
+    P: homonyms::core::Protocol<Value = bool> + Send + 'static,
+    F: ProtocolFactory<P = P>,
+{
+    let threaded = Cluster::new(cfg, assignment.clone(), inputs.clone())
+        .byzantine(byz.clone(), Silent)
+        .drops(RandomUntilGst::new(Round::new(gst), 0.3, 5))
+        .run(factory, horizon);
+    let mut sim = Simulation::builder(cfg, assignment, inputs)
+        .byzantine(byz, Silent)
+        .drops(RandomUntilGst::new(Round::new(gst), 0.3, 5))
+        .build_with(factory);
+    let simulated = sim.run(horizon);
+
+    assert_eq!(threaded.outcome.decisions, simulated.outcome.decisions);
+    assert_eq!(threaded.rounds, simulated.rounds);
+    assert_eq!(threaded.messages_sent, simulated.messages_sent);
+    assert_eq!(threaded.messages_dropped, simulated.messages_dropped);
+    assert!(threaded.verdict.all_hold(), "{}", threaded.verdict);
+}
+
+#[test]
+fn parity_eig_baseline() {
+    let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+    let domain = Domain::binary();
+    let factory = FnFactory::new(move |id, input| {
+        UniqueRunner::new(Eig::new(4, 1, domain.clone()), id, input)
+    });
+    assert_parity(
+        &factory,
+        cfg,
+        IdAssignment::unique(4),
+        vec![true, false, true, false],
+        vec![Pid::new(3)],
+        0,
+        12,
+    );
+}
+
+#[test]
+fn parity_transformer() {
+    let cfg = SystemConfig::builder(6, 4, 1).build().unwrap();
+    let factory = TransformedFactory::new(Eig::new(4, 1, Domain::binary()), 1);
+    assert_parity(
+        &factory,
+        cfg,
+        IdAssignment::stacked(4, 6).unwrap(),
+        vec![true, true, false, false, true, false],
+        vec![Pid::new(5)],
+        0,
+        factory.round_bound() + 9,
+    );
+}
+
+#[test]
+fn parity_psync_agreement_with_drops() {
+    let cfg = SystemConfig::builder(4, 4, 1)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .unwrap();
+    let factory = AgreementFactory::new(4, 4, 1, Domain::binary());
+    assert_parity(
+        &factory,
+        cfg,
+        IdAssignment::unique(4),
+        vec![false, true, true, false],
+        vec![Pid::new(2)],
+        8,
+        8 + factory.round_bound() + 24,
+    );
+}
+
+#[test]
+fn parity_restricted_agreement() {
+    let cfg = SystemConfig::builder(4, 2, 1)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .counting(Counting::Numerate)
+        .byz_power(ByzPower::Restricted)
+        .build()
+        .unwrap();
+    let factory = RestrictedFactory::new(4, 2, 1, Domain::binary());
+    assert_parity(
+        &factory,
+        cfg,
+        IdAssignment::round_robin(2, 4).unwrap(),
+        vec![true, true, false, true],
+        vec![Pid::new(3)],
+        6,
+        6 + factory.round_bound() + 24,
+    );
+}

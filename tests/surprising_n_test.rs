@@ -1,0 +1,75 @@
+//! Experiment E11 — the headline: with `t = 1` and `ℓ = 4` identifiers,
+//! partially synchronous agreement works for 4 processes but adding a
+//! fifth *correct* process makes it impossible.
+
+use homonyms::core::{bounds, Domain, IdAssignment, Synchrony, SystemConfig};
+use homonyms::lower_bounds::fig4;
+use homonyms::psync::AgreementFactory;
+use homonyms::sim::harness::{run_standard_suite, SuiteParams};
+
+fn cfg(n: usize) -> SystemConfig {
+    SystemConfig::builder(n, 4, 1)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters")
+}
+
+#[test]
+fn four_processes_survive_everything_we_throw() {
+    let cfg = cfg(4);
+    assert!(bounds::solvable(&cfg));
+    let factory = AgreementFactory::new(4, 4, 1, Domain::binary());
+    let domain = Domain::binary();
+    let assignment = IdAssignment::unique(4);
+    let gst = 12;
+    let params = SuiteParams {
+        cfg,
+        assignment: &assignment,
+        domain: &domain,
+        horizon: gst + factory.round_bound() + 24,
+        gst,
+        seed: 11,
+    };
+    let result = run_standard_suite(&factory, &params);
+    assert!(
+        result.all_hold(),
+        "{:?}",
+        result
+            .failures()
+            .iter()
+            .map(|f| (&f.name, f.report.verdict.to_string()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn five_processes_split_brain() {
+    let cfg = cfg(5);
+    assert!(!bounds::solvable(&cfg));
+    let factory = AgreementFactory::new(5, 4, 1, Domain::binary());
+    let outcome = fig4::run(&factory, cfg, 8 * 14);
+    assert!(outcome.split_brain(), "{outcome:?}");
+}
+
+#[test]
+fn the_predicate_is_monotone_in_ell_but_not_in_n() {
+    // Fixing n and t, more identifiers never hurt.
+    for ell in 1..=5usize {
+        let c = SystemConfig::builder(5, ell, 1)
+            .synchrony(Synchrony::PartiallySynchronous)
+            .build()
+            .unwrap();
+        if bounds::solvable(&c) {
+            for bigger in ell..=5 {
+                let c2 = SystemConfig::builder(5, bigger, 1)
+                    .synchrony(Synchrony::PartiallySynchronous)
+                    .build()
+                    .unwrap();
+                assert!(bounds::solvable(&c2));
+            }
+        }
+    }
+    // Fixing ℓ and t, more processes CAN hurt: the headline pair.
+    assert!(bounds::solvable(&cfg(4)));
+    assert!(!bounds::solvable(&cfg(5)));
+}

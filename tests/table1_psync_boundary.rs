@@ -1,0 +1,98 @@
+//! Experiment E2 — Table 1, partially synchronous column:
+//! solvable ⟺ `2ℓ > n + 3t`.
+//!
+//! Solvable cells run the Figure 5 protocol against the standard adversary
+//! suite under lossy pre-stabilization networks. Unsolvable cells in the
+//! `3t < ℓ ≤ (n + 3t)/2` band are driven into split-brain by the Figure 4
+//! partition construction.
+
+use homonyms::core::{bounds, Domain, IdAssignment, Synchrony, SystemConfig};
+use homonyms::lower_bounds::fig4;
+use homonyms::psync::AgreementFactory;
+use homonyms::sim::harness::{run_standard_suite, SuiteParams};
+
+fn psync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters")
+}
+
+fn assert_solvable_cell(n: usize, ell: usize, t: usize) {
+    let cfg = psync_cfg(n, ell, t);
+    assert!(bounds::solvable(&cfg), "precondition: ({n},{ell},{t}) solvable");
+    let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+    let domain = Domain::binary();
+    let gst = 12;
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let params = SuiteParams {
+        cfg,
+        assignment: &assignment,
+        domain: &domain,
+        horizon: gst + factory.round_bound() + 24,
+        gst,
+        seed: 77,
+    };
+    let result = run_standard_suite(&factory, &params);
+    assert!(
+        result.all_hold(),
+        "({n},{ell},{t}) failed: {:?}",
+        result
+            .failures()
+            .iter()
+            .map(|f| (&f.name, f.report.verdict.to_string()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn solvable_cell_n4_ell4_t1() {
+    // The boundary-solvable half of the headline pair.
+    assert_solvable_cell(4, 4, 1);
+}
+
+#[test]
+fn solvable_cell_n5_ell5_t1() {
+    // One more identifier fixes n = 5 (2ℓ = 10 > 8).
+    assert_solvable_cell(5, 5, 1);
+}
+
+#[test]
+fn solvable_cell_with_homonyms_n7_ell6_t1() {
+    // 2ℓ = 12 > 10, with a two-process homonym group.
+    assert_solvable_cell(7, 6, 1);
+}
+
+#[test]
+fn unsolvable_band_splits_via_fig4() {
+    // 3t < ℓ ≤ (n + 3t)/2: the partition construction must break the
+    // protocol. Includes the headline (5, 4, 1) and a padded case
+    // (8, 5, 1) where n > 2ℓ − 3t.
+    for (n, ell, t) in [(5, 4, 1), (7, 5, 1), (8, 5, 1)] {
+        let cfg = psync_cfg(n, ell, t);
+        assert!(!bounds::solvable(&cfg), "precondition: ({n},{ell},{t}) unsolvable");
+        let factory = AgreementFactory::new(n, ell, t, Domain::binary());
+        let outcome = fig4::run(&factory, cfg, 8 * 14);
+        assert!(outcome.violation_exhibited(), "({n},{ell},{t}): {outcome:?}");
+    }
+}
+
+#[test]
+fn psync_needs_strictly_more_identifiers_than_sync() {
+    // The model-comparison surprise: for every n > 3t + 1, the partially
+    // synchronous minimum exceeds the synchronous minimum.
+    for t in 1..4usize {
+        for n in (3 * t + 2)..(3 * t + 9) {
+            let sync = SystemConfig::builder(n, 1, t).build().unwrap();
+            let psync = SystemConfig::builder(n, 1, t)
+                .synchrony(Synchrony::PartiallySynchronous)
+                .build()
+                .unwrap();
+            let sync_min = bounds::min_solvable_ell(&sync);
+            let psync_min = bounds::min_solvable_ell(&psync);
+            if let (Some(s), Some(p)) = (sync_min, psync_min) {
+                assert!(p > s, "n={n}, t={t}: psync min {p} vs sync min {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Experiment E3 — Table 1, restricted-Byzantine row: with numerate
+//! processes, solvable ⟺ `ℓ > t` (both synchrony models); with innumerate
+//! processes the restriction does not help at all.
+
+use homonyms::core::{
+    bounds, ByzPower, Counting, Domain, IdAssignment, Pid, Synchrony, SystemConfig,
+};
+use homonyms::lower_bounds::{clones, search};
+use homonyms::psync::RestrictedFactory;
+use homonyms::sim::harness::{run_standard_suite, SuiteParams};
+
+fn restricted_cfg(n: usize, ell: usize, t: usize, synchrony: Synchrony) -> SystemConfig {
+    SystemConfig::builder(n, ell, t)
+        .synchrony(synchrony)
+        .counting(Counting::Numerate)
+        .byz_power(ByzPower::Restricted)
+        .build()
+        .expect("valid parameters")
+}
+
+fn assert_solvable_cell(n: usize, ell: usize, t: usize, synchrony: Synchrony) {
+    let cfg = restricted_cfg(n, ell, t, synchrony);
+    assert!(bounds::solvable(&cfg), "precondition: ({n},{ell},{t}) solvable");
+    let factory = RestrictedFactory::new(n, ell, t, Domain::binary());
+    let domain = Domain::binary();
+    let gst = if synchrony == Synchrony::PartiallySynchronous { 10 } else { 0 };
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let params = SuiteParams {
+        cfg,
+        assignment: &assignment,
+        domain: &domain,
+        horizon: gst + factory.round_bound() + 24,
+        gst,
+        seed: 31,
+    };
+    let result = run_standard_suite(&factory, &params);
+    assert!(
+        result.all_hold(),
+        "({n},{ell},{t},{synchrony:?}) failed: {:?}",
+        result
+            .failures()
+            .iter()
+            .map(|f| (&f.name, f.report.verdict.to_string()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn t_plus_1_identifiers_suffice_synchronous() {
+    // ℓ = t + 1 = 2 with n = 4: far below 3t + 1 = 4.
+    assert_solvable_cell(4, 2, 1, Synchrony::Synchronous);
+}
+
+#[test]
+fn t_plus_1_identifiers_suffice_partially_synchronous() {
+    // The same cell in partial synchrony — and also below (n + 3t)/2.
+    assert_solvable_cell(4, 2, 1, Synchrony::PartiallySynchronous);
+}
+
+#[test]
+fn t2_needs_three_identifiers() {
+    assert_solvable_cell(7, 3, 2, Synchrony::PartiallySynchronous);
+}
+
+#[test]
+fn ell_le_t_is_adversary_controlled() {
+    // ℓ = 1 = t: Lemma 21's multivalent initial configuration — the
+    // Byzantine persona alone steers the decision.
+    let factory = RestrictedFactory::new(4, 1, 1, Domain::binary());
+    let assignment = IdAssignment::anonymous(4);
+    let report = search::multivalence_demo(
+        &factory,
+        &assignment,
+        &[false, true, true, false],
+        Pid::new(3),
+        &[false, true],
+        8 * 5,
+    );
+    assert!(report.multivalent(), "{report:?}");
+    // And the predicate agrees the cell is unsolvable.
+    let cfg = restricted_cfg(4, 1, 1, Synchrony::Synchronous);
+    assert!(!bounds::solvable(&cfg));
+}
+
+#[test]
+fn restriction_useless_for_innumerate_processes() {
+    // Theorems 19/20: the Figure 7 protocol's counting is load-bearing —
+    // under innumerate delivery the same system starves.
+    let report = clones::innumerate_starvation(4, 2, 1, 8 * 6);
+    assert!(report.counting_is_essential(), "{report:?}");
+    // Table 1 for innumerate+restricted follows the unrestricted bounds.
+    let cfg = SystemConfig::builder(4, 2, 1)
+        .counting(Counting::Innumerate)
+        .byz_power(ByzPower::Restricted)
+        .build()
+        .unwrap();
+    assert!(!bounds::solvable(&cfg)); // ℓ = 2 ≤ 3t = 3
+}
+
+#[test]
+fn clone_lockstep_reduction_invariant() {
+    // The mechanism behind Theorem 19: homonym clones with equal inputs
+    // stay in lockstep against group-uniform restricted adversaries.
+    let factory = RestrictedFactory::new(6, 3, 1, Domain::binary());
+    let report = clones::lockstep_report(&factory, 6, 3, 1, true, false, 8 * 4);
+    assert_eq!(report.clones.len(), 4); // n − ℓ + 1
+    assert!(report.in_lockstep(), "{report:?}");
+}
+
+#[test]
+fn bounded_search_clean_on_solvable_cell() {
+    let factory = RestrictedFactory::new(4, 2, 1, Domain::binary());
+    let assignment = IdAssignment::round_robin(2, 4).expect("ℓ ≤ n");
+    let result = search::exhaustive_search(
+        &factory,
+        &assignment,
+        &[false, true, false, true],
+        Pid::new(3),
+        12,
+        3_000,
+    );
+    assert!(!result.violated(), "{result:?}");
+}

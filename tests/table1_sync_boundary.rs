@@ -1,0 +1,110 @@
+//! Experiment E1 — Table 1, synchronous column: solvable ⟺ `ℓ > 3t`.
+//!
+//! Solvable cells run `T(EIG)` against the full standard adversary suite
+//! (input patterns × Byzantine placements × six strategies) and must
+//! satisfy all three properties in every scenario. Cells at the unsolvable
+//! boundary (`ℓ = 3t`) are driven into a violation by the Figure 1 ring
+//! construction.
+
+use homonyms::classic::{Eig, PhaseKing};
+use homonyms::core::{bounds, Domain, IdAssignment, SystemConfig};
+use homonyms::lower_bounds::fig1;
+use homonyms::sim::harness::{run_standard_suite, SuiteParams};
+use homonyms::sync::TransformedFactory;
+
+fn sync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
+    SystemConfig::builder(n, ell, t).build().expect("valid parameters")
+}
+
+fn assert_solvable_cell(n: usize, ell: usize, t: usize) {
+    let cfg = sync_cfg(n, ell, t);
+    assert!(bounds::solvable(&cfg), "precondition: ({n},{ell},{t}) solvable");
+    let factory = TransformedFactory::new(Eig::new(ell, t, Domain::binary()), t);
+    let domain = Domain::binary();
+    for assignment in [
+        IdAssignment::stacked(ell, n).expect("ℓ ≤ n"),
+        IdAssignment::round_robin(ell, n).expect("ℓ ≤ n"),
+    ] {
+        let params = SuiteParams {
+            cfg,
+            assignment: &assignment,
+            domain: &domain,
+            horizon: factory.round_bound() + 9,
+            gst: 0,
+            seed: 2026,
+        };
+        let result = run_standard_suite(&factory, &params);
+        assert!(
+            result.all_hold(),
+            "({n},{ell},{t}) with {assignment:?} failed: {:?}",
+            result
+                .failures()
+                .iter()
+                .map(|f| (&f.name, f.report.verdict.to_string()))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn solvable_cells_survive_the_suite_t1() {
+    // t = 1: ℓ = 4 = 3t + 1 is the boundary-solvable cell.
+    for n in [4, 5, 7] {
+        assert_solvable_cell(n, 4, 1);
+    }
+    // More identifiers only help.
+    assert_solvable_cell(6, 5, 1);
+}
+
+#[test]
+fn solvable_cells_survive_the_suite_t2() {
+    // t = 2: ℓ = 7 = 3t + 1.
+    assert_solvable_cell(8, 7, 2);
+}
+
+#[test]
+fn boundary_unsolvable_cells_violate_via_fig1() {
+    // ℓ = 3t: the ring forces a violation on T(EIG) for every n.
+    for (n, t) in [(4, 1), (5, 1), (7, 2)] {
+        let algo = Eig::new_unchecked(3 * t, t, Domain::binary());
+        let factory = TransformedFactory::new(algo, t);
+        let sys = fig1::build(n, t);
+        let report = fig1::run(&factory, &sys, factory.round_bound() + 9);
+        assert!(report.views_legal, "({n},{t}): the wiring must be legal");
+        assert!(
+            report.contradiction_exhibited(),
+            "({n},{t}): some view must fail, got {:?}",
+            report.verdicts
+        );
+    }
+}
+
+#[test]
+fn fig1_also_breaks_phase_king_transformer() {
+    // The argument is algorithm-agnostic: T(PhaseKing) fails the ring too.
+    // (Phase-King wants ℓ > 4t; at ℓ = 3t it is doubly out of range, which
+    // is fine — the ring only needs *a* deterministic algorithm.)
+    let t = 1;
+    let algo = PhaseKing::new_unchecked(3 * t, t, Domain::binary());
+    let factory = TransformedFactory::new(algo, t);
+    let sys = fig1::build(5, t);
+    let report = fig1::run(&factory, &sys, factory.round_bound() + 9);
+    assert!(report.contradiction_exhibited(), "{:?}", report.verdicts);
+}
+
+#[test]
+fn grid_matches_table1_predicate() {
+    // The harness's own grid enumeration agrees with Table 1 cell by cell.
+    use homonyms::core::{ByzPower, Counting, Synchrony};
+    let cells = bounds::boundary_grid(
+        Synchrony::Synchronous,
+        Counting::Innumerate,
+        ByzPower::Unrestricted,
+        &[1, 2, 3],
+        3,
+    );
+    for cell in cells {
+        assert_eq!(cell.solvable, bounds::solvable(&cell.cfg));
+        assert_eq!(cell.solvable, cell.cfg.ell > 3 * cell.cfg.t);
+    }
+}
