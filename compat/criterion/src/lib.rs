@@ -1,0 +1,236 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Runs each benchmark in a capped timing loop (a warm-up pass, then up
+//! to `sample_size` samples or [`MAX_SAMPLE_TIME`] per benchmark,
+//! whichever ends first) and prints mean/min per-iteration wall time.
+//! No statistics, plots, or baselines — just enough to register and
+//! execute `cargo bench` targets with `harness = false`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Hard cap on measurement time per benchmark, so full-suite
+/// `cargo bench` runs stay tractable.
+pub const MAX_SAMPLE_TIME: Duration = Duration::from_millis(500);
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization
+/// barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id distinguished from its siblings by the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so `bench_function` accepts both
+/// string names and explicit ids.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and min per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up once, then sampling it up to
+    /// the configured sample count (bounded by [`MAX_SAMPLE_TIME`]).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, and a correctness check run
+        let budget = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut count = 0u32;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            count += 1;
+            if budget.elapsed() > MAX_SAMPLE_TIME {
+                break;
+            }
+        }
+        self.result = Some((total / count.max(1), min));
+    }
+}
+
+fn run_one(group: Option<&str>, id: &BenchmarkId, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+    match b.result {
+        Some((mean, min)) => println!("bench {label:<50} mean {mean:>12?}  min {min:>12?}"),
+        None => println!("bench {label:<50} (no iter() call)"),
+    }
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(None, &id.into_benchmark_id(), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API parity; the
+    /// stub keeps its own [`MAX_SAMPLE_TIME`] cap).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id.into_benchmark_id(),
+            self.sample_size,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id.into_benchmark_id(),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring
+/// `criterion::criterion_main!`. Ignores harness CLI flags
+/// (`--bench`, filters) that `cargo bench` forwards.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for `crossbeam-channel` (0.5 API subset), backed by
+//! `std::sync::mpsc`.
+//!
+//! Implements the surface the runtime crate uses: [`bounded`] /
+//! [`unbounded`] constructors, a cloneable [`Sender`], and blocking
+//! [`Receiver::recv`]. (`select!` and cloneable receivers are not
+//! provided.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when the receiver is gone; owns
+/// the unsent message.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like crossbeam: `Debug` regardless of `T`, eliding the message.
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// All senders are gone and the buffer is drained.
+    Disconnected,
+}
+
+enum Tx<T> {
+    Bounded(mpsc::SyncSender<T>),
+    Unbounded(mpsc::Sender<T>),
+}
+
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+        }
+    }
+}
+
+/// The sending half of a channel. Cloneable, like crossbeam's.
+pub struct Sender<T>(Tx<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking while a bounded channel is full. Fails only
+    /// when the receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            Tx::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            Tx::Unbounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives, or fails once every sender is
+    /// dropped and the buffer is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|mpsc::RecvError| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// A blocking iterator over received messages, ending when the
+    /// channel disconnects.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.0.iter()
+    }
+}
+
+/// Creates a channel holding at most `cap` in-flight messages
+/// (`cap = 0` is a rendezvous channel, as in crossbeam).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(Tx::Bounded(tx)), Receiver(rx))
+}
+
+/// Creates a channel with an unbounded buffer.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(Tx::Unbounded(tx)), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bounded_round_trip_across_threads() {
+        let (tx, rx) = bounded::<u32>(2);
+        let tx2 = tx.clone();
+        let h = thread::spawn(move || {
+            for i in 0..10 {
+                tx2.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+}

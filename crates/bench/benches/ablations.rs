@@ -41,12 +41,9 @@ fn bench(c: &mut Criterion) {
     });
 
     let run_fig5 = |factory: &AgreementFactory<bool>| {
-        let mut sim = Simulation::builder(
-            psync_cfg(4, 4, 1),
-            IdAssignment::unique(4),
-            vec![true; 4],
-        )
-        .build_with(factory);
+        let mut sim =
+            Simulation::builder(psync_cfg(4, 4, 1), IdAssignment::unique(4), vec![true; 4])
+                .build_with(factory);
         let report = sim.run(factory.round_bound() + 24);
         assert!(report.verdict.all_hold());
         report.messages_sent

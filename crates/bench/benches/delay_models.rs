@@ -15,35 +15,47 @@ fn bench(c: &mut Criterion) {
 
     // Baseline: the basic lossy-round model at matched stabilization.
     for gst in [0u64, 16] {
-        group.bench_with_input(BenchmarkId::new("basic_rounds_gst", gst), &gst, |b, &gst| {
-            b.iter(|| {
-                let report = run_fig5(4, 4, 1, gst, 3);
-                assert!(report.verdict.all_hold());
-                report.rounds
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("basic_rounds_gst", gst),
+            &gst,
+            |b, &gst| {
+                b.iter(|| {
+                    let report = run_fig5(4, 4, 1, gst, 3);
+                    assert!(report.verdict.all_hold());
+                    report.rounds
+                })
+            },
+        );
     }
 
     // Known-bound model: chaos until the calm tick, then delays ≤ Δ = 2.
     for calm in [0u64, 32] {
-        group.bench_with_input(BenchmarkId::new("known_bound_calm", calm), &calm, |b, &calm| {
-            b.iter(|| {
-                let report = run_fig5_known_bound(4, 4, 1, 2, calm, 3);
-                assert!(report.verdict.all_hold());
-                report.rounds
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("known_bound_calm", calm),
+            &calm,
+            |b, &calm| {
+                b.iter(|| {
+                    let report = run_fig5_known_bound(4, 4, 1, 2, calm, 3);
+                    assert!(report.verdict.all_hold());
+                    report.rounds
+                })
+            },
+        );
     }
 
     // Unknown-bound model: delays ≤ Δ from the start, doubling pacing.
     for delta in [2u64, 6] {
-        group.bench_with_input(BenchmarkId::new("unknown_bound_delta", delta), &delta, |b, &delta| {
-            b.iter(|| {
-                let report = run_fig5_unknown_bound(4, 4, 1, delta, 3);
-                assert!(report.verdict.all_hold());
-                report.rounds
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("unknown_bound_delta", delta),
+            &delta,
+            |b, &delta| {
+                b.iter(|| {
+                    let report = run_fig5_unknown_bound(4, 4, 1, delta, 3);
+                    assert!(report.verdict.all_hold());
+                    report.rounds
+                })
+            },
+        );
     }
 
     group.finish();

@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use homonym_bench::run_fig5;
-use homonym_psync::classic_dls_factory;
 use homonym_core::Domain;
+use homonym_psync::classic_dls_factory;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("dls_baseline");
@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
     // The classical baseline: ℓ = n = 8, t = 1 — quorums are the familiar
     // n − t; confirm the factory alias agrees with the generic one.
     let classic = classic_dls_factory(8, 1, Domain::binary());
-    assert_eq!(classic.round_bound(), homonym_bench::fig5_factory(8, 8, 1).round_bound());
+    assert_eq!(
+        classic.round_bound(),
+        homonym_bench::fig5_factory(8, 8, 1).round_bound()
+    );
 
     group.bench_function("classic_dls_n8", |b| {
         b.iter(|| {

@@ -13,8 +13,12 @@ fn run_raw_eig(ell: usize, t: usize) -> u64 {
     let factory = FnFactory::new(move |id, input| {
         UniqueRunner::new(Eig::new(ell, t, domain.clone()), id, input)
     });
-    let mut sim = Simulation::builder(sync_cfg(ell, ell, t), IdAssignment::unique(ell), vec![true; ell])
-        .build_with(&factory);
+    let mut sim = Simulation::builder(
+        sync_cfg(ell, ell, t),
+        IdAssignment::unique(ell),
+        vec![true; ell],
+    )
+    .build_with(&factory);
     let report = sim.run(16);
     assert!(report.verdict.all_hold());
     report.rounds

@@ -17,10 +17,10 @@
 
 use std::collections::BTreeSet;
 
-use homonym_bench::{fig5_factory, fig7_factory, psync_cfg, restricted_cfg, sync_cfg, t_eig_factory};
-use homonym_core::{
-    Domain, IdAssignment, Pid, ProtocolFactory, Round, SystemConfig,
+use homonym_bench::{
+    fig5_factory, fig7_factory, psync_cfg, restricted_cfg, sync_cfg, t_eig_factory,
 };
+use homonym_core::{Domain, IdAssignment, Pid, ProtocolFactory, Round, SystemConfig};
 use homonym_sim::adversary::{
     Adversary, CloneSpammer, Compose, CrashAt, Equivocator, Flooder, Mimic, ReplayFuzzer, Silent,
     StaleReplayer,
@@ -83,7 +83,10 @@ where
                     Mimic::new(factory, assignment, &byz_inputs),
                 )),
             ),
-            2 => ("mimic", Box::new(Mimic::new(factory, assignment, &byz_inputs))),
+            2 => (
+                "mimic",
+                Box::new(Mimic::new(factory, assignment, &byz_inputs)),
+            ),
             3 => (
                 "equivocator",
                 Box::new(Equivocator::new(
@@ -99,7 +102,10 @@ where
                 "clone-spammer",
                 Box::new(CloneSpammer::new(factory, assignment, byz, &[false, true])),
             ),
-            5 => ("replay-fuzzer", Box::new(ReplayFuzzer::new(rng.gen(), rng.gen_range(1..4)))),
+            5 => (
+                "replay-fuzzer",
+                Box::new(ReplayFuzzer::new(rng.gen(), rng.gen_range(1..4))),
+            ),
             6 => (
                 "stale-replayer",
                 Box::new(StaleReplayer::new(rng.gen_range(1..4), rng.gen_range(1..5))),
@@ -204,13 +210,21 @@ pub fn campaign(iters: u64, base_seed: u64, verbose: bool) -> (u64, u64, u64) {
             let n = ell + rng.gen_range(0..=3usize);
             let factory = t_eig_factory(ell, t);
             let slack = factory.round_bound() + 9;
-            let (decided, msgs) =
-                run_draw("sync/T(EIG)", seed ^ 0xA, sync_cfg(n, ell, t), &factory, slack);
+            let (decided, msgs) = run_draw(
+                "sync/T(EIG)",
+                seed ^ 0xA,
+                sync_cfg(n, ell, t),
+                &factory,
+                slack,
+            );
             runs += 1;
             worst = worst.max(decided.unwrap_or(0));
             messages += msgs;
             if verbose {
-                println!("sync    seed={:016x} n={n} ell={ell} t={t} decided={decided:?}", seed ^ 0xA);
+                println!(
+                    "sync    seed={:016x} n={n} ell={ell} t={t} decided={decided:?}",
+                    seed ^ 0xA
+                );
             }
         }
 
@@ -223,13 +237,21 @@ pub fn campaign(iters: u64, base_seed: u64, verbose: bool) -> (u64, u64, u64) {
             let n = rng.gen_range(ell..=n_hi);
             let factory = fig5_factory(n, ell, t);
             let slack = factory.round_bound() + 24;
-            let (decided, msgs) =
-                run_draw("psync/Fig5", seed ^ 0xB, psync_cfg(n, ell, t), &factory, slack);
+            let (decided, msgs) = run_draw(
+                "psync/Fig5",
+                seed ^ 0xB,
+                psync_cfg(n, ell, t),
+                &factory,
+                slack,
+            );
             runs += 1;
             worst = worst.max(decided.unwrap_or(0));
             messages += msgs;
             if verbose {
-                println!("psync   seed={:016x} n={n} ell={ell} t={t} decided={decided:?}", seed ^ 0xB);
+                println!(
+                    "psync   seed={:016x} n={n} ell={ell} t={t} decided={decided:?}",
+                    seed ^ 0xB
+                );
             }
         }
 
@@ -252,7 +274,10 @@ pub fn campaign(iters: u64, base_seed: u64, verbose: bool) -> (u64, u64, u64) {
             worst = worst.max(decided.unwrap_or(0));
             messages += msgs;
             if verbose {
-                println!("restr   seed={:016x} n={n} ell={ell} t={t} decided={decided:?}", seed ^ 0xC);
+                println!(
+                    "restr   seed={:016x} n={n} ell={ell} t={t} decided={decided:?}",
+                    seed ^ 0xC
+                );
             }
         }
     }

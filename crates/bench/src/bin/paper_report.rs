@@ -22,7 +22,9 @@ use homonym_bench::{
     run_fig5_known_bound, run_fig5_unknown_bound, run_fig7, run_t_eig_clean, suite_fig5,
     suite_fig7, suite_t_eig, sync_cfg,
 };
-use homonym_core::{bounds, ByzPower, Counting, Domain, IdAssignment, Pid, Synchrony, SystemConfig};
+use homonym_core::{
+    bounds, ByzPower, Counting, Domain, IdAssignment, Pid, Synchrony, SystemConfig,
+};
 
 use homonym_lowerbounds::{clones, fig1, fig4, search};
 use homonym_psync::RestrictedFactory;
@@ -41,7 +43,10 @@ fn empirical_suite(result: &homonym_sim::harness::SuiteResult<bool>) -> String {
         )
     } else {
         let failure = &result.failures()[0];
-        format!("VIOLATION in '{}': {}", failure.name, failure.report.verdict)
+        format!(
+            "VIOLATION in '{}': {}",
+            failure.name, failure.report.verdict
+        )
     }
 }
 
@@ -49,7 +54,13 @@ fn table1() {
     section("Table 1 — solvability characterization (predicted vs. empirical)");
 
     println!("-- synchronous, unrestricted (bound: ell > 3t) --");
-    for (n, ell, t) in [(4usize, 3usize, 1usize), (4, 4, 1), (7, 4, 1), (8, 6, 2), (8, 7, 2)] {
+    for (n, ell, t) in [
+        (4usize, 3usize, 1usize),
+        (4, 4, 1),
+        (7, 4, 1),
+        (8, 6, 2),
+        (8, 7, 2),
+    ] {
         let cfg = sync_cfg(n, ell, t);
         let empirical = if bounds::solvable(&cfg) {
             empirical_suite(&suite_t_eig(n, ell, t, 2026))
@@ -74,7 +85,13 @@ fn table1() {
     }
 
     println!("-- partially synchronous, unrestricted (bound: 2*ell > n + 3t) --");
-    for (n, ell, t) in [(4usize, 4usize, 1usize), (5, 4, 1), (5, 5, 1), (7, 5, 1), (7, 6, 1)] {
+    for (n, ell, t) in [
+        (4usize, 4usize, 1usize),
+        (5, 4, 1),
+        (5, 5, 1),
+        (7, 5, 1),
+        (7, 6, 1),
+    ] {
         let cfg = psync_cfg(n, ell, t);
         let empirical = if bounds::solvable(&cfg) {
             empirical_suite(&suite_fig5(n, ell, t, 10, 77))
@@ -276,7 +293,10 @@ fn lemma21() {
     for (persona, outcome) in &report.outcomes {
         println!("byzantine persona input {persona}: correct processes decide {outcome:?}");
     }
-    println!("multivalent (adversary controls the outcome): {}", report.multivalent());
+    println!(
+        "multivalent (adversary controls the outcome): {}",
+        report.multivalent()
+    );
 
     let result = search::exhaustive_search(
         &fig7_factory(4, 2, 1),
@@ -303,14 +323,18 @@ group-mate's state"
     use homonym_psync::AgreementFactory;
     use homonym_sim::Simulation;
     for (name, factory) in [
-        ("with votes   ", AgreementFactory::new(4, 4, 1, Domain::binary())),
+        (
+            "with votes   ",
+            AgreementFactory::new(4, 4, 1, Domain::binary()),
+        ),
         (
             "without votes",
             AgreementFactory::ablated_without_votes(4, 4, 1, Domain::binary()),
         ),
     ] {
-        let mut sim = Simulation::builder(psync_cfg(4, 4, 1), IdAssignment::unique(4), vec![true; 4])
-            .build_with(&factory);
+        let mut sim =
+            Simulation::builder(psync_cfg(4, 4, 1), IdAssignment::unique(4), vec![true; 4])
+                .build_with(&factory);
         let report = sim.run(factory.round_bound() + 24);
         println!(
             "  Figure 5 {name}: decided {:?}, {} messages (clean run; the ablated variant \
@@ -391,7 +415,11 @@ fn restriction_boundary() {
         .byz_power(ByzPower::Unrestricted)
         .build()
         .expect("valid parameters");
-    let outcome = fig4::run(&RestrictedFactory::new(5, 4, 1, Domain::binary()), cfg, 8 * 16);
+    let outcome = fig4::run(
+        &RestrictedFactory::new(5, 4, 1, Domain::binary()),
+        cfg,
+        8 * 16,
+    );
     println!(
         "unrestricted, n=5 ell=4 t=1: Figure 4 partition -> violation exhibited = {}",
         outcome.violation_exhibited()
@@ -402,14 +430,18 @@ fn complexity_study() {
     section("Complexity study — rounds & messages across the families (E18)");
     println!("(the paper's conclusion: \"complexity is yet to be explored\")");
     println!("\nscaling in n, fixed (ell, t) — messages grow ~ n², rounds stay flat:");
-    println!("{:>14} | {:>6} | {:>16} | {:>9}", "protocol", "n", "rounds-to-decide", "messages");
+    println!(
+        "{:>14} | {:>6} | {:>16} | {:>9}",
+        "protocol", "n", "rounds-to-decide", "messages"
+    );
     for n in [4usize, 6, 8, 10] {
         let r = run_t_eig_clean(n, 4, 1);
         println!(
             "{:>14} | {:>6} | {:>16} | {:>9}",
             "T(EIG) l=4",
             n,
-            r.all_decided_round.map_or("-".into(), |x| x.index().to_string()),
+            r.all_decided_round
+                .map_or("-".into(), |x| x.index().to_string()),
             r.messages_sent
         );
     }
@@ -420,7 +452,8 @@ fn complexity_study() {
             "{:>14} | {:>6} | {:>16} | {:>9}",
             format!("Fig5 l={}", ell.min(n)),
             n,
-            r.all_decided_round.map_or("-".into(), |x| x.index().to_string()),
+            r.all_decided_round
+                .map_or("-".into(), |x| x.index().to_string()),
             r.messages_sent
         );
     }
@@ -430,7 +463,8 @@ fn complexity_study() {
             "{:>14} | {:>6} | {:>16} | {:>9}",
             "Fig7 l=2",
             n,
-            r.all_decided_round.map_or("-".into(), |x| x.index().to_string()),
+            r.all_decided_round
+                .map_or("-".into(), |x| x.index().to_string()),
             r.messages_sent
         );
     }

@@ -34,7 +34,9 @@ pub fn fig7_factory(n: usize, ell: usize, t: usize) -> RestrictedFactory<bool> {
 
 /// A synchronous configuration.
 pub fn sync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
-    SystemConfig::builder(n, ell, t).build().expect("valid parameters")
+    SystemConfig::builder(n, ell, t)
+        .build()
+        .expect("valid parameters")
 }
 
 /// A partially synchronous configuration.
@@ -60,8 +62,8 @@ pub fn restricted_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
 pub fn run_t_eig_clean(n: usize, ell: usize, t: usize) -> RunReport<bool> {
     let factory = t_eig_factory(ell, t);
     let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
-    let mut sim = Simulation::builder(sync_cfg(n, ell, t), assignment, vec![true; n])
-        .build_with(&factory);
+    let mut sim =
+        Simulation::builder(sync_cfg(n, ell, t), assignment, vec![true; n]).build_with(&factory);
     sim.run(factory.round_bound() + 9)
 }
 
@@ -194,7 +196,11 @@ pub fn cell_line(cfg: &SystemConfig, empirical: &str) -> String {
         cfg.n,
         cfg.ell,
         cfg.t,
-        if bounds::solvable(cfg) { "solvable" } else { "unsolvable" },
+        if bounds::solvable(cfg) {
+            "solvable"
+        } else {
+            "unsolvable"
+        },
         empirical
     )
 }

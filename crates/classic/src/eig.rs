@@ -74,7 +74,10 @@ impl<V: Value> Eig<V> {
     /// experiments that *want* an unsound configuration construct it via
     /// [`Eig::new_unchecked`].)
     pub fn new(ell: usize, t: usize, domain: Domain<V>) -> Self {
-        assert!(ell > 3 * t, "EIG requires ell > 3t (got ell = {ell}, t = {t})");
+        assert!(
+            ell > 3 * t,
+            "EIG requires ell > 3t (got ell = {ell}, t = {t})"
+        );
         Self::new_unchecked(ell, t, domain)
     }
 
@@ -105,7 +108,10 @@ impl<V: Value> Eig<V> {
 
     /// `val(σ)`, defaulting for unrecorded paths.
     fn val(&self, s: &EigState<V>, path: &Path) -> V {
-        s.tree.get(path).cloned().unwrap_or_else(|| self.default_value())
+        s.tree
+            .get(path)
+            .cloned()
+            .unwrap_or_else(|| self.default_value())
     }
 
     /// Recursive resolve: leaf value at level `t + 1`, strict majority of
@@ -266,7 +272,9 @@ mod tests {
 
     #[test]
     fn mixed_inputs_still_agree() {
-        let decisions = run_eig(4, 1, &[true, false, true, false], &[], |_, _, _| BTreeMap::new());
+        let decisions = run_eig(4, 1, &[true, false, true, false], &[], |_, _, _| {
+            BTreeMap::new()
+        });
         let first = decisions[0];
         assert!(first.is_some());
         for d in decisions {
@@ -277,7 +285,9 @@ mod tests {
     #[test]
     fn silent_byzantine_tolerated() {
         let byz = [Id::new(3)];
-        let decisions = run_eig(4, 1, &[true, true, true, true], &byz, |_, _, _| BTreeMap::new());
+        let decisions = run_eig(4, 1, &[true, true, true, true], &byz, |_, _, _| {
+            BTreeMap::new()
+        });
         for id in Id::all(4) {
             if !byz.contains(&id) {
                 assert_eq!(decisions[id.index()], Some(true));
@@ -412,9 +422,8 @@ mod proptests {
     /// paths over identifiers 1..=6 with random boolean values.
     fn arb_msg() -> impl Strategy<Value = EigMsg<bool>> {
         proptest::collection::btree_map(
-            proptest::collection::vec(1u16..=6, 0..3).prop_map(|raw| {
-                raw.into_iter().map(Id::new).collect::<Vec<Id>>()
-            }),
+            proptest::collection::vec(1u16..=6, 0..3)
+                .prop_map(|raw| raw.into_iter().map(Id::new).collect::<Vec<Id>>()),
             any::<bool>(),
             0..5,
         )

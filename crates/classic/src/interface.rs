@@ -122,7 +122,10 @@ impl<A: SyncBa> Protocol for UniqueRunner<A> {
     }
 
     fn send(&mut self, round: Round) -> Vec<(Recipients, A::Msg)> {
-        vec![(Recipients::All, self.algo.message(&self.state, round.index() + 1))]
+        vec![(
+            Recipients::All,
+            self.algo.message(&self.state, round.index() + 1),
+        )]
     }
 
     fn receive(&mut self, round: Round, inbox: &Inbox<A::Msg>) {
@@ -132,7 +135,9 @@ impl<A: SyncBa> Protocol for UniqueRunner<A> {
                 received.insert(id, msg.clone());
             }
         }
-        self.state = self.algo.transition(&self.state, round.index() + 1, &received);
+        self.state = self
+            .algo
+            .transition(&self.state, round.index() + 1, &received);
         if self.decision.is_none() {
             self.decision = self.algo.decide(&self.state);
         }

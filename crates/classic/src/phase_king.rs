@@ -71,7 +71,10 @@ impl<V: Value> PhaseKing<V> {
     /// [`PhaseKing::new_unchecked`] to build deliberately unsound instances
     /// for lower-bound experiments.
     pub fn new(ell: usize, t: usize, domain: Domain<V>) -> Self {
-        assert!(ell > 4 * t, "phase-king requires ell > 4t (got ell = {ell}, t = {t})");
+        assert!(
+            ell > 4 * t,
+            "phase-king requires ell > 4t (got ell = {ell}, t = {t})"
+        );
         Self::new_unchecked(ell, t, domain)
     }
 
@@ -91,7 +94,7 @@ impl<V: Value> PhaseKing<V> {
 
     /// Phase number (1-based) of a 1-based round.
     fn phase(ba_round: u64) -> u64 {
-        (ba_round + 1) / 2
+        ba_round.div_ceil(2)
     }
 
     fn is_exchange_round(ba_round: u64) -> bool {
@@ -136,10 +139,7 @@ impl<V: Value> SyncBa for PhaseKing<V> {
         if Self::is_exchange_round(ba_round) {
             PhaseKingMsg::Pref(s.pref.clone())
         } else if s.id == Self::king(phase) {
-            let (maj, _) = s
-                .maj
-                .clone()
-                .unwrap_or_else(|| (self.default_value(), 0));
+            let (maj, _) = s.maj.clone().unwrap_or_else(|| (self.default_value(), 0));
             PhaseKingMsg::King(maj)
         } else {
             // Non-kings still send something so every identifier emits one
@@ -181,10 +181,7 @@ impl<V: Value> SyncBa for PhaseKing<V> {
                 Some(PhaseKingMsg::King(v)) if self.domain.contains(v) => v.clone(),
                 _ => self.default_value(),
             };
-            let (maj, mult) = next
-                .maj
-                .take()
-                .unwrap_or_else(|| (self.default_value(), 0));
+            let (maj, mult) = next.maj.take().unwrap_or_else(|| (self.default_value(), 0));
             next.pref = if 2 * mult > self.ell + 2 * self.t {
                 maj
             } else {
@@ -256,7 +253,8 @@ mod tests {
 
     #[test]
     fn mixed_inputs_agree() {
-        let decisions = run_phase_king(5, 1, &[true, false, true, false, true], &[], |_, _, _| None);
+        let decisions =
+            run_phase_king(5, 1, &[true, false, true, false, true], &[], |_, _, _| None);
         assert!(decisions[0].is_some());
         assert!(decisions.iter().all(|d| *d == decisions[0]));
     }

@@ -179,10 +179,21 @@ mod tests {
         use Counting::*;
         for t in 1..4usize {
             let n = 4 * t + 1;
-            for (counting, byz) in [(Innumerate, Unrestricted), (Numerate, Unrestricted), (Innumerate, Restricted)] {
+            for (counting, byz) in [
+                (Innumerate, Unrestricted),
+                (Numerate, Unrestricted),
+                (Innumerate, Restricted),
+            ] {
                 let c = cfg(n, 3 * t, t, Synchrony::Synchronous, counting, byz);
                 assert!(!solvable(&c), "ℓ = 3t must be unsolvable: {c:?}");
-                let c = cfg(n, (3 * t + 1).min(n), t, Synchrony::Synchronous, counting, byz);
+                let c = cfg(
+                    n,
+                    (3 * t + 1).min(n),
+                    t,
+                    Synchrony::Synchronous,
+                    counting,
+                    byz,
+                );
                 assert!(solvable(&c), "ℓ = 3t+1 must be solvable: {c:?}");
             }
         }
@@ -226,7 +237,14 @@ mod tests {
                 let n = 3 * t + 1;
                 let c = cfg(n, t, t, synchrony, Counting::Numerate, ByzPower::Restricted);
                 assert!(!solvable(&c));
-                let c = cfg(n, t + 1, t, synchrony, Counting::Numerate, ByzPower::Restricted);
+                let c = cfg(
+                    n,
+                    t + 1,
+                    t,
+                    synchrony,
+                    Counting::Numerate,
+                    ByzPower::Restricted,
+                );
                 assert!(solvable(&c));
             }
         }
@@ -239,14 +257,28 @@ mod tests {
             (Synchrony::Synchronous, Condition::EllGt3T),
             (Synchrony::PartiallySynchronous, Condition::TwoEllGtNPlus3T),
         ] {
-            let c = cfg(7, 5, 1, synchrony, Counting::Innumerate, ByzPower::Restricted);
+            let c = cfg(
+                7,
+                5,
+                1,
+                synchrony,
+                Counting::Innumerate,
+                ByzPower::Restricted,
+            );
             assert_eq!(condition(&c), want);
         }
     }
 
     #[test]
     fn n_at_most_3t_is_never_solvable() {
-        let c = cfg(3, 3, 1, Synchrony::Synchronous, Counting::Numerate, ByzPower::Unrestricted);
+        let c = cfg(
+            3,
+            3,
+            1,
+            Synchrony::Synchronous,
+            Counting::Numerate,
+            ByzPower::Unrestricted,
+        );
         assert!(!solvable(&c));
         assert_eq!(min_solvable_ell(&c), None);
     }
@@ -264,7 +296,10 @@ mod tests {
                         let at = SystemConfig { ell: min, ..probe };
                         assert!(solvable(&at));
                         if min > 1 {
-                            let below = SystemConfig { ell: min - 1, ..probe };
+                            let below = SystemConfig {
+                                ell: min - 1,
+                                ..probe
+                            };
                             assert!(!solvable(&below));
                         }
                     }
@@ -280,11 +315,7 @@ mod tests {
             for n in (3 * t + 1)..(3 * t + 10) {
                 for ell in t.max(1)..=n {
                     let cond = Condition::TwoEllGtNPlus3T.holds(n, ell, t);
-                    assert_eq!(
-                        lemma7_holds(n, ell, t),
-                        cond,
-                        "n={n} ell={ell} t={t}"
-                    );
+                    assert_eq!(lemma7_holds(n, ell, t), cond, "n={n} ell={ell} t={t}");
                 }
             }
         }

@@ -108,10 +108,16 @@ impl SystemConfig {
             return Err(ConfigError::TooFewProcesses { n: self.n });
         }
         if self.ell == 0 || self.ell > self.n {
-            return Err(ConfigError::BadEll { ell: self.ell, n: self.n });
+            return Err(ConfigError::BadEll {
+                ell: self.ell,
+                n: self.n,
+            });
         }
         if self.t >= self.n {
-            return Err(ConfigError::TooManyFaults { t: self.t, n: self.n });
+            return Err(ConfigError::TooManyFaults {
+                t: self.t,
+                n: self.n,
+            });
         }
         Ok(())
     }

@@ -36,7 +36,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "system needs at least 2 processes, got n = {n}")
             }
             ConfigError::BadEll { ell, n } => {
-                write!(f, "identifier count must satisfy 1 <= ell <= n, got ell = {ell}, n = {n}")
+                write!(
+                    f,
+                    "identifier count must satisfy 1 <= ell <= n, got ell = {ell}, n = {n}"
+                )
             }
             ConfigError::TooManyFaults { t, n } => {
                 write!(f, "fault bound must satisfy t < n, got t = {t}, n = {n}")
@@ -79,7 +82,10 @@ impl fmt::Display for AssignmentError {
         match self {
             AssignmentError::Empty => write!(f, "assignment must cover at least one process"),
             AssignmentError::BadEll { ell, n } => {
-                write!(f, "identifier count must satisfy 1 <= ell <= n, got ell = {ell}, n = {n}")
+                write!(
+                    f,
+                    "identifier count must satisfy 1 <= ell <= n, got ell = {ell}, n = {n}"
+                )
             }
             AssignmentError::IdOutOfRange { id, ell } => {
                 write!(f, "identifier {id} out of range 1..={ell}")

@@ -385,7 +385,9 @@ mod tests {
     #[test]
     fn phase_leader_rotates_through_all_ids() {
         let ell = 5;
-        let leaders: Vec<Id> = (0..ell as u64).map(|ph| Id::phase_leader(ph, ell)).collect();
+        let leaders: Vec<Id> = (0..ell as u64)
+            .map(|ph| Id::phase_leader(ph, ell))
+            .collect();
         assert_eq!(leaders, Id::all(ell).collect::<Vec<_>>());
         // And wraps around.
         assert_eq!(Id::phase_leader(ell as u64, ell), Id::new(1));
@@ -418,7 +420,10 @@ mod tests {
         for i in 2..=4 {
             assert_eq!(a.group(Id::new(i)).len(), 1);
         }
-        assert_eq!(a.sole_identifiers(), vec![Id::new(2), Id::new(3), Id::new(4)]);
+        assert_eq!(
+            a.sole_identifiers(),
+            vec![Id::new(2), Id::new(3), Id::new(4)]
+        );
     }
 
     #[test]

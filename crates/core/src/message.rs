@@ -152,7 +152,7 @@ impl<M: Message> Inbox<M> {
     {
         self.by_id
             .iter()
-            .filter(move |(_, msgs)| msgs.keys().any(|m| pred(m)))
+            .filter(move |(_, msgs)| msgs.keys().any(&pred))
             .map(|(&id, _)| id)
     }
 
@@ -163,7 +163,10 @@ impl<M: Message> Inbox<M> {
     where
         F: Fn(&M) -> bool,
     {
-        self.iter().filter(|(_, m, _)| pred(m)).map(|(_, _, c)| c).sum()
+        self.iter()
+            .filter(|(_, m, _)| pred(m))
+            .map(|(_, _, c)| c)
+            .sum()
     }
 
     /// Total multiplicity of all messages.
@@ -242,7 +245,12 @@ mod tests {
     #[test]
     fn ids_where_counts_distinct_identifiers_once() {
         let inbox = Inbox::collect(
-            vec![env(1, "echo"), env(1, "echo"), env(2, "echo"), env(3, "other")],
+            vec![
+                env(1, "echo"),
+                env(1, "echo"),
+                env(2, "echo"),
+                env(3, "other"),
+            ],
             Counting::Numerate,
         );
         let supporters: Vec<Id> = inbox.ids_where(|m| m == "echo").collect();

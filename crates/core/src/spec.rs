@@ -295,7 +295,11 @@ mod tests {
         assert!(v.agreement.holds());
         assert!(matches!(
             v.violations()[0],
-            Violation::Validity { proposed: true, decided: false, .. }
+            Violation::Validity {
+                proposed: true,
+                decided: false,
+                ..
+            }
         ));
     }
 
@@ -331,7 +335,11 @@ mod tests {
 
     #[test]
     fn partial_decisions_still_checked_for_agreement() {
-        let o = outcome(&[(0, true), (1, false), (2, true)], &[(0, true, 1), (1, false, 2)], 5);
+        let o = outcome(
+            &[(0, true), (1, false), (2, true)],
+            &[(0, true, 1), (1, false, 2)],
+            5,
+        );
         let v = check(&o);
         assert!(!v.agreement.holds());
         assert!(!v.termination.holds());

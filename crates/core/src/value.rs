@@ -168,7 +168,12 @@ impl<V: Value> ProperSet<V> {
     /// received proper sets, counting **distinct identifiers**: an
     /// identifier supports `v` if any of its messages' proper sets contains
     /// `v`.
-    pub fn update_by_identifiers(&mut self, received: &[(Id, &BTreeSet<V>)], t: usize, domain: &Domain<V>) {
+    pub fn update_by_identifiers(
+        &mut self,
+        received: &[(Id, &BTreeSet<V>)],
+        t: usize,
+        domain: &Domain<V>,
+    ) {
         let reporter_ids: BTreeSet<Id> = received.iter().map(|&(i, _)| i).collect();
         let mut reached = false;
         for v in domain.values() {
@@ -190,7 +195,12 @@ impl<V: Value> ProperSet<V> {
 
     /// Applies the numerate (Figure 7) update rules to one round's received
     /// proper sets, counting **messages with multiplicity**.
-    pub fn update_by_count(&mut self, received: &[(u64, &BTreeSet<V>)], t: usize, domain: &Domain<V>) {
+    pub fn update_by_count(
+        &mut self,
+        received: &[(u64, &BTreeSet<V>)],
+        t: usize,
+        domain: &Domain<V>,
+    ) {
         let total: u64 = received.iter().map(|&(c, _)| c).sum();
         let mut reached = false;
         for v in domain.values() {
@@ -239,7 +249,7 @@ mod tests {
     fn binary_domain() {
         let d = Domain::binary();
         assert!(d.contains(&false) && d.contains(&true));
-        assert_eq!(*d.default_value(), false);
+        assert!(!*d.default_value());
     }
 
     #[test]
@@ -313,7 +323,10 @@ mod tests {
             &domain,
         );
         assert!(p.contains(&false));
-        assert!(!p.contains(&true), "one Byzantine identifier must not smuggle values in");
+        assert!(
+            !p.contains(&true),
+            "one Byzantine identifier must not smuggle values in"
+        );
     }
 
     #[test]

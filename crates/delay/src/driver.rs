@@ -4,10 +4,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use homonym_core::spec::{self, Outcome, Verdict};
+use homonym_core::IdAssignment;
 use homonym_core::{
     ByzPower, Envelope, Inbox, Pid, Protocol, ProtocolFactory, Recipients, Round, SystemConfig,
 };
-use homonym_core::IdAssignment;
 use homonym_sim::adversary::{AdvCtx, Adversary, ByzTarget, Silent};
 
 use crate::model::{DelayModel, Instant};
@@ -124,8 +124,16 @@ impl<P: Protocol> DelayClusterBuilder<P> {
     /// or `ℓ`.
     pub fn build(self) -> DelayCluster<P> {
         self.cfg.validate().expect("invalid system configuration");
-        assert_eq!(self.assignment.n(), self.cfg.n, "assignment covers n processes");
-        assert_eq!(self.assignment.ell(), self.cfg.ell, "assignment uses ell identifiers");
+        assert_eq!(
+            self.assignment.n(),
+            self.cfg.n,
+            "assignment covers n processes"
+        );
+        assert_eq!(
+            self.assignment.ell(),
+            self.cfg.ell,
+            "assignment uses ell identifiers"
+        );
         assert_eq!(self.inputs.len(), self.cfg.n, "one input per process");
         DelayCluster {
             cfg: self.cfg,
@@ -347,10 +355,8 @@ impl<P: Protocol> DelayCluster<P> {
 
             // 4. Close the round: deliver inboxes, record decisions.
             for (&pid, proc_) in procs.iter_mut() {
-                let inbox = Inbox::collect(
-                    buffers.remove(&pid).unwrap_or_default(),
-                    self.cfg.counting,
-                );
+                let inbox =
+                    Inbox::collect(buffers.remove(&pid).unwrap_or_default(), self.cfg.counting);
                 proc_.receive(round, &inbox);
                 if let Some(v) = proc_.decision() {
                     match decisions.get(&pid) {
@@ -358,7 +364,10 @@ impl<P: Protocol> DelayCluster<P> {
                             decisions.insert(pid, (v, round));
                         }
                         Some((prev, _)) => {
-                            assert!(*prev == v, "decision of {pid} changed from {prev:?} to {v:?}");
+                            assert!(
+                                *prev == v,
+                                "decision of {pid} changed from {prev:?} to {v:?}"
+                            );
                         }
                     }
                 }
@@ -468,8 +477,8 @@ mod tests {
     fn instant_fixed1_matches_lockstep_simulator() {
         let factory = flood_factory(3);
         let inputs = vec![9u32, 4, 7, 2];
-        let mut delay = DelayCluster::builder(cfg(4, 4, 1), IdAssignment::unique(4), inputs.clone())
-            .build();
+        let mut delay =
+            DelayCluster::builder(cfg(4, 4, 1), IdAssignment::unique(4), inputs.clone()).build();
         let dr = delay.run(&factory, 10);
 
         let mut sim =
@@ -519,7 +528,7 @@ mod tests {
         let clean = report.clean_from().expect("lateness must cease");
         assert!(clean.index() > 0);
         // All decisions equal the global minimum.
-        for (_, (v, _)) in &report.outcome.decisions {
+        for (v, _) in report.outcome.decisions.values() {
             assert_eq!(*v, 3);
         }
     }
@@ -544,11 +553,10 @@ mod tests {
     #[test]
     fn self_delivery_is_immune_to_delays() {
         let factory = flood_factory(1);
-        let mut delay =
-            DelayCluster::builder(cfg(2, 2, 0), IdAssignment::unique(2), vec![7u32, 9])
-                .model(AlwaysBounded::between(50, 50, 5))
-                .pacing(FixedPacing::new(1))
-                .build();
+        let mut delay = DelayCluster::builder(cfg(2, 2, 0), IdAssignment::unique(2), vec![7u32, 9])
+            .model(AlwaysBounded::between(50, 50, 5))
+            .pacing(FixedPacing::new(1))
+            .build();
         let report = delay.run(&factory, 1);
         // Deciding after one round, each process heard (only) itself.
         let vals: Vec<u32> = report.outcome.decisions.values().map(|&(v, _)| v).collect();
@@ -574,10 +582,9 @@ mod tests {
         config.byz_power = ByzPower::Restricted;
         config.counting = homonym_core::Counting::Numerate;
         let factory = flood_factory(2);
-        let mut delay =
-            DelayCluster::builder(config, IdAssignment::unique(4), vec![5u32, 5, 5, 5])
-                .byzantine([Pid::new(2)], spam)
-                .build();
+        let mut delay = DelayCluster::builder(config, IdAssignment::unique(4), vec![5u32, 5, 5, 5])
+            .byzantine([Pid::new(2)], spam)
+            .build();
         let report = delay.run(&factory, 3);
         // 2 rounds × 3 correct × 3 peers = 18 correct sends, plus exactly
         // one clamped Byzantine copy.
@@ -599,12 +606,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "one input per process")]
     fn wrong_input_count_rejected() {
-        let _ = DelayCluster::<FloodMin>::builder(
-            cfg(3, 3, 0),
-            IdAssignment::unique(3),
-            vec![1u32, 2],
-        )
-        .build();
+        let _ =
+            DelayCluster::<FloodMin>::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![1u32, 2])
+                .build();
     }
 
     #[test]

@@ -324,8 +324,16 @@ mod tests {
     fn targeted_links_stall_until_calm() {
         let mut m = LinkTargeted::new([(Pid::new(0), Pid::new(1))], 100, 2, 50);
         assert_eq!(m.delay(0, Pid::new(0), Pid::new(1)), 100);
-        assert_eq!(m.delay(0, Pid::new(1), Pid::new(0)), 2, "only the directed link stalls");
-        assert_eq!(m.delay(50, Pid::new(0), Pid::new(1)), 2, "calm ends the stall");
+        assert_eq!(
+            m.delay(0, Pid::new(1), Pid::new(0)),
+            2,
+            "only the directed link stalls"
+        );
+        assert_eq!(
+            m.delay(50, Pid::new(0), Pid::new(1)),
+            2,
+            "calm ends the stall"
+        );
     }
 
     #[test]
@@ -333,7 +341,11 @@ mod tests {
         let mut m = LinkTargeted::isolating([Pid::new(2)], 4, 99, 1, 10);
         assert_eq!(m.delay(0, Pid::new(2), Pid::new(0)), 99);
         assert_eq!(m.delay(0, Pid::new(0), Pid::new(2)), 99);
-        assert_eq!(m.delay(0, Pid::new(0), Pid::new(1)), 1, "bystander links unaffected");
+        assert_eq!(
+            m.delay(0, Pid::new(0), Pid::new(1)),
+            1,
+            "bystander links unaffected"
+        );
         assert_eq!(m.delay(10, Pid::new(2), Pid::new(0)), 1);
     }
 

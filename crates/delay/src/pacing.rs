@@ -15,7 +15,9 @@ pub trait RoundPacing: Send {
 
     /// The tick at which `round` begins (the prefix sum of durations).
     fn start_of(&self, round: Round) -> u64 {
-        (0..round.index()).map(|r| self.duration(Round::new(r))).sum()
+        (0..round.index())
+            .map(|r| self.duration(Round::new(r)))
+            .sum()
     }
 
     /// The first round whose duration is at least `delta`, if pacing ever

@@ -9,7 +9,9 @@
 
 use std::collections::BTreeSet;
 
-use homonym_core::{Domain, IdAssignment, Pid, Protocol, ProtocolFactory, Round, SystemConfig, Value};
+use homonym_core::{
+    Domain, IdAssignment, Pid, Protocol, ProtocolFactory, Round, SystemConfig, Value,
+};
 use homonym_sim::adversary::{
     Adversary, CloneSpammer, CrashAt, Equivocator, Flooder, Mimic, ReplayFuzzer, Silent,
     StaleReplayer,
@@ -112,7 +114,10 @@ where
                         Mimic::new(factory, assignment, &byz_inputs),
                     )),
                 ),
-                ("mimic", Box::new(Mimic::new(factory, assignment, &byz_inputs))),
+                (
+                    "mimic",
+                    Box::new(Mimic::new(factory, assignment, &byz_inputs)),
+                ),
                 (
                     "equivocator",
                     Box::new(Equivocator::new(
@@ -126,7 +131,12 @@ where
                 ),
                 (
                     "clone-spammer",
-                    Box::new(CloneSpammer::new(factory, assignment, &byz, domain.values())),
+                    Box::new(CloneSpammer::new(
+                        factory,
+                        assignment,
+                        &byz,
+                        domain.values(),
+                    )),
                 ),
                 (
                     "replay-fuzzer",
@@ -157,9 +167,7 @@ where
                 );
                 let report = cluster.run(factory, horizon);
                 results.push(DelayScenarioResult {
-                    name: format!(
-                        "inputs={input_name} byz={placement_name} adversary={adv_name}"
-                    ),
+                    name: format!("inputs={input_name} byz={placement_name} adversary={adv_name}"),
                     report,
                 });
             }
@@ -219,7 +227,9 @@ mod tests {
 
     #[test]
     fn suite_result_accounting() {
-        let suite: DelaySuiteResult<bool> = DelaySuiteResult { results: Vec::new() };
+        let suite: DelaySuiteResult<bool> = DelaySuiteResult {
+            results: Vec::new(),
+        };
         assert!(suite.all_hold());
         assert!(suite.all_stabilized());
         assert!(suite.failures().is_empty());

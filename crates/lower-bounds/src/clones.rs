@@ -24,8 +24,8 @@
 use std::collections::BTreeSet;
 
 use homonym_core::{
-    Counting, Domain, Id, IdAssignment, Pid, Protocol, ProtocolFactory, Round, SystemConfig,
-    Synchrony,
+    Counting, Domain, Id, IdAssignment, Pid, Protocol, ProtocolFactory, Round, Synchrony,
+    SystemConfig,
 };
 use homonym_psync::RestrictedFactory;
 use homonym_sim::adversary::Mimic;
@@ -96,10 +96,7 @@ where
             .map(|d| d.msg.clone())
             .collect();
         for &clone in &clones[1..] {
-            let other: BTreeSet<_> = trace
-                .sent_by(clone, round)
-                .map(|d| d.msg.clone())
-                .collect();
+            let other: BTreeSet<_> = trace.sent_by(clone, round).map(|d| d.msg.clone()).collect();
             if other != reference {
                 sends_identical = false;
             }

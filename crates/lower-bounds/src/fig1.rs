@@ -105,7 +105,11 @@ impl fmt::Display for ViewVerdict {
             ViewVerdict::TerminationViolated { undecided } => {
                 write!(f, "termination violated ({} undecided)", undecided.len())
             }
-            ViewVerdict::ValidityViolated { who, decided, forced } => write!(
+            ViewVerdict::ValidityViolated {
+                who,
+                decided,
+                forced,
+            } => write!(
                 f,
                 "validity violated ({who} decided {decided} against forced {forced})"
             ),
@@ -157,7 +161,10 @@ impl Fig1Report {
 /// Panics if `t == 0` or `n < 3t` (the construction needs a non-empty
 /// stack and at least `3t` identifiers' worth of processes).
 pub fn build(n: usize, t: usize) -> Fig1System {
-    assert!(t >= 1, "the construction needs at least one Byzantine identifier");
+    assert!(
+        t >= 1,
+        "the construction needs at least one Byzantine identifier"
+    );
     assert!(n >= 3 * t, "need n >= 3t so every identifier is assigned");
     let ell = 3 * t;
     let stack = n - ell + 1;
@@ -375,7 +382,10 @@ mod tests {
         let factory = TransformedFactory::new(algo, t);
         let sys = build(n, t);
         let report = run(&factory, &sys, factory.round_bound() + 6);
-        assert!(report.views_legal, "the construction must be a legal wiring");
+        assert!(
+            report.views_legal,
+            "the construction must be a legal wiring"
+        );
         assert!(
             report.contradiction_exhibited(),
             "some view must violate its claim: {:?}",

@@ -159,11 +159,17 @@ where
     // Step 1 and 2: record α and β.
     let (alpha, r_alpha) = run_reference(factory, cfg, false, (t + 1)..=(2 * t), horizon);
     let Some(r_alpha) = r_alpha else {
-        return Fig4Outcome::ReferenceStalled { which: "alpha", horizon };
+        return Fig4Outcome::ReferenceStalled {
+            which: "alpha",
+            horizon,
+        };
     };
     let (beta, r_beta) = run_reference(factory, cfg, true, (2 * t + 1)..=(3 * t), horizon);
     let Some(r_beta) = r_beta else {
-        return Fig4Outcome::ReferenceStalled { which: "beta", horizon };
+        return Fig4Outcome::ReferenceStalled {
+            which: "beta",
+            horizon,
+        };
     };
     let heal = r_alpha.max(r_beta) + 1;
 
@@ -307,7 +313,9 @@ mod tests {
         let outcome = run(&factory, cfg, 8 * 12);
         assert!(outcome.violation_exhibited(), "{outcome:?}");
         match &outcome {
-            Fig4Outcome::Partitioned { replay_faithful, .. } => {
+            Fig4Outcome::Partitioned {
+                replay_faithful, ..
+            } => {
                 assert!(replay_faithful, "replay must mirror the references");
                 assert!(outcome.split_brain(), "{outcome:?}");
             }

@@ -71,7 +71,11 @@ where
         let mut procs: BTreeMap<Pid, P> = assignment
             .iter()
             .map(|(pid, id)| {
-                let input = if pid == byz { persona } else { &inputs[pid.index()] };
+                let input = if pid == byz {
+                    persona
+                } else {
+                    &inputs[pid.index()]
+                };
                 (pid, factory.spawn(id, input.clone()))
             })
             .collect();
@@ -488,7 +492,7 @@ mod tests {
             &[false, true],
             8 * 4,
         );
-        for (_, outcome) in &report.outcomes {
+        for outcome in report.outcomes.values() {
             assert_eq!(*outcome, Some(true), "{report:?}");
         }
         assert!(!report.multivalent());
@@ -579,7 +583,10 @@ mod tests {
         let side_a: BTreeSet<Pid> = [Pid::new(0)].into();
         let split = split_search(&factory, &assignment, &inputs, byz, &side_a, 3, 500);
         match &split {
-            SplitSearchResult::ViolationFound { schedule, description } => {
+            SplitSearchResult::ViolationFound {
+                schedule,
+                description,
+            } => {
                 assert_eq!(schedule.len(), 1, "one round suffices");
                 let (a, b) = schedule[0];
                 assert_ne!(a, b, "the violation requires two faces");
@@ -623,7 +630,9 @@ mod tests {
             500,
         );
         match result {
-            SearchResult::Exhausted { states_explored, .. } => {
+            SearchResult::Exhausted {
+                states_explored, ..
+            } => {
                 assert!(states_explored > 0);
             }
             SearchResult::ViolationFound { description, .. } => {

@@ -343,13 +343,11 @@ impl<V: Value> Protocol for HomonymAgreement<V> {
                 let values = self.candidate_set();
                 self.bcast.broadcast(Payload::Propose { values, ph });
             }
-            2 => {
+            2 if self.is_leader(ph) => {
                 // Round 1 of superround 2: leaders send ⟨lock vlock, ph⟩.
-                if self.is_leader(ph) {
-                    if let Some(vlock) = self.quorum_supported(ph).into_iter().next() {
-                        self.my_lock.insert(ph, vlock.clone());
-                        directs.insert(Direct::Lock { v: vlock, ph });
-                    }
+                if let Some(vlock) = self.quorum_supported(ph).into_iter().next() {
+                    self.my_lock.insert(ph, vlock.clone());
+                    directs.insert(Direct::Lock { v: vlock, ph });
                 }
             }
             4 if self.vote_superround => {
@@ -448,25 +446,22 @@ impl<V: Value> Protocol for HomonymAgreement<V> {
 
         // Direct items.
         let leader = Id::phase_leader(ph, self.ell);
-        match w {
-            2..=5 => {
-                // Record leader lock messages for this phase (correct
-                // leaders send them in round 2; accept them any time before
-                // the vote is cast).
-                for (src, bundle, _) in inbox.iter() {
-                    if src != leader {
-                        continue;
-                    }
-                    for d in &bundle.directs {
-                        if let Direct::Lock { v, ph: lph } = d {
-                            if *lph == ph && self.domain.contains(v) {
-                                self.leader_locks.entry(ph).or_default().insert(v.clone());
-                            }
+        if (2..=5).contains(&w) {
+            // Record leader lock messages for this phase (correct
+            // leaders send them in round 2; accept them any time before
+            // the vote is cast).
+            for (src, bundle, _) in inbox.iter() {
+                if src != leader {
+                    continue;
+                }
+                for d in &bundle.directs {
+                    if let Direct::Lock { v, ph: lph } = d {
+                        if *lph == ph && self.domain.contains(v) {
+                            self.leader_locks.entry(ph).or_default().insert(v.clone());
                         }
                     }
                 }
             }
-            _ => {}
         }
 
         if w == 6 {
@@ -664,7 +659,10 @@ mod tests {
     fn split_inputs_agree() {
         let decisions = run_clean(4, 4, 1, &[1, 2, 3, 4], &[false, true, false, true], 8 * 6);
         assert!(decisions[0].is_some());
-        assert!(decisions.iter().all(|d| *d == decisions[0]), "{decisions:?}");
+        assert!(
+            decisions.iter().all(|d| *d == decisions[0]),
+            "{decisions:?}"
+        );
     }
 
     #[test]
@@ -690,7 +688,10 @@ mod tests {
             8 * 8,
         );
         assert!(decisions[0].is_some(), "{decisions:?}");
-        assert!(decisions.iter().all(|d| *d == decisions[0]), "{decisions:?}");
+        assert!(
+            decisions.iter().all(|d| *d == decisions[0]),
+            "{decisions:?}"
+        );
     }
 
     #[test]
@@ -725,17 +726,17 @@ mod tests {
         let mut p = proc(4, 4, 1, 1, true);
         p.locks.insert((true, 2));
         // Quorum (ℓ − t = 3) of votes for the SAME value: no release.
-        p.vote_acc.entry(5).or_default().insert(
-            true,
-            [Id::new(1), Id::new(2), Id::new(3)].into(),
-        );
+        p.vote_acc
+            .entry(5)
+            .or_default()
+            .insert(true, [Id::new(1), Id::new(2), Id::new(3)].into());
         p.release_locks();
         assert!(p.locks.contains(&(true, 2)));
         // Quorum for a different value in a later phase: release.
-        p.vote_acc.entry(6).or_default().insert(
-            false,
-            [Id::new(1), Id::new(2), Id::new(3)].into(),
-        );
+        p.vote_acc
+            .entry(6)
+            .or_default()
+            .insert(false, [Id::new(1), Id::new(2), Id::new(3)].into());
         p.release_locks();
         assert!(p.locks.is_empty());
         // An EARLIER phase must not release.
@@ -765,7 +766,10 @@ mod tests {
     /// single leader lock for `lock_value`.
     fn feed_phase0_with_leader_lock(p: &mut HomonymAgreement<bool>, lock_value: bool) {
         let both: BTreeSet<bool> = [false, true].into();
-        let payload = Payload::Propose { values: both.clone(), ph: 0 };
+        let payload = Payload::Propose {
+            values: both.clone(),
+            ph: 0,
+        };
 
         // Round 0: every identifier inits ⟨propose {0,1}, 0⟩.
         let _ = p.send(Round::new(0));
@@ -814,7 +818,10 @@ mod tests {
             msg: Bundle {
                 inits: BTreeSet::new(),
                 echoes: BTreeSet::new(),
-                directs: BTreeSet::from([Direct::Lock { v: lock_value, ph: 0 }]),
+                directs: BTreeSet::from([Direct::Lock {
+                    v: lock_value,
+                    ph: 0,
+                }]),
                 proper: both.clone(),
             },
         };
@@ -879,12 +886,15 @@ mod tests {
     fn ablated_protocol_decides_on_clean_runs() {
         let decisions = {
             let factory = AgreementFactory::ablated_without_votes(4, 4, 1, Domain::binary());
-            let mut procs: Vec<HomonymAgreement<bool>> =
-                (1..=4u16).map(|i| factory.spawn(Id::new(i), true)).collect();
+            let mut procs: Vec<HomonymAgreement<bool>> = (1..=4u16)
+                .map(|i| factory.spawn(Id::new(i), true))
+                .collect();
             for r in 0..8 * 4 {
                 let round = Round::new(r);
-                let outs: Vec<Bundle<bool>> =
-                    procs.iter_mut().map(|p| p.send(round).remove(0).1).collect();
+                let outs: Vec<Bundle<bool>> = procs
+                    .iter_mut()
+                    .map(|p| p.send(round).remove(0).1)
+                    .collect();
                 let envs: Vec<Envelope<Bundle<bool>>> = outs
                     .iter()
                     .enumerate()

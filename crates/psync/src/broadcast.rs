@@ -318,9 +318,8 @@ mod tests {
             src: Id::new(1),
         };
         // ℓ − t = 3 distinct identifiers echo to process 0 only.
-        let echoes: Vec<(Id, EchoItem<&'static str>)> = (2..=4)
-            .map(|i| (Id::new(i), item.clone()))
-            .collect();
+        let echoes: Vec<(Id, EchoItem<&'static str>)> =
+            (2..=4).map(|i| (Id::new(i), item.clone())).collect();
         let refs: Vec<(Id, &EchoItem<&'static str>)> =
             echoes.iter().map(|(i, e)| (*i, e)).collect();
         let accepts = lonely.observe(Round::new(1), &[], &refs);

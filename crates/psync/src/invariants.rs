@@ -57,7 +57,9 @@ pub fn sole_correct_witness(
     a: &BTreeSet<Id>,
     b: &BTreeSet<Id>,
 ) -> Option<Id> {
-    sole_correct_witnesses(assignment, byz, a, b).into_iter().next()
+    sole_correct_witnesses(assignment, byz, a, b)
+        .into_iter()
+        .next()
 }
 
 /// Whether Lemma 7's *premise* holds for these parameters: quorums of
@@ -177,7 +179,12 @@ mod tests {
         let (n, ell, t) = (6usize, 5usize, 1usize);
         assert!(lemma7_applies(n, ell, t));
         let quorums: Vec<BTreeSet<Id>> = (1..=ell as u16)
-            .map(|out| (1..=ell as u16).filter(|&i| i != out).map(Id::new).collect())
+            .map(|out| {
+                (1..=ell as u16)
+                    .filter(|&i| i != out)
+                    .map(Id::new)
+                    .collect()
+            })
             .collect();
         let mut checked = 0u64;
         for assignment in IdAssignment::enumerate_all(ell, n) {
@@ -225,8 +232,14 @@ mod tests {
     fn lock_retention_obligation() {
         let locks: BTreeSet<(bool, u64)> = [(true, 5)].into();
         assert!(retains_acked_lock(&locks, &true, 5));
-        assert!(retains_acked_lock(&locks, &true, 3), "later re-lock satisfies");
+        assert!(
+            retains_acked_lock(&locks, &true, 3),
+            "later re-lock satisfies"
+        );
         assert!(!retains_acked_lock(&locks, &true, 6), "stale lock does not");
-        assert!(!retains_acked_lock(&locks, &false, 5), "wrong value does not");
+        assert!(
+            !retains_acked_lock(&locks, &false, 5),
+            "wrong value does not"
+        );
     }
 }

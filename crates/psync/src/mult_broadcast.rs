@@ -180,13 +180,16 @@ impl<M: Message> MultBroadcast<M> {
         let mut echo_support: BTreeMap<(Id, M, u64), Vec<(u64, u64)>> = BTreeMap::new();
         for (_, part, mult) in &valid {
             for (key, &alpha) in &part.echoes {
-                echo_support.entry(key.clone()).or_default().push((alpha, *mult));
+                echo_support
+                    .entry(key.clone())
+                    .or_default()
+                    .push((alpha, *mult));
             }
         }
         let mut accepts = Vec::new();
         for (key, mut support) in echo_support {
             // Sort by α descending; cumulative multiplicity.
-            support.sort_by(|a, b| b.0.cmp(&a.0));
+            support.sort_by_key(|&(alpha, _)| std::cmp::Reverse(alpha));
             let kth_largest = |threshold: u64| -> Option<u64> {
                 let mut cum = 0u64;
                 for &(alpha, mult) in &support {
@@ -242,7 +245,9 @@ mod tests {
         fn new(n: usize, t: usize, assignment: &[u16]) -> Self {
             let assignment: Vec<Id> = assignment.iter().map(|&i| Id::new(i)).collect();
             Net {
-                procs: (0..n).map(|k| MultBroadcast::new(n, t, assignment[k])).collect(),
+                procs: (0..n)
+                    .map(|k| MultBroadcast::new(n, t, assignment[k]))
+                    .collect(),
                 assignment,
                 round: Round::ZERO,
             }
@@ -250,7 +255,10 @@ mod tests {
 
         /// One round with full delivery; `forged` are extra (id, part)
         /// pairs injected by the adversary, each of multiplicity 1.
-        fn step(&mut self, forged: &[(Id, MultPart<&'static str>)]) -> Vec<Vec<MultAccept<&'static str>>> {
+        fn step(
+            &mut self,
+            forged: &[(Id, MultPart<&'static str>)],
+        ) -> Vec<Vec<MultAccept<&'static str>>> {
             let r = self.round;
             let parts: Vec<MultPart<&'static str>> =
                 self.procs.iter_mut().map(|p| p.part_to_send(r)).collect();
@@ -258,7 +266,9 @@ mod tests {
             // exactly what a numerate inbox does.
             let mut multiset: BTreeMap<(Id, MultPart<&'static str>), u64> = BTreeMap::new();
             for (k, part) in parts.iter().enumerate() {
-                *multiset.entry((self.assignment[k], part.clone())).or_insert(0) += 1;
+                *multiset
+                    .entry((self.assignment[k], part.clone()))
+                    .or_insert(0) += 1;
             }
             for (id, part) in forged {
                 *multiset.entry((*id, part.clone())).or_insert(0) += 1;

@@ -17,7 +17,15 @@ use crate::mult_broadcast::{MultBroadcast, MultPart};
 /// The first `ell` processes take identifiers `1..=ell` (covering every
 /// identifier); the tail is assigned randomly.
 fn lemma7_params() -> impl Strategy<
-    Value = (usize, usize, usize, Vec<u16>, Vec<usize>, Vec<u16>, Vec<u16>),
+    Value = (
+        usize,
+        usize,
+        usize,
+        Vec<u16>,
+        Vec<usize>,
+        Vec<u16>,
+        Vec<u16>,
+    ),
 > {
     (1usize..=2)
         .prop_flat_map(|t| {
@@ -284,7 +292,9 @@ impl LossyMultNet {
                 if j != k && self.drops.contains(&(self.round, j, k)) {
                     continue;
                 }
-                *multiset.entry((self.assignment[j], part.clone())).or_insert(0) += 1;
+                *multiset
+                    .entry((self.assignment[j], part.clone()))
+                    .or_insert(0) += 1;
             }
             if let Some(part) = &forged {
                 // Byzantine traffic rides out the loss (worst case).

@@ -256,12 +256,10 @@ impl<V: Value> Protocol for RestrictedAgreement<V> {
                     self.bcast.broadcast(RestrictedPayload::Propose(v), 4 * ph);
                 }
             }
-            2 => {
+            2 if self.is_leader(ph) => {
                 // Lines 9–10: leaders lock a witnessed proposal.
-                if self.is_leader(ph) {
-                    if let Some(v) = self.witnessed_proposals(ph).into_iter().next() {
-                        directs.insert(Direct::Lock { v, ph });
-                    }
+                if let Some(v) = self.witnessed_proposals(ph).into_iter().next() {
+                    directs.insert(Direct::Lock { v, ph });
                 }
             }
             4 => {
@@ -502,7 +500,10 @@ mod tests {
     fn split_inputs_agree() {
         let decisions = run_clean(4, 2, 1, &[1, 1, 2, 2], &[false, true, false, true], 8 * 5);
         assert!(decisions[0].is_some(), "{decisions:?}");
-        assert!(decisions.iter().all(|d| *d == decisions[0]), "{decisions:?}");
+        assert!(
+            decisions.iter().all(|d| *d == decisions[0]),
+            "{decisions:?}"
+        );
     }
 
     #[test]

@@ -23,8 +23,8 @@ use std::thread;
 use crossbeam_channel::{bounded, Receiver, Sender};
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
-    ByzPower, Envelope, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Recipients,
-    Round, SystemConfig,
+    ByzPower, Envelope, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Recipients, Round,
+    SystemConfig,
 };
 use homonym_sim::adversary::{AdvCtx, Adversary, ByzTarget, Silent};
 use homonym_sim::{DropPolicy, NoDrops, RunReport};
@@ -256,16 +256,17 @@ where
                     }
                     messages_delivered += 1;
                 }
-                buffers.entry(to).or_default().push(Envelope { src: src_id, msg });
+                buffers
+                    .entry(to)
+                    .or_default()
+                    .push(Envelope { src: src_id, msg });
             }
 
             // 4. Deliver to actors; collect decisions.
             for (&pid, tx) in &to_actors {
-                let inbox = Inbox::collect(
-                    buffers.remove(&pid).unwrap_or_default(),
-                    cfg.counting,
-                );
-                tx.send(ToActor::Deliver(round, inbox)).expect("actor alive");
+                let inbox = Inbox::collect(buffers.remove(&pid).unwrap_or_default(), cfg.counting);
+                tx.send(ToActor::Deliver(round, inbox))
+                    .expect("actor alive");
             }
             for _ in 0..correct.len() {
                 match from_rx.recv().expect("actor alive") {
@@ -339,10 +340,7 @@ mod tests {
     use homonym_classic::{Eig, UniqueRunner};
     use homonym_core::{Domain, FnFactory};
 
-    fn eig_factory(
-        ell: usize,
-        t: usize,
-    ) -> impl ProtocolFactory<P = UniqueRunner<Eig<bool>>> {
+    fn eig_factory(ell: usize, t: usize) -> impl ProtocolFactory<P = UniqueRunner<Eig<bool>>> {
         let domain = Domain::binary();
         FnFactory::new(move |id, input| {
             UniqueRunner::new(Eig::new(ell, t, domain.clone()), id, input)

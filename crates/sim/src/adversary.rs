@@ -339,7 +339,10 @@ impl<P: Protocol> CloneSpammer<P> {
                     let id = assignment.id_of(pid);
                     (
                         pid,
-                        inputs.iter().map(|v| factory.spawn(id, v.clone())).collect(),
+                        inputs
+                            .iter()
+                            .map(|v| factory.spawn(id, v.clone()))
+                            .collect(),
                     )
                 })
                 .collect(),
@@ -539,7 +542,10 @@ impl<M: Message> Adversary<M> for StaleReplayer<M> {
         let Some(source_round) = ctx.round.index().checked_sub(self.delay) else {
             return Vec::new();
         };
-        let msgs = self.heard.remove(&Round::new(source_round)).unwrap_or_default();
+        let msgs = self
+            .heard
+            .remove(&Round::new(source_round))
+            .unwrap_or_default();
         let mut emissions = Vec::new();
         for &from in ctx.byz {
             for msg in msgs.iter().take(self.cap_per_round) {

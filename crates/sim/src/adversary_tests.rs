@@ -8,10 +8,10 @@ use homonym_core::{
     SystemConfig,
 };
 
+use crate::adversary::{Adversary, ByzTarget, Emission};
 use crate::adversary::{
     CloneSpammer, Compose, CrashAt, Equivocator, Mimic, ReplayFuzzer, Scripted, Silent,
 };
-use crate::adversary::{Adversary, ByzTarget, Emission};
 use crate::engine::Simulation;
 use crate::trace::Trace;
 
@@ -182,7 +182,10 @@ fn replay_fuzzer_only_replays_observed_messages() {
         .map(|d| d.msg)
         .collect();
     let byz = byz_deliveries(&trace);
-    assert!(!byz.is_empty(), "the fuzzer should fire once its pool fills");
+    assert!(
+        !byz.is_empty(),
+        "the fuzzer should fire once its pool fills"
+    );
     for d in byz {
         assert!(
             correct_msgs.contains(&d.msg),
@@ -215,12 +218,8 @@ fn scripted_emits_exactly_the_script() {
     let trace = run_with(script, 3);
     let sent = byz_deliveries(&trace);
     assert_eq!(sent.len(), 2);
-    assert!(sent
-        .iter()
-        .any(|d| d.to == Pid::new(0) && d.msg.1 == 999));
-    assert!(sent
-        .iter()
-        .any(|d| d.to == Pid::new(1) && d.msg.1 == 998)); // group(2) = pid 1
+    assert!(sent.iter().any(|d| d.to == Pid::new(0) && d.msg.1 == 999));
+    assert!(sent.iter().any(|d| d.to == Pid::new(1) && d.msg.1 == 998)); // group(2) = pid 1
 }
 
 #[test]
@@ -236,8 +235,7 @@ fn compose_concatenates_strategies() {
             msg: (4u16, 1000u32, 0u64),
         },
     )]);
-    let composed: Compose<(u16, u32, u64)> =
-        Compose::new(vec![Box::new(mimic), Box::new(script)]);
+    let composed: Compose<(u16, u32, u64)> = Compose::new(vec![Box::new(mimic), Box::new(script)]);
     let trace = run_with(composed, 1);
     let sent = byz_deliveries(&trace);
     // Mimic: 3 recipients; script: 3 non-self recipients.

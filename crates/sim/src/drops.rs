@@ -61,7 +61,10 @@ impl RandomUntilGst {
     ///
     /// Panics if `p` is not within `0.0..=1.0`.
     pub fn new(gst: Round, p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0, 1]"
+        );
         RandomUntilGst {
             gst,
             p,
@@ -239,10 +242,7 @@ mod tests {
 
     #[test]
     fn partition_blocks_cross_side_only() {
-        let mut d = PartitionUntil::new(
-            vec![[p(0), p(1)].into(), [p(2)].into()],
-            Round::new(5),
-        );
+        let mut d = PartitionUntil::new(vec![[p(0), p(1)].into(), [p(2)].into()], Round::new(5));
         assert!(d.drops(Round::new(0), p(0), p(2)));
         assert!(d.drops(Round::new(4), p(2), p(1)));
         assert!(!d.drops(Round::new(0), p(0), p(1)));

@@ -4,8 +4,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use homonym_core::spec::{self, Outcome, Verdict};
 use homonym_core::{
-    ByzPower, Envelope, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Recipients,
-    Round, SystemConfig,
+    ByzPower, Envelope, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Recipients, Round,
+    SystemConfig,
 };
 
 use crate::adversary::{AdvCtx, Adversary, ByzTarget, Silent};
@@ -106,8 +106,16 @@ impl<P: Protocol> SimulationBuilder<P> {
         F: ProtocolFactory<P = P>,
     {
         self.cfg.validate().expect("invalid system configuration");
-        assert_eq!(self.assignment.n(), self.cfg.n, "assignment covers n processes");
-        assert_eq!(self.assignment.ell(), self.cfg.ell, "assignment uses ell identifiers");
+        assert_eq!(
+            self.assignment.n(),
+            self.cfg.n,
+            "assignment covers n processes"
+        );
+        assert_eq!(
+            self.assignment.ell(),
+            self.cfg.ell,
+            "assignment uses ell identifiers"
+        );
         assert_eq!(self.inputs.len(), self.cfg.n, "one input per process");
 
         let procs: BTreeMap<Pid, P> = self
@@ -352,15 +360,15 @@ impl<P: Protocol> Simulation<P> {
             if !is_self {
                 self.messages_delivered += 1;
             }
-            buffers.entry(to).or_default().push(Envelope { src: src_id, msg });
+            buffers
+                .entry(to)
+                .or_default()
+                .push(Envelope { src: src_id, msg });
         }
 
         // 4. Deliver to correct processes; record decisions.
         for (&pid, proc_) in self.procs.iter_mut() {
-            let inbox = Inbox::collect(
-                buffers.remove(&pid).unwrap_or_default(),
-                self.cfg.counting,
-            );
+            let inbox = Inbox::collect(buffers.remove(&pid).unwrap_or_default(), self.cfg.counting);
             proc_.receive(r, &inbox);
             if let Some(v) = proc_.decision() {
                 match self.decisions.get(&pid) {
@@ -368,7 +376,10 @@ impl<P: Protocol> Simulation<P> {
                         self.decisions.insert(pid, (v, r));
                     }
                     Some((prev, _)) => {
-                        assert!(*prev == v, "decision of {pid} changed from {prev:?} to {v:?}");
+                        assert!(
+                            *prev == v,
+                            "decision of {pid} changed from {prev:?} to {v:?}"
+                        );
                     }
                 }
             }
@@ -513,8 +524,8 @@ mod tests {
         // innumerate receiver: quorum 3 needs a third distinct identifier.
         let factory = gossip_factory(3);
         let assignment = IdAssignment::new(2, vec![Id::new(1), Id::new(1), Id::new(2)]).unwrap();
-        let mut sim = Simulation::builder(cfg(3, 2, 0), assignment, vec![5, 5, 5])
-            .build_with(&factory);
+        let mut sim =
+            Simulation::builder(cfg(3, 2, 0), assignment, vec![5, 5, 5]).build_with(&factory);
         let report = sim.run(4);
         // Only 2 distinct identifiers exist; quorum 3 unreachable.
         assert!(!report.verdict.termination.holds());
@@ -568,11 +579,10 @@ mod tests {
             let mut config = cfg(3, 3, 1);
             config.byz_power = byz_power;
             config.counting = homonym_core::Counting::Numerate;
-            let mut sim =
-                Simulation::builder(config, IdAssignment::unique(3), vec![1, 1, 0])
-                    .byzantine([Pid::new(2)], spam.clone())
-                    .record_trace(true)
-                    .build_with(&factory);
+            let mut sim = Simulation::builder(config, IdAssignment::unique(3), vec![1, 1, 0])
+                .byzantine([Pid::new(2)], spam.clone())
+                .record_trace(true)
+                .build_with(&factory);
             sim.run(1);
             sim.into_trace().unwrap().len()
         };
@@ -587,7 +597,8 @@ mod tests {
     fn topology_restricts_channels() {
         // A line topology 0-1-2: process 0 and 2 cannot hear each other.
         let factory = gossip_factory(3);
-        let topo = Topology::with_edges(3, [(Pid::new(0), Pid::new(1)), (Pid::new(1), Pid::new(2))]);
+        let topo =
+            Topology::with_edges(3, [(Pid::new(0), Pid::new(1)), (Pid::new(1), Pid::new(2))]);
         let mut sim = Simulation::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![1, 2, 3])
             .topology(topo)
             .record_trace(true)

@@ -12,8 +12,8 @@
 use std::collections::BTreeSet;
 
 use homonym_core::{
-    ByzPower, Domain, IdAssignment, Pid, Protocol, ProtocolFactory, Round, Synchrony,
-    SystemConfig, Value,
+    ByzPower, Domain, IdAssignment, Pid, Protocol, ProtocolFactory, Round, Synchrony, SystemConfig,
+    Value,
 };
 
 use crate::adversary::{
@@ -119,7 +119,10 @@ where
 {
     struct BoxedAdversary<M>(Box<dyn Adversary<M>>);
     impl<M: homonym_core::Message> Adversary<M> for BoxedAdversary<M> {
-        fn send(&mut self, ctx: &crate::adversary::AdvCtx<'_>) -> Vec<crate::adversary::Emission<M>> {
+        fn send(
+            &mut self,
+            ctx: &crate::adversary::AdvCtx<'_>,
+        ) -> Vec<crate::adversary::Emission<M>> {
             self.0.send(ctx)
         }
         fn receive(
@@ -221,7 +224,10 @@ pub fn input_patterns<V: Value>(domain: &Domain<V>, n: usize) -> Vec<(String, Ve
 /// (multiplicity attack). Under `ByzPower::Restricted` the engine clamps
 /// multi-send automatically, so the same strategies probe the restricted
 /// model's weaker adversary.
-pub fn run_standard_suite<P, F>(factory: &F, params: &SuiteParams<'_, P::Value>) -> SuiteResult<P::Value>
+pub fn run_standard_suite<P, F>(
+    factory: &F,
+    params: &SuiteParams<'_, P::Value>,
+) -> SuiteResult<P::Value>
 where
     P: Protocol + 'static,
     F: ProtocolFactory<P = P>,
@@ -251,7 +257,8 @@ where
                 .map(|(k, &pid)| (pid, domain.values()[k % domain.len()].clone()))
                 .collect();
             let opposite = domain.values().last().expect("non-empty domain").clone();
-            let split_half: BTreeSet<Pid> = Pid::all(cfg.n).filter(|p| p.index() % 2 == 0).collect();
+            let split_half: BTreeSet<Pid> =
+                Pid::all(cfg.n).filter(|p| p.index() % 2 == 0).collect();
 
             let mut adversaries: Vec<(&str, Box<dyn Adversary<P::Msg>>)> = vec![
                 ("silent", Box::new(Silent)),
@@ -262,7 +269,10 @@ where
                         Mimic::new(factory, assignment, &byz_inputs),
                     )),
                 ),
-                ("mimic", Box::new(Mimic::new(factory, assignment, &byz_inputs))),
+                (
+                    "mimic",
+                    Box::new(Mimic::new(factory, assignment, &byz_inputs)),
+                ),
                 (
                     "equivocator",
                     Box::new(Equivocator::new(
@@ -276,7 +286,12 @@ where
                 ),
                 (
                     "clone-spammer",
-                    Box::new(CloneSpammer::new(factory, assignment, &byz, domain.values())),
+                    Box::new(CloneSpammer::new(
+                        factory,
+                        assignment,
+                        &byz,
+                        domain.values(),
+                    )),
                 ),
                 (
                     "replay-fuzzer",
@@ -300,7 +315,13 @@ where
                     adversary,
                     drops: make_drops(salt),
                 };
-                results.push(run_scenario(factory, cfg, assignment, scenario, params.horizon));
+                results.push(run_scenario(
+                    factory,
+                    cfg,
+                    assignment,
+                    scenario,
+                    params.horizon,
+                ));
             }
         }
     }

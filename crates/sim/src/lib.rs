@@ -40,7 +40,9 @@ mod topology;
 mod trace;
 
 pub use adversary::{AdvCtx, Adversary, ByzTarget, Emission};
-pub use drops::{Both, DropPolicy, IsolateUntil, NoDrops, PartitionUntil, RandomUntilGst, ScriptedDrops};
+pub use drops::{
+    Both, DropPolicy, IsolateUntil, NoDrops, PartitionUntil, RandomUntilGst, ScriptedDrops,
+};
 pub use engine::{RunReport, Simulation, SimulationBuilder};
 pub use topology::Topology;
 pub use trace::{Delivery, Trace};

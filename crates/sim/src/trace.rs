@@ -150,7 +150,14 @@ pub struct RoundDigest {
 mod tests {
     use super::*;
 
-    fn d(round: u64, from: usize, src: u16, to: usize, msg: &str, dropped: bool) -> Delivery<String> {
+    fn d(
+        round: u64,
+        from: usize,
+        src: u16,
+        to: usize,
+        msg: &str,
+        dropped: bool,
+    ) -> Delivery<String> {
         Delivery {
             round: Round::new(round),
             from: Pid::new(from),

@@ -81,7 +81,11 @@ impl<A: SyncBa> Transformed<A> {
     /// Panics if `t` differs from the simulated algorithm's fault bound —
     /// the deciding-round threshold `t + 1` must match what `A` tolerates.
     pub fn new(algo: A, t: usize, id: Id, input: A::Value) -> Self {
-        assert_eq!(t, algo.t(), "transformer and simulated algorithm must agree on t");
+        assert_eq!(
+            t,
+            algo.t(),
+            "transformer and simulated algorithm must agree on t"
+        );
         let state = algo.init(id, input);
         Transformed {
             algo,
@@ -217,7 +221,11 @@ impl<A: SyncBa + Clone> TransformedFactory<A> {
     ///
     /// Panics if `t` differs from `algo.t()`.
     pub fn new(algo: A, t: usize) -> Self {
-        assert_eq!(t, algo.t(), "transformer and simulated algorithm must agree on t");
+        assert_eq!(
+            t,
+            algo.t(),
+            "transformer and simulated algorithm must agree on t"
+        );
         TransformedFactory {
             algo,
             t,
@@ -240,7 +248,11 @@ impl<A: SyncBa + Clone> TransformedFactory<A> {
     ///
     /// Panics if `t` differs from `algo.t()`.
     pub fn ablated_without_decide_relay(algo: A, t: usize) -> Self {
-        assert_eq!(t, algo.t(), "transformer and simulated algorithm must agree on t");
+        assert_eq!(
+            t,
+            algo.t(),
+            "transformer and simulated algorithm must agree on t"
+        );
         TransformedFactory {
             algo,
             t,
@@ -299,8 +311,14 @@ mod tests {
         let mb = state_msg(&b);
         let inbox = Inbox::collect(
             vec![
-                Envelope { src: Id::new(1), msg: ma },
-                Envelope { src: Id::new(1), msg: mb },
+                Envelope {
+                    src: Id::new(1),
+                    msg: ma,
+                },
+                Envelope {
+                    src: Id::new(1),
+                    msg: mb,
+                },
             ],
             Counting::Innumerate,
         );
@@ -315,11 +333,18 @@ mod tests {
         let before = a.state().clone();
         let other = Transformed::new(algo(4, 1), 1, Id::new(2), true);
         let inbox = Inbox::collect(
-            vec![Envelope { src: Id::new(2), msg: state_msg(&other) }],
+            vec![Envelope {
+                src: Id::new(2),
+                msg: state_msg(&other),
+            }],
             Counting::Innumerate,
         );
         a.receive(Round::new(0), &inbox);
-        assert_eq!(*a.state(), before, "states from other identifiers must not be adopted");
+        assert_eq!(
+            *a.state(),
+            before,
+            "states from other identifiers must not be adopted"
+        );
     }
 
     #[test]
@@ -329,7 +354,10 @@ mod tests {
 
         // One identifier claiming a decision is not enough.
         let inbox = Inbox::collect(
-            vec![Envelope { src: Id::new(2), msg: TransformerMsg::Decide(Some(true)) }],
+            vec![Envelope {
+                src: Id::new(2),
+                msg: TransformerMsg::Decide(Some(true)),
+            }],
             Counting::Innumerate,
         );
         p.receive(Round::new(1), &inbox);
@@ -338,8 +366,14 @@ mod tests {
         // Two distinct identifiers (t + 1) suffice.
         let inbox = Inbox::collect(
             vec![
-                Envelope { src: Id::new(2), msg: TransformerMsg::Decide(Some(true)) },
-                Envelope { src: Id::new(3), msg: TransformerMsg::Decide(Some(true)) },
+                Envelope {
+                    src: Id::new(2),
+                    msg: TransformerMsg::Decide(Some(true)),
+                },
+                Envelope {
+                    src: Id::new(3),
+                    msg: TransformerMsg::Decide(Some(true)),
+                },
             ],
             Counting::Innumerate,
         );
@@ -353,9 +387,18 @@ mod tests {
         let mut p = Transformed::new(algo(4, t), t, Id::new(1), false);
         let inbox = Inbox::collect(
             vec![
-                Envelope { src: Id::new(2), msg: TransformerMsg::Decide(None) },
-                Envelope { src: Id::new(3), msg: TransformerMsg::Decide(None) },
-                Envelope { src: Id::new(4), msg: TransformerMsg::Decide(None) },
+                Envelope {
+                    src: Id::new(2),
+                    msg: TransformerMsg::Decide(None),
+                },
+                Envelope {
+                    src: Id::new(3),
+                    msg: TransformerMsg::Decide(None),
+                },
+                Envelope {
+                    src: Id::new(4),
+                    msg: TransformerMsg::Decide(None),
+                },
             ],
             Counting::Innumerate,
         );
@@ -375,9 +418,18 @@ mod tests {
         m2.insert(vec![], false);
         let inbox = Inbox::collect(
             vec![
-                Envelope { src: Id::new(2), msg: TransformerMsg::Run(m1.clone()) },
-                Envelope { src: Id::new(2), msg: TransformerMsg::Run(m2) },
-                Envelope { src: Id::new(3), msg: TransformerMsg::Run(m1) },
+                Envelope {
+                    src: Id::new(2),
+                    msg: TransformerMsg::Run(m1.clone()),
+                },
+                Envelope {
+                    src: Id::new(2),
+                    msg: TransformerMsg::Run(m2),
+                },
+                Envelope {
+                    src: Id::new(3),
+                    msg: TransformerMsg::Run(m1),
+                },
             ],
             Counting::Innumerate,
         );
@@ -398,8 +450,14 @@ mod tests {
         run.insert(vec![], true);
         let inbox = Inbox::collect(
             vec![
-                Envelope { src: Id::new(2), msg: state_msg(&stray) },
-                Envelope { src: Id::new(2), msg: TransformerMsg::Run(run) },
+                Envelope {
+                    src: Id::new(2),
+                    msg: state_msg(&stray),
+                },
+                Envelope {
+                    src: Id::new(2),
+                    msg: TransformerMsg::Run(run),
+                },
             ],
             Counting::Innumerate,
         );

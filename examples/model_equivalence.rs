@@ -30,7 +30,11 @@ fn main() {
     let inputs = vec![true, false, true, false, true];
     let byz = Pid::new(4);
 
-    println!("n = {n}, ℓ = {ell}, t = {t}:  2ℓ = {} > n + 3t = {}\n", 2 * ell, n + 3 * t);
+    println!(
+        "n = {n}, ℓ = {ell}, t = {t}:  2ℓ = {} > n + 3t = {}\n",
+        2 * ell,
+        n + 3 * t
+    );
 
     // ---- Substrate 1: the basic lossy-round model. ----
     println!("[basic rounds]     lock-step rounds, 30% loss before round 12");
@@ -42,7 +46,10 @@ fn main() {
     for (pid, (value, round)) in &report.outcome.decisions {
         println!("  {pid} decided {value} in {round}");
     }
-    println!("  dropped {} messages; verdict: {}\n", report.messages_dropped, report.verdict);
+    println!(
+        "  dropped {} messages; verdict: {}\n",
+        report.messages_dropped, report.verdict
+    );
     assert!(report.verdict.all_hold());
 
     // ---- Substrate 2: delays eventually bounded by a KNOWN constant. ----

@@ -16,7 +16,9 @@ use homonyms::sync::TransformedFactory;
 fn main() {
     // A system of n = 7 processes using ℓ = 4 identifiers, tolerating
     // t = 1 Byzantine process.
-    let cfg = SystemConfig::builder(7, 4, 1).build().expect("valid parameters");
+    let cfg = SystemConfig::builder(7, 4, 1)
+        .build()
+        .expect("valid parameters");
     println!("system: n = {}, ℓ = {}, t = {}", cfg.n, cfg.ell, cfg.t);
     println!("Table 1 says solvable: {}", bounds::solvable(&cfg));
 

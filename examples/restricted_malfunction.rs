@@ -31,9 +31,8 @@ use homonyms::sim::{RandomUntilGst, Simulation};
 
 fn run_one(
     name: &str,
-    adversary: impl Adversary<
-            <homonyms::psync::RestrictedAgreement<bool> as homonyms::core::Protocol>::Msg,
-        > + 'static,
+    adversary: impl Adversary<<homonyms::psync::RestrictedAgreement<bool> as homonyms::core::Protocol>::Msg>
+        + 'static,
 ) {
     let (n, ell, t) = (10, 2, 1);
     let cfg = SystemConfig::builder(n, ell, t)
@@ -71,7 +70,10 @@ fn main() {
          restricted senders + numerate receivers — the Figure 7 protocol:\n"
     );
     run_one("crash at round 5", CrashAt::new(Round::new(5), Silent));
-    run_one("stale babbler (replays 2 rounds late)", StaleReplayer::new(2, 3));
+    run_one(
+        "stale babbler (replays 2 rounds late)",
+        StaleReplayer::new(2, 3),
+    );
     run_one("garbling fuzzer", ReplayFuzzer::new(97, 2));
     println!(
         "Against a *malicious* multi-sender this identifier budget is\n\

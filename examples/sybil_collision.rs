@@ -27,7 +27,9 @@ fn main() {
     // Eight nodes; hash-derived node IDs, with a birthday collision between
     // nodes 2 and 5, and node 7 (the attacker) holding a stolen copy of
     // node 6's identity.
-    let node_ids = ["4f2a", "91c3", "b7e0", "dd42", "0a11", "b7e0", "77f5", "77f5"];
+    let node_ids = [
+        "4f2a", "91c3", "b7e0", "dd42", "0a11", "b7e0", "77f5", "77f5",
+    ];
     // Distinct identifiers, in first-appearance order.
     let mut distinct: Vec<&str> = Vec::new();
     for id in node_ids {
@@ -39,9 +41,15 @@ fn main() {
     let n = node_ids.len();
     let t = 1;
 
-    let cfg = SystemConfig::builder(n, ell, t).build().expect("valid parameters");
+    let cfg = SystemConfig::builder(n, ell, t)
+        .build()
+        .expect("valid parameters");
     println!("{n} overlay nodes, {ell} distinct node IDs after collisions");
-    println!("ℓ = {ell} > 3t = {} — solvable: {}", 3 * t, bounds::solvable(&cfg));
+    println!(
+        "ℓ = {ell} > 3t = {} — solvable: {}",
+        3 * t,
+        bounds::solvable(&cfg)
+    );
     assert!(bounds::solvable(&cfg));
 
     let ids: Vec<Id> = node_ids

@@ -42,10 +42,14 @@ fn main() {
     let adversary = Mimic::new(&factory, &assignment, &[(byz, true)]);
 
     let gst = 8;
-    let report = Cluster::new(cfg, assignment, vec![false, false, false, false, true, true])
-        .byzantine([byz], adversary)
-        .drops(RandomUntilGst::new(Round::new(gst), 0.25, 99))
-        .run(&factory, gst + factory.round_bound() + 16);
+    let report = Cluster::new(
+        cfg,
+        assignment,
+        vec![false, false, false, false, true, true],
+    )
+    .byzantine([byz], adversary)
+    .drops(RandomUntilGst::new(Round::new(gst), 0.25, 99))
+    .run(&factory, gst + factory.round_bound() + 16);
 
     println!(
         "ran {} rounds on {} threads; {} messages sent, {} dropped pre-stabilization",

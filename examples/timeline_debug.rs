@@ -23,18 +23,14 @@ fn main() {
     let factory = AgreementFactory::new(n, ell, t, Domain::binary());
     let gst = 10;
 
-    let mut sim = Simulation::builder(
-        cfg,
-        IdAssignment::unique(n),
-        vec![true, false, true, false],
-    )
-    .byzantine(
-        [Pid::new(3)],
-        CrashAt::new(Round::new(14), ReplayFuzzer::new(5, 2)),
-    )
-    .drops(RandomUntilGst::new(Round::new(gst), 0.4, 42))
-    .record_trace(true)
-    .build_with(&factory);
+    let mut sim = Simulation::builder(cfg, IdAssignment::unique(n), vec![true, false, true, false])
+        .byzantine(
+            [Pid::new(3)],
+            CrashAt::new(Round::new(14), ReplayFuzzer::new(5, 2)),
+        )
+        .drops(RandomUntilGst::new(Round::new(gst), 0.4, 42))
+        .record_trace(true)
+        .build_with(&factory);
     let report = sim.run(gst + factory.round_bound() + 16);
 
     println!("verdict: {}\n", report.verdict);

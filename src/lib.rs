@@ -61,7 +61,9 @@ pub mod prelude {
         ProtocolFactory, Recipients, Round, Synchrony, SystemConfig,
     };
     pub use homonym_delay::{DelayCluster, DelayReport};
-    pub use homonym_psync::{AgreementFactory, HomonymAgreement, RestrictedAgreement, RestrictedFactory};
+    pub use homonym_psync::{
+        AgreementFactory, HomonymAgreement, RestrictedAgreement, RestrictedFactory,
+    };
     pub use homonym_runtime::Cluster;
     pub use homonym_sim::{RandomUntilGst, RunReport, Simulation};
     pub use homonym_sync::{Transformed, TransformedFactory};

@@ -26,7 +26,9 @@ use homonyms::sync::{TransformedFactory, TransformerMsg};
 /// correct group-mate adopts it — and in the ablated transformer, which
 /// trusts `decide(s)` on its own state, that group-mate instantly
 /// "decides" the poison.
-fn state_poisoner(horizon: u64) -> Scripted<<homonyms::sync::Transformed<Eig<bool>> as homonyms::core::Protocol>::Msg> {
+fn state_poisoner(
+    horizon: u64,
+) -> Scripted<<homonyms::sync::Transformed<Eig<bool>> as homonyms::core::Protocol>::Msg> {
     let algo = Eig::new(4, 1, Domain::binary());
     // Run A privately in silence until it decides the default value.
     let mut poisoned = algo.init(Id::new(1), false);
@@ -46,12 +48,17 @@ fn state_poisoner(horizon: u64) -> Scripted<<homonyms::sync::Transformed<Eig<boo
     }))
 }
 
-fn run_transformer(factory: &TransformedFactory<Eig<bool>>, horizon: u64) -> homonyms::sim::RunReport<bool> {
+fn run_transformer(
+    factory: &TransformedFactory<Eig<bool>>,
+    horizon: u64,
+) -> homonyms::sim::RunReport<bool> {
     let cfg = SystemConfig::builder(5, 4, 1).build().unwrap();
     // Group 1 = {p0 correct, p1 Byzantine}: the hijackable pair.
-    let assignment =
-        IdAssignment::new(4, vec![Id::new(1), Id::new(1), Id::new(2), Id::new(3), Id::new(4)])
-            .unwrap();
+    let assignment = IdAssignment::new(
+        4,
+        vec![Id::new(1), Id::new(1), Id::new(2), Id::new(3), Id::new(4)],
+    )
+    .unwrap();
     let mut sim = Simulation::builder(cfg, assignment, vec![true; 5])
         .byzantine([Pid::new(1)], state_poisoner(horizon))
         .build_with(factory);
@@ -72,7 +79,8 @@ fn decide_relay_rescues_the_hijacked_homonym() {
 
 #[test]
 fn without_decide_relay_the_hijacked_homonym_decides_the_poison() {
-    let factory = TransformedFactory::ablated_without_decide_relay(Eig::new(4, 1, Domain::binary()), 1);
+    let factory =
+        TransformedFactory::ablated_without_decide_relay(Eig::new(4, 1, Domain::binary()), 1);
     let report = run_transformer(&factory, factory.round_bound() + 9);
     // All correct processes proposed `true`, yet the hijacked homonym p0
     // adopted the poisoned pre-decided state and output `false`: a
@@ -100,11 +108,14 @@ fn without_decide_relay_the_hijacked_homonym_decides_the_poison() {
 fn ablated_transformer_fine_without_byzantine_groupmates() {
     // The ablation only bites when a Byzantine process shares a group:
     // with the Byzantine process on a sole identifier, everyone decides.
-    let factory = TransformedFactory::ablated_without_decide_relay(Eig::new(4, 1, Domain::binary()), 1);
+    let factory =
+        TransformedFactory::ablated_without_decide_relay(Eig::new(4, 1, Domain::binary()), 1);
     let cfg = SystemConfig::builder(5, 4, 1).build().unwrap();
-    let assignment =
-        IdAssignment::new(4, vec![Id::new(1), Id::new(1), Id::new(2), Id::new(3), Id::new(4)])
-            .unwrap();
+    let assignment = IdAssignment::new(
+        4,
+        vec![Id::new(1), Id::new(1), Id::new(2), Id::new(3), Id::new(4)],
+    )
+    .unwrap();
     // Byzantine process on identifier 4 (pid 4), silent.
     let mut sim = Simulation::builder(cfg, assignment, vec![true; 5])
         .byzantine([Pid::new(4)], homonyms::sim::adversary::Silent)
@@ -120,8 +131,8 @@ fn ablated_fig5_decides_on_clean_runs_end_to_end() {
         .synchrony(homonyms::core::Synchrony::PartiallySynchronous)
         .build()
         .unwrap();
-    let mut sim = Simulation::builder(cfg, IdAssignment::unique(4), vec![true; 4])
-        .build_with(&factory);
+    let mut sim =
+        Simulation::builder(cfg, IdAssignment::unique(4), vec![true; 4]).build_with(&factory);
     let report = sim.run(factory.round_bound() + 24);
     assert!(report.verdict.all_hold(), "{}", report.verdict);
 }

@@ -46,16 +46,12 @@ fn fig7_survives_every_assignment_at_4_2_1() {
             let byz = Pid::new(byz_idx);
             let byz_set: BTreeSet<Pid> = [byz].into();
             let split: BTreeSet<Pid> = Pid::all(n).filter(|p| p.index() % 2 == 0).collect();
-            let adversary =
-                Equivocator::new(&factory, assignment, &byz_set, false, true, split);
-            let mut sim = Simulation::builder(
-                cfg,
-                assignment.clone(),
-                vec![true, false, true, false],
-            )
-            .byzantine([byz], adversary)
-            .drops(RandomUntilGst::new(Round::new(gst), 0.3, byz_idx as u64))
-            .build_with(&factory);
+            let adversary = Equivocator::new(&factory, assignment, &byz_set, false, true, split);
+            let mut sim =
+                Simulation::builder(cfg, assignment.clone(), vec![true, false, true, false])
+                    .byzantine([byz], adversary)
+                    .drops(RandomUntilGst::new(Round::new(gst), 0.3, byz_idx as u64))
+                    .build_with(&factory);
             let report = sim.run(horizon);
             assert!(
                 report.verdict.all_hold(),
@@ -70,11 +66,10 @@ fn fig7_survives_every_assignment_at_4_2_1() {
 #[test]
 fn t_eig_survives_every_assignment_at_5_4_1() {
     let (n, ell, t) = (5, 4, 1);
-    let cfg = SystemConfig::builder(n, ell, t).build().expect("valid parameters");
-    let factory = TransformedFactory::new(
-        homonyms::classic::Eig::new(ell, t, Domain::binary()),
-        t,
-    );
+    let cfg = SystemConfig::builder(n, ell, t)
+        .build()
+        .expect("valid parameters");
+    let factory = TransformedFactory::new(homonyms::classic::Eig::new(ell, t, Domain::binary()), t);
     let horizon = factory.round_bound() + 9;
 
     let assignments = IdAssignment::enumerate_all(ell, n);

@@ -4,7 +4,7 @@
 //! narrative is stale.
 
 use homonyms::classic::{Eig, SyncBa, UniqueRunner};
-use homonyms::core::{Domain, FnFactory, IdAssignment, SystemConfig, Synchrony};
+use homonyms::core::{Domain, FnFactory, IdAssignment, Synchrony, SystemConfig};
 use homonyms::psync::{AgreementFactory, RestrictedFactory};
 use homonyms::sim::{RandomUntilGst, Simulation};
 use homonyms::sync::TransformedFactory;
@@ -70,8 +70,8 @@ fn raw_eig_beats_the_transformer_in_rounds() {
         UniqueRunner::new(Eig::new(4, 1, domain.clone()), id, input)
     });
     let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
-    let mut sim = Simulation::builder(cfg, IdAssignment::unique(4), vec![true; 4])
-        .build_with(&factory);
+    let mut sim =
+        Simulation::builder(cfg, IdAssignment::unique(4), vec![true; 4]).build_with(&factory);
     let raw = sim.run(10);
     let transformed = run_t_eig(4, 4, 1);
     assert!(
@@ -99,7 +99,10 @@ fn fig5_latency_tracks_gst_with_constant_tail() {
     let at_0 = run(0);
     let at_16 = run(16);
     let at_32 = run(32);
-    assert!(at_16 >= at_0 && at_32 >= at_16, "latency is monotone in gst");
+    assert!(
+        at_16 >= at_0 && at_32 >= at_16,
+        "latency is monotone in gst"
+    );
     // The tail after stabilization stays within two phases.
     assert!(at_16 - 16 <= at_0 + 16, "{at_16} vs {at_0}");
     assert!(at_32 <= 32 + at_0 + 16, "{at_32} vs {at_0}");
@@ -161,13 +164,12 @@ fn eig_message_size_is_the_price_of_n_gt_3t() {
     for r in 1..=3u64 {
         sizes.push(algo.message(&s, r).len());
         // Feed a full round of honest messages from all identifiers.
-        let honest: std::collections::BTreeMap<homonyms::core::Id, _> =
-            homonyms::core::Id::all(7)
-                .map(|id| {
-                    let peer = algo.init(id, id.get() % 2 == 0);
-                    (id, algo.message(&peer, r))
-                })
-                .collect();
+        let honest: std::collections::BTreeMap<homonyms::core::Id, _> = homonyms::core::Id::all(7)
+            .map(|id| {
+                let peer = algo.init(id, id.get() % 2 == 0);
+                (id, algo.message(&peer, r))
+            })
+            .collect();
         s = algo.transition(&s, r, &honest);
     }
     assert_eq!(sizes[0], 1, "round 1 sends the root");
@@ -186,15 +188,12 @@ fn delay_ticks_scale_linearly_with_delta_at_fixed_rounds() {
             .build()
             .unwrap();
         let factory = AgreementFactory::new(4, 4, 1, Domain::binary());
-        let mut cluster = DelayCluster::builder(
-            cfg,
-            IdAssignment::unique(4),
-            vec![true, false, true, false],
-        )
-        // Calm from tick 0: a pure Δ-scaling measurement.
-        .model(EventuallyBounded::new(delta, 0, delta, 7))
-        .pacing(FixedPacing::new(delta))
-        .build();
+        let mut cluster =
+            DelayCluster::builder(cfg, IdAssignment::unique(4), vec![true, false, true, false])
+                // Calm from tick 0: a pure Δ-scaling measurement.
+                .model(EventuallyBounded::new(delta, 0, delta, 7))
+                .pacing(FixedPacing::new(delta))
+                .build();
         let report = cluster.run(&factory, 200);
         assert!(report.verdict.all_hold());
         (report.rounds, report.ticks)

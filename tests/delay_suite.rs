@@ -4,9 +4,7 @@
 //! upper-bound cells must survive unchanged when partial synchrony comes
 //! from delivery delays rather than scripted drops.
 
-use homonyms::core::{
-    ByzPower, Counting, Domain, IdAssignment, Synchrony, SystemConfig,
-};
+use homonyms::core::{ByzPower, Counting, Domain, IdAssignment, Synchrony, SystemConfig};
 use homonyms::delay::{run_delay_suite, DelaySuiteParams};
 use homonyms::psync::{AgreementFactory, RestrictedFactory};
 
@@ -50,7 +48,10 @@ fn figure5_survives_the_full_grid_on_the_delay_substrate() {
         "failures: {:?}",
         suite.failures().iter().map(|f| &f.name).collect::<Vec<_>>()
     );
-    assert!(suite.all_stabilized(), "every scenario's lateness must die out");
+    assert!(
+        suite.all_stabilized(),
+        "every scenario's lateness must die out"
+    );
     assert!(suite.results.len() >= 24, "the grid must be non-trivial");
 }
 

@@ -16,7 +16,10 @@ fn ring_size_and_views() {
         assert_eq!(sys.assignment.ell(), 3 * t);
         // Two stacks of n − 3t + 1 processes: identifiers 1 and t + 1.
         assert_eq!(
-            sys.views.iter().map(|v| v.members.len()).collect::<Vec<_>>(),
+            sys.views
+                .iter()
+                .map(|v| v.members.len())
+                .collect::<Vec<_>>(),
             vec![n - t; 3]
         );
     }
@@ -35,7 +38,11 @@ fn stacks_are_where_the_proof_puts_them() {
     // Y stack: identifier t + 1 = 2 with input 1 (plus the X singleton of
     // identifier 2 with input 0).
     let g2 = sys.assignment.group(Id::new(2));
-    let y_members: Vec<Pid> = g2.iter().filter(|p| sys.inputs[p.index()]).copied().collect();
+    let y_members: Vec<Pid> = g2
+        .iter()
+        .filter(|p| sys.inputs[p.index()])
+        .copied()
+        .collect();
     assert_eq!(y_members.len(), stack);
 }
 
@@ -50,12 +57,20 @@ fn multiple_algorithms_all_fail_the_ring() {
     let eig = TransformedFactory::new(Eig::new_unchecked(3 * t, t, Domain::binary()), t);
     let report = fig1::run(&eig, &sys, eig.round_bound() + 9);
     assert!(report.views_legal);
-    assert!(report.contradiction_exhibited(), "T(EIG): {:?}", report.verdicts);
+    assert!(
+        report.contradiction_exhibited(),
+        "T(EIG): {:?}",
+        report.verdicts
+    );
 
     let pk = TransformedFactory::new(PhaseKing::new_unchecked(3 * t, t, Domain::binary()), t);
     let report = fig1::run(&pk, &sys, pk.round_bound() + 9);
     assert!(report.views_legal);
-    assert!(report.contradiction_exhibited(), "T(PhaseKing): {:?}", report.verdicts);
+    assert!(
+        report.contradiction_exhibited(),
+        "T(PhaseKing): {:?}",
+        report.verdicts
+    );
 }
 
 #[test]

@@ -51,6 +51,7 @@ fn restricted_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
 
 /// Steps a Figure 5 run to completion, snapshotting locks at phase ends,
 /// then asserts Lemmas 8, 10 and 11 against the trace and the snapshots.
+#[allow(clippy::too_many_arguments)]
 fn check_fig5_lemmas(
     n: usize,
     ell: usize,
@@ -71,7 +72,9 @@ fn check_fig5_lemmas(
         .record_trace(true)
         .build_with(&factory);
 
-    let mut history = LockHistory { snapshots: Vec::new() };
+    let mut history = LockHistory {
+        snapshots: Vec::new(),
+    };
     for r in 0..horizon {
         sim.step();
         if r % 8 == 7 {
@@ -227,6 +230,7 @@ fn fig5_lemmas_hold_under_stale_replay() {
 
 /// Figure 7 counterpart: Lemma 32 (per-phase ack uniqueness), Lemma 34
 /// (at most one lock pair), Lemma 36 (post-GST lock coherence).
+#[allow(clippy::too_many_arguments)]
 fn check_fig7_lemmas(
     n: usize,
     ell: usize,
@@ -286,7 +290,13 @@ fn check_fig7_lemmas(
         .deliveries()
         .iter()
         .filter(|d| !byz_set.contains(&d.from))
-        .flat_map(|d| d.msg.acks().into_iter().map(|(&v, ph)| (v, ph)).collect::<Vec<_>>())
+        .flat_map(|d| {
+            d.msg
+                .acks()
+                .into_iter()
+                .map(|(&v, ph)| (v, ph))
+                .collect::<Vec<_>>()
+        })
         .collect();
     let by_phase = ack_values_by_phase(correct_acks);
     assert!(

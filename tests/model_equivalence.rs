@@ -90,15 +90,12 @@ fn homonym_assignment_survives_delay_network() {
     let cfg = psync_cfg(n, ell, t);
     let factory = AgreementFactory::new(n, ell, t, Domain::binary());
     let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
-    let mut cluster = DelayCluster::builder(
-        cfg,
-        assignment,
-        vec![true, true, false, false, true, false],
-    )
-    .byzantine([Pid::new(5)], ReplayFuzzer::new(5, 1))
-    .model(EventuallyBounded::new(3, 30, 45, 41))
-    .pacing(FixedPacing::new(3))
-    .build();
+    let mut cluster =
+        DelayCluster::builder(cfg, assignment, vec![true, true, false, false, true, false])
+            .byzantine([Pid::new(5)], ReplayFuzzer::new(5, 1))
+            .model(EventuallyBounded::new(3, 30, 45, 41))
+            .pacing(FixedPacing::new(3))
+            .build();
     let report = cluster.run(&factory, 800);
     assert!(report.verdict.all_hold(), "{:?}", report.verdict);
 }
@@ -114,13 +111,21 @@ fn restricted_figure7_runs_on_both_delay_models() {
     let assignment = IdAssignment::round_robin(ell, n).expect("ℓ ≤ n");
 
     let factory = RestrictedFactory::new(n, ell, t, Domain::binary());
-    let mut known = DelayCluster::builder(restricted_cfg(n, ell, t), assignment.clone(), inputs.clone())
-        .byzantine([Pid::new(2)], ReplayFuzzer::new(29, 1))
-        .model(EventuallyBounded::new(2, 24, 40, 7))
-        .pacing(FixedPacing::new(2))
-        .build();
+    let mut known = DelayCluster::builder(
+        restricted_cfg(n, ell, t),
+        assignment.clone(),
+        inputs.clone(),
+    )
+    .byzantine([Pid::new(2)], ReplayFuzzer::new(29, 1))
+    .model(EventuallyBounded::new(2, 24, 40, 7))
+    .pacing(FixedPacing::new(2))
+    .build();
     let report = known.run(&factory, 600);
-    assert!(report.verdict.all_hold(), "known-bound: {:?}", report.verdict);
+    assert!(
+        report.verdict.all_hold(),
+        "known-bound: {:?}",
+        report.verdict
+    );
 
     let mut unknown = DelayCluster::builder(restricted_cfg(n, ell, t), assignment, inputs)
         .byzantine([Pid::new(2)], Silent)
@@ -128,7 +133,11 @@ fn restricted_figure7_runs_on_both_delay_models() {
         .pacing(DoublingPacing::new(1, 6))
         .build();
     let report = unknown.run(&factory, 400);
-    assert!(report.verdict.all_hold(), "unknown-bound: {:?}", report.verdict);
+    assert!(
+        report.verdict.all_hold(),
+        "unknown-bound: {:?}",
+        report.verdict
+    );
 }
 
 #[test]
@@ -180,7 +189,10 @@ fn worst_case_isolation_delays_but_does_not_break_agreement() {
     .build();
     let report = cluster.run(&factory, 800);
     assert!(report.verdict.all_hold(), "{:?}", report.verdict);
-    assert!(report.late + report.unarrived > 0, "the stall must cost something");
+    assert!(
+        report.late + report.unarrived > 0,
+        "the stall must cost something"
+    );
     // p0 cannot decide before the stall lifts.
     let (_, p0_round) = report.outcome.decisions[&Pid::new(0)];
     assert!(
@@ -197,10 +209,11 @@ fn decision_happens_after_the_network_stabilizes_under_heavy_chaos() {
     let cfg = psync_cfg(n, ell, t);
     let factory = AgreementFactory::new(n, ell, t, Domain::binary());
     let calm_tick = 64;
-    let mut cluster = DelayCluster::builder(cfg, IdAssignment::unique(n), vec![true, false, true, false])
-        .model(EventuallyBounded::new(2, calm_tick, 50, 19))
-        .pacing(FixedPacing::new(2))
-        .build();
+    let mut cluster =
+        DelayCluster::builder(cfg, IdAssignment::unique(n), vec![true, false, true, false])
+            .model(EventuallyBounded::new(2, calm_tick, 50, 19))
+            .pacing(FixedPacing::new(2))
+            .build();
     let report = cluster.run(&factory, 800);
     assert!(report.verdict.all_hold(), "{:?}", report.verdict);
     let decided = report

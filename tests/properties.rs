@@ -29,7 +29,9 @@ fn fig5_adversary(
 ) -> Box<dyn Adversary<<homonyms::psync::HomonymAgreement<bool> as homonyms::core::Protocol>::Msg>>
 {
     let byz_inputs: Vec<(Pid, bool)> = byz.iter().map(|&p| (p, p.index() % 2 == 0)).collect();
-    let split: BTreeSet<Pid> = Pid::all(assignment.n()).filter(|p| p.index() % 2 == 0).collect();
+    let split: BTreeSet<Pid> = Pid::all(assignment.n())
+        .filter(|p| p.index() % 2 == 0)
+        .collect();
     match kind % 6 {
         0 => Box::new(Silent),
         1 => Box::new(Mimic::new(factory, assignment, &byz_inputs)),
@@ -37,7 +39,9 @@ fn fig5_adversary(
             Round::new(horizon / 2),
             Mimic::new(factory, assignment, &byz_inputs),
         )),
-        3 => Box::new(Equivocator::new(factory, assignment, byz, false, true, split)),
+        3 => Box::new(Equivocator::new(
+            factory, assignment, byz, false, true, split,
+        )),
         4 => Box::new(CloneSpammer::new(factory, assignment, byz, &[false, true])),
         _ => Box::new(ReplayFuzzer::new(seed, 3)),
     }

@@ -66,7 +66,10 @@ fn fig7_falls_to_the_ring_once_multisend_is_allowed() {
     let sys = fig1::build(n, t);
     let factory = RestrictedFactory::new(n, 3 * t, t, Domain::binary());
     let report = fig1::run(&factory, &sys, factory.round_bound() + 16);
-    assert!(report.views_legal, "every cross-view message must be explainable");
+    assert!(
+        report.views_legal,
+        "every cross-view message must be explainable"
+    );
     assert!(
         report.contradiction_exhibited(),
         "some view must violate its claim: {:?}",

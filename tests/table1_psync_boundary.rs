@@ -20,7 +20,10 @@ fn psync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
 
 fn assert_solvable_cell(n: usize, ell: usize, t: usize) {
     let cfg = psync_cfg(n, ell, t);
-    assert!(bounds::solvable(&cfg), "precondition: ({n},{ell},{t}) solvable");
+    assert!(
+        bounds::solvable(&cfg),
+        "precondition: ({n},{ell},{t}) solvable"
+    );
     let factory = AgreementFactory::new(n, ell, t, Domain::binary());
     let domain = Domain::binary();
     let gst = 12;
@@ -70,10 +73,16 @@ fn unsolvable_band_splits_via_fig4() {
     // (8, 5, 1) where n > 2ℓ − 3t.
     for (n, ell, t) in [(5, 4, 1), (7, 5, 1), (8, 5, 1)] {
         let cfg = psync_cfg(n, ell, t);
-        assert!(!bounds::solvable(&cfg), "precondition: ({n},{ell},{t}) unsolvable");
+        assert!(
+            !bounds::solvable(&cfg),
+            "precondition: ({n},{ell},{t}) unsolvable"
+        );
         let factory = AgreementFactory::new(n, ell, t, Domain::binary());
         let outcome = fig4::run(&factory, cfg, 8 * 14);
-        assert!(outcome.violation_exhibited(), "({n},{ell},{t}): {outcome:?}");
+        assert!(
+            outcome.violation_exhibited(),
+            "({n},{ell},{t}): {outcome:?}"
+        );
     }
 }
 

@@ -20,10 +20,17 @@ fn restricted_cfg(n: usize, ell: usize, t: usize, synchrony: Synchrony) -> Syste
 
 fn assert_solvable_cell(n: usize, ell: usize, t: usize, synchrony: Synchrony) {
     let cfg = restricted_cfg(n, ell, t, synchrony);
-    assert!(bounds::solvable(&cfg), "precondition: ({n},{ell},{t}) solvable");
+    assert!(
+        bounds::solvable(&cfg),
+        "precondition: ({n},{ell},{t}) solvable"
+    );
     let factory = RestrictedFactory::new(n, ell, t, Domain::binary());
     let domain = Domain::binary();
-    let gst = if synchrony == Synchrony::PartiallySynchronous { 10 } else { 0 };
+    let gst = if synchrony == Synchrony::PartiallySynchronous {
+        10
+    } else {
+        0
+    };
     let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
     let params = SuiteParams {
         cfg,

@@ -13,12 +13,17 @@ use homonyms::sim::harness::{run_standard_suite, SuiteParams};
 use homonyms::sync::TransformedFactory;
 
 fn sync_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
-    SystemConfig::builder(n, ell, t).build().expect("valid parameters")
+    SystemConfig::builder(n, ell, t)
+        .build()
+        .expect("valid parameters")
 }
 
 fn assert_solvable_cell(n: usize, ell: usize, t: usize) {
     let cfg = sync_cfg(n, ell, t);
-    assert!(bounds::solvable(&cfg), "precondition: ({n},{ell},{t}) solvable");
+    assert!(
+        bounds::solvable(&cfg),
+        "precondition: ({n},{ell},{t}) solvable"
+    );
     let factory = TransformedFactory::new(Eig::new(ell, t, Domain::binary()), t);
     let domain = Domain::binary();
     for assignment in [
