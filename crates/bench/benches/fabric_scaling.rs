@@ -1,0 +1,118 @@
+//! Fabric scaling — wall time of whole agreement runs as `n` climbs into
+//! the hundreds, on the `Arc`-shared delivery fabric.
+//!
+//! Two series:
+//!
+//! * **sync** — `T(EIG)` at `(ℓ = 4, t = 1)` under the stacked assignment
+//!   for n ∈ {32, 64, 128, 256}: the fabric's headline (every round is a
+//!   full n × n broadcast; the seed engine deep-cloned each payload per
+//!   recipient, the fabric wraps it once);
+//! * **psync** — the Figure 5 protocol at `ℓ = n/2 + 2`, `t = 1` for
+//!   n ∈ {32, 64, 128}: bundle-heavy traffic, dominated by protocol-side
+//!   processing rather than delivery, included so fabric regressions and
+//!   protocol regressions are distinguishable.
+//!
+//! Besides the criterion timing loop, the bench writes machine-readable
+//! results to `BENCH_fabric.json` (one instrumented run per
+//! configuration), which CI uploads so the perf trajectory is recorded
+//! per PR. Pass `--quick` (CI does) to trim the psync series to
+//! n ∈ {32, 64}.
+
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion};
+use homonym_bench::json::{write_bench_json, Value};
+use homonym_bench::{decided_round_value, run_fig5, run_t_eig_clean};
+use homonym_sim::RunReport;
+
+const SYNC_NS: [usize; 4] = [32, 64, 128, 256];
+const PSYNC_NS_FULL: [usize; 3] = [32, 64, 128];
+const PSYNC_NS_QUICK: [usize; 2] = [32, 64];
+
+fn fig5_ell(n: usize) -> usize {
+    n / 2 + 2 // 2ℓ = n + 4 > n + 3t for t = 1
+}
+
+fn bench(c: &mut Criterion, psync_ns: &[usize]) {
+    let mut group = c.benchmark_group("fabric_scaling");
+    group.sample_size(10);
+    for n in SYNC_NS {
+        group.bench_with_input(
+            BenchmarkId::new("sync_t_eig", format!("n{n}")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let report = run_t_eig_clean(n, 4, 1);
+                    assert!(report.verdict.all_hold());
+                    report.messages_sent
+                })
+            },
+        );
+    }
+    for &n in psync_ns {
+        group.bench_with_input(
+            BenchmarkId::new("psync_fig5", format!("n{n}")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let report = run_fig5(n, fig5_ell(n), 1, 0, 3);
+                    assert!(report.verdict.all_hold());
+                    report.messages_sent
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One instrumented run for the JSON artifact.
+fn measure(protocol: &str, n: usize, ell: usize, run: impl FnOnce() -> RunReport<bool>) -> Value {
+    let start = Instant::now();
+    let report = run();
+    let time_ns = start.elapsed().as_nanos() as i64;
+    assert!(report.verdict.all_hold(), "{protocol} n={n} must decide");
+    Value::obj([
+        ("protocol", Value::str(protocol)),
+        ("n", Value::Int(n as i64)),
+        ("ell", Value::Int(ell as i64)),
+        ("t", Value::Int(1)),
+        ("time_ns", Value::Int(time_ns)),
+        ("rounds", Value::Int(report.rounds as i64)),
+        ("decided_round", decided_round_value(&report)),
+        ("messages_sent", Value::Int(report.messages_sent as i64)),
+        (
+            "messages_per_sec",
+            Value::Num(report.messages_sent as f64 / (time_ns as f64 / 1e9)),
+        ),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let psync_ns: &[usize] = if quick {
+        &PSYNC_NS_QUICK
+    } else {
+        &PSYNC_NS_FULL
+    };
+
+    let mut c = Criterion::default();
+    bench(&mut c, psync_ns);
+
+    let mut series = Vec::new();
+    for n in SYNC_NS {
+        series.push(measure("sync_t_eig", n, 4, || run_t_eig_clean(n, 4, 1)));
+    }
+    for &n in psync_ns {
+        let ell = fig5_ell(n);
+        series.push(measure("psync_fig5", n, ell, || run_fig5(n, ell, 1, 0, 3)));
+    }
+    let doc = Value::obj([
+        ("bench", Value::str("fabric_scaling")),
+        ("mode", Value::str(if quick { "quick" } else { "full" })),
+        ("series", Value::Arr(series)),
+    ]);
+    match write_bench_json("fabric", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_fabric.json: {e}"),
+    }
+}

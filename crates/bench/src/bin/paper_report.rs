@@ -17,9 +17,10 @@
 //!
 //! EXPERIMENTS.md archives this output next to the paper's claims.
 
+use homonym_bench::json::{write_bench_json, Value};
 use homonym_bench::{
-    cell_line, fig5_factory, fig7_factory, psync_cfg, restricted_cfg, run_fig5,
-    run_fig5_known_bound, run_fig5_unknown_bound, run_fig7, run_t_eig_clean, suite_fig5,
+    cell_line, decided_round_value, fig5_factory, fig7_factory, psync_cfg, restricted_cfg,
+    run_fig5, run_fig5_known_bound, run_fig5_unknown_bound, run_fig7, run_t_eig_clean, suite_fig5,
     suite_fig7, suite_t_eig, sync_cfg,
 };
 use homonym_core::{
@@ -50,8 +51,19 @@ fn empirical_suite(result: &homonym_sim::harness::SuiteResult<bool>) -> String {
     }
 }
 
-fn table1() {
+fn table1() -> Value {
     section("Table 1 — solvability characterization (predicted vs. empirical)");
+    let mut cells: Vec<Value> = Vec::new();
+    let mut record = |cfg: &SystemConfig, model: &str, empirical: &str| {
+        cells.push(Value::obj([
+            ("n", Value::Int(cfg.n as i64)),
+            ("ell", Value::Int(cfg.ell as i64)),
+            ("t", Value::Int(cfg.t as i64)),
+            ("model", Value::str(model)),
+            ("predicted_solvable", Value::Bool(bounds::solvable(cfg))),
+            ("empirical", Value::str(empirical)),
+        ]));
+    };
 
     println!("-- synchronous, unrestricted (bound: ell > 3t) --");
     for (n, ell, t) in [
@@ -81,6 +93,7 @@ fn table1() {
                 "unsolvable (subsumed by the ell = 3t ring)".to_string()
             }
         };
+        record(&cfg, "sync_unrestricted", &empirical);
         println!("{}", cell_line(&cfg, &empirical));
     }
 
@@ -106,6 +119,7 @@ fn table1() {
                 "no violation (unexpected)".to_string()
             }
         };
+        record(&cfg, "psync_unrestricted", &empirical);
         println!("{}", cell_line(&cfg, &empirical));
     }
 
@@ -134,6 +148,7 @@ fn table1() {
                 report.multivalent()
             )
         };
+        record(&cfg, "restricted_numerate", &empirical);
         println!("{}", cell_line(&cfg, &empirical));
     }
 
@@ -143,6 +158,7 @@ fn table1() {
         "n=4  ell=2  t=1 | predicted unsolvable | empirical: numerate decides = {}, innumerate decides = {}",
         starvation.numerate_decides, starvation.innumerate_decides
     );
+    Value::Arr(cells)
 }
 
 fn figure1() {
@@ -250,8 +266,9 @@ fn broadcast_latency() {
     );
 }
 
-fn fig5_latency() {
+fn fig5_latency() -> Value {
     section("Figure 5 — decision latency vs. stabilization time (E8)");
+    let mut points = Vec::new();
     for gst in [0u64, 8, 16, 24] {
         let report = run_fig5(4, 4, 1, gst, 3);
         println!(
@@ -260,7 +277,17 @@ fn fig5_latency() {
             report.messages_sent,
             report.messages_dropped
         );
+        points.push(Value::obj([
+            ("gst", Value::Int(gst as i64)),
+            ("decided_round", decided_round_value(&report)),
+            ("messages_sent", Value::Int(report.messages_sent as i64)),
+            (
+                "messages_dropped",
+                Value::Int(report.messages_dropped as i64),
+            ),
+        ]));
     }
+    Value::Arr(points)
 }
 
 fn restricted_vs_unrestricted() {
@@ -375,9 +402,10 @@ fn model_equivalence() {
     println!("same protocol, three timing models, agreement every time");
 }
 
-fn price_of_homonymy() {
+fn price_of_homonymy() -> Value {
     section("Price of homonymy — ℓ sweep at n = 8, t = 1 (E15)");
     println!("ℓ = n is the classical DLS baseline; the wall is 2ℓ > n + 3t (ℓ ≥ 6)");
+    let mut points = Vec::new();
     for ell in [8usize, 7, 6] {
         let report = run_fig5(8, ell, 1, 8, 3);
         println!(
@@ -386,7 +414,13 @@ fn price_of_homonymy() {
             report.messages_sent
         );
         assert!(report.verdict.all_hold());
+        points.push(Value::obj([
+            ("ell", Value::Int(ell as i64)),
+            ("decided_round", decided_round_value(&report)),
+            ("messages_sent", Value::Int(report.messages_sent as i64)),
+        ]));
     }
+    Value::Arr(points)
 }
 
 fn restriction_boundary() {
@@ -426,8 +460,17 @@ fn restriction_boundary() {
     );
 }
 
-fn complexity_study() {
+fn complexity_study() -> Value {
     section("Complexity study — rounds & messages across the families (E18)");
+    let mut points = Vec::new();
+    let mut record = |protocol: &str, n: usize, report: &homonym_sim::RunReport<bool>| {
+        points.push(Value::obj([
+            ("protocol", Value::str(protocol)),
+            ("n", Value::Int(n as i64)),
+            ("decided_round", decided_round_value(report)),
+            ("messages_sent", Value::Int(report.messages_sent as i64)),
+        ]));
+    };
     println!("(the paper's conclusion: \"complexity is yet to be explored\")");
     println!("\nscaling in n, fixed (ell, t) — messages grow ~ n², rounds stay flat:");
     println!(
@@ -436,6 +479,7 @@ fn complexity_study() {
     );
     for n in [4usize, 6, 8, 10] {
         let r = run_t_eig_clean(n, 4, 1);
+        record("t_eig_l4", n, &r);
         println!(
             "{:>14} | {:>6} | {:>16} | {:>9}",
             "T(EIG) l=4",
@@ -448,6 +492,7 @@ fn complexity_study() {
     for n in [4usize, 5] {
         let ell = 2 * n - 4; // keep 2ℓ > n + 3 comfortably
         let r = run_fig5(n, ell.min(n), 1, 0, 3);
+        record("fig5", n, &r);
         println!(
             "{:>14} | {:>6} | {:>16} | {:>9}",
             format!("Fig5 l={}", ell.min(n)),
@@ -459,6 +504,7 @@ fn complexity_study() {
     }
     for n in [4usize, 7, 10] {
         let r = run_fig7(n, 2, 1, 0, 3);
+        record("fig7_l2", n, &r);
         println!(
             "{:>14} | {:>6} | {:>16} | {:>9}",
             "Fig7 l=2",
@@ -482,6 +528,7 @@ fn complexity_study() {
             restricted.all_decided_round.map(|x| x.index()),
         );
     }
+    Value::Arr(points)
 }
 
 fn headline() {
@@ -496,19 +543,31 @@ fn headline() {
 
 fn main() {
     println!("Byzantine Agreement with Homonyms — paper reproduction report");
-    table1();
+    let table1_cells = table1();
     figure1();
     figure4();
     transformer_overhead();
     broadcast_latency();
-    fig5_latency();
+    let fig5_points = fig5_latency();
     restricted_vs_unrestricted();
     lemma21();
     ablations();
     model_equivalence();
-    price_of_homonymy();
+    let homonymy_price = price_of_homonymy();
     restriction_boundary();
-    complexity_study();
+    let complexity = complexity_study();
     headline();
-    println!("\nreport complete");
+
+    let doc = Value::obj([
+        ("report", Value::str("paper_report")),
+        ("table1", table1_cells),
+        ("fig5_latency", fig5_points),
+        ("price_of_homonymy", homonymy_price),
+        ("complexity_study", complexity),
+    ]);
+    match write_bench_json("paper_report", &doc) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_paper_report.json: {e}"),
+    }
+    println!("report complete");
 }

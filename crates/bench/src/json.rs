@@ -1,0 +1,185 @@
+//! Minimal JSON emission for machine-readable bench results.
+//!
+//! The container has no crates.io access (see `compat/README.md`), so
+//! this is a hand-rolled serializer covering exactly what the bench
+//! outputs need: objects, arrays, strings, integers, floats, booleans.
+//! Results land in `BENCH_<name>.json` files (in `BENCH_OUT_DIR` if set,
+//! else the current directory), which CI uploads as artifacts so the
+//! perf trajectory of the delivery fabric is recorded per PR.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A JSON value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// The null value (e.g. an absent decision round).
+    Null,
+    /// A string.
+    Str(String),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float (serialized with `{:?}`, round-trippable).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience constructor for an object.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Serializes with two-space indentation (diff-friendly artifacts).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (k, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    if k + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (k, (key, item)) in pairs.iter().enumerate() {
+                    out.push_str(&pad);
+                    Value::Str(key.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    item.write(out, indent + 1);
+                    if k + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Where `BENCH_<name>.json` files go: `$BENCH_OUT_DIR` if set, else the
+/// current directory (the workspace root under `cargo bench`/`cargo run`).
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("BENCH_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Writes `value` to `BENCH_<name>.json` and returns the path.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_bench_json(name: &str, value: &Value) -> std::io::Result<PathBuf> {
+    let path = out_dir().join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, value.render())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Value::obj([
+            ("name", Value::str("fabric")),
+            (
+                "series",
+                Value::Arr(vec![Value::obj([
+                    ("n", Value::Int(32)),
+                    ("time_ns", Value::Num(992032.0)),
+                    ("ok", Value::Bool(true)),
+                ])]),
+            ),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"name\": \"fabric\""));
+        assert!(s.contains("\"n\": 32"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Value::str("a\"b\\c\nd").render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Value::Arr(vec![]).render(), "[]\n");
+        assert_eq!(Value::Obj(vec![]).render(), "{}\n");
+    }
+
+    #[test]
+    fn null_renders_bare() {
+        assert_eq!(Value::Null.render(), "null\n");
+        assert_eq!(Value::Num(f64::NAN).render(), "null\n");
+    }
+}

@@ -5,6 +5,8 @@
 //! paper_report` prints every table and series in one go, and
 //! EXPERIMENTS.md records the outputs next to the paper's claims.
 
+pub mod json;
+
 use homonym_classic::Eig;
 use homonym_core::{
     bounds, ByzPower, Counting, Domain, IdAssignment, Round, Synchrony, SystemConfig,
@@ -187,6 +189,15 @@ pub fn suite_fig7(n: usize, ell: usize, t: usize, gst: u64, seed: u64) -> SuiteR
             seed,
         },
     )
+}
+
+/// The JSON form of a report's all-decided round: the round index, or
+/// `null` if some correct process never decided. One helper so every
+/// `BENCH_*.json` emitter agrees on the schema.
+pub fn decided_round_value<V>(report: &RunReport<V>) -> json::Value {
+    report
+        .all_decided_round
+        .map_or(json::Value::Null, |r| json::Value::Int(r.index() as i64))
 }
 
 /// Formats a solvability cell for the report: predicted vs empirical.

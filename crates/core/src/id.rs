@@ -285,12 +285,17 @@ impl IdAssignment {
     /// The *group* `G(i)`: all processes holding identifier `id`, in
     /// ascending process order.
     pub fn group(&self, id: Id) -> Vec<Pid> {
+        self.group_iter(id).collect()
+    }
+
+    /// Iterates over `G(i)` without allocating — the delivery fabric
+    /// expands every group-addressed emission through this.
+    pub fn group_iter(&self, id: Id) -> impl DoubleEndedIterator<Item = Pid> + Clone + '_ {
         self.ids
             .iter()
             .enumerate()
-            .filter(|(_, &i)| i == id)
+            .filter(move |(_, &i)| i == id)
             .map(|(p, _)| Pid::new(p))
-            .collect()
     }
 
     /// The size of each identifier's group, keyed by identifier.

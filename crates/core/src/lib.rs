@@ -16,6 +16,8 @@
 //!   algorithm in this workspace implements,
 //! * [`Inbox`] — per-round received messages, as a multiset (numerate view)
 //!   or a set (innumerate view),
+//! * [`fabric`] — the `Arc`-shared delivery fabric every execution backend
+//!   (lock-step simulator, threaded runtime, delay network) routes through,
 //! * [`bounds`] — the Table 1 solvability characterization,
 //! * [`spec`] — the Byzantine agreement properties (validity, agreement,
 //!   termination) and trace-level checkers.
@@ -42,6 +44,7 @@
 pub mod bounds;
 mod config;
 mod error;
+pub mod fabric;
 mod id;
 mod message;
 mod process;
@@ -50,6 +53,7 @@ mod value;
 
 pub use config::{ByzPower, Counting, Synchrony, SystemConfig, SystemConfigBuilder};
 pub use error::{AssignmentError, ConfigError};
+pub use fabric::{Deliveries, SharedEnvelope};
 pub use id::{Id, IdAssignment, Pid};
 pub use message::{Envelope, Inbox, Message, Recipients};
 pub use process::{FnFactory, Protocol, ProtocolFactory, Round, Superround};

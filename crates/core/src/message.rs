@@ -2,18 +2,23 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::config::Counting;
+use crate::fabric::SharedEnvelope;
 use crate::id::Id;
 
 /// A protocol message payload.
 ///
 /// Blanket-implemented for any ordered, cloneable, printable,
-/// `Send + 'static` type. Ordering gives inboxes a canonical iteration
-/// order, which keeps every execution deterministic.
-pub trait Message: Clone + Ord + Eq + fmt::Debug + Send + 'static {}
+/// `Send + Sync + 'static` type. Ordering gives inboxes a canonical
+/// iteration order, which keeps every execution deterministic; `Sync` lets
+/// the delivery fabric share one `Arc`-wrapped payload across every
+/// recipient (and across runtime threads) instead of deep-cloning it per
+/// delivery.
+pub trait Message: Clone + Ord + Eq + fmt::Debug + Send + Sync + 'static {}
 
-impl<T: Clone + Ord + Eq + fmt::Debug + Send + 'static> Message for T {}
+impl<T: Clone + Ord + Eq + fmt::Debug + Send + Sync + 'static> Message for T {}
 
 /// Whom a correct process addresses a message to.
 ///
@@ -28,6 +33,22 @@ pub enum Recipients {
     All,
     /// Every process holding the given identifier.
     Group(Id),
+}
+
+impl Recipients {
+    /// The processes addressed under `assignment`, in ascending process
+    /// order, without allocating — `All` is every process, `Group(i)` is
+    /// `G(i)`.
+    pub fn expand(
+        self,
+        assignment: &crate::id::IdAssignment,
+    ) -> impl Iterator<Item = crate::id::Pid> + '_ {
+        let (all, group) = match self {
+            Recipients::All => (Some(crate::id::Pid::all(assignment.n())), None),
+            Recipients::Group(id) => (None, Some(assignment.group_iter(id))),
+        };
+        all.into_iter().flatten().chain(group.into_iter().flatten())
+    }
 }
 
 /// A received message: the (authenticated) identifier of its sender plus
@@ -74,7 +95,10 @@ impl<M: fmt::Debug> fmt::Debug for Envelope<M> {
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct Inbox<M> {
-    by_id: BTreeMap<Id, BTreeMap<M, u64>>,
+    // Keys are `Arc`-shared with the delivery fabric: building an inbox
+    // from shared envelopes never clones a payload, and `BTreeMap`'s
+    // `Borrow`-based lookup keeps every query usable with a plain `&M`.
+    by_id: BTreeMap<Id, BTreeMap<Arc<M>, u64>>,
 }
 
 impl<M: Message> Inbox<M> {
@@ -88,8 +112,22 @@ impl<M: Message> Inbox<M> {
     /// Builds an inbox from delivered envelopes under the given counting
     /// model.
     pub fn collect(deliveries: impl IntoIterator<Item = Envelope<M>>, counting: Counting) -> Self {
-        let mut by_id: BTreeMap<Id, BTreeMap<M, u64>> = BTreeMap::new();
-        for Envelope { src, msg } in deliveries {
+        Inbox::collect_shared(deliveries.into_iter().map(SharedEnvelope::from), counting)
+    }
+
+    /// Builds an inbox from fabric-shared envelopes under the given
+    /// counting model.
+    ///
+    /// Equivalent to [`Inbox::collect`] on the underlying payloads (the
+    /// `fabric_equivalence` property tests pin this), but moves `Arc`
+    /// handles instead of owned payloads: no payload is cloned, however
+    /// many recipients share it.
+    pub fn collect_shared(
+        deliveries: impl IntoIterator<Item = SharedEnvelope<M>>,
+        counting: Counting,
+    ) -> Self {
+        let mut by_id: BTreeMap<Id, BTreeMap<Arc<M>, u64>> = BTreeMap::new();
+        for SharedEnvelope { src, msg } in deliveries {
             *by_id.entry(src).or_default().entry(msg).or_insert(0) += 1;
         }
         if counting == Counting::Innumerate {
@@ -126,7 +164,7 @@ impl<M: Message> Inbox<M> {
         self.by_id
             .get(&id)
             .into_iter()
-            .flat_map(|m| m.iter().map(|(msg, &c)| (msg, c)))
+            .flat_map(|m| m.iter().map(|(msg, &c)| (&**msg, c)))
     }
 
     /// The number of *distinct* payloads received from `id`.
@@ -137,6 +175,15 @@ impl<M: Message> Inbox<M> {
     /// Iterates over all `(sender id, payload, multiplicity)` triples in
     /// canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (Id, &M, u64)> + '_ {
+        self.by_id
+            .iter()
+            .flat_map(|(&id, msgs)| msgs.iter().map(move |(m, &c)| (id, &**m, c)))
+    }
+
+    /// Iterates over the same triples as [`iter`](Inbox::iter) but hands
+    /// out the shared payload handles, so fabric-aware consumers (replay
+    /// pools, trace stores) can retain a message without cloning it.
+    pub fn iter_shared(&self) -> impl Iterator<Item = (Id, &Arc<M>, u64)> + '_ {
         self.by_id
             .iter()
             .flat_map(|(&id, msgs)| msgs.iter().map(move |(m, &c)| (id, m, c)))
@@ -152,7 +199,7 @@ impl<M: Message> Inbox<M> {
     {
         self.by_id
             .iter()
-            .filter(move |(_, msgs)| msgs.keys().any(&pred))
+            .filter(move |(_, msgs)| msgs.keys().any(|m| pred(m)))
             .map(|(&id, _)| id)
     }
 

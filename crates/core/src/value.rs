@@ -10,13 +10,15 @@ use crate::id::Id;
 /// A value that can be proposed to and decided by Byzantine agreement.
 ///
 /// This is a marker trait with a blanket implementation: any ordered,
-/// hashable, cloneable, printable, `Send + 'static` type qualifies (`bool`,
-/// `u64`, `String`, …). Ordering is required because the paper's algorithms
-/// make *deterministic choices* among candidate values (e.g. Figure 3
-/// line 5, Figure 7's lock selection), which we implement as "smallest".
-pub trait Value: Clone + Ord + Eq + Hash + fmt::Debug + Send + 'static {}
+/// hashable, cloneable, printable, `Send + Sync + 'static` type qualifies
+/// (`bool`, `u64`, `String`, …). Ordering is required because the paper's
+/// algorithms make *deterministic choices* among candidate values (e.g.
+/// Figure 3 line 5, Figure 7's lock selection), which we implement as
+/// "smallest"; `Sync` lets values ride the `Arc`-shared delivery fabric
+/// inside message payloads.
+pub trait Value: Clone + Ord + Eq + Hash + fmt::Debug + Send + Sync + 'static {}
 
-impl<T: Clone + Ord + Eq + Hash + fmt::Debug + Send + 'static> Value for T {}
+impl<T: Clone + Ord + Eq + Hash + fmt::Debug + Send + Sync + 'static> Value for T {}
 
 /// The finite domain of values processes may propose.
 ///

@@ -2,13 +2,15 @@
 //! network.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use homonym_core::spec::{self, Outcome, Verdict};
 use homonym_core::IdAssignment;
 use homonym_core::{
-    ByzPower, Envelope, Inbox, Pid, Protocol, ProtocolFactory, Recipients, Round, SystemConfig,
+    ByzPower, Deliveries, Inbox, Pid, Protocol, ProtocolFactory, Round, SharedEnvelope,
+    SystemConfig,
 };
-use homonym_sim::adversary::{AdvCtx, Adversary, ByzTarget, Silent};
+use homonym_sim::adversary::{AdvCtx, Adversary, Silent};
 
 use crate::model::{DelayModel, Instant};
 use crate::net::{Flight, InFlight};
@@ -231,6 +233,9 @@ impl<P: Protocol> DelayCluster<P> {
             .collect();
 
         let mut net: InFlight<P::Msg> = InFlight::new();
+        // Per-round routing buckets on the shared delivery fabric, reused
+        // across rounds.
+        let mut deliveries: Deliveries<P::Msg> = Deliveries::new(n);
         let mut decisions: BTreeMap<Pid, (P::Value, Round)> = BTreeMap::new();
         let mut tick = 0u64;
         let mut round = Round::ZERO;
@@ -247,30 +252,27 @@ impl<P: Protocol> DelayCluster<P> {
             let duration = self.pacing.duration(round).max(1);
             let deadline = start + duration;
 
-            // Per-recipient buffers for this round's on-time arrivals.
-            let mut buffers: BTreeMap<Pid, Vec<Envelope<P::Msg>>> = BTreeMap::new();
+            // This round's on-time arrivals route into the reused fabric
+            // buckets.
+            deliveries.clear();
 
-            // 1. Correct sends at the round's opening tick.
+            // 1. Correct sends at the round's opening tick; one Arc wrap
+            //    per emission, shared by every recipient's flight.
+            let mut addressed: BTreeSet<Pid> = BTreeSet::new();
             for (&pid, proc_) in procs.iter_mut() {
                 let out = proc_.send(round);
                 let src_id = self.assignment.id_of(pid);
-                let mut addressed: BTreeSet<Pid> = BTreeSet::new();
+                addressed.clear();
                 for (recipients, msg) in out {
-                    let targets: Vec<Pid> = match recipients {
-                        Recipients::All => Pid::all(n).collect(),
-                        Recipients::Group(id) => self.assignment.group(id),
-                    };
-                    for to in targets {
+                    let msg = Arc::new(msg);
+                    for to in recipients.expand(&self.assignment) {
                         assert!(
                             addressed.insert(to),
                             "correct process {pid} addressed {to} twice in {round}"
                         );
                         if to == pid {
                             // Self-delivery costs no network trip.
-                            buffers.entry(to).or_default().push(Envelope {
-                                src: src_id,
-                                msg: msg.clone(),
-                            });
+                            deliveries.push(to, SharedEnvelope::shared(src_id, Arc::clone(&msg)));
                         } else {
                             messages_sent += 1;
                             let arrive = start + self.model.delay(start, pid, to).max(1);
@@ -281,7 +283,7 @@ impl<P: Protocol> DelayCluster<P> {
                                     src: src_id,
                                     to,
                                     round,
-                                    msg: msg.clone(),
+                                    msg: Arc::clone(&msg),
                                 },
                             );
                         }
@@ -305,12 +307,7 @@ impl<P: Protocol> DelayCluster<P> {
                     emission.from
                 );
                 let src_id = self.assignment.id_of(emission.from);
-                let targets: Vec<Pid> = match emission.to {
-                    ByzTarget::One(p) => vec![p],
-                    ByzTarget::All => Pid::all(n).collect(),
-                    ByzTarget::Group(id) => self.assignment.group(id),
-                };
-                for to in targets {
+                for to in emission.to.expand(&self.assignment) {
                     if self.cfg.byz_power == ByzPower::Restricted {
                         let count = byz_sent.entry((emission.from, to)).or_insert(0);
                         if *count >= 1 {
@@ -330,7 +327,7 @@ impl<P: Protocol> DelayCluster<P> {
                             src: src_id,
                             to,
                             round,
-                            msg: emission.msg.clone(),
+                            msg: Arc::clone(&emission.msg),
                         },
                     );
                 }
@@ -342,10 +339,7 @@ impl<P: Protocol> DelayCluster<P> {
             for flight in net.arrivals_up_to(deadline) {
                 if flight.round == round {
                     delivered_on_time += 1;
-                    buffers.entry(flight.to).or_default().push(Envelope {
-                        src: flight.src,
-                        msg: flight.msg,
-                    });
+                    deliveries.push(flight.to, SharedEnvelope::shared(flight.src, flight.msg));
                 } else {
                     debug_assert!(flight.round < round, "messages cannot arrive early");
                     late += 1;
@@ -355,8 +349,7 @@ impl<P: Protocol> DelayCluster<P> {
 
             // 4. Close the round: deliver inboxes, record decisions.
             for (&pid, proc_) in procs.iter_mut() {
-                let inbox =
-                    Inbox::collect(buffers.remove(&pid).unwrap_or_default(), self.cfg.counting);
+                let inbox = deliveries.take_inbox(pid, self.cfg.counting);
                 proc_.receive(round, &inbox);
                 if let Some(v) = proc_.decision() {
                     match decisions.get(&pid) {
@@ -377,12 +370,7 @@ impl<P: Protocol> DelayCluster<P> {
             let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = self
                 .byz
                 .iter()
-                .map(|&pid| {
-                    (
-                        pid,
-                        Inbox::collect(buffers.remove(&pid).unwrap_or_default(), self.cfg.counting),
-                    )
-                })
+                .map(|&pid| (pid, deliveries.take_inbox(pid, self.cfg.counting)))
                 .collect();
             self.adversary.receive(round, &byz_inboxes);
 
@@ -423,7 +411,8 @@ mod tests {
     use super::*;
     use crate::model::{AlwaysBounded, EventuallyBounded};
     use crate::pacing::DoublingPacing;
-    use homonym_core::{FnFactory, Id};
+    use homonym_core::{FnFactory, Id, Recipients};
+    use homonym_sim::adversary::ByzTarget;
 
     /// Flood the running minimum for `horizon` rounds, then decide it.
     #[derive(Clone, Debug)]
@@ -571,11 +560,7 @@ mod tests {
         let spam = Scripted::new((0..3).map(|_| {
             (
                 Round::ZERO,
-                Emission {
-                    from: Pid::new(2),
-                    to: ByzTarget::One(Pid::new(0)),
-                    msg: 0u32,
-                },
+                Emission::new(Pid::new(2), ByzTarget::One(Pid::new(0)), 0u32),
             )
         }));
         let mut config = cfg(4, 4, 1);

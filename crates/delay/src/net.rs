@@ -1,10 +1,15 @@
 //! The in-flight message store of the delay network.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use homonym_core::{Id, Pid, Round};
 
 /// A message travelling through the delay network.
+///
+/// The payload is an `Arc` handle on the delivery fabric: one emission
+/// fanned out to many recipients keeps a single allocation in flight,
+/// however the delay model scatters the arrival ticks.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) struct Flight<M> {
     /// The sending process (environment knowledge only).
@@ -15,8 +20,8 @@ pub(crate) struct Flight<M> {
     pub to: Pid,
     /// The round the message belongs to.
     pub round: Round,
-    /// The payload.
-    pub msg: M,
+    /// The shared payload.
+    pub msg: Arc<M>,
 }
 
 /// Messages in flight, keyed by arrival tick.
@@ -88,7 +93,7 @@ mod tests {
             src: Id::new(1),
             to: Pid::new(to),
             round: Round::new(round),
-            msg,
+            msg: Arc::new(msg),
         }
     }
 
@@ -103,11 +108,11 @@ mod tests {
 
         let due = net.arrivals_up_to(4);
         assert_eq!(due.len(), 1);
-        assert_eq!(due[0].msg, 20);
+        assert_eq!(*due[0].msg, 20);
         assert_eq!(net.len(), 2);
 
         let due = net.arrivals_up_to(5);
-        assert_eq!(due.iter().map(|f| f.msg).collect::<Vec<_>>(), vec![10, 30]);
+        assert_eq!(due.iter().map(|f| *f.msg).collect::<Vec<_>>(), vec![10, 30]);
         assert!(net.is_empty());
         assert_eq!(net.next_arrival(), None);
     }
@@ -119,7 +124,10 @@ mod tests {
             net.send(k, flight(0, 0, msg));
         }
         let due = net.arrivals_up_to(7);
-        assert_eq!(due.iter().map(|f| f.msg).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            due.iter().map(|f| *f.msg).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

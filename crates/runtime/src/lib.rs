@@ -18,15 +18,16 @@
 #![forbid(unsafe_code)]
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::thread;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
-    ByzPower, Envelope, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Recipients, Round,
-    SystemConfig,
+    ByzPower, Deliveries, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Recipients,
+    Round, SharedEnvelope, SystemConfig,
 };
-use homonym_sim::adversary::{AdvCtx, Adversary, ByzTarget, Silent};
+use homonym_sim::adversary::{AdvCtx, Adversary, Silent};
 use homonym_sim::{DropPolicy, NoDrops, RunReport};
 
 enum ToActor<M> {
@@ -171,12 +172,16 @@ where
             }));
         }
 
-        // Coordinator loop.
+        // Coordinator loop. The wire list and delivery buckets are the
+        // same Arc-shared fabric the lock-step simulator routes through,
+        // reused across rounds.
         let mut decisions: BTreeMap<Pid, (P::Value, Round)> = BTreeMap::new();
         let mut messages_sent = 0u64;
         let mut messages_delivered = 0u64;
         let mut messages_dropped = 0u64;
         let mut round = Round::ZERO;
+        let mut wires: Vec<(Pid, Id, Pid, Arc<P::Msg>)> = Vec::new();
+        let mut deliveries: Deliveries<P::Msg> = Deliveries::new(cfg.n);
 
         while round.index() < max_rounds && decisions.len() < correct.len() {
             // 1. Collect correct sends (in parallel across actors).
@@ -194,22 +199,22 @@ where
             }
 
             // 2. Wires: correct then adversary (same order as the
-            //    simulator, for determinism parity).
-            let mut wires: Vec<(Pid, Id, Pid, P::Msg)> = Vec::new();
-            for (&pid, out) in &sends {
+            //    simulator, for determinism parity). Each payload is
+            //    wrapped in an Arc once; recipients share the handle.
+            wires.clear();
+            deliveries.clear();
+            let mut addressed: BTreeSet<Pid> = BTreeSet::new();
+            for (pid, out) in sends {
                 let src_id = self.assignment.id_of(pid);
-                let mut addressed: BTreeSet<Pid> = BTreeSet::new();
+                addressed.clear();
                 for (recipients, msg) in out {
-                    let targets: Vec<Pid> = match recipients {
-                        Recipients::All => Pid::all(cfg.n).collect(),
-                        Recipients::Group(id) => self.assignment.group(*id),
-                    };
-                    for to in targets {
+                    let msg = Arc::new(msg);
+                    for to in recipients.expand(&self.assignment) {
                         assert!(
                             addressed.insert(to),
                             "correct process {pid} addressed {to} twice in {round}"
                         );
-                        wires.push((pid, src_id, to, msg.clone()));
+                        wires.push((pid, src_id, to, Arc::clone(&msg)));
                     }
                 }
             }
@@ -227,12 +232,7 @@ where
                     emission.from
                 );
                 let src_id = self.assignment.id_of(emission.from);
-                let targets: Vec<Pid> = match emission.to {
-                    ByzTarget::One(p) => vec![p],
-                    ByzTarget::All => Pid::all(cfg.n).collect(),
-                    ByzTarget::Group(id) => self.assignment.group(id),
-                };
-                for to in targets {
+                for to in emission.to.expand(&self.assignment) {
                     if cfg.byz_power == ByzPower::Restricted {
                         let count = byz_sent.entry((emission.from, to)).or_insert(0);
                         if *count >= 1 {
@@ -240,13 +240,12 @@ where
                         }
                         *count += 1;
                     }
-                    wires.push((emission.from, src_id, to, emission.msg.clone()));
+                    wires.push((emission.from, src_id, to, Arc::clone(&emission.msg)));
                 }
             }
 
-            // 3. Drops and routing.
-            let mut buffers: BTreeMap<Pid, Vec<Envelope<P::Msg>>> = BTreeMap::new();
-            for (from, src_id, to, msg) in wires {
+            // 3. Drops and routing into the dense buckets.
+            for (from, src_id, to, msg) in wires.drain(..) {
                 let is_self = from == to;
                 if !is_self {
                     messages_sent += 1;
@@ -256,15 +255,12 @@ where
                     }
                     messages_delivered += 1;
                 }
-                buffers
-                    .entry(to)
-                    .or_default()
-                    .push(Envelope { src: src_id, msg });
+                deliveries.push(to, SharedEnvelope::shared(src_id, msg));
             }
 
             // 4. Deliver to actors; collect decisions.
             for (&pid, tx) in &to_actors {
-                let inbox = Inbox::collect(buffers.remove(&pid).unwrap_or_default(), cfg.counting);
+                let inbox = deliveries.take_inbox(pid, cfg.counting);
                 tx.send(ToActor::Deliver(round, inbox))
                     .expect("actor alive");
             }
@@ -293,12 +289,7 @@ where
             let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = self
                 .byz
                 .iter()
-                .map(|&pid| {
-                    (
-                        pid,
-                        Inbox::collect(buffers.remove(&pid).unwrap_or_default(), cfg.counting),
-                    )
-                })
+                .map(|&pid| (pid, deliveries.take_inbox(pid, cfg.counting)))
                 .collect();
             self.adversary.receive(round, &byz_inboxes);
 

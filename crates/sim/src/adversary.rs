@@ -28,6 +28,7 @@
 //!   deliveries (the Figure 4 construction).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use homonym_core::{
     Id, IdAssignment, Inbox, Message, Pid, Protocol, ProtocolFactory, Recipients, Round,
@@ -50,16 +51,52 @@ pub enum ByzTarget {
     Group(Id),
 }
 
+impl ByzTarget {
+    /// The processes addressed under `assignment`, in ascending process
+    /// order, without allocating.
+    pub fn expand(self, assignment: &IdAssignment) -> impl Iterator<Item = Pid> + '_ {
+        let (one, all, group) = match self {
+            ByzTarget::One(p) => (Some(p), None, None),
+            ByzTarget::All => (None, Some(Pid::all(assignment.n())), None),
+            ByzTarget::Group(id) => (None, None, Some(assignment.group_iter(id))),
+        };
+        one.into_iter()
+            .chain(all.into_iter().flatten())
+            .chain(group.into_iter().flatten())
+    }
+}
+
 /// One Byzantine message: sent by `from` (authenticated with `from`'s
 /// identifier — forging is impossible in the model) to `to`.
+///
+/// The payload rides the delivery fabric: it is wrapped in an [`Arc`]
+/// exactly once (at construction) and shared from there — by every
+/// recipient the target expands to, by the trace, and by whichever replay
+/// pool the strategy drew it from.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Emission<M> {
     /// The Byzantine process sending.
     pub from: Pid,
     /// The target.
     pub to: ByzTarget,
-    /// The payload.
-    pub msg: M,
+    /// The shared payload.
+    pub msg: Arc<M>,
+}
+
+impl<M> Emission<M> {
+    /// An emission carrying an owned payload (wrapped once, never cloned).
+    pub fn new(from: Pid, to: ByzTarget, msg: M) -> Self {
+        Emission {
+            from,
+            to,
+            msg: Arc::new(msg),
+        }
+    }
+
+    /// An emission sharing an already-wrapped payload.
+    pub fn shared(from: Pid, to: ByzTarget, msg: Arc<M>) -> Self {
+        Emission { from, to, msg }
+    }
 }
 
 /// Static per-round context handed to adversaries.
@@ -113,13 +150,15 @@ impl<M: Message> Adversary<M> for Silent {
 
 fn protocol_emissions<M: Message>(from: Pid, out: Vec<(Recipients, M)>) -> Vec<Emission<M>> {
     out.into_iter()
-        .map(|(r, msg)| Emission {
-            from,
-            to: match r {
-                Recipients::All => ByzTarget::All,
-                Recipients::Group(i) => ByzTarget::Group(i),
-            },
-            msg,
+        .map(|(r, msg)| {
+            Emission::new(
+                from,
+                match r {
+                    Recipients::All => ByzTarget::All,
+                    Recipients::Group(i) => ByzTarget::Group(i),
+                },
+                msg,
+            )
         })
         .collect()
 }
@@ -260,17 +299,14 @@ impl<P: Protocol> Equivocator<P> {
     ) -> Vec<Emission<P::Msg>> {
         let mut emissions = Vec::new();
         for (recipients, msg) in out {
+            let msg = Arc::new(msg);
             for to in Pid::all(self.n) {
                 let addressed = match recipients {
                     Recipients::All => true,
                     Recipients::Group(i) => assignment.id_of(to) == i,
                 };
                 if addressed && self.split.contains(&to) == to_split {
-                    emissions.push(Emission {
-                        from,
-                        to: ByzTarget::One(to),
-                        msg: msg.clone(),
-                    });
+                    emissions.push(Emission::shared(from, ByzTarget::One(to), Arc::clone(&msg)));
                 }
             }
         }
@@ -381,7 +417,7 @@ impl<P: Protocol> Adversary<P::Msg> for CloneSpammer<P> {
 /// contexts, probing every handler's tolerance for out-of-protocol traffic.
 #[derive(Debug)]
 pub struct ReplayFuzzer<M> {
-    pool: Vec<M>,
+    pool: Vec<Arc<M>>,
     rng: StdRng,
     burst: usize,
     pool_cap: usize,
@@ -408,13 +444,9 @@ impl<M: Message> Adversary<M> for ReplayFuzzer<M> {
         let mut emissions = Vec::new();
         for &from in ctx.byz {
             for _ in 0..self.burst {
-                let msg = self.pool[self.rng.gen_range(0..self.pool.len())].clone();
+                let msg = Arc::clone(&self.pool[self.rng.gen_range(0..self.pool.len())]);
                 let to = Pid::new(self.rng.gen_range(0..ctx.assignment.n()));
-                emissions.push(Emission {
-                    from,
-                    to: ByzTarget::One(to),
-                    msg,
-                });
+                emissions.push(Emission::shared(from, ByzTarget::One(to), msg));
             }
         }
         emissions
@@ -422,9 +454,9 @@ impl<M: Message> Adversary<M> for ReplayFuzzer<M> {
 
     fn receive(&mut self, _round: Round, inboxes: &BTreeMap<Pid, Inbox<M>>) {
         for inbox in inboxes.values() {
-            for (_, msg, _) in inbox.iter() {
+            for (_, msg, _) in inbox.iter_shared() {
                 if self.pool.len() < self.pool_cap {
-                    self.pool.push(msg.clone());
+                    self.pool.push(Arc::clone(msg));
                 }
             }
         }
@@ -492,12 +524,8 @@ impl<M: Message> Adversary<M> for TraceReplayer<M> {
         for &from in ctx.byz {
             let id = ctx.assignment.id_of(from);
             for (&to, &ref_pid) in &self.map {
-                for msg in self.trace.received_from_id(ref_pid, id, ctx.round) {
-                    emissions.push(Emission {
-                        from,
-                        to: ByzTarget::One(to),
-                        msg: msg.clone(),
-                    });
+                for msg in self.trace.received_arcs_from_id(ref_pid, id, ctx.round) {
+                    emissions.push(Emission::shared(from, ByzTarget::One(to), msg));
                 }
             }
         }
@@ -516,7 +544,7 @@ impl<M: Message> Adversary<M> for TraceReplayer<M> {
 #[derive(Clone, Debug)]
 pub struct StaleReplayer<M> {
     delay: u64,
-    heard: BTreeMap<Round, Vec<M>>,
+    heard: BTreeMap<Round, Vec<Arc<M>>>,
     cap_per_round: usize,
 }
 
@@ -552,11 +580,7 @@ impl<M: Message> Adversary<M> for StaleReplayer<M> {
                 // Target only non-Byzantine processes so the replayer does
                 // not feed on its own echoes.
                 for to in Pid::all(ctx.assignment.n()).filter(|p| !ctx.byz.contains(p)) {
-                    emissions.push(Emission {
-                        from,
-                        to: ByzTarget::One(to),
-                        msg: msg.clone(),
-                    });
+                    emissions.push(Emission::shared(from, ByzTarget::One(to), Arc::clone(msg)));
                 }
             }
         }
@@ -566,8 +590,8 @@ impl<M: Message> Adversary<M> for StaleReplayer<M> {
     fn receive(&mut self, round: Round, inboxes: &BTreeMap<Pid, Inbox<M>>) {
         let bucket = self.heard.entry(round).or_default();
         for inbox in inboxes.values() {
-            for (_, msg, _) in inbox.iter() {
-                bucket.push(msg.clone());
+            for (_, msg, _) in inbox.iter_shared() {
+                bucket.push(Arc::clone(msg));
             }
         }
     }
@@ -585,7 +609,7 @@ impl<M: Message> Adversary<M> for StaleReplayer<M> {
 #[derive(Clone, Debug)]
 pub struct Flooder<M> {
     copies: usize,
-    last: Option<M>,
+    last: Option<Arc<M>>,
 }
 
 impl<M: Message> Flooder<M> {
@@ -604,11 +628,7 @@ impl<M: Message> Adversary<M> for Flooder<M> {
         let mut emissions = Vec::new();
         for &from in ctx.byz {
             for _ in 0..self.copies {
-                emissions.push(Emission {
-                    from,
-                    to: ByzTarget::All,
-                    msg: msg.clone(),
-                });
+                emissions.push(Emission::shared(from, ByzTarget::All, Arc::clone(msg)));
             }
         }
         emissions
@@ -616,8 +636,8 @@ impl<M: Message> Adversary<M> for Flooder<M> {
 
     fn receive(&mut self, _round: Round, inboxes: &BTreeMap<Pid, Inbox<M>>) {
         for inbox in inboxes.values() {
-            if let Some((_, msg, _)) = inbox.iter().last() {
-                self.last = Some(msg.clone());
+            if let Some((_, msg, _)) = inbox.iter_shared().last() {
+                self.last = Some(Arc::clone(msg));
             }
         }
     }

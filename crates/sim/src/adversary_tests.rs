@@ -96,7 +96,7 @@ fn mimic_is_indistinguishable_from_a_correct_process() {
     // One broadcast to each of the three correct processes per round.
     assert_eq!(sent.len(), 9);
     for d in &sent {
-        let (id, input, round) = d.msg;
+        let (id, input, round) = *d.msg;
         assert_eq!(id, 4);
         assert_eq!(input, 99);
         assert_eq!(round, d.round.index());
@@ -125,7 +125,7 @@ fn equivocator_shows_each_half_a_different_persona() {
         2,
     );
     for d in byz_deliveries(&trace) {
-        let (_, input, _) = d.msg;
+        let (_, input, _) = *d.msg;
         if d.to == Pid::new(0) {
             assert_eq!(input, 7, "persona A for the split set");
         } else {
@@ -179,7 +179,7 @@ fn replay_fuzzer_only_replays_observed_messages() {
         .deliveries()
         .iter()
         .filter(|d| d.from != Pid::new(3))
-        .map(|d| d.msg)
+        .map(|d| *d.msg)
         .collect();
     let byz = byz_deliveries(&trace);
     assert!(
@@ -188,7 +188,7 @@ fn replay_fuzzer_only_replays_observed_messages() {
     );
     for d in byz {
         assert!(
-            correct_msgs.contains(&d.msg),
+            correct_msgs.contains(&*d.msg),
             "fuzzer invented a message: {:?}",
             d.msg
         );
@@ -200,19 +200,19 @@ fn scripted_emits_exactly_the_script() {
     let script = Scripted::new([
         (
             Round::new(1),
-            Emission {
-                from: Pid::new(3),
-                to: ByzTarget::One(Pid::new(0)),
-                msg: (4u16, 999u32, 1u64),
-            },
+            Emission::new(
+                Pid::new(3),
+                ByzTarget::One(Pid::new(0)),
+                (4u16, 999u32, 1u64),
+            ),
         ),
         (
             Round::new(1),
-            Emission {
-                from: Pid::new(3),
-                to: ByzTarget::Group(Id::new(2)),
-                msg: (4u16, 998u32, 1u64),
-            },
+            Emission::new(
+                Pid::new(3),
+                ByzTarget::Group(Id::new(2)),
+                (4u16, 998u32, 1u64),
+            ),
         ),
     ]);
     let trace = run_with(script, 3);
@@ -229,11 +229,7 @@ fn compose_concatenates_strategies() {
     let mimic = Mimic::new(&factory, &assignment, &[(Pid::new(3), 99u32)]);
     let script = Scripted::new([(
         Round::new(0),
-        Emission {
-            from: Pid::new(3),
-            to: ByzTarget::All,
-            msg: (4u16, 1000u32, 0u64),
-        },
+        Emission::new(Pid::new(3), ByzTarget::All, (4u16, 1000u32, 0u64)),
     )]);
     let composed: Compose<(u16, u32, u64)> = Compose::new(vec![Box::new(mimic), Box::new(script)]);
     let trace = run_with(composed, 1);
@@ -251,7 +247,7 @@ fn stale_replayer_echoes_with_the_configured_delay() {
     let byz = byz_deliveries(&trace);
     assert!(!byz.is_empty());
     for d in byz {
-        let (_, _, tagged_round) = d.msg;
+        let (_, _, tagged_round) = *d.msg;
         assert_eq!(
             tagged_round + 2,
             d.round.index(),

@@ -5,9 +5,16 @@
 //! "the same messages as that process receives in α" from identifier `i`.
 //! [`Trace::received_from_id`] is exactly that query.
 
+use std::sync::Arc;
+
 use homonym_core::{Id, Message, Pid, Round};
 
 /// One attempted delivery.
+///
+/// The payload is an [`Arc`] handle shared with the delivery fabric:
+/// recording a trace costs one reference-count bump per delivery, not a
+/// deep copy. `Arc<M>` derefs to `M` and prints identically, so queries
+/// and dumps read exactly as they did when traces stored owned payloads.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Delivery<M> {
     /// The round in which the message was sent.
@@ -18,8 +25,8 @@ pub struct Delivery<M> {
     pub src_id: Id,
     /// The receiving process.
     pub to: Pid,
-    /// The payload.
-    pub msg: M,
+    /// The payload, shared with every other holder of this message.
+    pub msg: Arc<M>,
     /// Whether the drop policy lost this message.
     pub dropped: bool,
 }
@@ -70,7 +77,18 @@ impl<M: Message> Trace<M> {
     pub fn received_from_id(&self, to: Pid, src_id: Id, round: Round) -> Vec<&M> {
         self.received_by(to, round)
             .filter(|d| d.src_id == src_id)
-            .map(|d| &d.msg)
+            .map(|d| &*d.msg)
+            .collect()
+    }
+
+    /// The shared payload handles delivered to `to` in `round` from
+    /// identifier `src_id` — the zero-copy form of
+    /// [`received_from_id`](Trace::received_from_id) that replay
+    /// adversaries re-emit without cloning.
+    pub fn received_arcs_from_id(&self, to: Pid, src_id: Id, round: Round) -> Vec<Arc<M>> {
+        self.received_by(to, round)
+            .filter(|d| d.src_id == src_id)
+            .map(|d| Arc::clone(&d.msg))
             .collect()
     }
 
@@ -163,7 +181,7 @@ mod tests {
             from: Pid::new(from),
             src_id: Id::new(src),
             to: Pid::new(to),
-            msg: msg.to_string(),
+            msg: Arc::new(msg.to_string()),
             dropped,
         }
     }

@@ -39,11 +39,11 @@ fn state_poisoner(
     Scripted::new((0..horizon).filter(|r| r % 3 == 0).map(|r| {
         (
             Round::new(r),
-            Emission {
-                from: Pid::new(1),
-                to: ByzTarget::All,
-                msg: TransformerMsg::State(poisoned.clone()),
-            },
+            Emission::new(
+                Pid::new(1),
+                ByzTarget::All,
+                TransformerMsg::State(poisoned.clone()),
+            ),
         )
     }))
 }

@@ -1,0 +1,94 @@
+//! Property tests for the delivery fabric: `Inbox::collect_shared` must be
+//! observationally identical to `Inbox::collect` under both counting
+//! models, whatever the delivery multiset — including when many shared
+//! envelopes alias one `Arc` allocation, which is exactly how the engine
+//! fans out a broadcast.
+
+use std::sync::Arc;
+
+use homonyms::core::{Counting, Deliveries, Envelope, Id, Inbox, Pid, SharedEnvelope};
+use proptest::prelude::*;
+
+/// A delivery list strategy: up to 64 envelopes over 4 identifiers and a
+/// tiny payload alphabet, so duplicate `(id, payload)` pairs (the
+/// interesting case for multiplicities) are common.
+fn deliveries() -> impl Strategy<Value = Vec<(u16, u8)>> {
+    proptest::collection::vec((1u16..=4, 0u8..=5), 0..=64)
+}
+
+fn owned(raw: &[(u16, u8)]) -> Vec<Envelope<u8>> {
+    raw.iter()
+        .map(|&(src, msg)| Envelope {
+            src: Id::new(src),
+            msg,
+        })
+        .collect()
+}
+
+fn shared(raw: &[(u16, u8)]) -> Vec<SharedEnvelope<u8>> {
+    raw.iter()
+        .map(|&(src, msg)| SharedEnvelope::new(Id::new(src), msg))
+        .collect()
+}
+
+/// Shared envelopes where equal payloads alias one allocation, as the
+/// engine produces when one broadcast fans out to every recipient.
+fn aliased(raw: &[(u16, u8)]) -> Vec<SharedEnvelope<u8>> {
+    let pool: Vec<Arc<u8>> = (0u8..=5).map(Arc::new).collect();
+    raw.iter()
+        .map(|&(src, msg)| SharedEnvelope::shared(Id::new(src), Arc::clone(&pool[msg as usize])))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn collect_shared_equals_collect(raw in deliveries(), innumerate in any::<bool>()) {
+        let counting = if innumerate {
+            Counting::Innumerate
+        } else {
+            Counting::Numerate
+        };
+        let from_owned = Inbox::collect(owned(&raw), counting);
+        let from_shared = Inbox::collect_shared(shared(&raw), counting);
+        let from_aliased = Inbox::collect_shared(aliased(&raw), counting);
+        prop_assert_eq!(&from_owned, &from_shared);
+        prop_assert_eq!(&from_owned, &from_aliased);
+        // Observational equality, not just structural: every query agrees.
+        prop_assert_eq!(from_owned.total(), from_shared.total());
+        prop_assert_eq!(from_owned.len(), from_shared.len());
+        for (id, msg, count) in from_owned.iter() {
+            prop_assert_eq!(from_shared.count(id, msg), count);
+            prop_assert!(from_aliased.contains(id, msg));
+        }
+        let owned_flat: Vec<_> = from_owned.iter().map(|(i, m, c)| (i, *m, c)).collect();
+        let shared_flat: Vec<_> = from_shared.iter().map(|(i, m, c)| (i, *m, c)).collect();
+        prop_assert_eq!(owned_flat, shared_flat, "canonical iteration order agrees");
+    }
+
+    #[test]
+    fn deliveries_buckets_equal_direct_collection(raw in deliveries(), innumerate in any::<bool>()) {
+        let counting = if innumerate {
+            Counting::Innumerate
+        } else {
+            Counting::Numerate
+        };
+        // Round-robin the deliveries over 3 recipients through the dense
+        // buckets, and compare each drained inbox against collecting that
+        // recipient's slice directly.
+        let n = 3usize;
+        let mut buckets: Deliveries<u8> = Deliveries::new(n);
+        let mut per_recipient: Vec<Vec<Envelope<u8>>> = vec![Vec::new(); n];
+        for (k, env) in shared(&raw).into_iter().enumerate() {
+            let to = k % n;
+            per_recipient[to].push(Envelope {
+                src: env.src,
+                msg: *env.msg,
+            });
+            buckets.push(Pid::new(to), env);
+        }
+        for (to, expected) in per_recipient.into_iter().enumerate() {
+            let drained = buckets.take_inbox(Pid::new(to), counting);
+            prop_assert_eq!(drained, Inbox::collect(expected, counting));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Golden equivalence for the Arc-shared delivery fabric: the refactored
+//! engine must reproduce, byte for byte, the traces and decisions the seed
+//! (deep-clone-per-recipient) engine produced on the `fig1_violation` and
+//! `fig4_disagreement` scenarios.
+//!
+//! The `GOLDEN_*` hashes below were harvested from the seed engine (commit
+//! `be73ae0`) by running these exact functions before the fabric refactor;
+//! run with `--nocapture` to see the recomputed values.
+
+use std::fmt::Write as _;
+
+use homonyms::classic::Eig;
+use homonyms::core::{Domain, Synchrony, SystemConfig};
+use homonyms::core::{IdAssignment, Pid, Round};
+use homonyms::lower_bounds::{fig1, fig4};
+use homonyms::psync::AgreementFactory;
+use homonyms::sim::adversary::CloneSpammer;
+use homonyms::sim::{RandomUntilGst, Simulation, Trace};
+use homonyms::sync::TransformedFactory;
+
+/// FNV-1a, so the golden values are stable one-liners rather than
+/// megabyte dumps checked into the tree.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Canonical, byte-stable rendering of a full trace: one line per
+/// attempted delivery, in recording order. `{:?}` on the payload prints
+/// identically whether the trace stores `M` (seed engine) or `Arc<M>`
+/// (fabric engine), which is exactly the equivalence under test.
+fn trace_dump<M: homonyms::core::Message>(trace: &Trace<M>) -> String {
+    let mut s = String::new();
+    for d in trace.deliveries() {
+        let _ = writeln!(
+            s,
+            "{}|{}|{}|{}|{:?}|{}",
+            d.round, d.from, d.src_id, d.to, d.msg, d.dropped
+        );
+    }
+    s
+}
+
+/// The fig1_violation scenario: the ring construction for (n=4, t=1) run
+/// under T(EIG), with the full delivery trace recorded.
+fn fig1_scenario_digest() -> (u64, u64) {
+    let sys = fig1::build(4, 1);
+    let factory = TransformedFactory::new(Eig::new_unchecked(3, 1, Domain::binary()), 1);
+    let cfg = SystemConfig::builder(sys.assignment.n(), 3, 0)
+        .build()
+        .expect("ring configuration is valid");
+    let mut sim = Simulation::builder(cfg, sys.assignment.clone(), sys.inputs.clone())
+        .topology(sys.topology.clone())
+        .record_trace(true)
+        .build_with(&factory);
+    sim.run_exact(factory.round_bound() + 9);
+    let decisions = format!("{:?}", sim.decisions());
+    let trace = trace_dump(sim.trace().expect("trace enabled"));
+    (fnv1a(trace.as_bytes()), fnv1a(decisions.as_bytes()))
+}
+
+/// The fig4_disagreement scenario: the full partition construction for the
+/// headline cell (n=5, ℓ=4, t=1) — reference runs α/β, trace replay, the
+/// partition drop schedule, and the split-brain outcome.
+fn fig4_scenario_digest() -> u64 {
+    let cfg = SystemConfig::builder(5, 4, 1)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters");
+    let factory = AgreementFactory::new(5, 4, 1, Domain::binary());
+    let outcome = fig4::run(&factory, cfg, 8 * 14);
+    fnv1a(format!("{outcome:?}").as_bytes())
+}
+
+/// A lossy adversarial run with the trace on: random drops before GST plus
+/// a clone-spamming Byzantine process, so the dump covers the dropped flag
+/// and adversary emissions too.
+fn lossy_adversarial_digest() -> (u64, u64) {
+    let cfg = SystemConfig::builder(5, 4, 1)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters");
+    let factory = AgreementFactory::new(5, 4, 1, Domain::binary());
+    let assignment = IdAssignment::stacked(4, 5).expect("ℓ ≤ n");
+    let byz: std::collections::BTreeSet<Pid> = [Pid::new(0)].into_iter().collect();
+    let adversary = CloneSpammer::new(&factory, &assignment, &byz, Domain::binary().values());
+    let inputs = (0..5).map(|k| k % 2 == 0).collect();
+    let mut sim = Simulation::builder(cfg, assignment, inputs)
+        .byzantine(byz, adversary)
+        .drops(RandomUntilGst::new(Round::new(6), 0.3, 42))
+        .record_trace(true)
+        .build_with(&factory);
+    sim.run_exact(24);
+    let decisions = format!("{:?}", sim.decisions());
+    let trace = trace_dump(sim.trace().expect("trace enabled"));
+    (fnv1a(trace.as_bytes()), fnv1a(decisions.as_bytes()))
+}
+
+const GOLDEN_FIG1_TRACE: u64 = 0x8341f2eca062d52e;
+const GOLDEN_FIG1_DECISIONS: u64 = 0x8e752f7d79333a10;
+const GOLDEN_FIG4_OUTCOME: u64 = 0x1f894c47d257ba9a;
+const GOLDEN_LOSSY_TRACE: u64 = 0xd726c8ffe7267484;
+const GOLDEN_LOSSY_DECISIONS: u64 = 0x91f6ae649ee5d7aa;
+
+#[test]
+fn fig1_trace_and_decisions_match_seed_engine() {
+    let (trace, decisions) = fig1_scenario_digest();
+    println!("fig1 trace={trace:#018x} decisions={decisions:#018x}");
+    assert_eq!(trace, GOLDEN_FIG1_TRACE, "fig1 trace diverged from seed");
+    assert_eq!(
+        decisions, GOLDEN_FIG1_DECISIONS,
+        "fig1 decisions diverged from seed"
+    );
+}
+
+#[test]
+fn fig4_outcome_matches_seed_engine() {
+    let outcome = fig4_scenario_digest();
+    println!("fig4 outcome={outcome:#018x}");
+    assert_eq!(outcome, GOLDEN_FIG4_OUTCOME, "fig4 outcome diverged");
+}
+
+#[test]
+fn lossy_adversarial_trace_matches_seed_engine() {
+    let (trace, decisions) = lossy_adversarial_digest();
+    println!("lossy trace={trace:#018x} decisions={decisions:#018x}");
+    assert_eq!(trace, GOLDEN_LOSSY_TRACE, "lossy trace diverged");
+    assert_eq!(
+        decisions, GOLDEN_LOSSY_DECISIONS,
+        "lossy decisions diverged"
+    );
+}
