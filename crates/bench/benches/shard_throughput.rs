@@ -1,0 +1,170 @@
+//! Shard throughput — decisions/sec of the sharded multi-shot scheduler
+//! as the shard count K and the shard size n climb, over one shared
+//! delivery plane.
+//!
+//! Two series:
+//!
+//! * **sync** — K ∈ {1, 4, 16, 64} shards of n ∈ {8, 32} synchronous
+//!   `T(EIG)` agreement at `(ℓ = 4, t = 1)`, 4 shots per shard: the
+//!   multi-shot pipeline's headline (every tick is K interleaved n × n
+//!   broadcasts, each payload wrapped once);
+//! * **psync** — K ∈ {1, 4, 16} shards of the Figure 5 protocol at
+//!   n = 16, `ℓ = 10`, 2 shots per shard: bundle-heavy traffic, so
+//!   protocol-side regressions stay distinguishable from fabric ones.
+//!
+//! Besides the criterion timing loop, the bench writes machine-readable
+//! results to `BENCH_shards.json` (one instrumented run per
+//! configuration, wire-bit estimates on — the arXiv:2311.08060 per-
+//! instance cost series), which CI uploads alongside `BENCH_fabric.json`.
+//! Pass `--quick` (CI does) to cap K at 16 and skip n = 32 on the sync
+//! series.
+
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion};
+use homonym_bench::json::{write_bench_json, Value};
+use homonym_bench::{decided_shots_total, run_sharded_fig5, run_sharded_t_eig};
+use homonym_sim::ShardReport;
+
+const SYNC_KS: [usize; 4] = [1, 4, 16, 64];
+const SYNC_KS_QUICK: [usize; 3] = [1, 4, 16];
+const SYNC_NS: [usize; 2] = [8, 32];
+const SYNC_NS_QUICK: [usize; 1] = [8];
+const SYNC_SHOTS: usize = 4;
+
+const PSYNC_KS: [usize; 3] = [1, 4, 16];
+const PSYNC_KS_QUICK: [usize; 2] = [1, 4];
+const PSYNC_N: usize = 16;
+const PSYNC_ELL: usize = 10; // 2ℓ = 20 > n + 3t = 19
+const PSYNC_SHOTS: usize = 2;
+
+fn bench(c: &mut Criterion, quick: bool) {
+    let sync_ks: &[usize] = if quick { &SYNC_KS_QUICK } else { &SYNC_KS };
+    let sync_ns: &[usize] = if quick { &SYNC_NS_QUICK } else { &SYNC_NS };
+    let mut group = c.benchmark_group("shard_throughput");
+    group.sample_size(10);
+    for &n in sync_ns {
+        for &k in sync_ks {
+            group.bench_with_input(
+                BenchmarkId::new(format!("sync_t_eig_n{n}"), format!("k{k}")),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        let reports = run_sharded_t_eig(k, n, 4, 1, SYNC_SHOTS, false);
+                        let decided = decided_shots_total(&reports);
+                        assert_eq!(decided, (k * SYNC_SHOTS) as u64);
+                        decided
+                    })
+                },
+            );
+        }
+    }
+    for &k in if quick {
+        &PSYNC_KS_QUICK[..]
+    } else {
+        &PSYNC_KS[..]
+    } {
+        group.bench_with_input(
+            BenchmarkId::new("psync_fig5_n16", format!("k{k}")),
+            &k,
+            |b, &k| {
+                b.iter(|| {
+                    let reports = run_sharded_fig5(k, PSYNC_N, PSYNC_ELL, 1, PSYNC_SHOTS, false);
+                    let decided = decided_shots_total(&reports);
+                    assert_eq!(decided, (k * PSYNC_SHOTS) as u64);
+                    decided
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One instrumented run for the JSON artifact (wire-bit estimates on).
+fn measure(
+    protocol: &str,
+    k: usize,
+    n: usize,
+    ell: usize,
+    shots: usize,
+    run: impl FnOnce() -> Vec<ShardReport<bool>>,
+) -> Value {
+    let start = Instant::now();
+    let reports = run();
+    let time_ns = start.elapsed().as_nanos() as i64;
+    let decided = decided_shots_total(&reports);
+    assert_eq!(
+        decided,
+        (k * shots) as u64,
+        "{protocol} k={k} n={n}: every shard must decide every shot"
+    );
+    let messages: u64 = reports.iter().map(ShardReport::messages_sent).sum();
+    let rounds: u64 = reports.iter().map(ShardReport::rounds).sum();
+    let bits: u64 = reports
+        .iter()
+        .map(|r| r.bits_sent().expect("bits measured"))
+        .sum();
+    Value::obj([
+        ("protocol", Value::str(protocol)),
+        ("k", Value::Int(k as i64)),
+        ("n", Value::Int(n as i64)),
+        ("ell", Value::Int(ell as i64)),
+        ("t", Value::Int(1)),
+        ("shots_per_shard", Value::Int(shots as i64)),
+        ("time_ns", Value::Int(time_ns)),
+        ("decisions", Value::Int(decided as i64)),
+        (
+            "decisions_per_sec",
+            Value::Num(decided as f64 / (time_ns as f64 / 1e9)),
+        ),
+        ("rounds", Value::Int(rounds as i64)),
+        ("messages_sent", Value::Int(messages as i64)),
+        ("bits_sent_estimate", Value::Int(bits as i64)),
+        (
+            "messages_per_decision",
+            Value::Num(messages as f64 / decided as f64),
+        ),
+        (
+            "bits_per_decision",
+            Value::Num(bits as f64 / decided as f64),
+        ),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut c = Criterion::default();
+    bench(&mut c, quick);
+
+    let sync_ks: &[usize] = if quick { &SYNC_KS_QUICK } else { &SYNC_KS };
+    let sync_ns: &[usize] = if quick { &SYNC_NS_QUICK } else { &SYNC_NS };
+    let psync_ks: &[usize] = if quick { &PSYNC_KS_QUICK } else { &PSYNC_KS };
+
+    let mut series = Vec::new();
+    for &n in sync_ns {
+        for &k in sync_ks {
+            series.push(measure("sync_t_eig", k, n, 4, SYNC_SHOTS, || {
+                run_sharded_t_eig(k, n, 4, 1, SYNC_SHOTS, true)
+            }));
+        }
+    }
+    for &k in psync_ks {
+        series.push(measure(
+            "psync_fig5",
+            k,
+            PSYNC_N,
+            PSYNC_ELL,
+            PSYNC_SHOTS,
+            || run_sharded_fig5(k, PSYNC_N, PSYNC_ELL, 1, PSYNC_SHOTS, true),
+        ));
+    }
+    let doc = Value::obj([
+        ("bench", Value::str("shard_throughput")),
+        ("mode", Value::str(if quick { "quick" } else { "full" })),
+        ("series", Value::Arr(series)),
+    ]);
+    match write_bench_json("shards", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_shards.json: {e}"),
+    }
+}

@@ -16,7 +16,9 @@ use homonym_delay::{
 };
 use homonym_psync::{AgreementFactory, RestrictedFactory};
 use homonym_sim::harness::{run_standard_suite, SuiteParams, SuiteResult};
-use homonym_sim::{RandomUntilGst, RunReport, Simulation};
+use homonym_sim::{
+    RandomUntilGst, RunReport, ShardReport, ShardSpec, ShardedSimulation, ShotSpec, Simulation,
+};
 use homonym_sync::TransformedFactory;
 
 /// A `T(EIG)` factory for `ell` identifiers tolerating `t` faults.
@@ -133,6 +135,66 @@ pub fn run_fig5_unknown_bound(
     cluster.run(&factory, catch_up + factory.round_bound() + 24)
 }
 
+/// K shards of n-process synchronous `T(EIG)` agreement, each running
+/// `shots` back-to-back instances (alternating input patterns) through
+/// one shared delivery plane. Wire-bit estimates are on when
+/// `measure_bits` is set.
+pub fn run_sharded_t_eig(
+    k: usize,
+    n: usize,
+    ell: usize,
+    t: usize,
+    shots: usize,
+    measure_bits: bool,
+) -> Vec<ShardReport<bool>> {
+    let horizon = t_eig_factory(ell, t).round_bound() + 9;
+    let mut sharded = ShardedSimulation::new().measure_bits(measure_bits);
+    for s in 0..k {
+        let mut spec = ShardSpec::new(
+            sync_cfg(n, ell, t),
+            IdAssignment::stacked(ell, n).expect("ℓ ≤ n"),
+        );
+        for q in 0..shots {
+            let inputs = (0..n).map(|i| (i + q + s) % 2 == 0).collect();
+            spec = spec.shot(ShotSpec::new(inputs).horizon(horizon));
+        }
+        sharded.add_shard(spec, t_eig_factory(ell, t));
+    }
+    sharded.run(shots as u64 * horizon + 8)
+}
+
+/// K shards of the Figure 5 partially synchronous protocol (no drops),
+/// `shots` instances per shard, over one shared delivery plane.
+pub fn run_sharded_fig5(
+    k: usize,
+    n: usize,
+    ell: usize,
+    t: usize,
+    shots: usize,
+    measure_bits: bool,
+) -> Vec<ShardReport<bool>> {
+    let horizon = fig5_factory(n, ell, t).round_bound() + 24;
+    let mut sharded = ShardedSimulation::new().measure_bits(measure_bits);
+    for s in 0..k {
+        let mut spec = ShardSpec::new(
+            psync_cfg(n, ell, t),
+            IdAssignment::stacked(ell, n).expect("ℓ ≤ n"),
+        );
+        for q in 0..shots {
+            let inputs = (0..n).map(|i| (i + q + s) % 2 == 0).collect();
+            spec = spec.shot(ShotSpec::new(inputs).horizon(horizon));
+        }
+        sharded.add_shard(spec, fig5_factory(n, ell, t));
+    }
+    sharded.run(shots as u64 * horizon + 8)
+}
+
+/// Agreement instances completed (all correct processes decided) across a
+/// sharded run's reports.
+pub fn decided_shots_total(reports: &[ShardReport<bool>]) -> u64 {
+    reports.iter().map(|r| r.decided_shots() as u64).sum()
+}
+
 /// Runs the standard adversary suite for a synchronous `T(EIG)` cell.
 pub fn suite_t_eig(n: usize, ell: usize, t: usize, seed: u64) -> SuiteResult<bool> {
     let cfg = sync_cfg(n, ell, t);
@@ -225,6 +287,15 @@ mod tests {
         assert!(run_t_eig_clean(5, 4, 1).verdict.all_hold());
         assert!(run_fig5(4, 4, 1, 4, 1).verdict.all_hold());
         assert!(run_fig7(4, 2, 1, 4, 1).verdict.all_hold());
+    }
+
+    #[test]
+    fn sharded_runs_decide_every_shot() {
+        let sync = run_sharded_t_eig(3, 6, 4, 1, 2, true);
+        assert_eq!(decided_shots_total(&sync), 6);
+        assert!(sync.iter().all(|r| r.bits_sent().unwrap() > 0));
+        let psync = run_sharded_fig5(2, 6, 5, 1, 2, false);
+        assert_eq!(decided_shots_total(&psync), 4);
     }
 
     #[test]

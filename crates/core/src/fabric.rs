@@ -89,6 +89,20 @@ impl<M: Message> Deliveries<M> {
         self.buckets.len()
     }
 
+    /// Grows the bucket vector to at least `n` recipients, keeping every
+    /// existing bucket (and its allocation). No-op if already large
+    /// enough.
+    ///
+    /// This is how the sharded schedulers share one delivery plane: each
+    /// shard claims a contiguous slot range, and enqueueing a new shard
+    /// widens the plane without disturbing the buckets other shards are
+    /// already reusing round after round.
+    pub fn ensure_n(&mut self, n: usize) {
+        if n > self.buckets.len() {
+            self.buckets.resize_with(n, Vec::new);
+        }
+    }
+
     /// Empties every bucket, keeping their allocations for the next round.
     pub fn clear(&mut self) {
         for bucket in &mut self.buckets {
@@ -154,6 +168,19 @@ mod tests {
         d.clear();
         d.push(Pid::new(0), env(2, "y"));
         assert_eq!(d.total(), 1);
+    }
+
+    #[test]
+    fn ensure_n_grows_but_never_shrinks_or_clears() {
+        let mut d: Deliveries<String> = Deliveries::new(2);
+        d.push(Pid::new(1), env(1, "kept"));
+        d.ensure_n(4);
+        assert_eq!(d.n(), 4);
+        assert_eq!(d.len_for(Pid::new(1)), 1, "existing buckets survive");
+        d.push(Pid::new(3), env(2, "new slot"));
+        assert_eq!(d.total(), 2);
+        d.ensure_n(1);
+        assert_eq!(d.n(), 4, "ensure_n never shrinks");
     }
 
     #[test]

@@ -13,6 +13,15 @@
 //! This is the "deployment-shaped" substrate: it exists to demonstrate the
 //! protocol automata are runtime-agnostic, and to benchmark the protocol
 //! logic under real thread scheduling.
+//!
+//! Two coordinators are provided: [`Cluster`] runs one agreement instance
+//! (the original single-shot parity target), and [`ShardedCluster`] drives
+//! the sharded multi-shot schedule of
+//! [`homonym_sim::shards::ShardedSimulation`] — K instances interleaved
+//! per tick over one shared delivery plane, shards restarting on their
+//! queued shots — with thread-per-process actors that are *restarted* in
+//! place between shots (the `shard_runtime_parity` integration tests pin
+//! the cross-engine equivalence).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +37,7 @@ use homonym_core::{
     Round, SharedEnvelope, SystemConfig,
 };
 use homonym_sim::adversary::{AdvCtx, Adversary, Silent};
+use homonym_sim::shards::{wire_bits, ShardCore, ShardId, ShardReport, ShardSpec};
 use homonym_sim::{DropPolicy, NoDrops, RunReport};
 
 enum ToActor<M> {
@@ -325,6 +335,375 @@ where
     }
 }
 
+enum ToShardActor<P: Protocol> {
+    /// Replace the actor's automaton (a new shot starts).
+    Restart(P),
+    Collect(Round),
+    Deliver(Round, Inbox<P::Msg>),
+    Stop,
+}
+
+enum FromShardActor<M, V> {
+    Sends(usize, Pid, Vec<(Recipients, M)>),
+    Received(usize, Pid, Option<V>),
+}
+
+/// The sharded threaded coordinator: drives the same multi-shot shard
+/// schedule as [`homonym_sim::shards::ShardedSimulation`], with every
+/// process of every shard on its own OS thread.
+///
+/// Each global tick the coordinator collects one round of sends from all
+/// live shards' actors, routes everything through one shared
+/// [`Deliveries`] plane (shards at dense slot offsets, payload `Arc`s
+/// wrapped once per emission), and delivers back. When a shard's instance
+/// decides, the coordinator spawns fresh automata from the shard's
+/// factory and *restarts* the existing actor threads in place — no thread
+/// churn between shots. Per-shard reports use the same
+/// [`ShardReport`]/[`ShotReport`] types as the simulator, so parity is a
+/// field-for-field comparison.
+///
+/// # Example
+///
+/// ```
+/// use homonym_classic::{Eig, UniqueRunner};
+/// use homonym_core::{Domain, FnFactory, IdAssignment, SystemConfig};
+/// use homonym_runtime::ShardedCluster;
+/// use homonym_sim::{ShardSpec, ShotSpec};
+///
+/// let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+/// let domain = Domain::binary();
+/// let factory = FnFactory::new(move |id, input| {
+///     UniqueRunner::new(Eig::new(4, 1, domain.clone()), id, input)
+/// });
+/// let mut cluster = ShardedCluster::new();
+/// cluster.add_shard(
+///     ShardSpec::new(cfg, IdAssignment::unique(4))
+///         .shot(ShotSpec::new(vec![true; 4]))
+///         .shot(ShotSpec::new(vec![false; 4])),
+///     factory,
+/// );
+/// let reports = cluster.run(32);
+/// assert_eq!(reports[0].decided_shots(), 2);
+/// ```
+pub struct ShardedCluster<P: Protocol> {
+    shards: Vec<(ShardSpec<P>, Box<dyn ProtocolFactory<P = P>>)>,
+    measure_bits: bool,
+}
+
+impl<P: Protocol> Default for ShardedCluster<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> ShardedCluster<P> {
+    /// An empty sharded cluster.
+    pub fn new() -> Self {
+        ShardedCluster {
+            shards: Vec::new(),
+            measure_bits: false,
+        }
+    }
+
+    /// Estimates wire bits per shot (off by default) — see
+    /// [`wire_bits`](homonym_sim::shards::wire_bits).
+    pub fn measure_bits(mut self, on: bool) -> Self {
+        self.measure_bits = on;
+        self
+    }
+
+    /// Enqueues a shard and the factory its shots respawn from.
+    pub fn add_shard(
+        &mut self,
+        spec: ShardSpec<P>,
+        factory: impl ProtocolFactory<P = P> + 'static,
+    ) -> ShardId {
+        let id = ShardId::new(self.shards.len());
+        self.shards.push((spec, Box::new(factory)));
+        id
+    }
+}
+
+impl<P> ShardedCluster<P>
+where
+    P: Protocol + Send + 'static,
+    P::Value: Send,
+{
+    /// Spawns one thread per process of every shard and runs global
+    /// lock-step ticks until every shard drains its shot queue or
+    /// `max_ticks` elapse, then reports per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same contract violations as the sharded simulator
+    /// (all of which are asserted on the coordinator thread). A panic
+    /// *inside a protocol automaton* kills its actor thread and leaves
+    /// the coordinator waiting for a reply that never comes — the run
+    /// does not complete (the same limitation as [`Cluster`]); protocol
+    /// code is trusted not to panic.
+    pub fn run(self, max_ticks: u64) -> Vec<ShardReport<P::Value>> {
+        let measure_bits = self.measure_bits;
+
+        // Validate and lay the shards out on the shared plane. The shot
+        // bookkeeping is the simulator's own `ShardCore`, so validation,
+        // restarts and reports cannot drift between the engines.
+        let mut shards: Vec<ShardCore<P>> = Vec::new();
+        let mut offset = 0usize;
+        for (spec, factory) in self.shards {
+            let n = spec.cfg.n;
+            shards.push(ShardCore::new(spec, factory, offset));
+            offset += n;
+        }
+        let total_slots = offset;
+
+        // One actor thread per (shard, process); automata arrive via
+        // Restart messages, so Byzantine-only slots simply idle.
+        let (from_tx, from_rx): (
+            Sender<FromShardActor<P::Msg, P::Value>>,
+            Receiver<FromShardActor<P::Msg, P::Value>>,
+        ) = bounded(total_slots.max(1) * 2);
+        let mut to_actors: Vec<BTreeMap<Pid, Sender<ToShardActor<P>>>> = Vec::new();
+        let mut handles = Vec::new();
+        for (s, shard) in shards.iter().enumerate() {
+            let mut txs = BTreeMap::new();
+            for pid in Pid::all(shard.cfg.n) {
+                let (to_tx, to_rx) = bounded::<ToShardActor<P>>(4);
+                txs.insert(pid, to_tx);
+                let from_tx = from_tx.clone();
+                handles.push(thread::spawn(move || {
+                    let mut proc_: Option<P> = None;
+                    while let Ok(msg) = to_rx.recv() {
+                        match msg {
+                            ToShardActor::Restart(p) => proc_ = Some(p),
+                            ToShardActor::Collect(round) => {
+                                let out = proc_.as_mut().expect("actor restarted").send(round);
+                                from_tx
+                                    .send(FromShardActor::Sends(s, pid, out))
+                                    .expect("coordinator alive");
+                            }
+                            ToShardActor::Deliver(round, inbox) => {
+                                let p = proc_.as_mut().expect("actor restarted");
+                                p.receive(round, &inbox);
+                                from_tx
+                                    .send(FromShardActor::Received(s, pid, p.decision()))
+                                    .expect("coordinator alive");
+                            }
+                            ToShardActor::Stop => break,
+                        }
+                    }
+                }));
+            }
+            to_actors.push(txs);
+        }
+
+        // Ships freshly spawned automata to their actors (the threaded
+        // counterpart of the simulator placing them in its procs map).
+        let restart_actors =
+            |spawned: Vec<(Pid, P)>, txs: &BTreeMap<Pid, Sender<ToShardActor<P>>>| {
+                for (pid, p) in spawned {
+                    txs[&pid]
+                        .send(ToShardActor::Restart(p))
+                        .expect("actor alive");
+                }
+            };
+
+        for (shard, txs) in shards.iter_mut().zip(&to_actors) {
+            if let Some(spawned) = shard.start_next_shot(0) {
+                restart_actors(spawned, txs);
+            }
+        }
+
+        // The coordinator loop: the same shared-fabric tick as the
+        // sharded simulator, with actor round-trips in phases 1 and 3.
+        let mut tick = 0u64;
+        let mut wires: Vec<(usize, Pid, Id, Pid, Arc<P::Msg>, u64)> = Vec::new();
+        let mut plane: Deliveries<P::Msg> = Deliveries::new(total_slots);
+        while tick < max_ticks && shards.iter().any(|s| s.active) {
+            // Phase 1a — collect sends from every live shard's actors
+            // (in parallel across all shards).
+            let mut expected = 0usize;
+            for (s, shard) in shards.iter().enumerate() {
+                if !shard.active {
+                    continue;
+                }
+                for pid in &shard.correct {
+                    to_actors[s][pid]
+                        .send(ToShardActor::Collect(shard.round))
+                        .expect("actor alive");
+                }
+                expected += shard.correct.len();
+            }
+            let mut sends: BTreeMap<(usize, Pid), Vec<(Recipients, P::Msg)>> = BTreeMap::new();
+            for _ in 0..expected {
+                match from_rx.recv().expect("actor alive") {
+                    FromShardActor::Sends(s, pid, out) => {
+                        sends.insert((s, pid), out);
+                    }
+                    FromShardActor::Received(..) => unreachable!("no delivery outstanding"),
+                }
+            }
+
+            // Phase 1b — wires, shard by shard: correct sends in pid
+            // order, then the adversary (the simulator's order).
+            wires.clear();
+            plane.clear();
+            let mut addressed: BTreeSet<Pid> = BTreeSet::new();
+            for (s, shard) in shards.iter_mut().enumerate() {
+                if !shard.active {
+                    continue;
+                }
+                let round = shard.round;
+                for &pid in &shard.correct {
+                    let out = sends.remove(&(s, pid)).expect("send collected");
+                    let src_id = shard.assignment.id_of(pid);
+                    addressed.clear();
+                    for (recipients, msg) in out {
+                        let msg = Arc::new(msg);
+                        let bits = if measure_bits { wire_bits(&*msg) } else { 0 };
+                        for to in recipients.expand(&shard.assignment) {
+                            assert!(
+                                addressed.insert(to),
+                                "correct process {pid} addressed {to} twice in {round}"
+                            );
+                            wires.push((s, pid, src_id, to, Arc::clone(&msg), bits));
+                        }
+                    }
+                }
+                let ctx = AdvCtx {
+                    round,
+                    cfg: &shard.cfg,
+                    assignment: &shard.assignment,
+                    byz: &shard.byz,
+                };
+                let mut byz_sent: BTreeMap<(Pid, Pid), u32> = BTreeMap::new();
+                for emission in shard.adversary.send(&ctx) {
+                    assert!(
+                        shard.byz.contains(&emission.from),
+                        "adversary emitted from non-byzantine {}",
+                        emission.from
+                    );
+                    let src_id = shard.assignment.id_of(emission.from);
+                    let bits = if measure_bits {
+                        wire_bits(&*emission.msg)
+                    } else {
+                        0
+                    };
+                    for to in emission.to.expand(&shard.assignment) {
+                        if shard.cfg.byz_power == ByzPower::Restricted {
+                            let count = byz_sent.entry((emission.from, to)).or_insert(0);
+                            if *count >= 1 {
+                                continue;
+                            }
+                            *count += 1;
+                        }
+                        wires.push((
+                            s,
+                            emission.from,
+                            src_id,
+                            to,
+                            Arc::clone(&emission.msg),
+                            bits,
+                        ));
+                    }
+                }
+            }
+
+            // Phase 2 — topology, drops, and routing into the shared
+            // plane at each shard's slot offset.
+            for (s, from, src_id, to, msg, bits) in wires.drain(..) {
+                let shard = &mut shards[s];
+                if !shard.topology.connected(from, to) {
+                    continue;
+                }
+                let is_self = from == to;
+                if !is_self {
+                    shard.messages_sent += 1;
+                    shard.bits_sent += bits;
+                    if shard.drops.drops(shard.round, from, to) {
+                        shard.messages_dropped += 1;
+                        continue;
+                    }
+                    shard.messages_delivered += 1;
+                }
+                plane.push(
+                    Pid::new(shard.offset + to.index()),
+                    SharedEnvelope::shared(src_id, msg),
+                );
+            }
+
+            // Phase 3 — deliver to every live shard's actors; collect
+            // decisions; hand Byzantine inboxes to the adversaries.
+            let mut expected = 0usize;
+            for (s, shard) in shards.iter().enumerate() {
+                if !shard.active {
+                    continue;
+                }
+                for &pid in &shard.correct {
+                    let slot = Pid::new(shard.offset + pid.index());
+                    let inbox = plane.take_inbox(slot, shard.cfg.counting);
+                    to_actors[s][&pid]
+                        .send(ToShardActor::Deliver(shard.round, inbox))
+                        .expect("actor alive");
+                }
+                expected += shard.correct.len();
+            }
+            for _ in 0..expected {
+                match from_rx.recv().expect("actor alive") {
+                    FromShardActor::Received(s, pid, decision) => {
+                        if let Some(v) = decision {
+                            shards[s].record_decision(pid, v);
+                        }
+                    }
+                    FromShardActor::Sends(..) => unreachable!("no collect outstanding"),
+                }
+            }
+            for shard in shards.iter_mut() {
+                if !shard.active {
+                    continue;
+                }
+                let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = shard
+                    .byz
+                    .iter()
+                    .map(|&pid| {
+                        let slot = Pid::new(shard.offset + pid.index());
+                        (pid, plane.take_inbox(slot, shard.cfg.counting))
+                    })
+                    .collect();
+                shard.adversary.receive(shard.round, &byz_inboxes);
+                shard.round = shard.round.next();
+            }
+
+            // Phase 4 — finalize decided / horizon-hit shots and restart
+            // the freed actors on the next queued shot.
+            for (s, shard) in shards.iter_mut().enumerate() {
+                if let Some(spawned) = shard.roll_over_if_done(ShardId::new(s), tick, measure_bits)
+                {
+                    restart_actors(spawned, &to_actors[s]);
+                }
+            }
+
+            tick += 1;
+        }
+
+        // Shut down actors.
+        for txs in &to_actors {
+            for tx in txs.values() {
+                let _ = tx.send(ToShardActor::Stop);
+            }
+        }
+        drop(to_actors);
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+
+        shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| shard.report(ShardId::new(s), tick, measure_bits))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +744,58 @@ mod tests {
             .run(&factory, 10);
         assert!(report.verdict.all_hold());
         assert_eq!(report.outcome.decisions.len(), 3);
+    }
+
+    #[test]
+    fn sharded_cluster_pipelines_shots_like_the_simulator() {
+        use homonym_sim::{ShardSpec, ShardedSimulation, ShotSpec};
+        let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+        let factory = eig_factory(4, 1);
+        let build_spec = || {
+            ShardSpec::new(cfg, IdAssignment::unique(4))
+                .shot(ShotSpec::new(vec![true, false, true, false]))
+                .shot(
+                    ShotSpec::new(vec![false, false, true, false]).byzantine([Pid::new(3)], Silent),
+                )
+        };
+        let mut cluster = ShardedCluster::new();
+        cluster.add_shard(build_spec(), eig_factory(4, 1));
+        let threaded = cluster.run(32);
+
+        let mut sim = ShardedSimulation::new();
+        sim.add_shard(build_spec(), factory);
+        let simulated = sim.run(32);
+
+        assert_eq!(threaded.len(), 1);
+        assert_eq!(threaded[0].shots.len(), 2);
+        assert_eq!(threaded[0].decided_shots(), 2);
+        for (a, b) in threaded[0].shots.iter().zip(&simulated[0].shots) {
+            assert_eq!(a.report.outcome.decisions, b.report.outcome.decisions);
+            assert_eq!(a.report.rounds, b.report.rounds);
+            assert_eq!(a.report.messages_sent, b.report.messages_sent);
+            assert_eq!(a.started_tick, b.started_tick);
+            assert_eq!(a.finished_tick, b.finished_tick);
+        }
+    }
+
+    #[test]
+    fn sharded_cluster_runs_many_shards_at_once() {
+        use homonym_sim::{ShardSpec, ShotSpec};
+        let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+        let mut cluster = ShardedCluster::new();
+        for k in 0..4usize {
+            let inputs: Vec<bool> = (0..4).map(|i| (i + k) % 2 == 0).collect();
+            cluster.add_shard(
+                ShardSpec::new(cfg, IdAssignment::unique(4)).shot(ShotSpec::new(inputs)),
+                eig_factory(4, 1),
+            );
+        }
+        let reports = cluster.run(16);
+        assert_eq!(reports.len(), 4);
+        for report in &reports {
+            assert_eq!(report.decided_shots(), 1);
+            assert!(report.shots[0].report.verdict.all_hold());
+        }
     }
 
     #[test]

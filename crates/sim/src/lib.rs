@@ -19,6 +19,9 @@
 //!   scripted).
 //! * [`Trace`] — per-delivery records supporting the replay adversaries
 //!   used by the Figure 4 partition construction.
+//! * [`shards`] — the sharded multi-shot scheduler: K independent
+//!   agreement instances interleaved over one shared delivery plane,
+//!   with pipelining and per-shard cost roll-ups.
 //! * [`harness`] — run-and-check: executes a protocol against a whole
 //!   scenario grid and compares the empirical verdicts with the Table 1
 //!   prediction.
@@ -36,6 +39,7 @@ mod adversary_tests;
 mod drops;
 mod engine;
 pub mod harness;
+pub mod shards;
 mod topology;
 mod trace;
 
@@ -44,5 +48,9 @@ pub use drops::{
     Both, DropPolicy, IsolateUntil, NoDrops, PartitionUntil, RandomUntilGst, ScriptedDrops,
 };
 pub use engine::{RunReport, Simulation, SimulationBuilder};
+pub use shards::{
+    ShardDelivery, ShardId, ShardReport, ShardSpec, ShardedSimulation, ShardedTrace, ShotReport,
+    ShotSpec,
+};
 pub use topology::Topology;
 pub use trace::{Delivery, Trace};

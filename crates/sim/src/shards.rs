@@ -1,0 +1,1191 @@
+//! Sharded multi-shot agreement over the shared delivery fabric.
+//!
+//! The paper's protocols are single-shot: one agreement instance per run.
+//! A production workload runs *many* independent instances at once, so
+//! [`ShardedSimulation`] drives K instances — each with its own
+//! [`SystemConfig`], identifier assignment, Byzantine set, drop policy and
+//! topology — through **one** shared [`Deliveries`] plane. Every shard
+//! claims a contiguous range of slots in the plane
+//! ([`Deliveries::ensure_n`] widens it as shards are enqueued), rounds are
+//! interleaved across shards each global *tick*, and the fabric's headline
+//! guarantee is preserved: each emitted payload is wrapped in an
+//! [`Arc`](std::sync::Arc) exactly once, whatever the shard count (pinned
+//! by the counting-`Clone` test in this module).
+//!
+//! Shards are *multi-shot*: a [`ShardSpec`] carries a queue of
+//! [`ShotSpec`]s, and the tick after a shard's instance decides (or hits
+//! its per-shot horizon) the shard restarts on the next queued shot — the
+//! pipelining that turns one-shot agreement into a throughput workload.
+//! Per shot the scheduler rolls up the same [`RunReport`] the single-shot
+//! engine produces, plus scheduling metadata and an optional wire-size
+//! estimate ([`ShotReport`], aggregated per shard in [`ShardReport`]) —
+//! the message/bit cost instrumentation the arXiv:2311.08060
+//! reproduction builds on.
+//!
+//! Interleaving is unobservable: each shard's per-shot decisions, message
+//! counts and traces are byte-identical to running that shot alone in a
+//! fresh [`Simulation`](crate::Simulation) (`tests/shard_isolation.rs`
+//! property-tests this; `tests/shard_runtime_parity.rs` pins the threaded
+//! backend to the same schedule).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use homonym_core::spec::{self, Outcome};
+use homonym_core::{
+    ByzPower, Deliveries, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Round,
+    SharedEnvelope, SystemConfig,
+};
+
+use crate::adversary::{AdvCtx, Adversary, Silent};
+use crate::drops::{DropPolicy, NoDrops};
+use crate::engine::RunReport;
+use crate::topology::Topology;
+use crate::trace::{Delivery, Trace};
+
+/// The index of one shard (one agreement-instance slot) in a sharded
+/// scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(usize);
+
+impl ShardId {
+    /// The shard with the given index.
+    pub fn new(index: usize) -> Self {
+        ShardId(index)
+    }
+
+    /// The dense index of this shard.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One agreement instance to run on a shard: inputs plus the per-shot
+/// fault environment (Byzantine set and strategy, drop policy, horizon).
+///
+/// Defaults: no Byzantine processes, no drops, no per-shot horizon (the
+/// shot runs until it decides or the scheduler's tick budget ends).
+pub struct ShotSpec<P: Protocol> {
+    /// Process `i` proposes `inputs[i]` (Byzantine inputs are ignored).
+    pub inputs: Vec<P::Value>,
+    /// The Byzantine processes of this shot.
+    pub byz: BTreeSet<Pid>,
+    /// The strategy controlling the Byzantine processes.
+    pub adversary: Box<dyn Adversary<P::Msg>>,
+    /// The drop policy (fresh per shot, so shots are independent).
+    pub drops: Box<dyn DropPolicy>,
+    /// If set, the shot ends after this many rounds even if undecided —
+    /// the same bound as [`Simulation::run`](crate::Simulation::run)'s
+    /// `max_rounds`.
+    pub horizon: Option<u64>,
+}
+
+impl<P: Protocol> ShotSpec<P> {
+    /// A shot proposing `inputs`, with no faults, no drops, no horizon.
+    pub fn new(inputs: Vec<P::Value>) -> Self {
+        ShotSpec {
+            inputs,
+            byz: BTreeSet::new(),
+            adversary: Box::new(Silent),
+            drops: Box::new(NoDrops),
+            horizon: None,
+        }
+    }
+
+    /// Declares the Byzantine processes and their strategy for this shot.
+    pub fn byzantine(
+        mut self,
+        byz: impl IntoIterator<Item = Pid>,
+        adversary: impl Adversary<P::Msg> + 'static,
+    ) -> Self {
+        self.byz = byz.into_iter().collect();
+        self.adversary = Box::new(adversary);
+        self
+    }
+
+    /// Installs a drop policy for this shot.
+    pub fn drops(mut self, drops: impl DropPolicy + 'static) -> Self {
+        self.drops = Box::new(drops);
+        self
+    }
+
+    /// Bounds the shot to `rounds` rounds.
+    pub fn horizon(mut self, rounds: u64) -> Self {
+        self.horizon = Some(rounds);
+        self
+    }
+}
+
+/// One shard: a system configuration, an identifier assignment, a
+/// topology, and a queue of [`ShotSpec`]s to run back to back.
+pub struct ShardSpec<P: Protocol> {
+    /// The `(n, ℓ, t)` parameters and model axes of every shot.
+    pub cfg: SystemConfig,
+    /// Which process holds which identifier.
+    pub assignment: IdAssignment,
+    /// The communication topology (default: complete).
+    pub topology: Topology,
+    /// The shots to run, in order.
+    pub shots: VecDeque<ShotSpec<P>>,
+}
+
+impl<P: Protocol> ShardSpec<P> {
+    /// A shard of `cfg` under `assignment` with an empty shot queue and
+    /// the complete topology.
+    pub fn new(cfg: SystemConfig, assignment: IdAssignment) -> Self {
+        let n = cfg.n;
+        ShardSpec {
+            cfg,
+            assignment,
+            topology: Topology::complete(n),
+            shots: VecDeque::new(),
+        }
+    }
+
+    /// Installs a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's size differs from `n`.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        assert_eq!(topology.n(), self.cfg.n, "topology size must equal n");
+        self.topology = topology;
+        self
+    }
+
+    /// Appends a shot to the queue.
+    pub fn shot(mut self, shot: ShotSpec<P>) -> Self {
+        self.shots.push_back(shot);
+        self
+    }
+}
+
+/// The report of one completed (or horizon-/budget-terminated) shot.
+#[derive(Clone, Debug)]
+pub struct ShotReport<V> {
+    /// The shard this shot ran on.
+    pub shard: ShardId,
+    /// The shot's position in the shard's queue (0-based).
+    pub shot: usize,
+    /// The same report a solo [`Simulation::run`](crate::Simulation::run)
+    /// of this shot produces: outcome, verdict, rounds, message counts.
+    pub report: RunReport<V>,
+    /// The global tick at which the shot's round 0 executed.
+    pub started_tick: u64,
+    /// The global tick at which the shot's last round executed.
+    pub finished_tick: u64,
+    /// Estimated wire bits handed to the network, if the scheduler was
+    /// built with [`ShardedSimulation::measure_bits`] — see [`wire_bits`].
+    pub bits_sent: Option<u64>,
+}
+
+/// The per-shard roll-up: every shot report, plus cost aggregates.
+#[derive(Clone, Debug)]
+pub struct ShardReport<V> {
+    /// The shard.
+    pub shard: ShardId,
+    /// One report per shot, in queue order.
+    pub shots: Vec<ShotReport<V>>,
+}
+
+impl<V> ShardReport<V> {
+    /// Shots in which every correct process decided.
+    pub fn decided_shots(&self) -> usize {
+        self.shots
+            .iter()
+            .filter(|s| s.report.all_decided_round.is_some())
+            .count()
+    }
+
+    /// Total non-self messages handed to the network across all shots.
+    pub fn messages_sent(&self) -> u64 {
+        self.shots.iter().map(|s| s.report.messages_sent).sum()
+    }
+
+    /// Total rounds executed across all shots.
+    pub fn rounds(&self) -> u64 {
+        self.shots.iter().map(|s| s.report.rounds).sum()
+    }
+
+    /// Total estimated wire bits, if bit measurement was on.
+    pub fn bits_sent(&self) -> Option<u64> {
+        self.shots.iter().map(|s| s.bits_sent).sum()
+    }
+}
+
+/// One delivery in a sharded run: the shard and shot it belongs to, plus
+/// the ordinary [`Delivery`] record in that shard's *local* coordinates
+/// (local [`Pid`]s, local round) — so extracting one shard's entries
+/// reproduces exactly the trace a solo run would have recorded.
+#[derive(Clone, Debug)]
+pub struct ShardDelivery<M> {
+    /// The shard the delivery belongs to.
+    pub shard: ShardId,
+    /// The shot (within the shard) the delivery belongs to.
+    pub shot: usize,
+    /// The delivery, in the shard's local coordinates.
+    pub delivery: Delivery<M>,
+}
+
+/// A recorded sharded execution: every attempted delivery of every shard,
+/// in global routing order, each tagged with its [`ShardId`] and shot.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedTrace<M> {
+    entries: Vec<ShardDelivery<M>>,
+}
+
+impl<M: homonym_core::Message> ShardedTrace<M> {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ShardedTrace {
+            entries: Vec::new(),
+        }
+    }
+
+    /// All recorded entries, in recording (= routing) order.
+    pub fn entries(&self) -> &[ShardDelivery<M>] {
+        &self.entries
+    }
+
+    /// Number of recorded (attempted) deliveries across all shards.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries of one shard's shot, extracted into an ordinary
+    /// [`Trace`] (payload handles shared, not cloned). By the isolation
+    /// property this equals the trace a solo run of that shot records.
+    pub fn shard_shot_trace(&self, shard: ShardId, shot: usize) -> Trace<M> {
+        let mut trace = Trace::new();
+        for entry in &self.entries {
+            if entry.shard == shard && entry.shot == shot {
+                trace.record(entry.delivery.clone());
+            }
+        }
+        trace
+    }
+
+    fn record(&mut self, entry: ShardDelivery<M>) {
+        self.entries.push(entry);
+    }
+}
+
+/// A wire-size estimate for one payload: 8 bits per byte of its `Debug`
+/// rendering.
+///
+/// The workspace has no serialization layer (messages never leave the
+/// process), so this is a *proxy* — stable, monotone in payload size, and
+/// computed **once per emission** (the `Arc` fan-out shares the number
+/// with every recipient), so measuring bits does not change the
+/// clone-count profile of the hot path.
+pub fn wire_bits<M: fmt::Debug>(msg: &M) -> u64 {
+    8 * format!("{msg:?}").len() as u64
+}
+
+/// One routed sharded message, in shard-local coordinates plus the shard
+/// index and the shared payload handle.
+struct ShardWire<M> {
+    shard: usize,
+    from: Pid,
+    src: Id,
+    to: Pid,
+    msg: Arc<M>,
+    bits: u64,
+}
+
+/// The engine-agnostic bookkeeping of one shard: its configuration, its
+/// shot queue, the live shot's fault environment and counters, and the
+/// per-shot report roll-up.
+///
+/// Both sharded engines — the lock-step [`ShardedSimulation`] here and
+/// the threaded `homonym_runtime::ShardedCluster` — embed one
+/// `ShardCore` per shard and drive it through the same lifecycle
+/// ([`start_next_shot`](ShardCore::start_next_shot),
+/// [`record_decision`](ShardCore::record_decision),
+/// [`roll_over_if_done`](ShardCore::roll_over_if_done),
+/// [`report`](ShardCore::report)), so shot validation, restarts, and
+/// accounting cannot drift between engines. What differs per engine is
+/// only where the spawned automata live: the simulator holds them
+/// directly, the cluster ships them to actor threads.
+pub struct ShardCore<P: Protocol> {
+    /// The `(n, ℓ, t)` parameters and model axes of every shot.
+    pub cfg: SystemConfig,
+    /// Which process holds which identifier.
+    pub assignment: IdAssignment,
+    /// The communication topology.
+    pub topology: Topology,
+    /// Spawns the automata of each shot.
+    pub factory: Box<dyn ProtocolFactory<P = P>>,
+    /// The shots still queued.
+    pub shots: VecDeque<ShotSpec<P>>,
+    /// First slot of this shard's contiguous range in the shared plane.
+    pub offset: usize,
+    /// The current shot's position in the queue (0-based).
+    pub shot: usize,
+    /// The correct processes of the current shot, ascending.
+    pub correct: Vec<Pid>,
+    /// The correct processes' inputs (for the outcome checker).
+    pub inputs: BTreeMap<Pid, P::Value>,
+    /// The Byzantine processes of the current shot.
+    pub byz: BTreeSet<Pid>,
+    /// The strategy controlling the Byzantine processes.
+    pub adversary: Box<dyn Adversary<P::Msg>>,
+    /// The current shot's drop policy.
+    pub drops: Box<dyn DropPolicy>,
+    /// The current shot's round bound, if any.
+    pub horizon: Option<u64>,
+    /// The current shot's next round (local to the shard).
+    pub round: Round,
+    /// The global tick at which the current shot's round 0 executed.
+    pub started_tick: u64,
+    /// Decisions of the current shot, with their rounds.
+    pub decisions: BTreeMap<Pid, (P::Value, Round)>,
+    /// Non-self messages handed to the network this shot.
+    pub messages_sent: u64,
+    /// Non-self messages delivered this shot.
+    pub messages_delivered: u64,
+    /// Non-self messages lost to the drop policy this shot.
+    pub messages_dropped: u64,
+    /// Estimated wire bits sent this shot (see [`wire_bits`]).
+    pub bits_sent: u64,
+    /// Whether a shot is currently live (false once the queue drains).
+    pub active: bool,
+    /// Reports of the completed shots, in queue order.
+    pub done: Vec<ShotReport<P::Value>>,
+}
+
+impl<P: Protocol> ShardCore<P> {
+    /// Lays a shard out at `offset` slots into the shared plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the assignment
+    /// disagrees with it.
+    pub fn new(
+        spec: ShardSpec<P>,
+        factory: Box<dyn ProtocolFactory<P = P>>,
+        offset: usize,
+    ) -> Self {
+        spec.cfg.validate().expect("invalid system configuration");
+        assert_eq!(
+            spec.assignment.n(),
+            spec.cfg.n,
+            "assignment covers n processes"
+        );
+        assert_eq!(
+            spec.assignment.ell(),
+            spec.cfg.ell,
+            "assignment uses ell identifiers"
+        );
+        ShardCore {
+            cfg: spec.cfg,
+            assignment: spec.assignment,
+            topology: spec.topology,
+            factory,
+            shots: spec.shots,
+            offset,
+            shot: 0,
+            correct: Vec::new(),
+            inputs: BTreeMap::new(),
+            byz: BTreeSet::new(),
+            adversary: Box::new(Silent),
+            drops: Box::new(NoDrops),
+            horizon: None,
+            round: Round::ZERO,
+            started_tick: 0,
+            decisions: BTreeMap::new(),
+            messages_sent: 0,
+            messages_delivered: 0,
+            messages_dropped: 0,
+            bits_sent: 0,
+            active: false,
+            done: Vec::new(),
+        }
+    }
+
+    /// Installs the next queued shot and spawns its correct automata
+    /// (returned for the engine to place), or goes idle if the queue is
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shot's inputs or Byzantine set are malformed.
+    pub fn start_next_shot(&mut self, tick: u64) -> Option<Vec<(Pid, P)>> {
+        let Some(spec) = self.shots.pop_front() else {
+            self.active = false;
+            return None;
+        };
+        assert_eq!(spec.inputs.len(), self.cfg.n, "one input per process");
+        assert!(
+            spec.byz.len() <= self.cfg.t,
+            "{} byzantine processes exceed t = {}",
+            spec.byz.len(),
+            self.cfg.t
+        );
+        assert!(
+            spec.byz.iter().all(|p| p.index() < self.cfg.n),
+            "byzantine pid out of range"
+        );
+        let spawned: Vec<(Pid, P)> = self
+            .assignment
+            .iter()
+            .filter(|(pid, _)| !spec.byz.contains(pid))
+            .map(|(pid, id)| {
+                (
+                    pid,
+                    self.factory.spawn(id, spec.inputs[pid.index()].clone()),
+                )
+            })
+            .collect();
+        self.correct = spawned.iter().map(|&(pid, _)| pid).collect();
+        self.inputs = self
+            .correct
+            .iter()
+            .map(|&pid| (pid, spec.inputs[pid.index()].clone()))
+            .collect();
+        self.byz = spec.byz;
+        self.adversary = spec.adversary;
+        self.drops = spec.drops;
+        self.horizon = spec.horizon;
+        self.round = Round::ZERO;
+        self.started_tick = tick;
+        self.decisions = BTreeMap::new();
+        self.messages_sent = 0;
+        self.messages_delivered = 0;
+        self.messages_dropped = 0;
+        self.bits_sent = 0;
+        self.active = true;
+        Some(spawned)
+    }
+
+    /// Whether every correct process of the live shot has decided.
+    pub fn all_decided(&self) -> bool {
+        self.decisions.len() == self.correct.len()
+    }
+
+    /// Records a decision, enforcing irrevocability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision changes (a protocol bug).
+    pub fn record_decision(&mut self, pid: Pid, v: P::Value) {
+        match self.decisions.get(&pid) {
+            None => {
+                self.decisions.insert(pid, (v, self.round));
+            }
+            Some((prev, _)) => {
+                assert!(
+                    *prev == v,
+                    "decision of {pid} changed from {prev:?} to {v:?}"
+                );
+            }
+        }
+    }
+
+    /// If the live shot has decided or hit its horizon, finalizes its
+    /// report and pipelines the next queued shot; returns the automata
+    /// of the new shot for the engine to place ([`None`] if the shot
+    /// continues or the queue drained).
+    pub fn roll_over_if_done(
+        &mut self,
+        shard: ShardId,
+        tick: u64,
+        measure_bits: bool,
+    ) -> Option<Vec<(Pid, P)>> {
+        if !self.active {
+            return None;
+        }
+        let decided = self.all_decided();
+        let horizon_hit = self.horizon.is_some_and(|h| self.round.index() >= h);
+        if !(decided || horizon_hit) {
+            return None;
+        }
+        let report = self.shot_report(shard, tick, measure_bits);
+        self.done.push(report);
+        self.shot += 1;
+        self.start_next_shot(tick + 1)
+    }
+
+    /// The report of the live shot as of now.
+    pub fn shot_report(
+        &self,
+        shard: ShardId,
+        finished_tick: u64,
+        measure_bits: bool,
+    ) -> ShotReport<P::Value> {
+        let outcome = Outcome {
+            inputs: self.inputs.clone(),
+            decisions: self.decisions.clone(),
+            horizon: self.round,
+        };
+        let verdict = spec::check(&outcome);
+        ShotReport {
+            shard,
+            shot: self.shot,
+            report: RunReport {
+                all_decided_round: self
+                    .all_decided()
+                    .then(|| self.decisions.values().map(|&(_, r)| r).max())
+                    .flatten(),
+                outcome,
+                verdict,
+                rounds: self.round.index(),
+                messages_sent: self.messages_sent,
+                messages_delivered: self.messages_delivered,
+                messages_dropped: self.messages_dropped,
+            },
+            started_tick: self.started_tick,
+            finished_tick,
+            bits_sent: measure_bits.then_some(self.bits_sent),
+        }
+    }
+
+    /// The shard's roll-up: completed shots, plus the live shot's
+    /// current (possibly undecided) state if one is running.
+    pub fn report(
+        &self,
+        shard: ShardId,
+        current_tick: u64,
+        measure_bits: bool,
+    ) -> ShardReport<P::Value> {
+        let mut shots = self.done.clone();
+        if self.active {
+            shots.push(self.shot_report(shard, current_tick.saturating_sub(1), measure_bits));
+        }
+        ShardReport { shard, shots }
+    }
+}
+
+/// One shard of the lock-step engine: the shared bookkeeping plus the
+/// automata themselves.
+struct SimShard<P: Protocol> {
+    core: ShardCore<P>,
+    procs: BTreeMap<Pid, P>,
+}
+
+/// A deterministic scheduler driving K independent agreement instances
+/// through one shared delivery plane.
+///
+/// Each global **tick** executes one round of every live shard, in three
+/// plane-wide phases (all shards send, all wires route, all shards
+/// receive) — so the one [`Deliveries`] simultaneously holds every
+/// shard's traffic, bucket allocations are reused across both rounds and
+/// shards, and each payload is wrapped in an `Arc` exactly once
+/// regardless of K. Shards whose instance decides restart on their next
+/// queued shot the following tick.
+///
+/// # Example
+///
+/// ```
+/// use homonym_classic::{Eig, UniqueRunner};
+/// use homonym_core::{Domain, FnFactory, IdAssignment, SystemConfig};
+/// use homonym_sim::shards::{ShardSpec, ShardedSimulation, ShotSpec};
+///
+/// let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+/// let domain = Domain::binary();
+/// let factory = FnFactory::new(move |id, input| {
+///     UniqueRunner::new(Eig::new(4, 1, domain.clone()), id, input)
+/// });
+/// let mut sharded = ShardedSimulation::new();
+/// for _ in 0..3 {
+///     let spec = ShardSpec::new(cfg, IdAssignment::unique(4))
+///         .shot(ShotSpec::new(vec![true; 4]))
+///         .shot(ShotSpec::new(vec![false; 4]));
+///     sharded.add_shard(spec, factory.clone());
+/// }
+/// let reports = sharded.run(32);
+/// assert_eq!(reports.len(), 3);
+/// assert!(reports.iter().all(|r| r.decided_shots() == 2));
+/// ```
+pub struct ShardedSimulation<P: Protocol> {
+    shards: Vec<SimShard<P>>,
+    plane: Deliveries<P::Msg>,
+    wires: Vec<ShardWire<P::Msg>>,
+    tick: u64,
+    trace: Option<ShardedTrace<P::Msg>>,
+    measure_bits: bool,
+}
+
+impl<P: Protocol> Default for ShardedSimulation<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> ShardedSimulation<P> {
+    /// An empty scheduler (add shards with
+    /// [`add_shard`](ShardedSimulation::add_shard)).
+    pub fn new() -> Self {
+        ShardedSimulation {
+            shards: Vec::new(),
+            plane: Deliveries::new(0),
+            wires: Vec::new(),
+            tick: 0,
+            trace: None,
+            measure_bits: false,
+        }
+    }
+
+    /// Records a full sharded delivery trace (off by default).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.trace = on.then(ShardedTrace::new);
+        self
+    }
+
+    /// Estimates wire bits per shot (off by default) — see [`wire_bits`].
+    pub fn measure_bits(mut self, on: bool) -> Self {
+        self.measure_bits = on;
+        self
+    }
+
+    /// Enqueues a shard, widening the shared plane by the shard's `n`
+    /// slots, and starts its first shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, the assignment disagrees
+    /// with it, or a shot's inputs/Byzantine set are malformed.
+    pub fn add_shard(
+        &mut self,
+        spec: ShardSpec<P>,
+        factory: impl ProtocolFactory<P = P> + 'static,
+    ) -> ShardId {
+        let id = ShardId(self.shards.len());
+        let offset = self.plane.n();
+        self.plane.ensure_n(offset + spec.cfg.n);
+        let mut core = ShardCore::new(spec, Box::new(factory), offset);
+        let procs = core
+            .start_next_shot(self.tick)
+            .map(|spawned| spawned.into_iter().collect())
+            .unwrap_or_default();
+        self.shards.push(SimShard { core, procs });
+        id
+    }
+
+    /// The number of shards enqueued.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The number of global ticks executed so far.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Whether every shard has drained its shot queue.
+    pub fn all_idle(&self) -> bool {
+        self.shards.iter().all(|s| !s.core.active)
+    }
+
+    /// The recorded sharded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&ShardedTrace<P::Msg>> {
+        self.trace.as_ref()
+    }
+
+    /// Consumes the scheduler, returning the trace (if recorded).
+    pub fn into_trace(self) -> Option<ShardedTrace<P::Msg>> {
+        self.trace
+    }
+
+    /// Executes one global tick: one round of every live shard, through
+    /// the shared plane.
+    ///
+    /// Phase order matches the single-shot engine within each shard
+    /// (correct sends, adversary sends, topology / restriction / drops,
+    /// delivery, decisions, Byzantine inboxes), but each phase runs
+    /// plane-wide across all shards before the next begins — the whole
+    /// tick's traffic coexists in the one [`Deliveries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same contract violations as
+    /// [`Simulation::step`](crate::Simulation::step).
+    pub fn step(&mut self) {
+        let tick = self.tick;
+        self.wires.clear();
+        self.plane.clear();
+
+        // Phase 1 — every live shard's sends (correct, then adversary,
+        // per shard) become wires carrying one shared handle per
+        // emission.
+        {
+            let wires = &mut self.wires;
+            let measure_bits = self.measure_bits;
+            let mut addressed: BTreeSet<Pid> = BTreeSet::new();
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                if !shard.core.active {
+                    continue;
+                }
+                let r = shard.core.round;
+                let assignment = &shard.core.assignment;
+                for (&pid, proc_) in shard.procs.iter_mut() {
+                    let out = proc_.send(r);
+                    let src = assignment.id_of(pid);
+                    addressed.clear();
+                    for (recipients, msg) in out {
+                        let msg = Arc::new(msg); // the single wrap per emission
+                        let bits = if measure_bits { wire_bits(&*msg) } else { 0 };
+                        for to in recipients.expand(assignment) {
+                            assert!(
+                                addressed.insert(to),
+                                "correct process {pid} of {} addressed {to} twice in {r}",
+                                ShardId(s),
+                            );
+                            wires.push(ShardWire {
+                                shard: s,
+                                from: pid,
+                                src,
+                                to,
+                                msg: Arc::clone(&msg),
+                                bits,
+                            });
+                        }
+                    }
+                }
+                let ctx = AdvCtx {
+                    round: r,
+                    cfg: &shard.core.cfg,
+                    assignment: &shard.core.assignment,
+                    byz: &shard.core.byz,
+                };
+                let emissions = shard.core.adversary.send(&ctx);
+                let mut byz_sent: BTreeMap<(Pid, Pid), u32> = BTreeMap::new();
+                for emission in emissions {
+                    assert!(
+                        shard.core.byz.contains(&emission.from),
+                        "adversary of {} emitted from non-byzantine {}",
+                        ShardId(s),
+                        emission.from
+                    );
+                    let src = shard.core.assignment.id_of(emission.from);
+                    let bits = if measure_bits {
+                        wire_bits(&*emission.msg)
+                    } else {
+                        0
+                    };
+                    for to in emission.to.expand(&shard.core.assignment) {
+                        if shard.core.cfg.byz_power == ByzPower::Restricted {
+                            let count = byz_sent.entry((emission.from, to)).or_insert(0);
+                            if *count >= 1 {
+                                continue; // the model forbids the second message
+                            }
+                            *count += 1;
+                        }
+                        wires.push(ShardWire {
+                            shard: s,
+                            from: emission.from,
+                            src,
+                            to,
+                            msg: Arc::clone(&emission.msg),
+                            bits,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — route every wire into the shared plane: topology and
+        // drops per owning shard, global slot = shard offset + local pid.
+        let wires = std::mem::take(&mut self.wires);
+        for wire in &wires {
+            let core = &mut self.shards[wire.shard].core;
+            if !core.topology.connected(wire.from, wire.to) {
+                continue; // no channel: the message is never sent
+            }
+            let is_self = wire.from == wire.to;
+            if !is_self {
+                core.messages_sent += 1;
+                core.bits_sent += wire.bits;
+            }
+            let dropped = !is_self && core.drops.drops(core.round, wire.from, wire.to);
+            if let Some(trace) = &mut self.trace {
+                trace.record(ShardDelivery {
+                    shard: ShardId(wire.shard),
+                    shot: core.shot,
+                    delivery: Delivery {
+                        round: core.round,
+                        from: wire.from,
+                        src_id: wire.src,
+                        to: wire.to,
+                        msg: Arc::clone(&wire.msg),
+                        dropped,
+                    },
+                });
+            }
+            if dropped {
+                core.messages_dropped += 1;
+                continue;
+            }
+            if !is_self {
+                core.messages_delivered += 1;
+            }
+            self.plane.push(
+                Pid::new(core.offset + wire.to.index()),
+                SharedEnvelope::shared(wire.src, Arc::clone(&wire.msg)),
+            );
+        }
+        self.wires = wires; // keep the allocation for the next tick
+
+        // Phase 3 — every live shard drains its slots, records decisions,
+        // and hands the Byzantine inboxes to its adversary.
+        {
+            let plane = &mut self.plane;
+            for shard in self.shards.iter_mut() {
+                if !shard.core.active {
+                    continue;
+                }
+                let r = shard.core.round;
+                for (&pid, proc_) in shard.procs.iter_mut() {
+                    let slot = Pid::new(shard.core.offset + pid.index());
+                    let inbox = plane.take_inbox(slot, shard.core.cfg.counting);
+                    proc_.receive(r, &inbox);
+                    if let Some(v) = proc_.decision() {
+                        shard.core.record_decision(pid, v);
+                    }
+                }
+                let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = shard
+                    .core
+                    .byz
+                    .iter()
+                    .map(|&pid| {
+                        let slot = Pid::new(shard.core.offset + pid.index());
+                        (pid, plane.take_inbox(slot, shard.core.cfg.counting))
+                    })
+                    .collect();
+                shard.core.adversary.receive(r, &byz_inboxes);
+                shard.core.round = r.next();
+            }
+        }
+
+        // Phase 4 — finalize decided / horizon-hit shots; pipeline the
+        // next queued shot onto the freed shard.
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            if let Some(spawned) = shard
+                .core
+                .roll_over_if_done(ShardId(s), tick, self.measure_bits)
+            {
+                shard.procs = spawned.into_iter().collect();
+            }
+        }
+
+        self.tick = tick + 1;
+    }
+
+    /// Ticks until every shard's queue drains or `max_ticks` global ticks
+    /// have executed, then reports per shard.
+    pub fn run(&mut self, max_ticks: u64) -> Vec<ShardReport<P::Value>> {
+        while self.tick < max_ticks && !self.all_idle() {
+            self.step();
+        }
+        self.reports()
+    }
+
+    /// The per-shard reports so far. Completed shots appear as finalized;
+    /// a still-live shot appears with its current (possibly undecided)
+    /// state.
+    pub fn reports(&self) -> Vec<ShardReport<P::Value>> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| shard.core.report(ShardId(s), self.tick, self.measure_bits))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_core::{FnFactory, Recipients};
+
+    /// A minimal synchronous agreement: broadcast the input every round,
+    /// decide on the smallest value heard from all `n` identifiers.
+    #[derive(Clone, Debug)]
+    struct MinAgree {
+        id: Id,
+        input: u32,
+        n: usize,
+        heard: BTreeMap<u32, BTreeSet<Id>>,
+        decision: Option<u32>,
+    }
+
+    impl Protocol for MinAgree {
+        type Msg = u32;
+        type Value = u32;
+
+        fn id(&self) -> Id {
+            self.id
+        }
+
+        fn send(&mut self, _round: Round) -> Vec<(Recipients, u32)> {
+            vec![(Recipients::All, self.input)]
+        }
+
+        fn receive(&mut self, _round: Round, inbox: &Inbox<u32>) {
+            for (id, &msg, _count) in inbox.iter() {
+                self.heard.entry(msg).or_default().insert(id);
+            }
+            if self.decision.is_none() {
+                let all_ids: BTreeSet<Id> = self.heard.values().flatten().copied().collect();
+                if all_ids.len() >= self.n {
+                    self.decision = self.heard.keys().next().copied();
+                }
+            }
+        }
+
+        fn decision(&self) -> Option<u32> {
+            self.decision
+        }
+    }
+
+    fn min_agree_factory(n: usize) -> impl ProtocolFactory<P = MinAgree> + Clone {
+        FnFactory::new(move |id, input| MinAgree {
+            id,
+            input,
+            n,
+            heard: BTreeMap::new(),
+            decision: None,
+        })
+    }
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig::builder(n, n, 0).build().unwrap()
+    }
+
+    #[test]
+    fn pipelining_restarts_on_the_next_queued_shot() {
+        let factory = min_agree_factory(3);
+        let mut sharded = ShardedSimulation::new();
+        let spec = ShardSpec::new(cfg(3), IdAssignment::unique(3))
+            .shot(ShotSpec::new(vec![5, 5, 5]))
+            .shot(ShotSpec::new(vec![7, 9, 7]))
+            .shot(ShotSpec::new(vec![1, 2, 3]));
+        sharded.add_shard(spec, factory);
+        let reports = sharded.run(16);
+        assert_eq!(reports.len(), 1);
+        let shard = &reports[0];
+        assert_eq!(shard.shots.len(), 3);
+        assert_eq!(shard.decided_shots(), 3);
+        // Each shot decides in its round 0 (everyone hears everyone), so
+        // the pipeline runs them on consecutive ticks.
+        for (k, shot) in shard.shots.iter().enumerate() {
+            assert_eq!(shot.shot, k);
+            assert_eq!(shot.started_tick, k as u64);
+            assert_eq!(shot.finished_tick, k as u64);
+            assert!(shot.report.verdict.all_hold(), "{}", shot.report.verdict);
+        }
+        // The decided values are the per-shot minima.
+        let decided: Vec<u32> = shard
+            .shots
+            .iter()
+            .map(|s| s.report.outcome.decisions.values().next().unwrap().0)
+            .collect();
+        assert_eq!(decided, vec![5, 7, 1]);
+    }
+
+    #[test]
+    fn heterogeneous_shard_sizes_share_one_plane() {
+        let mut sharded = ShardedSimulation::new();
+        for n in [2usize, 5, 3] {
+            let spec = ShardSpec::new(cfg(n), IdAssignment::unique(n))
+                .shot(ShotSpec::new((0..n as u32).collect()));
+            sharded.add_shard(spec, min_agree_factory(n));
+        }
+        let reports = sharded.run(8);
+        assert!(sharded.all_idle());
+        for (report, n) in reports.iter().zip([2u64, 5, 3]) {
+            assert_eq!(report.decided_shots(), 1);
+            // A full n × n broadcast minus self-deliveries, for one round.
+            assert_eq!(report.messages_sent(), n * (n - 1));
+            // Everyone decides the minimum, 0.
+            let shot = &report.shots[0];
+            assert!(shot.report.outcome.decisions.values().all(|&(v, _)| v == 0));
+        }
+    }
+
+    #[test]
+    fn bits_are_measured_once_per_emission_when_enabled() {
+        let factory = min_agree_factory(2);
+        let mut with_bits = ShardedSimulation::new().measure_bits(true);
+        with_bits.add_shard(
+            ShardSpec::new(cfg(2), IdAssignment::unique(2)).shot(ShotSpec::new(vec![3, 4])),
+            factory.clone(),
+        );
+        let reports = with_bits.run(4);
+        let shot = &reports[0].shots[0];
+        // 2 non-self messages: "3" and "4", one byte of Debug each.
+        assert_eq!(shot.bits_sent, Some(16));
+        assert_eq!(reports[0].bits_sent(), Some(16));
+
+        let mut without = ShardedSimulation::new();
+        without.add_shard(
+            ShardSpec::new(cfg(2), IdAssignment::unique(2)).shot(ShotSpec::new(vec![3, 4])),
+            factory,
+        );
+        let reports = without.run(4);
+        assert_eq!(reports[0].shots[0].bits_sent, None);
+        assert_eq!(reports[0].bits_sent(), None);
+    }
+
+    #[test]
+    fn trace_entries_carry_shard_and_shot_tags() {
+        let factory = min_agree_factory(2);
+        let mut sharded = ShardedSimulation::new().record_trace(true);
+        for _ in 0..2 {
+            sharded.add_shard(
+                ShardSpec::new(cfg(2), IdAssignment::unique(2))
+                    .shot(ShotSpec::new(vec![1, 2]))
+                    .shot(ShotSpec::new(vec![8, 9])),
+                factory.clone(),
+            );
+        }
+        sharded.run(8);
+        let trace = sharded.trace().unwrap();
+        // 2 shards × 2 shots × (2 × 2 deliveries per round, 1 round each).
+        assert_eq!(trace.len(), 16);
+        for shard in [ShardId::new(0), ShardId::new(1)] {
+            for shot in [0usize, 1] {
+                let solo = trace.shard_shot_trace(shard, shot);
+                assert_eq!(solo.len(), 4, "{shard} shot {shot}");
+                // Local coordinates: pids 0..2 only, rounds from zero.
+                assert!(solo
+                    .deliveries()
+                    .iter()
+                    .all(|d| d.to.index() < 2 && d.round == Round::ZERO));
+            }
+        }
+    }
+
+    #[test]
+    fn undecided_shot_is_cut_by_its_horizon() {
+        // n = 3 but one process is Byzantine-silent: MinAgree waits for
+        // all 3 identifiers forever.
+        let factory = min_agree_factory(3);
+        let cfg = SystemConfig::builder(3, 3, 1).build().unwrap();
+        let mut sharded = ShardedSimulation::new();
+        sharded.add_shard(
+            ShardSpec::new(cfg, IdAssignment::unique(3)).shot(
+                ShotSpec::new(vec![1, 1, 1])
+                    .byzantine([Pid::new(2)], Silent)
+                    .horizon(3),
+            ),
+            factory,
+        );
+        let reports = sharded.run(10);
+        assert!(sharded.all_idle());
+        let shot = &reports[0].shots[0];
+        assert_eq!(shot.report.rounds, 3);
+        assert!(shot.report.all_decided_round.is_none());
+        assert!(!shot.report.verdict.termination.holds());
+        assert_eq!(sharded.tick(), 3, "the scheduler idles after the cut");
+    }
+
+    /// The acceptance criterion: K = 64 independent n = 32 synchronous
+    /// agreement shards, multi-shot, through one plane — and the engine
+    /// clones **zero** payloads (same counting-`Clone` technique as the
+    /// single-shot fabric test).
+    mod clone_counting {
+        use super::*;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static CLONES: AtomicU64 = AtomicU64::new(0);
+
+        #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+        struct Counted(u32);
+
+        impl Clone for Counted {
+            fn clone(&self) -> Self {
+                CLONES.fetch_add(1, Ordering::Relaxed);
+                Counted(self.0)
+            }
+        }
+
+        /// Synchronous agreement on `Counted` payloads: broadcast the
+        /// input, decide once all `n` identifiers are heard (round 0),
+        /// never cloning what it receives.
+        #[derive(Clone, Debug)]
+        struct CountedAgree {
+            id: Id,
+            input: u32,
+            n: usize,
+            heard: BTreeSet<Id>,
+            min: Option<u32>,
+            decision: Option<u32>,
+        }
+
+        impl Protocol for CountedAgree {
+            type Msg = Counted;
+            type Value = u32;
+
+            fn id(&self) -> Id {
+                self.id
+            }
+
+            fn send(&mut self, _round: Round) -> Vec<(Recipients, Counted)> {
+                vec![(Recipients::All, Counted(self.input))]
+            }
+
+            fn receive(&mut self, _round: Round, inbox: &Inbox<Counted>) {
+                for (id, msg, _count) in inbox.iter() {
+                    self.heard.insert(id);
+                    self.min = Some(self.min.map_or(msg.0, |m| m.min(msg.0)));
+                }
+                if self.decision.is_none() && self.heard.len() >= self.n {
+                    self.decision = self.min;
+                }
+            }
+
+            fn decision(&self) -> Option<u32> {
+                self.decision
+            }
+        }
+
+        #[test]
+        fn k64_n32_sync_agreement_clones_zero_payloads() {
+            let k = 64usize;
+            let n = 32usize;
+            let shots = 2usize;
+            let factory = FnFactory::new(move |id, input: u32| CountedAgree {
+                id,
+                input,
+                n,
+                heard: BTreeSet::new(),
+                min: None,
+                decision: None,
+            });
+            let mut sharded = ShardedSimulation::new().record_trace(true);
+            for s in 0..k {
+                let mut spec = ShardSpec::new(cfg(n), IdAssignment::unique(n));
+                for shot in 0..shots {
+                    let inputs = (0..n as u32).map(|i| i + (s + shot) as u32).collect();
+                    spec = spec.shot(ShotSpec::new(inputs));
+                }
+                sharded.add_shard(spec, factory.clone());
+            }
+
+            let before = CLONES.load(Ordering::Relaxed);
+            let reports = sharded.run(16);
+            let clones = CLONES.load(Ordering::Relaxed) - before;
+
+            assert!(sharded.all_idle());
+            let decided: usize = reports.iter().map(ShardReport::decided_shots).sum();
+            assert_eq!(decided, k * shots, "every shard decides every shot");
+            // K × n² deliveries per tick, all recorded in the trace —
+            // and the scheduler cloned no payload at all.
+            let deliveries = (k * n * n * shots) as u64;
+            assert_eq!(sharded.trace().unwrap().len() as u64, deliveries);
+            assert_eq!(clones, 0, "the sharded fabric clones no payloads at all");
+        }
+    }
+}

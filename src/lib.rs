@@ -64,7 +64,10 @@ pub mod prelude {
     pub use homonym_psync::{
         AgreementFactory, HomonymAgreement, RestrictedAgreement, RestrictedFactory,
     };
-    pub use homonym_runtime::Cluster;
-    pub use homonym_sim::{RandomUntilGst, RunReport, Simulation};
+    pub use homonym_runtime::{Cluster, ShardedCluster};
+    pub use homonym_sim::{
+        RandomUntilGst, RunReport, ShardId, ShardReport, ShardSpec, ShardedSimulation, ShotSpec,
+        Simulation,
+    };
     pub use homonym_sync::{Transformed, TransformedFactory};
 }

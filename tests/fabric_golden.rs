@@ -15,7 +15,9 @@ use homonyms::core::{IdAssignment, Pid, Round};
 use homonyms::lower_bounds::{fig1, fig4};
 use homonyms::psync::AgreementFactory;
 use homonyms::sim::adversary::CloneSpammer;
-use homonyms::sim::{RandomUntilGst, Simulation, Trace};
+use homonyms::sim::{
+    RandomUntilGst, ShardSpec, ShardedSimulation, ShardedTrace, ShotSpec, Simulation, Trace,
+};
 use homonyms::sync::TransformedFactory;
 
 /// FNV-1a, so the golden values are stable one-liners rather than
@@ -100,11 +102,94 @@ fn lossy_adversarial_digest() -> (u64, u64) {
     (fnv1a(trace.as_bytes()), fnv1a(decisions.as_bytes()))
 }
 
+/// Canonical rendering of a sharded trace: the single-shot format
+/// prefixed with the shard and shot tags, in global routing order — so a
+/// reordering of deliveries *across* shards changes the digest even when
+/// every per-shard projection is unchanged.
+fn sharded_trace_dump<M: homonyms::core::Message>(trace: &ShardedTrace<M>) -> String {
+    let mut s = String::new();
+    for e in trace.entries() {
+        let d = &e.delivery;
+        let _ = writeln!(
+            s,
+            "{}|{}|{}|{}|{}|{}|{:?}|{}",
+            e.shard, e.shot, d.round, d.from, d.src_id, d.to, d.msg, d.dropped
+        );
+    }
+    s
+}
+
+/// The pinned 3-shard multi-shot scenario: three Figure 5 shards (clean
+/// multi-shot, clone-spammed + lossy, lossy under a round-robin
+/// assignment) interleaved over one plane. The digest covers the global
+/// interleaving order, so future fabric changes cannot silently reorder
+/// shard deliveries.
+fn sharded_3shard_digest() -> (u64, u64) {
+    let cfg = SystemConfig::builder(5, 4, 1)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters");
+    let factory = || AgreementFactory::new(5, 4, 1, Domain::binary());
+    let horizon = factory().round_bound() + 24;
+    let mut sharded = ShardedSimulation::new().record_trace(true);
+
+    // Shard 0: two clean shots back to back (the pipelining path).
+    let stacked = IdAssignment::stacked(4, 5).expect("ℓ ≤ n");
+    sharded.add_shard(
+        ShardSpec::new(cfg, stacked.clone())
+            .shot(ShotSpec::new(vec![true, false, true, false, true]).horizon(horizon))
+            .shot(ShotSpec::new(vec![false, false, true, true, false]).horizon(horizon)),
+        factory(),
+    );
+
+    // Shard 1: a clone-spamming Byzantine process plus pre-GST drops.
+    let byz: std::collections::BTreeSet<Pid> = [Pid::new(0)].into_iter().collect();
+    let adversary = CloneSpammer::new(&factory(), &stacked, &byz, Domain::binary().values());
+    sharded.add_shard(
+        ShardSpec::new(cfg, stacked).shot(
+            ShotSpec::new((0..5).map(|k| k % 2 == 0).collect())
+                .byzantine(byz, adversary)
+                .drops(RandomUntilGst::new(Round::new(6), 0.3, 42))
+                .horizon(6 + horizon),
+        ),
+        factory(),
+    );
+
+    // Shard 2: lossy under the round-robin assignment.
+    sharded.add_shard(
+        ShardSpec::new(cfg, IdAssignment::round_robin(4, 5).expect("ℓ ≤ n")).shot(
+            ShotSpec::new(vec![true, true, false, false, false])
+                .drops(RandomUntilGst::new(Round::new(4), 0.25, 7))
+                .horizon(4 + horizon),
+        ),
+        factory(),
+    );
+
+    let reports = sharded.run(8 * horizon);
+    let decisions = format!(
+        "{:?}",
+        reports
+            .iter()
+            .map(|r| r
+                .shots
+                .iter()
+                .map(|s| (s.shot, s.report.outcome.decisions.clone()))
+                .collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    );
+    let trace = sharded_trace_dump(sharded.trace().expect("trace enabled"));
+    (fnv1a(trace.as_bytes()), fnv1a(decisions.as_bytes()))
+}
+
 const GOLDEN_FIG1_TRACE: u64 = 0x8341f2eca062d52e;
 const GOLDEN_FIG1_DECISIONS: u64 = 0x8e752f7d79333a10;
 const GOLDEN_FIG4_OUTCOME: u64 = 0x1f894c47d257ba9a;
 const GOLDEN_LOSSY_TRACE: u64 = 0xd726c8ffe7267484;
 const GOLDEN_LOSSY_DECISIONS: u64 = 0x91f6ae649ee5d7aa;
+// Harvested from the first ShardedSimulation implementation (this PR);
+// pins the global shard-interleaving order, not just per-shard content.
+const GOLDEN_SHARDED_TRACE: u64 = 0xf5f19511c2cb9ebf;
+const GOLDEN_SHARDED_DECISIONS: u64 = 0xa390bd4beac04866;
 
 #[test]
 fn fig1_trace_and_decisions_match_seed_engine() {
@@ -122,6 +207,20 @@ fn fig4_outcome_matches_seed_engine() {
     let outcome = fig4_scenario_digest();
     println!("fig4 outcome={outcome:#018x}");
     assert_eq!(outcome, GOLDEN_FIG4_OUTCOME, "fig4 outcome diverged");
+}
+
+#[test]
+fn sharded_3shard_interleaving_is_pinned() {
+    let (trace, decisions) = sharded_3shard_digest();
+    println!("sharded trace={trace:#018x} decisions={decisions:#018x}");
+    assert_eq!(
+        trace, GOLDEN_SHARDED_TRACE,
+        "sharded delivery interleaving diverged"
+    );
+    assert_eq!(
+        decisions, GOLDEN_SHARDED_DECISIONS,
+        "sharded decisions diverged"
+    );
 }
 
 #[test]

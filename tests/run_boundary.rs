@@ -1,0 +1,71 @@
+//! Regression for the `Simulation::run` / `Simulation::run_exact`
+//! boundary: `run` stops at the first round after which every correct
+//! process has decided, while `run_exact` keeps stepping the full horizon
+//! with decided processes still participating (as the paper's algorithms
+//! prescribe). The per-round message counts below are the observed
+//! behaviour of `T(EIG)` at (n = 5, ℓ = 4, t = 1) — pinned so a future
+//! engine change that silently alters either stopping rule fails here.
+
+use homonyms::core::{Domain, IdAssignment, SystemConfig};
+use homonyms::sim::Simulation;
+use homonyms::sync::TransformedFactory;
+
+fn t_eig_sim() -> (
+    Simulation<homonyms::sync::Transformed<homonyms::classic::Eig<bool>>>,
+    u64,
+) {
+    let factory = TransformedFactory::new(homonyms::classic::Eig::new(4, 1, Domain::binary()), 1);
+    let bound = factory.round_bound();
+    let cfg = SystemConfig::builder(5, 4, 1).build().unwrap();
+    let sim = Simulation::builder(cfg, IdAssignment::stacked(4, 5).unwrap(), vec![true; 5])
+        .build_with(&factory);
+    (sim, bound)
+}
+
+#[test]
+fn run_stops_at_first_all_decided_round() {
+    let (mut sim, bound) = t_eig_sim();
+    let report = sim.run(bound + 9);
+    assert!(report.verdict.all_hold(), "{}", report.verdict);
+    let decided = report.all_decided_round.expect("all decided").index();
+    // `run` executes the deciding round and then stops: rounds == r + 1.
+    assert_eq!(report.rounds, decided + 1);
+    assert!(
+        report.rounds < bound + 9,
+        "stopped well before the horizon ({} < {})",
+        report.rounds,
+        bound + 9
+    );
+    // Observed: everyone decides in round 7 (T(EIG)'s three-superround
+    // schedule over EIG's t + 1 = 2 levels), so `run` executes exactly 8
+    // rounds, each a full 5 × 4 = 20-message broadcast.
+    assert_eq!(decided, 7);
+    assert_eq!(sim.per_round_sent(), &[20; 8]);
+    assert_eq!(report.messages_sent, 8 * 20);
+}
+
+#[test]
+fn run_exact_keeps_stepping_after_decisions() {
+    let horizon = 12u64;
+    let (mut sim_run, _) = t_eig_sim();
+    let stopped = sim_run.run(horizon);
+    let (mut sim_exact, _) = t_eig_sim();
+    let exact = sim_exact.run_exact(horizon);
+
+    // Same decisions either way — the extra rounds change nothing.
+    assert_eq!(stopped.outcome.decisions, exact.outcome.decisions);
+    assert_eq!(stopped.all_decided_round, exact.all_decided_round);
+
+    // But `run_exact` executes the full horizon...
+    assert_eq!(exact.rounds, horizon);
+    assert!(stopped.rounds < exact.rounds);
+    // ...and the per-round counts agree on the shared prefix, with the
+    // decided processes *still broadcasting* in rounds 8..12 (observed:
+    // a constant 20 messages per round, before and after the decision).
+    let prefix = sim_run.per_round_sent();
+    let full = sim_exact.per_round_sent();
+    assert_eq!(full.len() as u64, horizon);
+    assert_eq!(&full[..prefix.len()], prefix);
+    assert_eq!(full, &[20; 12]);
+    assert_eq!(exact.messages_sent - stopped.messages_sent, 4 * 20);
+}

@@ -1,0 +1,154 @@
+//! Shard isolation: interleaving K agreement instances over one shared
+//! delivery plane is **unobservable**. For random shard counts, sizes,
+//! Byzantine sets, shot queues and inputs, every shard's per-shot
+//! decisions, message counters, and full delivery trace are byte-identical
+//! to running that shot alone in a fresh [`Simulation`].
+
+use std::fmt::Write as _;
+
+use homonyms::classic::{Eig, UniqueRunner};
+use homonyms::core::{Domain, FnFactory, IdAssignment, Pid, ProtocolFactory, SystemConfig};
+use homonyms::sim::adversary::Silent;
+use homonyms::sim::{ShardSpec, ShardedSimulation, ShotSpec, Simulation, Trace};
+use proptest::prelude::*;
+
+/// One random shard: size `n`, an optional Byzantine process, and 1–3
+/// shots of random binary inputs.
+#[derive(Clone, Debug)]
+struct RandomShard {
+    n: usize,
+    byz: Option<Pid>,
+    shots: Vec<Vec<bool>>,
+}
+
+fn shard_strategy() -> impl Strategy<Value = RandomShard> {
+    (4usize..=6).prop_flat_map(|n| {
+        (
+            Just(n),
+            // `n` encodes "no Byzantine process"; anything below names one.
+            0usize..=n,
+            proptest::collection::vec(proptest::collection::vec(any::<bool>(), n..=n), 1..=3),
+        )
+            .prop_map(|(n, byz_raw, shots)| RandomShard {
+                n,
+                byz: (byz_raw < n).then(|| Pid::new(byz_raw)),
+                shots,
+            })
+    })
+}
+
+/// Unique-identifier EIG tolerating one fault — the workhorse synchronous
+/// agreement for n ≥ 4.
+fn eig_factory(n: usize) -> impl ProtocolFactory<P = UniqueRunner<Eig<bool>>> + Clone + 'static {
+    let domain = Domain::binary();
+    FnFactory::new(move |id, input| UniqueRunner::new(Eig::new(n, 1, domain.clone()), id, input))
+}
+
+fn cfg(n: usize) -> SystemConfig {
+    SystemConfig::builder(n, n, 1).build().unwrap()
+}
+
+/// Canonical byte-stable rendering of a trace (the `fabric_golden`
+/// format): one line per attempted delivery, in recording order.
+fn trace_dump<M: homonyms::core::Message>(trace: &Trace<M>) -> String {
+    let mut s = String::new();
+    for d in trace.deliveries() {
+        let _ = writeln!(
+            s,
+            "{}|{}|{}|{}|{:?}|{}",
+            d.round, d.from, d.src_id, d.to, d.msg, d.dropped
+        );
+    }
+    s
+}
+
+const HORIZON: u64 = 12;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sharded_shots_equal_solo_runs(shards in proptest::collection::vec(shard_strategy(), 1..=4)) {
+        // The sharded run: all shards interleaved over one plane.
+        let mut sharded = ShardedSimulation::new().record_trace(true);
+        for shard in &shards {
+            let mut spec = ShardSpec::new(cfg(shard.n), IdAssignment::unique(shard.n));
+            for inputs in &shard.shots {
+                let mut shot = ShotSpec::new(inputs.clone()).horizon(HORIZON);
+                if let Some(byz) = shard.byz {
+                    shot = shot.byzantine([byz], Silent);
+                }
+                spec = spec.shot(shot);
+            }
+            sharded.add_shard(spec, eig_factory(shard.n));
+        }
+        let reports = sharded.run(64 * HORIZON);
+        prop_assert!(sharded.all_idle(), "every queue drains within the budget");
+        let sharded_trace = sharded.trace().unwrap();
+
+        // Each shot, replayed alone in a fresh single-shot simulation,
+        // must be observationally identical.
+        for (s, shard) in shards.iter().enumerate() {
+            prop_assert_eq!(reports[s].shots.len(), shard.shots.len());
+            for (q, inputs) in shard.shots.iter().enumerate() {
+                let factory = eig_factory(shard.n);
+                let mut builder = Simulation::builder(
+                    cfg(shard.n),
+                    IdAssignment::unique(shard.n),
+                    inputs.clone(),
+                )
+                .record_trace(true);
+                if let Some(byz) = shard.byz {
+                    builder = builder.byzantine([byz], Silent);
+                }
+                let mut solo = builder.build_with(&factory);
+                let solo_report = solo.run(HORIZON);
+
+                let shot = &reports[s].shots[q];
+                let label = format!("shard {s} shot {q}");
+                prop_assert_eq!(
+                    format!("{:?}", &shot.report.outcome.decisions),
+                    format!("{:?}", &solo_report.outcome.decisions),
+                    "decisions diverge at {}",
+                    &label
+                );
+                prop_assert_eq!(shot.report.rounds, solo_report.rounds, "rounds at {}", &label);
+                prop_assert_eq!(
+                    shot.report.all_decided_round,
+                    solo_report.all_decided_round,
+                    "decision round at {}",
+                    &label
+                );
+                prop_assert_eq!(
+                    shot.report.messages_sent,
+                    solo_report.messages_sent,
+                    "sent at {}",
+                    &label
+                );
+                prop_assert_eq!(
+                    shot.report.messages_delivered,
+                    solo_report.messages_delivered,
+                    "delivered at {}",
+                    &label
+                );
+                prop_assert_eq!(
+                    shot.report.messages_dropped,
+                    solo_report.messages_dropped,
+                    "dropped at {}",
+                    &label
+                );
+
+                // Byte-identical traces: the extracted shard/shot slice of
+                // the interleaved trace equals the solo trace.
+                let extracted =
+                    sharded_trace.shard_shot_trace(homonyms::sim::ShardId::new(s), q);
+                prop_assert_eq!(
+                    trace_dump(&extracted),
+                    trace_dump(solo.trace().unwrap()),
+                    "trace diverges at {}",
+                    &label
+                );
+            }
+        }
+    }
+}

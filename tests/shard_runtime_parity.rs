@@ -1,0 +1,189 @@
+//! Sharded cross-engine parity: the threaded [`ShardedCluster`] and the
+//! deterministic [`ShardedSimulation`] drive the same multi-shot shard
+//! schedule with identical semantics — same per-shard decisions, decision
+//! rounds, message counts, and scheduling ticks — for every protocol
+//! family, mirroring the single-shot coverage of `runtime_parity.rs` and
+//! including the Figure 1 ring scenario of `fabric_golden.rs`.
+
+use homonyms::classic::{Eig, UniqueRunner};
+use homonyms::core::{
+    Domain, FnFactory, IdAssignment, Pid, Protocol, ProtocolFactory, Round, SystemConfig,
+};
+use homonyms::lower_bounds::fig1;
+use homonyms::psync::{AgreementFactory, RestrictedFactory};
+use homonyms::runtime::ShardedCluster;
+use homonyms::sim::adversary::Silent;
+use homonyms::sim::{RandomUntilGst, ShardReport, ShardSpec, ShardedSimulation, ShotSpec};
+
+/// Runs the same shard specs through both engines and asserts the
+/// per-shot reports agree on everything observable.
+fn assert_sharded_parity<P, F, S>(specs: impl Fn() -> Vec<(ShardSpec<P>, F)>, max_ticks: u64) -> S
+where
+    P: Protocol + Send + 'static,
+    P::Value: Send,
+    F: ProtocolFactory<P = P> + 'static,
+    S: FromIterator<ShardReport<P::Value>>,
+{
+    let mut sim = ShardedSimulation::new();
+    for (spec, factory) in specs() {
+        sim.add_shard(spec, factory);
+    }
+    let simulated = sim.run(max_ticks);
+
+    let mut cluster = ShardedCluster::new();
+    for (spec, factory) in specs() {
+        cluster.add_shard(spec, factory);
+    }
+    let threaded = cluster.run(max_ticks);
+
+    assert_eq!(simulated.len(), threaded.len());
+    for (a, b) in simulated.iter().zip(&threaded) {
+        assert_eq!(a.shots.len(), b.shots.len(), "shot count of {}", a.shard);
+        for (x, y) in a.shots.iter().zip(&b.shots) {
+            let label = format!("{} shot {}", a.shard, x.shot);
+            assert_eq!(
+                x.report.outcome.decisions, y.report.outcome.decisions,
+                "decisions diverge at {label}"
+            );
+            assert_eq!(x.report.rounds, y.report.rounds, "rounds at {label}");
+            assert_eq!(
+                x.report.all_decided_round, y.report.all_decided_round,
+                "decision round at {label}"
+            );
+            assert_eq!(
+                x.report.messages_sent, y.report.messages_sent,
+                "sent at {label}"
+            );
+            assert_eq!(
+                x.report.messages_delivered, y.report.messages_delivered,
+                "delivered at {label}"
+            );
+            assert_eq!(
+                x.report.messages_dropped, y.report.messages_dropped,
+                "dropped at {label}"
+            );
+            assert_eq!(x.started_tick, y.started_tick, "start tick at {label}");
+            assert_eq!(x.finished_tick, y.finished_tick, "finish tick at {label}");
+        }
+    }
+    simulated.into_iter().collect()
+}
+
+fn eig_factory(
+    ell: usize,
+    t: usize,
+) -> impl ProtocolFactory<P = UniqueRunner<Eig<bool>>> + Clone + 'static {
+    let domain = Domain::binary();
+    FnFactory::new(move |id, input| UniqueRunner::new(Eig::new(ell, t, domain.clone()), id, input))
+}
+
+#[test]
+fn parity_eig_multi_shot_shards() {
+    let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+    let specs = || {
+        (0..3usize)
+            .map(|s| {
+                let inputs: Vec<bool> = (0..4).map(|i| (i + s) % 2 == 0).collect();
+                let spec = ShardSpec::new(cfg, IdAssignment::unique(4))
+                    .shot(ShotSpec::new(inputs.clone()).horizon(12))
+                    .shot(
+                        ShotSpec::new(inputs)
+                            .byzantine([Pid::new(3)], Silent)
+                            .horizon(12),
+                    );
+                (spec, eig_factory(4, 1))
+            })
+            .collect()
+    };
+    let reports: Vec<_> = assert_sharded_parity(specs, 64);
+    assert!(reports.iter().all(|r| r.decided_shots() == 2));
+}
+
+#[test]
+fn parity_fig1_ring_scenario() {
+    // The Figure 1 ring construction (the fabric_golden scenario): a
+    // sparse topology where agreement is *violated* — both engines must
+    // agree on exactly how, shot after shot.
+    let sys = fig1::build(4, 1);
+    let factory =
+        || homonyms::sync::TransformedFactory::new(Eig::new_unchecked(3, 1, Domain::binary()), 1);
+    let horizon = factory().round_bound() + 9;
+    let cfg = SystemConfig::builder(sys.assignment.n(), 3, 0)
+        .build()
+        .expect("ring configuration is valid");
+    let specs = || {
+        vec![(
+            ShardSpec::new(cfg, sys.assignment.clone())
+                .topology(sys.topology.clone())
+                .shot(ShotSpec::new(sys.inputs.clone()).horizon(horizon))
+                .shot(ShotSpec::new(sys.inputs.clone()).horizon(horizon)),
+            factory(),
+        )]
+    };
+    let reports: Vec<_> = assert_sharded_parity(specs, 4 * horizon);
+    // Determinism across shots too: the ring does the same thing twice.
+    let decisions: Vec<_> = reports[0]
+        .shots
+        .iter()
+        .map(|s| format!("{:?}", s.report.outcome.decisions))
+        .collect();
+    assert_eq!(decisions[0], decisions[1]);
+}
+
+#[test]
+fn parity_psync_agreement_with_drops() {
+    let cfg = SystemConfig::builder(4, 4, 1)
+        .synchrony(homonyms::core::Synchrony::PartiallySynchronous)
+        .build()
+        .unwrap();
+    let factory = || AgreementFactory::new(4, 4, 1, Domain::binary());
+    let horizon = 8 + factory().round_bound() + 24;
+    let specs = || {
+        (0..2usize)
+            .map(|s| {
+                let spec = ShardSpec::new(cfg, IdAssignment::unique(4))
+                    .shot(
+                        ShotSpec::new(vec![false, true, true, false])
+                            .byzantine([Pid::new(2)], Silent)
+                            .drops(RandomUntilGst::new(Round::new(8), 0.3, 5 + s as u64))
+                            .horizon(horizon),
+                    )
+                    .shot(
+                        ShotSpec::new(vec![true, true, false, false])
+                            .drops(RandomUntilGst::new(Round::new(4), 0.2, 11 + s as u64))
+                            .horizon(horizon),
+                    );
+                (spec, factory())
+            })
+            .collect()
+    };
+    let reports: Vec<_> = assert_sharded_parity(specs, 8 * horizon);
+    assert!(reports.iter().all(|r| r.decided_shots() == 2));
+}
+
+#[test]
+fn parity_restricted_agreement() {
+    let cfg = SystemConfig::builder(4, 2, 1)
+        .synchrony(homonyms::core::Synchrony::PartiallySynchronous)
+        .counting(homonyms::core::Counting::Numerate)
+        .byz_power(homonyms::core::ByzPower::Restricted)
+        .build()
+        .unwrap();
+    let factory = || RestrictedFactory::new(4, 2, 1, Domain::binary());
+    let horizon = 6 + factory().round_bound() + 24;
+    let specs = || {
+        vec![(
+            ShardSpec::new(cfg, IdAssignment::round_robin(2, 4).unwrap())
+                .shot(
+                    ShotSpec::new(vec![true, true, false, true])
+                        .byzantine([Pid::new(3)], Silent)
+                        .drops(RandomUntilGst::new(Round::new(6), 0.3, 5))
+                        .horizon(horizon),
+                )
+                .shot(ShotSpec::new(vec![false, true, false, true]).horizon(horizon)),
+            factory(),
+        )]
+    };
+    let reports: Vec<_> = assert_sharded_parity(specs, 8 * horizon);
+    assert_eq!(reports[0].decided_shots(), 2);
+}
