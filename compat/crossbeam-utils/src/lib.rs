@@ -1,0 +1,113 @@
+//! Offline stand-in for `crossbeam-utils` (0.8 API subset): scoped
+//! threads, backed by `std::thread::scope`.
+//!
+//! Implements the surface the `homonym-core` pool executor uses:
+//! [`thread::scope`], [`thread::Scope::spawn`], and
+//! [`thread::ScopedJoinHandle::join`]. The one behavioural deviation from
+//! the registry crate: if a spawned thread panics and its handle was never
+//! joined, [`thread::scope`] *panics* at scope exit (the `std` behaviour)
+//! instead of returning `Err` — so the `Ok` this shim always returns keeps
+//! call sites source-compatible with the real crate without a
+//! `catch_unwind` dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads: spawn borrowing threads that are guaranteed to be
+    //! joined before the scope returns.
+
+    /// The result of joining a scoped thread: `Err` carries the panic
+    /// payload, exactly as `std::thread::Result` does.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope for spawning borrowing threads, handed to the closure of
+    /// [`scope`] (and to every spawned thread's closure, so workers can
+    /// themselves spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// An owned handle to one scoped thread; joining returns the thread's
+    /// result (or its panic payload).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` carries its panic
+        /// payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from outside the scope; it is
+        /// joined (at the latest) when the scope ends. As in crossbeam,
+        /// the closure receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing non-`'static` data can
+    /// be spawned; every spawned thread is joined before this returns.
+    ///
+    /// Always returns `Ok` — an unjoined panicked thread re-panics here
+    /// (see the crate docs for the deviation from the registry crate).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u32, 2, 3, 4];
+            let mut results = vec![0u32; 2];
+            let (left, right) = results.split_at_mut(1);
+            scope(|s| {
+                let h0 = s.spawn(|_| data[..2].iter().sum::<u32>());
+                let h1 = s.spawn(|_| data[2..].iter().sum::<u32>());
+                left[0] = h0.join().expect("no panic");
+                right[0] = h1.join().expect("no panic");
+            })
+            .expect("scope completes");
+            assert_eq!(results, vec![3, 7]);
+        }
+
+        #[test]
+        fn workers_can_spawn_siblings() {
+            let flag = std::sync::atomic::AtomicBool::new(false);
+            scope(|s| {
+                s.spawn(|s2| {
+                    s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+                });
+            })
+            .expect("scope completes");
+            assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+        }
+
+        #[test]
+        fn join_surfaces_panics_as_err() {
+            scope(|s| {
+                let h = s.spawn(|_| panic!("worker bug"));
+                assert!(h.join().is_err());
+            })
+            .expect("joined panic does not poison the scope");
+        }
+    }
+}

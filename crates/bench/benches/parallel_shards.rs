@@ -1,0 +1,141 @@
+//! Parallel tick executor — aggregate decisions/sec of the sharded
+//! scheduler as the worker count climbs, at fixed K = 64 shards of n = 8
+//! synchronous `T(EIG)` agreement (4 shots per shard, the
+//! `shard_throughput` headline configuration).
+//!
+//! Series: the [`Sequential`] baseline, then [`Pool`] executors at
+//! 1/2/4/8 workers. Each tick fans the 64 live shards across the pool's
+//! scoped workers, every worker writing its shards' disjoint
+//! `Deliveries` slot ranges; results are byte-identical to sequential at
+//! any worker count (pinned by `tests/shard_isolation.rs` and the
+//! `fabric_golden` digests), so this bench measures pure scheduling
+//! overhead/speedup.
+//!
+//! Besides the criterion timing loop, the bench writes machine-readable
+//! results to `BENCH_parallel.json` (best-of-3 instrumented runs per
+//! executor, wire-bit estimates on, the same series schema as
+//! `BENCH_shards.json`, each entry annotated with its worker count and
+//! speedup over the one-worker pool). The file also records
+//! `available_parallelism`: on a single-core host the sweep *cannot*
+//! show speedup — the artifact documents the hardware so downstream
+//! readers interpret the curve correctly. Pass `--quick` (CI does) to
+//! cap K at 16 and sweep workers {1, 4} only.
+
+use criterion::{BenchmarkId, Criterion};
+use homonym_bench::json::{write_bench_json, Value};
+use homonym_bench::{decided_shots_total, measure_sharded, run_sharded_t_eig_with};
+use homonym_core::exec::{Executor, Pool, Sequential};
+
+const K: usize = 64;
+const K_QUICK: usize = 16;
+const N: usize = 8;
+const ELL: usize = 4;
+const T: usize = 1;
+const SHOTS: usize = 4;
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const WORKERS_QUICK: [usize; 2] = [1, 4];
+
+fn bench(c: &mut Criterion, quick: bool) {
+    let k = if quick { K_QUICK } else { K };
+    let workers: &[usize] = if quick { &WORKERS_QUICK } else { &WORKERS };
+    let mut group = c.benchmark_group("parallel_shards");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new(format!("sync_t_eig_k{k}"), "seq"), |b| {
+        b.iter(|| {
+            let reports = run_sharded_t_eig_with(Sequential, k, N, ELL, T, SHOTS, false);
+            let decided = decided_shots_total(&reports);
+            assert_eq!(decided, (k * SHOTS) as u64);
+            decided
+        })
+    });
+    for &w in workers {
+        group.bench_with_input(
+            BenchmarkId::new(format!("sync_t_eig_k{k}"), format!("w{w}")),
+            &w,
+            |b, &w| {
+                b.iter(|| {
+                    let reports = run_sharded_t_eig_with(Pool::new(w), k, N, ELL, T, SHOTS, false);
+                    let decided = decided_shots_total(&reports);
+                    assert_eq!(decided, (k * SHOTS) as u64);
+                    decided
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Best-of-`reps` instrumented run for the JSON artifact: spawn-heavy
+/// executors are noisy on loaded machines, and the minimum is the
+/// scheduling-overhead signal.
+fn measure_executor<E: Executor + Copy>(
+    label: &str,
+    workers: usize,
+    exec: E,
+    k: usize,
+    reps: usize,
+) -> (Value, f64) {
+    let mut best: Option<(Value, f64)> = None;
+    for _ in 0..reps {
+        let entry = measure_sharded("sync_t_eig", k, N, ELL, T, SHOTS, || {
+            run_sharded_t_eig_with(exec, k, N, ELL, T, SHOTS, true)
+        });
+        let rate = entry
+            .get("decisions_per_sec")
+            .and_then(Value::as_f64)
+            .expect("rate recorded");
+        let better = match &best {
+            None => true,
+            Some((_, best_rate)) => rate > *best_rate,
+        };
+        if better {
+            best = Some((entry, rate));
+        }
+    }
+    let (entry, rate) = best.expect("at least one rep");
+    let entry = entry.with([
+        ("executor", Value::str(label)),
+        ("workers", Value::Int(workers as i64)),
+    ]);
+    (entry, rate)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut c = Criterion::default();
+    bench(&mut c, quick);
+
+    let k = if quick { K_QUICK } else { K };
+    let workers: &[usize] = if quick { &WORKERS_QUICK } else { &WORKERS };
+    let reps = if quick { 2 } else { 3 };
+
+    let mut series = Vec::new();
+    let (seq_entry, _) = measure_executor("sequential", 1, Sequential, k, reps);
+    series.push(seq_entry);
+    let mut w1_rate = None;
+    for &w in workers {
+        let (entry, rate) = measure_executor("pool", w, Pool::new(w), k, reps);
+        if w == 1 {
+            w1_rate = Some(rate);
+        }
+        let entry = match w1_rate {
+            Some(base) if base > 0.0 => {
+                entry.with([("speedup_vs_workers1", Value::Num(rate / base))])
+            }
+            _ => entry,
+        };
+        series.push(entry);
+    }
+
+    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let doc = Value::obj([
+        ("bench", Value::str("parallel_shards")),
+        ("mode", Value::str(if quick { "quick" } else { "full" })),
+        ("available_parallelism", Value::Int(cores as i64)),
+        ("series", Value::Arr(series)),
+    ]);
+    match write_bench_json("parallel", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_parallel.json: {e}"),
+    }
+}

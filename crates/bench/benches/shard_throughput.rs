@@ -19,12 +19,9 @@
 //! Pass `--quick` (CI does) to cap K at 16 and skip n = 32 on the sync
 //! series.
 
-use std::time::Instant;
-
 use criterion::{BenchmarkId, Criterion};
 use homonym_bench::json::{write_bench_json, Value};
-use homonym_bench::{decided_shots_total, run_sharded_fig5, run_sharded_t_eig};
-use homonym_sim::ShardReport;
+use homonym_bench::{decided_shots_total, measure_sharded, run_sharded_fig5, run_sharded_t_eig};
 
 const SYNC_KS: [usize; 4] = [1, 4, 16, 64];
 const SYNC_KS_QUICK: [usize; 3] = [1, 4, 16];
@@ -80,57 +77,6 @@ fn bench(c: &mut Criterion, quick: bool) {
     group.finish();
 }
 
-/// One instrumented run for the JSON artifact (wire-bit estimates on).
-fn measure(
-    protocol: &str,
-    k: usize,
-    n: usize,
-    ell: usize,
-    shots: usize,
-    run: impl FnOnce() -> Vec<ShardReport<bool>>,
-) -> Value {
-    let start = Instant::now();
-    let reports = run();
-    let time_ns = start.elapsed().as_nanos() as i64;
-    let decided = decided_shots_total(&reports);
-    assert_eq!(
-        decided,
-        (k * shots) as u64,
-        "{protocol} k={k} n={n}: every shard must decide every shot"
-    );
-    let messages: u64 = reports.iter().map(ShardReport::messages_sent).sum();
-    let rounds: u64 = reports.iter().map(ShardReport::rounds).sum();
-    let bits: u64 = reports
-        .iter()
-        .map(|r| r.bits_sent().expect("bits measured"))
-        .sum();
-    Value::obj([
-        ("protocol", Value::str(protocol)),
-        ("k", Value::Int(k as i64)),
-        ("n", Value::Int(n as i64)),
-        ("ell", Value::Int(ell as i64)),
-        ("t", Value::Int(1)),
-        ("shots_per_shard", Value::Int(shots as i64)),
-        ("time_ns", Value::Int(time_ns)),
-        ("decisions", Value::Int(decided as i64)),
-        (
-            "decisions_per_sec",
-            Value::Num(decided as f64 / (time_ns as f64 / 1e9)),
-        ),
-        ("rounds", Value::Int(rounds as i64)),
-        ("messages_sent", Value::Int(messages as i64)),
-        ("bits_sent_estimate", Value::Int(bits as i64)),
-        (
-            "messages_per_decision",
-            Value::Num(messages as f64 / decided as f64),
-        ),
-        (
-            "bits_per_decision",
-            Value::Num(bits as f64 / decided as f64),
-        ),
-    ])
-}
-
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut c = Criterion::default();
@@ -143,17 +89,24 @@ fn main() {
     let mut series = Vec::new();
     for &n in sync_ns {
         for &k in sync_ks {
-            series.push(measure("sync_t_eig", k, n, 4, SYNC_SHOTS, || {
-                run_sharded_t_eig(k, n, 4, 1, SYNC_SHOTS, true)
-            }));
+            series.push(measure_sharded(
+                "sync_t_eig",
+                k,
+                n,
+                4,
+                1,
+                SYNC_SHOTS,
+                || run_sharded_t_eig(k, n, 4, 1, SYNC_SHOTS, true),
+            ));
         }
     }
     for &k in psync_ks {
-        series.push(measure(
+        series.push(measure_sharded(
             "psync_fig5",
             k,
             PSYNC_N,
             PSYNC_ELL,
+            1,
             PSYNC_SHOTS,
             || run_sharded_fig5(k, PSYNC_N, PSYNC_ELL, 1, PSYNC_SHOTS, true),
         ));

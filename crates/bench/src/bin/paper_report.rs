@@ -14,14 +14,17 @@
 //!   9. Section 2 — delay-model equivalence (E14)
 //!  10. Price of homonymy — ℓ sweep against the DLS baseline (E15)
 //!  11. Section 5 — the multi-send restriction is load-bearing (E17)
+//!  12. Shard throughput — K instances over one delivery plane (E19),
+//!      the same `measure_sharded` series `BENCH_shards.json` records
 //!
 //! EXPERIMENTS.md archives this output next to the paper's claims.
 
 use homonym_bench::json::{write_bench_json, Value};
 use homonym_bench::{
-    cell_line, decided_round_value, fig5_factory, fig7_factory, psync_cfg, restricted_cfg,
-    run_fig5, run_fig5_known_bound, run_fig5_unknown_bound, run_fig7, run_t_eig_clean, suite_fig5,
-    suite_fig7, suite_t_eig, sync_cfg,
+    cell_line, decided_round_value, fig5_factory, fig7_factory, measure_sharded, psync_cfg,
+    restricted_cfg, run_fig5, run_fig5_known_bound, run_fig5_unknown_bound, run_fig7,
+    run_sharded_fig5, run_sharded_t_eig, run_t_eig_clean, suite_fig5, suite_fig7, suite_t_eig,
+    sync_cfg,
 };
 use homonym_core::{
     bounds, ByzPower, Counting, Domain, IdAssignment, Pid, Synchrony, SystemConfig,
@@ -531,6 +534,51 @@ fn complexity_study() -> Value {
     Value::Arr(points)
 }
 
+fn shard_throughput() -> Value {
+    section("Shard throughput — K instances over one delivery plane (E19)");
+    println!("(same `measure_sharded` code path as BENCH_shards.json, so the two artifacts cannot drift)");
+    println!(
+        "{:>12} | {:>4} | {:>4} | {:>14} | {:>9} | {:>14}",
+        "protocol", "k", "n", "decisions/sec", "messages", "msgs/decision"
+    );
+    let mut series = Vec::new();
+    let mut record = |entry: Value| {
+        let rate = entry
+            .get("decisions_per_sec")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let msgs = entry
+            .get("messages_sent")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let per = entry
+            .get("messages_per_decision")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let (protocol, k, n) = (
+            match entry.get("protocol") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => "?".into(),
+            },
+            entry.get("k").and_then(Value::as_f64).unwrap_or(0.0),
+            entry.get("n").and_then(Value::as_f64).unwrap_or(0.0),
+        );
+        println!("{protocol:>12} | {k:>4} | {n:>4} | {rate:>14.0} | {msgs:>9} | {per:>14.1}");
+        series.push(entry);
+    };
+    for k in [1usize, 4, 16] {
+        record(measure_sharded("sync_t_eig", k, 8, 4, 1, 4, || {
+            run_sharded_t_eig(k, 8, 4, 1, 4, true)
+        }));
+    }
+    for k in [1usize, 4] {
+        record(measure_sharded("psync_fig5", k, 16, 10, 1, 2, || {
+            run_sharded_fig5(k, 16, 10, 1, 2, true)
+        }));
+    }
+    Value::Arr(series)
+}
+
 fn headline() {
     section("Headline — more correct processes can break agreement");
     let four = psync_cfg(4, 4, 1);
@@ -556,6 +604,7 @@ fn main() {
     let homonymy_price = price_of_homonymy();
     restriction_boundary();
     let complexity = complexity_study();
+    let shard_series = shard_throughput();
     headline();
 
     let doc = Value::obj([
@@ -564,6 +613,7 @@ fn main() {
         ("fig5_latency", fig5_points),
         ("price_of_homonymy", homonymy_price),
         ("complexity_study", complexity),
+        ("shard_throughput", shard_series),
     ]);
     match write_bench_json("paper_report", &doc) {
         Ok(path) => println!("\nwrote {}", path.display()),

@@ -40,6 +40,42 @@ impl Value {
         Value::Str(s.into())
     }
 
+    /// The value at `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as a float ([`Num`](Value::Num) or
+    /// [`Int`](Value::Int)).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            Value::Int(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// This object with extra key/value pairs appended (replacing any
+    /// existing pairs under the same keys, so annotations are
+    /// idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an object.
+    pub fn with(self, pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        let Value::Obj(mut existing) = self else {
+            panic!("Value::with requires an object");
+        };
+        for (k, v) in pairs {
+            existing.retain(|(key, _)| key != k);
+            existing.push((k.to_string(), v));
+        }
+        Value::Obj(existing)
+    }
+
     /// Serializes with two-space indentation (diff-friendly artifacts).
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -8,6 +8,7 @@
 pub mod json;
 
 use homonym_classic::Eig;
+use homonym_core::exec::{Executor, Sequential};
 use homonym_core::{
     bounds, ByzPower, Counting, Domain, IdAssignment, Round, Synchrony, SystemConfig,
 };
@@ -137,9 +138,10 @@ pub fn run_fig5_unknown_bound(
 
 /// K shards of n-process synchronous `T(EIG)` agreement, each running
 /// `shots` back-to-back instances (alternating input patterns) through
-/// one shared delivery plane. Wire-bit estimates are on when
-/// `measure_bits` is set.
-pub fn run_sharded_t_eig(
+/// one shared delivery plane, ticks stepped on the given executor.
+/// Wire-bit estimates are on when `measure_bits` is set.
+pub fn run_sharded_t_eig_with<E: Executor>(
+    exec: E,
     k: usize,
     n: usize,
     ell: usize,
@@ -148,7 +150,7 @@ pub fn run_sharded_t_eig(
     measure_bits: bool,
 ) -> Vec<ShardReport<bool>> {
     let horizon = t_eig_factory(ell, t).round_bound() + 9;
-    let mut sharded = ShardedSimulation::new().measure_bits(measure_bits);
+    let mut sharded = ShardedSimulation::with_executor(exec).measure_bits(measure_bits);
     for s in 0..k {
         let mut spec = ShardSpec::new(
             sync_cfg(n, ell, t),
@@ -163,9 +165,23 @@ pub fn run_sharded_t_eig(
     sharded.run(shots as u64 * horizon + 8)
 }
 
+/// [`run_sharded_t_eig_with`] on the default sequential executor.
+pub fn run_sharded_t_eig(
+    k: usize,
+    n: usize,
+    ell: usize,
+    t: usize,
+    shots: usize,
+    measure_bits: bool,
+) -> Vec<ShardReport<bool>> {
+    run_sharded_t_eig_with(Sequential, k, n, ell, t, shots, measure_bits)
+}
+
 /// K shards of the Figure 5 partially synchronous protocol (no drops),
-/// `shots` instances per shard, over one shared delivery plane.
-pub fn run_sharded_fig5(
+/// `shots` instances per shard, over one shared delivery plane, ticks
+/// stepped on the given executor.
+pub fn run_sharded_fig5_with<E: Executor>(
+    exec: E,
     k: usize,
     n: usize,
     ell: usize,
@@ -174,7 +190,7 @@ pub fn run_sharded_fig5(
     measure_bits: bool,
 ) -> Vec<ShardReport<bool>> {
     let horizon = fig5_factory(n, ell, t).round_bound() + 24;
-    let mut sharded = ShardedSimulation::new().measure_bits(measure_bits);
+    let mut sharded = ShardedSimulation::with_executor(exec).measure_bits(measure_bits);
     for s in 0..k {
         let mut spec = ShardSpec::new(
             psync_cfg(n, ell, t),
@@ -187,6 +203,77 @@ pub fn run_sharded_fig5(
         sharded.add_shard(spec, fig5_factory(n, ell, t));
     }
     sharded.run(shots as u64 * horizon + 8)
+}
+
+/// [`run_sharded_fig5_with`] on the default sequential executor.
+pub fn run_sharded_fig5(
+    k: usize,
+    n: usize,
+    ell: usize,
+    t: usize,
+    shots: usize,
+    measure_bits: bool,
+) -> Vec<ShardReport<bool>> {
+    run_sharded_fig5_with(Sequential, k, n, ell, t, shots, measure_bits)
+}
+
+/// One instrumented sharded run rendered as the machine-readable series
+/// entry shared by `shard_throughput`, `parallel_shards`, and the
+/// `paper_report` binary — one schema, one code path, so the committed
+/// `BENCH_*.json` artifacts cannot drift apart.
+///
+/// Asserts that every shard decided every shot (the throughput number is
+/// meaningless otherwise).
+pub fn measure_sharded(
+    protocol: &str,
+    k: usize,
+    n: usize,
+    ell: usize,
+    t: usize,
+    shots: usize,
+    run: impl FnOnce() -> Vec<ShardReport<bool>>,
+) -> json::Value {
+    use json::Value;
+    let start = std::time::Instant::now();
+    let reports = run();
+    let time_ns = start.elapsed().as_nanos() as i64;
+    let decided = decided_shots_total(&reports);
+    assert_eq!(
+        decided,
+        (k * shots) as u64,
+        "{protocol} k={k} n={n}: every shard must decide every shot"
+    );
+    let messages: u64 = reports.iter().map(ShardReport::messages_sent).sum();
+    let rounds: u64 = reports.iter().map(ShardReport::rounds).sum();
+    let bits: u64 = reports
+        .iter()
+        .map(|r| r.bits_sent().expect("bits measured"))
+        .sum();
+    Value::obj([
+        ("protocol", Value::str(protocol)),
+        ("k", Value::Int(k as i64)),
+        ("n", Value::Int(n as i64)),
+        ("ell", Value::Int(ell as i64)),
+        ("t", Value::Int(t as i64)),
+        ("shots_per_shard", Value::Int(shots as i64)),
+        ("time_ns", Value::Int(time_ns)),
+        ("decisions", Value::Int(decided as i64)),
+        (
+            "decisions_per_sec",
+            Value::Num(decided as f64 / (time_ns as f64 / 1e9)),
+        ),
+        ("rounds", Value::Int(rounds as i64)),
+        ("messages_sent", Value::Int(messages as i64)),
+        ("bits_sent_estimate", Value::Int(bits as i64)),
+        (
+            "messages_per_decision",
+            Value::Num(messages as f64 / decided as f64),
+        ),
+        (
+            "bits_per_decision",
+            Value::Num(bits as f64 / decided as f64),
+        ),
+    ])
 }
 
 /// Agreement instances completed (all correct processes decided) across a

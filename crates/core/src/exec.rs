@@ -1,0 +1,265 @@
+//! The tick executor: the cross-engine seam that fans independent
+//! per-shard work out across cores.
+//!
+//! Both sharded engines (`homonym_sim::shards::ShardedSimulation` and
+//! `homonym_runtime::ShardedCluster`) advance K independent agreement
+//! instances one round per global tick, and within a tick the shards are
+//! embarrassingly parallel: each owns a disjoint slot range of the shared
+//! [`Deliveries`](crate::Deliveries) plane and never reads another
+//! shard's state. An [`Executor`] abstracts *how* that per-tick batch of
+//! shard steps runs:
+//!
+//! * [`Sequential`] — in task order on the calling thread (the original
+//!   single-threaded schedule, and the default);
+//! * [`Pool`] — on `workers` scoped threads, tasks dealt round-robin,
+//!   results merged back **in task order** so every observable (traces,
+//!   decisions, reports) is byte-identical to [`Sequential`] at any
+//!   worker count. `tests/shard_isolation.rs` property-tests this and
+//!   `tests/fabric_golden.rs` pins it against the sequential golden
+//!   digests.
+//!
+//! Executors promise nothing about *interleaving*, only about result
+//! order — callers must hand them tasks that are independent (each task
+//! owns `&mut` access to disjoint data, e.g. via
+//! [`Deliveries::split_slots`](crate::Deliveries::split_slots)).
+//!
+//! Later backends (async runtimes, multi-backend routing) are expected to
+//! reuse this boundary rather than re-invent per-engine threading.
+
+/// Runs a tick's batch of independent tasks, returning their results in
+/// task order.
+///
+/// # Determinism contract
+///
+/// `scatter` must return `results[i] == tasks[i]()` for every `i`, as if
+/// the tasks had run sequentially — implementations may overlap task
+/// *execution* arbitrarily but must not let the schedule leak into the
+/// results. Combined with task independence (disjoint `&mut` data), this
+/// makes every engine built on an executor schedule-oblivious.
+pub trait Executor {
+    /// How many tasks this executor may run concurrently (1 for
+    /// [`Sequential`]). Engines may use this to size scratch pools.
+    fn workers(&self) -> usize;
+
+    /// Runs every task to completion and returns their outputs in task
+    /// order.
+    fn scatter<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send;
+}
+
+/// The single-threaded executor: tasks run in order on the calling
+/// thread. This is the default for both sharded engines and the
+/// behavioural reference for every other executor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Sequential;
+
+impl Executor for Sequential {
+    fn workers(&self) -> usize {
+        1
+    }
+
+    fn scatter<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        tasks.into_iter().map(|task| task()).collect()
+    }
+}
+
+/// The thread-pool executor: each `scatter` deals its tasks round-robin
+/// onto `workers` scoped threads (spawned per call — scoped threads may
+/// borrow the caller's data, which is what lets engines hand workers
+/// `&mut` views of live shard state without `'static` gymnastics or
+/// locks). Results come back over a `crossbeam-channel` and are reordered
+/// by task index, so output is byte-identical to [`Sequential`].
+///
+/// A panic in any task propagates to the caller once every worker has
+/// finished (workers are joined individually and the first panicking
+/// worker's payload is re-raised with
+/// [`resume_unwind`](std::panic::resume_unwind), so the original panic
+/// message survives — engine contract violations stay diagnosable under
+/// the pool; which sibling tasks had already run is not specified).
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::exec::{Executor, Pool, Sequential};
+///
+/// let data = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+/// let tasks = |d: &Vec<u64>| {
+///     d.iter()
+///         .map(|&x| move || x * x)
+///         .collect::<Vec<_>>()
+/// };
+/// let seq = Sequential.scatter(tasks(&data));
+/// let pooled = Pool::new(3).scatter(tasks(&data));
+/// assert_eq!(seq, pooled); // same results, same order
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// An executor running tasks on `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero (use [`Sequential`] for one-thread
+    /// semantics without the pool machinery; `Pool::new(1)` is also
+    /// valid and runs tasks on the caller's thread).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a pool needs at least one worker");
+        Pool { workers }
+    }
+}
+
+impl Executor for Pool {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn scatter<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let workers = self.workers.min(tasks.len());
+        if workers <= 1 {
+            return Sequential.scatter(tasks);
+        }
+
+        // Deal tasks round-robin: chunk w gets tasks w, w + workers, …
+        // The deal is a pure function of (task count, worker count), so
+        // the work placement — though invisible in the results — is
+        // reproducible too.
+        let task_count = tasks.len();
+        let mut chunks: Vec<Vec<(usize, F)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (index, task) in tasks.into_iter().enumerate() {
+            chunks[index % workers].push((index, task));
+        }
+
+        let mut results: Vec<Option<T>> = (0..task_count).map(|_| None).collect();
+        let (result_tx, result_rx) = crossbeam_channel::unbounded::<(usize, T)>();
+        crossbeam_utils::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(chunks.len());
+            for chunk in chunks {
+                let result_tx = result_tx.clone();
+                handles.push(scope.spawn(move |_| {
+                    for (index, task) in chunk {
+                        result_tx
+                            .send((index, task()))
+                            .expect("scatter collector outlives workers");
+                    }
+                }));
+            }
+            // The workers' clones keep the channel open; dropping the
+            // original lets the drain below terminate when they finish
+            // (a panicking worker drops its clone early, so the drain
+            // cannot hang on a dead sender).
+            drop(result_tx);
+            while let Ok((index, value)) = result_rx.recv() {
+                results[index] = Some(value);
+            }
+            // Join explicitly so a panicked task's payload is re-raised
+            // verbatim instead of the scope's generic panic message.
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        })
+        .expect("scoped workers joined");
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every task produced a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn square_tasks(data: &[u64]) -> Vec<impl FnOnce() -> u64 + Send + '_> {
+        data.iter().map(|&x| move || x * x).collect()
+    }
+
+    #[test]
+    fn sequential_runs_in_order() {
+        let order = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..5)
+            .map(|i| {
+                let order = &order;
+                move || {
+                    assert_eq!(order.fetch_add(1, Ordering::SeqCst), i);
+                    i
+                }
+            })
+            .collect();
+        assert_eq!(Sequential.scatter(tasks), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_matches_sequential_at_every_worker_count() {
+        let data: Vec<u64> = (0..23).collect();
+        let expected = Sequential.scatter(square_tasks(&data));
+        for workers in [1, 2, 3, 7, 32] {
+            assert_eq!(
+                Pool::new(workers).scatter(square_tasks(&data)),
+                expected,
+                "worker count {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_and_singleton_batches() {
+        let empty: Vec<fn() -> u8> = Vec::new();
+        assert!(Pool::new(4).scatter(empty).is_empty());
+        assert_eq!(Pool::new(4).scatter(vec![|| 9u8]), vec![9]);
+    }
+
+    #[test]
+    fn pool_tasks_mutate_disjoint_borrows() {
+        let mut buckets = vec![0u64; 6];
+        let tasks: Vec<_> = buckets
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| move || *slot = i as u64 * 10)
+            .collect();
+        Pool::new(3).scatter(tasks);
+        assert_eq!(buckets, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        Pool::new(0);
+    }
+
+    #[test]
+    fn pool_propagates_task_panics_with_their_message() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(2).scatter(
+                (0..4)
+                    .map(|i| move || assert_ne!(i, 2, "task bug"))
+                    .collect::<Vec<_>>(),
+            )
+        });
+        let payload = result.expect_err("the task panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert!(
+            message.contains("task bug"),
+            "original message lost: {message:?}"
+        );
+    }
+}

@@ -134,6 +134,144 @@ impl<M: Message> Deliveries<M> {
     pub fn take_inbox(&mut self, to: Pid, counting: Counting) -> Inbox<M> {
         Inbox::collect_shared(self.buckets[to.index()].drain(..), counting)
     }
+
+    /// Splits the plane into disjoint contiguous views of the given
+    /// widths, laid out back to back from slot 0 — one mutable view per
+    /// width, each addressed in **global** slot coordinates.
+    ///
+    /// This is the lock-free seam of the parallel tick executor: each
+    /// shard of a sharded scheduler owns the contiguous range
+    /// `[offset, offset + n)`, so handing every worker its shards' views
+    /// lets a whole tick's routing and inbox-draining proceed
+    /// concurrently with no lock on the plane — the borrow checker
+    /// guarantees the ranges cannot overlap.
+    ///
+    /// Widths may sum to less than [`n`](Deliveries::n); trailing slots
+    /// are simply not covered by any view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths sum to more than [`n`](Deliveries::n).
+    pub fn split_slots(
+        &mut self,
+        widths: impl IntoIterator<Item = usize>,
+    ) -> Vec<DeliverySlots<'_, M>> {
+        let mut rest = self.buckets.as_mut_slice();
+        let mut start = 0;
+        let mut views = Vec::new();
+        for width in widths {
+            assert!(
+                width <= rest.len(),
+                "slot ranges exceed the plane: {} + {width} > {}",
+                start,
+                start + rest.len()
+            );
+            let (head, tail) = rest.split_at_mut(width);
+            views.push(DeliverySlots {
+                start,
+                buckets: head,
+            });
+            start += width;
+            rest = tail;
+        }
+        views
+    }
+
+    /// The whole plane as a single range view (global coordinates, start
+    /// 0) — what a sequential caller hands to code written against
+    /// [`DeliverySlots`].
+    pub fn as_slots(&mut self) -> DeliverySlots<'_, M> {
+        DeliverySlots {
+            start: 0,
+            buckets: &mut self.buckets,
+        }
+    }
+}
+
+/// A mutable view of a contiguous slot range of a [`Deliveries`] plane,
+/// addressed in the plane's **global** [`Pid`] coordinates.
+///
+/// Produced by [`Deliveries::split_slots`]; because each view borrows a
+/// disjoint `&mut` sub-slice of the bucket vector, views can be handed to
+/// different worker threads and used concurrently without any
+/// synchronization. Out-of-range slots panic, so a shard that tries to
+/// write outside its own range is caught immediately rather than
+/// corrupting a neighbour.
+#[derive(Debug)]
+pub struct DeliverySlots<'a, M> {
+    start: usize,
+    buckets: &'a mut [Vec<SharedEnvelope<M>>],
+}
+
+impl<M: Message> DeliverySlots<'_, M> {
+    /// The first global slot this view covers.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The number of slots in this view.
+    pub fn width(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Resolves a global slot to a local bucket index, panicking (with
+    /// the offending slot) on anything outside this view's range.
+    fn local_index(&self, to: Pid) -> usize {
+        let local = to.index().checked_sub(self.start).unwrap_or_else(|| {
+            panic!(
+                "slot {to} below this view's range [{}, {})",
+                self.start,
+                self.start + self.buckets.len()
+            )
+        });
+        assert!(
+            local < self.buckets.len(),
+            "slot {to} beyond this view's range [{}, {})",
+            self.start,
+            self.start + self.buckets.len()
+        );
+        local
+    }
+
+    fn bucket(&mut self, to: Pid) -> &mut Vec<SharedEnvelope<M>> {
+        let local = self.local_index(to);
+        &mut self.buckets[local]
+    }
+
+    /// Empties every bucket of the range, keeping allocations.
+    pub fn clear(&mut self) {
+        for bucket in self.buckets.iter_mut() {
+            bucket.clear();
+        }
+    }
+
+    /// Routes one shared envelope to global slot `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is outside this view's range.
+    pub fn push(&mut self, to: Pid, envelope: SharedEnvelope<M>) {
+        self.bucket(to).push(envelope);
+    }
+
+    /// The number of envelopes currently routed to global slot `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is outside this view's range.
+    pub fn len_for(&self, to: Pid) -> usize {
+        self.buckets[self.local_index(to)].len()
+    }
+
+    /// Drains global slot `to` into an [`Inbox`] under the given counting
+    /// model; the bucket keeps its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is outside this view's range.
+    pub fn take_inbox(&mut self, to: Pid, counting: Counting) -> Inbox<M> {
+        Inbox::collect_shared(self.bucket(to).drain(..), counting)
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +328,75 @@ mod tests {
         let b = SharedEnvelope::shared(Id::new(2), Arc::clone(&payload));
         assert!(Arc::ptr_eq(&a.msg, &b.msg));
         assert_eq!(Arc::strong_count(&payload), 3);
+    }
+
+    #[test]
+    fn split_slots_views_are_disjoint_and_globally_addressed() {
+        let mut d: Deliveries<String> = Deliveries::new(7);
+        d.push(Pid::new(6), env(9, "pre-existing"));
+        {
+            let mut views = d.split_slots([2usize, 3, 2]);
+            assert_eq!(views.len(), 3);
+            assert_eq!(
+                views.iter().map(DeliverySlots::start).collect::<Vec<_>>(),
+                vec![0, 2, 5]
+            );
+            // Each view addresses its slots in GLOBAL coordinates.
+            views[0].push(Pid::new(1), env(1, "a"));
+            views[1].push(Pid::new(2), env(2, "b"));
+            views[1].push(Pid::new(4), env(2, "c"));
+            views[2].push(Pid::new(5), env(3, "d"));
+            assert_eq!(views[2].len_for(Pid::new(6)), 1, "existing data visible");
+            let inbox = views[1].take_inbox(Pid::new(2), Counting::Numerate);
+            assert_eq!(inbox.count(Id::new(2), &"b".to_string()), 1);
+        }
+        // The views write through to the plane.
+        assert_eq!(d.len_for(Pid::new(1)), 1);
+        assert_eq!(d.len_for(Pid::new(2)), 0, "taken inbox drained the slot");
+        assert_eq!(d.len_for(Pid::new(4)), 1);
+        assert_eq!(d.total(), 4);
+    }
+
+    #[test]
+    fn split_slots_may_leave_a_tail_uncovered() {
+        let mut d: Deliveries<String> = Deliveries::new(5);
+        let views = d.split_slots([2usize, 1]);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[1].start(), 2);
+        assert_eq!(views[1].width(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the plane")]
+    fn split_slots_rejects_oversized_ranges() {
+        let mut d: Deliveries<String> = Deliveries::new(3);
+        let _ = d.split_slots([2usize, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below this view's range")]
+    fn view_rejects_slots_below_its_range() {
+        let mut d: Deliveries<String> = Deliveries::new(4);
+        let mut views = d.split_slots([2usize, 2]);
+        views[1].push(Pid::new(1), env(1, "trespass"));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond this view's range")]
+    fn view_rejects_slots_beyond_its_range() {
+        let mut d: Deliveries<String> = Deliveries::new(4);
+        let mut views = d.split_slots([2usize, 2]);
+        views[0].push(Pid::new(2), env(1, "trespass"));
+    }
+
+    #[test]
+    fn as_slots_covers_the_whole_plane() {
+        let mut d: Deliveries<String> = Deliveries::new(3);
+        let mut view = d.as_slots();
+        view.push(Pid::new(0), env(1, "x"));
+        view.push(Pid::new(2), env(1, "y"));
+        view.clear();
+        assert_eq!(d.total(), 0);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   or a set (innumerate view),
 //! * [`fabric`] — the `Arc`-shared delivery fabric every execution backend
 //!   (lock-step simulator, threaded runtime, delay network) routes through,
+//! * [`exec`] — the tick executor seam ([`Sequential`] and the scoped
+//!   thread-[`Pool`]) the sharded engines fan per-shard work out with,
 //! * [`bounds`] — the Table 1 solvability characterization,
 //! * [`spec`] — the Byzantine agreement properties (validity, agreement,
 //!   termination) and trace-level checkers.
@@ -44,6 +46,7 @@
 pub mod bounds;
 mod config;
 mod error;
+pub mod exec;
 pub mod fabric;
 mod id;
 mod message;
@@ -53,7 +56,8 @@ mod value;
 
 pub use config::{ByzPower, Counting, Synchrony, SystemConfig, SystemConfigBuilder};
 pub use error::{AssignmentError, ConfigError};
-pub use fabric::{Deliveries, SharedEnvelope};
+pub use exec::{Executor, Pool, Sequential};
+pub use fabric::{Deliveries, DeliverySlots, SharedEnvelope};
 pub use id::{Id, IdAssignment, Pid};
 pub use message::{Envelope, Inbox, Message, Recipients};
 pub use process::{FnFactory, Protocol, ProtocolFactory, Round, Superround};

@@ -31,13 +31,14 @@ use std::sync::Arc;
 use std::thread;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
+use homonym_core::exec::{Executor, Sequential};
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
-    ByzPower, Deliveries, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Recipients,
-    Round, SharedEnvelope, SystemConfig,
+    ByzPower, Deliveries, DeliverySlots, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory,
+    Recipients, Round, SharedEnvelope, SystemConfig,
 };
 use homonym_sim::adversary::{AdvCtx, Adversary, Silent};
-use homonym_sim::shards::{wire_bits, ShardCore, ShardId, ShardReport, ShardSpec};
+use homonym_sim::shards::{ShardCore, ShardId, ShardReport, ShardSpec, ShardWire};
 use homonym_sim::{DropPolicy, NoDrops, RunReport};
 
 enum ToActor<M> {
@@ -362,6 +363,15 @@ enum FromShardActor<M, V> {
 /// [`ShardReport`]/[`ShotReport`] types as the simulator, so parity is a
 /// field-for-field comparison.
 ///
+/// Like the sharded simulator, the cluster is generic over an
+/// [`Executor`]: the coordinator-side quadratic work of each tick —
+/// building wires from the collected sends, routing them through
+/// topology/drops into the shared plane, draining per-slot inboxes —
+/// is fanned out per shard across worker threads (each writing its
+/// shards' disjoint [`DeliverySlots`] range), while the actors keep
+/// parallelizing the protocol work itself. Decisions, counters, and
+/// reports are identical at any worker count.
+///
 /// # Example
 ///
 /// ```
@@ -385,9 +395,10 @@ enum FromShardActor<M, V> {
 /// let reports = cluster.run(32);
 /// assert_eq!(reports[0].decided_shots(), 2);
 /// ```
-pub struct ShardedCluster<P: Protocol> {
-    shards: Vec<(ShardSpec<P>, Box<dyn ProtocolFactory<P = P>>)>,
+pub struct ShardedCluster<P: Protocol, E: Executor = Sequential> {
+    shards: Vec<(ShardSpec<P>, Box<dyn ProtocolFactory<P = P> + Send>)>,
     measure_bits: bool,
+    exec: E,
 }
 
 impl<P: Protocol> Default for ShardedCluster<P> {
@@ -397,11 +408,21 @@ impl<P: Protocol> Default for ShardedCluster<P> {
 }
 
 impl<P: Protocol> ShardedCluster<P> {
-    /// An empty sharded cluster.
+    /// An empty sharded cluster whose coordinator work runs sequentially.
     pub fn new() -> Self {
+        Self::with_executor(Sequential)
+    }
+}
+
+impl<P: Protocol, E: Executor> ShardedCluster<P, E> {
+    /// An empty sharded cluster whose per-tick coordinator work runs on
+    /// the given executor — e.g.
+    /// `ShardedCluster::with_executor(Pool::new(4))`.
+    pub fn with_executor(exec: E) -> Self {
         ShardedCluster {
             shards: Vec::new(),
             measure_bits: false,
+            exec,
         }
     }
 
@@ -416,7 +437,7 @@ impl<P: Protocol> ShardedCluster<P> {
     pub fn add_shard(
         &mut self,
         spec: ShardSpec<P>,
-        factory: impl ProtocolFactory<P = P> + 'static,
+        factory: impl ProtocolFactory<P = P> + Send + 'static,
     ) -> ShardId {
         let id = ShardId::new(self.shards.len());
         self.shards.push((spec, Box::new(factory)));
@@ -424,10 +445,68 @@ impl<P: Protocol> ShardedCluster<P> {
     }
 }
 
-impl<P> ShardedCluster<P>
+/// One shard of the threaded coordinator: the shared bookkeeping, the
+/// senders to its actor threads, and the shard-private per-tick scratch —
+/// everything a worker thread needs to process this shard's slice of a
+/// tick without touching its neighbours.
+struct ClusterShard<P: Protocol> {
+    core: ShardCore<P>,
+    txs: BTreeMap<Pid, Sender<ToShardActor<P>>>,
+    /// This tick's collected sends, keyed by correct pid (phase 1a).
+    sends: BTreeMap<Pid, Vec<(Recipients, P::Msg)>>,
+    /// This tick's routed wires (reused across ticks, local coords).
+    wires: Vec<ShardWire<P::Msg>>,
+}
+
+impl<P: Protocol> ClusterShard<P> {
+    /// The worker-side slice of one tick: build wires from the collected
+    /// sends and route them into this shard's slot range (both via
+    /// [`ShardCore`], so the addressing asserts, the restricted clamp,
+    /// and the drop/counter accounting are the simulator's own code),
+    /// deliver per-slot inboxes to the actors, and hand the Byzantine
+    /// inboxes to the adversary.
+    ///
+    /// The round does **not** advance here: the coordinator records the
+    /// actors' decisions at the still-current round after every worker
+    /// finishes, exactly as the sequential schedule did.
+    fn tick(&mut self, s: usize, slots: &mut DeliverySlots<'_, P::Msg>, measure_bits: bool) {
+        if !self.core.active {
+            return;
+        }
+        slots.clear();
+        let shard = ShardId::new(s);
+        let round = self.core.round;
+
+        // Phase 1b — wires from the collected sends (correct in pid
+        // order, then the adversary — the simulator's order).
+        let sends = &mut self.sends;
+        self.core
+            .build_wires(shard, &mut self.wires, measure_bits, |pid, _round| {
+                sends.remove(&pid).expect("send collected")
+            });
+
+        // Phase 2 — topology, drops, and routing into this shard's slot
+        // range (no trace: the threaded backend records none).
+        self.core.route_wires(shard, &self.wires, slots, None);
+
+        // Phase 3a — deliver to the actors; Byzantine inboxes to the
+        // adversary.
+        for &pid in &self.core.correct {
+            let slot = Pid::new(self.core.offset + pid.index());
+            let inbox = slots.take_inbox(slot, self.core.cfg.counting);
+            self.txs[&pid]
+                .send(ToShardActor::Deliver(round, inbox))
+                .expect("actor alive");
+        }
+        self.core.deliver_byz(slots);
+    }
+}
+
+impl<P, E> ShardedCluster<P, E>
 where
     P: Protocol + Send + 'static,
     P::Value: Send,
+    E: Executor,
 {
     /// Spawns one thread per process of every shard and runs global
     /// lock-step ticks until every shard drains its shot queue or
@@ -436,22 +515,29 @@ where
     /// # Panics
     ///
     /// Panics on the same contract violations as the sharded simulator
-    /// (all of which are asserted on the coordinator thread). A panic
-    /// *inside a protocol automaton* kills its actor thread and leaves
-    /// the coordinator waiting for a reply that never comes — the run
-    /// does not complete (the same limitation as [`Cluster`]); protocol
-    /// code is trusted not to panic.
+    /// (all of which are asserted on the coordinator thread or one of
+    /// the executor's workers). A panic *inside a protocol automaton*
+    /// kills its actor thread and leaves the coordinator waiting for a
+    /// reply that never comes — the run does not complete (the same
+    /// limitation as [`Cluster`]); protocol code is trusted not to
+    /// panic.
     pub fn run(self, max_ticks: u64) -> Vec<ShardReport<P::Value>> {
         let measure_bits = self.measure_bits;
+        let exec = self.exec;
 
         // Validate and lay the shards out on the shared plane. The shot
         // bookkeeping is the simulator's own `ShardCore`, so validation,
         // restarts and reports cannot drift between the engines.
-        let mut shards: Vec<ShardCore<P>> = Vec::new();
+        let mut shards: Vec<ClusterShard<P>> = Vec::new();
         let mut offset = 0usize;
         for (spec, factory) in self.shards {
             let n = spec.cfg.n;
-            shards.push(ShardCore::new(spec, factory, offset));
+            shards.push(ClusterShard {
+                core: ShardCore::new(spec, factory, offset),
+                txs: BTreeMap::new(),
+                sends: BTreeMap::new(),
+                wires: Vec::new(),
+            });
             offset += n;
         }
         let total_slots = offset;
@@ -462,13 +548,11 @@ where
             Sender<FromShardActor<P::Msg, P::Value>>,
             Receiver<FromShardActor<P::Msg, P::Value>>,
         ) = bounded(total_slots.max(1) * 2);
-        let mut to_actors: Vec<BTreeMap<Pid, Sender<ToShardActor<P>>>> = Vec::new();
         let mut handles = Vec::new();
-        for (s, shard) in shards.iter().enumerate() {
-            let mut txs = BTreeMap::new();
-            for pid in Pid::all(shard.cfg.n) {
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for pid in Pid::all(shard.core.cfg.n) {
                 let (to_tx, to_rx) = bounded::<ToShardActor<P>>(4);
-                txs.insert(pid, to_tx);
+                shard.txs.insert(pid, to_tx);
                 let from_tx = from_tx.clone();
                 handles.push(thread::spawn(move || {
                     let mut proc_: Option<P> = None;
@@ -493,7 +577,6 @@ where
                     }
                 }));
             }
-            to_actors.push(txs);
         }
 
         // Ships freshly spawned automata to their actors (the threaded
@@ -507,178 +590,84 @@ where
                 }
             };
 
-        for (shard, txs) in shards.iter_mut().zip(&to_actors) {
-            if let Some(spawned) = shard.start_next_shot(0) {
-                restart_actors(spawned, txs);
+        for shard in shards.iter_mut() {
+            if let Some(spawned) = shard.core.start_next_shot(0) {
+                restart_actors(spawned, &shard.txs);
             }
         }
 
         // The coordinator loop: the same shared-fabric tick as the
-        // sharded simulator, with actor round-trips in phases 1 and 3.
+        // sharded simulator. Phase 1a (collecting sends) and phase 3b
+        // (recording decisions) stay on the coordinator because they
+        // drain the one reply channel; everything between — the
+        // quadratic wire-building, routing, and inbox work — fans out
+        // per shard across the executor, each worker writing its
+        // shards' disjoint slot ranges of the one plane.
         let mut tick = 0u64;
-        let mut wires: Vec<(usize, Pid, Id, Pid, Arc<P::Msg>, u64)> = Vec::new();
         let mut plane: Deliveries<P::Msg> = Deliveries::new(total_slots);
-        while tick < max_ticks && shards.iter().any(|s| s.active) {
+        let widths: Vec<usize> = shards.iter().map(|s| s.core.cfg.n).collect();
+        while tick < max_ticks && shards.iter().any(|s| s.core.active) {
             // Phase 1a — collect sends from every live shard's actors
             // (in parallel across all shards).
             let mut expected = 0usize;
-            for (s, shard) in shards.iter().enumerate() {
-                if !shard.active {
+            for shard in shards.iter() {
+                if !shard.core.active {
                     continue;
                 }
-                for pid in &shard.correct {
-                    to_actors[s][pid]
-                        .send(ToShardActor::Collect(shard.round))
+                for pid in &shard.core.correct {
+                    shard.txs[pid]
+                        .send(ToShardActor::Collect(shard.core.round))
                         .expect("actor alive");
                 }
-                expected += shard.correct.len();
+                expected += shard.core.correct.len();
             }
-            let mut sends: BTreeMap<(usize, Pid), Vec<(Recipients, P::Msg)>> = BTreeMap::new();
             for _ in 0..expected {
                 match from_rx.recv().expect("actor alive") {
                     FromShardActor::Sends(s, pid, out) => {
-                        sends.insert((s, pid), out);
+                        shards[s].sends.insert(pid, out);
                     }
                     FromShardActor::Received(..) => unreachable!("no delivery outstanding"),
                 }
             }
 
-            // Phase 1b — wires, shard by shard: correct sends in pid
-            // order, then the adversary (the simulator's order).
-            wires.clear();
-            plane.clear();
-            let mut addressed: BTreeSet<Pid> = BTreeSet::new();
-            for (s, shard) in shards.iter_mut().enumerate() {
-                if !shard.active {
-                    continue;
-                }
-                let round = shard.round;
-                for &pid in &shard.correct {
-                    let out = sends.remove(&(s, pid)).expect("send collected");
-                    let src_id = shard.assignment.id_of(pid);
-                    addressed.clear();
-                    for (recipients, msg) in out {
-                        let msg = Arc::new(msg);
-                        let bits = if measure_bits { wire_bits(&*msg) } else { 0 };
-                        for to in recipients.expand(&shard.assignment) {
-                            assert!(
-                                addressed.insert(to),
-                                "correct process {pid} addressed {to} twice in {round}"
-                            );
-                            wires.push((s, pid, src_id, to, Arc::clone(&msg), bits));
-                        }
-                    }
-                }
-                let ctx = AdvCtx {
-                    round,
-                    cfg: &shard.cfg,
-                    assignment: &shard.assignment,
-                    byz: &shard.byz,
-                };
-                let mut byz_sent: BTreeMap<(Pid, Pid), u32> = BTreeMap::new();
-                for emission in shard.adversary.send(&ctx) {
-                    assert!(
-                        shard.byz.contains(&emission.from),
-                        "adversary emitted from non-byzantine {}",
-                        emission.from
-                    );
-                    let src_id = shard.assignment.id_of(emission.from);
-                    let bits = if measure_bits {
-                        wire_bits(&*emission.msg)
-                    } else {
-                        0
-                    };
-                    for to in emission.to.expand(&shard.assignment) {
-                        if shard.cfg.byz_power == ByzPower::Restricted {
-                            let count = byz_sent.entry((emission.from, to)).or_insert(0);
-                            if *count >= 1 {
-                                continue;
-                            }
-                            *count += 1;
-                        }
-                        wires.push((
-                            s,
-                            emission.from,
-                            src_id,
-                            to,
-                            Arc::clone(&emission.msg),
-                            bits,
-                        ));
-                    }
-                }
-            }
+            // Phases 1b–3a — wires, routing, and delivery, one
+            // independent task per shard on the executor.
+            let views = plane.split_slots(widths.iter().copied());
+            let tasks: Vec<_> = shards
+                .iter_mut()
+                .zip(views)
+                .enumerate()
+                .map(|(s, (shard, mut slots))| move || shard.tick(s, &mut slots, measure_bits))
+                .collect();
+            exec.scatter(tasks);
 
-            // Phase 2 — topology, drops, and routing into the shared
-            // plane at each shard's slot offset.
-            for (s, from, src_id, to, msg, bits) in wires.drain(..) {
-                let shard = &mut shards[s];
-                if !shard.topology.connected(from, to) {
-                    continue;
-                }
-                let is_self = from == to;
-                if !is_self {
-                    shard.messages_sent += 1;
-                    shard.bits_sent += bits;
-                    if shard.drops.drops(shard.round, from, to) {
-                        shard.messages_dropped += 1;
-                        continue;
-                    }
-                    shard.messages_delivered += 1;
-                }
-                plane.push(
-                    Pid::new(shard.offset + to.index()),
-                    SharedEnvelope::shared(src_id, msg),
-                );
-            }
-
-            // Phase 3 — deliver to every live shard's actors; collect
-            // decisions; hand Byzantine inboxes to the adversaries.
-            let mut expected = 0usize;
-            for (s, shard) in shards.iter().enumerate() {
-                if !shard.active {
-                    continue;
-                }
-                for &pid in &shard.correct {
-                    let slot = Pid::new(shard.offset + pid.index());
-                    let inbox = plane.take_inbox(slot, shard.cfg.counting);
-                    to_actors[s][&pid]
-                        .send(ToShardActor::Deliver(shard.round, inbox))
-                        .expect("actor alive");
-                }
-                expected += shard.correct.len();
-            }
+            // Phase 3b — decisions, recorded at the still-current round;
+            // only then do the live shards' rounds advance.
             for _ in 0..expected {
                 match from_rx.recv().expect("actor alive") {
                     FromShardActor::Received(s, pid, decision) => {
                         if let Some(v) = decision {
-                            shards[s].record_decision(pid, v);
+                            shards[s].core.record_decision(pid, v);
                         }
                     }
                     FromShardActor::Sends(..) => unreachable!("no collect outstanding"),
                 }
             }
             for shard in shards.iter_mut() {
-                if !shard.active {
-                    continue;
+                if shard.core.active {
+                    shard.core.round = shard.core.round.next();
                 }
-                let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = shard
-                    .byz
-                    .iter()
-                    .map(|&pid| {
-                        let slot = Pid::new(shard.offset + pid.index());
-                        (pid, plane.take_inbox(slot, shard.cfg.counting))
-                    })
-                    .collect();
-                shard.adversary.receive(shard.round, &byz_inboxes);
-                shard.round = shard.round.next();
             }
 
             // Phase 4 — finalize decided / horizon-hit shots and restart
             // the freed actors on the next queued shot.
             for (s, shard) in shards.iter_mut().enumerate() {
-                if let Some(spawned) = shard.roll_over_if_done(ShardId::new(s), tick, measure_bits)
+                if let Some(spawned) =
+                    shard
+                        .core
+                        .roll_over_if_done(ShardId::new(s), tick, measure_bits)
                 {
-                    restart_actors(spawned, &to_actors[s]);
+                    restart_actors(spawned, &shard.txs);
                 }
             }
 
@@ -686,12 +675,14 @@ where
         }
 
         // Shut down actors.
-        for txs in &to_actors {
-            for tx in txs.values() {
+        for shard in &shards {
+            for tx in shard.txs.values() {
                 let _ = tx.send(ToShardActor::Stop);
             }
         }
-        drop(to_actors);
+        for shard in shards.iter_mut() {
+            shard.txs.clear();
+        }
         for handle in handles {
             handle.join().expect("worker thread panicked");
         }
@@ -699,7 +690,7 @@ where
         shards
             .iter()
             .enumerate()
-            .map(|(s, shard)| shard.report(ShardId::new(s), tick, measure_bits))
+            .map(|(s, shard)| shard.core.report(ShardId::new(s), tick, measure_bits))
             .collect()
     }
 }
@@ -795,6 +786,53 @@ mod tests {
         for report in &reports {
             assert_eq!(report.decided_shots(), 1);
             assert!(report.shots[0].report.verdict.all_hold());
+        }
+    }
+
+    #[test]
+    fn pooled_sharded_cluster_matches_sequential_cluster() {
+        use homonym_core::exec::Pool;
+        use homonym_sim::{ShardSpec, ShotSpec};
+        let cfg = SystemConfig::builder(4, 4, 1).build().unwrap();
+        let build = || {
+            let mut shards = Vec::new();
+            for k in 0..5usize {
+                let inputs: Vec<bool> = (0..4).map(|i| (i + k) % 2 == 0).collect();
+                let mut spec =
+                    ShardSpec::new(cfg, IdAssignment::unique(4)).shot(ShotSpec::new(inputs));
+                if k % 2 == 0 {
+                    spec = spec.shot(
+                        ShotSpec::new(vec![false, true, false, true])
+                            .byzantine([Pid::new(3)], Silent),
+                    );
+                }
+                shards.push(spec);
+            }
+            shards
+        };
+
+        let mut sequential = ShardedCluster::new();
+        for spec in build() {
+            sequential.add_shard(spec, eig_factory(4, 1));
+        }
+        let mut pooled = ShardedCluster::with_executor(Pool::new(3));
+        for spec in build() {
+            pooled.add_shard(spec, eig_factory(4, 1));
+        }
+
+        let a = sequential.run(32);
+        let b = pooled.run(32);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.shots.len(), y.shots.len());
+            for (p, q) in x.shots.iter().zip(&y.shots) {
+                assert_eq!(p.report.outcome.decisions, q.report.outcome.decisions);
+                assert_eq!(p.report.rounds, q.report.rounds);
+                assert_eq!(p.report.messages_sent, q.report.messages_sent);
+                assert_eq!(p.report.messages_delivered, q.report.messages_delivered);
+                assert_eq!(p.started_tick, q.started_tick);
+                assert_eq!(p.finished_tick, q.finished_tick);
+            }
         }
     }
 

@@ -27,15 +27,23 @@
 //! fresh [`Simulation`](crate::Simulation) (`tests/shard_isolation.rs`
 //! property-tests this; `tests/shard_runtime_parity.rs` pins the threaded
 //! backend to the same schedule).
+//!
+//! Ticks run on an [`Executor`]: shards own disjoint slot ranges of the
+//! plane, so each global tick can fan the live shards out across worker
+//! threads ([`Pool`](homonym_core::exec::Pool)) with no locking — and
+//! because per-shard work is merged back in shard order, the executor's
+//! schedule is unobservable too (byte-identical traces, decisions, and
+//! reports at any worker count).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
+use homonym_core::exec::{Executor, Sequential};
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
-    ByzPower, Deliveries, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Round,
-    SharedEnvelope, SystemConfig,
+    ByzPower, Deliveries, DeliverySlots, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory,
+    Recipients, Round, SharedEnvelope, SystemConfig,
 };
 
 use crate::adversary::{AdvCtx, Adversary, Silent};
@@ -77,10 +85,11 @@ pub struct ShotSpec<P: Protocol> {
     pub inputs: Vec<P::Value>,
     /// The Byzantine processes of this shot.
     pub byz: BTreeSet<Pid>,
-    /// The strategy controlling the Byzantine processes.
-    pub adversary: Box<dyn Adversary<P::Msg>>,
+    /// The strategy controlling the Byzantine processes (`Send`, so a
+    /// pool executor may step the shard on a worker thread).
+    pub adversary: Box<dyn Adversary<P::Msg> + Send>,
     /// The drop policy (fresh per shot, so shots are independent).
-    pub drops: Box<dyn DropPolicy>,
+    pub drops: Box<dyn DropPolicy + Send>,
     /// If set, the shot ends after this many rounds even if undecided —
     /// the same bound as [`Simulation::run`](crate::Simulation::run)'s
     /// `max_rounds`.
@@ -103,7 +112,7 @@ impl<P: Protocol> ShotSpec<P> {
     pub fn byzantine(
         mut self,
         byz: impl IntoIterator<Item = Pid>,
-        adversary: impl Adversary<P::Msg> + 'static,
+        adversary: impl Adversary<P::Msg> + Send + 'static,
     ) -> Self {
         self.byz = byz.into_iter().collect();
         self.adversary = Box::new(adversary);
@@ -111,7 +120,7 @@ impl<P: Protocol> ShotSpec<P> {
     }
 
     /// Installs a drop policy for this shot.
-    pub fn drops(mut self, drops: impl DropPolicy + 'static) -> Self {
+    pub fn drops(mut self, drops: impl DropPolicy + Send + 'static) -> Self {
         self.drops = Box::new(drops);
         self
     }
@@ -276,10 +285,6 @@ impl<M: homonym_core::Message> ShardedTrace<M> {
         }
         trace
     }
-
-    fn record(&mut self, entry: ShardDelivery<M>) {
-        self.entries.push(entry);
-    }
 }
 
 /// A wire-size estimate for one payload: 8 bits per byte of its `Debug`
@@ -294,10 +299,15 @@ pub fn wire_bits<M: fmt::Debug>(msg: &M) -> u64 {
     8 * format!("{msg:?}").len() as u64
 }
 
-/// One routed sharded message, in shard-local coordinates plus the shard
-/// index and the shared payload handle.
-struct ShardWire<M> {
-    shard: usize,
+/// One routed sharded message, in shard-local coordinates, carrying the
+/// shared payload handle. Wires never leave their owning shard, so the
+/// shard index lives with the buffer, not on every wire.
+///
+/// Engines keep a reusable `Vec<ShardWire>` per shard as tick scratch
+/// and fill/route it exclusively through [`ShardCore::build_wires`] and
+/// [`ShardCore::route_wires`] — the internals are deliberately private
+/// so the addressing and routing rules cannot be bypassed.
+pub struct ShardWire<M> {
     from: Pid,
     src: Id,
     to: Pid,
@@ -327,7 +337,7 @@ pub struct ShardCore<P: Protocol> {
     /// The communication topology.
     pub topology: Topology,
     /// Spawns the automata of each shot.
-    pub factory: Box<dyn ProtocolFactory<P = P>>,
+    pub factory: Box<dyn ProtocolFactory<P = P> + Send>,
     /// The shots still queued.
     pub shots: VecDeque<ShotSpec<P>>,
     /// First slot of this shard's contiguous range in the shared plane.
@@ -341,9 +351,9 @@ pub struct ShardCore<P: Protocol> {
     /// The Byzantine processes of the current shot.
     pub byz: BTreeSet<Pid>,
     /// The strategy controlling the Byzantine processes.
-    pub adversary: Box<dyn Adversary<P::Msg>>,
+    pub adversary: Box<dyn Adversary<P::Msg> + Send>,
     /// The current shot's drop policy.
-    pub drops: Box<dyn DropPolicy>,
+    pub drops: Box<dyn DropPolicy + Send>,
     /// The current shot's round bound, if any.
     pub horizon: Option<u64>,
     /// The current shot's next round (local to the shard).
@@ -375,7 +385,7 @@ impl<P: Protocol> ShardCore<P> {
     /// disagrees with it.
     pub fn new(
         spec: ShardSpec<P>,
-        factory: Box<dyn ProtocolFactory<P = P>>,
+        factory: Box<dyn ProtocolFactory<P = P> + Send>,
         offset: usize,
     ) -> Self {
         spec.cfg.validate().expect("invalid system configuration");
@@ -566,25 +576,256 @@ impl<P: Protocol> ShardCore<P> {
         }
         ShardReport { shard, shots }
     }
+
+    /// Phase 1 of a shard's tick — the live shot's sends (correct
+    /// processes in ascending pid order, then the adversary) become
+    /// wires in `wires` (cleared first, allocation reused), each
+    /// carrying one shared handle per emission.
+    ///
+    /// `send_of` supplies each correct process's outgoing messages: the
+    /// lock-step engine calls the automaton directly, the threaded
+    /// cluster drains the sends its actors already produced. Keeping the
+    /// loop here means the double-addressing assert and the
+    /// restricted-Byzantine clamp exist in exactly one place, so the
+    /// engines cannot drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a correct process addresses a recipient twice or the
+    /// adversary emits from a non-Byzantine process.
+    pub fn build_wires(
+        &mut self,
+        shard: ShardId,
+        wires: &mut Vec<ShardWire<P::Msg>>,
+        measure_bits: bool,
+        mut send_of: impl FnMut(Pid, Round) -> Vec<(Recipients, P::Msg)>,
+    ) {
+        wires.clear();
+        let r = self.round;
+        let mut addressed: BTreeSet<Pid> = BTreeSet::new();
+        for &pid in &self.correct {
+            let out = send_of(pid, r);
+            let src = self.assignment.id_of(pid);
+            addressed.clear();
+            for (recipients, msg) in out {
+                let msg = Arc::new(msg); // the single wrap per emission
+                let bits = if measure_bits { wire_bits(&*msg) } else { 0 };
+                for to in recipients.expand(&self.assignment) {
+                    assert!(
+                        addressed.insert(to),
+                        "correct process {pid} of {shard} addressed {to} twice in {r}",
+                    );
+                    wires.push(ShardWire {
+                        from: pid,
+                        src,
+                        to,
+                        msg: Arc::clone(&msg),
+                        bits,
+                    });
+                }
+            }
+        }
+        let ctx = AdvCtx {
+            round: r,
+            cfg: &self.cfg,
+            assignment: &self.assignment,
+            byz: &self.byz,
+        };
+        let emissions = self.adversary.send(&ctx);
+        let mut byz_sent: BTreeMap<(Pid, Pid), u32> = BTreeMap::new();
+        for emission in emissions {
+            assert!(
+                self.byz.contains(&emission.from),
+                "adversary of {shard} emitted from non-byzantine {}",
+                emission.from
+            );
+            let src = self.assignment.id_of(emission.from);
+            let bits = if measure_bits {
+                wire_bits(&*emission.msg)
+            } else {
+                0
+            };
+            for to in emission.to.expand(&self.assignment) {
+                if self.cfg.byz_power == ByzPower::Restricted {
+                    let count = byz_sent.entry((emission.from, to)).or_insert(0);
+                    if *count >= 1 {
+                        continue; // the model forbids the second message
+                    }
+                    *count += 1;
+                }
+                wires.push(ShardWire {
+                    from: emission.from,
+                    src,
+                    to,
+                    msg: Arc::clone(&emission.msg),
+                    bits,
+                });
+            }
+        }
+    }
+
+    /// Phase 2 — route built wires into this shard's slot range:
+    /// topology, drop policy, and message/bit counters, with global slot
+    /// = shard offset + local pid. When `trace` is given, every
+    /// *attempted* delivery is recorded in routing order (the format the
+    /// sharded trace and golden digests pin).
+    pub fn route_wires(
+        &mut self,
+        shard: ShardId,
+        wires: &[ShardWire<P::Msg>],
+        slots: &mut DeliverySlots<'_, P::Msg>,
+        mut trace: Option<&mut Vec<ShardDelivery<P::Msg>>>,
+    ) {
+        for wire in wires {
+            if !self.topology.connected(wire.from, wire.to) {
+                continue; // no channel: the message is never sent
+            }
+            let is_self = wire.from == wire.to;
+            if !is_self {
+                self.messages_sent += 1;
+                self.bits_sent += wire.bits;
+            }
+            let dropped = !is_self && self.drops.drops(self.round, wire.from, wire.to);
+            if let Some(buf) = trace.as_deref_mut() {
+                buf.push(ShardDelivery {
+                    shard,
+                    shot: self.shot,
+                    delivery: Delivery {
+                        round: self.round,
+                        from: wire.from,
+                        src_id: wire.src,
+                        to: wire.to,
+                        msg: Arc::clone(&wire.msg),
+                        dropped,
+                    },
+                });
+            }
+            if dropped {
+                self.messages_dropped += 1;
+                continue;
+            }
+            if !is_self {
+                self.messages_delivered += 1;
+            }
+            slots.push(
+                Pid::new(self.offset + wire.to.index()),
+                SharedEnvelope::shared(wire.src, Arc::clone(&wire.msg)),
+            );
+        }
+    }
+
+    /// Phase 3 (Byzantine half) — drain the Byzantine slots and hand the
+    /// inboxes to the adversary, at the current round (the caller
+    /// advances the round afterwards).
+    pub fn deliver_byz(&mut self, slots: &mut DeliverySlots<'_, P::Msg>) {
+        let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = self
+            .byz
+            .iter()
+            .map(|&pid| {
+                let slot = Pid::new(self.offset + pid.index());
+                (pid, slots.take_inbox(slot, self.cfg.counting))
+            })
+            .collect();
+        self.adversary.receive(self.round, &byz_inboxes);
+    }
 }
 
-/// One shard of the lock-step engine: the shared bookkeeping plus the
-/// automata themselves.
+/// One shard of the lock-step engine: the shared bookkeeping, the
+/// automata themselves, and the shard-private scratch buffers one tick's
+/// work needs — so a worker thread stepping this shard touches nothing
+/// outside it (and its slot range of the plane).
 struct SimShard<P: Protocol> {
     core: ShardCore<P>,
     procs: BTreeMap<Pid, P>,
+    /// This tick's routed wires (reused across ticks, local coords).
+    wires: Vec<ShardWire<P::Msg>>,
+    /// This tick's trace entries, drained into the global trace — in
+    /// shard order — after every shard has stepped.
+    trace_buf: Vec<ShardDelivery<P::Msg>>,
+}
+
+impl<P: Protocol> SimShard<P> {
+    /// Executes this shard's slice of one global tick: one full round of
+    /// its live shot (send → route → receive/decide), then the
+    /// decided/horizon rollover — all against `slots`, this shard's
+    /// disjoint range of the shared plane.
+    ///
+    /// Phase order within the shard is exactly the single-shot engine's;
+    /// since shards share no state, running whole shards back to back
+    /// (or concurrently, under a pool executor) is indistinguishable
+    /// from the original plane-wide phase sweep.
+    fn tick(
+        &mut self,
+        s: usize,
+        slots: &mut DeliverySlots<'_, P::Msg>,
+        tick: u64,
+        measure_bits: bool,
+        record_trace: bool,
+    ) {
+        let shard = ShardId(s);
+        if self.core.active {
+            slots.clear();
+
+            // Phase 1 — sends become wires; the automata live here, so
+            // the engine hands the core a direct `send` callback.
+            let procs = &mut self.procs;
+            self.core
+                .build_wires(shard, &mut self.wires, measure_bits, |pid, r| {
+                    procs
+                        .get_mut(&pid)
+                        .expect("correct automaton spawned")
+                        .send(r)
+                });
+
+            // Phase 2 — route into this shard's slot range (tracing into
+            // the shard-private buffer, merged globally in shard order).
+            self.core.route_wires(
+                shard,
+                &self.wires,
+                slots,
+                record_trace.then_some(&mut self.trace_buf),
+            );
+
+            // Phase 3 — drain the slots, record decisions, hand the
+            // Byzantine inboxes over; the shard's round advances.
+            let r = self.core.round;
+            for (&pid, proc_) in self.procs.iter_mut() {
+                let slot = Pid::new(self.core.offset + pid.index());
+                let inbox = slots.take_inbox(slot, self.core.cfg.counting);
+                proc_.receive(r, &inbox);
+                if let Some(v) = proc_.decision() {
+                    self.core.record_decision(pid, v);
+                }
+            }
+            self.core.deliver_byz(slots);
+            self.core.round = r.next();
+        }
+        if let Some(spawned) = self.core.roll_over_if_done(shard, tick, measure_bits) {
+            self.procs = spawned.into_iter().collect();
+        }
+    }
 }
 
 /// A deterministic scheduler driving K independent agreement instances
 /// through one shared delivery plane.
 ///
-/// Each global **tick** executes one round of every live shard, in three
-/// plane-wide phases (all shards send, all wires route, all shards
-/// receive) — so the one [`Deliveries`] simultaneously holds every
-/// shard's traffic, bucket allocations are reused across both rounds and
-/// shards, and each payload is wrapped in an `Arc` exactly once
-/// regardless of K. Shards whose instance decides restart on their next
-/// queued shot the following tick.
+/// Each global **tick** executes one round of every live shard: the
+/// shard sends, routes its wires into its own slot range of the shared
+/// [`Deliveries`] plane, receives, and (if decided or horizon-hit) rolls
+/// over to its next queued shot. Bucket allocations are reused across
+/// both rounds and shards, and each payload is wrapped in an `Arc`
+/// exactly once regardless of K.
+///
+/// The scheduler is generic over an [`Executor`]: under the default
+/// [`Sequential`] executor shards step one after another on the calling
+/// thread; under [`Pool`](homonym_core::exec::Pool) each tick fans the
+/// shards out across worker threads, every worker writing its shards'
+/// disjoint plane ranges concurrently (via
+/// [`Deliveries::split_slots`]) and the per-shard trace buffers merging
+/// back in shard order — so traces, decisions, and reports are
+/// **byte-identical at any worker count** (`tests/shard_isolation.rs`
+/// property-tests this; `tests/fabric_golden.rs` pins it against the
+/// sequential golden digests).
 ///
 /// # Example
 ///
@@ -609,10 +850,13 @@ struct SimShard<P: Protocol> {
 /// assert_eq!(reports.len(), 3);
 /// assert!(reports.iter().all(|r| r.decided_shots() == 2));
 /// ```
-pub struct ShardedSimulation<P: Protocol> {
+pub struct ShardedSimulation<P: Protocol, E: Executor = Sequential> {
     shards: Vec<SimShard<P>>,
     plane: Deliveries<P::Msg>,
-    wires: Vec<ShardWire<P::Msg>>,
+    /// Per-shard slot widths, in shard order — fixed at `add_shard`
+    /// time, cached so each tick's plane split allocates no new vector.
+    widths: Vec<usize>,
+    exec: E,
     tick: u64,
     trace: Option<ShardedTrace<P::Msg>>,
     measure_bits: bool,
@@ -625,13 +869,23 @@ impl<P: Protocol> Default for ShardedSimulation<P> {
 }
 
 impl<P: Protocol> ShardedSimulation<P> {
-    /// An empty scheduler (add shards with
+    /// An empty scheduler stepping shards sequentially (add shards with
     /// [`add_shard`](ShardedSimulation::add_shard)).
     pub fn new() -> Self {
+        Self::with_executor(Sequential)
+    }
+}
+
+impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
+    /// An empty scheduler whose ticks run on the given executor — e.g.
+    /// `ShardedSimulation::with_executor(Pool::new(4))` steps each
+    /// tick's live shards on four worker threads.
+    pub fn with_executor(exec: E) -> Self {
         ShardedSimulation {
             shards: Vec::new(),
             plane: Deliveries::new(0),
-            wires: Vec::new(),
+            widths: Vec::new(),
+            exec,
             tick: 0,
             trace: None,
             measure_bits: false,
@@ -660,17 +914,23 @@ impl<P: Protocol> ShardedSimulation<P> {
     pub fn add_shard(
         &mut self,
         spec: ShardSpec<P>,
-        factory: impl ProtocolFactory<P = P> + 'static,
+        factory: impl ProtocolFactory<P = P> + Send + 'static,
     ) -> ShardId {
         let id = ShardId(self.shards.len());
         let offset = self.plane.n();
+        self.widths.push(spec.cfg.n);
         self.plane.ensure_n(offset + spec.cfg.n);
         let mut core = ShardCore::new(spec, Box::new(factory), offset);
         let procs = core
             .start_next_shot(self.tick)
             .map(|spawned| spawned.into_iter().collect())
             .unwrap_or_default();
-        self.shards.push(SimShard { core, procs });
+        self.shards.push(SimShard {
+            core,
+            procs,
+            wires: Vec::new(),
+            trace_buf: Vec::new(),
+        });
         id
     }
 
@@ -702,181 +962,45 @@ impl<P: Protocol> ShardedSimulation<P> {
     /// Executes one global tick: one round of every live shard, through
     /// the shared plane.
     ///
-    /// Phase order matches the single-shot engine within each shard
-    /// (correct sends, adversary sends, topology / restriction / drops,
-    /// delivery, decisions, Byzantine inboxes), but each phase runs
-    /// plane-wide across all shards before the next begins — the whole
-    /// tick's traffic coexists in the one [`Deliveries`].
+    /// The plane is split into per-shard slot views
+    /// ([`Deliveries::split_slots`]) and every shard's full round —
+    /// sends, routing (topology / restriction / drops), delivery,
+    /// decisions, Byzantine inboxes, rollover — runs as one independent
+    /// task on the executor. Phase order within a shard matches the
+    /// single-shot engine; across shards nothing is shared, so the
+    /// executor's schedule is unobservable: per-shard trace buffers are
+    /// merged in shard order afterwards, reproducing the sequential
+    /// engine's global routing order exactly.
     ///
     /// # Panics
     ///
     /// Panics on the same contract violations as
     /// [`Simulation::step`](crate::Simulation::step).
-    pub fn step(&mut self) {
+    pub fn step(&mut self)
+    where
+        P: Send,
+    {
         let tick = self.tick;
-        self.wires.clear();
-        self.plane.clear();
+        let measure_bits = self.measure_bits;
+        let record_trace = self.trace.is_some();
 
-        // Phase 1 — every live shard's sends (correct, then adversary,
-        // per shard) become wires carrying one shared handle per
-        // emission.
-        {
-            let wires = &mut self.wires;
-            let measure_bits = self.measure_bits;
-            let mut addressed: BTreeSet<Pid> = BTreeSet::new();
-            for (s, shard) in self.shards.iter_mut().enumerate() {
-                if !shard.core.active {
-                    continue;
-                }
-                let r = shard.core.round;
-                let assignment = &shard.core.assignment;
-                for (&pid, proc_) in shard.procs.iter_mut() {
-                    let out = proc_.send(r);
-                    let src = assignment.id_of(pid);
-                    addressed.clear();
-                    for (recipients, msg) in out {
-                        let msg = Arc::new(msg); // the single wrap per emission
-                        let bits = if measure_bits { wire_bits(&*msg) } else { 0 };
-                        for to in recipients.expand(assignment) {
-                            assert!(
-                                addressed.insert(to),
-                                "correct process {pid} of {} addressed {to} twice in {r}",
-                                ShardId(s),
-                            );
-                            wires.push(ShardWire {
-                                shard: s,
-                                from: pid,
-                                src,
-                                to,
-                                msg: Arc::clone(&msg),
-                                bits,
-                            });
-                        }
-                    }
-                }
-                let ctx = AdvCtx {
-                    round: r,
-                    cfg: &shard.core.cfg,
-                    assignment: &shard.core.assignment,
-                    byz: &shard.core.byz,
-                };
-                let emissions = shard.core.adversary.send(&ctx);
-                let mut byz_sent: BTreeMap<(Pid, Pid), u32> = BTreeMap::new();
-                for emission in emissions {
-                    assert!(
-                        shard.core.byz.contains(&emission.from),
-                        "adversary of {} emitted from non-byzantine {}",
-                        ShardId(s),
-                        emission.from
-                    );
-                    let src = shard.core.assignment.id_of(emission.from);
-                    let bits = if measure_bits {
-                        wire_bits(&*emission.msg)
-                    } else {
-                        0
-                    };
-                    for to in emission.to.expand(&shard.core.assignment) {
-                        if shard.core.cfg.byz_power == ByzPower::Restricted {
-                            let count = byz_sent.entry((emission.from, to)).or_insert(0);
-                            if *count >= 1 {
-                                continue; // the model forbids the second message
-                            }
-                            *count += 1;
-                        }
-                        wires.push(ShardWire {
-                            shard: s,
-                            from: emission.from,
-                            src,
-                            to,
-                            msg: Arc::clone(&emission.msg),
-                            bits,
-                        });
-                    }
-                }
-            }
-        }
+        let views = self.plane.split_slots(self.widths.iter().copied());
+        let tasks: Vec<_> = self
+            .shards
+            .iter_mut()
+            .zip(views)
+            .enumerate()
+            .map(|(s, (shard, mut slots))| {
+                move || shard.tick(s, &mut slots, tick, measure_bits, record_trace)
+            })
+            .collect();
+        self.exec.scatter(tasks);
 
-        // Phase 2 — route every wire into the shared plane: topology and
-        // drops per owning shard, global slot = shard offset + local pid.
-        let wires = std::mem::take(&mut self.wires);
-        for wire in &wires {
-            let core = &mut self.shards[wire.shard].core;
-            if !core.topology.connected(wire.from, wire.to) {
-                continue; // no channel: the message is never sent
-            }
-            let is_self = wire.from == wire.to;
-            if !is_self {
-                core.messages_sent += 1;
-                core.bits_sent += wire.bits;
-            }
-            let dropped = !is_self && core.drops.drops(core.round, wire.from, wire.to);
-            if let Some(trace) = &mut self.trace {
-                trace.record(ShardDelivery {
-                    shard: ShardId(wire.shard),
-                    shot: core.shot,
-                    delivery: Delivery {
-                        round: core.round,
-                        from: wire.from,
-                        src_id: wire.src,
-                        to: wire.to,
-                        msg: Arc::clone(&wire.msg),
-                        dropped,
-                    },
-                });
-            }
-            if dropped {
-                core.messages_dropped += 1;
-                continue;
-            }
-            if !is_self {
-                core.messages_delivered += 1;
-            }
-            self.plane.push(
-                Pid::new(core.offset + wire.to.index()),
-                SharedEnvelope::shared(wire.src, Arc::clone(&wire.msg)),
-            );
-        }
-        self.wires = wires; // keep the allocation for the next tick
-
-        // Phase 3 — every live shard drains its slots, records decisions,
-        // and hands the Byzantine inboxes to its adversary.
-        {
-            let plane = &mut self.plane;
-            for shard in self.shards.iter_mut() {
-                if !shard.core.active {
-                    continue;
-                }
-                let r = shard.core.round;
-                for (&pid, proc_) in shard.procs.iter_mut() {
-                    let slot = Pid::new(shard.core.offset + pid.index());
-                    let inbox = plane.take_inbox(slot, shard.core.cfg.counting);
-                    proc_.receive(r, &inbox);
-                    if let Some(v) = proc_.decision() {
-                        shard.core.record_decision(pid, v);
-                    }
-                }
-                let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = shard
-                    .core
-                    .byz
-                    .iter()
-                    .map(|&pid| {
-                        let slot = Pid::new(shard.core.offset + pid.index());
-                        (pid, plane.take_inbox(slot, shard.core.cfg.counting))
-                    })
-                    .collect();
-                shard.core.adversary.receive(r, &byz_inboxes);
-                shard.core.round = r.next();
-            }
-        }
-
-        // Phase 4 — finalize decided / horizon-hit shots; pipeline the
-        // next queued shot onto the freed shard.
-        for (s, shard) in self.shards.iter_mut().enumerate() {
-            if let Some(spawned) = shard
-                .core
-                .roll_over_if_done(ShardId(s), tick, self.measure_bits)
-            {
-                shard.procs = spawned.into_iter().collect();
+        // Merge per-shard trace buffers in shard order — the same global
+        // routing order the plane-wide sequential sweep recorded.
+        if let Some(trace) = &mut self.trace {
+            for shard in &mut self.shards {
+                trace.entries.append(&mut shard.trace_buf);
             }
         }
 
@@ -885,7 +1009,10 @@ impl<P: Protocol> ShardedSimulation<P> {
 
     /// Ticks until every shard's queue drains or `max_ticks` global ticks
     /// have executed, then reports per shard.
-    pub fn run(&mut self, max_ticks: u64) -> Vec<ShardReport<P::Value>> {
+    pub fn run(&mut self, max_ticks: u64) -> Vec<ShardReport<P::Value>>
+    where
+        P: Send,
+    {
         while self.tick < max_ticks && !self.all_idle() {
             self.step();
         }

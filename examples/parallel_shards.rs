@@ -1,0 +1,238 @@
+//! A mixed agreement fleet on the parallel tick executor.
+//!
+//! Four shards — two synchronous `T(EIG)` instances (one with a silent
+//! Byzantine process) and two partially synchronous Figure 5 instances
+//! (one losing messages before stabilization) — run through **one**
+//! shared delivery plane, each tick fanned across a four-worker
+//! [`Pool`]. The two protocol families have different message types, so
+//! a small enum protocol wraps them; each shard keeps its own
+//! `SystemConfig`, so the synchronous and partially synchronous models
+//! coexist in the same scheduler.
+//!
+//! The pool's schedule is unobservable: the same fleet re-run on the
+//! [`Sequential`] executor decides identically, which the example
+//! asserts at the end.
+//!
+//! Run with: `cargo run --example parallel_shards`
+
+use homonyms::classic::Eig;
+use homonyms::core::exec::{Executor, Pool, Sequential};
+use homonyms::core::Pid;
+use homonyms::core::{
+    Counting, Domain, Envelope, FnFactory, Id, IdAssignment, Inbox, Message, Protocol,
+    ProtocolFactory, Recipients, Round, Synchrony, SystemConfig,
+};
+use homonyms::psync::{AgreementFactory, Bundle, HomonymAgreement};
+use homonyms::sim::adversary::Silent;
+use homonyms::sim::{RandomUntilGst, ShardReport, ShardSpec, ShardedSimulation, ShotSpec};
+use homonyms::sync::{Transformed, TransformedFactory, TransformerMsgOf};
+
+/// One wire message of the mixed fleet: each shard speaks only its own
+/// variant (shards never share slots, so the other variant is never
+/// seen — the enum exists to give the scheduler a single message type).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum MixedMsg {
+    Sync(TransformerMsgOf<Eig<bool>>),
+    Psync(Bundle<bool>),
+}
+
+/// A process of the mixed fleet: a `T(EIG)` automaton or a Figure 5 one
+/// (boxed — the Figure 5 state dwarfs the EIG tree, and the fleet holds
+/// many of each).
+enum MixedProtocol {
+    Sync(Box<Transformed<Eig<bool>>>),
+    Psync(Box<HomonymAgreement<bool>>),
+}
+
+/// Projects an inbox of mixed messages onto one variant (cloning the
+/// projected payloads — fine for an example; a zero-copy fleet would
+/// share one message type across its shards).
+fn project<N: Message>(
+    inbox: &Inbox<MixedMsg>,
+    select: impl Fn(&MixedMsg) -> Option<&N>,
+) -> Inbox<N> {
+    Inbox::collect(
+        inbox.iter().flat_map(|(id, msg, count)| {
+            select(msg).into_iter().flat_map(move |inner| {
+                (0..count).map(move |_| Envelope {
+                    src: id,
+                    msg: inner.clone(),
+                })
+            })
+        }),
+        Counting::Numerate, // multiplicities were already collapsed upstream
+    )
+}
+
+impl Protocol for MixedProtocol {
+    type Msg = MixedMsg;
+    type Value = bool;
+
+    fn id(&self) -> Id {
+        match self {
+            MixedProtocol::Sync(p) => p.id(),
+            MixedProtocol::Psync(p) => p.id(),
+        }
+    }
+
+    fn send(&mut self, round: Round) -> Vec<(Recipients, MixedMsg)> {
+        match self {
+            MixedProtocol::Sync(p) => p
+                .send(round)
+                .into_iter()
+                .map(|(to, m)| (to, MixedMsg::Sync(m)))
+                .collect(),
+            MixedProtocol::Psync(p) => p
+                .send(round)
+                .into_iter()
+                .map(|(to, m)| (to, MixedMsg::Psync(m)))
+                .collect(),
+        }
+    }
+
+    fn receive(&mut self, round: Round, inbox: &Inbox<MixedMsg>) {
+        match self {
+            MixedProtocol::Sync(p) => p.receive(
+                round,
+                &project(inbox, |m| match m {
+                    MixedMsg::Sync(inner) => Some(inner),
+                    MixedMsg::Psync(_) => None,
+                }),
+            ),
+            MixedProtocol::Psync(p) => p.receive(
+                round,
+                &project(inbox, |m| match m {
+                    MixedMsg::Psync(inner) => Some(inner),
+                    MixedMsg::Sync(_) => None,
+                }),
+            ),
+        }
+    }
+
+    fn decision(&self) -> Option<bool> {
+        match self {
+            MixedProtocol::Sync(p) => p.decision(),
+            MixedProtocol::Psync(p) => p.decision(),
+        }
+    }
+}
+
+/// Builds the four-shard fleet on the given executor: two T(EIG) shards
+/// (n = 6, ℓ = 4, t = 1; one Byzantine-silent), two Figure 5 shards
+/// (n = 4, ℓ = 4, t = 1; one lossy before GST), two shots each.
+fn build_fleet<E: Executor>(exec: E) -> ShardedSimulation<MixedProtocol, E> {
+    let sync_cfg = SystemConfig::builder(6, 4, 1).build().expect("valid");
+    let psync_cfg = SystemConfig::builder(4, 4, 1)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid");
+    let sync_horizon =
+        TransformedFactory::new(Eig::new(4, 1, Domain::binary()), 1).round_bound() + 9;
+    let psync_horizon = AgreementFactory::new(4, 4, 1, Domain::binary()).round_bound() + 24;
+
+    let sync_factory = || {
+        FnFactory::new(move |id, input| {
+            MixedProtocol::Sync(Box::new(
+                TransformedFactory::new(Eig::new(4, 1, Domain::binary()), 1).spawn(id, input),
+            ))
+        })
+    };
+    let psync_factory = || {
+        FnFactory::new(move |id, input| {
+            MixedProtocol::Psync(Box::new(
+                AgreementFactory::new(4, 4, 1, Domain::binary()).spawn(id, input),
+            ))
+        })
+    };
+
+    let mut fleet = ShardedSimulation::with_executor(exec).measure_bits(true);
+
+    // Shard 0: clean synchronous T(EIG), two pipelined shots.
+    fleet.add_shard(
+        ShardSpec::new(sync_cfg, IdAssignment::stacked(4, 6).expect("ℓ ≤ n"))
+            .shot(ShotSpec::new(vec![true, false, true, false, true, false]).horizon(sync_horizon))
+            .shot(ShotSpec::new(vec![false; 6]).horizon(sync_horizon)),
+        sync_factory(),
+    );
+
+    // Shard 1: T(EIG) with a silent Byzantine process.
+    fleet.add_shard(
+        ShardSpec::new(sync_cfg, IdAssignment::stacked(4, 6).expect("ℓ ≤ n")).shot(
+            ShotSpec::new(vec![true; 6])
+                .byzantine([Pid::new(5)], Silent)
+                .horizon(sync_horizon),
+        ),
+        sync_factory(),
+    );
+
+    // Shard 2: clean partially synchronous Figure 5, two shots.
+    fleet.add_shard(
+        ShardSpec::new(psync_cfg, IdAssignment::unique(4))
+            .shot(ShotSpec::new(vec![true, true, false, false]).horizon(psync_horizon))
+            .shot(ShotSpec::new(vec![false, true, true, true]).horizon(psync_horizon)),
+        psync_factory(),
+    );
+
+    // Shard 3: Figure 5 under pre-stabilization message loss.
+    fleet.add_shard(
+        ShardSpec::new(psync_cfg, IdAssignment::unique(4)).shot(
+            ShotSpec::new(vec![true, false, false, true])
+                .drops(RandomUntilGst::new(Round::new(6), 0.3, 11))
+                .horizon(6 + psync_horizon),
+        ),
+        psync_factory(),
+    );
+
+    fleet
+}
+
+fn decisions(reports: &[ShardReport<bool>]) -> Vec<Vec<bool>> {
+    reports
+        .iter()
+        .map(|r| {
+            r.shots
+                .iter()
+                .flat_map(|s| s.report.outcome.decisions.values().map(|&(v, _)| v))
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let mut fleet = build_fleet(Pool::new(4));
+    let reports = fleet.run(512);
+    assert!(fleet.all_idle(), "every shard drains its shot queue");
+
+    println!(
+        "mixed fleet on Pool(4): {} shards over one plane\n",
+        reports.len()
+    );
+    for report in &reports {
+        for shot in &report.shots {
+            assert!(shot.report.verdict.all_hold(), "{}", shot.report.verdict);
+            println!(
+                "  {} shot {}: decided {:?} in {} rounds (ticks {}..{}, {} msgs, ~{} wire bits)",
+                shot.shard,
+                shot.shot,
+                shot.report
+                    .outcome
+                    .decisions
+                    .values()
+                    .next()
+                    .map(|&(v, _)| v),
+                shot.report.rounds,
+                shot.started_tick,
+                shot.finished_tick,
+                shot.report.messages_sent,
+                shot.bits_sent.unwrap_or(0),
+            );
+        }
+    }
+
+    // The executor is unobservable: the sequential fleet decides
+    // identically, shot for shot.
+    let mut sequential = build_fleet(Sequential);
+    let sequential_reports = sequential.run(512);
+    assert_eq!(decisions(&reports), decisions(&sequential_reports));
+    println!("\nsequential re-run decides identically — the pool schedule is unobservable");
+}

@@ -57,8 +57,8 @@ pub use homonym_sync as sync;
 pub mod prelude {
     pub use homonym_classic::{Eig, PhaseKing, UniqueRunner};
     pub use homonym_core::{
-        bounds, ByzPower, Counting, Domain, Id, IdAssignment, Inbox, Pid, Protocol,
-        ProtocolFactory, Recipients, Round, Synchrony, SystemConfig,
+        bounds, ByzPower, Counting, Domain, Executor, Id, IdAssignment, Inbox, Pid, Pool, Protocol,
+        ProtocolFactory, Recipients, Round, Sequential, Synchrony, SystemConfig,
     };
     pub use homonym_delay::{DelayCluster, DelayReport};
     pub use homonym_psync::{

@@ -121,17 +121,19 @@ fn sharded_trace_dump<M: homonyms::core::Message>(trace: &ShardedTrace<M>) -> St
 
 /// The pinned 3-shard multi-shot scenario: three Figure 5 shards (clean
 /// multi-shot, clone-spammed + lossy, lossy under a round-robin
-/// assignment) interleaved over one plane. The digest covers the global
-/// interleaving order, so future fabric changes cannot silently reorder
-/// shard deliveries.
-fn sharded_3shard_digest() -> (u64, u64) {
+/// assignment) interleaved over one plane, stepped on the given
+/// executor. The digest covers the global interleaving order, so future
+/// fabric changes cannot silently reorder shard deliveries — and running
+/// the same scenario under a worker pool must reproduce the *sequential*
+/// digest bit for bit.
+fn sharded_3shard_digest<E: homonyms::core::Executor>(exec: E) -> (u64, u64) {
     let cfg = SystemConfig::builder(5, 4, 1)
         .synchrony(Synchrony::PartiallySynchronous)
         .build()
         .expect("valid parameters");
     let factory = || AgreementFactory::new(5, 4, 1, Domain::binary());
     let horizon = factory().round_bound() + 24;
-    let mut sharded = ShardedSimulation::new().record_trace(true);
+    let mut sharded = ShardedSimulation::with_executor(exec).record_trace(true);
 
     // Shard 0: two clean shots back to back (the pipelining path).
     let stacked = IdAssignment::stacked(4, 5).expect("ℓ ≤ n");
@@ -211,7 +213,7 @@ fn fig4_outcome_matches_seed_engine() {
 
 #[test]
 fn sharded_3shard_interleaving_is_pinned() {
-    let (trace, decisions) = sharded_3shard_digest();
+    let (trace, decisions) = sharded_3shard_digest(homonyms::core::Sequential);
     println!("sharded trace={trace:#018x} decisions={decisions:#018x}");
     assert_eq!(
         trace, GOLDEN_SHARDED_TRACE,
@@ -220,6 +222,23 @@ fn sharded_3shard_interleaving_is_pinned() {
     assert_eq!(
         decisions, GOLDEN_SHARDED_DECISIONS,
         "sharded decisions diverged"
+    );
+}
+
+#[test]
+fn sharded_3shard_interleaving_is_pinned_under_pool_executor() {
+    // Same scenario, fanned across a worker pool (pool larger than the
+    // shard set, so some workers idle): the SAME sequential golden
+    // digests must come out — the executor is unobservable.
+    let (trace, decisions) = sharded_3shard_digest(homonyms::core::Pool::new(3));
+    println!("pooled  trace={trace:#018x} decisions={decisions:#018x}");
+    assert_eq!(
+        trace, GOLDEN_SHARDED_TRACE,
+        "pool executor reordered sharded deliveries"
+    );
+    assert_eq!(
+        decisions, GOLDEN_SHARDED_DECISIONS,
+        "pool executor changed sharded decisions"
     );
 }
 

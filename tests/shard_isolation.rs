@@ -3,13 +3,21 @@
 //! Byzantine sets, shot queues and inputs, every shard's per-shot
 //! decisions, message counters, and full delivery trace are byte-identical
 //! to running that shot alone in a fresh [`Simulation`].
+//!
+//! The second half pins the same property for the *executor*: fanning the
+//! tick across a worker pool ([`Pool`]) at any worker count yields
+//! byte-identical sharded traces, decisions, and per-shot report counters
+//! to the [`Sequential`] schedule.
 
 use std::fmt::Write as _;
 
 use homonyms::classic::{Eig, UniqueRunner};
+use homonyms::core::exec::{Executor, Pool, Sequential};
 use homonyms::core::{Domain, FnFactory, IdAssignment, Pid, ProtocolFactory, SystemConfig};
 use homonyms::sim::adversary::Silent;
-use homonyms::sim::{ShardSpec, ShardedSimulation, ShotSpec, Simulation, Trace};
+use homonyms::sim::{
+    ShardReport, ShardSpec, ShardedSimulation, ShardedTrace, ShotSpec, Simulation, Trace,
+};
 use proptest::prelude::*;
 
 /// One random shard: size `n`, an optional Byzantine process, and 1–3
@@ -63,6 +71,86 @@ fn trace_dump<M: homonyms::core::Message>(trace: &Trace<M>) -> String {
 }
 
 const HORIZON: u64 = 12;
+
+/// Builds the sharded scheduler for a shard set on the given executor
+/// (trace and wire-bit accounting on, so the comparison covers both).
+fn build_sharded<E: Executor>(
+    exec: E,
+    shards: &[RandomShard],
+) -> ShardedSimulation<UniqueRunner<Eig<bool>>, E> {
+    let mut sharded = ShardedSimulation::with_executor(exec)
+        .record_trace(true)
+        .measure_bits(true);
+    for shard in shards {
+        let mut spec = ShardSpec::new(cfg(shard.n), IdAssignment::unique(shard.n));
+        for inputs in &shard.shots {
+            let mut shot = ShotSpec::new(inputs.clone()).horizon(HORIZON);
+            if let Some(byz) = shard.byz {
+                shot = shot.byzantine([byz], Silent);
+            }
+            spec = spec.shot(shot);
+        }
+        sharded.add_shard(spec, eig_factory(shard.n));
+    }
+    sharded
+}
+
+/// Canonical byte-stable rendering of a sharded trace (the
+/// `fabric_golden` format): shard and shot tags plus the per-delivery
+/// line, in global routing order.
+fn sharded_trace_dump<M: homonyms::core::Message>(trace: &ShardedTrace<M>) -> String {
+    let mut s = String::new();
+    for e in trace.entries() {
+        let d = &e.delivery;
+        let _ = writeln!(
+            s,
+            "{}|{}|{}|{}|{}|{}|{:?}|{}",
+            e.shard, e.shot, d.round, d.from, d.src_id, d.to, d.msg, d.dropped
+        );
+    }
+    s
+}
+
+/// Canonical rendering of every observable of a sharded run's reports:
+/// per-shot decisions, verdicts, round/message/bit counters, and
+/// scheduling ticks.
+fn report_dump(reports: &[ShardReport<bool>]) -> String {
+    let mut s = String::new();
+    for report in reports {
+        for shot in &report.shots {
+            let _ = writeln!(
+                s,
+                "{}#{}: decisions={:?} verdict={} rounds={} decided={:?} sent={} delivered={} \
+                 dropped={} bits={:?} ticks={}..{}",
+                shot.shard,
+                shot.shot,
+                shot.report.outcome.decisions,
+                shot.report.verdict,
+                shot.report.rounds,
+                shot.report.all_decided_round,
+                shot.report.messages_sent,
+                shot.report.messages_delivered,
+                shot.report.messages_dropped,
+                shot.bits_sent,
+                shot.started_tick,
+                shot.finished_tick,
+            );
+        }
+    }
+    s
+}
+
+/// Runs a shard set under `exec` and returns every observable as one
+/// byte-stable pair (trace dump, report dump).
+fn observables<E: Executor>(exec: E, shards: &[RandomShard]) -> (String, String) {
+    let mut sharded = build_sharded(exec, shards);
+    let reports = sharded.run(64 * HORIZON);
+    assert!(sharded.all_idle(), "every queue drains within the budget");
+    (
+        sharded_trace_dump(sharded.trace().unwrap()),
+        report_dump(&reports),
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -151,4 +239,62 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The executor is unobservable: fanning the tick across a worker
+    /// pool yields byte-identical traces, decisions, and per-shot report
+    /// counters to the sequential schedule, at every worker count —
+    /// including pools larger than the shard set.
+    #[test]
+    fn pool_executor_is_byte_identical_to_sequential(
+        shards in proptest::collection::vec(shard_strategy(), 1..=4)
+    ) {
+        let (seq_trace, seq_reports) = observables(Sequential, &shards);
+        for workers in [1usize, 2, 4, 7] {
+            let (pool_trace, pool_reports) = observables(Pool::new(workers), &shards);
+            prop_assert_eq!(
+                &pool_trace,
+                &seq_trace,
+                "trace diverges at {} workers",
+                workers
+            );
+            prop_assert_eq!(
+                &pool_reports,
+                &seq_reports,
+                "reports diverge at {} workers",
+                workers
+            );
+        }
+    }
+}
+
+/// Fixed-scenario variant for CI's worker-count matrix: the worker count
+/// comes from `POOL_WORKERS` (default 4), so the workflow can smoke-test
+/// w = 1 vs w = 4 as separate jobs without recompiling the proptest.
+#[test]
+fn pool_workers_from_env_match_sequential() {
+    let workers: usize = std::env::var("POOL_WORKERS")
+        .ok()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(4);
+    let shards: Vec<RandomShard> = (0..4)
+        .map(|k| RandomShard {
+            n: 4 + (k % 3),
+            byz: (k % 2 == 0).then(|| Pid::new(k % 4)),
+            shots: (0..=k % 3)
+                .map(|q| (0..4 + (k % 3)).map(|i| (i + q + k) % 2 == 0).collect())
+                .collect(),
+        })
+        .collect();
+    let (seq_trace, seq_reports) = observables(Sequential, &shards);
+    let (pool_trace, pool_reports) = observables(Pool::new(workers), &shards);
+    assert_eq!(pool_trace, seq_trace, "trace diverges at {workers} workers");
+    assert_eq!(
+        pool_reports, seq_reports,
+        "reports diverge at {workers} workers"
+    );
+    assert!(!seq_trace.is_empty() && !seq_reports.is_empty());
 }

@@ -21,7 +21,7 @@ fn assert_sharded_parity<P, F, S>(specs: impl Fn() -> Vec<(ShardSpec<P>, F)>, ma
 where
     P: Protocol + Send + 'static,
     P::Value: Send,
-    F: ProtocolFactory<P = P> + 'static,
+    F: ProtocolFactory<P = P> + Send + 'static,
     S: FromIterator<ShardReport<P::Value>>,
 {
     let mut sim = ShardedSimulation::new();
