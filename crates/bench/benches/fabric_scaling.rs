@@ -65,7 +65,9 @@ fn bench(c: &mut Criterion, psync_ns: &[usize]) {
     group.finish();
 }
 
-/// One instrumented run for the JSON artifact.
+/// One instrumented run for the JSON artifact, with per-round timing
+/// (the bundle-path work is per-round, so `ns_per_round` is the number
+/// the hot-path optimizations move).
 fn measure(protocol: &str, n: usize, ell: usize, run: impl FnOnce() -> RunReport<bool>) -> Value {
     let start = Instant::now();
     let report = run();
@@ -78,6 +80,10 @@ fn measure(protocol: &str, n: usize, ell: usize, run: impl FnOnce() -> RunReport
         ("t", Value::Int(1)),
         ("time_ns", Value::Int(time_ns)),
         ("rounds", Value::Int(report.rounds as i64)),
+        (
+            "ns_per_round",
+            Value::Num(time_ns as f64 / report.rounds.max(1) as f64),
+        ),
         ("decided_round", decided_round_value(&report)),
         ("messages_sent", Value::Int(report.messages_sent as i64)),
         (

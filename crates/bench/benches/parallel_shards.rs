@@ -68,7 +68,7 @@ fn bench(c: &mut Criterion, quick: bool) {
 /// Best-of-`reps` instrumented run for the JSON artifact: spawn-heavy
 /// executors are noisy on loaded machines, and the minimum is the
 /// scheduling-overhead signal.
-fn measure_executor<E: Executor + Copy>(
+fn measure_executor<E: Executor + Clone>(
     label: &str,
     workers: usize,
     exec: E,
@@ -78,7 +78,7 @@ fn measure_executor<E: Executor + Copy>(
     let mut best: Option<(Value, f64)> = None;
     for _ in 0..reps {
         let entry = measure_sharded("sync_t_eig", k, N, ELL, T, SHOTS, || {
-            run_sharded_t_eig_with(exec, k, N, ELL, T, SHOTS, true)
+            run_sharded_t_eig_with(exec.clone(), k, N, ELL, T, SHOTS, true)
         });
         let rate = entry
             .get("decisions_per_sec")

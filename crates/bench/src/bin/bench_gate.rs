@@ -1,0 +1,150 @@
+//! The CI hot-path guardrail: compares a freshly generated
+//! `BENCH_fabric.json` against the committed snapshot and **fails**
+//! (exit 1) if any `psync_fig5` series point regressed in
+//! `messages_per_sec` by more than the allowed fraction.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --baseline <committed BENCH_fabric.json> \
+//!            --current  <fresh BENCH_fabric.json> \
+//!            [--protocol psync_fig5] [--max-regression 0.30] \
+//!            [--reference sync_t_eig]
+//! ```
+//!
+//! Only `n` values present in **both** files are compared (the committed
+//! snapshot is full-mode, CI runs quick mode). Because the committed
+//! snapshot and the CI runner are different machines, the budget is
+//! applied to **machine-normalized** rates: the reference series
+//! (`sync_t_eig`, whose delivery-bound cost shape is stable) is measured
+//! in the same two files, and the baseline is scaled by the median
+//! current/baseline reference ratio before the floor is applied — so the
+//! gate trips on the *algorithm* getting slower relative to the same
+//! machine's delivery fabric, not on runner hardware. Pass
+//! `--reference none` for absolute comparison. The parser is a small
+//! scanner over the workspace's own `json` writer output — the schema is
+//! ours, so a full JSON parser is not needed; unknown lines are skipped.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// The `(n → messages_per_sec)` points of one protocol's series, scraped
+/// from a `BENCH_fabric.json`-shaped file.
+fn series_points(path: &str, protocol: &str) -> BTreeMap<i64, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    let mut points = BTreeMap::new();
+    let mut in_series = false;
+    let mut n: Option<i64> = None;
+    let field = |line: &str, key: &str| -> Option<String> {
+        let rest = line.trim().strip_prefix(&format!("\"{key}\": "))?;
+        Some(rest.trim_end_matches(',').trim_matches('"').to_string())
+    };
+    for line in text.lines() {
+        if let Some(value) = field(line, "protocol") {
+            in_series = value == protocol;
+            n = None;
+        }
+        if !in_series {
+            continue;
+        }
+        if let Some(value) = field(line, "n") {
+            n = value.parse().ok();
+        }
+        if let Some(value) = field(line, "messages_per_sec") {
+            if let (Some(n), Ok(rate)) = (n, value.parse::<f64>()) {
+                points.insert(n, rate);
+            }
+        }
+    }
+    points
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let arg_after = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let baseline_path = arg_after("--baseline").expect("--baseline <file> required");
+    let current_path = arg_after("--current").expect("--current <file> required");
+    let protocol = arg_after("--protocol").unwrap_or("psync_fig5");
+    let reference = arg_after("--reference").unwrap_or("sync_t_eig");
+    let max_regression: f64 = arg_after("--max-regression")
+        .unwrap_or("0.30")
+        .parse()
+        .expect("--max-regression is a fraction");
+
+    // Machine-speed normalization: median current/baseline ratio of the
+    // reference series over the n values both files carry.
+    let scale = if reference == "none" {
+        1.0
+    } else {
+        let ref_base = series_points(baseline_path, reference);
+        let ref_cur = series_points(current_path, reference);
+        let mut ratios: Vec<f64> = ref_base
+            .iter()
+            .filter_map(|(n, &b)| ref_cur.get(n).map(|&c| c / b))
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .collect();
+        if ratios.is_empty() {
+            eprintln!("bench_gate: no shared '{reference}' points; comparing absolute rates");
+            1.0
+        } else {
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            let mid = ratios[ratios.len() / 2];
+            println!(
+                "machine scale (median {reference} current/baseline over {} point(s)): {mid:.3}",
+                ratios.len()
+            );
+            mid
+        }
+    };
+
+    let baseline = series_points(baseline_path, protocol);
+    let current = series_points(current_path, protocol);
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!(
+            "bench_gate: no '{protocol}' points found (baseline: {}, current: {})",
+            baseline.len(),
+            current.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut compared = 0;
+    let mut failed = false;
+    for (n, &base_rate) in &baseline {
+        let Some(&cur_rate) = current.get(n) else {
+            continue; // quick mode trims the series; compare the overlap
+        };
+        compared += 1;
+        let floor = base_rate * scale * (1.0 - max_regression);
+        let verdict = if cur_rate < floor {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{protocol} n={n}: baseline {base_rate:.0} msgs/s, current {cur_rate:.0} msgs/s \
+             (machine-normalized floor {floor:.0}) — {verdict}"
+        );
+    }
+    if compared == 0 {
+        eprintln!("bench_gate: baseline and current share no '{protocol}' points");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: {protocol} regressed more than {:.0}% — the bundle path \
+             got slower; see the comparison above",
+            max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: {compared} point(s) within budget");
+    ExitCode::SUCCESS
+}

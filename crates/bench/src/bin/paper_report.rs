@@ -16,6 +16,8 @@
 //!  11. Section 5 — the multi-send restriction is load-bearing (E17)
 //!  12. Shard throughput — K instances over one delivery plane (E19),
 //!      the same `measure_sharded` series `BENCH_shards.json` records
+//!  13. Bundle path — Figure 5 hot-path throughput with per-round timing
+//!      (E20), the same psync_fig5 series `BENCH_fabric.json` records
 //!
 //! EXPERIMENTS.md archives this output next to the paper's claims.
 
@@ -579,6 +581,44 @@ fn shard_throughput() -> Value {
     Value::Arr(series)
 }
 
+fn bundle_path() -> Value {
+    section("Bundle path — Figure 5 hot-path throughput (E20)");
+    println!("(same psync_fig5 series as BENCH_fabric.json; the per-round number is what the interned/incremental bundle path moves)");
+    println!(
+        "{:>10} | {:>4} | {:>4} | {:>12} | {:>14} | {:>12}",
+        "protocol", "n", "ell", "time_ms", "msgs/sec", "ms/round"
+    );
+    let mut series = Vec::new();
+    for n in [32usize, 64] {
+        let ell = n / 2 + 2;
+        let start = std::time::Instant::now();
+        let report = run_fig5(n, ell, 1, 0, 3);
+        let time_ns = start.elapsed().as_nanos() as i64;
+        assert!(report.verdict.all_hold(), "psync_fig5 n={n} must decide");
+        let rate = report.messages_sent as f64 / (time_ns as f64 / 1e9);
+        let per_round = time_ns as f64 / report.rounds.max(1) as f64;
+        println!(
+            "{:>10} | {n:>4} | {ell:>4} | {:>12.2} | {rate:>14.0} | {:>12.3}",
+            "psync_fig5",
+            time_ns as f64 / 1e6,
+            per_round / 1e6,
+        );
+        series.push(Value::obj([
+            ("protocol", Value::str("psync_fig5")),
+            ("n", Value::Int(n as i64)),
+            ("ell", Value::Int(ell as i64)),
+            ("t", Value::Int(1)),
+            ("time_ns", Value::Int(time_ns)),
+            ("rounds", Value::Int(report.rounds as i64)),
+            ("ns_per_round", Value::Num(per_round)),
+            ("decided_round", decided_round_value(&report)),
+            ("messages_sent", Value::Int(report.messages_sent as i64)),
+            ("messages_per_sec", Value::Num(rate)),
+        ]));
+    }
+    Value::Arr(series)
+}
+
 fn headline() {
     section("Headline — more correct processes can break agreement");
     let four = psync_cfg(4, 4, 1);
@@ -605,6 +645,7 @@ fn main() {
     restriction_boundary();
     let complexity = complexity_study();
     let shard_series = shard_throughput();
+    let bundle_series = bundle_path();
     headline();
 
     let doc = Value::obj([
@@ -614,6 +655,7 @@ fn main() {
         ("price_of_homonymy", homonymy_price),
         ("complexity_study", complexity),
         ("shard_throughput", shard_series),
+        ("bundle_path", bundle_series),
     ]);
     match write_bench_json("paper_report", &doc) {
         Ok(path) => println!("\nwrote {}", path.display()),

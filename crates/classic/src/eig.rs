@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use homonym_core::{Domain, Id, Value};
+use homonym_core::{Domain, Id, Value, WireSize};
 
 use crate::interface::SyncBa;
 
@@ -63,6 +63,12 @@ impl<V: Value> EigState<V> {
 /// One round's broadcast: `val(σ)` for every level-`r−1` path `σ` the
 /// sender may relay (its own identifier not in `σ`).
 pub type EigMsg<V> = BTreeMap<Path, V>;
+
+impl<V: Value + WireSize> WireSize for EigState<V> {
+    fn wire_bits(&self) -> u64 {
+        self.id.wire_bits() + self.tree.wire_bits() + self.decided.wire_bits()
+    }
+}
 
 impl<V: Value> Eig<V> {
     /// Creates the algorithm description.

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use homonym_core::{Domain, Id, Value};
+use homonym_core::{Domain, Id, Value, WireSize};
 
 use crate::interface::SyncBa;
 
@@ -60,6 +60,23 @@ pub enum PhaseKingMsg<V> {
     Pref(V),
     /// The king's broadcast (second round of a phase).
     King(V),
+}
+
+impl<V: Value + WireSize> WireSize for PhaseKingMsg<V> {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            PhaseKingMsg::Pref(v) | PhaseKingMsg::King(v) => v.wire_bits(),
+        }
+    }
+}
+
+impl<V: Value + WireSize> WireSize for PhaseKingState<V> {
+    fn wire_bits(&self) -> u64 {
+        self.id.wire_bits()
+            + self.pref.wire_bits()
+            + self.maj.wire_bits()
+            + self.decided.wire_bits()
+    }
 }
 
 impl<V: Value> PhaseKing<V> {

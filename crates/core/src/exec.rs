@@ -11,10 +11,11 @@
 //!
 //! * [`Sequential`] — in task order on the calling thread (the original
 //!   single-threaded schedule, and the default);
-//! * [`Pool`] — on `workers` scoped threads, tasks dealt round-robin,
-//!   results merged back **in task order** so every observable (traces,
-//!   decisions, reports) is byte-identical to [`Sequential`] at any
-//!   worker count. `tests/shard_isolation.rs` property-tests this and
+//! * [`Pool`] — on `workers` **persistent** threads (spawned once per
+//!   pool, not once per tick), tasks dealt round-robin, results merged
+//!   back **in task order** so every observable (traces, decisions,
+//!   reports) is byte-identical to [`Sequential`] at any worker count.
+//!   `tests/shard_isolation.rs` property-tests this and
 //!   `tests/fabric_golden.rs` pins it against the sequential golden
 //!   digests.
 //!
@@ -69,19 +70,36 @@ impl Executor for Sequential {
     }
 }
 
-/// The thread-pool executor: each `scatter` deals its tasks round-robin
-/// onto `workers` scoped threads (spawned per call — scoped threads may
-/// borrow the caller's data, which is what lets engines hand workers
-/// `&mut` views of live shard state without `'static` gymnastics or
-/// locks). Results come back over a `crossbeam-channel` and are reordered
-/// by task index, so output is byte-identical to [`Sequential`].
+/// The thread-pool executor: a **persistent** set of `workers` threads
+/// (spawned once, in [`Pool::new`], via the `scoped_threadpool` stand-in)
+/// that each `scatter` deals its tasks onto round-robin. Tasks may borrow
+/// the caller's data — which is what lets engines hand workers `&mut`
+/// views of live shard state without `'static` gymnastics or locks —
+/// because every `scatter` blocks until its last task finishes. Results
+/// come back over a `crossbeam-channel` and are reordered by task index,
+/// so output is byte-identical to [`Sequential`].
 ///
-/// A panic in any task propagates to the caller once every worker has
-/// finished (workers are joined individually and the first panicking
-/// worker's payload is re-raised with
+/// Earlier versions spawned fresh scoped threads per `scatter`; the
+/// sharded engines scatter once per global tick, so that paid thread
+/// creation every round. The persistent pool amortizes the spawn to once
+/// per `Pool`.
+///
+/// A panic in any task propagates to the caller once every task of the
+/// batch has finished (the first panicking task's payload — by
+/// submission order — is re-raised with
 /// [`resume_unwind`](std::panic::resume_unwind), so the original panic
 /// message survives — engine contract violations stay diagnosable under
-/// the pool; which sibling tasks had already run is not specified).
+/// the pool; which sibling tasks had already run is not specified). The
+/// pool itself survives and can run further batches.
+///
+/// Cloning a `Pool` shares the same worker threads (the underlying pool
+/// sits behind an `Arc<Mutex<…>>`; `scatter` holds the lock for the
+/// duration of the batch, so concurrent scatters from clones serialize).
+/// Do **not** call `scatter` from inside a task of the same pool (or a
+/// clone of it) — the inner call would block on the mutex the outer
+/// batch holds until its last task finishes, which is a deadlock. Nested
+/// fan-out needs a second, independent `Pool` (the engines never nest:
+/// one scatter per global tick).
 ///
 /// # Example
 ///
@@ -98,13 +116,23 @@ impl Executor for Sequential {
 /// let pooled = Pool::new(3).scatter(tasks(&data));
 /// assert_eq!(seq, pooled); // same results, same order
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Pool {
     workers: usize,
+    inner: std::sync::Arc<std::sync::Mutex<scoped_threadpool::Pool>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers)
+            .finish()
+    }
 }
 
 impl Pool {
-    /// An executor running tasks on `workers` threads.
+    /// An executor running tasks on `workers` persistent threads
+    /// (spawned here, reused by every `scatter`).
     ///
     /// # Panics
     ///
@@ -113,7 +141,13 @@ impl Pool {
     /// valid and runs tasks on the caller's thread).
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "a pool needs at least one worker");
-        Pool { workers }
+        let threads = u32::try_from(workers).expect("worker count fits in u32");
+        Pool {
+            workers,
+            inner: std::sync::Arc::new(std::sync::Mutex::new(scoped_threadpool::Pool::new(
+                threads,
+            ))),
+        }
     }
 }
 
@@ -127,52 +161,37 @@ impl Executor for Pool {
         T: Send,
         F: FnOnce() -> T + Send,
     {
-        let workers = self.workers.min(tasks.len());
-        if workers <= 1 {
+        if self.workers <= 1 || tasks.len() <= 1 {
             return Sequential.scatter(tasks);
         }
 
-        // Deal tasks round-robin: chunk w gets tasks w, w + workers, …
-        // The deal is a pure function of (task count, worker count), so
-        // the work placement — though invisible in the results — is
-        // reproducible too.
         let task_count = tasks.len();
-        let mut chunks: Vec<Vec<(usize, F)>> = (0..workers).map(|_| Vec::new()).collect();
-        for (index, task) in tasks.into_iter().enumerate() {
-            chunks[index % workers].push((index, task));
-        }
-
         let mut results: Vec<Option<T>> = (0..task_count).map(|_| None).collect();
         let (result_tx, result_rx) = crossbeam_channel::unbounded::<(usize, T)>();
-        crossbeam_utils::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(chunks.len());
-            for chunk in chunks {
-                let result_tx = result_tx.clone();
-                handles.push(scope.spawn(move |_| {
-                    for (index, task) in chunk {
+        {
+            // A poisoned mutex only means an earlier batch panicked
+            // after its rendezvous; the worker threads are intact.
+            let mut pool = self
+                .inner
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            // `scoped` blocks until every task has run and re-raises the
+            // first task panic with its original payload.
+            pool.scoped(|scope| {
+                for (index, task) in tasks.into_iter().enumerate() {
+                    let result_tx = result_tx.clone();
+                    scope.execute(move || {
                         result_tx
                             .send((index, task()))
                             .expect("scatter collector outlives workers");
-                    }
-                }));
-            }
-            // The workers' clones keep the channel open; dropping the
-            // original lets the drain below terminate when they finish
-            // (a panicking worker drops its clone early, so the drain
-            // cannot hang on a dead sender).
-            drop(result_tx);
-            while let Ok((index, value)) = result_rx.recv() {
-                results[index] = Some(value);
-            }
-            // Join explicitly so a panicked task's payload is re-raised
-            // verbatim instead of the scope's generic panic message.
-            for handle in handles {
-                if let Err(payload) = handle.join() {
-                    std::panic::resume_unwind(payload);
+                    });
                 }
-            }
-        })
-        .expect("scoped workers joined");
+            });
+        }
+        drop(result_tx);
+        while let Ok((index, value)) = result_rx.try_recv() {
+            results[index] = Some(value);
+        }
         results
             .into_iter()
             .map(|slot| slot.expect("every task produced a result"))

@@ -18,8 +18,13 @@
 //!   or a set (innumerate view),
 //! * [`fabric`] — the `Arc`-shared delivery fabric every execution backend
 //!   (lock-step simulator, threaded runtime, delay network) routes through,
-//! * [`exec`] — the tick executor seam ([`Sequential`] and the scoped
-//!   thread-[`Pool`]) the sharded engines fan per-shard work out with,
+//! * [`exec`] — the tick executor seam ([`Sequential`] and the
+//!   persistent thread-[`Pool`]) the sharded engines fan per-shard work
+//!   out with,
+//! * [`intern`] — the payload [`Interner`] and identifier bitset
+//!   ([`IdBits`]) the hot protocol paths key their evidence tables with,
+//! * [`WireSize`] — cheap structural wire-size estimates for the
+//!   message/bit-cost instrumentation,
 //! * [`bounds`] — the Table 1 solvability characterization,
 //! * [`spec`] — the Byzantine agreement properties (validity, agreement,
 //!   termination) and trace-level checkers.
@@ -49,16 +54,20 @@ mod error;
 pub mod exec;
 pub mod fabric;
 mod id;
+pub mod intern;
 mod message;
 mod process;
 pub mod spec;
 mod value;
+mod wire;
 
 pub use config::{ByzPower, Counting, Synchrony, SystemConfig, SystemConfigBuilder};
 pub use error::{AssignmentError, ConfigError};
 pub use exec::{Executor, Pool, Sequential};
 pub use fabric::{Deliveries, DeliverySlots, SharedEnvelope};
 pub use id::{Id, IdAssignment, Pid};
+pub use intern::{IdBits, Interner};
 pub use message::{Envelope, Inbox, Message, Recipients};
 pub use process::{FnFactory, Protocol, ProtocolFactory, Round, Superround};
 pub use value::{Domain, ProperSet, Value};
+pub use wire::WireSize;

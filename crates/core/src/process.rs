@@ -2,6 +2,7 @@
 //! algorithm in this workspace, plus round arithmetic.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::id::Id;
 use crate::message::{Inbox, Message, Recipients};
@@ -134,6 +135,29 @@ pub trait Protocol {
 
     /// Produces this round's outgoing messages.
     fn send(&mut self, round: Round) -> Vec<(Recipients, Self::Msg)>;
+
+    /// Produces this round's outgoing messages as shared handles — the
+    /// entry point every execution backend (simulator, threaded runtime,
+    /// delay driver, sharded engines) actually calls.
+    ///
+    /// The default wraps [`send`](Protocol::send)'s messages in fresh
+    /// [`Arc`]s, which is exactly the single wrap per emission the
+    /// delivery fabric performed itself before this seam existed.
+    /// Protocols whose wire message is expensive to rebuild (the Figure 5
+    /// bundle, whose echo set is retransmitted every round) override this
+    /// to hand back a cached `Arc` when nothing changed since the last
+    /// round — the fabric then fans the *same* allocation out again, and
+    /// pointer-aware receivers can skip re-scanning it.
+    ///
+    /// Overrides must stay consistent with `send`: for any given state
+    /// and round the two must describe the same wire messages, and
+    /// exactly one of them is called per round.
+    fn send_shared(&mut self, round: Round) -> Vec<(Recipients, Arc<Self::Msg>)> {
+        self.send(round)
+            .into_iter()
+            .map(|(recipients, msg)| (recipients, Arc::new(msg)))
+            .collect()
+    }
 
     /// Consumes this round's received messages.
     fn receive(&mut self, round: Round, inbox: &Inbox<Self::Msg>);

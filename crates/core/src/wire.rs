@@ -1,0 +1,186 @@
+//! Cheap structural wire-size estimates for message payloads.
+//!
+//! The sharded engines roll up an estimated bit cost per shot (the
+//! arXiv:2311.08060 message/bit-cost instrumentation). The original
+//! estimate rendered every emission through `Debug` and counted the
+//! string's bytes — stable, but formatting a deep bundle once per
+//! emission is measurable at K = 64 shards. [`WireSize`] replaces it with
+//! a structural estimate: each type reports its own size from counts and
+//! field sizes, no formatting, no allocation.
+//!
+//! The estimate remains a *proxy* (the workspace has no serialization
+//! layer): it is deterministic, monotone in payload size, and cheap. The
+//! absolute numbers differ from the Debug-string estimate, so the
+//! committed `BENCH_*.json` artifacts were regenerated when this trait
+//! landed.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use crate::id::{Id, Pid};
+use crate::process::{Round, Superround};
+
+/// An estimated wire size, in bits, for one payload.
+///
+/// Implementations must be deterministic and monotone: a payload that
+/// structurally contains another must never report fewer bits.
+pub trait WireSize {
+    /// The estimated number of bits this value occupies on the wire.
+    fn wire_bits(&self) -> u64;
+}
+
+/// Fixed-width scalars report `8 × size_of`.
+macro_rules! scalar_wire_size {
+    ($($ty:ty),* $(,)?) => {
+        $(impl WireSize for $ty {
+            fn wire_bits(&self) -> u64 {
+                8 * std::mem::size_of::<$ty>() as u64
+            }
+        })*
+    };
+}
+
+scalar_wire_size!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, char);
+
+impl WireSize for bool {
+    fn wire_bits(&self) -> u64 {
+        1
+    }
+}
+
+impl WireSize for () {
+    fn wire_bits(&self) -> u64 {
+        0
+    }
+}
+
+impl WireSize for Id {
+    fn wire_bits(&self) -> u64 {
+        16
+    }
+}
+
+impl WireSize for Pid {
+    fn wire_bits(&self) -> u64 {
+        32
+    }
+}
+
+impl WireSize for Round {
+    fn wire_bits(&self) -> u64 {
+        64
+    }
+}
+
+impl WireSize for Superround {
+    fn wire_bits(&self) -> u64 {
+        64
+    }
+}
+
+impl WireSize for String {
+    fn wire_bits(&self) -> u64 {
+        8 * self.len() as u64
+    }
+}
+
+impl WireSize for &str {
+    fn wire_bits(&self) -> u64 {
+        8 * self.len() as u64
+    }
+}
+
+impl<T: WireSize + ?Sized> WireSize for &T {
+    fn wire_bits(&self) -> u64 {
+        (**self).wire_bits()
+    }
+}
+
+impl<T: WireSize + ?Sized> WireSize for Arc<T> {
+    fn wire_bits(&self) -> u64 {
+        (**self).wire_bits()
+    }
+}
+
+impl<T: WireSize + ?Sized> WireSize for Box<T> {
+    fn wire_bits(&self) -> u64 {
+        (**self).wire_bits()
+    }
+}
+
+/// `None` costs one presence bit; `Some` adds the inner size.
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_bits(&self) -> u64 {
+        1 + self.as_ref().map_or(0, WireSize::wire_bits)
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_bits(&self) -> u64 {
+        self.iter().map(WireSize::wire_bits).sum()
+    }
+}
+
+impl<T: WireSize> WireSize for VecDeque<T> {
+    fn wire_bits(&self) -> u64 {
+        self.iter().map(WireSize::wire_bits).sum()
+    }
+}
+
+impl<T: WireSize> WireSize for BTreeSet<T> {
+    fn wire_bits(&self) -> u64 {
+        self.iter().map(WireSize::wire_bits).sum()
+    }
+}
+
+impl<K: WireSize, V: WireSize> WireSize for BTreeMap<K, V> {
+    fn wire_bits(&self) -> u64 {
+        self.iter()
+            .map(|(k, v)| k.wire_bits() + v.wire_bits())
+            .sum()
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_bits(&self) -> u64 {
+        self.0.wire_bits() + self.1.wire_bits()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    fn wire_bits(&self) -> u64 {
+        self.0.wire_bits() + self.1.wire_bits() + self.2.wire_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(7u32.wire_bits(), 32);
+        assert_eq!(7u64.wire_bits(), 64);
+        assert_eq!(true.wire_bits(), 1);
+        assert_eq!(Id::new(3).wire_bits(), 16);
+        assert_eq!("abcd".wire_bits(), 32);
+    }
+
+    #[test]
+    fn containers_sum_elements() {
+        let set: BTreeSet<u32> = [1, 2, 3].into();
+        assert_eq!(set.wire_bits(), 96);
+        let map: BTreeMap<Id, u64> = [(Id::new(1), 9u64)].into();
+        assert_eq!(map.wire_bits(), 80);
+        assert_eq!(Some(4u32).wire_bits(), 33);
+        assert_eq!(None::<u32>.wire_bits(), 1);
+        assert_eq!((Id::new(1), 2u64, false).wire_bits(), 81);
+    }
+
+    #[test]
+    fn monotone_in_payload_size() {
+        let small: BTreeSet<u32> = [1].into();
+        let large: BTreeSet<u32> = [1, 2].into();
+        assert!(large.wire_bits() > small.wire_bits());
+    }
+}

@@ -260,11 +260,12 @@ impl<P: Protocol> DelayCluster<P> {
             //    per emission, shared by every recipient's flight.
             let mut addressed: BTreeSet<Pid> = BTreeSet::new();
             for (&pid, proc_) in procs.iter_mut() {
-                let out = proc_.send(round);
+                // One shared handle per emission (the `send_shared` seam;
+                // protocols may hand back a cached bundle).
+                let out = proc_.send_shared(round);
                 let src_id = self.assignment.id_of(pid);
                 addressed.clear();
                 for (recipients, msg) in out {
-                    let msg = Arc::new(msg);
                     for to in recipients.expand(&self.assignment) {
                         assert!(
                             addressed.insert(to),

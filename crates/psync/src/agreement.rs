@@ -19,8 +19,11 @@
 //! process may never drive a phase itself.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use homonym_core::{Domain, Id, Inbox, Protocol, ProtocolFactory, Recipients, Round, Value};
+use homonym_core::{
+    Domain, Id, Inbox, Protocol, ProtocolFactory, Recipients, Round, Value, WireSize,
+};
 
 use crate::broadcast::{EchoBroadcast, EchoItem};
 
@@ -57,12 +60,130 @@ enum Direct<V> {
 /// The single wire message each process broadcasts per round: the
 /// broadcast-layer items, the direct items, and the proper set that the
 /// protocol appends to every message it sends.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+///
+/// The echo set sits behind its own [`Arc`], shared with the
+/// [`EchoBroadcast`] layer that maintains it incrementally: rebuilding a
+/// bundle because a direct item or an `⟨init⟩` changed costs one pointer
+/// bump for the (typically large, forever-retransmitted) echo set, and a
+/// receiver that already counted a pointer-identical set skips its scan.
+/// `Arc` is transparent to `Debug`/`Ord`/`Eq`, so wire renderings,
+/// orderings, and inbox dedup are exactly those of the plain set.
+///
+/// Alongside the four wire fields the bundle carries a *scan hint* — the
+/// previous handed-out echo-set version and the items joined since
+/// (`echoes == hint.0 ∪ hint.1`). The hint is **not** part of the wire
+/// identity: it is excluded from `Debug`, `Eq`, and `Ord` (the manual
+/// impls below), so traces, inbox dedup, and orderings are exactly those
+/// of the four wire fields. It only lets a receiver that already counted
+/// `hint.0` from this identifier scan the (small) `hint.1` instead of
+/// the full set; a receiver that never saw `hint.0` ignores it.
+#[derive(Clone)]
 pub struct Bundle<V> {
     inits: BTreeSet<Payload<V>>,
-    echoes: BTreeSet<EchoItem<Payload<V>>>,
+    echoes: Arc<BTreeSet<EchoItem<Payload<V>>>>,
     directs: BTreeSet<Direct<V>>,
-    proper: BTreeSet<V>,
+    proper: Arc<BTreeSet<V>>,
+    /// `(prev, delta)` with `echoes == prev ∪ delta`; see above.
+    hint: (EchoSet<V>, EchoSet<V>),
+}
+
+/// A shared echo-set handle (the type bundles and the broadcast layer
+/// exchange).
+type EchoSet<V> = Arc<BTreeSet<EchoItem<Payload<V>>>>;
+
+impl<V> Bundle<V> {
+    /// A bundle with a trivially consistent hint (`prev = ∅`,
+    /// `delta = echoes`) — the constructor for hand-built bundles (tests,
+    /// adversaries); engine-built bundles get the real incremental hint
+    /// from the broadcast layer.
+    #[cfg(test)]
+    fn with_trivial_hint(
+        inits: BTreeSet<Payload<V>>,
+        echoes: EchoSet<V>,
+        directs: BTreeSet<Direct<V>>,
+        proper: Arc<BTreeSet<V>>,
+    ) -> Self {
+        let hint = (Arc::new(BTreeSet::new()), Arc::clone(&echoes));
+        Bundle {
+            inits,
+            echoes,
+            directs,
+            proper,
+            hint,
+        }
+    }
+
+    /// The wire fields, as a tuple — the single definition of what
+    /// participates in equality, ordering, and rendering.
+    #[allow(clippy::type_complexity)]
+    fn wire_fields(
+        &self,
+    ) -> (
+        &BTreeSet<Payload<V>>,
+        &Arc<BTreeSet<EchoItem<Payload<V>>>>,
+        &BTreeSet<Direct<V>>,
+        &Arc<BTreeSet<V>>,
+    ) {
+        (&self.inits, &self.echoes, &self.directs, &self.proper)
+    }
+}
+
+impl<V: PartialEq> PartialEq for Bundle<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.wire_fields() == other.wire_fields()
+    }
+}
+
+impl<V: Eq> Eq for Bundle<V> {}
+
+impl<V: Ord> PartialOrd for Bundle<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<V: Ord> Ord for Bundle<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.wire_fields().cmp(&other.wire_fields())
+    }
+}
+
+impl<V: std::fmt::Debug> std::fmt::Debug for Bundle<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bundle")
+            .field("inits", &self.inits)
+            .field("echoes", &self.echoes)
+            .field("directs", &self.directs)
+            .field("proper", &self.proper)
+            .finish()
+    }
+}
+
+impl<V: Value + WireSize> WireSize for Payload<V> {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            Payload::Propose { values, ph } => values.wire_bits() + ph.wire_bits(),
+            Payload::Vote { v, ph } => v.wire_bits() + ph.wire_bits(),
+        }
+    }
+}
+
+impl<V: Value + WireSize> WireSize for Direct<V> {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            Direct::Lock { v, ph } | Direct::Ack { v, ph } => v.wire_bits() + ph.wire_bits(),
+            Direct::Decide { v } => v.wire_bits(),
+        }
+    }
+}
+
+impl<V: Value + WireSize> WireSize for Bundle<V> {
+    fn wire_bits(&self) -> u64 {
+        self.inits.wire_bits()
+            + self.echoes.wire_bits()
+            + self.directs.wire_bits()
+            + self.proper.wire_bits()
+    }
 }
 
 impl<V: Value> Bundle<V> {
@@ -142,7 +263,10 @@ pub struct HomonymAgreement<V> {
     domain: Domain<V>,
     id: Id,
 
-    proper: BTreeSet<V>,
+    /// The proper set, behind an [`Arc`] shared with every bundle built
+    /// from it — appending it to a bundle is a pointer bump, and
+    /// clone-on-write only fires on the (rare) round it actually grows.
+    proper: Arc<BTreeSet<V>>,
     /// `locks`: pairs `(v, ph)`.
     locks: BTreeSet<(V, u64)>,
     decision: Option<V>,
@@ -162,6 +286,32 @@ pub struct HomonymAgreement<V> {
     /// leader lock with quorum-supported proposals is acked directly (see
     /// [`AgreementFactory::ablated_without_votes`]).
     vote_superround: bool,
+
+    /// The last bundle built, with the state fingerprints that decide
+    /// whether it can be re-sent as-is (see
+    /// [`HomonymAgreement::build_or_reuse`]).
+    send_cache: Option<SendCache<V>>,
+    /// Per sender identifier: the echo sets fully counted last round. A
+    /// pointer-identical re-delivery (the sender's echo set did not grow,
+    /// even if its directs/inits/proper did) skips the O(echoes) re-scan
+    /// — echo evidence is cumulative and idempotent, so the skip is
+    /// unobservable.
+    seen_echoes: BTreeMap<Id, Vec<Arc<BTreeSet<EchoItem<Payload<V>>>>>>,
+}
+
+/// The cached outgoing bundle and the fingerprints of the state it was
+/// built from.
+#[derive(Clone, Debug)]
+struct SendCache<V> {
+    bundle: Arc<Bundle<V>>,
+    /// [`EchoBroadcast`] generation at build time (echo set unchanged ⇔
+    /// generations equal).
+    generation: u64,
+    /// Proper-set size at build time (the proper set only grows).
+    proper_len: usize,
+    /// Whether the bundle may be re-sent at all: only bundles carrying
+    /// no `⟨init⟩`s and no direct items are round-agnostic.
+    reusable: bool,
 }
 
 impl<V: Value> HomonymAgreement<V> {
@@ -183,7 +333,7 @@ impl<V: Value> HomonymAgreement<V> {
             ell,
             t,
             id,
-            proper: BTreeSet::from([input]),
+            proper: Arc::new(BTreeSet::from([input])),
             locks: BTreeSet::new(),
             decision: None,
             bcast: EchoBroadcast::new(ell, t),
@@ -192,6 +342,8 @@ impl<V: Value> HomonymAgreement<V> {
             leader_locks: BTreeMap::new(),
             my_lock: BTreeMap::new(),
             vote_superround: true,
+            send_cache: None,
+            seen_echoes: BTreeMap::new(),
             domain,
         }
     }
@@ -323,6 +475,43 @@ impl<V: Value> HomonymAgreement<V> {
         let _ = n;
         8 * (ell as u64 + 2)
     }
+
+    /// This round's bundle: a shared handle on the cached one when
+    /// nothing it carries changed since it was built (no directs, no due
+    /// `⟨init⟩`s, echo set and proper set untouched), a fresh build
+    /// otherwise. Reuse is the common case — mid-phase rounds only
+    /// retransmit the standing echo set — and it is what keeps the
+    /// steady-state round at zero payload clones (`psync_clone_budget`
+    /// pins this).
+    fn build_or_reuse(&mut self, round: Round, directs: BTreeSet<Direct<V>>) -> Arc<Bundle<V>> {
+        if directs.is_empty() && !self.bcast.init_due(round) {
+            if let Some(cache) = &self.send_cache {
+                if cache.reusable
+                    && cache.generation == self.bcast.generation()
+                    && cache.proper_len == self.proper.len()
+                {
+                    return Arc::clone(&cache.bundle);
+                }
+            }
+        }
+        let (inits, echoes) = self.bcast.shared_to_send(round);
+        let hint = self.bcast.wire_delta();
+        let reusable = inits.is_empty() && directs.is_empty();
+        let bundle = Arc::new(Bundle {
+            inits: inits.into_iter().collect(),
+            echoes,
+            directs,
+            proper: Arc::clone(&self.proper),
+            hint,
+        });
+        self.send_cache = Some(SendCache {
+            bundle: Arc::clone(&bundle),
+            generation: self.bcast.generation(),
+            proper_len: self.proper.len(),
+            reusable,
+        });
+        bundle
+    }
 }
 
 impl<V: Value> Protocol for HomonymAgreement<V> {
@@ -334,6 +523,13 @@ impl<V: Value> Protocol for HomonymAgreement<V> {
     }
 
     fn send(&mut self, round: Round) -> Vec<(Recipients, Bundle<V>)> {
+        self.send_shared(round)
+            .into_iter()
+            .map(|(recipients, bundle)| (recipients, (*bundle).clone()))
+            .collect()
+    }
+
+    fn send_shared(&mut self, round: Round) -> Vec<(Recipients, Arc<Bundle<V>>)> {
         let PhasePos { ph, w } = phase_pos(round);
         let mut directs = BTreeSet::new();
 
@@ -412,36 +608,76 @@ impl<V: Value> Protocol for HomonymAgreement<V> {
             _ => {}
         }
 
-        let (inits, echoes) = self.bcast.to_send(round);
-        let bundle = Bundle {
-            inits: inits.into_iter().collect(),
-            echoes: echoes.into_iter().collect(),
-            directs,
-            proper: self.proper.clone(),
-        };
-        vec![(Recipients::All, bundle)]
+        vec![(Recipients::All, self.build_or_reuse(round, directs))]
     }
 
     fn receive(&mut self, round: Round, inbox: &Inbox<Bundle<V>>) {
         let PhasePos { ph, w } = phase_pos(round);
 
         // Broadcast layer: extract init/echo items from every bundle.
+        // Echo evidence is cumulative and idempotent per (identifier,
+        // item), so items already counted from this identifier need not
+        // be re-fed: an echo set re-delivered as the *same* `Arc` (the
+        // sender's standing set, unchanged even if its directs/inits/
+        // proper moved) is skipped outright, and a changed set is
+        // narrowed to its difference against a set previously counted
+        // from the same identifier (sets only grow, so the difference is
+        // the handful of newly joined items). Inits are round-dependent
+        // (the superround is the receiver's), so they are always
+        // extracted.
         let mut inits: Vec<(Id, &Payload<V>)> = Vec::new();
         let mut echoes: Vec<(Id, &EchoItem<Payload<V>>)> = Vec::new();
+        let mut seen_now: BTreeMap<Id, Vec<Arc<BTreeSet<EchoItem<Payload<V>>>>>> = BTreeMap::new();
         for (src, bundle, _) in inbox.iter() {
             for p in &bundle.inits {
                 inits.push((src, p));
             }
-            for e in &bundle.echoes {
-                echoes.push((src, e));
+            let prev = self.seen_echoes.get(&src);
+            let counted =
+                prev.is_some_and(|sets| sets.iter().any(|e| Arc::ptr_eq(e, &bundle.echoes)));
+            if !counted {
+                let hinted =
+                    prev.is_some_and(|sets| sets.iter().any(|e| Arc::ptr_eq(e, &bundle.hint.0)));
+                if hinted {
+                    // The sender's previous version was fully counted
+                    // from this identifier: only the joined items are
+                    // new.
+                    for e in bundle.hint.1.iter() {
+                        echoes.push((src, e));
+                    }
+                } else {
+                    match prev.and_then(|sets| sets.first()) {
+                        Some(baseline) => {
+                            for e in bundle.echoes.difference(baseline) {
+                                echoes.push((src, e));
+                            }
+                        }
+                        None => {
+                            for e in bundle.echoes.iter() {
+                                echoes.push((src, e));
+                            }
+                        }
+                    }
+                }
             }
+            seen_now
+                .entry(src)
+                .or_default()
+                .push(Arc::clone(&bundle.echoes));
         }
         let accepts = self.bcast.observe(round, &inits, &echoes);
         self.route_accepts(accepts);
+        // Identifiers silent this round (drops, partitions) keep their
+        // last counted sets — counting is cumulative, so an old baseline
+        // stays a valid shortcut when they reappear.
+        for (src, sets) in std::mem::take(&mut self.seen_echoes) {
+            seen_now.entry(src).or_insert(sets);
+        }
+        self.seen_echoes = seen_now;
 
         // Proper-set rules (innumerate: count distinct identifiers).
         let proper_views: Vec<(Id, &BTreeSet<V>)> =
-            inbox.iter().map(|(src, b, _)| (src, &b.proper)).collect();
+            inbox.iter().map(|(src, b, _)| (src, &*b.proper)).collect();
         self.update_proper(&proper_views);
 
         // Direct items.
@@ -524,12 +760,20 @@ impl<V: Value> HomonymAgreement<V> {
                 .collect::<BTreeSet<Id>>()
                 .len();
             if support >= self.t + 1 {
-                self.proper.insert(v.clone());
+                // Guarded insert: a steady-state round re-confirms values
+                // that are already proper, and must not clone them again.
+                if !self.proper.contains(v) {
+                    Arc::make_mut(&mut self.proper).insert(v.clone());
+                }
                 reached = true;
             }
         }
         if !reached && reporter_ids.len() >= 2 * self.t + 1 {
-            self.proper.extend(self.domain.values().iter().cloned());
+            for v in self.domain.values() {
+                if !self.proper.contains(v) {
+                    Arc::make_mut(&mut self.proper).insert(v.clone());
+                }
+            }
         }
     }
 }
@@ -698,7 +942,7 @@ mod tests {
     fn candidate_set_respects_locks() {
         let mut p = proc(4, 4, 1, 1, true);
         assert_eq!(p.candidate_set(), BTreeSet::from([true]));
-        p.proper.insert(false);
+        Arc::make_mut(&mut p.proper).insert(false);
         assert_eq!(p.candidate_set(), BTreeSet::from([false, true]));
         p.locks.insert((true, 3));
         // A lock on `true` excludes every other value.
@@ -765,9 +1009,9 @@ mod tests {
     /// proposals for BOTH values from every identifier in phase 0, then a
     /// single leader lock for `lock_value`.
     fn feed_phase0_with_leader_lock(p: &mut HomonymAgreement<bool>, lock_value: bool) {
-        let both: BTreeSet<bool> = [false, true].into();
+        let both: Arc<BTreeSet<bool>> = Arc::new([false, true].into());
         let payload = Payload::Propose {
-            values: both.clone(),
+            values: (*both).clone(),
             ph: 0,
         };
 
@@ -776,12 +1020,12 @@ mod tests {
         let round0: Vec<Envelope<Bundle<bool>>> = (1..=4u16)
             .map(|j| Envelope {
                 src: Id::new(j),
-                msg: Bundle {
-                    inits: BTreeSet::from([payload.clone()]),
-                    echoes: BTreeSet::new(),
-                    directs: BTreeSet::new(),
-                    proper: both.clone(),
-                },
+                msg: Bundle::with_trivial_hint(
+                    BTreeSet::from([payload.clone()]),
+                    Arc::new(BTreeSet::new()),
+                    BTreeSet::new(),
+                    both.clone(),
+                ),
             })
             .collect();
         p.receive(Round::new(0), &Inbox::collect(round0, Counting::Innumerate));
@@ -792,18 +1036,18 @@ mod tests {
         let round1: Vec<Envelope<Bundle<bool>>> = (1..=4u16)
             .map(|j| Envelope {
                 src: Id::new(j),
-                msg: Bundle {
-                    inits: BTreeSet::new(),
-                    echoes: (1..=4u16)
-                        .map(|src| crate::broadcast::EchoItem {
-                            payload: payload.clone(),
-                            sr: 0,
-                            src: Id::new(src),
-                        })
-                        .collect(),
-                    directs: BTreeSet::new(),
-                    proper: both.clone(),
-                },
+                msg: Bundle::with_trivial_hint(
+                    BTreeSet::new(),
+                    Arc::new(
+                        (1..=4u16)
+                            .map(|src| {
+                                crate::broadcast::EchoItem::new(payload.clone(), 0, Id::new(src))
+                            })
+                            .collect(),
+                    ),
+                    BTreeSet::new(),
+                    both.clone(),
+                ),
             })
             .collect();
         p.receive(Round::new(1), &Inbox::collect(round1, Counting::Innumerate));
@@ -815,15 +1059,15 @@ mod tests {
         let _ = p.send(Round::new(2));
         let lock = Envelope {
             src: Id::new(1),
-            msg: Bundle {
-                inits: BTreeSet::new(),
-                echoes: BTreeSet::new(),
-                directs: BTreeSet::from([Direct::Lock {
+            msg: Bundle::with_trivial_hint(
+                BTreeSet::new(),
+                Arc::new(BTreeSet::new()),
+                BTreeSet::from([Direct::Lock {
                     v: lock_value,
                     ph: 0,
                 }]),
-                proper: both.clone(),
-            },
+                both.clone(),
+            ),
         };
         p.receive(Round::new(2), &Inbox::collect([lock], Counting::Innumerate));
 

@@ -20,19 +20,44 @@
 //!   retransmitted forever).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use homonym_core::{Id, Message, Round};
+use homonym_core::intern::Tok;
+use homonym_core::{Id, IdBits, Interner, Message, Round, WireSize};
 
 /// An `⟨echo m, r, i⟩` item: this sender vouches that identifier `src`
 /// performed `Broadcast(payload)` in superround `sr`.
+///
+/// The payload is held behind an [`Arc`] (shared with the sender's
+/// interner), so the per-round retransmission of the full echo set moves
+/// pointers, never payloads. `Arc` forwards `Debug`/`Ord`/`Eq` to the
+/// payload, so the wire rendering and ordering are those of the payload
+/// itself.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct EchoItem<M> {
     /// The broadcast payload `m`.
-    pub payload: M,
+    pub payload: Arc<M>,
     /// The superround `r` of the original `⟨init m⟩`.
     pub sr: u64,
     /// The identifier `i` the broadcast is attributed to.
     pub src: Id,
+}
+
+impl<M> EchoItem<M> {
+    /// An item vouching that `src` broadcast `payload` in superround `sr`.
+    pub fn new(payload: M, sr: u64, src: Id) -> Self {
+        EchoItem {
+            payload: Arc::new(payload),
+            sr,
+            src,
+        }
+    }
+}
+
+impl<M: WireSize> WireSize for EchoItem<M> {
+    fn wire_bits(&self) -> u64 {
+        self.payload.wire_bits() + self.sr.wire_bits() + self.src.wire_bits()
+    }
 }
 
 /// An `Accept(m, i)` event.
@@ -46,11 +71,24 @@ pub struct Accept<M> {
     pub sr: u64,
 }
 
+/// The small copyable key the hot maps are indexed by: the interned
+/// payload token, the superround, and the attributed identifier.
+type EchoKey = (Tok, u64, Id);
+
 /// One process's view of the echo-broadcast layer.
 ///
 /// The component is transport-agnostic: the owning protocol embeds the
 /// items produced by [`EchoBroadcast::to_send`] in its per-round bundle and
 /// feeds extracted items back through [`EchoBroadcast::observe`].
+///
+/// Internally every payload is interned once
+/// ([`Interner`]) and the echo/evidence/accept tables key on small
+/// copyable `(token, superround, identifier)` tuples; evidence sets are
+/// identifier bitsets ([`IdBits`]) whose threshold checks are popcounts.
+/// Wire-visible behaviour — the items emitted and the accepts performed,
+/// in order — is identical to the original deep-keyed implementation
+/// (`proptests::interned_matches_reference_*` pins this against a kept
+/// copy of that code).
 ///
 /// # Example
 ///
@@ -68,14 +106,36 @@ pub struct Accept<M> {
 pub struct EchoBroadcast<M> {
     ell: usize,
     t: usize,
+    /// Every distinct payload seen, interned once.
+    intern: Interner<M>,
     /// Keys this process echoes in every round from now on.
-    echoing: BTreeSet<(M, u64, Id)>,
+    echoing: BTreeSet<EchoKey>,
+    /// The wire form of `echoing`, maintained incrementally behind an
+    /// [`Arc`] — bundles embed this handle directly, so retransmitting
+    /// the full echo set every round moves one pointer, and receivers
+    /// can pointer-compare it to skip re-scanning an unchanged set.
+    wire: Arc<BTreeSet<EchoItem<M>>>,
+    /// The wire set as of the previous hand-out whose content differed —
+    /// together with `delta` (`wire == prev ∪ delta`) this is the
+    /// receive-side shortcut: a receiver that already counted `prev`
+    /// only scans `delta`.
+    prev: Arc<BTreeSet<EchoItem<M>>>,
+    /// The items joined since `prev`.
+    delta: Arc<BTreeSet<EchoItem<M>>>,
     /// Distinct identifiers seen echoing each key.
-    evidence: BTreeMap<(M, u64, Id), BTreeSet<Id>>,
+    evidence: BTreeMap<EchoKey, IdBits>,
     /// Keys already accepted (each accept fires once).
-    accepted: BTreeSet<(M, u64, Id)>,
+    accepted: BTreeSet<EchoKey>,
     /// Payloads queued for `⟨init⟩` at the next first-of-superround send.
     queue: Vec<M>,
+    /// Bumped whenever `echoing` grows — the owning protocol compares
+    /// generations to learn whether the outgoing echo set changed since
+    /// it last built a bundle.
+    generation: u64,
+    /// Scratch: keys whose evidence grew this `observe` call, so the
+    /// threshold sweep touches only what changed instead of re-scanning
+    /// the whole evidence table every round.
+    dirty: Vec<EchoKey>,
 }
 
 impl<M: Message> EchoBroadcast<M> {
@@ -85,13 +145,35 @@ impl<M: Message> EchoBroadcast<M> {
     /// `ℓ ≤ 3t` they lose their guarantees, but the component still
     /// operates — lower-bound experiments run it out of range on purpose.
     pub fn new(ell: usize, t: usize) -> Self {
+        let empty = Arc::new(BTreeSet::new());
         EchoBroadcast {
             ell,
             t,
+            intern: Interner::new(),
             echoing: BTreeSet::new(),
+            wire: Arc::clone(&empty),
+            prev: Arc::clone(&empty),
+            delta: empty,
             evidence: BTreeMap::new(),
             accepted: BTreeSet::new(),
             queue: Vec::new(),
+            generation: 0,
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Starts echoing `key` (idempotent); keeps the shared wire set and
+    /// its delta in step and advances the generation on growth.
+    fn start_echoing(&mut self, key: EchoKey) {
+        if self.echoing.insert(key) {
+            self.generation += 1;
+            let (tok, sr, src) = key;
+            let payload = Arc::clone(self.intern.resolve_shared(tok));
+            let item = EchoItem { payload, sr, src };
+            // Clone-on-write: receivers and cached bundles holding the
+            // previous wire set keep it; the clone moves Arc handles.
+            Arc::make_mut(&mut self.wire).insert(item.clone());
+            Arc::make_mut(&mut self.delta).insert(item);
         }
     }
 
@@ -113,23 +195,51 @@ impl<M: Message> EchoBroadcast<M> {
     }
 
     /// The items to embed in this round's bundle: `⟨init⟩`s (only in the
-    /// first round of a superround) and all active echoes.
+    /// first round of a superround) and all active echoes, sorted by
+    /// `(payload, superround, identifier)`.
     pub fn to_send(&mut self, round: Round) -> (Vec<M>, Vec<EchoItem<M>>) {
+        let (inits, echoes) = self.shared_to_send(round);
+        (inits, echoes.iter().cloned().collect())
+    }
+
+    /// [`to_send`](EchoBroadcast::to_send) with the echoes as the shared
+    /// ordered set the bundle embeds directly — the owning protocol's
+    /// build path, one `Arc` bump instead of a set construction.
+    pub(crate) fn shared_to_send(&mut self, round: Round) -> (Vec<M>, Arc<BTreeSet<EchoItem<M>>>) {
         let inits = if round.is_first_of_superround() {
             std::mem::take(&mut self.queue)
         } else {
             Vec::new()
         };
-        let echoes = self
-            .echoing
-            .iter()
-            .map(|(payload, sr, src)| EchoItem {
-                payload: payload.clone(),
-                sr: *sr,
-                src: *src,
-            })
-            .collect();
-        (inits, echoes)
+        (inits, Arc::clone(&self.wire))
+    }
+
+    /// The incremental-scan hint shipped alongside the wire set: the
+    /// previously handed-out version and the items joined since
+    /// (`wire == prev ∪ delta`). Calling this hands the current version
+    /// out, so future growth accumulates into a fresh delta against it.
+    pub(crate) fn wire_delta(
+        &mut self,
+    ) -> (Arc<BTreeSet<EchoItem<M>>>, Arc<BTreeSet<EchoItem<M>>>) {
+        let hint = (Arc::clone(&self.prev), Arc::clone(&self.delta));
+        if !self.delta.is_empty() {
+            self.prev = Arc::clone(&self.wire);
+            self.delta = Arc::new(BTreeSet::new());
+        }
+        hint
+    }
+
+    /// Whether a queued `Broadcast` would emit an `⟨init⟩` if
+    /// [`to_send`](EchoBroadcast::to_send) ran at `round`.
+    pub(crate) fn init_due(&self, round: Round) -> bool {
+        round.is_first_of_superround() && !self.queue.is_empty()
+    }
+
+    /// A counter that advances whenever the outgoing echo set grows.
+    /// Equal generations ⇒ [`to_send`](EchoBroadcast::to_send) emits the
+    /// same echoes — what lets the owning protocol reuse a cached bundle.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Feeds one round's received items: `inits` as `(sender identifier,
@@ -147,42 +257,61 @@ impl<M: Message> EchoBroadcast<M> {
         if round.is_first_of_superround() {
             let sr = round.superround().index();
             for &(src, payload) in inits {
-                self.echoing.insert((payload.clone(), sr, src));
+                let key = (self.intern.intern(payload), sr, src);
+                self.start_echoing(key);
             }
         }
 
-        // Record echo evidence by distinct echoing identifier.
+        // Record echo evidence by distinct echoing identifier; only keys
+        // whose evidence grew are re-checked against the thresholds
+        // (evidence never shrinks, so a key that crossed a threshold
+        // earlier was handled the round it crossed).
+        let ell = self.ell;
+        let mut dirty = std::mem::take(&mut self.dirty);
+        dirty.clear();
         for &(echoer, item) in echoes {
-            self.evidence
-                .entry((item.payload.clone(), item.sr, item.src))
-                .or_default()
-                .insert(echoer);
+            let key = (self.intern.intern_shared(&item.payload), item.sr, item.src);
+            let bits = self
+                .evidence
+                .entry(key)
+                .or_insert_with(|| IdBits::with_capacity(ell));
+            if bits.insert(echoer.index()) {
+                dirty.push(key);
+            }
         }
+        dirty.sort_unstable();
+        dirty.dedup();
 
-        // Join echoing at ℓ − 2t, accept at ℓ − t.
+        // Join echoing at ℓ − 2t, accept at ℓ − t (both are popcount
+        // reads now). Accepts are reported in the order the deep-keyed
+        // implementation produced them: ascending (payload, sr, src).
         let join = self.join_threshold();
         let accept = self.accept_threshold();
         let mut accepts = Vec::new();
-        for (key, supporters) in &self.evidence {
-            if supporters.len() >= join {
-                self.echoing.insert(key.clone());
+        for &key in &dirty {
+            let supporters = self.evidence[&key].len();
+            if supporters >= join {
+                self.start_echoing(key);
             }
-            if supporters.len() >= accept && self.accepted.insert(key.clone()) {
+            if supporters >= accept && self.accepted.insert(key) {
                 accepts.push(Accept {
-                    payload: key.0.clone(),
+                    payload: self.intern.resolve(key.0).clone(),
                     sr: key.1,
                     src: key.2,
                 });
             }
         }
+        self.dirty = dirty;
+        accepts.sort_by(|a, b| (&a.payload, a.sr, a.src).cmp(&(&b.payload, b.sr, b.src)));
         accepts
     }
 
     /// Whether `(payload, src)` has been accepted (at any superround).
     pub fn has_accepted(&self, payload: &M, src: Id) -> bool {
-        self.accepted
-            .iter()
-            .any(|(m, _, i)| m == payload && *i == src)
+        let Some(tok) = self.intern.get(payload) else {
+            return false;
+        };
+        self.accepted.iter().any(|&(m, _, i)| m == tok && i == src)
     }
 
     /// Number of keys currently being echoed (diagnostic; grows over the
@@ -277,11 +406,7 @@ mod tests {
         // t = 1 Byzantine identifier injects echoes for a message nobody
         // broadcast; ℓ − 2t = 2 > 1, so the echo never catches on.
         let mut net = Net::new(4, 1);
-        let forged = EchoItem {
-            payload: "forged",
-            sr: 0,
-            src: Id::new(2),
-        };
+        let forged = EchoItem::new("forged", 0, Id::new(2));
         for _ in 0..6 {
             let accepts = net.step(&[], &[(Id::new(4), forged.clone())]);
             assert!(accepts.iter().all(|a| a.is_empty()));
@@ -312,11 +437,7 @@ mod tests {
         let ell = 4;
         let t = 1;
         let mut lonely: EchoBroadcast<&'static str> = EchoBroadcast::new(ell, t);
-        let item = EchoItem {
-            payload: "m",
-            sr: 0,
-            src: Id::new(1),
-        };
+        let item = EchoItem::new("m", 0, Id::new(1));
         // ℓ − t = 3 distinct identifiers echo to process 0 only.
         let echoes: Vec<(Id, EchoItem<&'static str>)> =
             (2..=4).map(|i| (Id::new(i), item.clone())).collect();
@@ -326,7 +447,7 @@ mod tests {
         assert_eq!(accepts.len(), 1);
         // It now echoes the key forever — the relay mechanism.
         let (_, out) = lonely.to_send(Round::new(2));
-        assert!(out.iter().any(|e| e.payload == "m" && e.src == Id::new(1)));
+        assert!(out.iter().any(|e| *e.payload == "m" && e.src == Id::new(1)));
     }
 
     #[test]

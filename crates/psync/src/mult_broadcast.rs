@@ -24,7 +24,8 @@
 
 use std::collections::BTreeMap;
 
-use homonym_core::{Id, Message, Round};
+use homonym_core::intern::Tok;
+use homonym_core::{Id, Interner, Message, Round, WireSize};
 
 /// The per-round wire part of the multiplicity broadcast: the sender's
 /// `⟨init⟩` tuples (its own identifier is implicit — identifiers cannot be
@@ -35,6 +36,12 @@ pub struct MultPart<M> {
     pub inits: BTreeMap<M, u64>,
     /// `(echo, h, α, m, k)` tuples, keyed by `(h, m, k)`.
     pub echoes: BTreeMap<(Id, M, u64), u64>,
+}
+
+impl<M: WireSize> WireSize for MultPart<M> {
+    fn wire_bits(&self) -> u64 {
+        self.inits.wire_bits() + self.echoes.wire_bits()
+    }
 }
 
 /// An `Accept(i, α, m, r)` event.
@@ -74,10 +81,18 @@ pub struct MultBroadcast<M> {
     n: usize,
     t: usize,
     id: Id,
-    /// `a[h, m, k]`.
-    a: BTreeMap<(Id, M, u64), u64>,
+    /// Every distinct payload seen, interned once; the counter table keys
+    /// on tokens so probes and raises never deep-compare payloads.
+    intern: Interner<M>,
+    /// `a[h, m, k]`, keyed `(h, token of m, k)`.
+    a: BTreeMap<(Id, Tok, u64), u64>,
     /// Broadcasts queued: payload → superround requested.
     pending: Vec<(M, u64)>,
+    /// Bumped whenever a counter's *emitted* value changes — equal
+    /// generations ⇒ [`part_to_send`](MultBroadcast::part_to_send) emits
+    /// the same echo table, which lets the owning protocol reuse a cached
+    /// wire part.
+    generation: u64,
 }
 
 impl<M: Message> MultBroadcast<M> {
@@ -88,8 +103,10 @@ impl<M: Message> MultBroadcast<M> {
             n,
             t,
             id,
+            intern: Interner::new(),
             a: BTreeMap::new(),
             pending: Vec::new(),
+            generation: 0,
         }
     }
 
@@ -118,7 +135,7 @@ impl<M: Message> MultBroadcast<M> {
                 .a
                 .iter()
                 .filter(|(_, &alpha)| alpha > 0)
-                .map(|(k, &alpha)| (k.clone(), alpha))
+                .map(|(&(h, tok, k), &alpha)| ((h, self.intern.resolve(tok).clone(), k), alpha))
                 .collect(),
         };
         if round.is_first_of_superround() {
@@ -134,6 +151,20 @@ impl<M: Message> MultBroadcast<M> {
             self.pending = rest;
         }
         part
+    }
+
+    /// Whether a queued `Broadcast` would emit an `⟨init⟩` if
+    /// [`part_to_send`](MultBroadcast::part_to_send) ran at `round`.
+    pub(crate) fn init_due(&self, round: Round) -> bool {
+        round.is_first_of_superround() && {
+            let sr = round.superround().index();
+            self.pending.iter().any(|&(_, want)| want <= sr)
+        }
+    }
+
+    /// A counter that advances whenever the emitted echo table changes.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Figure 6's validity filter for one received message: the init
@@ -164,24 +195,28 @@ impl<M: Message> MultBroadcast<M> {
         // Line 13–14: initial counts from ⟨init⟩ tuples (even rounds).
         if r % 2 == 0 {
             let sr = r / 2;
-            let mut init_counts: BTreeMap<(Id, M), u64> = BTreeMap::new();
+            let mut init_counts: BTreeMap<(Id, Tok), u64> = BTreeMap::new();
             for (src, part, mult) in &valid {
                 for (m, &want) in &part.inits {
                     debug_assert_eq!(want, sr);
-                    *init_counts.entry((*src, m.clone())).or_insert(0) += mult;
+                    *init_counts
+                        .entry((*src, self.intern.intern(m)))
+                        .or_insert(0) += mult;
                 }
             }
-            for ((h, m), alpha) in init_counts {
-                self.a.insert((h, m, sr), alpha);
+            for ((h, tok), alpha) in init_counts {
+                if self.a.insert((h, tok, sr), alpha) != Some(alpha) {
+                    self.generation += 1;
+                }
             }
         }
 
         // Lines 15–18: raise counters to the (n − 2t)-strongest echo value.
-        let mut echo_support: BTreeMap<(Id, M, u64), Vec<(u64, u64)>> = BTreeMap::new();
+        let mut echo_support: BTreeMap<(Id, Tok, u64), Vec<(u64, u64)>> = BTreeMap::new();
         for (_, part, mult) in &valid {
-            for (key, &alpha) in &part.echoes {
+            for ((h, m, k), &alpha) in &part.echoes {
                 echo_support
-                    .entry(key.clone())
+                    .entry((*h, self.intern.intern(m), *k))
                     .or_default()
                     .push((alpha, *mult));
             }
@@ -201,26 +236,36 @@ impl<M: Message> MultBroadcast<M> {
                 None
             };
             if let Some(alpha1) = kth_largest(self.raise_threshold()) {
-                let entry = self.a.entry(key.clone()).or_insert(0);
-                *entry = (*entry).max(alpha1);
+                let entry = self.a.entry(key).or_insert(0);
+                if alpha1 > *entry {
+                    *entry = alpha1;
+                    self.generation += 1;
+                }
             }
             if r % 2 == 1 {
                 if let Some(alpha2) = kth_largest(self.accept_threshold()) {
                     accepts.push(MultAccept {
                         src: key.0,
                         alpha: alpha2,
-                        payload: key.1,
+                        payload: self.intern.resolve(key.1).clone(),
                         sr: key.2,
                     });
                 }
             }
         }
+        // The deep-keyed implementation iterated its support map in
+        // ascending (identifier, payload, superround) order; tokens sort
+        // in first-seen order, so restore the original report order.
+        accepts.sort_by(|a, b| (a.src, &a.payload, a.sr).cmp(&(b.src, &b.payload, b.sr)));
         accepts
     }
 
     /// The current counter `a[h, m, k]` (diagnostic).
     pub fn counter(&self, h: Id, m: &M, k: u64) -> u64 {
-        self.a.get(&(h, m.clone(), k)).copied().unwrap_or(0)
+        self.intern
+            .get(m)
+            .and_then(|tok| self.a.get(&(h, tok, k)).copied())
+            .unwrap_or(0)
     }
 
     /// The identifier this layer authenticates as.

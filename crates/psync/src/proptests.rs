@@ -1,6 +1,8 @@
 //! Property-based tests: the broadcast-layer guarantees and the quorum
 //! lemma, swept over random loss schedules, assignments and adversarial
-//! injections (rather than the hand-picked schedules of the unit tests).
+//! injections (rather than the hand-picked schedules of the unit tests) —
+//! plus the equivalence of the interned [`EchoBroadcast`] against a kept
+//! copy of the original deep-keyed implementation.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -10,6 +12,208 @@ use proptest::prelude::*;
 use crate::broadcast::{EchoBroadcast, EchoItem};
 use crate::invariants::sole_correct_witness;
 use crate::mult_broadcast::{MultBroadcast, MultPart};
+
+// ------------------------- the reference (pre-interning) EchoBroadcast
+
+/// The original deep-keyed echo-broadcast implementation, kept verbatim
+/// (modulo the struct rename) as the behavioural reference for the
+/// interned [`EchoBroadcast`]: maps keyed on owned `(M, u64, Id)` tuples,
+/// `BTreeSet<Id>` evidence, full-table threshold sweep every round.
+mod reference {
+    use super::*;
+
+    pub struct ReferenceEchoBroadcast<M> {
+        ell: usize,
+        t: usize,
+        echoing: BTreeSet<(M, u64, Id)>,
+        evidence: BTreeMap<(M, u64, Id), BTreeSet<Id>>,
+        accepted: BTreeSet<(M, u64, Id)>,
+        queue: Vec<M>,
+    }
+
+    impl<M: homonym_core::Message> ReferenceEchoBroadcast<M> {
+        pub fn new(ell: usize, t: usize) -> Self {
+            ReferenceEchoBroadcast {
+                ell,
+                t,
+                echoing: BTreeSet::new(),
+                evidence: BTreeMap::new(),
+                accepted: BTreeSet::new(),
+                queue: Vec::new(),
+            }
+        }
+
+        pub fn accept_threshold(&self) -> usize {
+            self.ell.saturating_sub(self.t)
+        }
+
+        pub fn join_threshold(&self) -> usize {
+            self.ell.saturating_sub(2 * self.t).max(1)
+        }
+
+        pub fn broadcast(&mut self, payload: M) {
+            self.queue.push(payload);
+        }
+
+        /// The original `to_send`, with the echoes as plain triples.
+        #[allow(clippy::wrong_self_convention)] // mirrors the real API
+        pub fn to_send(&mut self, round: Round) -> (Vec<M>, Vec<(M, u64, Id)>) {
+            let inits = if round.is_first_of_superround() {
+                std::mem::take(&mut self.queue)
+            } else {
+                Vec::new()
+            };
+            let echoes = self.echoing.iter().cloned().collect();
+            (inits, echoes)
+        }
+
+        /// The original `observe`, with accepts as plain triples in the
+        /// original report order (ascending evidence-key order).
+        pub fn observe(
+            &mut self,
+            round: Round,
+            inits: &[(Id, &M)],
+            echoes: &[(Id, &(M, u64, Id))],
+        ) -> Vec<(M, u64, Id)> {
+            if round.is_first_of_superround() {
+                let sr = round.superround().index();
+                for &(src, payload) in inits {
+                    self.echoing.insert((payload.clone(), sr, src));
+                }
+            }
+            for &(echoer, item) in echoes {
+                self.evidence
+                    .entry(item.clone())
+                    .or_default()
+                    .insert(echoer);
+            }
+            let join = self.join_threshold();
+            let accept = self.accept_threshold();
+            let mut accepts = Vec::new();
+            for (key, supporters) in &self.evidence {
+                if supporters.len() >= join {
+                    self.echoing.insert(key.clone());
+                }
+                if supporters.len() >= accept && self.accepted.insert(key.clone()) {
+                    accepts.push(key.clone());
+                }
+            }
+            accepts
+        }
+
+        pub fn has_accepted(&self, payload: &M, src: Id) -> bool {
+            self.accepted
+                .iter()
+                .any(|(m, _, i)| m == payload && *i == src)
+        }
+
+        pub fn echoing_len(&self) -> usize {
+            self.echoing.len()
+        }
+    }
+}
+
+/// The payload alphabet the equivalence sweep draws from.
+const ALPHABET: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// One scripted round of adversarial input: `(id, payload)` init claims
+/// and `(echoer, (payload, sr, src))` echo items, in arbitrary order.
+type ScriptedRound = (Vec<(u16, usize)>, Vec<(u16, (usize, u64, u16))>);
+
+fn scripted_rounds(ell: usize, rounds: usize) -> impl Strategy<Value = Vec<ScriptedRound>> {
+    let id = 1..=(ell as u16 + 1); // occasionally out-of-range ids too
+    let inits = proptest::collection::vec((id.clone(), 0..ALPHABET.len()), 0..4);
+    let echoes = proptest::collection::vec(
+        (id.clone(), (0..ALPHABET.len(), 0u64..3, 1..=(ell as u16))),
+        0..10,
+    );
+    proptest::collection::vec((inits, echoes), rounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The interned `EchoBroadcast` is observationally identical to the
+    /// kept reference implementation: same outgoing items, same accepts
+    /// in the same order, same `has_accepted` answers, same echo-set
+    /// size — for every round of every adversarial injection schedule
+    /// (arbitrary echo orders, duplicate items, out-of-range echoers,
+    /// forged superrounds) and every queued-broadcast pattern.
+    #[test]
+    fn interned_matches_reference_echo_broadcast(
+        ell in 3usize..7,
+        t in 0usize..2,
+        script in scripted_rounds(5, 10),
+        bcast_rounds in proptest::collection::vec(0usize..10, 0..3),
+    ) {
+        let mut interned: EchoBroadcast<&'static str> = EchoBroadcast::new(ell, t);
+        let mut reference = reference::ReferenceEchoBroadcast::new(ell, t);
+        prop_assert_eq!(interned.join_threshold(), reference.join_threshold());
+        prop_assert_eq!(interned.accept_threshold(), reference.accept_threshold());
+
+        for (r, (init_script, echo_script)) in script.iter().enumerate() {
+            let round = Round::new(r as u64);
+            if bcast_rounds.contains(&r) {
+                interned.broadcast(ALPHABET[r % ALPHABET.len()]);
+                reference.broadcast(ALPHABET[r % ALPHABET.len()]);
+            }
+
+            // Send side: identical inits, identical echo triples.
+            let (inits_a, echoes_a) = interned.to_send(round);
+            let (inits_b, echoes_b) = reference.to_send(round);
+            prop_assert_eq!(&inits_a, &inits_b);
+            let triples_a: Vec<(&'static str, u64, Id)> = echoes_a
+                .iter()
+                .map(|e| (*e.payload, e.sr, e.src))
+                .collect();
+            prop_assert_eq!(&triples_a, &echoes_b, "round {}", r);
+
+            // Receive side: the same scripted items, in the same
+            // (arbitrary) order.
+            let inits: Vec<(Id, &&'static str)> = init_script
+                .iter()
+                .map(|&(id, p)| (Id::new(id), &ALPHABET[p]))
+                .collect();
+            let items: Vec<EchoItem<&'static str>> = echo_script
+                .iter()
+                .map(|&(_, (p, sr, src))| EchoItem::new(ALPHABET[p], sr, Id::new(src)))
+                .collect();
+            let ref_items: Vec<(&'static str, u64, Id)> = echo_script
+                .iter()
+                .map(|&(_, (p, sr, src))| (ALPHABET[p], sr, Id::new(src)))
+                .collect();
+            let echoes_in: Vec<(Id, &EchoItem<&'static str>)> = echo_script
+                .iter()
+                .zip(&items)
+                .map(|(&(echoer, _), item)| (Id::new(echoer), item))
+                .collect();
+            let ref_echoes_in: Vec<(Id, &(&'static str, u64, Id))> = echo_script
+                .iter()
+                .zip(&ref_items)
+                .map(|(&(echoer, _), item)| (Id::new(echoer), item))
+                .collect();
+
+            let accepts_a = interned.observe(round, &inits, &echoes_in);
+            let accepts_b = reference.observe(round, &inits, &ref_echoes_in);
+            let accepts_a: Vec<(&'static str, u64, Id)> = accepts_a
+                .into_iter()
+                .map(|a| (a.payload, a.sr, a.src))
+                .collect();
+            prop_assert_eq!(&accepts_a, &accepts_b, "accepts diverge in round {}", r);
+
+            prop_assert_eq!(interned.echoing_len(), reference.echoing_len());
+            for payload in ALPHABET {
+                for id in 1..=(ell as u16) {
+                    prop_assert_eq!(
+                        interned.has_accepted(&payload, Id::new(id)),
+                        reference.has_accepted(&payload, Id::new(id)),
+                        "has_accepted({}, {}) diverges", payload, id
+                    );
+                }
+            }
+        }
+    }
+}
 
 // ---------------------------------------------------------------- Lemma 7
 
@@ -226,7 +430,7 @@ proptest! {
         prop_assume!(byz_id != victim_id);
         let assignment = [1u16, 2, 3, 4];
         let mut net = LossyEchoNet::new(4, 1, &assignment, drops);
-        let forged = EchoItem { payload: "forged", sr: claimed_sr, src: Id::new(victim_id) };
+        let forged = EchoItem::new("forged", claimed_sr, Id::new(victim_id));
         for _ in 0..10 {
             net.step(&[(Id::new(byz_id), forged.clone())]);
         }

@@ -15,8 +15,12 @@
 //! versus `> (n + 3t)/2` for unrestricted Byzantine processes.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use homonym_core::{Domain, Id, Inbox, Protocol, ProtocolFactory, Recipients, Round, Value};
+use homonym_core::intern::Tok;
+use homonym_core::{
+    Domain, Id, Inbox, Interner, Protocol, ProtocolFactory, Recipients, Round, Value, WireSize,
+};
 
 use crate::mult_broadcast::{MultBroadcast, MultPart};
 
@@ -47,6 +51,28 @@ pub struct RestrictedBundle<V> {
     part: MultPart<RestrictedPayload<V>>,
     directs: BTreeSet<Direct<V>>,
     proper: BTreeSet<V>,
+}
+
+impl<V: Value + WireSize> WireSize for RestrictedPayload<V> {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            RestrictedPayload::Propose(v) | RestrictedPayload::Vote(v) => v.wire_bits(),
+        }
+    }
+}
+
+impl<V: Value + WireSize> WireSize for Direct<V> {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            Direct::Lock { v, ph } | Direct::Ack { v, ph } => v.wire_bits() + ph.wire_bits(),
+        }
+    }
+}
+
+impl<V: Value + WireSize> WireSize for RestrictedBundle<V> {
+    fn wire_bits(&self) -> u64 {
+        self.part.wire_bits() + self.directs.wire_bits() + self.proper.wire_bits()
+    }
 }
 
 impl<V: Value> RestrictedBundle<V> {
@@ -120,11 +146,35 @@ pub struct RestrictedAgreement<V> {
     decision: Option<V>,
 
     bcast: MultBroadcast<RestrictedPayload<V>>,
-    /// Cumulative witness table: `(payload, sr)` → identifier → the largest
-    /// α accepted from it. The witness count is the sum over identifiers.
-    witnesses: BTreeMap<(RestrictedPayload<V>, u64), BTreeMap<Id, u64>>,
+    /// Every distinct accepted payload, interned once — the witness table
+    /// keys on tokens so the per-round quorum probes never deep-compare
+    /// or clone payloads.
+    wit_intern: Interner<RestrictedPayload<V>>,
+    /// Cumulative witness table: `(payload token, sr)` → identifier → the
+    /// largest α accepted from it. The witness count is the sum over
+    /// identifiers.
+    witnesses: BTreeMap<(Tok, u64), BTreeMap<Id, u64>>,
     /// Lock values received from the leader identifier, per phase.
     leader_locks: BTreeMap<u64, BTreeSet<V>>,
+    /// The last bundle built, plus the fingerprints deciding whether it
+    /// can be re-sent as-is (the same incremental-bundle scheme as the
+    /// Figure 5 protocol).
+    send_cache: Option<SendCache<V>>,
+}
+
+/// The cached outgoing bundle and the state fingerprints it was built
+/// from.
+#[derive(Clone, Debug)]
+struct SendCache<V> {
+    bundle: Arc<RestrictedBundle<V>>,
+    /// [`MultBroadcast`] generation at build time.
+    generation: u64,
+    /// Proper-set size at build time (the proper set only grows).
+    proper_len: usize,
+    /// Only bundles with no `⟨init⟩` tuples and no directs may be
+    /// re-sent (echo tuples stay valid: their `R ≥ 2k` bound is
+    /// monotone in the round).
+    reusable: bool,
 }
 
 impl<V: Value> RestrictedAgreement<V> {
@@ -147,8 +197,10 @@ impl<V: Value> RestrictedAgreement<V> {
             locks: BTreeSet::new(),
             decision: None,
             bcast: MultBroadcast::new(n, t, id),
+            wit_intern: Interner::new(),
             witnesses: BTreeMap::new(),
             leader_locks: BTreeMap::new(),
+            send_cache: None,
             domain,
         }
     }
@@ -174,8 +226,9 @@ impl<V: Value> RestrictedAgreement<V> {
 
     /// The current number of witnesses for `(payload, sr)`.
     fn witness_count(&self, payload: &RestrictedPayload<V>, sr: u64) -> u64 {
-        self.witnesses
-            .get(&(payload.clone(), sr))
+        self.wit_intern
+            .get(payload)
+            .and_then(|tok| self.witnesses.get(&(tok, sr)))
             .map(|per_id| per_id.values().sum())
             .unwrap_or(0)
     }
@@ -217,9 +270,9 @@ impl<V: Value> RestrictedAgreement<V> {
             .locks
             .iter()
             .filter(|(v1, ph1)| {
-                self.witnesses.iter().any(|((payload, sr), per_id)| {
-                    matches!(payload, RestrictedPayload::Vote(v2) if v2 != v1)
-                        && *sr > 4 * ph1 + 2
+                self.witnesses.iter().any(|(&(tok, sr), per_id)| {
+                    matches!(self.wit_intern.resolve(tok), RestrictedPayload::Vote(v2) if v2 != v1)
+                        && sr > 4 * ph1 + 2
                         && per_id.values().sum::<u64>() >= quorum
                 })
             })
@@ -246,6 +299,13 @@ impl<V: Value> Protocol for RestrictedAgreement<V> {
     }
 
     fn send(&mut self, round: Round) -> Vec<(Recipients, RestrictedBundle<V>)> {
+        self.send_shared(round)
+            .into_iter()
+            .map(|(recipients, bundle)| (recipients, (*bundle).clone()))
+            .collect()
+    }
+
+    fn send_shared(&mut self, round: Round) -> Vec<(Recipients, Arc<RestrictedBundle<V>>)> {
         let PhasePos { ph, w } = phase_pos(round);
         let mut directs = BTreeSet::new();
 
@@ -306,27 +366,47 @@ impl<V: Value> Protocol for RestrictedAgreement<V> {
             _ => {}
         }
 
-        let bundle = RestrictedBundle {
-            part: self.bcast.part_to_send(round),
+        // Reuse the cached bundle when its content would be identical:
+        // no directs, no due inits, echo table and proper set untouched.
+        if directs.is_empty() && !self.bcast.init_due(round) {
+            if let Some(cache) = &self.send_cache {
+                if cache.reusable
+                    && cache.generation == self.bcast.generation()
+                    && cache.proper_len == self.proper.len()
+                {
+                    return vec![(Recipients::All, Arc::clone(&cache.bundle))];
+                }
+            }
+        }
+        let part = self.bcast.part_to_send(round);
+        let reusable = part.inits.is_empty() && directs.is_empty();
+        let bundle = Arc::new(RestrictedBundle {
+            part,
             directs,
             proper: self.proper.clone(),
-        };
+        });
+        self.send_cache = Some(SendCache {
+            bundle: Arc::clone(&bundle),
+            generation: self.bcast.generation(),
+            proper_len: self.proper.len(),
+            reusable,
+        });
         vec![(Recipients::All, bundle)]
     }
 
     fn receive(&mut self, round: Round, inbox: &Inbox<RestrictedBundle<V>>) {
         let PhasePos { ph, w } = phase_pos(round);
 
-        // Broadcast layer (numerate: multiplicities flow through).
+        // Broadcast layer (numerate: multiplicities flow through; no
+        // pointer-skip here — Figure 6 recomputes its thresholds from
+        // each round's support multiset, so every part must be scanned).
         let received: Vec<(Id, &MultPart<RestrictedPayload<V>>, u64)> = inbox
             .iter()
             .map(|(src, b, mult)| (src, &b.part, mult))
             .collect();
         for accept in self.bcast.observe(round, &received) {
-            let per_id = self
-                .witnesses
-                .entry((accept.payload, accept.sr))
-                .or_default();
+            let key = (self.wit_intern.intern(&accept.payload), accept.sr);
+            let per_id = self.witnesses.entry(key).or_default();
             let entry = per_id.entry(accept.src).or_insert(0);
             *entry = (*entry).max(accept.alpha);
         }
@@ -344,12 +424,18 @@ impl<V: Value> Protocol for RestrictedAgreement<V> {
                     .map(|&(c, _)| c)
                     .sum();
                 if support >= self.t as u64 + 1 {
-                    self.proper.insert(v.clone());
+                    if !self.proper.contains(v) {
+                        self.proper.insert(v.clone());
+                    }
                     reached = true;
                 }
             }
             if !reached && total >= 2 * self.t as u64 + 1 {
-                self.proper.extend(self.domain.values().iter().cloned());
+                for v in self.domain.values() {
+                    if !self.proper.contains(v) {
+                        self.proper.insert(v.clone());
+                    }
+                }
             }
         }
 
@@ -518,17 +604,18 @@ mod tests {
     #[test]
     fn witness_accumulation() {
         let mut p = RestrictedAgreement::new(4, 2, 1, Domain::binary(), Id::new(1), true);
-        let key = (RestrictedPayload::Propose(true), 0u64);
+        let payload = RestrictedPayload::Propose(true);
+        let key = (p.wit_intern.intern(&payload), 0u64);
         p.witnesses
-            .entry(key.clone())
+            .entry(key)
             .or_default()
             .extend([(Id::new(1), 2u64), (Id::new(2), 1u64)]);
-        assert_eq!(p.witness_count(&key.0, 0), 3);
+        assert_eq!(p.witness_count(&payload, 0), 3);
         // Max, not sum, per identifier.
         let per_id = p.witnesses.get_mut(&key).unwrap();
         let e = per_id.entry(Id::new(1)).or_insert(0);
         *e = (*e).max(1);
-        assert_eq!(p.witness_count(&key.0, 0), 3);
+        assert_eq!(p.witness_count(&payload, 0), 3);
     }
 
     #[test]
@@ -536,8 +623,9 @@ mod tests {
         let mut p = RestrictedAgreement::new(4, 2, 1, Domain::binary(), Id::new(1), true);
         p.locks.insert((true, 0));
         // n − t = 3 witnesses for ⟨vote false⟩ at superround 4·1 + 2 = 6.
+        let key = (p.wit_intern.intern(&RestrictedPayload::Vote(false)), 6);
         p.witnesses
-            .entry((RestrictedPayload::Vote(false), 6))
+            .entry(key)
             .or_default()
             .extend([(Id::new(1), 2u64), (Id::new(2), 1u64)]);
         p.release_locks();
@@ -549,13 +637,12 @@ mod tests {
         let mut p = RestrictedAgreement::new(4, 2, 1, Domain::binary(), Id::new(1), true);
         p.locks.insert((true, 2));
         // Same value, later phase: no release.
-        p.witnesses
-            .entry((RestrictedPayload::Vote(true), 14))
-            .or_default()
-            .insert(Id::new(1), 3);
+        let same = (p.wit_intern.intern(&RestrictedPayload::Vote(true)), 14);
+        p.witnesses.entry(same).or_default().insert(Id::new(1), 3);
         // Different value, earlier superround: no release.
+        let earlier = (p.wit_intern.intern(&RestrictedPayload::Vote(false)), 6);
         p.witnesses
-            .entry((RestrictedPayload::Vote(false), 6))
+            .entry(earlier)
             .or_default()
             .insert(Id::new(1), 3);
         p.release_locks();

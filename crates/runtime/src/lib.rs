@@ -35,7 +35,7 @@ use homonym_core::exec::{Executor, Sequential};
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
     ByzPower, Deliveries, DeliverySlots, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory,
-    Recipients, Round, SharedEnvelope, SystemConfig,
+    Recipients, Round, SharedEnvelope, SystemConfig, WireSize,
 };
 use homonym_sim::adversary::{AdvCtx, Adversary, Silent};
 use homonym_sim::shards::{ShardCore, ShardId, ShardReport, ShardSpec, ShardWire};
@@ -48,7 +48,7 @@ enum ToActor<M> {
 }
 
 enum FromActor<M, V> {
-    Sends(Pid, Vec<(Recipients, M)>),
+    Sends(Pid, Vec<(Recipients, Arc<M>)>),
     Received(Pid, Option<V>),
 }
 
@@ -166,7 +166,7 @@ where
                 while let Ok(msg) = to_rx.recv() {
                     match msg {
                         ToActor::Collect(round) => {
-                            let out = proc_.send(round);
+                            let out = proc_.send_shared(round);
                             from_tx
                                 .send(FromActor::Sends(pid, out))
                                 .expect("coordinator alive");
@@ -199,7 +199,7 @@ where
             for tx in to_actors.values() {
                 tx.send(ToActor::Collect(round)).expect("actor alive");
             }
-            let mut sends: BTreeMap<Pid, Vec<(Recipients, P::Msg)>> = BTreeMap::new();
+            let mut sends: BTreeMap<Pid, Vec<(Recipients, Arc<P::Msg>)>> = BTreeMap::new();
             for _ in 0..correct.len() {
                 match from_rx.recv().expect("actor alive") {
                     FromActor::Sends(pid, out) => {
@@ -210,8 +210,9 @@ where
             }
 
             // 2. Wires: correct then adversary (same order as the
-            //    simulator, for determinism parity). Each payload is
-            //    wrapped in an Arc once; recipients share the handle.
+            //    simulator, for determinism parity). Each payload arrives
+            //    as one shared handle per emission (the `send_shared`
+            //    seam); recipients share it.
             wires.clear();
             deliveries.clear();
             let mut addressed: BTreeSet<Pid> = BTreeSet::new();
@@ -219,7 +220,6 @@ where
                 let src_id = self.assignment.id_of(pid);
                 addressed.clear();
                 for (recipients, msg) in out {
-                    let msg = Arc::new(msg);
                     for to in recipients.expand(&self.assignment) {
                         assert!(
                             addressed.insert(to),
@@ -345,7 +345,7 @@ enum ToShardActor<P: Protocol> {
 }
 
 enum FromShardActor<M, V> {
-    Sends(usize, Pid, Vec<(Recipients, M)>),
+    Sends(usize, Pid, Vec<(Recipients, Arc<M>)>),
     Received(usize, Pid, Option<V>),
 }
 
@@ -453,7 +453,7 @@ struct ClusterShard<P: Protocol> {
     core: ShardCore<P>,
     txs: BTreeMap<Pid, Sender<ToShardActor<P>>>,
     /// This tick's collected sends, keyed by correct pid (phase 1a).
-    sends: BTreeMap<Pid, Vec<(Recipients, P::Msg)>>,
+    sends: BTreeMap<Pid, Vec<(Recipients, Arc<P::Msg>)>>,
     /// This tick's routed wires (reused across ticks, local coords).
     wires: Vec<ShardWire<P::Msg>>,
 }
@@ -469,7 +469,10 @@ impl<P: Protocol> ClusterShard<P> {
     /// The round does **not** advance here: the coordinator records the
     /// actors' decisions at the still-current round after every worker
     /// finishes, exactly as the sequential schedule did.
-    fn tick(&mut self, s: usize, slots: &mut DeliverySlots<'_, P::Msg>, measure_bits: bool) {
+    fn tick(&mut self, s: usize, slots: &mut DeliverySlots<'_, P::Msg>, measure_bits: bool)
+    where
+        P::Msg: WireSize,
+    {
         if !self.core.active {
             return;
         }
@@ -506,6 +509,7 @@ impl<P, E> ShardedCluster<P, E>
 where
     P: Protocol + Send + 'static,
     P::Value: Send,
+    P::Msg: WireSize,
     E: Executor,
 {
     /// Spawns one thread per process of every shard and runs global
@@ -560,7 +564,8 @@ where
                         match msg {
                             ToShardActor::Restart(p) => proc_ = Some(p),
                             ToShardActor::Collect(round) => {
-                                let out = proc_.as_mut().expect("actor restarted").send(round);
+                                let out =
+                                    proc_.as_mut().expect("actor restarted").send_shared(round);
                                 from_tx
                                     .send(FromShardActor::Sends(s, pid, out))
                                     .expect("coordinator alive");

@@ -310,11 +310,14 @@ impl<P: Protocol> Simulation<P> {
             let wires = &mut self.wires;
             let mut addressed: BTreeSet<Pid> = BTreeSet::new();
             for (&pid, proc_) in self.procs.iter_mut() {
-                let out = proc_.send(r);
+                // `send_shared` hands back one Arc per emission — a fresh
+                // wrap by default (the fabric's single wrap per emission),
+                // or the protocol's own cached bundle when nothing in it
+                // changed since last round.
+                let out = proc_.send_shared(r);
                 let src_id = assignment.id_of(pid);
                 addressed.clear();
                 for (recipients, msg) in out {
-                    let msg = Arc::new(msg); // the single wrap per emission
                     for to in recipients.expand(assignment) {
                         assert!(
                             addressed.insert(to),

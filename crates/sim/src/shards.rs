@@ -43,7 +43,7 @@ use homonym_core::exec::{Executor, Sequential};
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
     ByzPower, Deliveries, DeliverySlots, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory,
-    Recipients, Round, SharedEnvelope, SystemConfig,
+    Recipients, Round, SharedEnvelope, SystemConfig, WireSize,
 };
 
 use crate::adversary::{AdvCtx, Adversary, Silent};
@@ -287,16 +287,19 @@ impl<M: homonym_core::Message> ShardedTrace<M> {
     }
 }
 
-/// A wire-size estimate for one payload: 8 bits per byte of its `Debug`
-/// rendering.
+/// A wire-size estimate for one payload, via the structural
+/// [`WireSize`] trait (no `Debug` formatting, no allocation).
 ///
 /// The workspace has no serialization layer (messages never leave the
 /// process), so this is a *proxy* — stable, monotone in payload size, and
 /// computed **once per emission** (the `Arc` fan-out shares the number
 /// with every recipient), so measuring bits does not change the
-/// clone-count profile of the hot path.
-pub fn wire_bits<M: fmt::Debug>(msg: &M) -> u64 {
-    8 * format!("{msg:?}").len() as u64
+/// clone-count profile of the hot path. It used to be 8 bits per byte of
+/// the payload's `Debug` rendering; formatting a deep bundle per emission
+/// was measurable at K = 64 shards, so the estimate is structural now
+/// (the committed `BENCH_*.json` artifacts were regenerated).
+pub fn wire_bits<M: WireSize>(msg: &M) -> u64 {
+    msg.wire_bits()
 }
 
 /// One routed sharded message, in shard-local coordinates, carrying the
@@ -582,10 +585,12 @@ impl<P: Protocol> ShardCore<P> {
     /// wires in `wires` (cleared first, allocation reused), each
     /// carrying one shared handle per emission.
     ///
-    /// `send_of` supplies each correct process's outgoing messages: the
-    /// lock-step engine calls the automaton directly, the threaded
-    /// cluster drains the sends its actors already produced. Keeping the
-    /// loop here means the double-addressing assert and the
+    /// `send_of` supplies each correct process's outgoing messages as
+    /// shared handles (the [`Protocol::send_shared`] seam — a fresh wrap
+    /// per emission by default, a protocol-cached bundle when nothing
+    /// changed): the lock-step engine calls the automaton directly, the
+    /// threaded cluster drains the sends its actors already produced.
+    /// Keeping the loop here means the double-addressing assert and the
     /// restricted-Byzantine clamp exist in exactly one place, so the
     /// engines cannot drift.
     ///
@@ -598,8 +603,10 @@ impl<P: Protocol> ShardCore<P> {
         shard: ShardId,
         wires: &mut Vec<ShardWire<P::Msg>>,
         measure_bits: bool,
-        mut send_of: impl FnMut(Pid, Round) -> Vec<(Recipients, P::Msg)>,
-    ) {
+        mut send_of: impl FnMut(Pid, Round) -> Vec<(Recipients, Arc<P::Msg>)>,
+    ) where
+        P::Msg: WireSize,
+    {
         wires.clear();
         let r = self.round;
         let mut addressed: BTreeSet<Pid> = BTreeSet::new();
@@ -608,7 +615,6 @@ impl<P: Protocol> ShardCore<P> {
             let src = self.assignment.id_of(pid);
             addressed.clear();
             for (recipients, msg) in out {
-                let msg = Arc::new(msg); // the single wrap per emission
                 let bits = if measure_bits { wire_bits(&*msg) } else { 0 };
                 for to in recipients.expand(&self.assignment) {
                     assert!(
@@ -761,20 +767,22 @@ impl<P: Protocol> SimShard<P> {
         tick: u64,
         measure_bits: bool,
         record_trace: bool,
-    ) {
+    ) where
+        P::Msg: WireSize,
+    {
         let shard = ShardId(s);
         if self.core.active {
             slots.clear();
 
             // Phase 1 — sends become wires; the automata live here, so
-            // the engine hands the core a direct `send` callback.
+            // the engine hands the core a direct `send_shared` callback.
             let procs = &mut self.procs;
             self.core
                 .build_wires(shard, &mut self.wires, measure_bits, |pid, r| {
                     procs
                         .get_mut(&pid)
                         .expect("correct automaton spawned")
-                        .send(r)
+                        .send_shared(r)
                 });
 
             // Phase 2 — route into this shard's slot range (tracing into
@@ -979,6 +987,7 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
     pub fn step(&mut self)
     where
         P: Send,
+        P::Msg: WireSize,
     {
         let tick = self.tick;
         let measure_bits = self.measure_bits;
@@ -1012,6 +1021,7 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
     pub fn run(&mut self, max_ticks: u64) -> Vec<ShardReport<P::Value>>
     where
         P: Send,
+        P::Msg: WireSize,
     {
         while self.tick < max_ticks && !self.all_idle() {
             self.step();
@@ -1151,9 +1161,9 @@ mod tests {
         );
         let reports = with_bits.run(4);
         let shot = &reports[0].shots[0];
-        // 2 non-self messages: "3" and "4", one byte of Debug each.
-        assert_eq!(shot.bits_sent, Some(16));
-        assert_eq!(reports[0].bits_sent(), Some(16));
+        // 2 non-self messages, 32 structural bits per u32 payload.
+        assert_eq!(shot.bits_sent, Some(64));
+        assert_eq!(reports[0].bits_sent(), Some(64));
 
         let mut without = ShardedSimulation::new();
         without.add_shard(
@@ -1235,6 +1245,12 @@ mod tests {
             fn clone(&self) -> Self {
                 CLONES.fetch_add(1, Ordering::Relaxed);
                 Counted(self.0)
+            }
+        }
+
+        impl WireSize for Counted {
+            fn wire_bits(&self) -> u64 {
+                32
             }
         }
 

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use homonym_classic::SyncBa;
-use homonym_core::{Id, Inbox, Protocol, ProtocolFactory, Recipients, Round};
+use homonym_core::{Id, Inbox, Protocol, ProtocolFactory, Recipients, Round, WireSize};
 
 /// The phase-relative position of a round: each phase of `T(A)` is three
 /// rounds.
@@ -42,6 +42,16 @@ pub enum TransformerMsg<S, M, V> {
 /// The concrete wire type of `T(A)` for a given algorithm `A`.
 pub type TransformerMsgOf<A> =
     TransformerMsg<<A as SyncBa>::State, <A as SyncBa>::Msg, <A as SyncBa>::Value>;
+
+impl<S: WireSize, M: WireSize, V: WireSize> WireSize for TransformerMsg<S, M, V> {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            TransformerMsg::State(s) => s.wire_bits(),
+            TransformerMsg::Decide(d) => d.wire_bits(),
+            TransformerMsg::Run(m) => m.wire_bits(),
+        }
+    }
+}
 
 /// One homonym process running `T(A)` (Figure 3).
 ///

@@ -20,7 +20,7 @@ use homonyms::core::exec::{Executor, Pool, Sequential};
 use homonyms::core::Pid;
 use homonyms::core::{
     Counting, Domain, Envelope, FnFactory, Id, IdAssignment, Inbox, Message, Protocol,
-    ProtocolFactory, Recipients, Round, Synchrony, SystemConfig,
+    ProtocolFactory, Recipients, Round, Synchrony, SystemConfig, WireSize,
 };
 use homonyms::psync::{AgreementFactory, Bundle, HomonymAgreement};
 use homonyms::sim::adversary::Silent;
@@ -34,6 +34,15 @@ use homonyms::sync::{Transformed, TransformedFactory, TransformerMsgOf};
 enum MixedMsg {
     Sync(TransformerMsgOf<Eig<bool>>),
     Psync(Bundle<bool>),
+}
+
+impl WireSize for MixedMsg {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            MixedMsg::Sync(m) => m.wire_bits(),
+            MixedMsg::Psync(m) => m.wire_bits(),
+        }
+    }
 }
 
 /// A process of the mixed fleet: a `T(EIG)` automaton or a Figure 5 one
