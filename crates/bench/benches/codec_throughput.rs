@@ -1,0 +1,122 @@
+//! Codec throughput — encode/decode MB/s of the zero-copy wire codec on
+//! real Figure 5 bundles at n ∈ {32, 128}.
+//!
+//! The corpus is every bundle a clean Figure 5 run emits
+//! ([`fig5_wire_bundles`]), so the numbers reflect the wire values the
+//! engines actually frame: init-bearing early bundles, echo-heavy
+//! mid-run bundles, and small steady-state bundles. Each sample is
+//! round-tripped once up front to assert `decode(encode(b)) == b` before
+//! any timing runs.
+//!
+//! Besides the criterion timing loop, the bench writes machine-readable
+//! results to `BENCH_codec.json`, which CI uploads alongside the other
+//! snapshots. Pass `--quick` (CI does) to trim the series to n = 32.
+
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion};
+use homonym_bench::fig5_wire_bundles;
+use homonym_bench::json::{write_bench_json, Value};
+use homonym_core::codec::{decode_frame, encode_frame};
+use homonym_psync::Bundle;
+
+const NS_FULL: [usize; 2] = [32, 128];
+const NS_QUICK: [usize; 1] = [32];
+
+/// Encodes every bundle of the corpus, returning the frames.
+fn encode_all(bundles: &[std::sync::Arc<Bundle<bool>>]) -> Vec<Vec<u8>> {
+    bundles.iter().map(|b| encode_frame(&**b)).collect()
+}
+
+/// Decodes every frame of the corpus, returning the bundle count (a
+/// cheap value the optimizer cannot elide the decodes behind).
+fn decode_all(frames: &[Vec<u8>]) -> usize {
+    frames
+        .iter()
+        .map(|f| {
+            let b: Bundle<bool> = decode_frame(f).expect("own frames must decode");
+            std::hint::black_box(&b);
+        })
+        .count()
+}
+
+fn bench(c: &mut Criterion, ns: &[usize]) {
+    let mut group = c.benchmark_group("codec_throughput");
+    group.sample_size(10);
+    for &n in ns {
+        let bundles = fig5_wire_bundles(n);
+        let frames = encode_all(&bundles);
+        group.bench_with_input(
+            BenchmarkId::new("encode_bundle", format!("n{n}")),
+            &n,
+            |b, _| b.iter(|| encode_all(&bundles).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_bundle", format!("n{n}")),
+            &n,
+            |b, _| b.iter(|| decode_all(&frames)),
+        );
+    }
+    group.finish();
+}
+
+/// One instrumented pass over the corpus for the JSON artifact.
+fn measure(n: usize) -> Value {
+    let bundles = fig5_wire_bundles(n);
+
+    // Round-trip identity on the whole corpus before timing anything.
+    for b in &bundles {
+        let back: Bundle<bool> = decode_frame(&encode_frame(&**b)).expect("frame must decode");
+        assert_eq!(back, **b, "decode(encode(b)) == b at n={n}");
+    }
+
+    let start = Instant::now();
+    let frames = encode_all(&bundles);
+    let encode_ns = start.elapsed().as_nanos() as i64;
+    let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+
+    let start = Instant::now();
+    let decoded = decode_all(&frames);
+    let decode_ns = start.elapsed().as_nanos() as i64;
+    assert_eq!(decoded, bundles.len());
+
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+    Value::obj([
+        ("n", Value::Int(n as i64)),
+        ("bundles", Value::Int(bundles.len() as i64)),
+        ("bytes", Value::Int(bytes as i64)),
+        (
+            "bytes_per_bundle",
+            Value::Num(bytes as f64 / bundles.len().max(1) as f64),
+        ),
+        ("encode_ns", Value::Int(encode_ns)),
+        ("decode_ns", Value::Int(decode_ns)),
+        (
+            "encode_mb_per_sec",
+            Value::Num(mb / (encode_ns as f64 / 1e9)),
+        ),
+        (
+            "decode_mb_per_sec",
+            Value::Num(mb / (decode_ns as f64 / 1e9)),
+        ),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ns: &[usize] = if quick { &NS_QUICK } else { &NS_FULL };
+
+    let mut c = Criterion::default();
+    bench(&mut c, ns);
+
+    let series = ns.iter().map(|&n| measure(n)).collect();
+    let doc = Value::obj([
+        ("bench", Value::str("codec_throughput")),
+        ("mode", Value::str(if quick { "quick" } else { "full" })),
+        ("series", Value::Arr(series)),
+    ]);
+    match write_bench_json("codec", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_codec.json: {e}"),
+    }
+}

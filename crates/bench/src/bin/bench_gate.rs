@@ -1,16 +1,20 @@
 //! The CI hot-path guardrail: compares a freshly generated
 //! `BENCH_fabric.json` against the committed snapshot and **fails**
-//! (exit 1) if any `psync_fig5` series point regressed in
-//! `messages_per_sec` by more than the allowed fraction.
+//! (exit 1) if any gated series point regressed in `messages_per_sec`
+//! by more than the allowed fraction.
 //!
 //! Usage:
 //!
 //! ```text
 //! bench_gate --baseline <committed BENCH_fabric.json> \
 //!            --current  <fresh BENCH_fabric.json> \
-//!            [--protocol psync_fig5] [--max-regression 0.30] \
+//!            [--protocol psync_fig5[,sync_t_eig,...]] \
+//!            [--max-regression 0.30] \
 //!            [--reference sync_t_eig]
 //! ```
+//!
+//! `--protocol` takes a comma-separated list; every listed series is
+//! gated independently and any regression fails the run.
 //!
 //! Only `n` values present in **both** files are compared (the committed
 //! snapshot is full-mode, CI runs quick mode). Because the committed
@@ -70,7 +74,16 @@ fn main() -> ExitCode {
     };
     let baseline_path = arg_after("--baseline").expect("--baseline <file> required");
     let current_path = arg_after("--current").expect("--current <file> required");
-    let protocol = arg_after("--protocol").unwrap_or("psync_fig5");
+    let protocols: Vec<&str> = arg_after("--protocol")
+        .unwrap_or("psync_fig5")
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect();
+    assert!(
+        !protocols.is_empty(),
+        "--protocol lists at least one series"
+    );
     let reference = arg_after("--reference").unwrap_or("sync_t_eig");
     let max_regression: f64 = arg_after("--max-regression")
         .unwrap_or("0.30")
@@ -103,48 +116,57 @@ fn main() -> ExitCode {
         }
     };
 
-    let baseline = series_points(baseline_path, protocol);
-    let current = series_points(current_path, protocol);
-    if baseline.is_empty() || current.is_empty() {
-        eprintln!(
-            "bench_gate: no '{protocol}' points found (baseline: {}, current: {})",
-            baseline.len(),
-            current.len()
-        );
-        return ExitCode::FAILURE;
-    }
+    let mut total_compared = 0;
+    let mut failed_protocols: Vec<&str> = Vec::new();
+    for protocol in &protocols {
+        let baseline = series_points(baseline_path, protocol);
+        let current = series_points(current_path, protocol);
+        if baseline.is_empty() || current.is_empty() {
+            eprintln!(
+                "bench_gate: no '{protocol}' points found (baseline: {}, current: {})",
+                baseline.len(),
+                current.len()
+            );
+            return ExitCode::FAILURE;
+        }
 
-    let mut compared = 0;
-    let mut failed = false;
-    for (n, &base_rate) in &baseline {
-        let Some(&cur_rate) = current.get(n) else {
-            continue; // quick mode trims the series; compare the overlap
-        };
-        compared += 1;
-        let floor = base_rate * scale * (1.0 - max_regression);
-        let verdict = if cur_rate < floor {
-            failed = true;
-            "REGRESSED"
-        } else {
-            "ok"
-        };
-        println!(
-            "{protocol} n={n}: baseline {base_rate:.0} msgs/s, current {cur_rate:.0} msgs/s \
-             (machine-normalized floor {floor:.0}) — {verdict}"
-        );
+        let mut compared = 0;
+        let mut failed = false;
+        for (n, &base_rate) in &baseline {
+            let Some(&cur_rate) = current.get(n) else {
+                continue; // quick mode trims the series; compare the overlap
+            };
+            compared += 1;
+            let floor = base_rate * scale * (1.0 - max_regression);
+            let verdict = if cur_rate < floor {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{protocol} n={n}: baseline {base_rate:.0} msgs/s, current {cur_rate:.0} msgs/s \
+                 (machine-normalized floor {floor:.0}) — {verdict}"
+            );
+        }
+        if compared == 0 {
+            eprintln!("bench_gate: baseline and current share no '{protocol}' points");
+            return ExitCode::FAILURE;
+        }
+        total_compared += compared;
+        if failed {
+            failed_protocols.push(protocol);
+        }
     }
-    if compared == 0 {
-        eprintln!("bench_gate: baseline and current share no '{protocol}' points");
-        return ExitCode::FAILURE;
-    }
-    if failed {
+    if !failed_protocols.is_empty() {
         eprintln!(
-            "bench_gate: {protocol} regressed more than {:.0}% — the bundle path \
+            "bench_gate: {} regressed more than {:.0}% — the gated path \
              got slower; see the comparison above",
+            failed_protocols.join(", "),
             max_regression * 100.0
         );
         return ExitCode::FAILURE;
     }
-    println!("bench_gate: {compared} point(s) within budget");
+    println!("bench_gate: {total_compared} point(s) within budget");
     ExitCode::SUCCESS
 }

@@ -18,16 +18,23 @@
 //!      the same `measure_sharded` series `BENCH_shards.json` records
 //!  13. Bundle path — Figure 5 hot-path throughput with per-round timing
 //!      (E20), the same psync_fig5 series `BENCH_fabric.json` records
+//!  14. Exact vs. estimated wire bits — the codec's exact frame sizes
+//!      against the retired `WireSize` structural estimate on the
+//!      Figure 5 workload, auditing the `bits_sent` series the
+//!      arXiv:2311.08060 quadratic-cost reproduction rests on
 //!
 //! EXPERIMENTS.md archives this output next to the paper's claims.
 
 use homonym_bench::json::{write_bench_json, Value};
 use homonym_bench::{
-    cell_line, decided_round_value, fig5_factory, fig7_factory, measure_sharded, psync_cfg,
-    restricted_cfg, run_fig5, run_fig5_known_bound, run_fig5_unknown_bound, run_fig7,
+    cell_line, decided_round_value, fig5_factory, fig5_wire_bundles, fig7_factory, measure_sharded,
+    psync_cfg, restricted_cfg, run_fig5, run_fig5_known_bound, run_fig5_unknown_bound, run_fig7,
     run_sharded_fig5, run_sharded_t_eig, run_t_eig_clean, suite_fig5, suite_fig7, suite_t_eig,
     sync_cfg,
 };
+use homonym_core::codec;
+#[allow(deprecated)]
+use homonym_core::WireSize;
 use homonym_core::{
     bounds, ByzPower, Counting, Domain, IdAssignment, Pid, Synchrony, SystemConfig,
 };
@@ -619,6 +626,46 @@ fn bundle_path() -> Value {
     Value::Arr(series)
 }
 
+fn exact_vs_estimate() -> Value {
+    section("Exact vs. estimated wire bits — Figure 5 workload (§14)");
+    println!(
+        "(every bundle of a clean Figure 5 run; exact frame bits from the codec vs. the \
+         retired WireSize structural estimate — the bits_sent series behind the \
+         arXiv:2311.08060 quadratic-cost reproduction is now the exact column)"
+    );
+    println!(
+        "{:>4} | {:>4} | {:>8} | {:>14} | {:>14} | {:>14}",
+        "n", "ell", "bundles", "exact_bits", "estimate_bits", "estimate/exact"
+    );
+    let mut series = Vec::new();
+    for n in [32usize, 64] {
+        let ell = n / 2 + 2;
+        let bundles = fig5_wire_bundles(n);
+        let exact: u64 = bundles.iter().map(|b| codec::frame_bits(&**b)).sum();
+        #[allow(deprecated)]
+        let estimate: u64 = bundles.iter().map(|b| b.wire_bits()).sum();
+        let ratio = estimate as f64 / exact as f64;
+        println!(
+            "{n:>4} | {ell:>4} | {:>8} | {exact:>14} | {estimate:>14} | {ratio:>14.3}",
+            bundles.len()
+        );
+        series.push(Value::obj([
+            ("n", Value::Int(n as i64)),
+            ("ell", Value::Int(ell as i64)),
+            ("t", Value::Int(1)),
+            ("bundles", Value::Int(bundles.len() as i64)),
+            ("exact_bits", Value::Int(exact as i64)),
+            ("estimate_bits", Value::Int(estimate as i64)),
+            ("estimate_over_exact", Value::Num(ratio)),
+            (
+                "exact_bits_per_bundle",
+                Value::Num(exact as f64 / bundles.len().max(1) as f64),
+            ),
+        ]));
+    }
+    Value::Arr(series)
+}
+
 fn headline() {
     section("Headline — more correct processes can break agreement");
     let four = psync_cfg(4, 4, 1);
@@ -646,6 +693,7 @@ fn main() {
     let complexity = complexity_study();
     let shard_series = shard_throughput();
     let bundle_series = bundle_path();
+    let wire_audit = exact_vs_estimate();
     headline();
 
     let doc = Value::obj([
@@ -656,6 +704,7 @@ fn main() {
         ("complexity_study", complexity),
         ("shard_throughput", shard_series),
         ("bundle_path", bundle_series),
+        ("exact_vs_estimate", wire_audit),
     ]);
     match write_bench_json("paper_report", &doc) {
         Ok(path) => println!("\nwrote {}", path.display()),

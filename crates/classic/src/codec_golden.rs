@@ -1,0 +1,35 @@
+//! Golden byte-vector tests pinning the wire format of the classic
+//! synchronous message types (format version 1, the single leading byte
+//! of each frame). Breaking any of these vectors is a wire-format break:
+//! bump `FORMAT_VERSION` in `homonym_core::codec` and regenerate.
+
+use std::collections::BTreeMap;
+
+use homonym_core::codec::encode_frame;
+use homonym_core::{Domain, Id};
+
+use crate::eig::{Eig, EigMsg};
+use crate::interface::SyncBa;
+use crate::phase_king::{PhaseKing, PhaseKingMsg};
+
+#[test]
+fn golden_eig_vectors() {
+    let msg: EigMsg<bool> = BTreeMap::from([(vec![], true), (vec![Id::new(2)], false)]);
+    assert_eq!(encode_frame(&msg), vec![1, 2, 0, 1, 1, 2, 0]);
+
+    // The deterministic initial state of identifier 1 proposing `true`:
+    // a one-node tree (root) and no decision.
+    let eig = Eig::new(4, 1, Domain::binary());
+    let state = eig.init(Id::new(1), true);
+    assert_eq!(encode_frame(&state), vec![1, 1, 1, 0, 1, 0]);
+}
+
+#[test]
+fn golden_phase_king_vectors() {
+    assert_eq!(encode_frame(&PhaseKingMsg::King(true)), vec![1, 1, 1]);
+
+    // The deterministic initial state of identifier 2 proposing `false`.
+    let pk = PhaseKing::new(5, 1, Domain::binary());
+    let state = pk.init(Id::new(2), false);
+    assert_eq!(encode_frame(&state), vec![1, 2, 0, 0, 0]);
+}

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use homonym_core::codec::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 use homonym_core::{Domain, Id, Value, WireSize};
 
 use crate::interface::SyncBa;
@@ -67,6 +68,24 @@ pub type EigMsg<V> = BTreeMap<Path, V>;
 impl<V: Value + WireSize> WireSize for EigState<V> {
     fn wire_bits(&self) -> u64 {
         self.id.wire_bits() + self.tree.wire_bits() + self.decided.wire_bits()
+    }
+}
+
+impl<V: Value + WireEncode> WireEncode for EigState<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.tree.encode(w);
+        self.decided.encode(w);
+    }
+}
+
+impl<V: Value + WireDecode> WireDecode for EigState<V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(EigState {
+            id: Id::decode(r)?,
+            tree: BTreeMap::decode(r)?,
+            decided: Option::decode(r)?,
+        })
     }
 }
 
@@ -509,6 +528,36 @@ mod proptests {
             let v1 = algo.resolve(&s, &Vec::new());
             let v2 = algo.resolve(&s, &Vec::new());
             prop_assert_eq!(v1, v2);
+        }
+
+        /// `decode(encode(m)) == m` for arbitrary (even malformed) EIG
+        /// messages.
+        #[test]
+        fn eig_msg_roundtrips(msg in arb_msg()) {
+            let frame = homonym_core::codec::encode_frame(&msg);
+            let back: EigMsg<bool> =
+                homonym_core::codec::decode_frame(&frame).expect("own frames must decode");
+            prop_assert_eq!(back, msg);
+        }
+
+        /// `decode(encode(s)) == s` for EIG states with arbitrary trees
+        /// and decision status.
+        #[test]
+        fn eig_state_roundtrips(
+            raw_id in 1u16..=6,
+            tree in arb_msg(),
+            decided in any::<bool>(),
+            decision in any::<bool>(),
+        ) {
+            let state = EigState {
+                id: Id::new(raw_id),
+                tree,
+                decided: decided.then_some(decision),
+            };
+            let frame = homonym_core::codec::encode_frame(&state);
+            let back: EigState<bool> =
+                homonym_core::codec::decode_frame(&frame).expect("own frames must decode");
+            prop_assert_eq!(back, state);
         }
     }
 }

@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+#[cfg(test)]
+mod codec_golden;
 mod eig;
 mod interface;
 mod phase_king;

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use homonym_core::codec::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 use homonym_core::{Domain, Id, Value, WireSize};
 
 use crate::interface::SyncBa;
@@ -76,6 +77,54 @@ impl<V: Value + WireSize> WireSize for PhaseKingState<V> {
             + self.pref.wire_bits()
             + self.maj.wire_bits()
             + self.decided.wire_bits()
+    }
+}
+
+impl<V: Value + WireEncode> WireEncode for PhaseKingMsg<V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            PhaseKingMsg::Pref(v) => {
+                w.put_u8(0);
+                v.encode(w);
+            }
+            PhaseKingMsg::King(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<V: Value + WireDecode> WireDecode for PhaseKingMsg<V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take_u8()? {
+            0 => Ok(PhaseKingMsg::Pref(V::decode(r)?)),
+            1 => Ok(PhaseKingMsg::King(V::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "PhaseKingMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Value + WireEncode> WireEncode for PhaseKingState<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.pref.encode(w);
+        self.maj.encode(w);
+        self.decided.encode(w);
+    }
+}
+
+impl<V: Value + WireDecode> WireDecode for PhaseKingState<V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PhaseKingState {
+            id: Id::decode(r)?,
+            pref: V::decode(r)?,
+            maj: Option::decode(r)?,
+            decided: Option::decode(r)?,
+        })
     }
 }
 
@@ -349,5 +398,52 @@ mod tests {
         assert!(d.is_some());
         let s2 = algo.transition(&s, 11, &BTreeMap::new());
         assert_eq!(algo.decide(&s2), d);
+    }
+}
+
+#[cfg(test)]
+mod codec_proptests {
+    use super::*;
+    use homonym_core::codec::{decode_frame, encode_frame};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// `decode(encode(m)) == m` for phase-king wire messages.
+        #[test]
+        fn phase_king_msg_roundtrips(king in any::<bool>(), v in any::<bool>()) {
+            let msg = if king {
+                PhaseKingMsg::King(v)
+            } else {
+                PhaseKingMsg::Pref(v)
+            };
+            let back: PhaseKingMsg<bool> =
+                decode_frame(&encode_frame(&msg)).expect("own frames must decode");
+            prop_assert_eq!(back, msg);
+        }
+
+        /// `decode(encode(s)) == s` for phase-king states across the
+        /// whole `(pref, maj, decided)` shape space.
+        #[test]
+        fn phase_king_state_roundtrips(
+            raw_id in 1u16..=6,
+            pref in any::<bool>(),
+            maj in any::<bool>(),
+            maj_v in any::<bool>(),
+            mult in 0usize..7,
+            decided in any::<bool>(),
+            decision in any::<bool>(),
+        ) {
+            let state = PhaseKingState {
+                id: Id::new(raw_id),
+                pref,
+                maj: maj.then_some((maj_v, mult)),
+                decided: decided.then_some(decision),
+            };
+            let back: PhaseKingState<bool> =
+                decode_frame(&encode_frame(&state)).expect("own frames must decode");
+            prop_assert_eq!(back, state);
+        }
     }
 }

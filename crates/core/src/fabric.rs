@@ -12,11 +12,14 @@
 //! by dense [`Pid`] index (a `Vec`, not a `BTreeMap`) that an engine keeps
 //! across rounds and `clear()`s instead of reallocating.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::config::Counting;
 use crate::id::{Id, Pid};
+use crate::intern::{Interner, Tok};
 use crate::message::{Envelope, Inbox, Message};
 
 /// A received message whose payload is shared with every other recipient:
@@ -26,12 +29,28 @@ use crate::message::{Envelope, Inbox, Message};
 /// Cloning a `SharedEnvelope` bumps a reference count; it never clones the
 /// payload. [`Envelope`] remains the owned view protocols and tests build
 /// by hand — `SharedEnvelope::from` lifts one into the fabric.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// An envelope may additionally carry a *frame token* — the payload's
+/// dense [`Tok`] under the sending engine's [`FrameInterner`]. The token
+/// is a routing hint, not part of the message: it is excluded from
+/// equality, ordering, hashing, and `Debug` (the manual impls below), so
+/// traces, golden digests, and inbox contents are exactly those of
+/// `(src, msg)`. Its sole consumer is
+/// [`Inbox::collect_shared`](crate::Inbox::collect_shared), which groups
+/// token-equal homonym duplicates with a cheap `(Id, Tok)` comparison
+/// instead of a deep structural walk per delivery.
+#[derive(Clone)]
 pub struct SharedEnvelope<M> {
     /// The sender's authenticated identifier.
     pub src: Id,
     /// The shared payload.
     pub msg: Arc<M>,
+    /// The payload's frame token under the emitting engine's
+    /// [`FrameInterner`], if the delivery path framed it. Tokens are only
+    /// meaningful within one engine's delivery plane; envelopes that
+    /// cross engines (tests, hand-built fixtures) carry `None` and take
+    /// the structural dedup path.
+    pub tok: Option<Tok>,
 }
 
 impl<M> SharedEnvelope<M> {
@@ -40,12 +59,57 @@ impl<M> SharedEnvelope<M> {
         SharedEnvelope {
             src,
             msg: Arc::new(msg),
+            tok: None,
         }
     }
 
     /// Shares an already-wrapped payload (reference-count bump only).
     pub fn shared(src: Id, msg: Arc<M>) -> Self {
-        SharedEnvelope { src, msg }
+        SharedEnvelope {
+            src,
+            msg,
+            tok: None,
+        }
+    }
+
+    /// Shares an already-wrapped payload together with its frame token
+    /// under the emitting engine's [`FrameInterner`].
+    pub fn framed(src: Id, msg: Arc<M>, tok: Tok) -> Self {
+        SharedEnvelope {
+            src,
+            msg,
+            tok: Some(tok),
+        }
+    }
+}
+
+// The frame token is transport metadata: identity is `(src, msg)` alone,
+// so envelopes compare, order, and hash exactly as they did before tokens
+// existed (golden digests and trace orderings are unchanged).
+impl<M: PartialEq> PartialEq for SharedEnvelope<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.src, &self.msg) == (other.src, &other.msg)
+    }
+}
+
+impl<M: Eq> Eq for SharedEnvelope<M> {}
+
+impl<M: Ord> PartialOrd for SharedEnvelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M: Ord> Ord for SharedEnvelope<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.src, &self.msg).cmp(&(other.src, &other.msg))
+    }
+}
+
+impl<M: Hash> Hash for SharedEnvelope<M> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.src.hash(state);
+        self.msg.hash(state);
     }
 }
 
@@ -58,6 +122,82 @@ impl<M> From<Envelope<M>> for SharedEnvelope<M> {
 impl<M: fmt::Debug> fmt::Debug for SharedEnvelope<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:?} from id {}", self.msg, self.src)
+    }
+}
+
+/// The per-engine payload interner behind token-framed delivery.
+///
+/// An engine keeps one `FrameInterner` per delivery plane for the
+/// lifetime of a run and asks it for the [`Tok`] of each emission once —
+/// every recipient's envelope then carries the same token, and
+/// [`Inbox::collect_shared`](crate::Inbox::collect_shared) groups
+/// content-equal homonym duplicates by `(Id, Tok)` instead of deep
+/// payload walks. Correctness never depends on the tokens (the inbox
+/// merge stays content-keyed); only the dedup cost does.
+///
+/// Interned payloads are retained for the run (an [`Interner`] never
+/// evicts) — bounded by *distinct* emissions, which the send caches and
+/// `Arc` reuse of the protocol layer keep far below total emissions. The
+/// retention is also what makes the pointer memo sound: a memoized
+/// `Arc` address can never be recycled while its entry exists, because
+/// the interner itself holds that allocation alive.
+pub struct FrameInterner<M> {
+    interner: Interner<M>,
+    /// `Arc` address → token, **only** for Arcs the interner itself
+    /// retains (first-seen handles). Re-sending the same handle — the
+    /// protocol send-cache fast path — resolves with no payload
+    /// comparison at all.
+    memo: BTreeMap<usize, Tok>,
+}
+
+impl<M: Clone + Ord> FrameInterner<M> {
+    /// An empty interner.
+    pub fn new() -> Self {
+        FrameInterner {
+            interner: Interner::new(),
+            memo: BTreeMap::new(),
+        }
+    }
+
+    /// The frame token for one emission's payload, interning it on first
+    /// sight (an `Arc` clone, never a payload clone).
+    pub fn tok_for(&mut self, msg: &Arc<M>) -> Tok {
+        let ptr = Arc::as_ptr(msg) as usize;
+        if let Some(&tok) = self.memo.get(&ptr) {
+            return tok;
+        }
+        let tok = self.interner.intern_shared(msg);
+        // Memoize only when the interner retained THIS allocation (the
+        // first handle of its content): retained Arcs never drop, so the
+        // address cannot be reused and the memo entry stays valid.
+        if Arc::ptr_eq(msg, self.interner.resolve_shared(tok)) {
+            self.memo.insert(ptr, tok);
+        }
+        tok
+    }
+
+    /// Number of distinct payloads framed so far.
+    pub fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Whether nothing has been framed yet.
+    pub fn is_empty(&self) -> bool {
+        self.interner.is_empty()
+    }
+}
+
+impl<M: Clone + Ord> Default for FrameInterner<M> {
+    fn default() -> Self {
+        FrameInterner::new()
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for FrameInterner<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameInterner")
+            .field("interner", &self.interner)
+            .finish()
     }
 }
 
@@ -397,6 +537,31 @@ mod tests {
         view.push(Pid::new(2), env(1, "y"));
         view.clear();
         assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn frame_tokens_are_stable_and_memoized() {
+        let mut frames: FrameInterner<String> = FrameInterner::new();
+        let a = Arc::new("alpha".to_string());
+        let a2 = Arc::new("alpha".to_string()); // content-equal, distinct alloc
+        let b = Arc::new("beta".to_string());
+        let ta = frames.tok_for(&a);
+        assert_eq!(frames.tok_for(&a), ta, "same handle, same token");
+        assert_eq!(frames.tok_for(&a2), ta, "equal content, same token");
+        assert_ne!(frames.tok_for(&b), ta);
+        assert_eq!(frames.len(), 2);
+    }
+
+    #[test]
+    fn tok_is_excluded_from_envelope_identity() {
+        let payload = Arc::new("m".to_string());
+        let plain = SharedEnvelope::shared(Id::new(1), Arc::clone(&payload));
+        let framed = SharedEnvelope::framed(Id::new(1), Arc::clone(&payload), 7);
+        let other = SharedEnvelope::framed(Id::new(1), Arc::clone(&payload), 8);
+        assert_eq!(plain, framed);
+        assert_eq!(framed, other);
+        assert_eq!(plain.cmp(&framed), std::cmp::Ordering::Equal);
+        assert_eq!(format!("{plain:?}"), format!("{framed:?}"));
     }
 
     #[test]

@@ -23,8 +23,12 @@
 //!   out with,
 //! * [`intern`] — the payload [`Interner`] and identifier bitset
 //!   ([`IdBits`]) the hot protocol paths key their evidence tables with,
-//! * [`WireSize`] — cheap structural wire-size estimates for the
-//!   message/bit-cost instrumentation,
+//! * [`codec`] — the exact binary wire codec ([`WireEncode`] /
+//!   [`WireDecode`]) behind the message/bit-cost instrumentation and the
+//!   token-framed delivery path,
+//! * [`WireSize`] — the *deprecated* structural wire-size estimate the
+//!   codec replaced (kept for the estimate-vs-exact comparison in
+//!   `paper_report`),
 //! * [`bounds`] — the Table 1 solvability characterization,
 //! * [`spec`] — the Byzantine agreement properties (validity, agreement,
 //!   termination) and trace-level checkers.
@@ -49,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+pub mod codec;
 mod config;
 mod error;
 pub mod exec;
@@ -61,10 +66,11 @@ pub mod spec;
 mod value;
 mod wire;
 
+pub use codec::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 pub use config::{ByzPower, Counting, Synchrony, SystemConfig, SystemConfigBuilder};
 pub use error::{AssignmentError, ConfigError};
 pub use exec::{Executor, Pool, Sequential};
-pub use fabric::{Deliveries, DeliverySlots, SharedEnvelope};
+pub use fabric::{Deliveries, DeliverySlots, FrameInterner, SharedEnvelope};
 pub use id::{Id, IdAssignment, Pid};
 pub use intern::{IdBits, Interner};
 pub use message::{Envelope, Inbox, Message, Recipients};

@@ -122,13 +122,37 @@ impl<M: Message> Inbox<M> {
     /// `fabric_equivalence` property tests pin this), but moves `Arc`
     /// handles instead of owned payloads: no payload is cloned, however
     /// many recipients share it.
+    ///
+    /// Envelopes carrying a frame token (see
+    /// [`SharedEnvelope::framed`](crate::fabric::SharedEnvelope)) are
+    /// pre-grouped by `(sender id, token)` — a `(u16, u32)` comparison —
+    /// so the homonym-duplicate hot case (many content-equal payloads
+    /// from one identifier) costs one deep payload walk per *distinct*
+    /// payload instead of one per delivery. Untokened envelopes take the
+    /// structural path. The final merge is content-keyed either way, so
+    /// the resulting inbox is identical whether or not (and however
+    /// consistently) deliveries were framed.
     pub fn collect_shared(
         deliveries: impl IntoIterator<Item = SharedEnvelope<M>>,
         counting: Counting,
     ) -> Self {
         let mut by_id: BTreeMap<Id, BTreeMap<Arc<M>, u64>> = BTreeMap::new();
-        for SharedEnvelope { src, msg } in deliveries {
-            *by_id.entry(src).or_default().entry(msg).or_insert(0) += 1;
+        let mut framed: BTreeMap<(Id, crate::intern::Tok), (Arc<M>, u64)> = BTreeMap::new();
+        for SharedEnvelope { src, msg, tok } in deliveries {
+            match tok {
+                Some(tok) => {
+                    framed
+                        .entry((src, tok))
+                        .and_modify(|(_, count)| *count += 1)
+                        .or_insert((msg, 1));
+                }
+                None => {
+                    *by_id.entry(src).or_default().entry(msg).or_insert(0) += 1;
+                }
+            }
+        }
+        for ((src, _), (msg, count)) in framed {
+            *by_id.entry(src).or_default().entry(msg).or_insert(0) += count;
         }
         if counting == Counting::Innumerate {
             for msgs in by_id.values_mut() {
@@ -328,6 +352,32 @@ mod tests {
         assert!(inbox.is_empty());
         assert_eq!(inbox.total(), 0);
         assert_eq!(inbox.ids().count(), 0);
+    }
+
+    #[test]
+    fn framed_and_structural_dedup_agree() {
+        let payload = Arc::new("m".to_string());
+        let other = Arc::new("x".to_string());
+        let mixed = vec![
+            SharedEnvelope::framed(Id::new(1), Arc::clone(&payload), 0),
+            SharedEnvelope::framed(Id::new(1), Arc::clone(&payload), 0),
+            // An untokened duplicate of the same content must merge with
+            // the token group — the inbox is content-keyed, not token-keyed.
+            SharedEnvelope::shared(Id::new(1), Arc::clone(&payload)),
+            SharedEnvelope::framed(Id::new(2), Arc::clone(&payload), 0),
+            SharedEnvelope::shared(Id::new(1), Arc::clone(&other)),
+        ];
+        let plain = mixed.iter().cloned().map(|mut e| {
+            e.tok = None;
+            e
+        });
+        let framed = Inbox::collect_shared(mixed.clone(), Counting::Numerate);
+        let structural = Inbox::collect_shared(plain, Counting::Numerate);
+        assert_eq!(framed, structural);
+        assert_eq!(framed.count(Id::new(1), &"m".to_string()), 3);
+        assert_eq!(framed.count(Id::new(2), &"m".to_string()), 1);
+        let innumerate = Inbox::collect_shared(mixed, Counting::Innumerate);
+        assert_eq!(innumerate.count(Id::new(1), &"m".to_string()), 1);
     }
 
     #[test]

@@ -1,18 +1,23 @@
-//! Cheap structural wire-size estimates for message payloads.
+//! **Deprecated** structural wire-size estimates, superseded by the real
+//! codec in [`crate::codec`].
 //!
-//! The sharded engines roll up an estimated bit cost per shot (the
-//! arXiv:2311.08060 message/bit-cost instrumentation). The original
-//! estimate rendered every emission through `Debug` and counted the
-//! string's bytes — stable, but formatting a deep bundle once per
-//! emission is measurable at K = 64 shards. [`WireSize`] replaces it with
-//! a structural estimate: each type reports its own size from counts and
-//! field sizes, no formatting, no allocation.
+//! [`WireSize`] was the workspace's second-generation bit-cost proxy:
+//! the original estimate rendered every emission through `Debug` and
+//! counted the string's bytes; `WireSize` replaced that with a
+//! structural sum over counts and field sizes. Both were *estimates* —
+//! there was no serialization layer behind them.
 //!
-//! The estimate remains a *proxy* (the workspace has no serialization
-//! layer): it is deterministic, monotone in payload size, and cheap. The
-//! absolute numbers differ from the Debug-string estimate, so the
-//! committed `BENCH_*.json` artifacts were regenerated when this trait
-//! landed.
+//! There is now. Every engine's `bits_sent` roll-up (the
+//! arXiv:2311.08060 message/bit-cost instrumentation) measures the
+//! **exact** encoded frame length via [`crate::codec::frame_bits`], and
+//! the committed `BENCH_*.json` artifacts carry exact numbers. Nothing
+//! on a cost path consults this trait anymore.
+//!
+//! The trait is kept (not yet removed) for one consumer: the
+//! `paper_report` §14 table quantifying how far the retired estimate sat
+//! from the exact encoding on the Figure 5 workload. Do not implement it
+//! for new message types — implement [`crate::codec::WireEncode`]
+//! instead, which is what every engine bound requires.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;

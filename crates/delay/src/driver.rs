@@ -4,13 +4,15 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use homonym_core::codec::WireEncode;
 use homonym_core::spec::{self, Outcome, Verdict};
 use homonym_core::IdAssignment;
 use homonym_core::{
-    ByzPower, Deliveries, Inbox, Pid, Protocol, ProtocolFactory, Round, SharedEnvelope,
-    SystemConfig,
+    ByzPower, Deliveries, FrameInterner, Inbox, Pid, Protocol, ProtocolFactory, Round,
+    SharedEnvelope, SystemConfig,
 };
 use homonym_sim::adversary::{AdvCtx, Adversary, Silent};
+use homonym_sim::shards::wire_bits;
 
 use crate::model::{DelayModel, Instant};
 use crate::net::{Flight, InFlight};
@@ -35,6 +37,11 @@ pub struct DelayReport<V> {
     pub ticks: u64,
     /// Non-self messages handed to the network.
     pub messages_sent: u64,
+    /// Exact wire bits of the non-self messages, measured by encoding
+    /// each emission once through the frame codec — `Some` only when the
+    /// run was built with [`DelayClusterBuilder::measure_bits`]. See
+    /// [`wire_bits`].
+    pub bits_sent: Option<u64>,
     /// Non-self messages that arrived within their round.
     pub delivered_on_time: u64,
     /// Messages that arrived after their round closed (the basic model's
@@ -75,6 +82,7 @@ pub struct DelayClusterBuilder<P: Protocol> {
     adversary: Box<dyn Adversary<P::Msg>>,
     model: Box<dyn DelayModel>,
     pacing: Box<dyn RoundPacing>,
+    measure_bits: bool,
 }
 
 impl<P: Protocol> DelayClusterBuilder<P> {
@@ -118,6 +126,13 @@ impl<P: Protocol> DelayClusterBuilder<P> {
         self
     }
 
+    /// Measures exact wire bits per run (off by default) — see
+    /// [`wire_bits`].
+    pub fn measure_bits(mut self, on: bool) -> Self {
+        self.measure_bits = on;
+        self
+    }
+
     /// Finishes the build.
     ///
     /// # Panics
@@ -145,6 +160,7 @@ impl<P: Protocol> DelayClusterBuilder<P> {
             adversary: self.adversary,
             model: self.model,
             pacing: self.pacing,
+            measure_bits: self.measure_bits,
         }
     }
 }
@@ -185,6 +201,7 @@ pub struct DelayCluster<P: Protocol> {
     adversary: Box<dyn Adversary<P::Msg>>,
     model: Box<dyn DelayModel>,
     pacing: Box<dyn RoundPacing>,
+    measure_bits: bool,
 }
 
 impl<P: Protocol> DelayCluster<P> {
@@ -205,6 +222,7 @@ impl<P: Protocol> DelayCluster<P> {
             adversary: Box::new(Silent),
             model: Box::new(Instant),
             pacing: Box::new(FixedPacing::new(1)),
+            measure_bits: false,
         }
     }
 
@@ -219,6 +237,7 @@ impl<P: Protocol> DelayCluster<P> {
     pub fn run<F>(&mut self, factory: &F, max_rounds: u64) -> DelayReport<P::Value>
     where
         F: ProtocolFactory<P = P>,
+        P::Msg: WireEncode,
     {
         let n = self.cfg.n;
         let mut procs: BTreeMap<Pid, P> = self
@@ -239,7 +258,11 @@ impl<P: Protocol> DelayCluster<P> {
         let mut decisions: BTreeMap<Pid, (P::Value, Round)> = BTreeMap::new();
         let mut tick = 0u64;
         let mut round = Round::ZERO;
+        // One frame token per distinct payload, stable across the run, so
+        // receiving inboxes deduplicate by token instead of deep walks.
+        let mut frames: FrameInterner<P::Msg> = FrameInterner::new();
         let mut messages_sent = 0u64;
+        let mut bits_sent = 0u64;
         let mut delivered_on_time = 0u64;
         let mut late = 0u64;
         let mut last_lossy_round: Option<Round> = None;
@@ -266,6 +289,14 @@ impl<P: Protocol> DelayCluster<P> {
                 let src_id = self.assignment.id_of(pid);
                 addressed.clear();
                 for (recipients, msg) in out {
+                    // Exact frame size and token, computed once per
+                    // emission however wide the fan-out.
+                    let bits = if self.measure_bits {
+                        wire_bits(&*msg)
+                    } else {
+                        0
+                    };
+                    let tok = frames.tok_for(&msg);
                     for to in recipients.expand(&self.assignment) {
                         assert!(
                             addressed.insert(to),
@@ -273,9 +304,11 @@ impl<P: Protocol> DelayCluster<P> {
                         );
                         if to == pid {
                             // Self-delivery costs no network trip.
-                            deliveries.push(to, SharedEnvelope::shared(src_id, Arc::clone(&msg)));
+                            deliveries
+                                .push(to, SharedEnvelope::framed(src_id, Arc::clone(&msg), tok));
                         } else {
                             messages_sent += 1;
+                            bits_sent += bits;
                             let arrive = start + self.model.delay(start, pid, to).max(1);
                             net.send(
                                 arrive,
@@ -285,6 +318,7 @@ impl<P: Protocol> DelayCluster<P> {
                                     to,
                                     round,
                                     msg: Arc::clone(&msg),
+                                    tok,
                                 },
                             );
                         }
@@ -308,6 +342,12 @@ impl<P: Protocol> DelayCluster<P> {
                     emission.from
                 );
                 let src_id = self.assignment.id_of(emission.from);
+                let bits = if self.measure_bits {
+                    wire_bits(&*emission.msg)
+                } else {
+                    0
+                };
+                let tok = frames.tok_for(&emission.msg);
                 for to in emission.to.expand(&self.assignment) {
                     if self.cfg.byz_power == ByzPower::Restricted {
                         let count = byz_sent.entry((emission.from, to)).or_insert(0);
@@ -320,6 +360,7 @@ impl<P: Protocol> DelayCluster<P> {
                         continue; // a Byzantine process gains nothing from self-sends
                     }
                     messages_sent += 1;
+                    bits_sent += bits;
                     let arrive = start + self.model.delay(start, emission.from, to).max(1);
                     net.send(
                         arrive,
@@ -329,6 +370,7 @@ impl<P: Protocol> DelayCluster<P> {
                             to,
                             round,
                             msg: Arc::clone(&emission.msg),
+                            tok,
                         },
                     );
                 }
@@ -340,7 +382,10 @@ impl<P: Protocol> DelayCluster<P> {
             for flight in net.arrivals_up_to(deadline) {
                 if flight.round == round {
                     delivered_on_time += 1;
-                    deliveries.push(flight.to, SharedEnvelope::shared(flight.src, flight.msg));
+                    deliveries.push(
+                        flight.to,
+                        SharedEnvelope::framed(flight.src, flight.msg, flight.tok),
+                    );
                 } else {
                     debug_assert!(flight.round < round, "messages cannot arrive early");
                     late += 1;
@@ -399,6 +444,7 @@ impl<P: Protocol> DelayCluster<P> {
             rounds: round.index(),
             ticks: tick,
             messages_sent,
+            bits_sent: self.measure_bits.then_some(bits_sent),
             delivered_on_time,
             late,
             unarrived,
@@ -606,6 +652,25 @@ mod tests {
             vec![1u32, 2, 3],
         )
         .build();
+    }
+
+    #[test]
+    fn bits_are_exact_frame_sizes_when_enabled() {
+        let factory = flood_factory(3);
+        let inputs = vec![9u32, 4, 7, 2];
+        let mut delay =
+            DelayCluster::builder(cfg(4, 4, 1), IdAssignment::unique(4), inputs.clone())
+                .measure_bits(true)
+                .build();
+        let report = delay.run(&factory, 10);
+        // Every payload is a small u32, which frames to 2 bytes (version
+        // byte + 1 varint byte) = 16 exact bits per non-self message.
+        assert_eq!(report.bits_sent, Some(report.messages_sent * 16));
+
+        let mut off =
+            DelayCluster::<FloodMin>::builder(cfg(4, 4, 1), IdAssignment::unique(4), inputs)
+                .build();
+        assert_eq!(off.run(&factory, 10).bits_sent, None);
     }
 
     #[test]

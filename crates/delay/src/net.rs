@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use homonym_core::intern::Tok;
 use homonym_core::{Id, Pid, Round};
 
 /// A message travelling through the delay network.
@@ -22,6 +23,10 @@ pub(crate) struct Flight<M> {
     pub round: Round,
     /// The shared payload.
     pub msg: Arc<M>,
+    /// The interner token of the payload (frame header), letting the
+    /// receiving inbox deduplicate by token comparison instead of a deep
+    /// structural walk.
+    pub tok: Tok,
 }
 
 /// Messages in flight, keyed by arrival tick.
@@ -94,6 +99,7 @@ mod tests {
             to: Pid::new(to),
             round: Round::new(round),
             msg: Arc::new(msg),
+            tok: 0,
         }
     }
 

@@ -85,6 +85,7 @@ pub fn run_delay_suite<P, F>(
 ) -> DelaySuiteResult<P::Value>
 where
     P: Protocol + 'static,
+    P::Msg: homonym_core::codec::WireEncode,
     F: ProtocolFactory<P = P>,
 {
     let cfg = params.cfg;

@@ -21,6 +21,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use homonym_core::codec::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 use homonym_core::{
     Domain, Id, Inbox, Protocol, ProtocolFactory, Recipients, Round, Value, WireSize,
 };
@@ -183,6 +184,113 @@ impl<V: Value + WireSize> WireSize for Bundle<V> {
             + self.echoes.wire_bits()
             + self.directs.wire_bits()
             + self.proper.wire_bits()
+    }
+}
+
+impl<V: Value + WireEncode> WireEncode for Payload<V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Payload::Propose { values, ph } => {
+                w.put_u8(0);
+                values.encode(w);
+                ph.encode(w);
+            }
+            Payload::Vote { v, ph } => {
+                w.put_u8(1);
+                v.encode(w);
+                ph.encode(w);
+            }
+        }
+    }
+}
+
+impl<V: Value + WireDecode> WireDecode for Payload<V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take_u8()? {
+            0 => Ok(Payload::Propose {
+                values: BTreeSet::decode(r)?,
+                ph: u64::decode(r)?,
+            }),
+            1 => Ok(Payload::Vote {
+                v: V::decode(r)?,
+                ph: u64::decode(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                what: "Payload",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Value + WireEncode> WireEncode for Direct<V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Direct::Lock { v, ph } => {
+                w.put_u8(0);
+                v.encode(w);
+                ph.encode(w);
+            }
+            Direct::Ack { v, ph } => {
+                w.put_u8(1);
+                v.encode(w);
+                ph.encode(w);
+            }
+            Direct::Decide { v } => {
+                w.put_u8(2);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<V: Value + WireDecode> WireDecode for Direct<V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take_u8()? {
+            0 => Ok(Direct::Lock {
+                v: V::decode(r)?,
+                ph: u64::decode(r)?,
+            }),
+            1 => Ok(Direct::Ack {
+                v: V::decode(r)?,
+                ph: u64::decode(r)?,
+            }),
+            2 => Ok(Direct::Decide { v: V::decode(r)? }),
+            tag => Err(DecodeError::BadTag {
+                what: "Direct",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Only the four wire fields are encoded — the scan hint is a local
+/// optimization (`echoes == hint.0 ∪ hint.1` already), so a decoded
+/// bundle reconstructs the trivially consistent hint and compares equal
+/// to the original under the wire-field `Eq`.
+impl<V: Value + WireEncode> WireEncode for Bundle<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.inits.encode(w);
+        self.echoes.encode(w);
+        self.directs.encode(w);
+        self.proper.encode(w);
+    }
+}
+
+impl<V: Value + WireDecode> WireDecode for Bundle<V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let inits = BTreeSet::decode(r)?;
+        let echoes: EchoSet<V> = Arc::new(BTreeSet::decode(r)?);
+        let directs = BTreeSet::decode(r)?;
+        let proper = Arc::new(BTreeSet::decode(r)?);
+        let hint = (Arc::new(BTreeSet::new()), Arc::clone(&echoes));
+        Ok(Bundle {
+            inits,
+            echoes,
+            directs,
+            proper,
+            hint,
+        })
     }
 }
 

@@ -22,6 +22,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use homonym_core::codec::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 use homonym_core::intern::Tok;
 use homonym_core::{Id, IdBits, Interner, Message, Round, WireSize};
 
@@ -57,6 +58,24 @@ impl<M> EchoItem<M> {
 impl<M: WireSize> WireSize for EchoItem<M> {
     fn wire_bits(&self) -> u64 {
         self.payload.wire_bits() + self.sr.wire_bits() + self.src.wire_bits()
+    }
+}
+
+impl<M: WireEncode> WireEncode for EchoItem<M> {
+    fn encode(&self, w: &mut Writer) {
+        self.payload.encode(w);
+        self.sr.encode(w);
+        self.src.encode(w);
+    }
+}
+
+impl<M: WireDecode> WireDecode for EchoItem<M> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(EchoItem {
+            payload: Arc::new(M::decode(r)?),
+            sr: u64::decode(r)?,
+            src: Id::decode(r)?,
+        })
     }
 }
 

@@ -1,0 +1,60 @@
+//! Golden byte-vector tests pinning the wire format of every psync
+//! message type (format version 1, the single leading byte of each
+//! frame). Breaking any of these vectors is a wire-format break: bump
+//! `FORMAT_VERSION` in `homonym_core::codec` and regenerate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use homonym_core::codec::encode_frame;
+use homonym_core::{Domain, Id, Protocol, Round};
+
+use crate::agreement::{HomonymAgreement, Payload};
+use crate::broadcast::EchoItem;
+use crate::mult_broadcast::MultPart;
+use crate::restricted::{RestrictedAgreement, RestrictedPayload};
+
+#[test]
+fn golden_payload_vectors() {
+    let propose = Payload::Propose {
+        values: BTreeSet::from([false, true]),
+        ph: 1,
+    };
+    assert_eq!(encode_frame(&propose), vec![1, 0, 2, 0, 1, 1]);
+    let vote = Payload::<bool>::Vote { v: true, ph: 2 };
+    assert_eq!(encode_frame(&vote), vec![1, 1, 1, 2]);
+    assert_eq!(
+        encode_frame(&RestrictedPayload::Propose(true)),
+        vec![1, 0, 1]
+    );
+}
+
+#[test]
+fn golden_echo_item_vector() {
+    let item = EchoItem::new("alpha".to_string(), 3, Id::new(2));
+    assert_eq!(encode_frame(&item), vec![1, 5, 97, 108, 112, 104, 97, 3, 2]);
+}
+
+#[test]
+fn golden_mult_part_vector() {
+    let part = MultPart {
+        inits: BTreeMap::from([("alpha".to_string(), 1u64)]),
+        echoes: BTreeMap::from([((Id::new(2), "beta".to_string(), 1u64), 2u64)]),
+    };
+    assert_eq!(
+        encode_frame(&part),
+        vec![1, 1, 5, 97, 108, 112, 104, 97, 1, 1, 2, 4, 98, 101, 116, 97, 1, 2]
+    );
+}
+
+#[test]
+fn golden_bundle_vectors() {
+    // The deterministic round-0 bundle of a fresh `n = ℓ = 4, t = 1`
+    // process proposing `true`: one init, no echoes, directs or propers.
+    let mut agreement = HomonymAgreement::new(4, 4, 1, Domain::binary(), Id::new(1), true);
+    let out = agreement.send(Round::ZERO);
+    assert_eq!(encode_frame(&out[0].1), vec![1, 1, 0, 1, 1, 0, 0, 0, 1, 1]);
+
+    let mut restricted = RestrictedAgreement::new(4, 4, 1, Domain::binary(), Id::new(1), true);
+    let rout = restricted.send(Round::ZERO);
+    assert_eq!(encode_frame(&rout[0].1), vec![1, 1, 0, 1, 0, 0, 0, 1, 1]);
+}

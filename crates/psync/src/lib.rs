@@ -35,6 +35,8 @@
 
 mod agreement;
 mod broadcast;
+#[cfg(test)]
+mod codec_golden;
 pub mod invariants;
 mod mult_broadcast;
 #[cfg(test)]

@@ -24,6 +24,7 @@
 
 use std::collections::BTreeMap;
 
+use homonym_core::codec::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 use homonym_core::intern::Tok;
 use homonym_core::{Id, Interner, Message, Round, WireSize};
 
@@ -41,6 +42,22 @@ pub struct MultPart<M> {
 impl<M: WireSize> WireSize for MultPart<M> {
     fn wire_bits(&self) -> u64 {
         self.inits.wire_bits() + self.echoes.wire_bits()
+    }
+}
+
+impl<M: WireEncode> WireEncode for MultPart<M> {
+    fn encode(&self, w: &mut Writer) {
+        self.inits.encode(w);
+        self.echoes.encode(w);
+    }
+}
+
+impl<M: WireDecode + Ord> WireDecode for MultPart<M> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(MultPart {
+            inits: BTreeMap::decode(r)?,
+            echoes: BTreeMap::decode(r)?,
+        })
     }
 }
 

@@ -6,12 +6,15 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use homonym_core::{Id, IdAssignment, Pid, Round};
+use homonym_core::codec::{decode_frame, encode_frame, WireDecode, WireEncode};
+use homonym_core::{Domain, Id, IdAssignment, Pid, Protocol, Round};
 use proptest::prelude::*;
 
+use crate::agreement::{Bundle, HomonymAgreement, Payload};
 use crate::broadcast::{EchoBroadcast, EchoItem};
 use crate::invariants::sole_correct_witness;
 use crate::mult_broadcast::{MultBroadcast, MultPart};
+use crate::restricted::{RestrictedAgreement, RestrictedBundle};
 
 // ------------------------- the reference (pre-interning) EchoBroadcast
 
@@ -588,5 +591,143 @@ proptest! {
                 "correct proc {k} must accept (id 1, m, sr {gst_sr}) with α = 2: {accepts:?}"
             );
         }
+    }
+}
+
+// ------------------------------------------------------ codec round-trips
+
+/// Round-trips one message through the frame codec.
+fn roundtrip<M: WireEncode + WireDecode>(msg: &M) -> M {
+    decode_frame(&encode_frame(msg)).expect("own frames must decode")
+}
+
+/// One of the alphabet payloads as an owned (decodable) string.
+fn alpha_string() -> impl Strategy<Value = String> {
+    (0..ALPHABET.len()).prop_map(|i| ALPHABET[i].to_string())
+}
+
+fn payload_strategy() -> impl Strategy<Value = Payload<String>> {
+    (
+        0usize..2,
+        proptest::collection::btree_set(alpha_string(), 0..4),
+        alpha_string(),
+        0u64..9,
+    )
+        .prop_map(|(tag, values, v, ph)| {
+            if tag == 0 {
+                Payload::Propose { values, ph }
+            } else {
+                Payload::Vote { v, ph }
+            }
+        })
+}
+
+/// Drives `n = ℓ = 4, t = 1` agreement processes over the given inputs
+/// with per-round loss, handing every emitted wire message to `check`.
+fn drive_agreement<P: Protocol>(
+    procs: &mut [P],
+    rounds: u64,
+    drops: &BTreeSet<(u64, usize, usize)>,
+    mut check: impl FnMut(&P::Msg),
+) {
+    for r in 0..rounds {
+        let round = Round::new(r);
+        let sends: Vec<Vec<(homonym_core::Recipients, P::Msg)>> =
+            procs.iter_mut().map(|p| p.send(round)).collect();
+        for out in &sends {
+            for (_, msg) in out {
+                check(msg);
+            }
+        }
+        for (k, proc_) in procs.iter_mut().enumerate() {
+            let inbox = homonym_core::Inbox::collect(
+                sends.iter().enumerate().flat_map(|(j, out)| {
+                    let dropped = j != k && drops.contains(&(r, j, k));
+                    out.iter().filter(move |_| !dropped).map(move |(_, msg)| {
+                        homonym_core::Envelope {
+                            src: Id::from_index(j),
+                            msg: msg.clone(),
+                        }
+                    })
+                }),
+                homonym_core::Counting::Innumerate,
+            );
+            proc_.receive(round, &inbox);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `decode(encode(m)) == m` for the broadcast-layer payloads.
+    #[test]
+    fn payload_roundtrips(payload in payload_strategy()) {
+        prop_assert_eq!(roundtrip(&payload), payload);
+    }
+
+    /// `decode(encode(m)) == m` for echo items.
+    #[test]
+    fn echo_item_roundtrips(
+        payload in alpha_string(),
+        sr in 0u64..100,
+        src in 1u16..=8,
+    ) {
+        let item = EchoItem::new(payload, sr, Id::new(src));
+        prop_assert_eq!(roundtrip(&item), item);
+    }
+
+    /// `decode(encode(m)) == m` for Figure 6 multiplicity parts.
+    #[test]
+    fn mult_part_roundtrips(
+        inits in proptest::collection::btree_map(alpha_string(), 0u64..5, 0..4),
+        echoes in proptest::collection::btree_map(
+            ((1u16..=6).prop_map(Id::new), alpha_string(), 0u64..5),
+            1u64..9,
+            0..6,
+        ),
+    ) {
+        let part = MultPart { inits, echoes };
+        prop_assert_eq!(roundtrip(&part), part);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `decode(encode(b)) == b` for every bundle a real Figure 5 run
+    /// emits under random inputs and pre-stabilization loss.
+    #[test]
+    fn bundle_roundtrips(
+        inputs in proptest::collection::vec(any::<bool>(), 4),
+        drops in echo_drops(2, 4),
+        rounds in 8u64..20,
+    ) {
+        let domain = Domain::binary();
+        let mut procs: Vec<HomonymAgreement<bool>> = (0..4)
+            .map(|k| HomonymAgreement::new(4, 4, 1, domain.clone(), Id::from_index(k), inputs[k]))
+            .collect();
+        drive_agreement(&mut procs, rounds, &drops, |bundle: &Bundle<bool>| {
+            assert_eq!(&roundtrip(bundle), bundle);
+        });
+    }
+
+    /// `decode(encode(b)) == b` for every bundle a real Figure 7
+    /// (restricted) run emits under random inputs and loss.
+    #[test]
+    fn restricted_bundle_roundtrips(
+        inputs in proptest::collection::vec(any::<bool>(), 4),
+        drops in echo_drops(2, 4),
+        rounds in 8u64..20,
+    ) {
+        let domain = Domain::binary();
+        let mut procs: Vec<RestrictedAgreement<bool>> = (0..4)
+            .map(|k| {
+                RestrictedAgreement::new(4, 4, 1, domain.clone(), Id::from_index(k), inputs[k])
+            })
+            .collect();
+        drive_agreement(&mut procs, rounds, &drops, |bundle: &RestrictedBundle<bool>| {
+            assert_eq!(&roundtrip(bundle), bundle);
+        });
     }
 }

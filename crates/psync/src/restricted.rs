@@ -17,6 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use homonym_core::codec::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 use homonym_core::intern::Tok;
 use homonym_core::{
     Domain, Id, Inbox, Interner, Protocol, ProtocolFactory, Recipients, Round, Value, WireSize,
@@ -66,6 +67,88 @@ impl<V: Value + WireSize> WireSize for Direct<V> {
         match self {
             Direct::Lock { v, ph } | Direct::Ack { v, ph } => v.wire_bits() + ph.wire_bits(),
         }
+    }
+}
+
+impl<V: Value + WireEncode> WireEncode for RestrictedPayload<V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RestrictedPayload::Propose(v) => {
+                w.put_u8(0);
+                v.encode(w);
+            }
+            RestrictedPayload::Vote(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<V: Value + WireDecode> WireDecode for RestrictedPayload<V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take_u8()? {
+            0 => Ok(RestrictedPayload::Propose(V::decode(r)?)),
+            1 => Ok(RestrictedPayload::Vote(V::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "RestrictedPayload",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Value + WireEncode> WireEncode for Direct<V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Direct::Lock { v, ph } => {
+                w.put_u8(0);
+                v.encode(w);
+                ph.encode(w);
+            }
+            Direct::Ack { v, ph } => {
+                w.put_u8(1);
+                v.encode(w);
+                ph.encode(w);
+            }
+        }
+    }
+}
+
+impl<V: Value + WireDecode> WireDecode for Direct<V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take_u8()? {
+            0 => Ok(Direct::Lock {
+                v: V::decode(r)?,
+                ph: u64::decode(r)?,
+            }),
+            1 => Ok(Direct::Ack {
+                v: V::decode(r)?,
+                ph: u64::decode(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                what: "Direct",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Value + WireEncode> WireEncode for RestrictedBundle<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.part.encode(w);
+        self.directs.encode(w);
+        self.proper.encode(w);
+    }
+}
+
+impl<V: Value + WireDecode> WireDecode for RestrictedBundle<V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(RestrictedBundle {
+            part: MultPart::decode(r)?,
+            directs: BTreeSet::decode(r)?,
+            proper: BTreeSet::decode(r)?,
+        })
     }
 }
 

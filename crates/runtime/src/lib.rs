@@ -31,11 +31,13 @@ use std::sync::Arc;
 use std::thread;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
+use homonym_core::codec::WireEncode;
 use homonym_core::exec::{Executor, Sequential};
+use homonym_core::intern::Tok;
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
-    ByzPower, Deliveries, DeliverySlots, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory,
-    Recipients, Round, SharedEnvelope, SystemConfig, WireSize,
+    ByzPower, Deliveries, DeliverySlots, FrameInterner, Id, IdAssignment, Inbox, Pid, Protocol,
+    ProtocolFactory, Recipients, Round, SharedEnvelope, SystemConfig,
 };
 use homonym_sim::adversary::{AdvCtx, Adversary, Silent};
 use homonym_sim::shards::{ShardCore, ShardId, ShardReport, ShardSpec, ShardWire};
@@ -191,8 +193,9 @@ where
         let mut messages_delivered = 0u64;
         let mut messages_dropped = 0u64;
         let mut round = Round::ZERO;
-        let mut wires: Vec<(Pid, Id, Pid, Arc<P::Msg>)> = Vec::new();
+        let mut wires: Vec<(Pid, Id, Pid, Arc<P::Msg>, Tok)> = Vec::new();
         let mut deliveries: Deliveries<P::Msg> = Deliveries::new(cfg.n);
+        let mut frames: FrameInterner<P::Msg> = FrameInterner::new();
 
         while round.index() < max_rounds && decisions.len() < correct.len() {
             // 1. Collect correct sends (in parallel across actors).
@@ -220,12 +223,13 @@ where
                 let src_id = self.assignment.id_of(pid);
                 addressed.clear();
                 for (recipients, msg) in out {
+                    let tok = frames.tok_for(&msg);
                     for to in recipients.expand(&self.assignment) {
                         assert!(
                             addressed.insert(to),
                             "correct process {pid} addressed {to} twice in {round}"
                         );
-                        wires.push((pid, src_id, to, Arc::clone(&msg)));
+                        wires.push((pid, src_id, to, Arc::clone(&msg), tok));
                     }
                 }
             }
@@ -243,6 +247,7 @@ where
                     emission.from
                 );
                 let src_id = self.assignment.id_of(emission.from);
+                let tok = frames.tok_for(&emission.msg);
                 for to in emission.to.expand(&self.assignment) {
                     if cfg.byz_power == ByzPower::Restricted {
                         let count = byz_sent.entry((emission.from, to)).or_insert(0);
@@ -251,12 +256,12 @@ where
                         }
                         *count += 1;
                     }
-                    wires.push((emission.from, src_id, to, Arc::clone(&emission.msg)));
+                    wires.push((emission.from, src_id, to, Arc::clone(&emission.msg), tok));
                 }
             }
 
             // 3. Drops and routing into the dense buckets.
-            for (from, src_id, to, msg) in wires.drain(..) {
+            for (from, src_id, to, msg, tok) in wires.drain(..) {
                 let is_self = from == to;
                 if !is_self {
                     messages_sent += 1;
@@ -266,7 +271,7 @@ where
                     }
                     messages_delivered += 1;
                 }
-                deliveries.push(to, SharedEnvelope::shared(src_id, msg));
+                deliveries.push(to, SharedEnvelope::framed(src_id, msg, tok));
             }
 
             // 4. Deliver to actors; collect decisions.
@@ -426,7 +431,7 @@ impl<P: Protocol, E: Executor> ShardedCluster<P, E> {
         }
     }
 
-    /// Estimates wire bits per shot (off by default) — see
+    /// Measures exact wire bits per shot (off by default) — see
     /// [`wire_bits`](homonym_sim::shards::wire_bits).
     pub fn measure_bits(mut self, on: bool) -> Self {
         self.measure_bits = on;
@@ -471,7 +476,7 @@ impl<P: Protocol> ClusterShard<P> {
     /// finishes, exactly as the sequential schedule did.
     fn tick(&mut self, s: usize, slots: &mut DeliverySlots<'_, P::Msg>, measure_bits: bool)
     where
-        P::Msg: WireSize,
+        P::Msg: WireEncode,
     {
         if !self.core.active {
             return;
@@ -509,7 +514,7 @@ impl<P, E> ShardedCluster<P, E>
 where
     P: Protocol + Send + 'static,
     P::Value: Send,
-    P::Msg: WireSize,
+    P::Msg: WireEncode,
     E: Executor,
 {
     /// Spawns one thread per process of every shard and runs global

@@ -11,10 +11,11 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use homonym_core::intern::Tok;
 use homonym_core::spec::{self, Outcome, Verdict};
 use homonym_core::{
-    ByzPower, Deliveries, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Round,
-    SharedEnvelope, SystemConfig,
+    ByzPower, Deliveries, FrameInterner, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory,
+    Round, SharedEnvelope, SystemConfig,
 };
 
 use crate::adversary::{AdvCtx, Adversary, Silent};
@@ -22,13 +23,15 @@ use crate::drops::{DropPolicy, NoDrops};
 use crate::topology::Topology;
 use crate::trace::{Delivery, Trace};
 
-/// One routed message: sender, authenticated identifier, recipient, and a
-/// shared handle on the payload.
+/// One routed message: sender, authenticated identifier, recipient, a
+/// shared handle on the payload, and the payload's frame token (computed
+/// once per emission; inbox dedup groups duplicates by it).
 struct Wire<M> {
     from: Pid,
     src: Id,
     to: Pid,
     msg: Arc<M>,
+    tok: Tok,
 }
 
 /// The report of one simulated execution.
@@ -167,6 +170,7 @@ impl<P: Protocol> SimulationBuilder<P> {
             per_round_sent: Vec::new(),
             wires: Vec::new(),
             deliveries: Deliveries::new(n),
+            frames: FrameInterner::new(),
         }
     }
 }
@@ -211,6 +215,9 @@ pub struct Simulation<P: Protocol> {
     // realloc): the wire list and the dense per-recipient buckets.
     wires: Vec<Wire<P::Msg>>,
     deliveries: Deliveries<P::Msg>,
+    /// One token per distinct emitted payload, persistent for the run —
+    /// the token-framed dedup seam of [`Inbox::collect_shared`].
+    frames: FrameInterner<P::Msg>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -308,6 +315,7 @@ impl<P: Protocol> Simulation<P> {
         {
             let assignment = &self.assignment;
             let wires = &mut self.wires;
+            let frames = &mut self.frames;
             let mut addressed: BTreeSet<Pid> = BTreeSet::new();
             for (&pid, proc_) in self.procs.iter_mut() {
                 // `send_shared` hands back one Arc per emission — a fresh
@@ -318,6 +326,7 @@ impl<P: Protocol> Simulation<P> {
                 let src_id = assignment.id_of(pid);
                 addressed.clear();
                 for (recipients, msg) in out {
+                    let tok = frames.tok_for(&msg);
                     for to in recipients.expand(assignment) {
                         assert!(
                             addressed.insert(to),
@@ -328,6 +337,7 @@ impl<P: Protocol> Simulation<P> {
                             src: src_id,
                             to,
                             msg: Arc::clone(&msg),
+                            tok,
                         });
                     }
                 }
@@ -350,6 +360,7 @@ impl<P: Protocol> Simulation<P> {
                 emission.from
             );
             let src_id = self.assignment.id_of(emission.from);
+            let tok = self.frames.tok_for(&emission.msg);
             for to in emission.to.expand(&self.assignment) {
                 if self.cfg.byz_power == ByzPower::Restricted {
                     let count = byz_sent.entry((emission.from, to)).or_insert(0);
@@ -363,6 +374,7 @@ impl<P: Protocol> Simulation<P> {
                     src: src_id,
                     to,
                     msg: Arc::clone(&emission.msg),
+                    tok,
                 });
             }
         }
@@ -397,7 +409,7 @@ impl<P: Protocol> Simulation<P> {
             }
             self.deliveries.push(
                 wire.to,
-                SharedEnvelope::shared(wire.src, Arc::clone(&wire.msg)),
+                SharedEnvelope::framed(wire.src, Arc::clone(&wire.msg), wire.tok),
             );
         }
 

@@ -17,8 +17,9 @@
 //! its per-shot horizon) the shard restarts on the next queued shot — the
 //! pipelining that turns one-shot agreement into a throughput workload.
 //! Per shot the scheduler rolls up the same [`RunReport`] the single-shot
-//! engine produces, plus scheduling metadata and an optional wire-size
-//! estimate ([`ShotReport`], aggregated per shard in [`ShardReport`]) —
+//! engine produces, plus scheduling metadata and an optional exact
+//! wire-bit count ([`ShotReport`], aggregated per shard in
+//! [`ShardReport`]) —
 //! the message/bit cost instrumentation the arXiv:2311.08060
 //! reproduction builds on.
 //!
@@ -39,11 +40,13 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
+use homonym_core::codec::{self, WireEncode};
 use homonym_core::exec::{Executor, Sequential};
+use homonym_core::intern::Tok;
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
-    ByzPower, Deliveries, DeliverySlots, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory,
-    Recipients, Round, SharedEnvelope, SystemConfig, WireSize,
+    ByzPower, Deliveries, DeliverySlots, FrameInterner, Id, IdAssignment, Inbox, Pid, Protocol,
+    ProtocolFactory, Recipients, Round, SharedEnvelope, SystemConfig,
 };
 
 use crate::adversary::{AdvCtx, Adversary, Silent};
@@ -190,7 +193,7 @@ pub struct ShotReport<V> {
     pub started_tick: u64,
     /// The global tick at which the shot's last round executed.
     pub finished_tick: u64,
-    /// Estimated wire bits handed to the network, if the scheduler was
+    /// Exact wire bits handed to the network, if the scheduler was
     /// built with [`ShardedSimulation::measure_bits`] — see [`wire_bits`].
     pub bits_sent: Option<u64>,
 }
@@ -223,7 +226,7 @@ impl<V> ShardReport<V> {
         self.shots.iter().map(|s| s.report.rounds).sum()
     }
 
-    /// Total estimated wire bits, if bit measurement was on.
+    /// Total exact wire bits, if bit measurement was on.
     pub fn bits_sent(&self) -> Option<u64> {
         self.shots.iter().map(|s| s.bits_sent).sum()
     }
@@ -287,19 +290,20 @@ impl<M: homonym_core::Message> ShardedTrace<M> {
     }
 }
 
-/// A wire-size estimate for one payload, via the structural
-/// [`WireSize`] trait (no `Debug` formatting, no allocation).
+/// The **exact** wire size of one payload, in bits: the framed binary
+/// encoding's length under [`homonym_core::codec`] (one version byte plus
+/// the varint-based payload encoding).
 ///
-/// The workspace has no serialization layer (messages never leave the
-/// process), so this is a *proxy* — stable, monotone in payload size, and
-/// computed **once per emission** (the `Arc` fan-out shares the number
-/// with every recipient), so measuring bits does not change the
-/// clone-count profile of the hot path. It used to be 8 bits per byte of
-/// the payload's `Debug` rendering; formatting a deep bundle per emission
-/// was measurable at K = 64 shards, so the estimate is structural now
-/// (the committed `BENCH_*.json` artifacts were regenerated).
-pub fn wire_bits<M: WireSize>(msg: &M) -> u64 {
-    msg.wire_bits()
+/// Until the codec landed this was a structural *estimate*
+/// (`WireSize`, and before that, `Debug`-string bytes). It is computed
+/// **once per emission** into a thread-local scratch buffer (the `Arc`
+/// fan-out shares the number with every recipient), so measuring bits
+/// neither allocates at steady state nor changes the clone-count profile
+/// of the hot path. Absolute numbers differ from both estimates, so the
+/// committed `BENCH_*.json` artifacts were regenerated when the codec
+/// landed.
+pub fn wire_bits<M: WireEncode>(msg: &M) -> u64 {
+    codec::frame_bits(msg)
 }
 
 /// One routed sharded message, in shard-local coordinates, carrying the
@@ -316,6 +320,10 @@ pub struct ShardWire<M> {
     to: Pid,
     msg: Arc<M>,
     bits: u64,
+    /// The payload's frame token under the owning shard's
+    /// [`FrameInterner`] — carried onto every delivered envelope so inbox
+    /// dedup groups homonym duplicates by token instead of deep walks.
+    tok: Tok,
 }
 
 /// The engine-agnostic bookkeeping of one shard: its configuration, its
@@ -371,12 +379,16 @@ pub struct ShardCore<P: Protocol> {
     pub messages_delivered: u64,
     /// Non-self messages lost to the drop policy this shot.
     pub messages_dropped: u64,
-    /// Estimated wire bits sent this shot (see [`wire_bits`]).
+    /// Exact wire bits sent this shot (see [`wire_bits`]).
     pub bits_sent: u64,
     /// Whether a shot is currently live (false once the queue drains).
     pub active: bool,
     /// Reports of the completed shots, in queue order.
     pub done: Vec<ShotReport<P::Value>>,
+    /// The shard's frame interner: one token per distinct emitted
+    /// payload, persistent across rounds and shots (tokens are only
+    /// compared within one shard's delivery slots).
+    pub frames: FrameInterner<P::Msg>,
 }
 
 impl<P: Protocol> ShardCore<P> {
@@ -425,6 +437,7 @@ impl<P: Protocol> ShardCore<P> {
             bits_sent: 0,
             active: false,
             done: Vec::new(),
+            frames: FrameInterner::new(),
         }
     }
 
@@ -605,7 +618,7 @@ impl<P: Protocol> ShardCore<P> {
         measure_bits: bool,
         mut send_of: impl FnMut(Pid, Round) -> Vec<(Recipients, Arc<P::Msg>)>,
     ) where
-        P::Msg: WireSize,
+        P::Msg: WireEncode,
     {
         wires.clear();
         let r = self.round;
@@ -616,6 +629,7 @@ impl<P: Protocol> ShardCore<P> {
             addressed.clear();
             for (recipients, msg) in out {
                 let bits = if measure_bits { wire_bits(&*msg) } else { 0 };
+                let tok = self.frames.tok_for(&msg);
                 for to in recipients.expand(&self.assignment) {
                     assert!(
                         addressed.insert(to),
@@ -627,6 +641,7 @@ impl<P: Protocol> ShardCore<P> {
                         to,
                         msg: Arc::clone(&msg),
                         bits,
+                        tok,
                     });
                 }
             }
@@ -651,6 +666,7 @@ impl<P: Protocol> ShardCore<P> {
             } else {
                 0
             };
+            let tok = self.frames.tok_for(&emission.msg);
             for to in emission.to.expand(&self.assignment) {
                 if self.cfg.byz_power == ByzPower::Restricted {
                     let count = byz_sent.entry((emission.from, to)).or_insert(0);
@@ -665,6 +681,7 @@ impl<P: Protocol> ShardCore<P> {
                     to,
                     msg: Arc::clone(&emission.msg),
                     bits,
+                    tok,
                 });
             }
         }
@@ -715,7 +732,7 @@ impl<P: Protocol> ShardCore<P> {
             }
             slots.push(
                 Pid::new(self.offset + wire.to.index()),
-                SharedEnvelope::shared(wire.src, Arc::clone(&wire.msg)),
+                SharedEnvelope::framed(wire.src, Arc::clone(&wire.msg), wire.tok),
             );
         }
     }
@@ -768,7 +785,7 @@ impl<P: Protocol> SimShard<P> {
         measure_bits: bool,
         record_trace: bool,
     ) where
-        P::Msg: WireSize,
+        P::Msg: WireEncode,
     {
         let shard = ShardId(s);
         if self.core.active {
@@ -906,7 +923,8 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
         self
     }
 
-    /// Estimates wire bits per shot (off by default) — see [`wire_bits`].
+    /// Measures exact wire bits per shot (off by default) — see
+    /// [`wire_bits`].
     pub fn measure_bits(mut self, on: bool) -> Self {
         self.measure_bits = on;
         self
@@ -987,7 +1005,7 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
     pub fn step(&mut self)
     where
         P: Send,
-        P::Msg: WireSize,
+        P::Msg: WireEncode,
     {
         let tick = self.tick;
         let measure_bits = self.measure_bits;
@@ -1021,7 +1039,7 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
     pub fn run(&mut self, max_ticks: u64) -> Vec<ShardReport<P::Value>>
     where
         P: Send,
-        P::Msg: WireSize,
+        P::Msg: WireEncode,
     {
         while self.tick < max_ticks && !self.all_idle() {
             self.step();
@@ -1161,9 +1179,10 @@ mod tests {
         );
         let reports = with_bits.run(4);
         let shot = &reports[0].shots[0];
-        // 2 non-self messages, 32 structural bits per u32 payload.
-        assert_eq!(shot.bits_sent, Some(64));
-        assert_eq!(reports[0].bits_sent(), Some(64));
+        // 2 non-self messages; a small u32 payload frames to 2 bytes
+        // (version byte + 1 varint byte) = 16 exact bits each.
+        assert_eq!(shot.bits_sent, Some(32));
+        assert_eq!(reports[0].bits_sent(), Some(32));
 
         let mut without = ShardedSimulation::new();
         without.add_shard(
@@ -1248,9 +1267,9 @@ mod tests {
             }
         }
 
-        impl WireSize for Counted {
-            fn wire_bits(&self) -> u64 {
-                32
+        impl WireEncode for Counted {
+            fn encode(&self, w: &mut codec::Writer) {
+                self.0.encode(w);
             }
         }
 

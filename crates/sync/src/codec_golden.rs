@@ -1,0 +1,26 @@
+//! Golden byte-vector tests pinning the wire format of the `T(A)`
+//! transformer messages (format version 1, the single leading byte of
+//! each frame). Breaking any of these vectors is a wire-format break:
+//! bump `FORMAT_VERSION` in `homonym_core::codec` and regenerate.
+
+use std::collections::BTreeMap;
+
+use homonym_classic::{Eig, EigMsg, SyncBa};
+use homonym_core::codec::encode_frame;
+use homonym_core::{Domain, Id};
+
+use crate::transformer::{TransformerMsg, TransformerMsgOf};
+
+#[test]
+fn golden_transformer_vectors() {
+    let decide: TransformerMsgOf<Eig<bool>> = TransformerMsg::Decide(Some(true));
+    assert_eq!(encode_frame(&decide), vec![1, 1, 1, 1]);
+
+    let eig = Eig::new(4, 1, Domain::binary());
+    let state: TransformerMsgOf<Eig<bool>> = TransformerMsg::State(eig.init(Id::new(3), false));
+    assert_eq!(encode_frame(&state), vec![1, 0, 3, 1, 0, 0, 0]);
+
+    let msg: EigMsg<bool> = BTreeMap::from([(vec![], true), (vec![Id::new(2)], false)]);
+    let run: TransformerMsgOf<Eig<bool>> = TransformerMsg::Run(msg);
+    assert_eq!(encode_frame(&run), vec![1, 2, 2, 0, 1, 1, 2, 0]);
+}

@@ -29,6 +29,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+#[cfg(test)]
+mod codec_golden;
 mod transformer;
 
 pub use transformer::{Transformed, TransformedFactory, TransformerMsg, TransformerMsgOf};

@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use homonym_classic::SyncBa;
+use homonym_core::codec::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 use homonym_core::{Id, Inbox, Protocol, ProtocolFactory, Recipients, Round, WireSize};
 
 /// The phase-relative position of a round: each phase of `T(A)` is three
@@ -42,6 +43,39 @@ pub enum TransformerMsg<S, M, V> {
 /// The concrete wire type of `T(A)` for a given algorithm `A`.
 pub type TransformerMsgOf<A> =
     TransformerMsg<<A as SyncBa>::State, <A as SyncBa>::Msg, <A as SyncBa>::Value>;
+
+impl<S: WireEncode, M: WireEncode, V: WireEncode> WireEncode for TransformerMsg<S, M, V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            TransformerMsg::State(s) => {
+                w.put_u8(0);
+                s.encode(w);
+            }
+            TransformerMsg::Decide(d) => {
+                w.put_u8(1);
+                d.encode(w);
+            }
+            TransformerMsg::Run(m) => {
+                w.put_u8(2);
+                m.encode(w);
+            }
+        }
+    }
+}
+
+impl<S: WireDecode, M: WireDecode, V: WireDecode> WireDecode for TransformerMsg<S, M, V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take_u8()? {
+            0 => Ok(TransformerMsg::State(S::decode(r)?)),
+            1 => Ok(TransformerMsg::Decide(Option::decode(r)?)),
+            2 => Ok(TransformerMsg::Run(M::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "TransformerMsg",
+                tag,
+            }),
+        }
+    }
+}
 
 impl<S: WireSize, M: WireSize, V: WireSize> WireSize for TransformerMsg<S, M, V> {
     fn wire_bits(&self) -> u64 {
@@ -487,5 +521,82 @@ mod tests {
         let f = TransformedFactory::new(algo(4, 1), 1);
         // EIG bound = t + 1 = 2 simulated rounds → 3 × (2 + 1) = 9.
         assert_eq!(f.round_bound(), 9);
+    }
+}
+
+#[cfg(test)]
+mod codec_proptests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+    use homonym_classic::{Eig, EigMsg, EigState, SyncBa};
+    use homonym_core::codec::{decode_frame, encode_frame};
+    use homonym_core::Domain;
+    use proptest::prelude::*;
+
+    /// A structurally arbitrary EIG message: random paths over
+    /// identifiers 1..=6 with random boolean values.
+    fn arb_eig_msg() -> impl Strategy<Value = EigMsg<bool>> {
+        proptest::collection::btree_map(
+            proptest::collection::vec(1u16..=6, 0..3)
+                .prop_map(|raw| raw.into_iter().map(Id::new).collect::<Vec<Id>>()),
+            any::<bool>(),
+            0..5,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// `decode(encode(m)) == m` for every `T(EIG)` wire variant:
+        /// selection-round states, deciding-round decisions, and
+        /// running-round simulated messages.
+        #[test]
+        fn transformer_msg_roundtrips(
+            tag in 0usize..3,
+            raw_id in 1u16..=6,
+            input in any::<bool>(),
+            decide in any::<bool>(),
+            decision in any::<bool>(),
+            run_msg in arb_eig_msg(),
+        ) {
+            let algo = Eig::new(4, 1, Domain::binary());
+            let msg: TransformerMsgOf<Eig<bool>> = match tag {
+                0 => TransformerMsg::State(algo.init(Id::new(raw_id), input)),
+                1 => TransformerMsg::Decide(decide.then_some(decision)),
+                _ => TransformerMsg::Run(run_msg),
+            };
+            let back: TransformerMsgOf<Eig<bool>> =
+                decode_frame(&encode_frame(&msg)).expect("own frames must decode");
+            prop_assert_eq!(back, msg);
+        }
+
+        /// The `State` variant also round-trips rich states reached by
+        /// actually stepping the simulated algorithm.
+        #[test]
+        fn transformer_state_roundtrips_after_steps(
+            inputs in proptest::collection::vec(any::<bool>(), 4),
+        ) {
+            let algo = Eig::new(4, 1, Domain::binary());
+            let mut states: Vec<EigState<bool>> = (0..4)
+                .map(|k| algo.init(Id::from_index(k), inputs[k]))
+                .collect();
+            for ba_round in 1..=algo.round_bound() {
+                let received: BTreeMap<Id, EigMsg<bool>> = (0..4)
+                    .map(|k| (Id::from_index(k), algo.message(&states[k], ba_round)))
+                    .collect();
+                states = states
+                    .iter()
+                    .map(|s| algo.transition(s, ba_round, &received))
+                    .collect();
+                for s in &states {
+                    let wrapped: TransformerMsgOf<Eig<bool>> =
+                        TransformerMsg::State(s.clone());
+                    let back: TransformerMsgOf<Eig<bool>> =
+                        decode_frame(&encode_frame(&wrapped)).expect("own frames must decode");
+                    prop_assert_eq!(back, wrapped);
+                }
+            }
+        }
     }
 }

@@ -20,7 +20,7 @@ use homonyms::core::exec::{Executor, Pool, Sequential};
 use homonyms::core::Pid;
 use homonyms::core::{
     Counting, Domain, Envelope, FnFactory, Id, IdAssignment, Inbox, Message, Protocol,
-    ProtocolFactory, Recipients, Round, Synchrony, SystemConfig, WireSize,
+    ProtocolFactory, Recipients, Round, Synchrony, SystemConfig, WireEncode, Writer,
 };
 use homonyms::psync::{AgreementFactory, Bundle, HomonymAgreement};
 use homonyms::sim::adversary::Silent;
@@ -36,11 +36,17 @@ enum MixedMsg {
     Psync(Bundle<bool>),
 }
 
-impl WireSize for MixedMsg {
-    fn wire_bits(&self) -> u64 {
+impl WireEncode for MixedMsg {
+    fn encode(&self, w: &mut Writer) {
         match self {
-            MixedMsg::Sync(m) => m.wire_bits(),
-            MixedMsg::Psync(m) => m.wire_bits(),
+            MixedMsg::Sync(m) => {
+                w.put_u8(0);
+                m.encode(w);
+            }
+            MixedMsg::Psync(m) => {
+                w.put_u8(1);
+                m.encode(w);
+            }
         }
     }
 }

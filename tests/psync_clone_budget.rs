@@ -13,7 +13,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use homonyms::core::{Counting, Domain, Id, Inbox, Protocol, Round, SharedEnvelope, WireSize};
+use homonyms::core::{
+    Counting, Domain, Id, Inbox, Protocol, Round, SharedEnvelope, WireEncode, Writer,
+};
 use homonyms::psync::{Bundle, HomonymAgreement};
 
 static CLONES: AtomicU64 = AtomicU64::new(0);
@@ -33,9 +35,9 @@ impl Clone for Counted {
     }
 }
 
-impl WireSize for Counted {
-    fn wire_bits(&self) -> u64 {
-        8
+impl WireEncode for Counted {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
     }
 }
 
