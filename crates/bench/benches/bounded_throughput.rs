@@ -1,0 +1,150 @@
+//! Bounded-state broadcast — wire and memory cost of the bounded
+//! Figure 5 stack against the faithful one, at n ∈ {32, 64, 128}.
+//!
+//! The faithful protocol rebroadcasts its whole echo history every round,
+//! so its bits/round and per-process state grow linearly for as long as
+//! the run lasts. The bounded variant rebroadcasts only the watermark
+//! window, so both curves go *flat* once the horizon starts pruning. Each
+//! run is driven until every process decides plus a fixed steady-state
+//! tail, long enough for the bounded plateau to be visible
+//! ([`fig5_wire_profile`] / [`fig5_bounded_wire_profile`]).
+//!
+//! Besides the criterion timing loop, the bench writes machine-readable
+//! results to `BENCH_bounded.json` with three series — `sync_t_eig` (the
+//! machine-speed reference the gate normalizes against), `psync_fig5`
+//! (faithful), and `psync_fig5_bounded` — including exact `bits_sent`,
+//! `bits_per_decision`, the mid/end tail bits-per-round samples that show
+//! the plateau, and the `state_bits`/`peak_state_bits` memory samples.
+//! Pass `--quick` (CI does) to trim the series to n = 32 with a shorter
+//! tail.
+
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion};
+use homonym_bench::json::{write_bench_json, Value};
+use homonym_bench::{fig5_bounded_wire_profile, fig5_wire_profile, run_t_eig_clean, WireProfile};
+
+const NS_FULL: [usize; 3] = [32, 64, 128];
+const NS_QUICK: [usize; 1] = [32];
+/// Steady-state rounds driven past the all-decided round. The bounded
+/// window is 16 superrounds (32 rounds), so the tail holds well over a
+/// full window of plateau on both sampling points. Quick mode trims the
+/// `n` series but keeps the same tail: the runs are deterministic, so
+/// the shared n = 32 point is bit-identical between the committed
+/// full-mode snapshot and a CI quick run, and the gate can be tight.
+const TAIL: u64 = 128;
+
+fn bench(c: &mut Criterion, ns: &[usize]) {
+    let mut group = c.benchmark_group("bounded_throughput");
+    group.sample_size(10);
+    for &n in ns {
+        group.bench_with_input(
+            BenchmarkId::new("psync_fig5", format!("n{n}")),
+            &n,
+            |b, &n| b.iter(|| fig5_wire_profile(n, 32).total_bits),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("psync_fig5_bounded", format!("n{n}")),
+            &n,
+            |b, &n| b.iter(|| fig5_bounded_wire_profile(n, 32).total_bits),
+        );
+    }
+    group.finish();
+}
+
+/// One instrumented reference run (the throughput shape the gate
+/// normalizes machine speed with).
+fn measure_reference(n: usize) -> Value {
+    let start = Instant::now();
+    let report = run_t_eig_clean(n, 4, 1);
+    let time_ns = start.elapsed().as_nanos() as i64;
+    assert!(report.verdict.all_hold(), "sync_t_eig n={n} must decide");
+    Value::obj([
+        ("protocol", Value::str("sync_t_eig")),
+        ("n", Value::Int(n as i64)),
+        ("ell", Value::Int(4)),
+        ("t", Value::Int(1)),
+        ("time_ns", Value::Int(time_ns)),
+        ("messages_sent", Value::Int(report.messages_sent as i64)),
+        (
+            "messages_per_sec",
+            Value::Num(report.messages_sent as f64 / (time_ns as f64 / 1e9)),
+        ),
+    ])
+}
+
+/// One instrumented profile run rendered as a series entry. The tail
+/// samples land at `decided + tail/2` and at the final round — for the
+/// bounded stack the two match once the horizon prunes (flat bits per
+/// round); for the faithful stack the end sample keeps climbing.
+fn measure_profile(
+    protocol: &str,
+    n: usize,
+    tail: u64,
+    run: impl FnOnce() -> WireProfile,
+) -> Value {
+    let start = Instant::now();
+    let profile = run();
+    let time_ns = start.elapsed().as_nanos() as i64;
+    let mid = profile.per_round_bits[(profile.decided_round + tail / 2) as usize];
+    let end = *profile.per_round_bits.last().expect("profiled rounds");
+    Value::obj([
+        ("protocol", Value::str(protocol)),
+        ("n", Value::Int(n as i64)),
+        ("ell", Value::Int((n / 2 + 2) as i64)),
+        ("t", Value::Int(1)),
+        ("time_ns", Value::Int(time_ns)),
+        ("rounds", Value::Int(profile.rounds as i64)),
+        ("decided_round", Value::Int(profile.decided_round as i64)),
+        ("tail_rounds", Value::Int(tail as i64)),
+        ("bundles_sent", Value::Int(profile.bundles_sent as i64)),
+        ("messages_sent", Value::Int(profile.messages_sent as i64)),
+        (
+            "messages_per_sec",
+            Value::Num(profile.messages_sent as f64 / (time_ns as f64 / 1e9)),
+        ),
+        ("bits_sent", Value::Int(profile.total_bits as i64)),
+        (
+            "bits_per_decision",
+            Value::Num(profile.total_bits as f64 / n as f64),
+        ),
+        ("bits_per_round_mid", Value::Int(mid as i64)),
+        ("bits_per_round_end", Value::Int(end as i64)),
+        ("state_bits", Value::Int(profile.state_bits as i64)),
+        (
+            "peak_state_bits",
+            Value::Int(profile.peak_state_bits as i64),
+        ),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ns: &[usize] = if quick { &NS_QUICK } else { &NS_FULL };
+    let tail = TAIL;
+
+    let mut c = Criterion::default();
+    bench(&mut c, ns);
+
+    let mut series = Vec::new();
+    for &n in ns {
+        series.push(measure_reference(n));
+    }
+    for &n in ns {
+        series.push(measure_profile("psync_fig5", n, tail, || {
+            fig5_wire_profile(n, tail)
+        }));
+        series.push(measure_profile("psync_fig5_bounded", n, tail, || {
+            fig5_bounded_wire_profile(n, tail)
+        }));
+    }
+    let doc = Value::obj([
+        ("bench", Value::str("bounded_throughput")),
+        ("mode", Value::str(if quick { "quick" } else { "full" })),
+        ("series", Value::Arr(series)),
+    ]);
+    match write_bench_json("bounded", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_bounded.json: {e}"),
+    }
+}

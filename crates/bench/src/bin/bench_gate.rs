@@ -1,20 +1,30 @@
-//! The CI hot-path guardrail: compares a freshly generated
-//! `BENCH_fabric.json` against the committed snapshot and **fails**
-//! (exit 1) if any gated series point regressed in `messages_per_sec`
-//! by more than the allowed fraction.
+//! The CI hot-path guardrail: compares a freshly generated bench JSON
+//! (`BENCH_fabric.json`, `BENCH_codec.json`, `BENCH_bounded.json`, …)
+//! against the committed snapshot and **fails** (exit 1) if any gated
+//! series point regressed in the gated metric by more than the allowed
+//! fraction.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_gate --baseline <committed BENCH_fabric.json> \
-//!            --current  <fresh BENCH_fabric.json> \
-//!            [--protocol psync_fig5[,sync_t_eig,...]] \
+//! bench_gate --baseline <committed bench json> \
+//!            --current  <fresh bench json> \
+//!            [--protocol psync_fig5[,sync_t_eig,...] | --protocol '*'] \
+//!            [--metric messages_per_sec] \
+//!            [--direction higher|lower] \
 //!            [--max-regression 0.30] \
 //!            [--reference sync_t_eig]
 //! ```
 //!
 //! `--protocol` takes a comma-separated list; every listed series is
-//! gated independently and any regression fails the run.
+//! gated independently and any regression fails the run. `--protocol '*'`
+//! gates a file whose series carry no `protocol` tag at all (the codec
+//! bench): every `n` point in the file belongs to the one unnamed series.
+//!
+//! `--metric` picks the gated field (default `messages_per_sec`), and
+//! `--direction` says which way is better (default `higher`; pass
+//! `lower` for size- or bit-shaped metrics such as `bytes_per_bundle` or
+//! `bits_per_decision`).
 //!
 //! Only `n` values present in **both** files are compared (the committed
 //! snapshot is full-mode, CI runs quick mode). Because the committed
@@ -25,20 +35,24 @@
 //! current/baseline reference ratio before the floor is applied — so the
 //! gate trips on the *algorithm* getting slower relative to the same
 //! machine's delivery fabric, not on runner hardware. Pass
-//! `--reference none` for absolute comparison. The parser is a small
-//! scanner over the workspace's own `json` writer output — the schema is
-//! ours, so a full JSON parser is not needed; unknown lines are skipped.
+//! `--reference none` for absolute comparison (the right choice for
+//! machine-independent metrics like exact wire bits). The parser is a
+//! small scanner over the workspace's own `json` writer output — the
+//! schema is ours, so a full JSON parser is not needed; unknown lines are
+//! skipped.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// The `(n → messages_per_sec)` points of one protocol's series, scraped
-/// from a `BENCH_fabric.json`-shaped file.
-fn series_points(path: &str, protocol: &str) -> BTreeMap<i64, f64> {
+/// The `(n → metric)` points of one protocol's series, scraped from a
+/// bench-JSON-shaped file. `protocol == "*"` matches every series,
+/// including files whose series carry no `protocol` tag.
+fn series_points(path: &str, protocol: &str, metric: &str) -> BTreeMap<i64, f64> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
     let mut points = BTreeMap::new();
-    let mut in_series = false;
+    let wildcard = protocol == "*";
+    let mut in_series = wildcard;
     let mut n: Option<i64> = None;
     let field = |line: &str, key: &str| -> Option<String> {
         let rest = line.trim().strip_prefix(&format!("\"{key}\": "))?;
@@ -46,7 +60,7 @@ fn series_points(path: &str, protocol: &str) -> BTreeMap<i64, f64> {
     };
     for line in text.lines() {
         if let Some(value) = field(line, "protocol") {
-            in_series = value == protocol;
+            in_series = wildcard || value == protocol;
             n = None;
         }
         if !in_series {
@@ -55,7 +69,7 @@ fn series_points(path: &str, protocol: &str) -> BTreeMap<i64, f64> {
         if let Some(value) = field(line, "n") {
             n = value.parse().ok();
         }
-        if let Some(value) = field(line, "messages_per_sec") {
+        if let Some(value) = field(line, metric) {
             if let (Some(n), Ok(rate)) = (n, value.parse::<f64>()) {
                 points.insert(n, rate);
             }
@@ -84,6 +98,13 @@ fn main() -> ExitCode {
         !protocols.is_empty(),
         "--protocol lists at least one series"
     );
+    let metric = arg_after("--metric").unwrap_or("messages_per_sec");
+    let direction = arg_after("--direction").unwrap_or("higher");
+    let higher_is_better = match direction {
+        "higher" => true,
+        "lower" => false,
+        other => panic!("--direction is 'higher' or 'lower', got {other}"),
+    };
     let reference = arg_after("--reference").unwrap_or("sync_t_eig");
     let max_regression: f64 = arg_after("--max-regression")
         .unwrap_or("0.30")
@@ -91,12 +112,13 @@ fn main() -> ExitCode {
         .expect("--max-regression is a fraction");
 
     // Machine-speed normalization: median current/baseline ratio of the
-    // reference series over the n values both files carry.
+    // reference series over the n values both files carry. The reference
+    // metric is always throughput-shaped (higher = faster machine).
     let scale = if reference == "none" {
         1.0
     } else {
-        let ref_base = series_points(baseline_path, reference);
-        let ref_cur = series_points(current_path, reference);
+        let ref_base = series_points(baseline_path, reference, "messages_per_sec");
+        let ref_cur = series_points(current_path, reference, "messages_per_sec");
         let mut ratios: Vec<f64> = ref_base
             .iter()
             .filter_map(|(n, &b)| ref_cur.get(n).map(|&c| c / b))
@@ -119,11 +141,11 @@ fn main() -> ExitCode {
     let mut total_compared = 0;
     let mut failed_protocols: Vec<&str> = Vec::new();
     for protocol in &protocols {
-        let baseline = series_points(baseline_path, protocol);
-        let current = series_points(current_path, protocol);
+        let baseline = series_points(baseline_path, protocol, metric);
+        let current = series_points(current_path, protocol, metric);
         if baseline.is_empty() || current.is_empty() {
             eprintln!(
-                "bench_gate: no '{protocol}' points found (baseline: {}, current: {})",
+                "bench_gate: no '{protocol}' {metric} points found (baseline: {}, current: {})",
                 baseline.len(),
                 current.len()
             );
@@ -137,16 +159,24 @@ fn main() -> ExitCode {
                 continue; // quick mode trims the series; compare the overlap
             };
             compared += 1;
-            let floor = base_rate * scale * (1.0 - max_regression);
-            let verdict = if cur_rate < floor {
+            // Higher-is-better metrics scale with machine speed; lower-is
+            // -better (time- or size-shaped) metrics scale inversely.
+            let (bound, regressed, shape) = if higher_is_better {
+                let floor = base_rate * scale * (1.0 - max_regression);
+                (floor, cur_rate < floor, "floor")
+            } else {
+                let ceiling = base_rate / scale * (1.0 + max_regression);
+                (ceiling, cur_rate > ceiling, "ceiling")
+            };
+            let verdict = if regressed {
                 failed = true;
                 "REGRESSED"
             } else {
                 "ok"
             };
             println!(
-                "{protocol} n={n}: baseline {base_rate:.0} msgs/s, current {cur_rate:.0} msgs/s \
-                 (machine-normalized floor {floor:.0}) — {verdict}"
+                "{protocol} n={n}: baseline {metric} {base_rate:.2}, current {cur_rate:.2} \
+                 (machine-normalized {shape} {bound:.2}) — {verdict}"
             );
         }
         if compared == 0 {
@@ -160,13 +190,13 @@ fn main() -> ExitCode {
     }
     if !failed_protocols.is_empty() {
         eprintln!(
-            "bench_gate: {} regressed more than {:.0}% — the gated path \
-             got slower; see the comparison above",
+            "bench_gate: {} regressed more than {:.0}% in {metric} — the gated \
+             path got worse; see the comparison above",
             failed_protocols.join(", "),
             max_regression * 100.0
         );
         return ExitCode::FAILURE;
     }
-    println!("bench_gate: {total_compared} point(s) within budget");
+    println!("bench_gate: {total_compared} {metric} point(s) within budget");
     ExitCode::SUCCESS
 }

@@ -22,15 +22,18 @@
 //!      against the retired `WireSize` structural estimate on the
 //!      Figure 5 workload, auditing the `bits_sent` series the
 //!      arXiv:2311.08060 quadratic-cost reproduction rests on
+//!  15. Bounded-state broadcast — faithful vs. bounded Figure 5 stacks:
+//!      identical decisions, flat vs. growing bits/round and state, the
+//!      same series `BENCH_bounded.json` records
 //!
 //! EXPERIMENTS.md archives this output next to the paper's claims.
 
 use homonym_bench::json::{write_bench_json, Value};
 use homonym_bench::{
-    cell_line, decided_round_value, fig5_factory, fig5_wire_bundles, fig7_factory, measure_sharded,
-    psync_cfg, restricted_cfg, run_fig5, run_fig5_known_bound, run_fig5_unknown_bound, run_fig7,
-    run_sharded_fig5, run_sharded_t_eig, run_t_eig_clean, suite_fig5, suite_fig7, suite_t_eig,
-    sync_cfg,
+    cell_line, decided_round_value, fig5_bounded_wire_profile, fig5_factory, fig5_wire_bundles,
+    fig5_wire_profile, fig7_factory, measure_sharded, psync_cfg, restricted_cfg, run_fig5,
+    run_fig5_known_bound, run_fig5_unknown_bound, run_fig7, run_sharded_fig5, run_sharded_t_eig,
+    run_t_eig_clean, suite_fig5, suite_fig7, suite_t_eig, sync_cfg,
 };
 use homonym_core::codec;
 #[allow(deprecated)]
@@ -666,6 +669,57 @@ fn exact_vs_estimate() -> Value {
     Value::Arr(series)
 }
 
+fn bounded_vs_faithful() -> Value {
+    section("Bounded-state broadcast — faithful vs. bounded Figure 5 (§15)");
+    println!(
+        "(split-input full-delivery runs driven to decision + a 64-round steady-state tail; \
+         the faithful stack rebroadcasts its whole echo history every round, the bounded \
+         stack only its watermark window — same decisions, flat bits/round and state)"
+    );
+    println!(
+        "{:>20} | {:>4} | {:>7} | {:>12} | {:>11} | {:>11} | {:>12}",
+        "protocol", "n", "decided", "bits_sent", "b/rnd mid", "b/rnd end", "state_bits"
+    );
+    let tail = 64u64;
+    let mut series = Vec::new();
+    for n in [32usize, 64] {
+        let mut decided = Vec::new();
+        for (protocol, profile) in [
+            ("psync_fig5", fig5_wire_profile(n, tail)),
+            ("psync_fig5_bounded", fig5_bounded_wire_profile(n, tail)),
+        ] {
+            let mid = profile.per_round_bits[(profile.decided_round + tail / 2) as usize];
+            let end = *profile.per_round_bits.last().expect("profiled rounds");
+            println!(
+                "{protocol:>20} | {n:>4} | {:>7} | {:>12} | {mid:>11} | {end:>11} | {:>12}",
+                profile.decided_round, profile.total_bits, profile.state_bits
+            );
+            decided.push(profile.decided_round);
+            series.push(Value::obj([
+                ("protocol", Value::str(protocol)),
+                ("n", Value::Int(n as i64)),
+                ("ell", Value::Int((n / 2 + 2) as i64)),
+                ("t", Value::Int(1)),
+                ("decided_round", Value::Int(profile.decided_round as i64)),
+                ("tail_rounds", Value::Int(tail as i64)),
+                ("bits_sent", Value::Int(profile.total_bits as i64)),
+                ("bits_per_round_mid", Value::Int(mid as i64)),
+                ("bits_per_round_end", Value::Int(end as i64)),
+                ("state_bits", Value::Int(profile.state_bits as i64)),
+                (
+                    "peak_state_bits",
+                    Value::Int(profile.peak_state_bits as i64),
+                ),
+            ]));
+        }
+        assert_eq!(
+            decided[0], decided[1],
+            "bounded n={n} must decide in the same round as faithful"
+        );
+    }
+    Value::Arr(series)
+}
+
 fn headline() {
     section("Headline — more correct processes can break agreement");
     let four = psync_cfg(4, 4, 1);
@@ -694,6 +748,7 @@ fn main() {
     let shard_series = shard_throughput();
     let bundle_series = bundle_path();
     let wire_audit = exact_vs_estimate();
+    let bounded_series = bounded_vs_faithful();
     headline();
 
     let doc = Value::obj([
@@ -705,6 +760,7 @@ fn main() {
         ("shard_throughput", shard_series),
         ("bundle_path", bundle_series),
         ("exact_vs_estimate", wire_audit),
+        ("bounded_vs_faithful", bounded_series),
     ]);
     match write_bench_json("paper_report", &doc) {
         Ok(path) => println!("\nwrote {}", path.display()),

@@ -18,7 +18,7 @@ use homonym_core::{
 use homonym_delay::{
     AlwaysBounded, DelayCluster, DelayReport, DoublingPacing, EventuallyBounded, FixedPacing,
 };
-use homonym_psync::{AgreementFactory, Bundle, RestrictedFactory};
+use homonym_psync::{AgreementFactory, BoundedAgreementFactory, Bundle, RestrictedFactory};
 use homonym_sim::harness::{run_standard_suite, SuiteParams, SuiteResult};
 use homonym_sim::{
     RandomUntilGst, RunReport, ShardReport, ShardSpec, ShardedSimulation, ShotSpec, Simulation,
@@ -186,6 +186,121 @@ pub fn fig5_wire_bundles(n: usize) -> Vec<Arc<Bundle<bool>>> {
         "fig5 n={n} must decide"
     );
     bundles
+}
+
+/// Exact wire/memory profile of one hand-driven, full-delivery Figure 5
+/// run: frame bits per round, bundle emissions, and per-round process
+/// state samples, driven until every process decides and then `tail`
+/// further steady-state rounds.
+///
+/// The `bounded_throughput` bench and the paper report's
+/// faithful-vs-bounded table both consume this: the faithful stack
+/// rebroadcasts its whole echo history every round (bits/round grows
+/// without bound), the bounded stack only its watermark window
+/// (bits/round and state flat), and the profile makes both curves
+/// visible in one schema.
+pub struct WireProfile {
+    /// Round by which every process had decided.
+    pub decided_round: u64,
+    /// Total rounds driven (`decided_round + 1 + tail`).
+    pub rounds: u64,
+    /// Broadcast emissions (one bundle each, fanned out to all `n`).
+    pub bundles_sent: u64,
+    /// Per-recipient deliveries (`bundles_sent × n`).
+    pub messages_sent: u64,
+    /// Exact frame bits summed over every emission (counted once per
+    /// broadcast — the `Arc` fan-out shares the frame with every
+    /// recipient, exactly as the sharded engine's `wire_bits` accounting
+    /// does).
+    pub total_bits: u64,
+    /// Exact frame bits per round, in round order.
+    pub per_round_bits: Vec<u64>,
+    /// Sum of [`Protocol::state_bits`] across processes after the last
+    /// round.
+    pub state_bits: u64,
+    /// Largest per-round state sample over the run.
+    pub peak_state_bits: u64,
+}
+
+/// [`WireProfile`] of the faithful Figure 5 stack at
+/// `(n, ℓ = n/2 + 2, t = 1)` with split inputs.
+pub fn fig5_wire_profile(n: usize, tail: u64) -> WireProfile {
+    let ell = n / 2 + 2;
+    let factory = fig5_factory(n, ell, 1);
+    let bound = factory.round_bound();
+    profile_run(&factory, n, ell, bound + 64, tail)
+}
+
+/// [`WireProfile`] of the bounded-storage Figure 5 stack
+/// ([`BoundedAgreementFactory`]) at the same parameters.
+pub fn fig5_bounded_wire_profile(n: usize, tail: u64) -> WireProfile {
+    let ell = n / 2 + 2;
+    let factory = BoundedAgreementFactory::new(n, ell, 1, Domain::binary());
+    let bound = factory.round_bound();
+    profile_run(&factory, n, ell, bound + 64, tail)
+}
+
+fn profile_run<F>(factory: &F, n: usize, ell: usize, max_rounds: u64, tail: u64) -> WireProfile
+where
+    F: ProtocolFactory,
+    F::P: Protocol<Value = bool>,
+    <F::P as Protocol>::Msg: homonym_core::codec::WireEncode,
+{
+    let cfg = psync_cfg(n, ell, 1);
+    let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
+    let mut procs: Vec<F::P> = (0..n)
+        .map(|i| factory.spawn(assignment.id_of(Pid::new(i)), i % 2 == 0))
+        .collect();
+    let mut deliveries = Deliveries::new(n);
+    let mut decided_round = None;
+    let mut per_round_bits = Vec::new();
+    let mut bundles_sent = 0u64;
+    let mut total_bits = 0u64;
+    let (mut state_bits, mut peak_state_bits) = (0u64, 0u64);
+    let mut r = 0u64;
+    while r < max_rounds {
+        let round = Round::new(r);
+        deliveries.clear();
+        let mut round_bits = 0u64;
+        for (i, proc_) in procs.iter_mut().enumerate() {
+            let src = assignment.id_of(Pid::new(i));
+            for (recipients, msg) in proc_.send_shared(round) {
+                bundles_sent += 1;
+                round_bits += homonym_core::codec::frame_bits(&*msg);
+                for to in recipients.expand(&assignment) {
+                    deliveries.push(to, SharedEnvelope::shared(src, Arc::clone(&msg)));
+                }
+            }
+        }
+        total_bits += round_bits;
+        per_round_bits.push(round_bits);
+        for (i, proc_) in procs.iter_mut().enumerate() {
+            let inbox = deliveries.take_inbox(Pid::new(i), cfg.counting);
+            proc_.receive(round, &inbox);
+        }
+        state_bits = procs.iter().map(|p| p.state_bits()).sum();
+        peak_state_bits = peak_state_bits.max(state_bits);
+        if decided_round.is_none() && procs.iter().all(|p| p.decision().is_some()) {
+            decided_round = Some(r);
+        }
+        r += 1;
+        if let Some(d) = decided_round {
+            if r >= d + 1 + tail {
+                break;
+            }
+        }
+    }
+    let decided_round = decided_round.expect("profiled run must decide");
+    WireProfile {
+        decided_round,
+        rounds: r,
+        bundles_sent,
+        messages_sent: bundles_sent * n as u64,
+        total_bits,
+        per_round_bits,
+        state_bits,
+        peak_state_bits,
+    }
 }
 
 /// K shards of n-process synchronous `T(EIG)` agreement, each running

@@ -122,6 +122,27 @@ impl<T: Clone + Ord> Default for Interner<T> {
     }
 }
 
+impl<T: PartialEq> PartialEq for Interner<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.items.len() == other.items.len()
+            && self.items.iter().zip(&other.items).all(|(a, b)| **a == **b)
+    }
+}
+
+impl<T: Eq> Eq for Interner<T> {}
+
+impl<T: std::hash::Hash> std::hash::Hash for Interner<T> {
+    /// Hashes the interned values in token order — tokens are assigned
+    /// first-seen, so two interners that interned the same values in the
+    /// same order hash (and compare) equal regardless of map internals.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.items.len().hash(state);
+        for item in &self.items {
+            (**item).hash(state);
+        }
+    }
+}
+
 impl<T: fmt::Debug> fmt::Debug for Interner<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Interner")
@@ -146,7 +167,7 @@ impl<T: fmt::Debug> fmt::Debug for Interner<T> {
 /// assert_eq!(bits.len(), 2);
 /// assert!(bits.contains(70) && !bits.contains(0));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IdBits {
     words: Vec<u64>,
     count: u32,

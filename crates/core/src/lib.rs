@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+pub mod chain;
 pub mod codec;
 mod config;
 mod error;
@@ -66,6 +67,7 @@ pub mod spec;
 mod value;
 mod wire;
 
+pub use chain::{ChainMsg, HeightChain, HeightChainFactory};
 pub use codec::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 pub use config::{ByzPower, Counting, Synchrony, SystemConfig, SystemConfigBuilder};
 pub use error::{AssignmentError, ConfigError};

@@ -166,6 +166,19 @@ pub trait Protocol {
     /// `Some` (decisions are irrevocable); processes keep participating
     /// after deciding.
     fn decision(&self) -> Option<Self::Value>;
+
+    /// A structural estimate of this process's retained protocol state,
+    /// in bits: every table entry counted at a fixed per-entry footprint.
+    ///
+    /// The absolute scale is a proxy (handles and keys are costed, not
+    /// measured); what matters is the *trend* over a run — the engines
+    /// sample the per-process sum after every delivery and report the
+    /// final and peak values in their run reports, which is how the
+    /// bounded-state protocols turn their O(1)-memory claim into a tested
+    /// number. The default of 0 means "not instrumented".
+    fn state_bits(&self) -> u64 {
+        0
+    }
 }
 
 /// Creates protocol instances for the correct processes of a run (and for

@@ -51,6 +51,11 @@ pub struct DelayReport<V> {
     pub unarrived: u64,
     /// The last round whose inbox missed at least one message, if any.
     pub last_lossy_round: Option<Round>,
+    /// Sum of [`Protocol::state_bits`] across the correct processes after
+    /// the last round (0 when the protocol is not instrumented).
+    pub state_bits: u64,
+    /// Largest per-round [`DelayReport::state_bits`] sample over the run.
+    pub peak_state_bits: u64,
 }
 
 impl<V> DelayReport<V> {
@@ -265,6 +270,8 @@ impl<P: Protocol> DelayCluster<P> {
         let mut bits_sent = 0u64;
         let mut delivered_on_time = 0u64;
         let mut late = 0u64;
+        let mut state_bits = 0u64;
+        let mut peak_state_bits = 0u64;
         let mut last_lossy_round: Option<Round> = None;
         let mark_lossy = |last: &mut Option<Round>, r: Round| {
             *last = Some(last.map_or(r, |prev: Round| prev.max(r)));
@@ -412,6 +419,9 @@ impl<P: Protocol> DelayCluster<P> {
                 }
             }
 
+            state_bits = procs.values().map(|p| p.state_bits()).sum();
+            peak_state_bits = peak_state_bits.max(state_bits);
+
             // 5. Byzantine inboxes to the adversary.
             let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = self
                 .byz
@@ -449,6 +459,8 @@ impl<P: Protocol> DelayCluster<P> {
             late,
             unarrived,
             last_lossy_round,
+            state_bits,
+            peak_state_bits,
         }
     }
 }

@@ -20,13 +20,34 @@
 //!   deduplication, hunting for safety violations within a depth budget.
 //!   A clean sweep is *not* a proof of correctness; a hit is a concrete
 //!   counterexample trace.
+//!
+//! Both searches proceed in breadth-first **depth waves**, and within a
+//! wave every frontier configuration expands independently — so
+//! [`exhaustive_search_with`] / [`split_search_with`] fan the wave out
+//! across an [`Executor`] (pass a [`Pool`](homonym_core::Pool) to use
+//! several cores). Configurations are deduplicated by a proper
+//! [`Hash`] fingerprint of the correct processes' states (protocol
+//! automata implement `Hash` structurally), merged back in task order so
+//! results are identical at any worker count.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{DefaultHasher, Hash, Hasher};
 
 use homonym_core::spec::{check, Outcome};
 use homonym_core::{
-    Counting, Envelope, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Round,
+    Counting, Envelope, Executor, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Round,
+    Sequential,
 };
+
+/// The depth-tagged dedup fingerprint of one configuration: identical
+/// states at different depths behave differently, so the round number is
+/// part of the key.
+fn fingerprint<P: Hash>(depth: u64, procs: &[P]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    depth.hash(&mut hasher);
+    procs.hash(&mut hasher);
+    hasher.finish()
+}
 
 /// The outcome of [`multivalence_demo`].
 #[derive(Clone, Debug)]
@@ -139,17 +160,9 @@ impl SearchResult {
     }
 }
 
-/// Breadth-first exploration of group-uniform Byzantine strategies.
-///
-/// Each round the Byzantine process either stays silent or replays the
-/// bundle some correct process is about to broadcast (computable without
-/// rushing: the adversary knows the deterministic algorithm and the full
-/// state). All correct-process states are deduplicated across branches via
-/// their `Debug` rendering, which is canonical for the ordered collections
-/// all protocols here use.
-///
-/// Searches for **safety** violations: two correct processes deciding
-/// differently, or a decision violating validity.
+/// Breadth-first exploration of group-uniform Byzantine strategies,
+/// expanded sequentially — see [`exhaustive_search_with`] to fan the
+/// frontier out across cores.
 ///
 /// # Panics
 ///
@@ -163,8 +176,51 @@ pub fn exhaustive_search<P, F>(
     max_states: usize,
 ) -> SearchResult
 where
-    P: Protocol + Clone + std::fmt::Debug,
+    P: Protocol + Clone + Hash + Send,
     F: ProtocolFactory<P = P>,
+{
+    exhaustive_search_with(
+        factory,
+        assignment,
+        inputs,
+        byz,
+        max_depth,
+        max_states,
+        &Sequential,
+    )
+}
+
+/// Breadth-first exploration of group-uniform Byzantine strategies.
+///
+/// Each round the Byzantine process either stays silent or replays the
+/// bundle some correct process is about to broadcast (computable without
+/// rushing: the adversary knows the deterministic algorithm and the full
+/// state). All correct-process states are deduplicated across branches by
+/// their [`Hash`] fingerprint (depth-tagged), and every configuration of
+/// a depth wave expands as one independent `exec` task — results are
+/// merged back in frontier order, so the outcome is identical at any
+/// worker count.
+///
+/// Searches for **safety** violations: two correct processes deciding
+/// differently, or a decision violating validity.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != assignment.n()`.
+#[allow(clippy::too_many_arguments)]
+pub fn exhaustive_search_with<P, F, E>(
+    factory: &F,
+    assignment: &IdAssignment,
+    inputs: &[P::Value],
+    byz: Pid,
+    max_depth: u64,
+    max_states: usize,
+    exec: &E,
+) -> SearchResult
+where
+    P: Protocol + Clone + Hash + Send,
+    F: ProtocolFactory<P = P>,
+    E: Executor,
 {
     assert_eq!(inputs.len(), assignment.n(), "one input per process");
     let correct: Vec<Pid> = Pid::all(assignment.n()).filter(|&p| p != byz).collect();
@@ -177,99 +233,111 @@ where
         .map(|&pid| (pid, inputs[pid.index()].clone()))
         .collect();
 
-    let mut queue: VecDeque<(Vec<P>, Vec<Option<usize>>)> = VecDeque::new();
-    queue.push_back((initial, Vec::new()));
-    let mut visited: BTreeSet<String> = BTreeSet::new();
+    let mut frontier: Vec<(Vec<P>, Vec<Option<usize>>)> = vec![(initial, Vec::new())];
+    let mut visited: BTreeSet<u64> = BTreeSet::new();
     let mut explored = 0usize;
     let mut max_reached = 0u64;
+    let mut depth = 0u64;
 
-    while let Some((mut procs, schedule)) = queue.pop_front() {
-        let depth = schedule.len() as u64;
+    while !frontier.is_empty() {
         max_reached = max_reached.max(depth);
-        if explored >= max_states {
-            return SearchResult::Exhausted {
-                states_explored: explored,
-                depth: max_reached,
-            };
+        let budget = max_states.saturating_sub(explored);
+        let truncated = frontier.len() > budget;
+        if truncated {
+            frontier.truncate(budget);
         }
-        explored += 1;
-
+        if frontier.is_empty() {
+            break;
+        }
+        explored += frontier.len();
         let round = Round::new(depth);
-        // Correct sends this round (deterministic).
-        let sends: Vec<Vec<(homonym_core::Recipients, P::Msg)>> =
-            procs.iter_mut().map(|p| p.send(round)).collect();
 
-        // Candidate byzantine moves: silence, or replaying correct k's
-        // broadcast (deduplicated).
-        let mut candidates: Vec<Option<usize>> = vec![None];
-        let mut seen_msgs: BTreeSet<&P::Msg> = BTreeSet::new();
-        for (k, out) in sends.iter().enumerate() {
-            if let Some((_, msg)) = out.first() {
-                if seen_msgs.insert(msg) {
-                    candidates.push(Some(k));
-                }
-            }
-        }
+        // One task per frontier configuration: run its sends, build the
+        // candidate Byzantine moves, and produce every successor branch.
+        let correct = &correct;
+        let tasks: Vec<_> = frontier
+            .drain(..)
+            .map(|(mut procs, schedule)| {
+                move || {
+                    let sends: Vec<Vec<(homonym_core::Recipients, P::Msg)>> =
+                        procs.iter_mut().map(|p| p.send(round)).collect();
 
-        for choice in candidates {
-            let mut branch = procs.clone();
-            let mut deliveries: Vec<Envelope<P::Msg>> = Vec::new();
-            for (k, out) in sends.iter().enumerate() {
-                for (_, msg) in out {
-                    deliveries.push(Envelope {
-                        src: assignment.id_of(correct[k]),
-                        msg: msg.clone(),
-                    });
-                }
-            }
-            if let Some(k) = choice {
-                if let Some((_, msg)) = sends[k].first() {
-                    deliveries.push(Envelope {
-                        src: assignment.id_of(byz),
-                        msg: msg.clone(),
-                    });
-                }
-            }
-            let inbox = Inbox::collect(deliveries, Counting::Numerate);
-            for p in branch.iter_mut() {
-                p.receive(round, &inbox);
-            }
+                    // Candidate byzantine moves: silence, or replaying
+                    // correct k's broadcast (deduplicated).
+                    let mut candidates: Vec<Option<usize>> = vec![None];
+                    let mut seen_msgs: BTreeSet<&P::Msg> = BTreeSet::new();
+                    for (k, out) in sends.iter().enumerate() {
+                        if let Some((_, msg)) = out.first() {
+                            if seen_msgs.insert(msg) {
+                                candidates.push(Some(k));
+                            }
+                        }
+                    }
 
-            // Safety check.
-            let outcome = Outcome {
-                inputs: correct_inputs.clone(),
-                decisions: branch
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(k, p)| p.decision().map(|v| (correct[k], (v, round))))
-                    .collect(),
-                horizon: round.next(),
-            };
-            let verdict = check(&outcome);
-            if !verdict.safe() {
-                let mut schedule = schedule.clone();
-                schedule.push(choice);
-                return SearchResult::ViolationFound {
-                    schedule,
-                    description: verdict.to_string(),
+                    let mut branches = Vec::with_capacity(candidates.len());
+                    for choice in candidates {
+                        let mut branch = procs.clone();
+                        let mut deliveries: Vec<Envelope<P::Msg>> = Vec::new();
+                        for (k, out) in sends.iter().enumerate() {
+                            for (_, msg) in out {
+                                deliveries.push(Envelope {
+                                    src: assignment.id_of(correct[k]),
+                                    msg: msg.clone(),
+                                });
+                            }
+                        }
+                        if let Some(k) = choice {
+                            if let Some((_, msg)) = sends[k].first() {
+                                deliveries.push(Envelope {
+                                    src: assignment.id_of(byz),
+                                    msg: msg.clone(),
+                                });
+                            }
+                        }
+                        let inbox = Inbox::collect(deliveries, Counting::Numerate);
+                        for p in branch.iter_mut() {
+                            p.receive(round, &inbox);
+                        }
+                        let mut schedule = schedule.clone();
+                        schedule.push(choice);
+                        let fp = fingerprint(depth + 1, &branch);
+                        branches.push((schedule, branch, fp));
+                    }
+                    branches
+                }
+            })
+            .collect();
+        let waves = exec.scatter(tasks);
+
+        // Merge in frontier order: safety checks first (a violation wins
+        // deterministically), then fingerprint dedup into the next wave.
+        for branches in waves {
+            for (schedule, branch, fp) in branches {
+                let outcome = Outcome {
+                    inputs: correct_inputs.clone(),
+                    decisions: branch
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(k, p)| p.decision().map(|v| (correct[k], (v, round))))
+                        .collect(),
+                    horizon: round.next(),
                 };
-            }
-
-            if depth + 1 < max_depth {
-                // The round number is part of the configuration: identical
-                // states at different depths behave differently.
-                let fingerprint = format!(
-                    "{}:{:?}",
-                    depth + 1,
-                    branch.iter().map(|p| format!("{p:?}")).collect::<Vec<_>>()
-                );
-                if visited.insert(fingerprint) {
-                    let mut schedule = schedule.clone();
-                    schedule.push(choice);
-                    queue.push_back((branch, schedule));
+                let verdict = check(&outcome);
+                if !verdict.safe() {
+                    return SearchResult::ViolationFound {
+                        schedule,
+                        description: verdict.to_string(),
+                    };
+                }
+                if depth + 1 < max_depth && visited.insert(fp) {
+                    frontier.push((branch, schedule));
                 }
             }
         }
+        if truncated {
+            break;
+        }
+        depth += 1;
     }
 
     SearchResult::Exhausted {
@@ -307,15 +375,9 @@ impl SplitSearchResult {
     }
 }
 
-/// Breadth-first exploration of **two-faced** Byzantine strategies: each
-/// round, the Byzantine process picks one message for the recipients in
-/// `side_a` and (independently) one for everyone else.
-///
-/// This is the equivocation the group-uniform [`exhaustive_search`]
-/// cannot express, and the attack shape behind both the Figure 4
-/// partition argument and the Lemma 8 hazard that the vote superround
-/// guards against. The candidate messages are again the bundles correct
-/// processes are about to send (plus silence), per side.
+/// Breadth-first exploration of **two-faced** Byzantine strategies,
+/// expanded sequentially — see [`split_search_with`] to fan the frontier
+/// out across cores.
 ///
 /// # Panics
 ///
@@ -330,8 +392,53 @@ pub fn split_search<P, F>(
     max_states: usize,
 ) -> SplitSearchResult
 where
-    P: Protocol + Clone + std::fmt::Debug,
+    P: Protocol + Clone + Hash + Send,
     F: ProtocolFactory<P = P>,
+{
+    split_search_with(
+        factory,
+        assignment,
+        inputs,
+        byz,
+        side_a,
+        max_depth,
+        max_states,
+        &Sequential,
+    )
+}
+
+/// Breadth-first exploration of **two-faced** Byzantine strategies: each
+/// round, the Byzantine process picks one message for the recipients in
+/// `side_a` and (independently) one for everyone else.
+///
+/// This is the equivocation the group-uniform [`exhaustive_search`]
+/// cannot express, and the attack shape behind both the Figure 4
+/// partition argument and the Lemma 8 hazard that the vote superround
+/// guards against. The candidate messages are again the bundles correct
+/// processes are about to send (plus silence), per side.
+///
+/// Like [`exhaustive_search_with`], each frontier configuration of a
+/// depth wave expands as one independent `exec` task, merged back in
+/// frontier order — identical results at any worker count.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != assignment.n()`.
+#[allow(clippy::too_many_arguments)]
+pub fn split_search_with<P, F, E>(
+    factory: &F,
+    assignment: &IdAssignment,
+    inputs: &[P::Value],
+    byz: Pid,
+    side_a: &BTreeSet<Pid>,
+    max_depth: u64,
+    max_states: usize,
+    exec: &E,
+) -> SplitSearchResult
+where
+    P: Protocol + Clone + Hash + Send,
+    F: ProtocolFactory<P = P>,
+    E: Executor,
 {
     assert_eq!(inputs.len(), assignment.n(), "one input per process");
     let correct: Vec<Pid> = Pid::all(assignment.n()).filter(|&p| p != byz).collect();
@@ -344,69 +451,92 @@ where
         .map(|&pid| (pid, inputs[pid.index()].clone()))
         .collect();
 
-    let mut queue: VecDeque<(Vec<P>, Vec<(Option<usize>, Option<usize>)>)> = VecDeque::new();
-    queue.push_back((initial, Vec::new()));
-    let mut visited: BTreeSet<String> = BTreeSet::new();
+    type Schedule = Vec<(Option<usize>, Option<usize>)>;
+    let mut frontier: Vec<(Vec<P>, Schedule)> = vec![(initial, Vec::new())];
+    let mut visited: BTreeSet<u64> = BTreeSet::new();
     let mut explored = 0usize;
     let mut max_reached = 0u64;
+    let mut depth = 0u64;
 
-    while let Some((mut procs, schedule)) = queue.pop_front() {
-        let depth = schedule.len() as u64;
+    while !frontier.is_empty() {
         max_reached = max_reached.max(depth);
-        if explored >= max_states {
-            return SplitSearchResult::Exhausted {
-                states_explored: explored,
-                depth: max_reached,
-            };
+        let budget = max_states.saturating_sub(explored);
+        let truncated = frontier.len() > budget;
+        if truncated {
+            frontier.truncate(budget);
         }
-        explored += 1;
-
+        if frontier.is_empty() {
+            break;
+        }
+        explored += frontier.len();
         let round = Round::new(depth);
-        let sends: Vec<Vec<(homonym_core::Recipients, P::Msg)>> =
-            procs.iter_mut().map(|p| p.send(round)).collect();
 
-        // Per-side candidates: silence or replay of a distinct message.
-        let mut candidates: Vec<Option<usize>> = vec![None];
-        let mut seen_msgs: BTreeSet<&P::Msg> = BTreeSet::new();
-        for (k, out) in sends.iter().enumerate() {
-            if let Some((_, msg)) = out.first() {
-                if seen_msgs.insert(msg) {
-                    candidates.push(Some(k));
+        let correct = &correct;
+        let tasks: Vec<_> = frontier
+            .drain(..)
+            .map(|(mut procs, schedule)| {
+                move || {
+                    let sends: Vec<Vec<(homonym_core::Recipients, P::Msg)>> =
+                        procs.iter_mut().map(|p| p.send(round)).collect();
+
+                    // Per-side candidates: silence or replay of a
+                    // distinct message.
+                    let mut candidates: Vec<Option<usize>> = vec![None];
+                    let mut seen_msgs: BTreeSet<&P::Msg> = BTreeSet::new();
+                    for (k, out) in sends.iter().enumerate() {
+                        if let Some((_, msg)) = out.first() {
+                            if seen_msgs.insert(msg) {
+                                candidates.push(Some(k));
+                            }
+                        }
+                    }
+
+                    let mut branches = Vec::with_capacity(candidates.len().pow(2));
+                    for &a in &candidates {
+                        for &b in &candidates {
+                            let mut branch = procs.clone();
+                            // Base deliveries: all correct broadcasts
+                            // reach everyone.
+                            let base: Vec<Envelope<P::Msg>> = sends
+                                .iter()
+                                .enumerate()
+                                .flat_map(|(k, out)| {
+                                    let src = assignment.id_of(correct[k]);
+                                    out.iter().map(move |(_, msg)| Envelope {
+                                        src,
+                                        msg: msg.clone(),
+                                    })
+                                })
+                                .collect();
+                            let byz_payload = |choice: Option<usize>| -> Option<Envelope<P::Msg>> {
+                                choice.and_then(|k| {
+                                    sends[k].first().map(|(_, msg)| Envelope {
+                                        src: assignment.id_of(byz),
+                                        msg: msg.clone(),
+                                    })
+                                })
+                            };
+                            for (k, p) in branch.iter_mut().enumerate() {
+                                let mut deliveries = base.clone();
+                                let choice = if side_a.contains(&correct[k]) { a } else { b };
+                                deliveries.extend(byz_payload(choice));
+                                let inbox = Inbox::collect(deliveries, Counting::Numerate);
+                                p.receive(round, &inbox);
+                            }
+                            let mut schedule = schedule.clone();
+                            schedule.push((a, b));
+                            let fp = fingerprint(depth + 1, &branch);
+                            branches.push((schedule, branch, fp));
+                        }
+                    }
+                    branches
                 }
-            }
-        }
+            })
+            .collect();
+        let waves = exec.scatter(tasks);
 
-        for &a in &candidates {
-            for &b in &candidates {
-                let mut branch = procs.clone();
-                // Base deliveries: all correct broadcasts reach everyone.
-                let base: Vec<Envelope<P::Msg>> = sends
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(k, out)| {
-                        let src = assignment.id_of(correct[k]);
-                        out.iter().map(move |(_, msg)| Envelope {
-                            src,
-                            msg: msg.clone(),
-                        })
-                    })
-                    .collect();
-                let byz_payload = |choice: Option<usize>| -> Option<Envelope<P::Msg>> {
-                    choice.and_then(|k| {
-                        sends[k].first().map(|(_, msg)| Envelope {
-                            src: assignment.id_of(byz),
-                            msg: msg.clone(),
-                        })
-                    })
-                };
-                for (k, p) in branch.iter_mut().enumerate() {
-                    let mut deliveries = base.clone();
-                    let choice = if side_a.contains(&correct[k]) { a } else { b };
-                    deliveries.extend(byz_payload(choice));
-                    let inbox = Inbox::collect(deliveries, Counting::Numerate);
-                    p.receive(round, &inbox);
-                }
-
+        for branches in waves {
+            for (schedule, branch, fp) in branches {
                 let outcome = Outcome {
                     inputs: correct_inputs.clone(),
                     decisions: branch
@@ -418,28 +548,20 @@ where
                 };
                 let verdict = check(&outcome);
                 if !verdict.safe() {
-                    let mut schedule = schedule.clone();
-                    schedule.push((a, b));
                     return SplitSearchResult::ViolationFound {
                         schedule,
                         description: verdict.to_string(),
                     };
                 }
-
-                if depth + 1 < max_depth {
-                    let fingerprint = format!(
-                        "{}:{:?}",
-                        depth + 1,
-                        branch.iter().map(|p| format!("{p:?}")).collect::<Vec<_>>()
-                    );
-                    if visited.insert(fingerprint) {
-                        let mut schedule = schedule.clone();
-                        schedule.push((a, b));
-                        queue.push_back((branch, schedule));
-                    }
+                if depth + 1 < max_depth && visited.insert(fp) {
+                    frontier.push((branch, schedule));
                 }
             }
         }
+        if truncated {
+            break;
+        }
+        depth += 1;
     }
 
     SplitSearchResult::Exhausted {
@@ -519,7 +641,7 @@ mod tests {
     /// decide the majority of everything heard (ties become `false`).
     /// Safe against any *group-uniform* Byzantine strategy, broken by a
     /// two-faced one — the canonical equivocation target.
-    #[derive(Clone, Debug)]
+    #[derive(Clone, Debug, Hash)]
     struct NaiveMajority {
         id: homonym_core::Id,
         input: bool,
@@ -615,6 +737,74 @@ mod tests {
             1_500,
         );
         assert!(!result.violated(), "{result:?}");
+    }
+
+    #[test]
+    fn pooled_search_matches_sequential() {
+        use homonym_core::Pool;
+        let factory = RestrictedFactory::new(4, 2, 1, Domain::binary());
+        let assignment = IdAssignment::round_robin(2, 4).unwrap();
+        let inputs = [false, true, false, true];
+        let seq = exhaustive_search_with(
+            &factory,
+            &assignment,
+            &inputs,
+            Pid::new(3),
+            8,
+            800,
+            &Sequential,
+        );
+        let pooled = exhaustive_search_with(
+            &factory,
+            &assignment,
+            &inputs,
+            Pid::new(3),
+            8,
+            800,
+            &Pool::new(4),
+        );
+        match (&seq, &pooled) {
+            (
+                SearchResult::Exhausted {
+                    states_explored: a,
+                    depth: da,
+                },
+                SearchResult::Exhausted {
+                    states_explored: b,
+                    depth: db,
+                },
+            ) => {
+                assert_eq!((a, da), (b, db), "worker count leaked into the sweep");
+            }
+            _ => panic!("both sweeps must exhaust identically: {seq:?} vs {pooled:?}"),
+        }
+
+        let side_a: BTreeSet<Pid> = [Pid::new(0)].into();
+        let sseq = split_search_with(
+            &factory,
+            &assignment,
+            &inputs,
+            Pid::new(3),
+            &side_a,
+            6,
+            400,
+            &Sequential,
+        );
+        let spooled = split_search_with(
+            &factory,
+            &assignment,
+            &inputs,
+            Pid::new(3),
+            &side_a,
+            6,
+            400,
+            &Pool::new(3),
+        );
+        assert_eq!(
+            sseq.violated(),
+            spooled.violated(),
+            "{sseq:?} vs {spooled:?}"
+        );
     }
 
     #[test]

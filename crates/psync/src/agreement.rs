@@ -47,15 +47,30 @@ pub enum Payload<V> {
     },
 }
 
-/// Items carried outside the broadcast layer (plain send-to-all).
+/// Items carried outside the broadcast layer (plain send-to-all). Shared
+/// with the bounded variant (`crate::bounded`), which speaks the same
+/// direct-item vocabulary.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum Direct<V> {
+pub(crate) enum Direct<V> {
     /// `⟨lock v, ph⟩` from a phase leader (line 12).
-    Lock { v: V, ph: u64 },
+    Lock {
+        /// The leader's lock value.
+        v: V,
+        /// The phase.
+        ph: u64,
+    },
     /// `⟨ack v, ph⟩` (line 20).
-    Ack { v: V, ph: u64 },
+    Ack {
+        /// The acked value.
+        v: V,
+        /// The phase.
+        ph: u64,
+    },
     /// `⟨decide v⟩` (line 24).
-    Decide { v: V },
+    Decide {
+        /// The decided value.
+        v: V,
+    },
 }
 
 /// The single wire message each process broadcasts per round: the
@@ -336,15 +351,16 @@ impl<V: Value> Bundle<V> {
     }
 }
 
-/// Position of a round inside its phase (eight rounds per phase).
+/// Position of a round inside its phase (eight rounds per phase). Shared
+/// with the bounded variant, which runs the same phase skeleton.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct PhasePos {
-    ph: u64,
+pub(crate) struct PhasePos {
+    pub(crate) ph: u64,
     /// Round within the phase, `0..8`.
-    w: u64,
+    pub(crate) w: u64,
 }
 
-fn phase_pos(round: Round) -> PhasePos {
+pub(crate) fn phase_pos(round: Round) -> PhasePos {
     PhasePos {
         ph: round.index() / 8,
         w: round.index() % 8,
@@ -851,6 +867,35 @@ impl<V: Value> Protocol for HomonymAgreement<V> {
 
     fn decision(&self) -> Option<V> {
         self.decision.clone()
+    }
+
+    fn state_bits(&self) -> u64 {
+        let mut bits = self.bcast.state_bits();
+        bits += self.proper.len() as u64 * 64;
+        bits += self.locks.len() as u64 * 128;
+        for per_id in self.propose_acc.values() {
+            for sets in per_id.values() {
+                bits += 128;
+                bits += sets.iter().map(|s| 64 + s.len() as u64 * 64).sum::<u64>();
+            }
+        }
+        for per_v in self.vote_acc.values() {
+            for ids in per_v.values() {
+                bits += 64 + ids.len() as u64 * 16;
+            }
+        }
+        bits += self
+            .leader_locks
+            .values()
+            .map(|s| 64 + s.len() as u64 * 64)
+            .sum::<u64>();
+        bits += self.my_lock.len() as u64 * 128;
+        bits += self
+            .seen_echoes
+            .values()
+            .map(|sets| sets.len() as u64 * 64)
+            .sum::<u64>();
+        bits
     }
 }
 

@@ -1,0 +1,865 @@
+//! Bounded-state variants of the Figure 6 multiplicity broadcast and the
+//! Figure 7 restricted agreement — the numerate analogues of
+//! [`crate::bounded`].
+//!
+//! Same scheme as the innumerate pair: every bundle carries the sender's
+//! superround **watermark**; each round the receiver takes the largest
+//! superround `s` such that messages totalling `n − t` multiplicity carry
+//! a watermark `≥ s` (capped at its own superround), folds it into a
+//! monotone *stable superround*, and prunes every counter, witness, and
+//! outgoing echo tuple older than `stable − window` superrounds. At most
+//! `t` of the `n − t` quorum can lie, so at least `n − 2t` correct
+//! processes are genuinely past the stable superround, and in the
+//! lock-step round model that makes everything below the horizon settled
+//! history. The faithful layers remain untouched as the reference oracle.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use homonym_core::codec::{DecodeError, Reader, WireDecode, WireEncode, Writer};
+use homonym_core::{
+    Domain, Id, Inbox, Message, Protocol, ProtocolFactory, Recipients, Round, Value,
+};
+
+use crate::agreement::{phase_pos, PhasePos};
+use crate::bounded::DEFAULT_WINDOW_SUPERROUNDS;
+use crate::mult_broadcast::{MultAccept, MultPart};
+use crate::restricted::{Direct, RestrictedPayload};
+
+/// The deep counter key, superround-first so the horizon sweep is an
+/// ordered prefix removal: `(k, h, m)` for the Figure 6 counter
+/// `a[h, m, k]`. No interner — an interner is append-only and would
+/// reintroduce the O(history) growth.
+type CKey<M> = (u64, Id, Arc<M>);
+
+/// The bounded Figure 6 broadcast layer: the faithful
+/// [`MultBroadcast`](crate::MultBroadcast) protocol restricted to a
+/// sliding superround window. Counters below the watermark-quorum horizon
+/// are discarded and no longer retransmitted, so the per-round wire part
+/// is constant-size.
+#[derive(Clone, Debug)]
+pub struct BoundedMultBroadcast<M> {
+    n: usize,
+    t: usize,
+    id: Id,
+    /// Superrounds of history kept behind the stable superround.
+    window: u64,
+    /// `a[h, m, k]`, deep-keyed `(k, h, m)`.
+    a: BTreeMap<CKey<M>, u64>,
+    /// Broadcasts queued: payload → superround requested.
+    pending: Vec<(M, u64)>,
+    /// Monotone stable superround (watermark quorum; see module docs).
+    stable: u64,
+    /// Counters with `k` below this are pruned and ignored. Monotone.
+    horizon: u64,
+    /// Bumped whenever the emitted echo table changes (raise *or* prune).
+    generation: u64,
+}
+
+impl<M: Message> BoundedMultBroadcast<M> {
+    /// Creates the layer with the default window.
+    pub fn new(n: usize, t: usize, id: Id) -> Self {
+        Self::with_window(n, t, id, DEFAULT_WINDOW_SUPERROUNDS)
+    }
+
+    /// Creates the layer with an explicit window.
+    pub fn with_window(n: usize, t: usize, id: Id, window: u64) -> Self {
+        BoundedMultBroadcast {
+            n,
+            t,
+            id,
+            window,
+            a: BTreeMap::new(),
+            pending: Vec::new(),
+            stable: 0,
+            horizon: 0,
+            generation: 0,
+        }
+    }
+
+    /// The echo-raise threshold `n − 2t` (saturating, at least 1).
+    pub fn raise_threshold(&self) -> u64 {
+        (self.n.saturating_sub(2 * self.t) as u64).max(1)
+    }
+
+    /// The accept threshold `n − t`.
+    pub fn accept_threshold(&self) -> u64 {
+        self.n.saturating_sub(self.t) as u64
+    }
+
+    /// Queues `Broadcast(id, payload, sr)`.
+    pub fn broadcast(&mut self, payload: M, sr: u64) {
+        self.pending.push((payload, sr));
+    }
+
+    /// The wire part for this round: due `⟨init⟩` tuples plus an echo
+    /// tuple for every non-zero in-window counter.
+    pub fn part_to_send(&mut self, round: Round) -> MultPart<M> {
+        let mut part = MultPart {
+            inits: BTreeMap::new(),
+            echoes: self
+                .a
+                .iter()
+                .filter(|(_, &alpha)| alpha > 0)
+                .map(|((k, h, m), &alpha)| ((*h, (**m).clone(), *k), alpha))
+                .collect(),
+        };
+        if round.is_first_of_superround() {
+            let sr = round.superround().index();
+            let mut rest = Vec::new();
+            for (m, want) in self.pending.drain(..) {
+                if want <= sr {
+                    part.inits.insert(m, sr);
+                } else {
+                    rest.push((m, want));
+                }
+            }
+            self.pending = rest;
+        }
+        part
+    }
+
+    /// Whether a queued `Broadcast` would emit an `⟨init⟩` at `round`.
+    pub(crate) fn init_due(&self, round: Round) -> bool {
+        round.is_first_of_superround() && {
+            let sr = round.superround().index();
+            self.pending.iter().any(|&(_, want)| want <= sr)
+        }
+    }
+
+    /// A counter that advances whenever the emitted echo table changes.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The current pruning horizon (diagnostic).
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Figure 6's validity filter (identical to the faithful layer).
+    fn is_valid(part: &MultPart<M>, round: Round) -> bool {
+        let r = round.index();
+        part.inits.values().all(|&sr| 2 * sr == r)
+            && part.echoes.keys().all(|&(_, _, k)| r >= 2 * k)
+    }
+
+    /// Folds this round's watermark multiset — `(watermark,
+    /// multiplicity)` pairs — into the stable superround and advances the
+    /// horizon. Returns whether anything was pruned.
+    fn advance_horizon(&mut self, now_sr: u64, watermarks: &[(u64, u64)]) {
+        let mut marks: Vec<(u64, u64)> = watermarks
+            .iter()
+            .map(|&(wm, mult)| (wm.min(now_sr), mult))
+            .collect();
+        marks.sort_by_key(|&(wm, _)| std::cmp::Reverse(wm));
+        let mut cum = 0u64;
+        for &(wm, mult) in &marks {
+            cum += mult;
+            if cum >= self.accept_threshold() {
+                self.stable = self.stable.max(wm);
+                break;
+            }
+        }
+        let new_horizon = self.stable.saturating_sub(self.window);
+        if new_horizon > self.horizon {
+            self.horizon = new_horizon;
+            let before = self.a.len();
+            let h = self.horizon;
+            self.a.retain(|k, _| k.0 >= h);
+            if self.a.len() != before {
+                self.generation += 1;
+            }
+        }
+    }
+
+    /// Processes one round's received messages plus the senders'
+    /// watermarks as `(watermark, multiplicity)` pairs. Returns the
+    /// accepts performed (odd rounds only), in the faithful layer's
+    /// `(src, payload, sr)` ascending order.
+    pub fn observe(
+        &mut self,
+        round: Round,
+        received: &[(Id, &MultPart<M>, u64)],
+        watermarks: &[(u64, u64)],
+    ) -> Vec<MultAccept<M>> {
+        let r = round.index();
+        self.advance_horizon(round.superround().index(), watermarks);
+        let valid: Vec<(Id, &MultPart<M>, u64)> = received
+            .iter()
+            .filter(|(_, part, _)| Self::is_valid(part, round))
+            .copied()
+            .collect();
+
+        // Initial counts from ⟨init⟩ tuples (even rounds). The init
+        // superround is `r / 2` — always ≥ horizon.
+        if r % 2 == 0 {
+            let sr = r / 2;
+            let mut init_counts: BTreeMap<(Id, Arc<M>), u64> = BTreeMap::new();
+            for (src, part, mult) in &valid {
+                for (m, &want) in &part.inits {
+                    debug_assert_eq!(want, sr);
+                    *init_counts.entry((*src, Arc::new(m.clone()))).or_insert(0) += mult;
+                }
+            }
+            for ((h, m), alpha) in init_counts {
+                if self.a.insert((sr, h, m), alpha) != Some(alpha) {
+                    self.generation += 1;
+                }
+            }
+        }
+
+        // Raise counters / accept, skipping settled-history keys. The
+        // validity filter (`r ≥ 2k`) already rejects future superrounds.
+        let mut echo_support: BTreeMap<CKey<M>, Vec<(u64, u64)>> = BTreeMap::new();
+        for (_, part, mult) in &valid {
+            for ((h, m, k), &alpha) in &part.echoes {
+                if *k < self.horizon {
+                    continue;
+                }
+                echo_support
+                    .entry((*k, *h, Arc::new(m.clone())))
+                    .or_default()
+                    .push((alpha, *mult));
+            }
+        }
+        let mut accepts = Vec::new();
+        for (key, mut support) in echo_support {
+            support.sort_by_key(|&(alpha, _)| std::cmp::Reverse(alpha));
+            let kth_largest = |threshold: u64| -> Option<u64> {
+                let mut cum = 0u64;
+                for &(alpha, mult) in &support {
+                    cum += mult;
+                    if cum >= threshold {
+                        return Some(alpha);
+                    }
+                }
+                None
+            };
+            if let Some(alpha1) = kth_largest(self.raise_threshold()) {
+                let entry = self.a.entry(key.clone()).or_insert(0);
+                if alpha1 > *entry {
+                    *entry = alpha1;
+                    self.generation += 1;
+                }
+            }
+            if r % 2 == 1 {
+                if let Some(alpha2) = kth_largest(self.accept_threshold()) {
+                    accepts.push(MultAccept {
+                        src: key.1,
+                        alpha: alpha2,
+                        payload: (*key.2).clone(),
+                        sr: key.0,
+                    });
+                }
+            }
+        }
+        accepts.sort_by(|a, b| (a.src, &a.payload, a.sr).cmp(&(b.src, &b.payload, b.sr)));
+        accepts
+    }
+
+    /// The current counter `a[h, m, k]` (diagnostic).
+    pub fn counter(&self, h: Id, m: &M, k: u64) -> u64 {
+        self.a
+            .get(&(k, h, Arc::new(m.clone())))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The identifier this layer authenticates as.
+    pub fn id(&self) -> Id {
+        self.id
+    }
+
+    /// Number of live counters (bounded by the window).
+    pub fn counters_len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Structural state-size estimate in bits (same per-entry scale as
+    /// the faithful layer's accounting).
+    pub fn state_bits(&self) -> u64 {
+        (self.a.len() as u64) * 256 + (self.pending.len() as u64) * 128
+    }
+}
+
+/// The bounded Figure 7 wire message: the faithful bundle's fields plus
+/// the sender's superround watermark.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BoundedRestrictedBundle<V> {
+    part: MultPart<RestrictedPayload<V>>,
+    directs: BTreeSet<Direct<V>>,
+    proper: BTreeSet<V>,
+    /// The sender's current superround.
+    watermark: u64,
+}
+
+impl<V: Value + WireEncode> WireEncode for BoundedRestrictedBundle<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.part.encode(w);
+        self.directs.encode(w);
+        self.proper.encode(w);
+        self.watermark.encode(w);
+    }
+}
+
+impl<V: Value + WireDecode> WireDecode for BoundedRestrictedBundle<V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(BoundedRestrictedBundle {
+            part: MultPart::decode(r)?,
+            directs: BTreeSet::decode(r)?,
+            proper: BTreeSet::decode(r)?,
+            watermark: u64::decode(r)?,
+        })
+    }
+}
+
+impl<V: Value> BoundedRestrictedBundle<V> {
+    /// The `⟨ack, v, ph⟩` items this bundle carries.
+    pub fn acks(&self) -> Vec<(&V, u64)> {
+        self.directs
+            .iter()
+            .filter_map(|d| match d {
+                Direct::Ack { v, ph } => Some((v, *ph)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The proper set appended to this bundle.
+    pub fn proper_view(&self) -> &BTreeSet<V> {
+        &self.proper
+    }
+
+    /// The sender's superround watermark.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+}
+
+/// The cached outgoing bundle; the watermark pins reuse to one superround.
+#[derive(Clone, Debug)]
+struct SendCache<V> {
+    bundle: Arc<BoundedRestrictedBundle<V>>,
+    generation: u64,
+    proper_len: usize,
+    watermark: u64,
+    reusable: bool,
+}
+
+/// The bounded-state Figure 7 protocol: identical phase logic to
+/// [`RestrictedAgreement`](crate::RestrictedAgreement) over the bounded
+/// multiplicity broadcast, with the witness table pruned at the broadcast
+/// horizon.
+#[derive(Clone, Debug)]
+pub struct BoundedRestrictedAgreement<V> {
+    n: usize,
+    ell: usize,
+    t: usize,
+    domain: Domain<V>,
+    id: Id,
+
+    proper: BTreeSet<V>,
+    locks: BTreeSet<(V, u64)>,
+    decision: Option<V>,
+
+    bcast: BoundedMultBroadcast<RestrictedPayload<V>>,
+    /// Cumulative witness table, deep-keyed superround-first:
+    /// `(sr, payload)` → identifier → largest α accepted from it.
+    witnesses: BTreeMap<(u64, RestrictedPayload<V>), BTreeMap<Id, u64>>,
+    /// Lock values received from the leader identifier, per phase.
+    leader_locks: BTreeMap<u64, BTreeSet<V>>,
+    /// Phases of `leader_locks` kept behind the current one.
+    keep_phases: u64,
+    send_cache: Option<SendCache<V>>,
+}
+
+impl<V: Value> BoundedRestrictedAgreement<V> {
+    /// Creates the automaton — same parameters and panics as
+    /// [`RestrictedAgreement::new`](crate::RestrictedAgreement::new).
+    pub fn new(n: usize, ell: usize, t: usize, domain: Domain<V>, id: Id, input: V) -> Self {
+        assert!(domain.contains(&input), "input must belong to the domain");
+        BoundedRestrictedAgreement {
+            n,
+            ell,
+            t,
+            id,
+            proper: BTreeSet::from([input]),
+            locks: BTreeSet::new(),
+            decision: None,
+            bcast: BoundedMultBroadcast::new(n, t, id),
+            witnesses: BTreeMap::new(),
+            leader_locks: BTreeMap::new(),
+            keep_phases: DEFAULT_WINDOW_SUPERROUNDS / 4,
+            send_cache: None,
+            domain,
+        }
+    }
+
+    /// The witness quorum `n − t`.
+    pub fn quorum(&self) -> u64 {
+        (self.n - self.t) as u64
+    }
+
+    /// The proper set (diagnostic).
+    pub fn proper(&self) -> &BTreeSet<V> {
+        &self.proper
+    }
+
+    /// Number of live witness keys (bounded by the window; the faithful
+    /// table grows O(history)).
+    pub fn witnesses_len(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    fn is_leader(&self, ph: u64) -> bool {
+        Id::phase_leader(ph, self.ell) == self.id
+    }
+
+    fn witness_count(&self, payload: &RestrictedPayload<V>, sr: u64) -> u64 {
+        self.witnesses
+            .get(&(sr, payload.clone()))
+            .map(|per_id| per_id.values().sum())
+            .unwrap_or(0)
+    }
+
+    fn candidate_set(&self) -> BTreeSet<V> {
+        self.proper
+            .iter()
+            .filter(|v| !self.locks.iter().any(|(w, _)| w != *v))
+            .cloned()
+            .collect()
+    }
+
+    fn witnessed_proposals(&self, ph: u64) -> Vec<V> {
+        self.domain
+            .values()
+            .iter()
+            .filter(|v| {
+                self.witness_count(&RestrictedPayload::Propose((*v).clone()), 4 * ph)
+                    >= self.quorum()
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn decide(&mut self, v: V) {
+        if self.decision.is_none() {
+            self.decision = Some(v);
+        }
+    }
+
+    fn release_locks(&mut self) {
+        let quorum = self.quorum();
+        let overtaken: Vec<(V, u64)> = self
+            .locks
+            .iter()
+            .filter(|(v1, ph1)| {
+                self.witnesses.iter().any(|((sr, payload), per_id)| {
+                    matches!(payload, RestrictedPayload::Vote(v2) if v2 != v1)
+                        && *sr > 4 * ph1 + 2
+                        && per_id.values().sum::<u64>() >= quorum
+                })
+            })
+            .cloned()
+            .collect();
+        for pair in overtaken {
+            self.locks.remove(&pair);
+        }
+    }
+
+    /// Drops witnesses below the broadcast horizon and per-phase leader
+    /// locks behind the retention window.
+    fn prune(&mut self, ph: u64) {
+        let h = self.bcast.horizon();
+        self.witnesses.retain(|k, _| k.0 >= h);
+        let keep = ph.saturating_sub(self.keep_phases);
+        self.leader_locks.retain(|&p, _| p >= keep);
+    }
+
+    /// Conservative rounds to decision after stabilization.
+    pub fn round_bound(ell: usize) -> u64 {
+        crate::RestrictedAgreement::<V>::round_bound(ell)
+    }
+}
+
+impl<V: Value> Protocol for BoundedRestrictedAgreement<V> {
+    type Msg = BoundedRestrictedBundle<V>;
+    type Value = V;
+
+    fn id(&self) -> Id {
+        self.id
+    }
+
+    fn send(&mut self, round: Round) -> Vec<(Recipients, BoundedRestrictedBundle<V>)> {
+        self.send_shared(round)
+            .into_iter()
+            .map(|(recipients, bundle)| (recipients, (*bundle).clone()))
+            .collect()
+    }
+
+    fn send_shared(&mut self, round: Round) -> Vec<(Recipients, Arc<BoundedRestrictedBundle<V>>)> {
+        let PhasePos { ph, w } = phase_pos(round);
+        let mut directs = BTreeSet::new();
+
+        match w {
+            0 => {
+                for v in self.candidate_set() {
+                    self.bcast.broadcast(RestrictedPayload::Propose(v), 4 * ph);
+                }
+            }
+            2 if self.is_leader(ph) => {
+                if let Some(v) = self.witnessed_proposals(ph).into_iter().next() {
+                    directs.insert(Direct::Lock { v, ph });
+                }
+            }
+            4 => {
+                let candidate = self
+                    .leader_locks
+                    .get(&ph)
+                    .into_iter()
+                    .flatten()
+                    .find(|v| {
+                        self.witness_count(&RestrictedPayload::Propose((*v).clone()), 4 * ph)
+                            >= self.quorum()
+                    })
+                    .cloned();
+                if let Some(v) = candidate {
+                    self.bcast.broadcast(RestrictedPayload::Vote(v), 4 * ph + 2);
+                }
+            }
+            6 => {
+                let choice = self
+                    .domain
+                    .values()
+                    .iter()
+                    .find(|v| {
+                        self.witness_count(&RestrictedPayload::Vote((*v).clone()), 4 * ph + 2)
+                            >= self.quorum()
+                    })
+                    .cloned();
+                if let Some(v) = choice {
+                    let stale: Vec<(V, u64)> = self
+                        .locks
+                        .iter()
+                        .filter(|(w_, _)| *w_ == v)
+                        .cloned()
+                        .collect();
+                    for pair in stale {
+                        self.locks.remove(&pair);
+                    }
+                    self.locks.insert((v.clone(), ph));
+                    directs.insert(Direct::Ack { v, ph });
+                }
+            }
+            _ => {}
+        }
+
+        let watermark = round.superround().index();
+        if directs.is_empty() && !self.bcast.init_due(round) {
+            if let Some(cache) = &self.send_cache {
+                if cache.reusable
+                    && cache.generation == self.bcast.generation()
+                    && cache.proper_len == self.proper.len()
+                    && cache.watermark == watermark
+                {
+                    return vec![(Recipients::All, Arc::clone(&cache.bundle))];
+                }
+            }
+        }
+        let part = self.bcast.part_to_send(round);
+        let reusable = part.inits.is_empty() && directs.is_empty();
+        let bundle = Arc::new(BoundedRestrictedBundle {
+            part,
+            directs,
+            proper: self.proper.clone(),
+            watermark,
+        });
+        self.send_cache = Some(SendCache {
+            bundle: Arc::clone(&bundle),
+            generation: self.bcast.generation(),
+            proper_len: self.proper.len(),
+            watermark,
+            reusable,
+        });
+        vec![(Recipients::All, bundle)]
+    }
+
+    fn receive(&mut self, round: Round, inbox: &Inbox<BoundedRestrictedBundle<V>>) {
+        let PhasePos { ph, w } = phase_pos(round);
+
+        let received: Vec<(Id, &MultPart<RestrictedPayload<V>>, u64)> = inbox
+            .iter()
+            .map(|(src, b, mult)| (src, &b.part, mult))
+            .collect();
+        let watermarks: Vec<(u64, u64)> = inbox
+            .iter()
+            .map(|(_, b, mult)| (b.watermark, mult))
+            .collect();
+        for accept in self.bcast.observe(round, &received, &watermarks) {
+            let key = (accept.sr, accept.payload);
+            let per_id = self.witnesses.entry(key).or_default();
+            let entry = per_id.entry(accept.src).or_insert(0);
+            *entry = (*entry).max(accept.alpha);
+        }
+
+        // Proper-set rules (numerate; identical to the faithful protocol).
+        {
+            let views: Vec<(u64, &BTreeSet<V>)> =
+                inbox.iter().map(|(_, b, mult)| (mult, &b.proper)).collect();
+            let total: u64 = views.iter().map(|&(c, _)| c).sum();
+            let mut reached = false;
+            for v in self.domain.values() {
+                let support: u64 = views
+                    .iter()
+                    .filter(|(_, s)| s.contains(v))
+                    .map(|&(c, _)| c)
+                    .sum();
+                if support >= self.t as u64 + 1 {
+                    if !self.proper.contains(v) {
+                        self.proper.insert(v.clone());
+                    }
+                    reached = true;
+                }
+            }
+            if !reached && total >= 2 * self.t as u64 + 1 {
+                for v in self.domain.values() {
+                    if !self.proper.contains(v) {
+                        self.proper.insert(v.clone());
+                    }
+                }
+            }
+        }
+
+        if (2..=5).contains(&w) {
+            let leader = Id::phase_leader(ph, self.ell);
+            for (src, bundle, _) in inbox.iter() {
+                if src != leader {
+                    continue;
+                }
+                for d in &bundle.directs {
+                    if let Direct::Lock { v, ph: lph } = d {
+                        if *lph == ph && self.domain.contains(v) {
+                            self.leader_locks.entry(ph).or_default().insert(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        if w == 6 && self.decision.is_none() {
+            let quorum = self.quorum();
+            let choice = self
+                .domain
+                .values()
+                .iter()
+                .find(|v| {
+                    let acks = inbox.count_where(|b| {
+                        b.directs.iter().any(
+                            |d| matches!(d, Direct::Ack { v: av, ph: aph } if av == *v && *aph == ph),
+                        )
+                    });
+                    acks >= quorum
+                        && self.witness_count(&RestrictedPayload::Propose((*v).clone()), 4 * ph)
+                            >= quorum
+                })
+                .cloned();
+            if let Some(v) = choice {
+                self.decide(v);
+            }
+        }
+
+        if w == 7 {
+            self.release_locks();
+            self.prune(ph);
+        }
+    }
+
+    fn decision(&self) -> Option<V> {
+        self.decision.clone()
+    }
+
+    fn state_bits(&self) -> u64 {
+        let mut bits = self.bcast.state_bits();
+        bits += self.proper.len() as u64 * 64;
+        bits += self.locks.len() as u64 * 128;
+        for per_id in self.witnesses.values() {
+            bits += 128 + per_id.len() as u64 * 80;
+        }
+        bits += self
+            .leader_locks
+            .values()
+            .map(|s| 64 + s.len() as u64 * 64)
+            .sum::<u64>();
+        bits
+    }
+}
+
+/// A [`ProtocolFactory`] for [`BoundedRestrictedAgreement`] processes.
+#[derive(Clone, Debug)]
+pub struct BoundedRestrictedFactory<V> {
+    n: usize,
+    ell: usize,
+    t: usize,
+    domain: Domain<V>,
+    window: u64,
+}
+
+impl<V: Value> BoundedRestrictedFactory<V> {
+    /// Creates a factory with the default pruning window.
+    pub fn new(n: usize, ell: usize, t: usize, domain: Domain<V>) -> Self {
+        BoundedRestrictedFactory {
+            n,
+            ell,
+            t,
+            domain,
+            window: DEFAULT_WINDOW_SUPERROUNDS,
+        }
+    }
+
+    /// Overrides the pruning window.
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Conservative rounds-to-decision after stabilization.
+    pub fn round_bound(&self) -> u64 {
+        BoundedRestrictedAgreement::<V>::round_bound(self.ell)
+    }
+}
+
+impl<V: Value> ProtocolFactory for BoundedRestrictedFactory<V> {
+    type P = BoundedRestrictedAgreement<V>;
+
+    fn spawn(&self, id: Id, input: V) -> BoundedRestrictedAgreement<V> {
+        let mut p = BoundedRestrictedAgreement::new(
+            self.n,
+            self.ell,
+            self.t,
+            self.domain.clone(),
+            id,
+            input,
+        );
+        p.bcast = BoundedMultBroadcast::with_window(self.n, self.t, id, self.window);
+        p.keep_phases = (self.window / 4).max(1);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_core::{Counting, Envelope};
+
+    fn run_clean(
+        n: usize,
+        ell: usize,
+        t: usize,
+        assignment: &[u16],
+        inputs: &[bool],
+        rounds: u64,
+    ) -> Vec<BoundedRestrictedAgreement<bool>> {
+        let factory = BoundedRestrictedFactory::new(n, ell, t, Domain::binary());
+        let mut procs: Vec<BoundedRestrictedAgreement<bool>> = (0..n)
+            .map(|k| factory.spawn(Id::new(assignment[k]), inputs[k]))
+            .collect();
+        for r in 0..rounds {
+            let round = Round::new(r);
+            let outs: Vec<BoundedRestrictedBundle<bool>> = procs
+                .iter_mut()
+                .map(|p| p.send(round).remove(0).1)
+                .collect();
+            let envs: Vec<Envelope<BoundedRestrictedBundle<bool>>> = outs
+                .iter()
+                .enumerate()
+                .map(|(k, b)| Envelope {
+                    src: Id::new(assignment[k]),
+                    msg: b.clone(),
+                })
+                .collect();
+            let inbox = Inbox::collect(envs, Counting::Numerate);
+            for p in &mut procs {
+                p.receive(round, &inbox);
+            }
+        }
+        procs
+    }
+
+    #[test]
+    fn unanimous_anonymous_system_decides() {
+        for v in [false, true] {
+            let procs = run_clean(4, 2, 1, &[1, 2, 2, 2], &[v; 4], 8 * 5);
+            for p in &procs {
+                assert_eq!(p.decision(), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn split_inputs_agree() {
+        let procs = run_clean(4, 2, 1, &[1, 1, 2, 2], &[false, true, false, true], 8 * 5);
+        let d0 = procs[0].decision();
+        assert!(d0.is_some());
+        assert!(procs.iter().all(|p| p.decision() == d0));
+    }
+
+    #[test]
+    fn fully_anonymous_needs_t_zero() {
+        let procs = run_clean(3, 1, 0, &[1, 1, 1], &[true, true, true], 8 * 4);
+        for p in &procs {
+            assert_eq!(p.decision(), Some(true));
+        }
+    }
+
+    #[test]
+    fn counters_and_witnesses_plateau_on_long_runs() {
+        // A long run with a tight window: the counter table and witness
+        // table must stop growing once the horizon advances, where the
+        // faithful tables grow every phase.
+        let factory = BoundedRestrictedFactory::new(4, 2, 1, Domain::binary()).with_window(8);
+        let mut procs: Vec<BoundedRestrictedAgreement<bool>> = [1u16, 1, 2, 2]
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| factory.spawn(Id::new(id), k % 2 == 0))
+            .collect();
+        let mut sizes = Vec::new();
+        for r in 0..8 * 30 {
+            let round = Round::new(r);
+            let outs: Vec<BoundedRestrictedBundle<bool>> = procs
+                .iter_mut()
+                .map(|p| p.send(round).remove(0).1)
+                .collect();
+            let envs: Vec<Envelope<BoundedRestrictedBundle<bool>>> = outs
+                .iter()
+                .enumerate()
+                .map(|(k, b)| Envelope {
+                    src: procs[k].id(),
+                    msg: b.clone(),
+                })
+                .collect();
+            let inbox = Inbox::collect(envs, Counting::Numerate);
+            for p in &mut procs {
+                p.receive(round, &inbox);
+            }
+            if r % 8 == 7 {
+                sizes.push((procs[0].bcast.counters_len(), procs[0].witnesses_len()));
+            }
+        }
+        let (c_last, w_last) = *sizes.last().unwrap();
+        let (c_mid, w_mid) = sizes[14];
+        assert!(procs[0].bcast.horizon() > 0, "horizon must advance");
+        assert!(c_last <= c_mid, "counters grew: {sizes:?}");
+        assert!(w_last <= w_mid, "witnesses grew: {sizes:?}");
+    }
+
+    #[test]
+    fn forged_watermarks_cannot_outrun_own_superround() {
+        let mut b: BoundedMultBroadcast<&'static str> =
+            BoundedMultBroadcast::with_window(4, 1, Id::new(1), 2);
+        // n − t = 3 multiplicity claiming superround 1000 at round 0:
+        // capped at superround 0, horizon stays 0.
+        let _ = b.observe(Round::ZERO, &[], &[(1000, 3)]);
+        assert_eq!(b.horizon(), 0);
+    }
+}

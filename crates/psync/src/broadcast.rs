@@ -339,6 +339,22 @@ impl<M: Message> EchoBroadcast<M> {
     pub fn echoing_len(&self) -> usize {
         self.echoing.len()
     }
+
+    /// Structural state-size estimate in bits, on the same per-entry
+    /// scale as the bounded layer's
+    /// [`state_bits`](crate::BoundedEchoBroadcast::state_bits), so
+    /// faithful-vs-bounded comparisons measure entry counts, not
+    /// representation tricks. Grows O(history) here — that growth is the
+    /// number the bounded variant exists to remove.
+    pub fn state_bits(&self) -> u64 {
+        let key = 192u64;
+        (self.echoing.len() as u64) * key
+            + (self.wire.len() as u64) * key
+            + (self.evidence.len() as u64) * (key + self.ell as u64)
+            + (self.accepted.len() as u64) * key
+            + (self.intern.len() as u64) * 128
+            + (self.queue.len() as u64) * 64
+    }
 }
 
 #[cfg(test)]

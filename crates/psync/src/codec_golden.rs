@@ -5,10 +5,14 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use homonym_core::codec::encode_frame;
-use homonym_core::{Domain, Id, Protocol, Round};
+use std::sync::Arc;
+
+use homonym_core::codec::{decode_frame, encode_frame};
+use homonym_core::{ChainMsg, Domain, Id, Protocol, Round};
 
 use crate::agreement::{HomonymAgreement, Payload};
+use crate::bounded::BoundedAgreement;
+use crate::bounded_restricted::BoundedRestrictedAgreement;
 use crate::broadcast::EchoItem;
 use crate::mult_broadcast::MultPart;
 use crate::restricted::{RestrictedAgreement, RestrictedPayload};
@@ -57,4 +61,39 @@ fn golden_bundle_vectors() {
     let mut restricted = RestrictedAgreement::new(4, 4, 1, Domain::binary(), Id::new(1), true);
     let rout = restricted.send(Round::ZERO);
     assert_eq!(encode_frame(&rout[0].1), vec![1, 1, 0, 1, 0, 0, 0, 1, 1]);
+}
+
+#[test]
+fn golden_bounded_bundle_vectors() {
+    // The bounded bundles are the faithful bundles plus a trailing
+    // superround watermark (0 at round 0).
+    let mut agreement = BoundedAgreement::new(4, 4, 1, Domain::binary(), Id::new(1), true);
+    let out = agreement.send(Round::ZERO);
+    assert_eq!(
+        encode_frame(&out[0].1),
+        vec![1, 1, 0, 1, 1, 0, 0, 0, 1, 1, 0]
+    );
+    let decoded: crate::BoundedBundle<bool> = decode_frame(&encode_frame(&out[0].1)).unwrap();
+    assert_eq!(decoded, out[0].1);
+
+    let mut restricted =
+        BoundedRestrictedAgreement::new(4, 4, 1, Domain::binary(), Id::new(1), true);
+    let rout = restricted.send(Round::ZERO);
+    assert_eq!(encode_frame(&rout[0].1), vec![1, 1, 0, 1, 0, 0, 0, 1, 1, 0]);
+    let rdecoded: crate::BoundedRestrictedBundle<bool> =
+        decode_frame(&encode_frame(&rout[0].1)).unwrap();
+    assert_eq!(rdecoded, rout[0].1);
+}
+
+#[test]
+fn golden_chain_msg_vector() {
+    // height 3, a resolved (height 1, true) report, inner payload "hi".
+    let msg = ChainMsg {
+        height: 3,
+        decided: Some((1, true)),
+        inner: Arc::new("hi".to_string()),
+    };
+    assert_eq!(encode_frame(&msg), vec![1, 3, 1, 1, 1, 2, 104, 105]);
+    let decoded: ChainMsg<String, bool> = decode_frame(&encode_frame(&msg)).unwrap();
+    assert_eq!(decoded, msg);
 }

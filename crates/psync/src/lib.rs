@@ -34,6 +34,8 @@
 #![forbid(unsafe_code)]
 
 mod agreement;
+mod bounded;
+mod bounded_restricted;
 mod broadcast;
 #[cfg(test)]
 mod codec_golden;
@@ -44,6 +46,14 @@ mod proptests;
 mod restricted;
 
 pub use agreement::{classic_dls_factory, AgreementFactory, Bundle, HomonymAgreement, Payload};
+pub use bounded::{
+    BoundedAgreement, BoundedAgreementFactory, BoundedBundle, BoundedEchoBroadcast,
+    DEFAULT_WINDOW_SUPERROUNDS,
+};
+pub use bounded_restricted::{
+    BoundedMultBroadcast, BoundedRestrictedAgreement, BoundedRestrictedBundle,
+    BoundedRestrictedFactory,
+};
 pub use broadcast::{Accept, EchoBroadcast, EchoItem};
 pub use mult_broadcast::{MultAccept, MultBroadcast, MultPart};
 pub use restricted::{RestrictedAgreement, RestrictedBundle, RestrictedFactory, RestrictedPayload};

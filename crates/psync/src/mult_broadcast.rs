@@ -31,7 +31,7 @@ use homonym_core::{Id, Interner, Message, Round, WireSize};
 /// The per-round wire part of the multiplicity broadcast: the sender's
 /// `⟨init⟩` tuples (its own identifier is implicit — identifiers cannot be
 /// forged) and its echo table.
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MultPart<M> {
     /// `(m, r)` tuples: this sender performs `Broadcast(i, m, r)`.
     pub inits: BTreeMap<M, u64>,
@@ -93,7 +93,7 @@ pub struct MultAccept<M> {
 /// let part = bc.part_to_send(Round::new(0));
 /// assert!(part.inits.contains_key("m"));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct MultBroadcast<M> {
     n: usize,
     t: usize,
@@ -288,6 +288,15 @@ impl<M: Message> MultBroadcast<M> {
     /// The identifier this layer authenticates as.
     pub fn id(&self) -> Id {
         self.id
+    }
+
+    /// Structural state-size estimate in bits, on the same per-entry
+    /// scale as the bounded analogue — grows O(history) here, because
+    /// counters are never discarded.
+    pub fn state_bits(&self) -> u64 {
+        (self.a.len() as u64) * 256
+            + (self.intern.len() as u64) * 128
+            + (self.pending.len() as u64) * 128
     }
 }
 

@@ -11,6 +11,8 @@ use homonym_core::{Domain, Id, IdAssignment, Pid, Protocol, Round};
 use proptest::prelude::*;
 
 use crate::agreement::{Bundle, HomonymAgreement, Payload};
+use crate::bounded::BoundedAgreement;
+use crate::bounded_restricted::BoundedRestrictedAgreement;
 use crate::broadcast::{EchoBroadcast, EchoItem};
 use crate::invariants::sole_correct_witness;
 use crate::mult_broadcast::{MultBroadcast, MultPart};
@@ -730,4 +732,183 @@ proptest! {
             assert_eq!(&roundtrip(bundle), bundle);
         });
     }
+}
+
+// ------------------------- bounded-vs-faithful equivalence
+
+/// Drives `procs` over `rounds` lock-step rounds under a structural
+/// adversarial script and returns each process's first decision as
+/// `(round, value)`.
+///
+/// The script is *structural* — per-edge loss via `drops`, plus an
+/// optional replay adversary `(byz, victim)` that substitutes `victim`'s
+/// outgoing messages for `byz`'s own every round — so the identical
+/// script can be replayed against the faithful and the bounded protocol
+/// stacks even though their wire types differ.
+fn run_script<P: Protocol>(
+    procs: &mut [P],
+    rounds: u64,
+    assignment: &[Id],
+    counting: homonym_core::Counting,
+    drops: &BTreeSet<(u64, usize, usize)>,
+    byz_replay: Option<(usize, usize)>,
+) -> Vec<Option<(u64, P::Value)>> {
+    let mut decided: Vec<Option<(u64, P::Value)>> = procs.iter().map(|_| None).collect();
+    for r in 0..rounds {
+        let round = Round::new(r);
+        let mut sends: Vec<Vec<(homonym_core::Recipients, P::Msg)>> =
+            procs.iter_mut().map(|p| p.send(round)).collect();
+        if let Some((byz, victim)) = byz_replay {
+            sends[byz] = sends[victim].clone();
+        }
+        for (k, proc_) in procs.iter_mut().enumerate() {
+            let inbox = homonym_core::Inbox::collect(
+                sends.iter().enumerate().flat_map(|(j, out)| {
+                    let dropped = j != k && drops.contains(&(r, j, k));
+                    out.iter().filter(move |_| !dropped).map(move |(_, msg)| {
+                        homonym_core::Envelope {
+                            src: assignment[j],
+                            msg: msg.clone(),
+                        }
+                    })
+                }),
+                counting,
+            );
+            proc_.receive(round, &inbox);
+            if decided[k].is_none() {
+                if let Some(v) = proc_.decision() {
+                    decided[k] = Some((r, v));
+                }
+            }
+        }
+    }
+    decided
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The bounded Figure 5 stack decides **identically** to the faithful
+    /// one — same value and same first-decision round at every process —
+    /// under random inputs, random pre-stabilization loss and an optional
+    /// replay adversary.
+    #[test]
+    fn bounded_agreement_matches_faithful(
+        inputs in proptest::collection::vec(any::<bool>(), 4),
+        drops in echo_drops(3, 4),
+        byz in (0u8..3, 0usize..4, 0usize..4)
+            .prop_map(|(tag, bz, victim)| (tag == 0).then_some((bz, victim))),
+    ) {
+        let domain = Domain::binary();
+        let ids: Vec<Id> = (0..4).map(Id::from_index).collect();
+        let mut faithful: Vec<HomonymAgreement<bool>> = (0..4)
+            .map(|k| HomonymAgreement::new(4, 4, 1, domain.clone(), ids[k], inputs[k]))
+            .collect();
+        let mut bounded: Vec<BoundedAgreement<bool>> = (0..4)
+            .map(|k| BoundedAgreement::new(4, 4, 1, domain.clone(), ids[k], inputs[k]))
+            .collect();
+        let rounds = 80;
+        let f = run_script(
+            &mut faithful, rounds, &ids, homonym_core::Counting::Innumerate, &drops, byz,
+        );
+        let b = run_script(
+            &mut bounded, rounds, &ids, homonym_core::Counting::Innumerate, &drops, byz,
+        );
+        prop_assert_eq!(&f, &b, "bounded and faithful Figure 5 runs diverged");
+        for (k, d) in f.iter().enumerate() {
+            if byz.map_or(true, |(bz, _)| bz != k) {
+                prop_assert!(d.is_some(), "correct proc {} never decided", k);
+            }
+        }
+    }
+
+    /// Same equivalence for the numerate Figure 7 stack, run under a
+    /// genuine homonym assignment (n = 4, ℓ = 2, t = 1).
+    #[test]
+    fn bounded_restricted_matches_faithful(
+        inputs in proptest::collection::vec(any::<bool>(), 4),
+        drops in echo_drops(3, 4),
+        byz in (0u8..3, 0usize..4, 0usize..4)
+            .prop_map(|(tag, bz, victim)| (tag == 0).then_some((bz, victim))),
+    ) {
+        let domain = Domain::binary();
+        let assignment = [Id::new(1), Id::new(1), Id::new(2), Id::new(2)];
+        let mut faithful: Vec<RestrictedAgreement<bool>> = (0..4)
+            .map(|k| {
+                RestrictedAgreement::new(4, 2, 1, domain.clone(), assignment[k], inputs[k])
+            })
+            .collect();
+        let mut bounded: Vec<BoundedRestrictedAgreement<bool>> = (0..4)
+            .map(|k| {
+                BoundedRestrictedAgreement::new(4, 2, 1, domain.clone(), assignment[k], inputs[k])
+            })
+            .collect();
+        let rounds = 80;
+        let f = run_script(
+            &mut faithful, rounds, &assignment, homonym_core::Counting::Numerate, &drops, byz,
+        );
+        let b = run_script(
+            &mut bounded, rounds, &assignment, homonym_core::Counting::Numerate, &drops, byz,
+        );
+        prop_assert_eq!(&f, &b, "bounded and faithful Figure 7 runs diverged");
+    }
+}
+
+/// Long-horizon memory shape: over hundreds of rounds the faithful
+/// stack's evidence state grows without bound (every phase mints new
+/// `(payload, superround)` keys that are never dropped) while the
+/// bounded stack plateaus once the watermark horizon starts pruning.
+#[test]
+fn bounded_state_is_flat_where_faithful_grows() {
+    let domain = Domain::binary();
+    let ids: Vec<Id> = (0..4).map(Id::from_index).collect();
+    let mut faithful: Vec<HomonymAgreement<bool>> = (0..4)
+        .map(|k| HomonymAgreement::new(4, 4, 1, domain.clone(), ids[k], k % 2 == 0))
+        .collect();
+    let mut bounded: Vec<BoundedAgreement<bool>> = (0..4)
+        .map(|k| BoundedAgreement::new(4, 4, 1, domain.clone(), ids[k], k % 2 == 0))
+        .collect();
+    // Lossless all-to-all delivery of one round.
+    fn step_round<P: Protocol>(procs: &mut [P], round: Round, ids: &[Id]) {
+        let sends: Vec<Vec<(homonym_core::Recipients, P::Msg)>> =
+            procs.iter_mut().map(|p| p.send(round)).collect();
+        for proc_ in procs.iter_mut() {
+            let inbox = homonym_core::Inbox::collect(
+                sends.iter().enumerate().flat_map(|(j, out)| {
+                    out.iter().map(move |(_, msg)| homonym_core::Envelope {
+                        src: ids[j],
+                        msg: msg.clone(),
+                    })
+                }),
+                homonym_core::Counting::Innumerate,
+            );
+            proc_.receive(round, &inbox);
+        }
+    }
+    let mut samples: Vec<(u64, u64)> = Vec::new(); // (faithful, bounded) bits
+    for r in 0..400u64 {
+        let round = Round::new(r);
+        step_round(&mut faithful, round, &ids);
+        step_round(&mut bounded, round, &ids);
+        if r == 199 || r == 399 {
+            samples.push((
+                faithful.iter().map(|p| p.state_bits()).sum(),
+                bounded.iter().map(|p| p.state_bits()).sum(),
+            ));
+        }
+    }
+    let (f_mid, b_mid) = samples[0];
+    let (f_end, b_end) = samples[1];
+    assert!(
+        f_end > f_mid,
+        "faithful state should keep growing: {f_mid} -> {f_end}"
+    );
+    assert!(
+        b_end <= b_mid,
+        "bounded state should plateau: {b_mid} -> {b_end}"
+    );
+    assert!(
+        f_end > 2 * b_end,
+        "bounded steady state should be far below faithful ({b_end} vs {f_end})"
+    );
 }

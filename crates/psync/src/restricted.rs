@@ -26,7 +26,7 @@ use homonym_core::{
 use crate::mult_broadcast::{MultBroadcast, MultPart};
 
 /// Payloads of the multiplicity broadcast layer.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RestrictedPayload<V> {
     /// `⟨propose v⟩` — broadcast in superround `4ph` (Figure 7 line 7).
     /// Unlike Figure 5's set-valued proposals, each proper value is
@@ -36,18 +36,29 @@ pub enum RestrictedPayload<V> {
     Vote(V),
 }
 
-/// Direct (non-broadcast) items.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum Direct<V> {
+/// Direct (non-broadcast) items. Shared with the bounded variant
+/// (`crate::bounded_restricted`), which speaks the same vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) enum Direct<V> {
     /// `⟨lock, v, ph⟩` (line 10).
-    Lock { v: V, ph: u64 },
+    Lock {
+        /// The leader's lock value.
+        v: V,
+        /// The phase.
+        ph: u64,
+    },
     /// `⟨ack, v, ph⟩` (line 19).
-    Ack { v: V, ph: u64 },
+    Ack {
+        /// The acked value.
+        v: V,
+        /// The phase.
+        ph: u64,
+    },
 }
 
 /// The single wire message per round: the Figure 6 part, the direct items,
 /// and the proper set appended to every message.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RestrictedBundle<V> {
     part: MultPart<RestrictedPayload<V>>,
     directs: BTreeSet<Direct<V>>,
@@ -216,7 +227,7 @@ fn phase_pos(round: Round) -> PhasePos {
 /// let p = RestrictedAgreement::new(4, 2, 1, Domain::binary(), Id::new(2), true);
 /// assert_eq!(p.id(), Id::new(2));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RestrictedAgreement<V> {
     n: usize,
     ell: usize,
@@ -247,7 +258,7 @@ pub struct RestrictedAgreement<V> {
 
 /// The cached outgoing bundle and the state fingerprints it was built
 /// from.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct SendCache<V> {
     bundle: Arc<RestrictedBundle<V>>,
     /// [`MultBroadcast`] generation at build time.
@@ -573,6 +584,22 @@ impl<V: Value> Protocol for RestrictedAgreement<V> {
 
     fn decision(&self) -> Option<V> {
         self.decision.clone()
+    }
+
+    fn state_bits(&self) -> u64 {
+        let mut bits = self.bcast.state_bits();
+        bits += self.proper.len() as u64 * 64;
+        bits += self.locks.len() as u64 * 128;
+        bits += self.wit_intern.len() as u64 * 128;
+        for per_id in self.witnesses.values() {
+            bits += 128 + per_id.len() as u64 * 80;
+        }
+        bits += self
+            .leader_locks
+            .values()
+            .map(|s| 64 + s.len() as u64 * 64)
+            .sum::<u64>();
+        bits
     }
 }
 

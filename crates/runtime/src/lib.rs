@@ -51,7 +51,9 @@ enum ToActor<M> {
 
 enum FromActor<M, V> {
     Sends(Pid, Vec<(Recipients, Arc<M>)>),
-    Received(Pid, Option<V>),
+    /// Post-delivery report: decision (if any) plus the automaton's
+    /// current `state_bits` sample.
+    Received(Pid, Option<V>, u64),
 }
 
 /// Builder for a threaded cluster run.
@@ -176,7 +178,11 @@ where
                         ToActor::Deliver(round, inbox) => {
                             proc_.receive(round, &inbox);
                             from_tx
-                                .send(FromActor::Received(pid, proc_.decision()))
+                                .send(FromActor::Received(
+                                    pid,
+                                    proc_.decision(),
+                                    proc_.state_bits(),
+                                ))
                                 .expect("coordinator alive");
                         }
                         ToActor::Stop => break,
@@ -192,6 +198,8 @@ where
         let mut messages_sent = 0u64;
         let mut messages_delivered = 0u64;
         let mut messages_dropped = 0u64;
+        let mut state_bits = 0u64;
+        let mut peak_state_bits = 0u64;
         let mut round = Round::ZERO;
         let mut wires: Vec<(Pid, Id, Pid, Arc<P::Msg>, Tok)> = Vec::new();
         let mut deliveries: Deliveries<P::Msg> = Deliveries::new(cfg.n);
@@ -280,9 +288,11 @@ where
                 tx.send(ToActor::Deliver(round, inbox))
                     .expect("actor alive");
             }
+            let mut round_bits = 0u64;
             for _ in 0..correct.len() {
                 match from_rx.recv().expect("actor alive") {
-                    FromActor::Received(pid, decision) => {
+                    FromActor::Received(pid, decision, bits) => {
+                        round_bits += bits;
                         if let Some(v) = decision {
                             match decisions.get(&pid) {
                                 None => {
@@ -300,6 +310,8 @@ where
                     FromActor::Sends(..) => unreachable!("no collect outstanding"),
                 }
             }
+            state_bits = round_bits;
+            peak_state_bits = peak_state_bits.max(state_bits);
 
             // 5. Byzantine inboxes to the adversary.
             let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = self
@@ -337,6 +349,8 @@ where
             messages_sent,
             messages_delivered,
             messages_dropped,
+            state_bits,
+            peak_state_bits,
         }
     }
 }
@@ -351,7 +365,9 @@ enum ToShardActor<P: Protocol> {
 
 enum FromShardActor<M, V> {
     Sends(usize, Pid, Vec<(Recipients, Arc<M>)>),
-    Received(usize, Pid, Option<V>),
+    /// Post-delivery report: decision (if any) plus the automaton's
+    /// current `state_bits` sample.
+    Received(usize, Pid, Option<V>, u64),
 }
 
 /// The sharded threaded coordinator: drives the same multi-shot shard
@@ -579,7 +595,12 @@ where
                                 let p = proc_.as_mut().expect("actor restarted");
                                 p.receive(round, &inbox);
                                 from_tx
-                                    .send(FromShardActor::Received(s, pid, p.decision()))
+                                    .send(FromShardActor::Received(
+                                        s,
+                                        pid,
+                                        p.decision(),
+                                        p.state_bits(),
+                                    ))
                                     .expect("coordinator alive");
                             }
                             ToShardActor::Stop => break,
@@ -653,18 +674,21 @@ where
 
             // Phase 3b — decisions, recorded at the still-current round;
             // only then do the live shards' rounds advance.
+            let mut bits_by_shard = vec![0u64; shards.len()];
             for _ in 0..expected {
                 match from_rx.recv().expect("actor alive") {
-                    FromShardActor::Received(s, pid, decision) => {
+                    FromShardActor::Received(s, pid, decision, bits) => {
                         if let Some(v) = decision {
                             shards[s].core.record_decision(pid, v);
                         }
+                        bits_by_shard[s] += bits;
                     }
                     FromShardActor::Sends(..) => unreachable!("no collect outstanding"),
                 }
             }
-            for shard in shards.iter_mut() {
+            for (shard, &bits) in shards.iter_mut().zip(&bits_by_shard) {
                 if shard.core.active {
+                    shard.core.record_state_bits(bits);
                     shard.core.round = shard.core.round.next();
                 }
             }

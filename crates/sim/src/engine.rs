@@ -51,6 +51,13 @@ pub struct RunReport<V> {
     pub messages_delivered: u64,
     /// Non-self messages lost to the drop policy.
     pub messages_dropped: u64,
+    /// Sum of [`Protocol::state_bits`] across the correct processes after
+    /// the last executed round (0 when the protocol is not instrumented).
+    pub state_bits: u64,
+    /// The largest per-round [`RunReport::state_bits`] sample seen over
+    /// the run — flat for bounded-state protocols, growing for the
+    /// faithful O(history) ones.
+    pub peak_state_bits: u64,
 }
 
 /// Builder for [`Simulation`]; see [`Simulation::builder`].
@@ -167,6 +174,8 @@ impl<P: Protocol> SimulationBuilder<P> {
             messages_sent: 0,
             messages_delivered: 0,
             messages_dropped: 0,
+            state_bits: 0,
+            peak_state_bits: 0,
             per_round_sent: Vec::new(),
             wires: Vec::new(),
             deliveries: Deliveries::new(n),
@@ -210,6 +219,8 @@ pub struct Simulation<P: Protocol> {
     messages_sent: u64,
     messages_delivered: u64,
     messages_dropped: u64,
+    state_bits: u64,
+    peak_state_bits: u64,
     per_round_sent: Vec<u64>,
     // Per-round fabric buffers, reused across rounds (`clear()`, never
     // realloc): the wire list and the dense per-recipient buckets.
@@ -434,6 +445,11 @@ impl<P: Protocol> Simulation<P> {
 
         self.per_round_sent.push(self.messages_sent - sent_before);
 
+        // Sample protocol state after delivery: the bounded protocols
+        // prove their O(1) steady-state memory through this counter.
+        self.state_bits = self.procs.values().map(|p| p.state_bits()).sum();
+        self.peak_state_bits = self.peak_state_bits.max(self.state_bits);
+
         // 5. Tell the adversary what its processes received.
         let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = self
             .byz
@@ -482,6 +498,8 @@ impl<P: Protocol> Simulation<P> {
             messages_sent: self.messages_sent,
             messages_delivered: self.messages_delivered,
             messages_dropped: self.messages_dropped,
+            state_bits: self.state_bits,
+            peak_state_bits: self.peak_state_bits,
         }
     }
 }

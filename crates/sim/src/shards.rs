@@ -381,6 +381,11 @@ pub struct ShardCore<P: Protocol> {
     pub messages_dropped: u64,
     /// Exact wire bits sent this shot (see [`wire_bits`]).
     pub bits_sent: u64,
+    /// Sum of [`Protocol::state_bits`] across the shot's correct
+    /// processes at the last sampled round.
+    pub state_bits: u64,
+    /// Largest per-round [`ShardCore::state_bits`] sample this shot.
+    pub peak_state_bits: u64,
     /// Whether a shot is currently live (false once the queue drains).
     pub active: bool,
     /// Reports of the completed shots, in queue order.
@@ -435,6 +440,8 @@ impl<P: Protocol> ShardCore<P> {
             messages_delivered: 0,
             messages_dropped: 0,
             bits_sent: 0,
+            state_bits: 0,
+            peak_state_bits: 0,
             active: false,
             done: Vec::new(),
             frames: FrameInterner::new(),
@@ -492,6 +499,8 @@ impl<P: Protocol> ShardCore<P> {
         self.messages_delivered = 0;
         self.messages_dropped = 0;
         self.bits_sent = 0;
+        self.state_bits = 0;
+        self.peak_state_bits = 0;
         self.active = true;
         Some(spawned)
     }
@@ -499,6 +508,14 @@ impl<P: Protocol> ShardCore<P> {
     /// Whether every correct process of the live shot has decided.
     pub fn all_decided(&self) -> bool {
         self.decisions.len() == self.correct.len()
+    }
+
+    /// Records one round's total [`Protocol::state_bits`] across the
+    /// shot's correct processes — engines call this after delivery, from
+    /// wherever their automata live.
+    pub fn record_state_bits(&mut self, total: u64) {
+        self.state_bits = total;
+        self.peak_state_bits = self.peak_state_bits.max(total);
     }
 
     /// Records a decision, enforcing irrevocability.
@@ -571,6 +588,8 @@ impl<P: Protocol> ShardCore<P> {
                 messages_sent: self.messages_sent,
                 messages_delivered: self.messages_delivered,
                 messages_dropped: self.messages_dropped,
+                state_bits: self.state_bits,
+                peak_state_bits: self.peak_state_bits,
             },
             started_tick: self.started_tick,
             finished_tick,
@@ -822,6 +841,8 @@ impl<P: Protocol> SimShard<P> {
                     self.core.record_decision(pid, v);
                 }
             }
+            let total = self.procs.values().map(|p| p.state_bits()).sum();
+            self.core.record_state_bits(total);
             self.core.deliver_byz(slots);
             self.core.round = r.next();
         }
