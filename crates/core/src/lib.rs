@@ -29,6 +29,9 @@
 //! * [`WireSize`] — the *deprecated* structural wire-size estimate the
 //!   codec replaced (kept for the estimate-vs-exact comparison in
 //!   `paper_report`),
+//! * [`scenario`] — seeded, serializable scenario schedules (timed
+//!   Byzantine/drop/topology/churn events with per-component sub-streams),
+//!   the replayable fuzz corpus every execution backend shares,
 //! * [`bounds`] — the Table 1 solvability characterization,
 //! * [`spec`] — the Byzantine agreement properties (validity, agreement,
 //!   termination) and trace-level checkers.
@@ -63,6 +66,7 @@ mod id;
 pub mod intern;
 mod message;
 mod process;
+pub mod scenario;
 pub mod spec;
 mod value;
 mod wire;
@@ -77,5 +81,6 @@ pub use id::{Id, IdAssignment, Pid};
 pub use intern::{IdBits, Interner};
 pub use message::{Envelope, Inbox, Message, Recipients};
 pub use process::{FnFactory, Protocol, ProtocolFactory, Round, Superround};
+pub use scenario::{sub_seed, DropSpec, Schedule, ScheduleEvent, StrategyKind, TimedEvent};
 pub use value::{Domain, ProperSet, Value};
 pub use wire::WireSize;

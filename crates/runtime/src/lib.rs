@@ -40,7 +40,9 @@ use homonym_core::{
     ProtocolFactory, Recipients, Round, SharedEnvelope, SystemConfig,
 };
 use homonym_sim::adversary::{AdvCtx, Adversary, Silent};
-use homonym_sim::shards::{ShardCore, ShardId, ShardReport, ShardSpec, ShardWire};
+use homonym_sim::shards::{
+    ChurnOp, ChurnPlan, ShardCore, ShardId, ShardReport, ShardSpec, ShardWire,
+};
 use homonym_sim::{DropPolicy, NoDrops, RunReport};
 
 enum ToActor<M> {
@@ -419,6 +421,7 @@ enum FromShardActor<M, V> {
 pub struct ShardedCluster<P: Protocol, E: Executor = Sequential> {
     shards: Vec<(ShardSpec<P>, Box<dyn ProtocolFactory<P = P> + Send>)>,
     measure_bits: bool,
+    churn: ChurnPlan<P>,
     exec: E,
 }
 
@@ -443,6 +446,7 @@ impl<P: Protocol, E: Executor> ShardedCluster<P, E> {
         ShardedCluster {
             shards: Vec::new(),
             measure_bits: false,
+            churn: ChurnPlan::new(),
             exec,
         }
     }
@@ -451,6 +455,20 @@ impl<P: Protocol, E: Executor> ShardedCluster<P, E> {
     /// [`wire_bits`](homonym_sim::shards::wire_bits).
     pub fn measure_bits(mut self, on: bool) -> Self {
         self.measure_bits = on;
+        self
+    }
+
+    /// Registers a shard-churn plan, applied at the start of each global
+    /// tick of [`run`](ShardedCluster::run): aborted shots are cut (their
+    /// reports finalized as-is) and the freed actor threads restart on
+    /// the shard's next queued shot; enqueued shots revive idle shards.
+    ///
+    /// This is the threaded counterpart of
+    /// [`ShardedSimulation::run_churned`](homonym_sim::ShardedSimulation::run_churned)
+    /// — both consume the same plan shape, so a scenario schedule drives
+    /// either engine.
+    pub fn churn(mut self, plan: ChurnPlan<P>) -> Self {
+        self.churn = plan;
         self
     }
 
@@ -549,6 +567,7 @@ where
     pub fn run(self, max_ticks: u64) -> Vec<ShardReport<P::Value>> {
         let measure_bits = self.measure_bits;
         let exec = self.exec;
+        let mut churn = self.churn;
 
         // Validate and lay the shards out on the shared plane. The shot
         // bookkeeping is the simulator's own `ShardCore`, so validation,
@@ -637,7 +656,33 @@ where
         let mut tick = 0u64;
         let mut plane: Deliveries<P::Msg> = Deliveries::new(total_slots);
         let widths: Vec<usize> = shards.iter().map(|s| s.core.cfg.n).collect();
-        while tick < max_ticks && shards.iter().any(|s| s.core.active) {
+        while tick < max_ticks {
+            // Phase 0 — apply due churn: cut aborted shots (reports
+            // finalized as-is) and start enqueued / next shots, shipping
+            // fresh automata to the freed actors.
+            for op in churn.take_due(tick) {
+                match op {
+                    ChurnOp::Abort(sid) => {
+                        let shard = &mut shards[sid.index()];
+                        if let Some(spawned) = shard.core.cut_shot(sid, tick, measure_bits) {
+                            restart_actors(spawned, &shard.txs);
+                        }
+                    }
+                    ChurnOp::Enqueue(sid, shot) => {
+                        let shard = &mut shards[sid.index()];
+                        shard.core.shots.push_back(shot);
+                        if !shard.core.active {
+                            if let Some(spawned) = shard.core.start_next_shot(tick) {
+                                restart_actors(spawned, &shard.txs);
+                            }
+                        }
+                    }
+                }
+            }
+            if !shards.iter().any(|s| s.core.active) && !churn.has_pending_after(tick) {
+                break;
+            }
+
             // Phase 1a — collect sends from every live shard's actors
             // (in parallel across all shards).
             let mut expected = 0usize;

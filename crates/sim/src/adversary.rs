@@ -134,6 +134,34 @@ pub trait Adversary<M: Message> {
     }
 }
 
+impl<M: Message> Adversary<M> for Box<dyn Adversary<M>> {
+    fn send(&mut self, ctx: &AdvCtx<'_>) -> Vec<Emission<M>> {
+        (**self).send(ctx)
+    }
+
+    fn receive(&mut self, round: Round, inboxes: &BTreeMap<Pid, Inbox<M>>) {
+        (**self).receive(round, inboxes);
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<M: Message> Adversary<M> for Box<dyn Adversary<M> + Send> {
+    fn send(&mut self, ctx: &AdvCtx<'_>) -> Vec<Emission<M>> {
+        (**self).send(ctx)
+    }
+
+    fn receive(&mut self, round: Round, inboxes: &BTreeMap<Pid, Inbox<M>>) {
+        (**self).receive(round, inboxes);
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// Sends nothing, ever.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Silent;

@@ -31,6 +31,26 @@ pub trait DropPolicy {
     fn gst(&self) -> Round;
 }
 
+impl DropPolicy for Box<dyn DropPolicy> {
+    fn drops(&mut self, round: Round, from: Pid, to: Pid) -> bool {
+        (**self).drops(round, from, to)
+    }
+
+    fn gst(&self) -> Round {
+        (**self).gst()
+    }
+}
+
+impl DropPolicy for Box<dyn DropPolicy + Send> {
+    fn drops(&mut self, round: Round, from: Pid, to: Pid) -> bool {
+        (**self).drops(round, from, to)
+    }
+
+    fn gst(&self) -> Round {
+        (**self).gst()
+    }
+}
+
 /// The fully synchronous model: nothing is ever dropped.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NoDrops;
@@ -269,6 +289,131 @@ mod tests {
         assert!(!d.drops(Round::new(1), p(1), p(0)));
         assert!(!d.drops(Round::new(2), p(0), p(1)));
         assert_eq!(d.gst(), Round::new(4));
+    }
+
+    /// Exhaustively queries every (round, from, to) at and after the
+    /// policy's claimed `gst()`, asserting the contract: nothing drops
+    /// from the stabilization round on.
+    fn assert_gst_contract(name: &str, mut policy: impl DropPolicy, n: usize, probe_rounds: u64) {
+        let gst = policy.gst();
+        for dr in 0..probe_rounds {
+            let round = Round::new(gst.index() + dr);
+            for from in 0..n {
+                for to in 0..n {
+                    if from == to {
+                        continue;
+                    }
+                    assert!(
+                        !policy.drops(round, p(from), p(to)),
+                        "{name}: dropped {from}->{to} at {:?} >= gst {:?}",
+                        round,
+                        gst
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_honors_the_gst_contract() {
+        assert_gst_contract("no_drops", NoDrops, 4, 3);
+        assert_gst_contract("random", RandomUntilGst::new(Round::new(6), 1.0, 9), 4, 3);
+        assert_gst_contract(
+            "partition",
+            PartitionUntil::new(vec![[p(0)].into(), [p(1), p(2)].into()], Round::new(4)),
+            4,
+            3,
+        );
+        assert_gst_contract(
+            "isolate",
+            IsolateUntil::new([p(2)].into(), Round::new(5)),
+            4,
+            3,
+        );
+        assert_gst_contract(
+            "scripted",
+            ScriptedDrops::new([(Round::new(2), p(0), p(1))]),
+            4,
+            3,
+        );
+        assert_gst_contract(
+            "both",
+            Both(
+                RandomUntilGst::new(Round::new(3), 1.0, 1),
+                IsolateUntil::new([p(1)].into(), Round::new(7)),
+            ),
+            4,
+            3,
+        );
+    }
+
+    #[test]
+    fn empty_script_stabilizes_immediately() {
+        let d = ScriptedDrops::new([]);
+        assert_eq!(d.gst(), Round::ZERO);
+        let d = ScriptedDrops::default();
+        assert_eq!(d.gst(), Round::ZERO);
+    }
+
+    #[test]
+    fn both_gst_is_the_max_in_either_order() {
+        let early = || ScriptedDrops::new([(Round::new(1), p(0), p(1))]);
+        let late = || IsolateUntil::new([p(0)].into(), Round::new(9));
+        assert_eq!(Both(early(), late()).gst(), Round::new(9));
+        assert_eq!(Both(late(), early()).gst(), Round::new(9));
+        // Degenerate: both sides empty → Round::ZERO, not a panic.
+        assert_eq!(Both(NoDrops, ScriptedDrops::default()).gst(), Round::ZERO);
+    }
+
+    #[test]
+    fn random_consumes_one_draw_per_query_under_short_circuiting() {
+        // A short-circuiting caller (e.g. `Both` with a trigger-happy
+        // first policy, or an engine that skips already-dropped wires)
+        // must not perturb the decision stream: the k-th pre-GST query
+        // answers the same regardless of interleaved post-GST queries.
+        let gst = Round::new(40);
+        let baseline: Vec<bool> = {
+            let mut d = RandomUntilGst::new(gst, 0.5, 1234);
+            (0..40)
+                .map(|r| d.drops(Round::new(r), p(0), p(1)))
+                .collect()
+        };
+        let interleaved: Vec<bool> = {
+            let mut d = RandomUntilGst::new(gst, 0.5, 1234);
+            (0..40)
+                .map(|r| {
+                    // Post-GST queries in between must consume nothing.
+                    assert!(!d.drops(Round::new(41), p(0), p(1)));
+                    assert!(!d.drops(Round::new(99), p(1), p(0)));
+                    d.drops(Round::new(r), p(0), p(1))
+                })
+                .collect()
+        };
+        assert_eq!(baseline, interleaved);
+        // And within `Both`, the random stream advances one draw per
+        // query even when the partner policy already decided to drop:
+        // after 40 queries through `Both`, the inner policy sits at
+        // exactly draw 40 of its stream.
+        let mut both = Both(
+            IsolateUntil::new([p(0)].into(), Round::new(40)),
+            RandomUntilGst::new(gst, 0.5, 1234),
+        );
+        for r in 0..40 {
+            // Isolated pre-GST, so the union always drops …
+            assert!(both.drops(Round::new(r), p(1), p(0)));
+        }
+        // … but the inner stream still consumed one draw per query.
+        let mut fresh = RandomUntilGst::new(gst, 0.5, 1234);
+        for r in 0..40 {
+            fresh.drops(Round::new(r), p(0), p(1));
+        }
+        let continue_both: Vec<bool> = (0..10)
+            .map(|_| both.1.drops(Round::new(39), p(0), p(1)))
+            .collect();
+        let continue_fresh: Vec<bool> = (0..10)
+            .map(|_| fresh.drops(Round::new(39), p(0), p(1)))
+            .collect();
+        assert_eq!(continue_both, continue_fresh);
     }
 
     #[test]

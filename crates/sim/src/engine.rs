@@ -34,6 +34,41 @@ struct Wire<M> {
     tok: Tok,
 }
 
+/// Why a mid-run churn event was rejected by the engine.
+///
+/// Rejection is a *detection*, not a crash: the engine's state is
+/// unchanged, and scenario harnesses surface the rejection as a model
+/// breach in their reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnError {
+    /// Turning these processes would push the ever-Byzantine count past
+    /// the fault budget `t`.
+    BudgetExceeded {
+        /// The ever-Byzantine count the event would have produced.
+        would_be: usize,
+        /// The configured fault budget.
+        t: usize,
+    },
+    /// The named process does not exist in this system.
+    UnknownPid(Pid),
+    /// The named process is already Byzantine.
+    AlreadyByzantine(Pid),
+}
+
+impl std::fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::BudgetExceeded { would_be, t } => {
+                write!(f, "byzantine budget exceeded: {would_be} > t = {t}")
+            }
+            ChurnError::UnknownPid(pid) => write!(f, "unknown process {pid:?}"),
+            ChurnError::AlreadyByzantine(pid) => write!(f, "{pid:?} is already byzantine"),
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
 /// The report of one simulated execution.
 #[derive(Clone, Debug)]
 pub struct RunReport<V> {
@@ -301,6 +336,79 @@ impl<P: Protocol> Simulation<P> {
     /// property) show their growth here; the E7 experiment plots it.
     pub fn per_round_sent(&self) -> &[u64] {
         &self.per_round_sent
+    }
+
+    /// The current Byzantine set.
+    pub fn byz(&self) -> &BTreeSet<Pid> {
+        &self.byz
+    }
+
+    /// Replaces the drop policy mid-run (a partition forms, a ramp
+    /// starts, or the network heals).
+    ///
+    /// The basic partially synchronous model only requires the *total*
+    /// number of drops to be finite, so swapping policies is sound as long
+    /// as the schedule eventually installs a policy whose
+    /// [`gst`](DropPolicy::gst) has passed.
+    pub fn set_drops(&mut self, drops: Box<dyn DropPolicy>) {
+        self.drops = drops;
+    }
+
+    /// Replaces the topology mid-run (links fail or are repaired).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new topology is sized for a different `n`.
+    pub fn set_topology(&mut self, topology: Topology) {
+        assert_eq!(topology.n(), self.cfg.n, "topology n mismatch");
+        self.topology = topology;
+    }
+
+    /// Replaces the Byzantine coalition's strategy mid-run.
+    ///
+    /// The new adversary starts with no captured state — exactly the
+    /// semantics of a coalition switching behaviour at a round boundary.
+    pub fn set_adversary(&mut self, adversary: Box<dyn Adversary<P::Msg>>) {
+        self.adversary = adversary;
+    }
+
+    /// Turns the given correct processes Byzantine at the next round
+    /// boundary, validating the model's fault budget.
+    ///
+    /// The paper's bounds count processes that are *ever* faulty, so a
+    /// process behaving correctly for a prefix and then joining the
+    /// coalition is a legal `t`-bounded execution — but only while the
+    /// ever-Byzantine count stays at most `t`. A schedule that pushes past
+    /// the budget is **rejected** (nothing changes) and the breach is
+    /// reported to the caller, which is how deliberate-violation schedules
+    /// assert detection.
+    ///
+    /// On success the turned processes leave the correct set: their
+    /// automata are dropped and their inputs and decisions no longer count
+    /// for the spec checker.
+    pub fn try_turn_byzantine(&mut self, pids: &BTreeSet<Pid>) -> Result<(), ChurnError> {
+        for &pid in pids {
+            if pid.index() >= self.cfg.n {
+                return Err(ChurnError::UnknownPid(pid));
+            }
+            if self.byz.contains(&pid) {
+                return Err(ChurnError::AlreadyByzantine(pid));
+            }
+        }
+        let would_be = self.byz.len() + pids.len();
+        if would_be > self.cfg.t {
+            return Err(ChurnError::BudgetExceeded {
+                would_be,
+                t: self.cfg.t,
+            });
+        }
+        for &pid in pids {
+            self.byz.insert(pid);
+            self.procs.remove(&pid);
+            self.inputs.remove(&pid);
+            self.decisions.remove(&pid);
+        }
+        Ok(())
     }
 
     /// Executes one round: correct sends, adversary sends, topology /

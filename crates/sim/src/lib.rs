@@ -25,6 +25,10 @@
 //! * [`harness`] — run-and-check: executes a protocol against a whole
 //!   scenario grid and compares the empirical verdicts with the Table 1
 //!   prediction.
+//! * [`scenario`] — schedule replay: materializes a serialized
+//!   [`Schedule`](homonym_core::Schedule) of timed disruptions against the
+//!   engine's mutation hooks, with a ddmin shrinker that bisects failing
+//!   schedules to minimal counterexamples and a DOT trace-graph artifact.
 //!
 //! Everything is deterministic given the seed: protocols are deterministic
 //! by contract, and all randomness (fuzz adversaries, random drop policies)
@@ -39,6 +43,7 @@ mod adversary_tests;
 mod drops;
 mod engine;
 pub mod harness;
+pub mod scenario;
 pub mod shards;
 mod topology;
 mod trace;
@@ -47,10 +52,11 @@ pub use adversary::{AdvCtx, Adversary, ByzTarget, Emission};
 pub use drops::{
     Both, DropPolicy, IsolateUntil, NoDrops, PartitionUntil, RandomUntilGst, ScriptedDrops,
 };
-pub use engine::{RunReport, Simulation, SimulationBuilder};
+pub use engine::{ChurnError, RunReport, Simulation, SimulationBuilder};
+pub use scenario::{Scenario, ScenarioReport, ScenarioVerdict};
 pub use shards::{
-    ShardDelivery, ShardId, ShardReport, ShardSpec, ShardedSimulation, ShardedTrace, ShotReport,
-    ShotSpec,
+    ChurnOp, ChurnPlan, ShardDelivery, ShardId, ShardReport, ShardSpec, ShardedSimulation,
+    ShardedTrace, ShotReport, ShotSpec,
 };
 pub use topology::Topology;
 pub use trace::{Delivery, Trace};

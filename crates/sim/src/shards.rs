@@ -561,6 +561,29 @@ impl<P: Protocol> ShardCore<P> {
         self.start_next_shot(tick + 1)
     }
 
+    /// Finalizes the live shot **unconditionally** — decided or not —
+    /// and pipelines the next queued shot; returns the new shot's
+    /// automata for the engine to place ([`None`] if the queue is
+    /// empty, leaving the shard idle).
+    ///
+    /// This is the churn seam: a schedule aborting a shard mid-shot
+    /// records the interrupted shot's report (its verdict reflects
+    /// whatever had been decided by the cut) instead of silently
+    /// discarding the work.
+    pub fn cut_shot(
+        &mut self,
+        shard: ShardId,
+        tick: u64,
+        measure_bits: bool,
+    ) -> Option<Vec<(Pid, P)>> {
+        if self.active {
+            let report = self.shot_report(shard, tick, measure_bits);
+            self.done.push(report);
+            self.shot += 1;
+        }
+        self.start_next_shot(tick)
+    }
+
     /// The report of the live shot as of now.
     pub fn shot_report(
         &self,
@@ -769,6 +792,67 @@ impl<P: Protocol> ShardCore<P> {
             })
             .collect();
         self.adversary.receive(self.round, &byz_inboxes);
+    }
+}
+
+/// One shard-churn operation, applied at the start of a global tick.
+pub enum ChurnOp<P: Protocol> {
+    /// Cut the shard's live shot (finalizing its report as-is) and start
+    /// its next queued shot, if any.
+    Abort(ShardId),
+    /// Enqueue a fresh shot on the shard; if the shard is idle, the shot
+    /// starts immediately.
+    Enqueue(ShardId, ShotSpec<P>),
+}
+
+/// A tick-indexed script of shard churn: which shards abort, restart, or
+/// receive fresh shots, and when.
+///
+/// Plans are consumed by [`ShardedSimulation::run_churned`] and the
+/// threaded cluster's churn loop: at the start of each global tick every
+/// operation due at (or before) that tick is applied, in insertion
+/// order. The plan is plain data — scenario schedules compile their
+/// shard events down to one.
+pub struct ChurnPlan<P: Protocol> {
+    ops: BTreeMap<u64, Vec<ChurnOp<P>>>,
+}
+
+impl<P: Protocol> Default for ChurnPlan<P> {
+    fn default() -> Self {
+        ChurnPlan {
+            ops: BTreeMap::new(),
+        }
+    }
+}
+
+impl<P: Protocol> ChurnPlan<P> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `op` at the start of global tick `tick`.
+    pub fn at(&mut self, tick: u64, op: ChurnOp<P>) -> &mut Self {
+        self.ops.entry(tick).or_default().push(op);
+        self
+    }
+
+    /// Whether no operations remain.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Removes and returns every operation due at or before `tick`, in
+    /// tick order then insertion order.
+    pub fn take_due(&mut self, tick: u64) -> Vec<ChurnOp<P>> {
+        let later = self.ops.split_off(&(tick + 1));
+        let due = std::mem::replace(&mut self.ops, later);
+        due.into_values().flatten().collect()
+    }
+
+    /// Whether any operation is scheduled strictly after `tick`.
+    pub fn has_pending_after(&self, tick: u64) -> bool {
+        self.ops.keys().any(|&t| t > tick)
     }
 }
 
@@ -1063,6 +1147,74 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
         P::Msg: WireEncode,
     {
         while self.tick < max_ticks && !self.all_idle() {
+            self.step();
+        }
+        self.reports()
+    }
+
+    /// Enqueues a fresh shot on `shard` mid-run; if the shard is idle,
+    /// the shot starts at the current tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` does not exist or the shot is malformed.
+    pub fn enqueue_shot(&mut self, shard: ShardId, shot: ShotSpec<P>) {
+        let tick = self.tick;
+        let s = &mut self.shards[shard.index()];
+        s.core.shots.push_back(shot);
+        if !s.core.active {
+            if let Some(spawned) = s.core.start_next_shot(tick) {
+                s.procs = spawned.into_iter().collect();
+            }
+        }
+    }
+
+    /// Cuts `shard`'s live shot — its report is finalized as-is — and
+    /// starts the next queued shot, if any (shard churn: a restart looks
+    /// like an abort plus an enqueue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` does not exist.
+    pub fn abort_shot(&mut self, shard: ShardId) {
+        let tick = self.tick;
+        let measure_bits = self.measure_bits;
+        let s = &mut self.shards[shard.index()];
+        match s.core.cut_shot(shard, tick, measure_bits) {
+            Some(spawned) => s.procs = spawned.into_iter().collect(),
+            None => s.procs = BTreeMap::new(),
+        }
+    }
+
+    /// Applies one churn operation now.
+    pub fn apply_churn_op(&mut self, op: ChurnOp<P>) {
+        match op {
+            ChurnOp::Abort(shard) => self.abort_shot(shard),
+            ChurnOp::Enqueue(shard, shot) => self.enqueue_shot(shard, shot),
+        }
+    }
+
+    /// Like [`run`](ShardedSimulation::run), but applying the churn
+    /// plan's due operations at the start of each tick. The run
+    /// continues through idle stretches while operations remain
+    /// scheduled (a plan may revive an idle shard), and stops when both
+    /// the shards and the plan are drained or `max_ticks` is hit.
+    pub fn run_churned(
+        &mut self,
+        mut plan: ChurnPlan<P>,
+        max_ticks: u64,
+    ) -> Vec<ShardReport<P::Value>>
+    where
+        P: Send,
+        P::Msg: WireEncode,
+    {
+        while self.tick < max_ticks {
+            for op in plan.take_due(self.tick) {
+                self.apply_churn_op(op);
+            }
+            if self.all_idle() && !plan.has_pending_after(self.tick) {
+                break;
+            }
             self.step();
         }
         self.reports()

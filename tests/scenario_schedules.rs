@@ -1,0 +1,264 @@
+//! Scenario schedules end to end: replay determinism, executor
+//! independence of churned sharded runs, and the full
+//! breach → shrink → hex-replay loop the fuzz campaign relies on.
+//!
+//! Three properties:
+//!
+//! 1. **Replay determinism** — drawing and running the same scenario
+//!    seed twice yields byte-identical verdicts, reports, and trace
+//!    digests; serializing the schedule through its hex replay line
+//!    changes nothing.
+//! 2. **Executor independence** — a schedule's shard-churn events
+//!    (`ShardAbort` / `ShardEnqueue`), compiled to a [`ChurnPlan`] and
+//!    run on [`Sequential`] and [`Pool`] executors, produce
+//!    byte-identical sharded traces and per-shot reports.
+//! 3. **Shrinker soundness** — a deliberately injected invariant
+//!    violation (Byzantine count pushed past `t` mid-run) is caught as
+//!    a [`ScenarioVerdict::Breach`], shrunk to a minimal one-event
+//!    schedule, and that schedule replays to the identical verdict and
+//!    digest from its hex line.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use homonyms::classic::{Eig, UniqueRunner};
+use homonyms::core::exec::{Executor, Pool, Sequential};
+use homonyms::core::scenario::{sub_seed, DropSpec, Schedule, ScheduleEvent, StrategyKind};
+use homonyms::core::{Domain, FnFactory, IdAssignment, Pid, ProtocolFactory, Round, SystemConfig};
+use homonyms::sim::scenario::{
+    run_scenario, schedule_churn_plan, shrink, trace_digest, Scenario, ScenarioVerdict,
+};
+use homonyms::sim::{ShardSpec, ShardedSimulation, ShardedTrace, ShotSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Unique-identifier EIG tolerating one fault.
+fn eig_factory(n: usize) -> impl ProtocolFactory<P = UniqueRunner<Eig<bool>>> + Clone + 'static {
+    let domain = Domain::binary();
+    FnFactory::new(move |id, input| UniqueRunner::new(Eig::new(n, 1, domain.clone()), id, input))
+}
+
+fn cfg(n: usize) -> SystemConfig {
+    SystemConfig::builder(n, n, 1).build().unwrap()
+}
+
+/// Canonical byte-stable rendering of a sharded trace: the
+/// `fabric_golden` delivery line prefixed with shard and shot indices.
+fn sharded_dump<M: homonyms::core::Message>(trace: &ShardedTrace<M>) -> String {
+    let mut s = String::new();
+    for e in trace.entries() {
+        let d = &e.delivery;
+        let _ = writeln!(
+            s,
+            "{}/{}|{}|{}|{}|{}|{:?}|{}",
+            e.shard, e.shot, d.round, d.from, d.src_id, d.to, d.msg, d.dropped
+        );
+    }
+    s
+}
+
+/// FNV-1a over a dump string (the `fabric_golden` digest).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deliberately over-budget scenario: `t = 1`, clean start, and a
+/// schedule that turns **two** processes Byzantine at round 1 (plus
+/// `noise` decorative events the shrinker should strip).
+fn over_budget_scenario(noise: bool) -> Scenario {
+    let n = 4;
+    let mut schedule = Schedule::new(0xBAD_5EED, Round::ZERO, Round::new(12));
+    if noise {
+        schedule.push(
+            Round::ZERO,
+            ScheduleEvent::SetDrops {
+                policy: DropSpec::None,
+            },
+        );
+        schedule.push(
+            Round::ZERO,
+            ScheduleEvent::SwitchStrategy {
+                strategy: StrategyKind::Silent,
+            },
+        );
+        schedule.push(
+            Round::new(2),
+            ScheduleEvent::SetTopology {
+                cut: BTreeSet::new(),
+            },
+        );
+    }
+    schedule.push(
+        Round::new(1),
+        ScheduleEvent::TurnByzantine {
+            pids: [Pid::new(0), Pid::new(1)].into_iter().collect(),
+        },
+    );
+    schedule.normalize();
+    Scenario {
+        cfg: cfg(n),
+        assignment: IdAssignment::unique(n),
+        inputs: vec![true, false, true, true],
+        init_byz: BTreeSet::new(),
+        init_strategy: StrategyKind::Silent,
+        init_drops: DropSpec::None,
+        schedule,
+    }
+}
+
+/// The acceptance loop in one test: the injected violation is caught,
+/// shrunk to the single offending event, and the minimal schedule
+/// replays to the identical verdict and digest from its hex line.
+#[test]
+fn injected_violation_is_caught_shrunk_and_replayed() {
+    let factory = eig_factory(4);
+    let scenario = over_budget_scenario(true);
+    let rep = run_scenario(&scenario, &factory);
+    let ScenarioVerdict::Breach { round, ref reason } = rep.verdict else {
+        panic!("expected a budget breach, got {:?}", rep.verdict);
+    };
+    assert_eq!(round, Round::new(1));
+    assert!(reason.contains("budget"), "unexpected reason: {reason}");
+
+    // Shrink: the three noise events go, the offending one stays.
+    let min = shrink(&scenario, &factory, &rep.verdict);
+    assert_eq!(min.schedule.events.len(), 1, "minimal counterexample");
+    assert!(matches!(
+        min.schedule.events[0].event,
+        ScheduleEvent::TurnByzantine { .. }
+    ));
+
+    // Replay the minimal schedule from its serialized hex line.
+    let hex = min.schedule.to_hex();
+    let mut replayed = over_budget_scenario(true);
+    replayed.schedule = Schedule::from_hex(&hex).expect("replay line decodes");
+    let a = run_scenario(&min, &factory);
+    let b = run_scenario(&replayed, &factory);
+    assert_eq!(a.verdict, rep.verdict);
+    assert_eq!(a.verdict, b.verdict);
+    assert_eq!(a.trace_digest, b.trace_digest);
+}
+
+/// Builds a churned sharded run on the given executor from one shared
+/// schedule, and returns `(trace digest, reports rendered via Debug)`.
+fn churned_run<E: Executor>(exec: E, schedule: &Schedule, shots: &[Vec<bool>]) -> (u64, String) {
+    const N: usize = 4;
+    let mut sharded: ShardedSimulation<UniqueRunner<Eig<bool>>, E> =
+        ShardedSimulation::with_executor(exec)
+            .record_trace(true)
+            .measure_bits(true);
+    for inputs in shots {
+        let spec = ShardSpec::new(cfg(N), IdAssignment::unique(N))
+            .shot(ShotSpec::new(inputs.clone()).horizon(12));
+        sharded.add_shard(spec, eig_factory(N));
+    }
+    let plan = schedule_churn_plan(schedule, |_, inputs| {
+        ShotSpec::new(inputs.to_vec()).horizon(12)
+    });
+    let reports = sharded.run_churned(plan, 64);
+    let digest = fnv1a(sharded_dump(sharded.trace().expect("trace on")).as_bytes());
+    (digest, format!("{reports:?}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite: same seed → byte-identical verdicts, reports, and
+    /// trace digests on replay, including through the hex line.
+    #[test]
+    fn drawn_schedules_replay_deterministically(seed in any::<u64>()) {
+        let factory = eig_factory(5);
+        let scenario = Scenario::draw(seed, cfg(5), 10);
+        let a = run_scenario(&scenario, &factory);
+        let b = run_scenario(&scenario, &factory);
+        prop_assert_eq!(&a.verdict, &b.verdict);
+        prop_assert_eq!(a.trace_digest, b.trace_digest);
+        prop_assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
+
+        let mut swapped = Scenario::draw(seed, cfg(5), 10);
+        swapped.schedule =
+            Schedule::from_hex(&scenario.schedule.to_hex()).expect("hex round-trip");
+        let c = run_scenario(&swapped, &factory);
+        prop_assert_eq!(&a.verdict, &c.verdict);
+        prop_assert_eq!(a.trace_digest, c.trace_digest);
+    }
+
+    /// Satellite: a schedule's shard-churn events run identically on
+    /// the [`Sequential`] and [`Pool`] executors — same sharded trace
+    /// digest, same per-shot reports.
+    #[test]
+    fn churned_schedules_are_executor_independent(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(sub_seed(seed, 0x5AD));
+        let draw_inputs =
+            |rng: &mut StdRng| -> Vec<bool> { (0..4).map(|_| rng.gen_bool(0.5)).collect() };
+        let shots = vec![draw_inputs(&mut rng), draw_inputs(&mut rng)];
+
+        let mut schedule = Schedule::new(seed, Round::ZERO, Round::new(40));
+        schedule.push(
+            Round::new(rng.gen_range(1..6u64)),
+            ScheduleEvent::ShardEnqueue { shard: 1, inputs: draw_inputs(&mut rng) },
+        );
+        schedule.push(
+            Round::new(rng.gen_range(1..6u64)),
+            ScheduleEvent::ShardAbort { shard: 0 },
+        );
+        schedule.push(
+            Round::new(rng.gen_range(6..12u64)),
+            ScheduleEvent::ShardEnqueue { shard: 0, inputs: draw_inputs(&mut rng) },
+        );
+        schedule.normalize();
+
+        let (seq_digest, seq_reports) = churned_run(Sequential, &schedule, &shots);
+        let (pool_digest, pool_reports) = churned_run(Pool::new(3), &schedule, &shots);
+        prop_assert_eq!(seq_digest, pool_digest);
+        prop_assert_eq!(seq_reports, pool_reports);
+    }
+
+    /// Satellite: whatever the shrinker returns still fails, with the
+    /// exact verdict it was asked to preserve.
+    #[test]
+    fn shrinker_output_refails_with_the_same_verdict(seed in any::<u64>()) {
+        let factory = eig_factory(5);
+        // A drawn scenario (whose own events are within budget) plus an
+        // injected over-budget defection: turn two fresh processes at
+        // round 1 against t = 1.
+        let mut scenario = Scenario::draw(seed, cfg(5), 10);
+        let fresh: BTreeSet<Pid> = (0..5)
+            .map(Pid::new)
+            .filter(|p| !scenario.init_byz.contains(p))
+            .take(2)
+            .collect();
+        scenario
+            .schedule
+            .push(Round::new(1), ScheduleEvent::TurnByzantine { pids: fresh });
+        scenario.schedule.normalize();
+
+        let rep = run_scenario(&scenario, &factory);
+        prop_assert!(
+            matches!(rep.verdict, ScenarioVerdict::Breach { .. }),
+            "expected breach, got {:?}",
+            rep.verdict
+        );
+
+        let min = shrink(&scenario, &factory, &rep.verdict);
+        prop_assert!(min.schedule.events.len() <= scenario.schedule.events.len());
+        prop_assert!(!min.schedule.events.is_empty());
+        let re = run_scenario(&min, &factory);
+        prop_assert_eq!(re.verdict, rep.verdict);
+    }
+}
+
+/// The digest helper starts from the FNV-1a offset basis (empty trace)
+/// — pins the digest algorithm the replay-line artifacts rely on.
+#[test]
+fn trace_digest_of_an_empty_trace_is_the_fnv_basis() {
+    let trace: homonyms::sim::Trace<u32> = homonyms::sim::Trace::new();
+    assert_eq!(trace_digest(&trace), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(trace_digest(&trace), fnv1a(b""));
+}
