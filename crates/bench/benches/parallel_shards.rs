@@ -1,29 +1,39 @@
-//! Parallel tick executor — aggregate decisions/sec of the sharded
-//! scheduler as the worker count climbs, at fixed K = 64 shards of n = 8
-//! synchronous `T(EIG)` agreement (4 shots per shard, the
-//! `shard_throughput` headline configuration).
+//! Parallel tick executor — two fan-out axes, one worker sweep.
+//!
+//! **Across instances:** aggregate decisions/sec of the sharded scheduler
+//! at K = 64 shards of n = 8 synchronous `T(EIG)` agreement (4 shots per
+//! shard, the `shard_throughput` headline configuration). Each tick fans
+//! the live shards across the pool's scoped workers.
+//!
+//! **Within one instance:** a single large agreement instance — solo
+//! `T(EIG)` at n ∈ {64, 128, 256} and solo partially synchronous Figure 5
+//! at n = 128 — with the tick's send and deliver/receive phases chunked
+//! over disjoint contiguous pid ranges of that one instance. Route
+//! planning (the drop policy's RNG) stays on the calling thread, so the
+//! fan-out is unobservable: traces are byte-identical to sequential at
+//! any worker count (pinned by `tests/solo_pool_equivalence.rs` and the
+//! `fabric_golden` worker sweeps), and the bench measures pure
+//! chunking overhead/speedup.
 //!
 //! Series: the [`Sequential`] baseline, then [`Pool`] executors at
-//! 1/2/4/8 workers. Each tick fans the 64 live shards across the pool's
-//! scoped workers, every worker writing its shards' disjoint
-//! `Deliveries` slot ranges; results are byte-identical to sequential at
-//! any worker count (pinned by `tests/shard_isolation.rs` and the
-//! `fabric_golden` digests), so this bench measures pure scheduling
-//! overhead/speedup.
-//!
-//! Besides the criterion timing loop, the bench writes machine-readable
-//! results to `BENCH_parallel.json` (best-of-3 instrumented runs per
-//! executor, wire-bit estimates on, the same series schema as
+//! 1/2/4/8 workers. Besides the criterion timing loop, the bench writes
+//! machine-readable results to `BENCH_parallel.json` (best-of-3
+//! instrumented runs per point, the same series schema as
 //! `BENCH_shards.json`, each entry annotated with its worker count and
 //! speedup over the one-worker pool). The file also records
-//! `available_parallelism`: on a single-core host the sweep *cannot*
-//! show speedup — the artifact documents the hardware so downstream
-//! readers interpret the curve correctly. Pass `--quick` (CI does) to
-//! cap K at 16 and sweep workers {1, 4} only.
+//! `available_parallelism`: on a single-core host the sweep *cannot* show
+//! speedup, so the worker-scaling summary is skipped with a logged reason
+//! (and `bench_gate --metric speedup_vs_workers1` skips the same way) —
+//! the artifact documents the hardware so downstream readers interpret
+//! the curve correctly. Pass `--quick` (CI does) to cap K at 16, trim the
+//! solo sizes, and sweep workers {1, 4} only.
 
 use criterion::{BenchmarkId, Criterion};
 use homonym_bench::json::{write_bench_json, Value};
-use homonym_bench::{decided_shots_total, measure_sharded, run_sharded_t_eig_with};
+use homonym_bench::{
+    decided_shots_total, measure_sharded, measure_solo, run_fig5_with, run_sharded_t_eig_with,
+    run_t_eig_clean_with,
+};
 use homonym_core::exec::{Executor, Pool, Sequential};
 
 const K: usize = 64;
@@ -34,6 +44,16 @@ const T: usize = 1;
 const SHOTS: usize = 4;
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
 const WORKERS_QUICK: [usize; 2] = [1, 4];
+
+/// Intra-instance solo `T(EIG)` sizes (synchronous, ℓ = 4, t = 1).
+const SOLO_T_EIG_NS: [usize; 3] = [64, 128, 256];
+const SOLO_T_EIG_NS_QUICK: [usize; 1] = [64];
+
+/// Intra-instance solo Figure 5 cell: 2ℓ > n + 3t with t = 1.
+const SOLO_FIG5: (usize, usize) = (128, 66);
+const SOLO_FIG5_QUICK: (usize, usize) = (32, 18);
+const SOLO_FIG5_GST: u64 = 4;
+const SOLO_FIG5_SEED: u64 = 42;
 
 fn bench(c: &mut Criterion, quick: bool) {
     let k = if quick { K_QUICK } else { K };
@@ -62,6 +82,24 @@ fn bench(c: &mut Criterion, quick: bool) {
             },
         );
     }
+    // Intra-instance: ONE instance, chunked across the pool. Criterion
+    // times the smallest solo size; the JSON series sweeps all of them.
+    let solo_n = if quick {
+        SOLO_T_EIG_NS_QUICK[0]
+    } else {
+        SOLO_T_EIG_NS[0]
+    };
+    group.bench_function(
+        BenchmarkId::new(format!("solo_t_eig_n{solo_n}"), "seq"),
+        |b| b.iter(|| run_t_eig_clean_with(Sequential, solo_n, ELL, T).rounds),
+    );
+    for &w in workers {
+        group.bench_with_input(
+            BenchmarkId::new(format!("solo_t_eig_n{solo_n}"), format!("w{w}")),
+            &w,
+            |b, &w| b.iter(|| run_t_eig_clean_with(Pool::new(w), solo_n, ELL, T).rounds),
+        );
+    }
     group.finish();
 }
 
@@ -75,8 +113,7 @@ fn measure_executor<E: Executor + Clone>(
     k: usize,
     reps: usize,
 ) -> (Value, f64) {
-    let mut best: Option<(Value, f64)> = None;
-    for _ in 0..reps {
+    best_of(reps, || {
         let entry = measure_sharded("sync_t_eig", k, N, ELL, T, SHOTS, || {
             run_sharded_t_eig_with(exec.clone(), k, N, ELL, T, SHOTS, true)
         });
@@ -84,20 +121,86 @@ fn measure_executor<E: Executor + Clone>(
             .get("decisions_per_sec")
             .and_then(Value::as_f64)
             .expect("rate recorded");
-        let better = match &best {
-            None => true,
-            Some((_, best_rate)) => rate > *best_rate,
-        };
-        if better {
+        (entry, rate)
+    })
+    .map_entry(label, workers)
+}
+
+/// Best-of-`reps` instrumented **solo** run: one instance, tick fanned
+/// across the executor inside `run`, rated by delivery-fabric
+/// throughput. `cell` is the series cell: `(protocol, n, ell, t)`.
+fn measure_solo_executor(
+    label: &str,
+    workers: usize,
+    reps: usize,
+    cell: (&str, usize, usize, usize),
+    run: impl Fn() -> homonym_sim::RunReport<bool>,
+) -> (Value, f64) {
+    let (protocol, n, ell, t) = cell;
+    best_of(reps, || {
+        let entry = measure_solo(protocol, n, ell, t, &run);
+        let rate = entry
+            .get("messages_per_sec")
+            .and_then(Value::as_f64)
+            .expect("rate recorded");
+        (entry, rate)
+    })
+    .map_entry(label, workers)
+}
+
+/// Keeps the fastest of `reps` `(entry, rate)` measurements.
+fn best_of(reps: usize, mut measure: impl FnMut() -> (Value, f64)) -> Best {
+    let mut best: Option<(Value, f64)> = None;
+    for _ in 0..reps {
+        let (entry, rate) = measure();
+        if best.as_ref().map_or(true, |(_, b)| rate > *b) {
             best = Some((entry, rate));
         }
     }
-    let (entry, rate) = best.expect("at least one rep");
-    let entry = entry.with([
-        ("executor", Value::str(label)),
-        ("workers", Value::Int(workers as i64)),
-    ]);
-    (entry, rate)
+    Best(best.expect("at least one rep"))
+}
+
+struct Best((Value, f64));
+
+impl Best {
+    fn map_entry(self, label: &str, workers: usize) -> (Value, f64) {
+        let (entry, rate) = self.0;
+        let entry = entry.with([
+            ("executor", Value::str(label)),
+            ("workers", Value::Int(workers as i64)),
+        ]);
+        (entry, rate)
+    }
+}
+
+/// Sweeps one series (sequential baseline + pools at `workers`) into
+/// `series`, annotating each pooled entry with its speedup over the
+/// one-worker pool, and returns `(w1 rate, best pooled rate, its w)`.
+fn sweep(
+    series: &mut Vec<Value>,
+    workers: &[usize],
+    mut measure: impl FnMut(&str, usize, Option<Pool>) -> (Value, f64),
+) -> (f64, f64, usize) {
+    let (seq_entry, _) = measure("sequential", 1, None);
+    series.push(seq_entry);
+    let mut w1_rate = 0.0;
+    let mut best = (0.0, 1);
+    for &w in workers {
+        let (entry, rate) = measure("pool", w, Some(Pool::new(w)));
+        if w == 1 {
+            w1_rate = rate;
+        }
+        if rate > best.0 {
+            best = (rate, w);
+        }
+        let entry = if w1_rate > 0.0 {
+            entry.with([("speedup_vs_workers1", Value::Num(rate / w1_rate))])
+        } else {
+            entry
+        };
+        series.push(entry);
+    }
+    (w1_rate, best.0, best.1)
 }
 
 fn main() {
@@ -107,27 +210,79 @@ fn main() {
 
     let k = if quick { K_QUICK } else { K };
     let workers: &[usize] = if quick { &WORKERS_QUICK } else { &WORKERS };
+    let solo_ns: &[usize] = if quick {
+        &SOLO_T_EIG_NS_QUICK
+    } else {
+        &SOLO_T_EIG_NS
+    };
+    let (fig5_n, fig5_ell) = if quick { SOLO_FIG5_QUICK } else { SOLO_FIG5 };
     let reps = if quick { 2 } else { 3 };
+    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
 
     let mut series = Vec::new();
-    let (seq_entry, _) = measure_executor("sequential", 1, Sequential, k, reps);
-    series.push(seq_entry);
-    let mut w1_rate = None;
-    for &w in workers {
-        let (entry, rate) = measure_executor("pool", w, Pool::new(w), k, reps);
-        if w == 1 {
-            w1_rate = Some(rate);
+    let mut scaling: Vec<(String, f64, f64, usize)> = Vec::new();
+
+    // Across instances: the sharded scheduler.
+    let (w1, best, best_w) = sweep(&mut series, workers, |label, w, pool| match pool {
+        None => measure_executor(label, w, Sequential, k, reps),
+        Some(pool) => measure_executor(label, w, pool, k, reps),
+    });
+    scaling.push((format!("sync_t_eig k={k}"), w1, best, best_w));
+
+    // Within one instance: solo T(EIG) sizes, then solo Figure 5.
+    for &n in solo_ns {
+        let cell = ("solo_sync_t_eig", n, ELL, T);
+        let (w1, best, best_w) = sweep(&mut series, workers, |label, w, pool| match pool {
+            None => measure_solo_executor(label, w, reps, cell, || {
+                run_t_eig_clean_with(Sequential, n, ELL, T)
+            }),
+            Some(pool) => measure_solo_executor(label, w, reps, cell, || {
+                run_t_eig_clean_with(pool.clone(), n, ELL, T)
+            }),
+        });
+        scaling.push((format!("solo_sync_t_eig n={n}"), w1, best, best_w));
+    }
+    let cell = ("solo_psync_fig5", fig5_n, fig5_ell, T);
+    let (w1, best, best_w) = sweep(&mut series, workers, |label, w, pool| match pool {
+        None => measure_solo_executor(label, w, reps, cell, || {
+            run_fig5_with(
+                Sequential,
+                fig5_n,
+                fig5_ell,
+                T,
+                SOLO_FIG5_GST,
+                SOLO_FIG5_SEED,
+            )
+        }),
+        Some(pool) => measure_solo_executor(label, w, reps, cell, move || {
+            run_fig5_with(
+                pool.clone(),
+                fig5_n,
+                fig5_ell,
+                T,
+                SOLO_FIG5_GST,
+                SOLO_FIG5_SEED,
+            )
+        }),
+    });
+    scaling.push((format!("solo_psync_fig5 n={fig5_n}"), w1, best, best_w));
+
+    // Worker-scaling summary — meaningful only with real cores to fan
+    // across. On a single-core host the pools serialize onto one CPU, so
+    // the comparison is skipped with the reason on record.
+    if cores <= 1 {
+        println!(
+            "worker-scaling comparison SKIPPED: available_parallelism = {cores} — \
+             pooled workers serialize on this host, so speedup curves are \
+             meaningless here (the JSON records the hardware for downstream readers)"
+        );
+    } else {
+        for (name, w1, best, best_w) in &scaling {
+            let speedup = if *w1 > 0.0 { best / w1 } else { 0.0 };
+            println!("{name}: best speedup vs 1 worker = {speedup:.2}x at {best_w} workers");
         }
-        let entry = match w1_rate {
-            Some(base) if base > 0.0 => {
-                entry.with([("speedup_vs_workers1", Value::Num(rate / base))])
-            }
-            _ => entry,
-        };
-        series.push(entry);
     }
 
-    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
     let doc = Value::obj([
         ("bench", Value::str("parallel_shards")),
         ("mode", Value::str(if quick { "quick" } else { "full" })),

@@ -78,6 +78,16 @@ fn series_points(path: &str, protocol: &str, metric: &str) -> BTreeMap<i64, f64>
     points
 }
 
+/// A top-level integer field (e.g. `available_parallelism`) scraped from
+/// a bench-JSON-shaped file, if present.
+fn top_level_int(path: &str, key: &str) -> Option<i64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines().find_map(|line| {
+        let rest = line.trim().strip_prefix(&format!("\"{key}\": "))?;
+        rest.trim_end_matches(',').parse().ok()
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let arg_after = |flag: &str| -> Option<&str> {
@@ -110,6 +120,24 @@ fn main() -> ExitCode {
         .unwrap_or("0.30")
         .parse()
         .expect("--max-regression is a fraction");
+
+    // Worker-scaling metrics only mean something with real cores to fan
+    // across: if the current run's host reports a single hardware
+    // thread, every pool serializes onto one CPU and the speedup curve
+    // is flat by construction. Skip the comparison with the reason on
+    // record rather than failing on a curve the machine cannot produce.
+    if metric.contains("speedup") {
+        if let Some(cores) = top_level_int(current_path, "available_parallelism") {
+            if cores <= 1 {
+                println!(
+                    "bench_gate: SKIPPED {metric} comparison — current host reports \
+                     available_parallelism = {cores}; worker-scaling comparisons \
+                     require a multi-core runner"
+                );
+                return ExitCode::SUCCESS;
+            }
+        }
+    }
 
     // Machine-speed normalization: median current/baseline ratio of the
     // reference series over the n values both files carry. The reference

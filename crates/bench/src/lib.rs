@@ -68,21 +68,49 @@ pub fn restricted_cfg(n: usize, ell: usize, t: usize) -> SystemConfig {
 /// One clean (failure-free, unanimous-input) run of `T(EIG)`; returns the
 /// report for round/message accounting.
 pub fn run_t_eig_clean(n: usize, ell: usize, t: usize) -> RunReport<bool> {
+    run_t_eig_clean_with(Sequential, n, ell, t)
+}
+
+/// [`run_t_eig_clean`] with the tick fanned across `exec` — the
+/// intra-instance parallel path (chunked sends and deliveries over one
+/// instance's pid space, byte-identical to sequential).
+pub fn run_t_eig_clean_with<E: Executor>(
+    exec: E,
+    n: usize,
+    ell: usize,
+    t: usize,
+) -> RunReport<bool> {
     let factory = t_eig_factory(ell, t);
     let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
-    let mut sim =
-        Simulation::builder(sync_cfg(n, ell, t), assignment, vec![true; n]).build_with(&factory);
+    let mut sim = Simulation::builder(sync_cfg(n, ell, t), assignment, vec![true; n])
+        .executor(exec)
+        .build_with(&factory);
     sim.run(factory.round_bound() + 9)
 }
 
 /// One clean run of the Figure 5 protocol with the given stabilization
 /// round (messages drop with probability 0.3 before it).
 pub fn run_fig5(n: usize, ell: usize, t: usize, gst: u64, seed: u64) -> RunReport<bool> {
+    run_fig5_with(Sequential, n, ell, t, gst, seed)
+}
+
+/// [`run_fig5`] with the tick fanned across `exec` — drop planning stays
+/// on the calling thread (the policy's RNG draw order is observable), so
+/// the lossy pre-GST schedule replays identically at any worker count.
+pub fn run_fig5_with<E: Executor>(
+    exec: E,
+    n: usize,
+    ell: usize,
+    t: usize,
+    gst: u64,
+    seed: u64,
+) -> RunReport<bool> {
     let factory = fig5_factory(n, ell, t);
     let assignment = IdAssignment::stacked(ell, n).expect("ℓ ≤ n");
     let inputs = (0..n).map(|k| k % 2 == 0).collect();
     let mut sim = Simulation::builder(psync_cfg(n, ell, t), assignment, inputs)
         .drops(RandomUntilGst::new(Round::new(gst), 0.3, seed))
+        .executor(exec)
         .build_with(&factory);
     sim.run(gst + factory.round_bound() + 24)
 }
@@ -439,6 +467,44 @@ pub fn measure_sharded(
         (
             "bits_per_decision",
             Value::Num(bits as f64 / decided as f64),
+        ),
+    ])
+}
+
+/// One instrumented **solo** run rendered in the same series shape as
+/// [`measure_sharded`]: a single agreement instance, timed end to end,
+/// with the delivery-fabric throughput (`messages_per_sec`) as the rate —
+/// the metric `bench_gate` gates and normalizes by. Used by the
+/// `parallel_shards` intra-instance series, where the executor fans one
+/// instance's tick across worker chunks.
+///
+/// Asserts the instance decided (the timing is meaningless otherwise).
+pub fn measure_solo(
+    protocol: &str,
+    n: usize,
+    ell: usize,
+    t: usize,
+    run: impl FnOnce() -> RunReport<bool>,
+) -> json::Value {
+    use json::Value;
+    let start = std::time::Instant::now();
+    let report = run();
+    let time_ns = start.elapsed().as_nanos() as i64;
+    assert!(
+        report.all_decided_round.is_some(),
+        "{protocol} n={n}: the instance must decide"
+    );
+    Value::obj([
+        ("protocol", Value::str(protocol)),
+        ("n", Value::Int(n as i64)),
+        ("ell", Value::Int(ell as i64)),
+        ("t", Value::Int(t as i64)),
+        ("time_ns", Value::Int(time_ns)),
+        ("rounds", Value::Int(report.rounds as i64)),
+        ("messages_sent", Value::Int(report.messages_sent as i64)),
+        (
+            "messages_per_sec",
+            Value::Num(report.messages_sent as f64 / (time_ns as f64 / 1e9)),
         ),
     ])
 }

@@ -27,6 +27,41 @@
 //! Later backends (async runtimes, multi-backend routing) are expected to
 //! reuse this boundary rather than re-invent per-engine threading.
 
+/// Splits `0..len` into at most `chunks` contiguous, non-empty,
+/// balanced ranges (the first `len % chunks` ranges get one extra item).
+/// Fewer ranges come back when `len < chunks`; an empty input yields no
+/// ranges at all.
+///
+/// This is the work-partitioning helper behind intra-instance
+/// parallelism: the chunk boundaries depend only on `(len, chunks)`, so
+/// a chunk-then-merge pipeline produces the same ordered output no
+/// matter how the chunks are scheduled.
+///
+/// # Example
+///
+/// ```
+/// use homonym_core::exec::chunk_ranges;
+///
+/// assert_eq!(chunk_ranges(7, 3), vec![0..3, 3..5, 5..7]);
+/// assert_eq!(chunk_ranges(2, 4), vec![0..1, 1..2]); // never empty ranges
+/// assert!(chunk_ranges(0, 4).is_empty());
+/// ```
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let mut ranges = Vec::with_capacity(chunks);
+    let (base, extra) = (len / chunks, len % chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let width = base + usize::from(i < extra);
+        ranges.push(start..start + width);
+        start += width;
+    }
+    ranges
+}
+
 /// Runs a tick's batch of independent tasks, returning their results in
 /// task order.
 ///
@@ -259,6 +294,28 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_is_rejected() {
         Pool::new(0);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in 0..40usize {
+            for chunks in 1..10usize {
+                let ranges = chunk_ranges(len, chunks);
+                assert!(ranges.len() <= chunks);
+                assert!(ranges.iter().all(|r| !r.is_empty()), "{len}/{chunks}");
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "{len}/{chunks}");
+                if let (Some(first), Some(last)) = (ranges.first(), ranges.last()) {
+                    assert!(first.len() - last.len() <= 1, "balanced: {len}/{chunks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_zero_chunks_is_clamped() {
+        assert_eq!(chunk_ranges(5, 0), vec![0..5]);
+        assert!(chunk_ranges(0, 0).is_empty());
     }
 
     #[test]

@@ -343,6 +343,51 @@ pub struct DeliverySlots<'a, M> {
     buckets: &'a mut [Vec<SharedEnvelope<M>>],
 }
 
+impl<'a, M: Message> DeliverySlots<'a, M> {
+    /// Splits this view into disjoint contiguous sub-views of the given
+    /// widths, laid out back to back from the view's first slot — each
+    /// still addressed in the plane's **global** coordinates.
+    ///
+    /// This is the nested seam of intra-instance parallelism: a sharded
+    /// scheduler first splits the plane per shard
+    /// ([`Deliveries::split_slots`]), then splits a big shard's view into
+    /// per-worker recipient chunks, so one tick fans out over
+    /// (shard, chunk) work units with the borrow checker still proving
+    /// every unit disjoint.
+    ///
+    /// Consumes the view (the sub-views re-borrow its slice). Widths may
+    /// sum to less than [`width`](DeliverySlots::width); the tail is left
+    /// uncovered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths sum to more than this view's width.
+    pub fn split_widths(
+        self,
+        widths: impl IntoIterator<Item = usize>,
+    ) -> Vec<DeliverySlots<'a, M>> {
+        let mut rest = self.buckets;
+        let mut start = self.start;
+        let mut views = Vec::new();
+        for width in widths {
+            assert!(
+                width <= rest.len(),
+                "sub-ranges exceed the view: {} + {width} > {}",
+                start,
+                start + rest.len()
+            );
+            let (head, tail) = rest.split_at_mut(width);
+            views.push(DeliverySlots {
+                start,
+                buckets: head,
+            });
+            start += width;
+            rest = tail;
+        }
+        views
+    }
+}
+
 impl<M: Message> DeliverySlots<'_, M> {
     /// The first global slot this view covers.
     pub fn start(&self) -> usize {
@@ -527,6 +572,46 @@ mod tests {
         let mut d: Deliveries<String> = Deliveries::new(4);
         let mut views = d.split_slots([2usize, 2]);
         views[0].push(Pid::new(2), env(1, "trespass"));
+    }
+
+    #[test]
+    fn split_widths_nests_inside_a_shard_view() {
+        let mut d: Deliveries<String> = Deliveries::new(8);
+        {
+            let views = d.split_slots([3usize, 5]);
+            let mut it = views.into_iter();
+            let _first = it.next().unwrap();
+            let second = it.next().unwrap();
+            // Sub-split the second shard's view into recipient chunks.
+            let mut chunks = second.split_widths([2usize, 2]);
+            assert_eq!(chunks.len(), 2);
+            assert_eq!(chunks[0].start(), 3);
+            assert_eq!(chunks[1].start(), 5);
+            assert_eq!(chunks[1].width(), 2);
+            // Still addressed in GLOBAL plane coordinates.
+            chunks[0].push(Pid::new(4), env(1, "a"));
+            chunks[1].push(Pid::new(6), env(2, "b"));
+        }
+        assert_eq!(d.len_for(Pid::new(4)), 1);
+        assert_eq!(d.len_for(Pid::new(6)), 1);
+        assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "below this view's range")]
+    fn split_widths_sub_views_stay_bounded() {
+        let mut d: Deliveries<String> = Deliveries::new(6);
+        let views = d.split_slots([6usize]);
+        let mut chunks = views.into_iter().next().unwrap().split_widths([3usize, 3]);
+        chunks[1].push(Pid::new(2), env(1, "trespass"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the view")]
+    fn split_widths_rejects_oversized_sub_ranges() {
+        let mut d: Deliveries<String> = Deliveries::new(4);
+        let views = d.split_slots([4usize]);
+        let _ = views.into_iter().next().unwrap().split_widths([3usize, 2]);
     }
 
     #[test]

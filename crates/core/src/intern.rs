@@ -221,6 +221,14 @@ impl IdBits {
         self.count == 0
     }
 
+    /// Clears every index while keeping the allocated width — the
+    /// reset-and-reuse half of an alloc-free scratch bitset (the engines'
+    /// per-tick duplicate checks reuse one `IdBits` across rounds).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
     /// Iterates over the set indices, ascending.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(w, &bits)| {
@@ -269,6 +277,18 @@ mod tests {
         assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 3, 9, 63, 64, 129]);
         assert!(!b.contains(1));
         assert!(!b.contains(10_000));
+    }
+
+    #[test]
+    fn clear_keeps_width_but_forgets_everything() {
+        let mut b = IdBits::with_capacity(8);
+        b.insert(3);
+        b.insert(200);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert!(!b.contains(3) && !b.contains(200));
+        assert!(b.insert(3), "cleared indices insert as new");
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub fn lockstep_report<P, F>(
     horizon: u64,
 ) -> LockstepReport
 where
-    P: Protocol + 'static,
+    P: Protocol + Send + 'static,
+    P::Value: Send,
     F: ProtocolFactory<P = P>,
 {
     let cfg = SystemConfig::builder(n, ell, t)

@@ -252,7 +252,7 @@ pub fn build(n: usize, t: usize) -> Fig1System {
 /// exists only in each view's imagination.
 pub fn run<P, F>(factory: &F, sys: &Fig1System, horizon: u64) -> Fig1Report
 where
-    P: Protocol<Value = bool> + 'static,
+    P: Protocol<Value = bool> + Send + 'static,
     F: ProtocolFactory<P = P>,
 {
     let big_n = sys.assignment.n();

@@ -27,6 +27,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use homonym_core::exec::{Executor, Sequential};
 use homonym_core::{Id, IdAssignment, Pid, Protocol, ProtocolFactory, Round, SystemConfig};
 use homonym_sim::adversary::{Compose, Silent, TraceReplayer};
 use homonym_sim::{Both, IsolateUntil, PartitionUntil, Simulation, Trace};
@@ -109,16 +110,18 @@ fn reference_pid_of_id(n: usize, ell: usize, j: usize) -> Pid {
 
 /// Runs one reference execution (inputs all `input`, Byzantine identifiers
 /// `byz_ids` silent) and returns its trace and the all-decided round.
-fn run_reference<P, F>(
+fn run_reference<P, F, E>(
     factory: &F,
     cfg: SystemConfig,
     input: bool,
     byz_ids: std::ops::RangeInclusive<usize>,
     horizon: u64,
+    exec: E,
 ) -> (Trace<P::Msg>, Option<u64>)
 where
-    P: Protocol<Value = bool> + 'static,
+    P: Protocol<Value = bool> + Send + 'static,
     F: ProtocolFactory<P = P>,
+    E: Executor,
 {
     let assignment = reference_assignment(cfg.n, cfg.ell);
     let byz: Vec<Pid> = byz_ids
@@ -127,6 +130,7 @@ where
     let mut sim = Simulation::builder(cfg, assignment, vec![input; cfg.n])
         .byzantine(byz, Silent)
         .record_trace(true)
+        .executor(exec)
         .build_with(factory);
     let report = sim.run_exact(horizon);
     let decided = report.all_decided_round.map(|r| r.index());
@@ -145,8 +149,26 @@ where
 /// applicability range.
 pub fn run<P, F>(factory: &F, cfg: SystemConfig, horizon: u64) -> Fig4Outcome
 where
-    P: Protocol<Value = bool> + 'static,
+    P: Protocol<Value = bool> + Send + 'static,
     F: ProtocolFactory<P = P>,
+{
+    run_with(factory, cfg, horizon, Sequential)
+}
+
+/// [`run`], with every simulation of the construction (the α/β
+/// references and γ itself) stepped on the given executor — the
+/// construction is a pure function of its traces, so any worker count
+/// reproduces the sequential outcome bit for bit
+/// (`tests/fabric_golden.rs` pins this).
+///
+/// # Panics
+///
+/// Panics on the same applicability violations as [`run`].
+pub fn run_with<P, F, E>(factory: &F, cfg: SystemConfig, horizon: u64, exec: E) -> Fig4Outcome
+where
+    P: Protocol<Value = bool> + Send + 'static,
+    F: ProtocolFactory<P = P>,
+    E: Executor + Clone,
 {
     let (n, ell, t) = (cfg.n, cfg.ell, cfg.t);
     assert!(t >= 1, "the construction needs a Byzantine process");
@@ -157,14 +179,28 @@ where
     );
 
     // Step 1 and 2: record α and β.
-    let (alpha, r_alpha) = run_reference(factory, cfg, false, (t + 1)..=(2 * t), horizon);
+    let (alpha, r_alpha) = run_reference(
+        factory,
+        cfg,
+        false,
+        (t + 1)..=(2 * t),
+        horizon,
+        exec.clone(),
+    );
     let Some(r_alpha) = r_alpha else {
         return Fig4Outcome::ReferenceStalled {
             which: "alpha",
             horizon,
         };
     };
-    let (beta, r_beta) = run_reference(factory, cfg, true, (2 * t + 1)..=(3 * t), horizon);
+    let (beta, r_beta) = run_reference(
+        factory,
+        cfg,
+        true,
+        (2 * t + 1)..=(3 * t),
+        horizon,
+        exec.clone(),
+    );
     let Some(r_beta) = r_beta else {
         return Fig4Outcome::ReferenceStalled {
             which: "beta",
@@ -239,6 +275,7 @@ where
         .byzantine(byz, adversary)
         .drops(drops)
         .record_trace(true)
+        .executor(exec)
         .build_with(factory);
     let gamma_report = sim.run_exact(heal);
 

@@ -32,16 +32,17 @@ use std::thread;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 use homonym_core::codec::WireEncode;
-use homonym_core::exec::{Executor, Sequential};
-use homonym_core::intern::Tok;
+use homonym_core::exec::{self, Executor, Sequential};
+use homonym_core::intern::{IdBits, Tok};
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
-    ByzPower, Deliveries, DeliverySlots, FrameInterner, Id, IdAssignment, Inbox, Pid, Protocol,
-    ProtocolFactory, Recipients, Round, SharedEnvelope, SystemConfig,
+    ByzPower, Counting, Deliveries, DeliverySlots, FrameInterner, Id, IdAssignment, Inbox, Pid,
+    Protocol, ProtocolFactory, Recipients, Round, SharedEnvelope, SystemConfig,
 };
 use homonym_sim::adversary::{AdvCtx, Adversary, Silent};
+use homonym_sim::par::{self, SendScratch};
 use homonym_sim::shards::{
-    ChurnOp, ChurnPlan, ShardCore, ShardId, ShardReport, ShardSpec, ShardWire,
+    wire_bits, ChurnOp, ChurnPlan, ShardCore, ShardId, ShardReport, ShardSpec, ShardWire,
 };
 use homonym_sim::{DropPolicy, NoDrops, RunReport};
 
@@ -388,12 +389,16 @@ enum FromShardActor<M, V> {
 ///
 /// Like the sharded simulator, the cluster is generic over an
 /// [`Executor`]: the coordinator-side quadratic work of each tick —
-/// building wires from the collected sends, routing them through
-/// topology/drops into the shared plane, draining per-slot inboxes —
-/// is fanned out per shard across worker threads (each writing its
-/// shards' disjoint [`DeliverySlots`] range), while the actors keep
-/// parallelizing the protocol work itself. Decisions, counters, and
-/// reports are identical at any worker count.
+/// expanding the collected sends into wires, delivering the planned
+/// wires into the shared plane, draining per-slot inboxes — is fanned
+/// out as flattened **(shard, chunk)** units across worker threads (a
+/// big shard splits internally into contiguous pid chunks, each
+/// writing a disjoint [`DeliverySlots`] sub-range), while the actors
+/// keep parallelizing the protocol work itself. Between the scatters
+/// the coordinator runs each shard's inherently sequential middle
+/// (adversary, frame tokens, stateful drop planning) in shard order —
+/// the simulator's own `ShardCore::plan_tick` — so decisions,
+/// counters, and reports are identical at any worker count.
 ///
 /// # Example
 ///
@@ -486,62 +491,47 @@ impl<P: Protocol, E: Executor> ShardedCluster<P, E> {
 
 /// One shard of the threaded coordinator: the shared bookkeeping, the
 /// senders to its actor threads, and the shard-private per-tick scratch —
-/// everything a worker thread needs to process this shard's slice of a
-/// tick without touching its neighbours.
+/// everything a tick's worker tasks need to process this shard's chunks
+/// without touching its neighbours.
 struct ClusterShard<P: Protocol> {
     core: ShardCore<P>,
     txs: BTreeMap<Pid, Sender<ToShardActor<P>>>,
     /// This tick's collected sends, keyed by correct pid (phase 1a).
     sends: BTreeMap<Pid, Vec<(Recipients, Arc<P::Msg>)>>,
-    /// This tick's routed wires (reused across ticks, local coords).
+    /// This tick's wires (reused across ticks, local coords).
     wires: Vec<ShardWire<P::Msg>>,
+    /// Per-chunk send scratch (phase 1b), reused across ticks.
+    send_scratch: Vec<SendScratch<P::Msg>>,
+    /// This tick's per-wire delivery plan, reused across ticks.
+    route_plan: Vec<bool>,
+    /// Restricted-clamp pair bitset, reused across ticks.
+    byz_sent: IdBits,
 }
 
-impl<P: Protocol> ClusterShard<P> {
-    /// The worker-side slice of one tick: build wires from the collected
-    /// sends and route them into this shard's slot range (both via
-    /// [`ShardCore`], so the addressing asserts, the restricted clamp,
-    /// and the drop/counter accounting are the simulator's own code),
-    /// deliver per-slot inboxes to the actors, and hand the Byzantine
-    /// inboxes to the adversary.
-    ///
-    /// The round does **not** advance here: the coordinator records the
-    /// actors' decisions at the still-current round after every worker
-    /// finishes, exactly as the sequential schedule did.
-    fn tick(&mut self, s: usize, slots: &mut DeliverySlots<'_, P::Msg>, measure_bits: bool)
-    where
-        P::Msg: WireEncode,
-    {
-        if !self.core.active {
-            return;
-        }
-        slots.clear();
-        let shard = ShardId::new(s);
-        let round = self.core.round;
+/// Borrow bundle for one shard's send phase (the threaded counterpart of
+/// the sharded simulator's — here the emissions were already collected
+/// from the actors, so the chunks only expand them into wires).
+struct SendCtx<'a, P: Protocol> {
+    shard: ShardId,
+    r: Round,
+    assignment: &'a IdAssignment,
+    sends: Vec<(Pid, Vec<(Recipients, Arc<P::Msg>)>)>,
+    scratch: &'a mut [SendScratch<P::Msg>],
+    ranges: Vec<std::ops::Range<usize>>,
+}
 
-        // Phase 1b — wires from the collected sends (correct in pid
-        // order, then the adversary — the simulator's order).
-        let sends = &mut self.sends;
-        self.core
-            .build_wires(shard, &mut self.wires, measure_bits, |pid, _round| {
-                sends.remove(&pid).expect("send collected")
-            });
-
-        // Phase 2 — topology, drops, and routing into this shard's slot
-        // range (no trace: the threaded backend records none).
-        self.core.route_wires(shard, &self.wires, slots, None);
-
-        // Phase 3a — deliver to the actors; Byzantine inboxes to the
-        // adversary.
-        for &pid in &self.core.correct {
-            let slot = Pid::new(self.core.offset + pid.index());
-            let inbox = slots.take_inbox(slot, self.core.cfg.counting);
-            self.txs[&pid]
-                .send(ToShardActor::Deliver(round, inbox))
-                .expect("actor alive");
-        }
-        self.core.deliver_byz(slots);
-    }
+/// Borrow bundle for one shard's deliver phase: the planned wire list,
+/// the shard's sub-split plane views, and per-chunk clones of the actor
+/// senders (cloned so each chunk task owns its handles).
+struct RecvCtx<'a, P: Protocol> {
+    r: Round,
+    offset: usize,
+    counting: Counting,
+    wires: &'a [ShardWire<P::Msg>],
+    plan: &'a [bool],
+    ranges: Vec<std::ops::Range<usize>>,
+    views: Vec<DeliverySlots<'a, P::Msg>>,
+    chunk_txs: Vec<Vec<(Pid, Sender<ToShardActor<P>>)>>,
 }
 
 impl<P, E> ShardedCluster<P, E>
@@ -567,6 +557,8 @@ where
     pub fn run(self, max_ticks: u64) -> Vec<ShardReport<P::Value>> {
         let measure_bits = self.measure_bits;
         let exec = self.exec;
+        let workers = exec.workers();
+        let measure = move |m: &P::Msg| if measure_bits { wire_bits(m) } else { 0 };
         let mut churn = self.churn;
 
         // Validate and lay the shards out on the shared plane. The shot
@@ -581,6 +573,9 @@ where
                 txs: BTreeMap::new(),
                 sends: BTreeMap::new(),
                 wires: Vec::new(),
+                send_scratch: Vec::new(),
+                route_plan: Vec::new(),
+                byz_sent: IdBits::new(),
             });
             offset += n;
         }
@@ -650,9 +645,11 @@ where
         // sharded simulator. Phase 1a (collecting sends) and phase 3b
         // (recording decisions) stay on the coordinator because they
         // drain the one reply channel; everything between — the
-        // quadratic wire-building, routing, and inbox work — fans out
-        // per shard across the executor, each worker writing its
-        // shards' disjoint slot ranges of the one plane.
+        // quadratic wire-expansion, delivery, and inbox work — fans
+        // out as flattened (shard, chunk) units across the executor,
+        // each chunk writing a disjoint slot sub-range of the one
+        // plane, with the sequential middle (adversary, tokens, drop
+        // planning) on the coordinator in shard order.
         let mut tick = 0u64;
         let mut plane: Deliveries<P::Msg> = Deliveries::new(total_slots);
         let widths: Vec<usize> = shards.iter().map(|s| s.core.cfg.n).collect();
@@ -706,16 +703,172 @@ where
                 }
             }
 
-            // Phases 1b–3a — wires, routing, and delivery, one
-            // independent task per shard on the executor.
-            let views = plane.split_slots(widths.iter().copied());
-            let tasks: Vec<_> = shards
-                .iter_mut()
-                .zip(views)
-                .enumerate()
-                .map(|(s, (shard, mut slots))| move || shard.tick(s, &mut slots, measure_bits))
-                .collect();
-            exec.scatter(tasks);
+            // Phase 1b — expand the collected sends into wires, one
+            // flattened scatter of (shard, chunk) units (correct pids in
+            // ascending order per chunk, chunks concatenating in pid
+            // order — the simulator's exact wire order).
+            {
+                let mut ctxs: Vec<SendCtx<'_, P>> = Vec::new();
+                for (s, shard) in shards.iter_mut().enumerate() {
+                    if !shard.core.active {
+                        continue;
+                    }
+                    let ClusterShard {
+                        core,
+                        sends,
+                        send_scratch,
+                        ..
+                    } = shard;
+                    let ranges = exec::chunk_ranges(core.correct.len(), workers);
+                    if send_scratch.len() < ranges.len() {
+                        send_scratch.resize_with(ranges.len(), Default::default);
+                    }
+                    let outs: Vec<(Pid, Vec<(Recipients, Arc<P::Msg>)>)> = core
+                        .correct
+                        .iter()
+                        .map(|&pid| (pid, sends.remove(&pid).expect("send collected")))
+                        .collect();
+                    ctxs.push(SendCtx {
+                        shard: ShardId::new(s),
+                        r: core.round,
+                        assignment: &core.assignment,
+                        sends: outs,
+                        scratch: send_scratch.as_mut_slice(),
+                        ranges,
+                    });
+                }
+                let mut tasks = Vec::new();
+                for ctx in ctxs.iter_mut() {
+                    let sid = ctx.shard;
+                    let r = ctx.r;
+                    let assignment = ctx.assignment;
+                    let mut sends = ctx.sends.as_mut_slice();
+                    let mut scratch = std::mem::take(&mut ctx.scratch);
+                    for range in &ctx.ranges {
+                        let (chunk, rest) = std::mem::take(&mut sends).split_at_mut(range.len());
+                        sends = rest;
+                        let (sc, rest) = scratch.split_at_mut(1);
+                        scratch = rest;
+                        let sc = &mut sc[0];
+                        tasks.push(move || {
+                            par::expand_sends(chunk, r, assignment, measure, Some(sid), sc)
+                        });
+                    }
+                }
+                exec.scatter(tasks);
+            }
+
+            // Coordinator pass, in shard order: merge chunk buffers
+            // (chunk order = pid order), adversary emissions, frame
+            // tokens, route planning, counters — the simulator's own
+            // [`ShardCore::plan_tick`], so the engines cannot drift.
+            for (s, shard) in shards.iter_mut().enumerate() {
+                if !shard.core.active {
+                    continue;
+                }
+                let ClusterShard {
+                    core,
+                    wires,
+                    send_scratch,
+                    byz_sent,
+                    route_plan,
+                    ..
+                } = shard;
+                wires.clear();
+                let chunks = exec::chunk_ranges(core.correct.len(), workers).len();
+                for scratch in send_scratch.iter_mut().take(chunks) {
+                    scratch.drain_into(wires);
+                }
+                core.plan_tick(
+                    ShardId::new(s),
+                    byz_sent,
+                    wires,
+                    route_plan,
+                    measure_bits,
+                    |_, _| {},
+                );
+            }
+
+            // Phases 2–3a — deliver the planned wires into the plane and
+            // ship each correct process's inbox to its actor, one
+            // flattened scatter of (shard, chunk) units; each chunk owns
+            // a disjoint sub-range of its shard's plane slots and clones
+            // of its pids' senders.
+            {
+                let views = plane.split_slots(widths.iter().copied());
+                let mut ctxs: Vec<RecvCtx<'_, P>> = Vec::new();
+                for (shard, view) in shards.iter_mut().zip(views) {
+                    if !shard.core.active {
+                        continue;
+                    }
+                    let ClusterShard {
+                        core,
+                        txs,
+                        wires,
+                        route_plan,
+                        ..
+                    } = shard;
+                    let ranges = exec::chunk_ranges(core.cfg.n, workers);
+                    let sub_views = view.split_widths(ranges.iter().map(|rg| rg.len()));
+                    let chunk_txs = ranges
+                        .iter()
+                        .map(|range| {
+                            core.correct
+                                .iter()
+                                .filter(|pid| range.contains(&pid.index()))
+                                .map(|&pid| (pid, txs[&pid].clone()))
+                                .collect()
+                        })
+                        .collect();
+                    ctxs.push(RecvCtx {
+                        r: core.round,
+                        offset: core.offset,
+                        counting: core.cfg.counting,
+                        wires: wires.as_slice(),
+                        plan: route_plan.as_slice(),
+                        ranges,
+                        views: sub_views,
+                        chunk_txs,
+                    });
+                }
+                let mut tasks = Vec::new();
+                for ctx in ctxs.iter_mut() {
+                    let r = ctx.r;
+                    let offset = ctx.offset;
+                    let counting = ctx.counting;
+                    let wires = ctx.wires;
+                    let plan = ctx.plan;
+                    for ((range, mut view), chunk_txs) in ctx
+                        .ranges
+                        .iter()
+                        .cloned()
+                        .zip(ctx.views.drain(..))
+                        .zip(ctx.chunk_txs.drain(..))
+                    {
+                        tasks.push(move || {
+                            par::deliver_chunk(wires, plan, offset, range, &mut view);
+                            for (pid, tx) in chunk_txs {
+                                let inbox =
+                                    view.take_inbox(Pid::new(offset + pid.index()), counting);
+                                tx.send(ToShardActor::Deliver(r, inbox))
+                                    .expect("actor alive");
+                            }
+                        });
+                    }
+                }
+                exec.scatter(tasks);
+            }
+
+            // Phase 3a (Byzantine half) — drain the Byzantine slots to
+            // the adversaries, in shard order on the coordinator.
+            {
+                let mut slots = plane.as_slots();
+                for shard in shards.iter_mut() {
+                    if shard.core.active {
+                        shard.core.deliver_byz(&mut slots);
+                    }
+                }
+            }
 
             // Phase 3b — decisions, recorded at the still-current round;
             // only then do the live shards' rounds advance.

@@ -7,32 +7,32 @@
 //! across rounds and `clear()`ed instead of reallocated. Payload `clone()`
 //! count per round is O(emissions), not O(n²) deliveries (pinned by the
 //! `fabric_clone_count` tests).
+//!
+//! The engine is generic over an [`Executor`]: under the default
+//! [`Sequential`] a round runs exactly the historical single-threaded
+//! sweep, while [`Pool`](homonym_core::exec::Pool) fans the send and
+//! receive phases of **one instance's** round across worker threads —
+//! contiguous pid chunks, merged back in chunk order, so traces,
+//! decisions, and every counter are byte-identical at any worker count
+//! (see the `crate::par` helpers for the full determinism argument).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use homonym_core::intern::Tok;
+use homonym_core::exec::{self, Executor, Sequential};
+use homonym_core::intern::IdBits;
 use homonym_core::spec::{self, Outcome, Verdict};
 use homonym_core::{
-    ByzPower, Deliveries, FrameInterner, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory,
-    Round, SharedEnvelope, SystemConfig,
+    Deliveries, FrameInterner, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Round,
+    SystemConfig,
 };
 
 use crate::adversary::{AdvCtx, Adversary, Silent};
 use crate::drops::{DropPolicy, NoDrops};
+use crate::par::{self, SendScratch};
+use crate::shards::ShardWire;
 use crate::topology::Topology;
 use crate::trace::{Delivery, Trace};
-
-/// One routed message: sender, authenticated identifier, recipient, a
-/// shared handle on the payload, and the payload's frame token (computed
-/// once per emission; inbox dedup groups duplicates by it).
-struct Wire<M> {
-    from: Pid,
-    src: Id,
-    to: Pid,
-    msg: Arc<M>,
-    tok: Tok,
-}
 
 /// Why a mid-run churn event was rejected by the engine.
 ///
@@ -96,7 +96,7 @@ pub struct RunReport<V> {
 }
 
 /// Builder for [`Simulation`]; see [`Simulation::builder`].
-pub struct SimulationBuilder<P: Protocol> {
+pub struct SimulationBuilder<P: Protocol, E: Executor = Sequential> {
     cfg: SystemConfig,
     assignment: IdAssignment,
     inputs: Vec<P::Value>,
@@ -105,9 +105,27 @@ pub struct SimulationBuilder<P: Protocol> {
     drops: Box<dyn DropPolicy>,
     topology: Topology,
     record_trace: bool,
+    exec: E,
 }
 
-impl<P: Protocol> SimulationBuilder<P> {
+impl<P: Protocol, E: Executor> SimulationBuilder<P, E> {
+    /// Installs the executor the simulation's rounds run on (default:
+    /// [`Sequential`]) — e.g. `.executor(Pool::new(4))` fans each round's
+    /// send and receive phases across four worker threads, with traces,
+    /// decisions, and counters byte-identical to the sequential run.
+    pub fn executor<E2: Executor>(self, exec: E2) -> SimulationBuilder<P, E2> {
+        SimulationBuilder {
+            cfg: self.cfg,
+            assignment: self.assignment,
+            inputs: self.inputs,
+            byz: self.byz,
+            adversary: self.adversary,
+            drops: self.drops,
+            topology: self.topology,
+            record_trace: self.record_trace,
+            exec,
+        }
+    }
     /// Declares the Byzantine processes and the strategy controlling them.
     ///
     /// # Panics
@@ -164,7 +182,7 @@ impl<P: Protocol> SimulationBuilder<P> {
     ///
     /// Panics if the configuration, assignment and inputs disagree on `n`
     /// or `ℓ`.
-    pub fn build_with<F>(self, factory: &F) -> Simulation<P>
+    pub fn build_with<F>(self, factory: &F) -> Simulation<P, E>
     where
         F: ProtocolFactory<P = P>,
     {
@@ -215,6 +233,11 @@ impl<P: Protocol> SimulationBuilder<P> {
             wires: Vec::new(),
             deliveries: Deliveries::new(n),
             frames: FrameInterner::new(),
+            exec: self.exec,
+            send_scratch: Vec::new(),
+            route_plan: Vec::new(),
+            byz_sent: IdBits::new(),
+            recv_out: Vec::new(),
         }
     }
 }
@@ -239,7 +262,7 @@ impl<P: Protocol> SimulationBuilder<P> {
 /// let report = sim.run(10);
 /// assert!(report.verdict.all_hold());
 /// ```
-pub struct Simulation<P: Protocol> {
+pub struct Simulation<P: Protocol, E: Executor = Sequential> {
     cfg: SystemConfig,
     assignment: IdAssignment,
     inputs: BTreeMap<Pid, P::Value>,
@@ -259,18 +282,28 @@ pub struct Simulation<P: Protocol> {
     per_round_sent: Vec<u64>,
     // Per-round fabric buffers, reused across rounds (`clear()`, never
     // realloc): the wire list and the dense per-recipient buckets.
-    wires: Vec<Wire<P::Msg>>,
+    wires: Vec<ShardWire<P::Msg>>,
     deliveries: Deliveries<P::Msg>,
     /// One token per distinct emitted payload, persistent for the run —
     /// the token-framed dedup seam of [`Inbox::collect_shared`].
     frames: FrameInterner<P::Msg>,
+    /// The executor the round phases scatter on ([`Sequential`] unless
+    /// the builder installed a pool).
+    exec: E,
+    // Parallel-tick scratch, reused across rounds: per-chunk send
+    // buffers, the per-wire route plan, the adversary's restricted-clamp
+    // bitset, and the per-chunk receive results.
+    send_scratch: Vec<SendScratch<P::Msg>>,
+    route_plan: Vec<bool>,
+    byz_sent: IdBits,
+    recv_out: Vec<Vec<(Pid, Option<P::Value>, u64)>>,
 }
 
 impl<P: Protocol> Simulation<P> {
     /// Starts building a simulation of `cfg` under `assignment`, where
     /// process `i` proposes `inputs[i]` (inputs of Byzantine processes are
     /// ignored). Defaults: no Byzantine processes, no drops, complete
-    /// topology, no trace.
+    /// topology, no trace, [`Sequential`] execution.
     pub fn builder(
         cfg: SystemConfig,
         assignment: IdAssignment,
@@ -285,9 +318,12 @@ impl<P: Protocol> Simulation<P> {
             drops: Box::new(NoDrops),
             topology: Topology::complete(cfg.n),
             record_trace: false,
+            exec: Sequential,
         }
     }
+}
 
+impl<P: Protocol, E: Executor> Simulation<P, E> {
     /// The current round (the next one to execute).
     pub fn round(&self) -> Round {
         self.round
@@ -419,51 +455,61 @@ impl<P: Protocol> Simulation<P> {
     /// list and delivery buckets persist across rounds, so a steady-state
     /// round allocates nothing but the payload wraps themselves.
     ///
+    /// Under a pool executor the send phase fans out over contiguous pid
+    /// chunks (buffers concatenated in chunk order) and the receive phase
+    /// over contiguous recipient ranges of the delivery plane; the
+    /// adversary, the frame interner, and the stateful drop policy run on
+    /// the calling thread in sequential order. See `crate::par`.
+    ///
     /// # Panics
     ///
     /// Panics if a correct process addresses the same recipient twice in
     /// one round (a protocol bug), if the adversary emits from a
     /// non-Byzantine process (a scenario bug), or if a decision changes
     /// (a protocol bug).
-    pub fn step(&mut self) {
+    pub fn step(&mut self)
+    where
+        P: Send,
+        P::Value: Send,
+    {
         let r = self.round;
+        let workers = self.exec.workers();
         self.wires.clear();
-        self.deliveries.clear();
 
         // 1. Correct processes send; enforce one message per recipient.
+        //    Contiguous pid chunks fill per-chunk wire buffers, appended
+        //    in chunk order — the same wire list the sequential pid-order
+        //    sweep builds.
         {
+            let mut procs: Vec<(Pid, &mut P)> =
+                self.procs.iter_mut().map(|(&pid, p)| (pid, p)).collect();
+            let ranges = exec::chunk_ranges(procs.len(), workers);
+            if self.send_scratch.len() < ranges.len() {
+                self.send_scratch
+                    .resize_with(ranges.len(), Default::default);
+            }
             let assignment = &self.assignment;
-            let wires = &mut self.wires;
-            let frames = &mut self.frames;
-            let mut addressed: BTreeSet<Pid> = BTreeSet::new();
-            for (&pid, proc_) in self.procs.iter_mut() {
-                // `send_shared` hands back one Arc per emission — a fresh
-                // wrap by default (the fabric's single wrap per emission),
-                // or the protocol's own cached bundle when nothing in it
-                // changed since last round.
-                let out = proc_.send_shared(r);
-                let src_id = assignment.id_of(pid);
-                addressed.clear();
-                for (recipients, msg) in out {
-                    let tok = frames.tok_for(&msg);
-                    for to in recipients.expand(assignment) {
-                        assert!(
-                            addressed.insert(to),
-                            "correct process {pid} addressed {to} twice in {r}"
-                        );
-                        wires.push(Wire {
-                            from: pid,
-                            src: src_id,
-                            to,
-                            msg: Arc::clone(&msg),
-                            tok,
-                        });
-                    }
-                }
+            let mut proc_slice = procs.as_mut_slice();
+            let mut scratch_slice = self.send_scratch.as_mut_slice();
+            let mut tasks = Vec::with_capacity(ranges.len());
+            for range in &ranges {
+                let (chunk, rest) = std::mem::take(&mut proc_slice).split_at_mut(range.len());
+                proc_slice = rest;
+                let (scratch, rest) = std::mem::take(&mut scratch_slice).split_at_mut(1);
+                scratch_slice = rest;
+                let scratch = &mut scratch[0];
+                tasks.push(move || par::send_chunk(chunk, r, assignment, |_| 0, None, scratch));
+            }
+            self.exec.scatter(tasks);
+            for scratch in self.send_scratch.iter_mut().take(ranges.len()) {
+                self.wires.append(&mut scratch.wires);
             }
         }
 
-        // 2. Adversary sends; clamp to one per recipient if restricted.
+        // 2. Adversary sends (one stateful strategy object — calling
+        //    thread); clamp to one per recipient if restricted. Then
+        //    stamp every wire's frame token from the run's one interner,
+        //    in sequential first-seen order.
         let ctx = AdvCtx {
             round: r,
             cfg: &self.cfg,
@@ -471,91 +517,109 @@ impl<P: Protocol> Simulation<P> {
             byz: &self.byz,
         };
         let emissions = self.adversary.send(&ctx);
-        let mut byz_sent: BTreeMap<(Pid, Pid), u32> = BTreeMap::new();
-        for emission in emissions {
-            assert!(
-                self.byz.contains(&emission.from),
-                "adversary emitted from non-byzantine {}",
-                emission.from
-            );
-            let src_id = self.assignment.id_of(emission.from);
-            let tok = self.frames.tok_for(&emission.msg);
-            for to in emission.to.expand(&self.assignment) {
-                if self.cfg.byz_power == ByzPower::Restricted {
-                    let count = byz_sent.entry((emission.from, to)).or_insert(0);
-                    if *count >= 1 {
-                        continue; // the model forbids the second message
-                    }
-                    *count += 1;
+        par::adversary_wires(
+            emissions,
+            &self.byz,
+            &self.assignment,
+            self.cfg.byz_power,
+            &mut self.byz_sent,
+            |_| 0,
+            None,
+            &mut self.wires,
+        );
+        par::stamp_toks(&mut self.frames, &mut self.wires);
+
+        // 3. Topology and drops, planned in exact wire order on the
+        //    calling thread (the drop policy is stateful: query order is
+        //    observable); the delivery itself happens in the chunked
+        //    phase 4, reading the plan concurrently.
+        let trace = &mut self.trace;
+        let tallies = par::plan_routes(
+            &self.wires,
+            r,
+            &self.topology,
+            self.drops.as_mut(),
+            &mut self.route_plan,
+            |wire, dropped| {
+                if let Some(trace) = trace.as_mut() {
+                    trace.record(Delivery {
+                        round: r,
+                        from: wire.from,
+                        src_id: wire.src,
+                        to: wire.to,
+                        msg: Arc::clone(&wire.msg),
+                        dropped,
+                    });
                 }
-                self.wires.push(Wire {
-                    from: emission.from,
-                    src: src_id,
-                    to,
-                    msg: Arc::clone(&emission.msg),
-                    tok,
+            },
+        );
+        self.messages_sent += tallies.sent;
+        self.messages_delivered += tallies.delivered;
+        self.messages_dropped += tallies.dropped;
+
+        // 4. Deliver to correct processes; record decisions. Each chunk
+        //    owns a disjoint recipient range of the plane: it delivers
+        //    the planned wires landing there, then drains its inboxes and
+        //    runs `receive` — results merged and recorded in pid order.
+        let ranges = exec::chunk_ranges(self.cfg.n, workers);
+        {
+            if self.recv_out.len() < ranges.len() {
+                self.recv_out.resize_with(ranges.len(), Vec::new);
+            }
+            let mut procs: Vec<(Pid, &mut P)> =
+                self.procs.iter_mut().map(|(&pid, p)| (pid, p)).collect();
+            let views = self
+                .deliveries
+                .as_slots()
+                .split_widths(ranges.iter().map(|rg| rg.len()));
+            let counting = self.cfg.counting;
+            let wires = &self.wires;
+            let plan = &self.route_plan;
+            let mut proc_slice = procs.as_mut_slice();
+            let mut out_slice = self.recv_out.as_mut_slice();
+            let mut tasks = Vec::with_capacity(ranges.len());
+            for (range, mut view) in ranges.iter().cloned().zip(views) {
+                let split = proc_slice
+                    .iter()
+                    .take_while(|(pid, _)| pid.index() < range.end)
+                    .count();
+                let (chunk, rest) = std::mem::take(&mut proc_slice).split_at_mut(split);
+                proc_slice = rest;
+                let (out, rest) = std::mem::take(&mut out_slice).split_at_mut(1);
+                out_slice = rest;
+                let out = &mut out[0];
+                tasks.push(move || {
+                    par::deliver_chunk(wires, plan, 0, range, &mut view);
+                    par::receive_chunk(chunk, r, 0, counting, &mut view, out);
                 });
             }
+            self.exec.scatter(tasks);
         }
-
-        // 3. Topology and drops; route handles into the dense buckets.
-        let sent_before = self.messages_sent;
-        for wire in &self.wires {
-            if !self.topology.connected(wire.from, wire.to) {
-                continue; // no channel: the message is never sent
-            }
-            let is_self = wire.from == wire.to;
-            if !is_self {
-                self.messages_sent += 1;
-            }
-            let dropped = !is_self && self.drops.drops(r, wire.from, wire.to);
-            if let Some(trace) = &mut self.trace {
-                trace.record(Delivery {
-                    round: r,
-                    from: wire.from,
-                    src_id: wire.src,
-                    to: wire.to,
-                    msg: Arc::clone(&wire.msg),
-                    dropped,
-                });
-            }
-            if dropped {
-                self.messages_dropped += 1;
-                continue;
-            }
-            if !is_self {
-                self.messages_delivered += 1;
-            }
-            self.deliveries.push(
-                wire.to,
-                SharedEnvelope::framed(wire.src, Arc::clone(&wire.msg), wire.tok),
-            );
-        }
-
-        // 4. Deliver to correct processes; record decisions.
-        for (&pid, proc_) in self.procs.iter_mut() {
-            let inbox = self.deliveries.take_inbox(pid, self.cfg.counting);
-            proc_.receive(r, &inbox);
-            if let Some(v) = proc_.decision() {
-                match self.decisions.get(&pid) {
-                    None => {
-                        self.decisions.insert(pid, (v, r));
-                    }
-                    Some((prev, _)) => {
-                        assert!(
-                            *prev == v,
-                            "decision of {pid} changed from {prev:?} to {v:?}"
-                        );
+        let mut total_bits = 0u64;
+        for out in self.recv_out.iter_mut().take(ranges.len()) {
+            for (pid, decision, bits) in out.drain(..) {
+                total_bits += bits;
+                if let Some(v) = decision {
+                    match self.decisions.get(&pid) {
+                        None => {
+                            self.decisions.insert(pid, (v, r));
+                        }
+                        Some((prev, _)) => {
+                            assert!(
+                                *prev == v,
+                                "decision of {pid} changed from {prev:?} to {v:?}"
+                            );
+                        }
                     }
                 }
             }
         }
 
-        self.per_round_sent.push(self.messages_sent - sent_before);
+        self.per_round_sent.push(tallies.sent);
 
         // Sample protocol state after delivery: the bounded protocols
         // prove their O(1) steady-state memory through this counter.
-        self.state_bits = self.procs.values().map(|p| p.state_bits()).sum();
+        self.state_bits = total_bits;
         self.peak_state_bits = self.peak_state_bits.max(self.state_bits);
 
         // 5. Tell the adversary what its processes received.
@@ -571,7 +635,11 @@ impl<P: Protocol> Simulation<P> {
 
     /// Runs until every correct process has decided or `max_rounds` rounds
     /// have executed, then reports.
-    pub fn run(&mut self, max_rounds: u64) -> RunReport<P::Value> {
+    pub fn run(&mut self, max_rounds: u64) -> RunReport<P::Value>
+    where
+        P: Send,
+        P::Value: Send,
+    {
         while self.round.index() < max_rounds && !self.all_decided() {
             self.step();
         }
@@ -580,7 +648,11 @@ impl<P: Protocol> Simulation<P> {
 
     /// Runs exactly `max_rounds` rounds (decided processes keep
     /// participating, as the paper's algorithms prescribe), then reports.
-    pub fn run_exact(&mut self, max_rounds: u64) -> RunReport<P::Value> {
+    pub fn run_exact(&mut self, max_rounds: u64) -> RunReport<P::Value>
+    where
+        P: Send,
+        P::Value: Send,
+    {
         while self.round.index() < max_rounds {
             self.step();
         }
@@ -615,6 +687,7 @@ impl<P: Protocol> Simulation<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use homonym_core::{ByzPower, Id};
     use homonym_core::{FnFactory, Recipients};
 
     /// A toy protocol: broadcast the input every round; decide on the

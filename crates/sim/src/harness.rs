@@ -114,7 +114,8 @@ pub fn run_scenario<P, F>(
     horizon: u64,
 ) -> ScenarioResult<P::Value>
 where
-    P: Protocol + 'static,
+    P: Protocol + Send + 'static,
+    P::Value: Send,
     F: ProtocolFactory<P = P>,
 {
     struct BoxedAdversary<M>(Box<dyn Adversary<M>>);
@@ -229,7 +230,8 @@ pub fn run_standard_suite<P, F>(
     params: &SuiteParams<'_, P::Value>,
 ) -> SuiteResult<P::Value>
 where
-    P: Protocol + 'static,
+    P: Protocol + Send + 'static,
+    P::Value: Send,
     F: ProtocolFactory<P = P>,
 {
     let cfg = params.cfg;

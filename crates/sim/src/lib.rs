@@ -43,6 +43,7 @@ mod adversary_tests;
 mod drops;
 mod engine;
 pub mod harness;
+pub mod par;
 pub mod scenario;
 pub mod shards;
 mod topology;

@@ -1,0 +1,330 @@
+//! Intra-instance parallel tick helpers, shared by every engine.
+//!
+//! One agreement instance's round has three phases — send, route,
+//! receive — and two of them parallelize over disjoint chunks:
+//!
+//! * **send**: the correct processes are partitioned into contiguous pid
+//!   chunks; each worker runs [`Protocol::send_shared`] for its chunk
+//!   into a per-chunk wire buffer ([`SendScratch`]), and the buffers
+//!   concatenate in chunk order — so the wire list is byte-identical to
+//!   the sequential pid-order sweep.
+//! * **receive**: the recipient slots are partitioned into contiguous
+//!   pid ranges ([`DeliverySlots::split_widths`]); each worker scans the
+//!   (already planned) wire list, delivers the wires landing in its
+//!   range, then drains its inboxes and runs [`Protocol::receive`] for
+//!   its processes, collecting `(pid, decision, state_bits)` per chunk —
+//!   merged in chunk (= pid) order afterwards.
+//!
+//! The **route** phase stays on the coordinating thread, on purpose:
+//! [`DropPolicy::drops`] is stateful (`&mut self` — the partially
+//! synchronous policies consume one RNG draw per queried message), so
+//! the drop decisions must be made in exact sequential wire order for
+//! traces to replay byte-identically. [`plan_routes`] does that single
+//! cheap O(wires) pass, producing a delivery plan the receive workers
+//! read concurrently. Frame-token stamping ([`stamp_toks`]) is likewise
+//! a main-thread pass: tokens are only sound within one
+//! [`FrameInterner`] per delivery plane, so per-chunk interners would
+//! wrongly merge distinct payloads.
+//!
+//! The helpers take an optional [`ShardId`] label so the solo engine and
+//! the sharded engines keep their exact historical panic messages.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::sync::Arc;
+
+use homonym_core::intern::{IdBits, Tok};
+use homonym_core::{
+    ByzPower, Counting, DeliverySlots, FrameInterner, IdAssignment, Message, Pid, Protocol,
+    Recipients, Round, SharedEnvelope,
+};
+
+use crate::adversary::Emission;
+use crate::drops::DropPolicy;
+use crate::shards::{ShardId, ShardWire};
+use crate::topology::Topology;
+
+/// One send worker's reusable scratch: its chunk's wire buffer plus the
+/// per-process duplicate-recipient bitset (alloc-free across rounds).
+pub struct SendScratch<M> {
+    pub(crate) wires: Vec<ShardWire<M>>,
+    addressed: IdBits,
+}
+
+impl<M> Default for SendScratch<M> {
+    fn default() -> Self {
+        SendScratch {
+            wires: Vec::new(),
+            addressed: IdBits::new(),
+        }
+    }
+}
+
+impl<M> SendScratch<M> {
+    /// Moves this chunk's wires onto the end of a shard's wire list (the
+    /// chunk buffer keeps its allocation for the next round) — engines
+    /// call this per chunk, in chunk order, to reproduce the sequential
+    /// wire order.
+    pub fn drain_into(&mut self, wires: &mut Vec<ShardWire<M>>) {
+        wires.append(&mut self.wires);
+    }
+}
+
+/// Expands one process's emissions into wires, enforcing the
+/// one-message-per-recipient rule with the scratch bitset. Tokens are
+/// stamped later, on the coordinating thread ([`stamp_toks`]).
+fn push_emissions<M>(
+    pid: Pid,
+    out: Vec<(Recipients, Arc<M>)>,
+    r: Round,
+    assignment: &IdAssignment,
+    measure: impl Fn(&M) -> u64,
+    shard: Option<ShardId>,
+    scratch: &mut SendScratch<M>,
+) {
+    let src = assignment.id_of(pid);
+    scratch.addressed.clear();
+    for (recipients, msg) in out {
+        let bits = measure(&msg);
+        for to in recipients.expand(assignment) {
+            if !scratch.addressed.insert(to.index()) {
+                match shard {
+                    Some(shard) => {
+                        panic!("correct process {pid} of {shard} addressed {to} twice in {r}")
+                    }
+                    None => panic!("correct process {pid} addressed {to} twice in {r}"),
+                }
+            }
+            scratch.wires.push(ShardWire {
+                from: pid,
+                src,
+                to,
+                msg: Arc::clone(&msg),
+                bits,
+                tok: 0,
+            });
+        }
+    }
+}
+
+/// The send phase of one pid chunk: runs [`Protocol::send_shared`] for
+/// every process of the chunk (ascending pid order) into the chunk's
+/// wire buffer.
+pub fn send_chunk<P: Protocol>(
+    chunk: &mut [(Pid, &mut P)],
+    r: Round,
+    assignment: &IdAssignment,
+    measure: impl Fn(&P::Msg) -> u64,
+    shard: Option<ShardId>,
+    scratch: &mut SendScratch<P::Msg>,
+) {
+    scratch.wires.clear();
+    for (pid, proc_) in chunk.iter_mut() {
+        let out = proc_.send_shared(r);
+        push_emissions(*pid, out, r, assignment, &measure, shard, scratch);
+    }
+}
+
+/// The send phase of one pid chunk when the emissions were already
+/// collected elsewhere (the threaded cluster's actors): expands each
+/// process's pre-collected sends into the chunk's wire buffer.
+pub fn expand_sends<M>(
+    chunk: &mut [(Pid, Vec<(Recipients, Arc<M>)>)],
+    r: Round,
+    assignment: &IdAssignment,
+    measure: impl Fn(&M) -> u64,
+    shard: Option<ShardId>,
+    scratch: &mut SendScratch<M>,
+) {
+    scratch.wires.clear();
+    for (pid, out) in chunk.iter_mut() {
+        push_emissions(
+            *pid,
+            std::mem::take(out),
+            r,
+            assignment,
+            &measure,
+            shard,
+            scratch,
+        );
+    }
+}
+
+/// Appends the adversary's emissions to the wire list, enforcing the
+/// emitting-from-Byzantine rule and (in the restricted model) the
+/// one-message-per-`(from, to)` clamp via a reusable pair-indexed bitset.
+///
+/// Runs on the coordinating thread, after the send chunks merged — the
+/// adversary is a single stateful strategy object, exactly like the
+/// sequential engine's phase 2.
+#[allow(clippy::too_many_arguments)]
+pub fn adversary_wires<M>(
+    emissions: Vec<Emission<M>>,
+    byz: &BTreeSet<Pid>,
+    assignment: &IdAssignment,
+    byz_power: ByzPower,
+    byz_sent: &mut IdBits,
+    measure: impl Fn(&M) -> u64,
+    shard: Option<ShardId>,
+    wires: &mut Vec<ShardWire<M>>,
+) {
+    byz_sent.clear();
+    let n = assignment.n();
+    for emission in emissions {
+        if !byz.contains(&emission.from) {
+            match shard {
+                Some(shard) => panic!(
+                    "adversary of {shard} emitted from non-byzantine {}",
+                    emission.from
+                ),
+                None => panic!("adversary emitted from non-byzantine {}", emission.from),
+            }
+        }
+        let src = assignment.id_of(emission.from);
+        let bits = measure(&emission.msg);
+        for to in emission.to.expand(assignment) {
+            if byz_power == ByzPower::Restricted
+                && !byz_sent.insert(emission.from.index() * n + to.index())
+            {
+                continue; // the model forbids the second message
+            }
+            wires.push(ShardWire {
+                from: emission.from,
+                src,
+                to,
+                msg: Arc::clone(&emission.msg),
+                bits,
+                tok: 0,
+            });
+        }
+    }
+}
+
+/// Stamps every wire's frame token from the plane's one interner, on the
+/// coordinating thread (per-chunk interners would be unsound: a token is
+/// only meaningful within the interner that issued it).
+///
+/// Consecutive wires of one emission share the same `Arc`, so the
+/// common case is a pointer comparison, not an interner probe; and
+/// because the wire list is already in the sequential engine's order,
+/// first-seen token assignment is identical to the sequential sweep.
+pub fn stamp_toks<M: Clone + Ord>(frames: &mut FrameInterner<M>, wires: &mut [ShardWire<M>]) {
+    let mut last: Option<(*const M, Tok)> = None;
+    for wire in wires {
+        let ptr = Arc::as_ptr(&wire.msg);
+        match last {
+            Some((p, tok)) if std::ptr::eq(p, ptr) => wire.tok = tok,
+            _ => {
+                let tok = frames.tok_for(&wire.msg);
+                wire.tok = tok;
+                last = Some((ptr, tok));
+            }
+        }
+    }
+}
+
+/// One route pass's counter deltas, reduced by the caller into its
+/// engine's counters.
+pub struct RouteTallies {
+    /// Non-self messages handed to the network.
+    pub sent: u64,
+    /// Non-self messages delivered.
+    pub delivered: u64,
+    /// Non-self messages lost to the drop policy.
+    pub dropped: u64,
+    /// Exact wire bits of the sent messages (0 unless measured).
+    pub bits: u64,
+}
+
+/// The route phase: walks the wire list **in order** on the coordinating
+/// thread, applying topology and the (stateful) drop policy, and writes
+/// the per-wire delivery plan the receive chunks will read concurrently.
+/// `record` is called for every *attempted* delivery (topology-connected
+/// wire) in routing order — the trace hook.
+///
+/// This pass is deliberately sequential: [`DropPolicy::drops`] may
+/// consume one RNG draw per queried message, so query order is
+/// observable and must match the sequential engine exactly.
+pub fn plan_routes<M>(
+    wires: &[ShardWire<M>],
+    r: Round,
+    topology: &Topology,
+    drops: &mut dyn DropPolicy,
+    plan: &mut Vec<bool>,
+    mut record: impl FnMut(&ShardWire<M>, bool),
+) -> RouteTallies {
+    plan.clear();
+    let mut tallies = RouteTallies {
+        sent: 0,
+        delivered: 0,
+        dropped: 0,
+        bits: 0,
+    };
+    for wire in wires {
+        if !topology.connected(wire.from, wire.to) {
+            plan.push(false);
+            continue; // no channel: the message is never sent
+        }
+        let is_self = wire.from == wire.to;
+        if !is_self {
+            tallies.sent += 1;
+            tallies.bits += wire.bits;
+        }
+        let dropped = !is_self && drops.drops(r, wire.from, wire.to);
+        record(wire, dropped);
+        if dropped {
+            tallies.dropped += 1;
+            plan.push(false);
+            continue;
+        }
+        if !is_self {
+            tallies.delivered += 1;
+        }
+        plan.push(true);
+    }
+    tallies
+}
+
+/// The delivery half of one receive chunk: clears the chunk's slot range
+/// and pushes every planned wire whose recipient falls in `range`
+/// (local pid coordinates; `offset` maps to global plane slots). Wires
+/// are scanned in list order, so each bucket's envelope order matches
+/// the sequential push order exactly.
+pub fn deliver_chunk<M: Message>(
+    wires: &[ShardWire<M>],
+    plan: &[bool],
+    offset: usize,
+    range: Range<usize>,
+    slots: &mut DeliverySlots<'_, M>,
+) {
+    slots.clear();
+    for (wire, &deliver) in wires.iter().zip(plan) {
+        if deliver && range.contains(&wire.to.index()) {
+            slots.push(
+                Pid::new(offset + wire.to.index()),
+                SharedEnvelope::framed(wire.src, Arc::clone(&wire.msg), wire.tok),
+            );
+        }
+    }
+}
+
+/// The protocol half of one receive chunk: drains each process's inbox,
+/// runs [`Protocol::receive`], and collects `(pid, decision, state_bits)`
+/// in pid order for the coordinating thread to merge — decisions are
+/// *recorded* there, in global pid order, so irrevocability panics keep
+/// their sequential message and position.
+pub fn receive_chunk<P: Protocol>(
+    procs: &mut [(Pid, &mut P)],
+    r: Round,
+    offset: usize,
+    counting: Counting,
+    slots: &mut DeliverySlots<'_, P::Msg>,
+    out: &mut Vec<(Pid, Option<P::Value>, u64)>,
+) {
+    out.clear();
+    for (pid, proc_) in procs.iter_mut() {
+        let inbox = slots.take_inbox(Pid::new(offset + pid.index()), counting);
+        proc_.receive(r, &inbox);
+        out.push((*pid, proc_.decision(), proc_.state_bits()));
+    }
+}

@@ -20,6 +20,7 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
+use homonym_core::exec::{Executor, Sequential};
 use homonym_core::scenario::{stream, sub_seed, DropSpec, Schedule, ScheduleEvent, StrategyKind};
 use homonym_core::{
     Id, IdAssignment, Message, Pid, Protocol, ProtocolFactory, Round, Synchrony, SystemConfig,
@@ -448,8 +449,22 @@ fn topology_minus(n: usize, cut: &BTreeSet<(Pid, Pid)>) -> Topology {
 /// the run immediately with [`ScenarioVerdict::Breach`].
 pub fn run_scenario<P, F>(scenario: &Scenario, factory: &F) -> ScenarioReport
 where
-    P: Protocol<Value = bool> + 'static,
+    P: Protocol<Value = bool> + Send + 'static,
     F: ProtocolFactory<P = P>,
+{
+    run_scenario_with(scenario, factory, Sequential)
+}
+
+/// [`run_scenario`], with the engine's ticks fanned across the given
+/// executor — churned schedules (mid-run strategy switches, drop and
+/// topology mutations, Byzantine growth) replay to the **identical**
+/// trace digest and verdict at any worker count, because the engine's
+/// chunked tick is byte-identical to the sequential sweep.
+pub fn run_scenario_with<P, F, E>(scenario: &Scenario, factory: &F, exec: E) -> ScenarioReport
+where
+    P: Protocol<Value = bool> + Send + 'static,
+    F: ProtocolFactory<P = P>,
+    E: Executor,
 {
     let seed = scenario.schedule.seed;
     let mut current_strategy = scenario.init_strategy.clone();
@@ -467,6 +482,7 @@ where
     .byzantine(scenario.init_byz.clone(), adversary)
     .drops(materialize_drops(&scenario.init_drops, seed))
     .record_trace(true)
+    .executor(exec)
     .build_with(factory);
 
     let horizon = scenario.schedule.horizon.index();
@@ -539,7 +555,7 @@ where
 /// degenerates to the empty schedule.
 pub fn shrink<P, F>(scenario: &Scenario, factory: &F, target: &ScenarioVerdict) -> Scenario
 where
-    P: Protocol<Value = bool> + 'static,
+    P: Protocol<Value = bool> + Send + 'static,
     F: ProtocolFactory<P = P>,
 {
     let matches = |cand: &Scenario| run_scenario::<P, F>(cand, factory).verdict == *target;

@@ -38,20 +38,22 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 use homonym_core::codec::{self, WireEncode};
-use homonym_core::exec::{Executor, Sequential};
-use homonym_core::intern::Tok;
+use homonym_core::exec::{self, Executor, Sequential};
+use homonym_core::intern::{IdBits, Tok};
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
-    ByzPower, Deliveries, DeliverySlots, FrameInterner, Id, IdAssignment, Inbox, Pid, Protocol,
-    ProtocolFactory, Recipients, Round, SharedEnvelope, SystemConfig,
+    Counting, Deliveries, DeliverySlots, FrameInterner, Id, IdAssignment, Inbox, Pid, Protocol,
+    ProtocolFactory, Round, SystemConfig,
 };
 
 use crate::adversary::{AdvCtx, Adversary, Silent};
 use crate::drops::{DropPolicy, NoDrops};
 use crate::engine::RunReport;
+use crate::par::{self, SendScratch};
 use crate::topology::Topology;
 use crate::trace::{Delivery, Trace};
 
@@ -311,19 +313,20 @@ pub fn wire_bits<M: WireEncode>(msg: &M) -> u64 {
 /// shard index lives with the buffer, not on every wire.
 ///
 /// Engines keep a reusable `Vec<ShardWire>` per shard as tick scratch
-/// and fill/route it exclusively through [`ShardCore::build_wires`] and
-/// [`ShardCore::route_wires`] — the internals are deliberately private
-/// so the addressing and routing rules cannot be bypassed.
+/// and fill/route it exclusively through the `crate::par` helpers (or
+/// the [`ShardCore::build_wires`]/[`ShardCore::route_wires`] pair) — the
+/// internals are crate-private so the addressing and routing rules
+/// cannot be bypassed from outside.
 pub struct ShardWire<M> {
-    from: Pid,
-    src: Id,
-    to: Pid,
-    msg: Arc<M>,
-    bits: u64,
+    pub(crate) from: Pid,
+    pub(crate) src: Id,
+    pub(crate) to: Pid,
+    pub(crate) msg: Arc<M>,
+    pub(crate) bits: u64,
     /// The payload's frame token under the owning shard's
     /// [`FrameInterner`] — carried onto every delivered envelope so inbox
     /// dedup groups homonym duplicates by token instead of deep walks.
-    tok: Tok,
+    pub(crate) tok: Tok,
 }
 
 /// The engine-agnostic bookkeeping of one shard: its configuration, its
@@ -635,148 +638,65 @@ impl<P: Protocol> ShardCore<P> {
         ShardReport { shard, shots }
     }
 
-    /// Phase 1 of a shard's tick — the live shot's sends (correct
-    /// processes in ascending pid order, then the adversary) become
-    /// wires in `wires` (cleared first, allocation reused), each
-    /// carrying one shared handle per emission.
+    /// The calling-thread middle of a shard's tick, run after the send
+    /// chunks merged into `wires` (correct processes in ascending pid
+    /// order): appends the adversary's wires, stamps frame tokens from
+    /// the shard's one interner, and plans the routes — topology plus
+    /// the stateful drop policy, queried in exact wire order — folding
+    /// the tallies into the shot's counters. `record` sees every
+    /// *attempted* delivery in routing order (the trace hook; untraced
+    /// engines pass a no-op).
     ///
-    /// `send_of` supplies each correct process's outgoing messages as
-    /// shared handles (the [`Protocol::send_shared`] seam — a fresh wrap
-    /// per emission by default, a protocol-cached bundle when nothing
-    /// changed): the lock-step engine calls the automaton directly, the
-    /// threaded cluster drains the sends its actors already produced.
-    /// Keeping the loop here means the double-addressing assert and the
-    /// restricted-Byzantine clamp exist in exactly one place, so the
-    /// engines cannot drift.
+    /// Both sharded engines — the lock-step simulator and the threaded
+    /// cluster — call this between their send and deliver/receive
+    /// scatters, so the adversary contract assert, the restricted
+    /// clamp, and the counter accounting exist in exactly one place and
+    /// cannot drift.
     ///
     /// # Panics
     ///
-    /// Panics if a correct process addresses a recipient twice or the
-    /// adversary emits from a non-Byzantine process.
-    pub fn build_wires(
+    /// Panics if the adversary emits from a non-Byzantine process.
+    pub fn plan_tick(
         &mut self,
         shard: ShardId,
+        byz_sent: &mut IdBits,
         wires: &mut Vec<ShardWire<P::Msg>>,
+        route_plan: &mut Vec<bool>,
         measure_bits: bool,
-        mut send_of: impl FnMut(Pid, Round) -> Vec<(Recipients, Arc<P::Msg>)>,
+        record: impl FnMut(&ShardWire<P::Msg>, bool),
     ) where
         P::Msg: WireEncode,
     {
-        wires.clear();
-        let r = self.round;
-        let mut addressed: BTreeSet<Pid> = BTreeSet::new();
-        for &pid in &self.correct {
-            let out = send_of(pid, r);
-            let src = self.assignment.id_of(pid);
-            addressed.clear();
-            for (recipients, msg) in out {
-                let bits = if measure_bits { wire_bits(&*msg) } else { 0 };
-                let tok = self.frames.tok_for(&msg);
-                for to in recipients.expand(&self.assignment) {
-                    assert!(
-                        addressed.insert(to),
-                        "correct process {pid} of {shard} addressed {to} twice in {r}",
-                    );
-                    wires.push(ShardWire {
-                        from: pid,
-                        src,
-                        to,
-                        msg: Arc::clone(&msg),
-                        bits,
-                        tok,
-                    });
-                }
-            }
-        }
         let ctx = AdvCtx {
-            round: r,
+            round: self.round,
             cfg: &self.cfg,
             assignment: &self.assignment,
             byz: &self.byz,
         };
         let emissions = self.adversary.send(&ctx);
-        let mut byz_sent: BTreeMap<(Pid, Pid), u32> = BTreeMap::new();
-        for emission in emissions {
-            assert!(
-                self.byz.contains(&emission.from),
-                "adversary of {shard} emitted from non-byzantine {}",
-                emission.from
-            );
-            let src = self.assignment.id_of(emission.from);
-            let bits = if measure_bits {
-                wire_bits(&*emission.msg)
-            } else {
-                0
-            };
-            let tok = self.frames.tok_for(&emission.msg);
-            for to in emission.to.expand(&self.assignment) {
-                if self.cfg.byz_power == ByzPower::Restricted {
-                    let count = byz_sent.entry((emission.from, to)).or_insert(0);
-                    if *count >= 1 {
-                        continue; // the model forbids the second message
-                    }
-                    *count += 1;
-                }
-                wires.push(ShardWire {
-                    from: emission.from,
-                    src,
-                    to,
-                    msg: Arc::clone(&emission.msg),
-                    bits,
-                    tok,
-                });
-            }
-        }
-    }
-
-    /// Phase 2 — route built wires into this shard's slot range:
-    /// topology, drop policy, and message/bit counters, with global slot
-    /// = shard offset + local pid. When `trace` is given, every
-    /// *attempted* delivery is recorded in routing order (the format the
-    /// sharded trace and golden digests pin).
-    pub fn route_wires(
-        &mut self,
-        shard: ShardId,
-        wires: &[ShardWire<P::Msg>],
-        slots: &mut DeliverySlots<'_, P::Msg>,
-        mut trace: Option<&mut Vec<ShardDelivery<P::Msg>>>,
-    ) {
-        for wire in wires {
-            if !self.topology.connected(wire.from, wire.to) {
-                continue; // no channel: the message is never sent
-            }
-            let is_self = wire.from == wire.to;
-            if !is_self {
-                self.messages_sent += 1;
-                self.bits_sent += wire.bits;
-            }
-            let dropped = !is_self && self.drops.drops(self.round, wire.from, wire.to);
-            if let Some(buf) = trace.as_deref_mut() {
-                buf.push(ShardDelivery {
-                    shard,
-                    shot: self.shot,
-                    delivery: Delivery {
-                        round: self.round,
-                        from: wire.from,
-                        src_id: wire.src,
-                        to: wire.to,
-                        msg: Arc::clone(&wire.msg),
-                        dropped,
-                    },
-                });
-            }
-            if dropped {
-                self.messages_dropped += 1;
-                continue;
-            }
-            if !is_self {
-                self.messages_delivered += 1;
-            }
-            slots.push(
-                Pid::new(self.offset + wire.to.index()),
-                SharedEnvelope::framed(wire.src, Arc::clone(&wire.msg), wire.tok),
-            );
-        }
+        par::adversary_wires(
+            emissions,
+            &self.byz,
+            &self.assignment,
+            self.cfg.byz_power,
+            byz_sent,
+            |m| if measure_bits { wire_bits(m) } else { 0 },
+            Some(shard),
+            wires,
+        );
+        par::stamp_toks(&mut self.frames, wires);
+        let tallies = par::plan_routes(
+            wires,
+            self.round,
+            &self.topology,
+            self.drops.as_mut(),
+            route_plan,
+            record,
+        );
+        self.messages_sent += tallies.sent;
+        self.messages_delivered += tallies.delivered;
+        self.messages_dropped += tallies.dropped;
+        self.bits_sent += tallies.bits;
     }
 
     /// Phase 3 (Byzantine half) — drain the Byzantine slots and hand the
@@ -858,8 +778,8 @@ impl<P: Protocol> ChurnPlan<P> {
 
 /// One shard of the lock-step engine: the shared bookkeeping, the
 /// automata themselves, and the shard-private scratch buffers one tick's
-/// work needs — so a worker thread stepping this shard touches nothing
-/// outside it (and its slot range of the plane).
+/// work needs — so a worker task touching this shard's chunk touches
+/// nothing outside it (and its slot range of the plane).
 struct SimShard<P: Protocol> {
     core: ShardCore<P>,
     procs: BTreeMap<Pid, P>,
@@ -868,72 +788,40 @@ struct SimShard<P: Protocol> {
     /// This tick's trace entries, drained into the global trace — in
     /// shard order — after every shard has stepped.
     trace_buf: Vec<ShardDelivery<P::Msg>>,
+    /// Per-chunk send buffers (intra-shard parallelism scratch).
+    send_scratch: Vec<SendScratch<P::Msg>>,
+    /// This tick's per-wire delivery plan (route phase output).
+    route_plan: Vec<bool>,
+    /// The adversary's restricted-clamp bitset, reused across ticks.
+    byz_sent: IdBits,
+    /// Per-chunk receive results: `(pid, decision, state_bits)`.
+    recv_out: Vec<Vec<(Pid, Option<P::Value>, u64)>>,
 }
 
-impl<P: Protocol> SimShard<P> {
-    /// Executes this shard's slice of one global tick: one full round of
-    /// its live shot (send → route → receive/decide), then the
-    /// decided/horizon rollover — all against `slots`, this shard's
-    /// disjoint range of the shared plane.
-    ///
-    /// Phase order within the shard is exactly the single-shot engine's;
-    /// since shards share no state, running whole shards back to back
-    /// (or concurrently, under a pool executor) is indistinguishable
-    /// from the original plane-wide phase sweep.
-    fn tick(
-        &mut self,
-        s: usize,
-        slots: &mut DeliverySlots<'_, P::Msg>,
-        tick: u64,
-        measure_bits: bool,
-        record_trace: bool,
-    ) where
-        P::Msg: WireEncode,
-    {
-        let shard = ShardId(s);
-        if self.core.active {
-            slots.clear();
+/// Borrow bundle for one shard's send phase: unifies the shard-side
+/// borrows under one lifetime so the flattened (shard, chunk) tasks can
+/// be built in a second pass over all bundles.
+struct SendCtx<'a, P: Protocol> {
+    shard: ShardId,
+    r: Round,
+    assignment: &'a IdAssignment,
+    procs: Vec<(Pid, &'a mut P)>,
+    scratch: &'a mut [SendScratch<P::Msg>],
+    ranges: Vec<Range<usize>>,
+}
 
-            // Phase 1 — sends become wires; the automata live here, so
-            // the engine hands the core a direct `send_shared` callback.
-            let procs = &mut self.procs;
-            self.core
-                .build_wires(shard, &mut self.wires, measure_bits, |pid, r| {
-                    procs
-                        .get_mut(&pid)
-                        .expect("correct automaton spawned")
-                        .send_shared(r)
-                });
-
-            // Phase 2 — route into this shard's slot range (tracing into
-            // the shard-private buffer, merged globally in shard order).
-            self.core.route_wires(
-                shard,
-                &self.wires,
-                slots,
-                record_trace.then_some(&mut self.trace_buf),
-            );
-
-            // Phase 3 — drain the slots, record decisions, hand the
-            // Byzantine inboxes over; the shard's round advances.
-            let r = self.core.round;
-            for (&pid, proc_) in self.procs.iter_mut() {
-                let slot = Pid::new(self.core.offset + pid.index());
-                let inbox = slots.take_inbox(slot, self.core.cfg.counting);
-                proc_.receive(r, &inbox);
-                if let Some(v) = proc_.decision() {
-                    self.core.record_decision(pid, v);
-                }
-            }
-            let total = self.procs.values().map(|p| p.state_bits()).sum();
-            self.core.record_state_bits(total);
-            self.core.deliver_byz(slots);
-            self.core.round = r.next();
-        }
-        if let Some(spawned) = self.core.roll_over_if_done(shard, tick, measure_bits) {
-            self.procs = spawned.into_iter().collect();
-        }
-    }
+/// Borrow bundle for one shard's receive phase: the planned wire list,
+/// the shard's sub-split plane views, and the per-chunk result buffers.
+struct RecvCtx<'a, P: Protocol> {
+    r: Round,
+    offset: usize,
+    counting: Counting,
+    wires: &'a [ShardWire<P::Msg>],
+    plan: &'a [bool],
+    ranges: Vec<Range<usize>>,
+    views: Vec<DeliverySlots<'a, P::Msg>>,
+    procs: Vec<(Pid, &'a mut P)>,
+    outs: &'a mut [Vec<(Pid, Option<P::Value>, u64)>],
 }
 
 /// A deterministic scheduler driving K independent agreement instances
@@ -1061,6 +949,10 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
             procs,
             wires: Vec::new(),
             trace_buf: Vec::new(),
+            send_scratch: Vec::new(),
+            route_plan: Vec::new(),
+            byz_sent: IdBits::new(),
+            recv_out: Vec::new(),
         });
         id
     }
@@ -1093,15 +985,19 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
     /// Executes one global tick: one round of every live shard, through
     /// the shared plane.
     ///
-    /// The plane is split into per-shard slot views
-    /// ([`Deliveries::split_slots`]) and every shard's full round —
-    /// sends, routing (topology / restriction / drops), delivery,
-    /// decisions, Byzantine inboxes, rollover — runs as one independent
-    /// task on the executor. Phase order within a shard matches the
-    /// single-shot engine; across shards nothing is shared, so the
-    /// executor's schedule is unobservable: per-shard trace buffers are
-    /// merged in shard order afterwards, reproducing the sequential
-    /// engine's global routing order exactly.
+    /// Work is fanned out as flattened **(shard, chunk)** units — a big
+    /// shard splits internally into contiguous pid chunks instead of
+    /// serializing the whole tick behind one indivisible task — in two
+    /// scatters: every shard's send chunks, then every shard's
+    /// deliver/receive chunks (each against its own sub-split of the
+    /// shard's plane range, via [`DeliverySlots::split_widths`]). Between
+    /// them the calling thread walks the shards in shard order doing the
+    /// inherently sequential work: merging chunk buffers in chunk order,
+    /// the adversary's emissions, frame-token stamping, and route
+    /// planning (stateful drop policies make query order observable).
+    /// Per-shard object call sequences are exactly the single-shot
+    /// engine's and trace buffers merge in shard order, so traces,
+    /// decisions, and reports are **byte-identical at any worker count**.
     ///
     /// # Panics
     ///
@@ -1110,23 +1006,199 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
     pub fn step(&mut self)
     where
         P: Send,
+        P::Value: Send,
         P::Msg: WireEncode,
     {
         let tick = self.tick;
         let measure_bits = self.measure_bits;
         let record_trace = self.trace.is_some();
+        let workers = self.exec.workers();
+        let measure = move |m: &P::Msg| if measure_bits { wire_bits(m) } else { 0 };
 
-        let views = self.plane.split_slots(self.widths.iter().copied());
-        let tasks: Vec<_> = self
-            .shards
-            .iter_mut()
-            .zip(views)
-            .enumerate()
-            .map(|(s, (shard, mut slots))| {
-                move || shard.tick(s, &mut slots, tick, measure_bits, record_trace)
-            })
-            .collect();
-        self.exec.scatter(tasks);
+        // Phase 1 — sends, one flattened scatter of (shard, chunk) units.
+        {
+            let mut ctxs: Vec<SendCtx<'_, P>> = Vec::new();
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                if !shard.core.active {
+                    continue;
+                }
+                let SimShard {
+                    core,
+                    procs,
+                    send_scratch,
+                    ..
+                } = shard;
+                let ranges = exec::chunk_ranges(procs.len(), workers);
+                if send_scratch.len() < ranges.len() {
+                    send_scratch.resize_with(ranges.len(), Default::default);
+                }
+                ctxs.push(SendCtx {
+                    shard: ShardId(s),
+                    r: core.round,
+                    assignment: &core.assignment,
+                    procs: procs.iter_mut().map(|(&pid, p)| (pid, p)).collect(),
+                    scratch: send_scratch.as_mut_slice(),
+                    ranges,
+                });
+            }
+            let mut tasks = Vec::new();
+            for ctx in ctxs.iter_mut() {
+                let sid = ctx.shard;
+                let r = ctx.r;
+                let assignment = ctx.assignment;
+                let mut procs = ctx.procs.as_mut_slice();
+                let mut scratch = std::mem::take(&mut ctx.scratch);
+                for range in &ctx.ranges {
+                    let (chunk, rest) = std::mem::take(&mut procs).split_at_mut(range.len());
+                    procs = rest;
+                    let (sc, rest) = scratch.split_at_mut(1);
+                    scratch = rest;
+                    let sc = &mut sc[0];
+                    tasks.push(move || {
+                        par::send_chunk(chunk, r, assignment, measure, Some(sid), sc)
+                    });
+                }
+            }
+            self.exec.scatter(tasks);
+        }
+
+        // Calling-thread pass, in shard order: merge chunk buffers (chunk
+        // order = pid order), adversary emissions, frame-token stamping,
+        // route planning, counters.
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            if !shard.core.active {
+                continue;
+            }
+            let sid = ShardId(s);
+            let SimShard {
+                core,
+                wires,
+                send_scratch,
+                trace_buf,
+                byz_sent,
+                route_plan,
+                ..
+            } = shard;
+            let r = core.round;
+            wires.clear();
+            let chunks = exec::chunk_ranges(core.correct.len(), workers).len();
+            for scratch in send_scratch.iter_mut().take(chunks) {
+                scratch.drain_into(wires);
+            }
+            let shot = core.shot;
+            core.plan_tick(
+                sid,
+                byz_sent,
+                wires,
+                route_plan,
+                measure_bits,
+                |wire, dropped| {
+                    if record_trace {
+                        trace_buf.push(ShardDelivery {
+                            shard: sid,
+                            shot,
+                            delivery: Delivery {
+                                round: r,
+                                from: wire.from,
+                                src_id: wire.src,
+                                to: wire.to,
+                                msg: Arc::clone(&wire.msg),
+                                dropped,
+                            },
+                        });
+                    }
+                },
+            );
+        }
+
+        // Phase 2 — deliver + receive, one flattened scatter of
+        // (shard, chunk) units; each chunk owns a disjoint sub-range of
+        // its shard's plane slots.
+        {
+            let views = self.plane.split_slots(self.widths.iter().copied());
+            let mut ctxs: Vec<RecvCtx<'_, P>> = Vec::new();
+            for (shard, view) in self.shards.iter_mut().zip(views) {
+                if !shard.core.active {
+                    continue;
+                }
+                let SimShard {
+                    core,
+                    procs,
+                    wires,
+                    route_plan,
+                    recv_out,
+                    ..
+                } = shard;
+                let ranges = exec::chunk_ranges(core.cfg.n, workers);
+                if recv_out.len() < ranges.len() {
+                    recv_out.resize_with(ranges.len(), Vec::new);
+                }
+                let sub_views = view.split_widths(ranges.iter().map(|rg| rg.len()));
+                ctxs.push(RecvCtx {
+                    r: core.round,
+                    offset: core.offset,
+                    counting: core.cfg.counting,
+                    wires: wires.as_slice(),
+                    plan: route_plan.as_slice(),
+                    ranges,
+                    views: sub_views,
+                    procs: procs.iter_mut().map(|(&pid, p)| (pid, p)).collect(),
+                    outs: recv_out.as_mut_slice(),
+                });
+            }
+            let mut tasks = Vec::new();
+            for ctx in ctxs.iter_mut() {
+                let r = ctx.r;
+                let offset = ctx.offset;
+                let counting = ctx.counting;
+                let wires = ctx.wires;
+                let plan = ctx.plan;
+                let mut procs = ctx.procs.as_mut_slice();
+                let mut outs = std::mem::take(&mut ctx.outs);
+                for (range, mut view) in ctx.ranges.iter().cloned().zip(ctx.views.drain(..)) {
+                    let split = procs
+                        .iter()
+                        .take_while(|(pid, _)| pid.index() < range.end)
+                        .count();
+                    let (chunk, rest) = std::mem::take(&mut procs).split_at_mut(split);
+                    procs = rest;
+                    let (out, rest) = outs.split_at_mut(1);
+                    outs = rest;
+                    let out = &mut out[0];
+                    tasks.push(move || {
+                        par::deliver_chunk(wires, plan, offset, range, &mut view);
+                        par::receive_chunk(chunk, r, offset, counting, &mut view, out);
+                    });
+                }
+            }
+            self.exec.scatter(tasks);
+        }
+
+        // Post pass, in shard order: merge chunk results (decisions in
+        // pid order), state sampling, Byzantine inboxes, round advance,
+        // rollover.
+        let mut slots = self.plane.as_slots();
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let sid = ShardId(s);
+            if shard.core.active {
+                let chunks = exec::chunk_ranges(shard.core.cfg.n, workers).len();
+                let mut total = 0u64;
+                for out in shard.recv_out.iter_mut().take(chunks) {
+                    for (pid, decision, bits) in out.drain(..) {
+                        total += bits;
+                        if let Some(v) = decision {
+                            shard.core.record_decision(pid, v);
+                        }
+                    }
+                }
+                shard.core.record_state_bits(total);
+                shard.core.deliver_byz(&mut slots);
+                shard.core.round = shard.core.round.next();
+            }
+            if let Some(spawned) = shard.core.roll_over_if_done(sid, tick, measure_bits) {
+                shard.procs = spawned.into_iter().collect();
+            }
+        }
 
         // Merge per-shard trace buffers in shard order — the same global
         // routing order the plane-wide sequential sweep recorded.
@@ -1144,6 +1216,7 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
     pub fn run(&mut self, max_ticks: u64) -> Vec<ShardReport<P::Value>>
     where
         P: Send,
+        P::Value: Send,
         P::Msg: WireEncode,
     {
         while self.tick < max_ticks && !self.all_idle() {
@@ -1206,6 +1279,7 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
     ) -> Vec<ShardReport<P::Value>>
     where
         P: Send,
+        P::Value: Send,
         P::Msg: WireEncode,
     {
         while self.tick < max_ticks {

@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 
 use homonyms::classic::Eig;
-use homonyms::core::{Domain, Synchrony, SystemConfig};
+use homonyms::core::{Domain, Executor, Pool, Sequential, Synchrony, SystemConfig};
 use homonyms::core::{IdAssignment, Pid, Round};
 use homonyms::lower_bounds::{fig1, fig4};
 use homonyms::psync::AgreementFactory;
@@ -49,7 +49,7 @@ fn trace_dump<M: homonyms::core::Message>(trace: &Trace<M>) -> String {
 
 /// The fig1_violation scenario: the ring construction for (n=4, t=1) run
 /// under T(EIG), with the full delivery trace recorded.
-fn fig1_scenario_digest() -> (u64, u64) {
+fn fig1_scenario_digest<E: Executor>(exec: E) -> (u64, u64) {
     let sys = fig1::build(4, 1);
     let factory = TransformedFactory::new(Eig::new_unchecked(3, 1, Domain::binary()), 1);
     let cfg = SystemConfig::builder(sys.assignment.n(), 3, 0)
@@ -58,6 +58,7 @@ fn fig1_scenario_digest() -> (u64, u64) {
     let mut sim = Simulation::builder(cfg, sys.assignment.clone(), sys.inputs.clone())
         .topology(sys.topology.clone())
         .record_trace(true)
+        .executor(exec)
         .build_with(&factory);
     sim.run_exact(factory.round_bound() + 9);
     let decisions = format!("{:?}", sim.decisions());
@@ -68,20 +69,20 @@ fn fig1_scenario_digest() -> (u64, u64) {
 /// The fig4_disagreement scenario: the full partition construction for the
 /// headline cell (n=5, ℓ=4, t=1) — reference runs α/β, trace replay, the
 /// partition drop schedule, and the split-brain outcome.
-fn fig4_scenario_digest() -> u64 {
+fn fig4_scenario_digest<E: Executor + Clone>(exec: E) -> u64 {
     let cfg = SystemConfig::builder(5, 4, 1)
         .synchrony(Synchrony::PartiallySynchronous)
         .build()
         .expect("valid parameters");
     let factory = AgreementFactory::new(5, 4, 1, Domain::binary());
-    let outcome = fig4::run(&factory, cfg, 8 * 14);
+    let outcome = fig4::run_with(&factory, cfg, 8 * 14, exec);
     fnv1a(format!("{outcome:?}").as_bytes())
 }
 
 /// A lossy adversarial run with the trace on: random drops before GST plus
 /// a clone-spamming Byzantine process, so the dump covers the dropped flag
 /// and adversary emissions too.
-fn lossy_adversarial_digest() -> (u64, u64) {
+fn lossy_adversarial_digest<E: Executor>(exec: E) -> (u64, u64) {
     let cfg = SystemConfig::builder(5, 4, 1)
         .synchrony(Synchrony::PartiallySynchronous)
         .build()
@@ -95,6 +96,7 @@ fn lossy_adversarial_digest() -> (u64, u64) {
         .byzantine(byz, adversary)
         .drops(RandomUntilGst::new(Round::new(6), 0.3, 42))
         .record_trace(true)
+        .executor(exec)
         .build_with(&factory);
     sim.run_exact(24);
     let decisions = format!("{:?}", sim.decisions());
@@ -195,7 +197,7 @@ const GOLDEN_SHARDED_DECISIONS: u64 = 0xa390bd4beac04866;
 
 #[test]
 fn fig1_trace_and_decisions_match_seed_engine() {
-    let (trace, decisions) = fig1_scenario_digest();
+    let (trace, decisions) = fig1_scenario_digest(Sequential);
     println!("fig1 trace={trace:#018x} decisions={decisions:#018x}");
     assert_eq!(trace, GOLDEN_FIG1_TRACE, "fig1 trace diverged from seed");
     assert_eq!(
@@ -206,14 +208,14 @@ fn fig1_trace_and_decisions_match_seed_engine() {
 
 #[test]
 fn fig4_outcome_matches_seed_engine() {
-    let outcome = fig4_scenario_digest();
+    let outcome = fig4_scenario_digest(Sequential);
     println!("fig4 outcome={outcome:#018x}");
     assert_eq!(outcome, GOLDEN_FIG4_OUTCOME, "fig4 outcome diverged");
 }
 
 #[test]
 fn sharded_3shard_interleaving_is_pinned() {
-    let (trace, decisions) = sharded_3shard_digest(homonyms::core::Sequential);
+    let (trace, decisions) = sharded_3shard_digest(Sequential);
     println!("sharded trace={trace:#018x} decisions={decisions:#018x}");
     assert_eq!(
         trace, GOLDEN_SHARDED_TRACE,
@@ -230,7 +232,7 @@ fn sharded_3shard_interleaving_is_pinned_under_pool_executor() {
     // Same scenario, fanned across a worker pool (pool larger than the
     // shard set, so some workers idle): the SAME sequential golden
     // digests must come out — the executor is unobservable.
-    let (trace, decisions) = sharded_3shard_digest(homonyms::core::Pool::new(3));
+    let (trace, decisions) = sharded_3shard_digest(Pool::new(3));
     println!("pooled  trace={trace:#018x} decisions={decisions:#018x}");
     assert_eq!(
         trace, GOLDEN_SHARDED_TRACE,
@@ -244,11 +246,65 @@ fn sharded_3shard_interleaving_is_pinned_under_pool_executor() {
 
 #[test]
 fn lossy_adversarial_trace_matches_seed_engine() {
-    let (trace, decisions) = lossy_adversarial_digest();
+    let (trace, decisions) = lossy_adversarial_digest(Sequential);
     println!("lossy trace={trace:#018x} decisions={decisions:#018x}");
     assert_eq!(trace, GOLDEN_LOSSY_TRACE, "lossy trace diverged");
     assert_eq!(
         decisions, GOLDEN_LOSSY_DECISIONS,
         "lossy decisions diverged"
     );
+}
+
+#[test]
+fn solo_golden_digests_are_pinned_at_every_pool_width() {
+    // The intra-instance chunked tick: the same single-instance golden
+    // scenarios, fanned across pools of 1, 2, 3, and 7 workers (worker
+    // counts straddling and exceeding n, including odd chunk
+    // boundaries). Every width must reproduce the SEQUENTIAL golden
+    // digests bit for bit — the executor is unobservable.
+    for w in [1usize, 2, 3, 7] {
+        let (trace, decisions) = fig1_scenario_digest(Pool::new(w));
+        assert_eq!(
+            trace, GOLDEN_FIG1_TRACE,
+            "fig1 trace diverged at {w} workers"
+        );
+        assert_eq!(
+            decisions, GOLDEN_FIG1_DECISIONS,
+            "fig1 decisions diverged at {w} workers"
+        );
+
+        let outcome = fig4_scenario_digest(Pool::new(w));
+        assert_eq!(
+            outcome, GOLDEN_FIG4_OUTCOME,
+            "fig4 outcome diverged at {w} workers"
+        );
+
+        let (trace, decisions) = lossy_adversarial_digest(Pool::new(w));
+        assert_eq!(
+            trace, GOLDEN_LOSSY_TRACE,
+            "lossy trace diverged at {w} workers"
+        );
+        assert_eq!(
+            decisions, GOLDEN_LOSSY_DECISIONS,
+            "lossy decisions diverged at {w} workers"
+        );
+    }
+}
+
+#[test]
+fn sharded_golden_digests_are_pinned_at_every_pool_width() {
+    // The sharded engine's flattened (shard, chunk) fan-out at the same
+    // widths: big shards split internally, yet the global interleaving
+    // digest is unchanged.
+    for w in [1usize, 2, 3, 7] {
+        let (trace, decisions) = sharded_3shard_digest(Pool::new(w));
+        assert_eq!(
+            trace, GOLDEN_SHARDED_TRACE,
+            "sharded trace diverged at {w} workers"
+        );
+        assert_eq!(
+            decisions, GOLDEN_SHARDED_DECISIONS,
+            "sharded decisions diverged at {w} workers"
+        );
+    }
 }

@@ -1,0 +1,205 @@
+//! Intra-instance executor equivalence for the single-shot engine: fanning
+//! ONE agreement instance's tick across a worker pool — chunked sends,
+//! planned routes, chunked deliver/receive — is **unobservable**. For
+//! random sizes (including odd `n` straddling chunk boundaries), random
+//! pre-GST drop schedules, and randomized Byzantine strategies, the full
+//! delivery trace, the decisions, and every `RunReport` counter are
+//! byte-identical between [`Sequential`] and [`Pool`] at every tested
+//! worker count.
+
+use std::fmt::Write as _;
+
+use homonyms::core::exec::{Executor, Pool, Sequential};
+use homonyms::core::{Domain, Pid, Round, Synchrony, SystemConfig};
+use homonyms::core::{IdAssignment, Message};
+use homonyms::psync::AgreementFactory;
+use homonyms::sim::adversary::{Adversary, CloneSpammer, Flooder, ReplayFuzzer, Silent};
+use homonyms::sim::{RandomUntilGst, Simulation, Trace};
+use proptest::prelude::*;
+
+/// One random solo scenario: size, identifier multiplicity, an optional
+/// Byzantine process with a randomized strategy, and a random pre-GST
+/// drop schedule.
+#[derive(Clone, Debug)]
+struct RandomSolo {
+    n: usize,
+    ell: usize,
+    byz: Option<Pid>,
+    adversary: u8,
+    seed: u64,
+    gst: u64,
+    drop_pct: u8,
+}
+
+fn solo_strategy() -> impl Strategy<Value = RandomSolo> {
+    (4usize..=9).prop_flat_map(|n| {
+        // The psync agreement needs ℓ > (n + 3t)/2 with t = 1.
+        let lo = (n + 3) / 2 + 1;
+        (
+            Just(n),
+            lo..=n,
+            // `n` encodes "no Byzantine process"; anything below names one.
+            0usize..=n,
+            0u8..=2,
+            any::<u64>(),
+            0u64..8,
+            0u8..=50,
+        )
+            .prop_map(
+                |(n, ell, byz_raw, adversary, seed, gst, drop_pct)| RandomSolo {
+                    n,
+                    ell,
+                    byz: (byz_raw < n).then(|| Pid::new(byz_raw)),
+                    adversary,
+                    seed,
+                    gst,
+                    drop_pct,
+                },
+            )
+    })
+}
+
+/// Canonical byte-stable rendering of a trace (the `fabric_golden`
+/// format): one line per attempted delivery, in recording order.
+fn trace_dump<M: Message>(trace: &Trace<M>) -> String {
+    let mut s = String::new();
+    for d in trace.deliveries() {
+        let _ = writeln!(
+            s,
+            "{}|{}|{}|{}|{:?}|{}",
+            d.round, d.from, d.src_id, d.to, d.msg, d.dropped
+        );
+    }
+    s
+}
+
+/// Runs one scenario under `exec` and returns every observable as one
+/// byte-stable string: the trace dump, the decisions, and the full
+/// `RunReport` (rounds, decision round, verdict, message and state-bit
+/// counters).
+fn observables<E: Executor>(exec: E, solo: &RandomSolo) -> String {
+    let cfg = SystemConfig::builder(solo.n, solo.ell, 1)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters");
+    let factory = AgreementFactory::new(solo.n, solo.ell, 1, Domain::binary());
+    let assignment = IdAssignment::stacked(solo.ell, solo.n).expect("ℓ ≤ n");
+    let inputs = (0..solo.n)
+        .map(|k| (k as u64 + solo.seed) % 2 == 0)
+        .collect();
+    let mut builder = Simulation::builder(cfg, assignment.clone(), inputs)
+        .record_trace(true)
+        .executor(exec);
+    if let Some(byz) = solo.byz {
+        let byz_set: std::collections::BTreeSet<Pid> = [byz].into_iter().collect();
+        let adversary: Box<dyn Adversary<_>> = match solo.adversary {
+            0 => Box::new(Silent),
+            1 => Box::new(ReplayFuzzer::new(solo.seed, 1 + (solo.seed % 3) as usize)),
+            _ => Box::new(CloneSpammer::new(
+                &factory,
+                &assignment,
+                &byz_set,
+                Domain::binary().values(),
+            )),
+        };
+        builder = builder.byzantine(byz_set, adversary);
+    }
+    if solo.drop_pct > 0 {
+        builder = builder.drops(RandomUntilGst::new(
+            Round::new(solo.gst),
+            f64::from(solo.drop_pct) / 100.0,
+            solo.seed,
+        ));
+    }
+    let mut sim = builder.build_with(&factory);
+    let report = sim.run_exact(solo.gst + factory.round_bound() + 4);
+    format!(
+        "trace:\n{}\ndecisions={:?}\nverdict={} rounds={} decided={:?} sent={} delivered={} \
+         dropped={} state_bits={} peak_state_bits={}",
+        trace_dump(sim.trace().expect("trace enabled")),
+        sim.decisions(),
+        report.verdict,
+        report.rounds,
+        report.all_decided_round,
+        report.messages_sent,
+        report.messages_delivered,
+        report.messages_dropped,
+        report.state_bits,
+        report.peak_state_bits,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The executor is unobservable for a single instance: pools of 1, 2,
+    /// 3, and 7 workers (straddling and exceeding `n`, odd chunk
+    /// boundaries included) reproduce the sequential run's trace,
+    /// decisions, and every counter, byte for byte.
+    #[test]
+    fn solo_pool_is_byte_identical_to_sequential(solo in solo_strategy()) {
+        let seq = observables(Sequential, &solo);
+        for workers in [1usize, 2, 3, 7] {
+            let pooled = observables(Pool::new(workers), &solo);
+            prop_assert_eq!(
+                &pooled,
+                &seq,
+                "observables diverge at {} workers for {:?}",
+                workers,
+                &solo
+            );
+        }
+    }
+}
+
+/// `Flooder` exercises the restricted-clamp path under chunked ticks: a
+/// deterministic multi-emission adversary whose duplicate wires must be
+/// clamped identically at every worker count.
+#[test]
+fn flooding_adversary_is_executor_invariant() {
+    let solo = RandomSolo {
+        n: 7,
+        ell: 6,
+        byz: Some(Pid::new(2)),
+        adversary: 0,
+        seed: 11,
+        gst: 3,
+        drop_pct: 20,
+    };
+    let cfg = SystemConfig::builder(solo.n, solo.ell, 1)
+        .synchrony(Synchrony::PartiallySynchronous)
+        .build()
+        .expect("valid parameters");
+    let factory = AgreementFactory::new(solo.n, solo.ell, 1, Domain::binary());
+    let assignment = IdAssignment::stacked(solo.ell, solo.n).expect("ℓ ≤ n");
+    let run = |workers: Option<usize>| {
+        let inputs = (0..solo.n).map(|k| k % 2 == 0).collect();
+        let builder = Simulation::builder(cfg, assignment.clone(), inputs)
+            .record_trace(true)
+            .byzantine([Pid::new(2)], Flooder::new(3))
+            .drops(RandomUntilGst::new(Round::new(solo.gst), 0.2, solo.seed));
+        let (trace, decisions) = match workers {
+            None => {
+                let mut sim = builder.build_with(&factory);
+                sim.run_exact(24);
+                (
+                    trace_dump(sim.trace().unwrap()),
+                    format!("{:?}", sim.decisions()),
+                )
+            }
+            Some(w) => {
+                let mut sim = builder.executor(Pool::new(w)).build_with(&factory);
+                sim.run_exact(24);
+                (
+                    trace_dump(sim.trace().unwrap()),
+                    format!("{:?}", sim.decisions()),
+                )
+            }
+        };
+        (trace, decisions)
+    };
+    let seq = run(None);
+    for w in [1usize, 2, 3, 7] {
+        assert_eq!(run(Some(w)), seq, "flooder run diverged at {w} workers");
+    }
+}
