@@ -1,0 +1,223 @@
+//! Crash-recovery overhead — what rejoining durably actually costs, at
+//! n ∈ {32, 128}.
+//!
+//! Two series, written to `BENCH_recovery.json`:
+//!
+//! * `psync_fig5_journal` — journal-only recovery (no snapshots) of the
+//!   Figure 5 agreement, crashed at 25% / 50% / 75% of the golden run's
+//!   decision round: the journal grows with the crash epoch, so
+//!   `journal_bytes`, `replay_ns` (decode + fresh spawn + replay), and
+//!   `rounds_to_catch_up` (rounds the rejoiner still runs before it
+//!   decides) trace the replay-cost curve against the crash epoch.
+//! * `classic_eig_snapshot` — snapshotted recovery of classic EIG
+//!   (`UniqueRunner` implements the snapshot seam): the journal carries a
+//!   state snapshot every round, so replay restores the snapshot and
+//!   re-runs almost nothing. `snapshot_bits` is codec-exact and
+//!   deterministic — the regression gate pins it (`--direction lower`).
+//!
+//! Every sample is a paired run: the golden (uninterrupted) execution
+//! fixes the decision round, then the subject run crashes the victim at
+//! the epoch boundary and durably recovers it in place; decisions must
+//! match the golden run exactly (asserted). Pass `--quick` (CI does) to
+//! trim to n = 32; the shared point is deterministic against the
+//! committed full-mode snapshot.
+
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion};
+use homonym_bench::json::{write_bench_json, Value};
+use homonym_bench::{fig5_factory, psync_cfg, sync_cfg};
+use homonym_classic::{Eig, UniqueRunner};
+use homonym_core::codec::{WireDecode, WireEncode};
+use homonym_core::{
+    Domain, FnFactory, IdAssignment, Pid, Protocol, ProtocolFactory, RecoveryMode, SystemConfig,
+};
+use homonym_sim::Simulation;
+
+const NS_FULL: [usize; 2] = [32, 128];
+const NS_QUICK: [usize; 1] = [32];
+const EPOCHS: [u64; 3] = [25, 50, 75];
+
+/// One paired-run measurement.
+struct Sample {
+    n: usize,
+    ell: usize,
+    epoch_pct: u64,
+    crash_round: u64,
+    decision_round: u64,
+    snapshot_bits: u64,
+    journal_bytes: u64,
+    replay_ns: u64,
+    rounds_to_catch_up: u64,
+}
+
+/// Runs golden + crashed executions of one configuration and measures
+/// the durable recovery at `epoch_pct`% of the golden decision round.
+fn measure<F, P>(
+    factory: &F,
+    cfg: SystemConfig,
+    assignment: IdAssignment,
+    inputs: Vec<P::Value>,
+    snapshot_every: u64,
+    epoch_pct: u64,
+) -> Sample
+where
+    P: Protocol + Send + 'static,
+    P::Msg: WireEncode + WireDecode,
+    P::Value: PartialEq + std::fmt::Debug,
+    F: ProtocolFactory<P = P>,
+{
+    let victim = Pid::new(0);
+
+    // Golden: fix the decision round and the expected decisions.
+    let mut golden =
+        Simulation::builder(cfg, assignment.clone(), inputs.clone()).build_with(factory);
+    let horizon = 4 * (golden.cfg().n as u64) + 64;
+    let report = golden.run(horizon);
+    let decision_round = report
+        .all_decided_round
+        .expect("golden run decides")
+        .index();
+    let crash_round = decision_round * epoch_pct / 100;
+
+    // Subject: journal everything, crash the victim at the epoch
+    // boundary, recover it durably in place, and finish the run.
+    let mut sim = Simulation::builder(cfg, assignment, inputs)
+        .durable(snapshot_every)
+        .build_with(factory);
+    while sim.round().index() < crash_round {
+        sim.step();
+    }
+    let snapshot_bits = sim
+        .processes()
+        .find(|(pid, _)| *pid == victim)
+        .map(|(_, p)| p.snapshot_bits())
+        .unwrap_or(0);
+    let journal_bytes: u64 = sim
+        .journal(victim)
+        .expect("durable journal")
+        .recover()
+        .records
+        .iter()
+        .map(|r| r.len() as u64)
+        .sum();
+    let start = Instant::now();
+    sim.crash(victim).expect("victim is live");
+    sim.recover_with(factory, victim, RecoveryMode::Durable)
+        .expect("durable recovery");
+    let replay_ns = start.elapsed().as_nanos() as u64;
+    while sim.round().index() < horizon && !sim.all_decided() {
+        sim.step();
+    }
+    assert_eq!(
+        sim.decisions(),
+        golden.decisions(),
+        "recovery must be unobservable"
+    );
+    let victim_decided = sim.decisions()[&victim].1.index();
+    Sample {
+        n: cfg.n,
+        ell: cfg.ell,
+        epoch_pct,
+        crash_round,
+        decision_round,
+        snapshot_bits,
+        journal_bytes,
+        replay_ns,
+        rounds_to_catch_up: victim_decided.saturating_sub(crash_round),
+    }
+}
+
+/// Journal-only recovery of the Figure 5 agreement (2ℓ > n + 3t).
+fn psync_sample(n: usize, epoch_pct: u64) -> Sample {
+    let ell = n / 2 + 2;
+    let factory = fig5_factory(n, ell, 1);
+    let inputs = (0..n).map(|k| k % 2 == 0).collect();
+    measure(
+        &factory,
+        psync_cfg(n, ell, 1),
+        IdAssignment::stacked(ell, n).expect("ℓ ≤ n"),
+        inputs,
+        0,
+        epoch_pct,
+    )
+}
+
+/// Snapshotted recovery of classic EIG (unique identifiers, per-round
+/// snapshots): replay restores the snapshot instead of the history.
+fn classic_sample(n: usize, epoch_pct: u64) -> Sample {
+    let domain = Domain::binary();
+    let factory = FnFactory::new(move |id, input| {
+        UniqueRunner::new(Eig::new(n, 1, domain.clone()), id, input)
+    });
+    let inputs = (0..n).map(|k| k % 3 == 0).collect();
+    measure(
+        &factory,
+        sync_cfg(n, n, 1),
+        IdAssignment::unique(n),
+        inputs,
+        1,
+        epoch_pct,
+    )
+}
+
+fn render(protocol: &str, s: &Sample) -> Value {
+    Value::obj([
+        ("protocol", Value::str(protocol)),
+        ("n", Value::Int(s.n as i64)),
+        ("ell", Value::Int(s.ell as i64)),
+        ("t", Value::Int(1)),
+        ("epoch_pct", Value::Int(s.epoch_pct as i64)),
+        ("crash_round", Value::Int(s.crash_round as i64)),
+        ("decision_round", Value::Int(s.decision_round as i64)),
+        ("snapshot_bits", Value::Int(s.snapshot_bits as i64)),
+        ("journal_bytes", Value::Int(s.journal_bytes as i64)),
+        ("replay_ns", Value::Int(s.replay_ns as i64)),
+        (
+            "rounds_to_catch_up",
+            Value::Int(s.rounds_to_catch_up as i64),
+        ),
+    ])
+}
+
+fn bench(c: &mut Criterion, ns: &[usize]) {
+    let mut group = c.benchmark_group("recovery_overhead");
+    group.sample_size(10);
+    for &n in ns {
+        group.bench_with_input(
+            BenchmarkId::new("psync_fig5_journal", format!("n{n}")),
+            &n,
+            |b, &n| b.iter(|| psync_sample(n, 50).replay_ns),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ns: &[usize] = if quick { &NS_QUICK } else { &NS_FULL };
+
+    let mut c = Criterion::default();
+    bench(&mut c, ns);
+
+    let mut series = Vec::new();
+    for &n in ns {
+        for &epoch in &EPOCHS {
+            series.push(render("psync_fig5_journal", &psync_sample(n, epoch)));
+        }
+        // One snapshotted point per n, crashed at the decision boundary:
+        // classic EIG decides in t + 1 rounds, so the epochs collapse —
+        // the point of this series is the deterministic snapshot size
+        // and the near-zero replay (restore, re-run nothing).
+        series.push(render("classic_eig_snapshot", &classic_sample(n, 100)));
+    }
+    let doc = Value::obj([
+        ("bench", Value::str("recovery_overhead")),
+        ("mode", Value::str(if quick { "quick" } else { "full" })),
+        ("series", Value::Arr(series)),
+    ]);
+    match write_bench_json("recovery", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_recovery.json: {e}"),
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use homonym_core::codec::{decode_frame, encode_frame, DecodeError, WireDecode, WireEncode};
 use homonym_core::{Id, Inbox, Message, Protocol, Recipients, Round, Value};
 
 /// A synchronous Byzantine agreement algorithm for `ℓ` processes with
@@ -113,7 +114,11 @@ impl<A: SyncBa> UniqueRunner<A> {
     }
 }
 
-impl<A: SyncBa> Protocol for UniqueRunner<A> {
+impl<A: SyncBa> Protocol for UniqueRunner<A>
+where
+    A::State: WireEncode + WireDecode,
+    A::Value: WireEncode + WireDecode,
+{
     type Msg = A::Msg;
     type Value = A::Value;
 
@@ -145,5 +150,16 @@ impl<A: SyncBa> Protocol for UniqueRunner<A> {
 
     fn decision(&self) -> Option<A::Value> {
         self.decision.clone()
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(encode_frame(&(self.state.clone(), self.decision.clone())))
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), DecodeError> {
+        let (state, decision) = decode_frame::<(A::State, Option<A::Value>)>(snapshot)?;
+        self.state = state;
+        self.decision = decision;
+        Ok(())
     }
 }

@@ -23,6 +23,9 @@
 //!   out with,
 //! * [`intern`] — the payload [`Interner`] and identifier bitset
 //!   ([`IdBits`]) the hot protocol paths key their evidence tables with,
+//! * [`journal`] — durable journals (in-memory and file-backed WAL
+//!   backends with seeded fault injection) and deterministic
+//!   crash-recovery replay,
 //! * [`codec`] — the exact binary wire codec ([`WireEncode`] /
 //!   [`WireDecode`]) behind the message/bit-cost instrumentation and the
 //!   token-framed delivery path,
@@ -64,6 +67,7 @@ pub mod exec;
 pub mod fabric;
 mod id;
 pub mod intern;
+pub mod journal;
 mod message;
 mod process;
 pub mod scenario;
@@ -79,8 +83,11 @@ pub use exec::{Executor, Pool, Sequential};
 pub use fabric::{Deliveries, DeliverySlots, FrameInterner, SharedEnvelope};
 pub use id::{Id, IdAssignment, Pid};
 pub use intern::{IdBits, Interner};
+pub use journal::{FileWal, Journal, JournalEntry, JournalError, MemJournal, Recovered};
 pub use message::{Envelope, Inbox, Message, Recipients};
 pub use process::{FnFactory, Protocol, ProtocolFactory, Round, Superround};
-pub use scenario::{sub_seed, DropSpec, Schedule, ScheduleEvent, StrategyKind, TimedEvent};
+pub use scenario::{
+    sub_seed, DropSpec, RecoveryMode, Schedule, ScheduleEvent, StrategyKind, TimedEvent,
+};
 pub use value::{Domain, ProperSet, Value};
 pub use wire::WireSize;

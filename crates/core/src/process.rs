@@ -4,6 +4,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::codec::DecodeError;
 use crate::id::Id;
 use crate::message::{Inbox, Message, Recipients};
 use crate::value::Value;
@@ -178,6 +179,37 @@ pub trait Protocol {
     /// number. The default of 0 means "not instrumented".
     fn state_bits(&self) -> u64 {
         0
+    }
+
+    /// A versioned, self-contained encoding of this process's full state,
+    /// or `None` if the protocol does not support snapshots.
+    ///
+    /// Implementations encode through the exact wire codec — a
+    /// [`crate::codec::encode_frame`] of the protocol state — so the
+    /// snapshot carries the codec's version byte and its size in bits is
+    /// codec-exact (`8 × len`, see
+    /// [`snapshot_bits`](Protocol::snapshot_bits)). Protocols without a
+    /// snapshot are still recoverable: the journal replays their whole
+    /// history from round 0 (see [`crate::journal::replay`]).
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores this process to the state a [`snapshot`](Protocol::snapshot)
+    /// captured. Must accept exactly the bytes `snapshot` produced;
+    /// anything else fails with a typed [`DecodeError`] — restoring never
+    /// guesses. The default (for protocols without snapshots) rejects
+    /// every input.
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), DecodeError> {
+        let _ = snapshot;
+        Err(DecodeError::BadValue("protocol does not support snapshots"))
+    }
+
+    /// The codec-exact size of this process's snapshot in bits (0 when
+    /// snapshots are unsupported) — the snapshot-size metric the recovery
+    /// bench reports.
+    fn snapshot_bits(&self) -> u64 {
+        self.snapshot().map_or(0, |b| 8 * b.len() as u64)
     }
 }
 

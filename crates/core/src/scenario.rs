@@ -71,6 +71,53 @@ pub mod stream {
     pub const CELL: u64 = 7;
     /// Shard-churn draw (which shards restart, with which inputs).
     pub const SHARDS: u64 = 8;
+    /// Crash/recover draw (which pid crashes, when, and how it rejoins).
+    pub const CRASHES: u64 = 9;
+}
+
+/// How a crashed process rejoins the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryMode {
+    /// Restore from the last durable snapshot plus the journal suffix —
+    /// the process rejoins with its exact pre-crash state and stays
+    /// *correct* (no fault budget consumed).
+    Durable,
+    /// Rejoin with a fresh automaton and no memory of the past. The
+    /// process was observably faulty, so it consumes one unit of the
+    /// shared `|faulty| ≤ t` budget (alongside the Byzantine set).
+    Amnesiac,
+}
+
+impl RecoveryMode {
+    /// A short label for traces and DOT artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryMode::Durable => "durable",
+            RecoveryMode::Amnesiac => "amnesiac",
+        }
+    }
+}
+
+impl WireEncode for RecoveryMode {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            RecoveryMode::Durable => 0,
+            RecoveryMode::Amnesiac => 1,
+        });
+    }
+}
+
+impl WireDecode for RecoveryMode {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take_u8()? {
+            0 => Ok(RecoveryMode::Durable),
+            1 => Ok(RecoveryMode::Amnesiac),
+            tag => Err(DecodeError::BadTag {
+                what: "RecoveryMode",
+                tag,
+            }),
+        }
+    }
 }
 
 /// A serializable description of a Byzantine strategy.
@@ -378,6 +425,24 @@ pub enum ScheduleEvent {
         /// Inputs for the new shot's processes.
         inputs: Vec<bool>,
     },
+    /// The process crashes at this round boundary: it stops sending, and
+    /// every message addressed to it drops until it recovers.
+    Crash {
+        /// The crashing process.
+        pid: Pid,
+    },
+    /// A crashed process rejoins at this round boundary.
+    ///
+    /// [`RecoveryMode::Durable`] replays the journal (bit-exact state,
+    /// still correct); [`RecoveryMode::Amnesiac`] respawns fresh and
+    /// consumes the shared fault budget — the engine rejects the event
+    /// (a reported breach) if that would exceed `t`.
+    Recover {
+        /// The recovering process.
+        pid: Pid,
+        /// How it rejoins.
+        mode: RecoveryMode,
+    },
 }
 
 impl ScheduleEvent {
@@ -396,6 +461,8 @@ impl ScheduleEvent {
             ScheduleEvent::SetTopology { cut } => format!("topology(-{} edges)", cut.len()),
             ScheduleEvent::ShardAbort { shard } => format!("abort(shard {shard})"),
             ScheduleEvent::ShardEnqueue { shard, .. } => format!("enqueue(shard {shard})"),
+            ScheduleEvent::Crash { pid } => format!("crash({pid})"),
+            ScheduleEvent::Recover { pid, mode } => format!("recover({pid}, {})", mode.label()),
         }
     }
 }
@@ -428,6 +495,15 @@ impl WireEncode for ScheduleEvent {
                 shard.encode(w);
                 inputs.encode(w);
             }
+            ScheduleEvent::Crash { pid } => {
+                w.put_u8(6);
+                pid.encode(w);
+            }
+            ScheduleEvent::Recover { pid, mode } => {
+                w.put_u8(7);
+                pid.encode(w);
+                mode.encode(w);
+            }
         }
     }
 }
@@ -453,6 +529,13 @@ impl WireDecode for ScheduleEvent {
             5 => ScheduleEvent::ShardEnqueue {
                 shard: u32::decode(r)?,
                 inputs: Vec::decode(r)?,
+            },
+            6 => ScheduleEvent::Crash {
+                pid: Pid::decode(r)?,
+            },
+            7 => ScheduleEvent::Recover {
+                pid: Pid::decode(r)?,
+                mode: RecoveryMode::decode(r)?,
             },
             tag => {
                 return Err(DecodeError::BadTag {
@@ -641,6 +724,14 @@ mod tests {
                 inputs: vec![true, false, true],
             },
         );
+        s.push(Round::new(12), ScheduleEvent::Crash { pid: Pid::new(1) });
+        s.push(
+            Round::new(13),
+            ScheduleEvent::Recover {
+                pid: Pid::new(1),
+                mode: RecoveryMode::Durable,
+            },
+        );
         s
     }
 
@@ -759,5 +850,29 @@ mod tests {
             .label(),
             "topology(complete)"
         );
+        assert_eq!(
+            ScheduleEvent::Crash { pid: Pid::new(3) }.label(),
+            "crash(p3)"
+        );
+        assert_eq!(
+            ScheduleEvent::Recover {
+                pid: Pid::new(3),
+                mode: RecoveryMode::Amnesiac
+            }
+            .label(),
+            "recover(p3, amnesiac)"
+        );
+    }
+
+    #[test]
+    fn recovery_mode_round_trips() {
+        for mode in [RecoveryMode::Durable, RecoveryMode::Amnesiac] {
+            let mut w = Writer::new();
+            mode.encode(&mut w);
+            let mut r = Reader::new(w.as_slice());
+            assert_eq!(RecoveryMode::decode(&mut r).unwrap(), mode);
+        }
+        let mut r = Reader::new(&[9]);
+        assert!(RecoveryMode::decode(&mut r).is_err());
     }
 }

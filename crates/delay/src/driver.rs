@@ -4,12 +4,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use homonym_core::codec::WireEncode;
+use homonym_core::codec::{WireDecode, WireEncode};
+use homonym_core::journal::{self, Journal, MemJournal};
 use homonym_core::spec::{self, Outcome, Verdict};
 use homonym_core::IdAssignment;
 use homonym_core::{
-    ByzPower, Deliveries, FrameInterner, Inbox, Pid, Protocol, ProtocolFactory, Round,
-    SharedEnvelope, SystemConfig,
+    ByzPower, Deliveries, FrameInterner, Id, Inbox, Pid, Protocol, ProtocolFactory, RecoveryMode,
+    Round, SharedEnvelope, SystemConfig,
 };
 use homonym_sim::adversary::{AdvCtx, Adversary, Silent};
 use homonym_sim::shards::wire_bits;
@@ -49,6 +50,9 @@ pub struct DelayReport<V> {
     pub late: u64,
     /// Messages still in flight when the run ended (also drops).
     pub unarrived: u64,
+    /// Messages that arrived while their recipient was crashed (drops —
+    /// a down process has no inbox).
+    pub crash_dropped: u64,
     /// The last round whose inbox missed at least one message, if any.
     pub last_lossy_round: Option<Round>,
     /// Sum of [`Protocol::state_bits`] across the correct processes after
@@ -61,7 +65,7 @@ pub struct DelayReport<V> {
 impl<V> DelayReport<V> {
     /// Total messages the simulated basic-model execution dropped.
     pub fn dropped(&self) -> u64 {
-        self.late + self.unarrived
+        self.late + self.unarrived + self.crash_dropped
     }
 
     /// The first round from which every executed round was loss-free —
@@ -78,6 +82,12 @@ impl<V> DelayReport<V> {
     }
 }
 
+/// One scheduled crash/recover event of a delay-world run.
+enum DelayChurn {
+    Crash(Pid),
+    Recover(Pid, RecoveryMode),
+}
+
 /// Builder for [`DelayCluster`]; see [`DelayCluster::builder`].
 pub struct DelayClusterBuilder<P: Protocol> {
     cfg: SystemConfig,
@@ -88,6 +98,7 @@ pub struct DelayClusterBuilder<P: Protocol> {
     model: Box<dyn DelayModel>,
     pacing: Box<dyn RoundPacing>,
     measure_bits: bool,
+    churn: BTreeMap<u64, Vec<DelayChurn>>,
 }
 
 impl<P: Protocol> DelayClusterBuilder<P> {
@@ -138,6 +149,28 @@ impl<P: Protocol> DelayClusterBuilder<P> {
         self
     }
 
+    /// Schedules a crash of `pid` at the start of `round`: it stops
+    /// sending, in-flight messages addressed to it drop, and the
+    /// coordinator's journal for it becomes its only surviving state.
+    pub fn crash_at(mut self, round: u64, pid: Pid) -> Self {
+        self.churn
+            .entry(round)
+            .or_default()
+            .push(DelayChurn::Crash(pid));
+        self
+    }
+
+    /// Schedules a recovery of `pid` at the start of `round` — durable
+    /// (journal replay into a fresh automaton, byte-identical state) or
+    /// amnesiac (fresh spawn consuming the shared `t` fault budget).
+    pub fn recover_at(mut self, round: u64, pid: Pid, mode: RecoveryMode) -> Self {
+        self.churn
+            .entry(round)
+            .or_default()
+            .push(DelayChurn::Recover(pid, mode));
+        self
+    }
+
     /// Finishes the build.
     ///
     /// # Panics
@@ -157,6 +190,15 @@ impl<P: Protocol> DelayClusterBuilder<P> {
             "assignment uses ell identifiers"
         );
         assert_eq!(self.inputs.len(), self.cfg.n, "one input per process");
+        for events in self.churn.values() {
+            for ev in events {
+                let pid = match ev {
+                    DelayChurn::Crash(pid) | DelayChurn::Recover(pid, _) => *pid,
+                };
+                assert!(pid.index() < self.cfg.n, "churn pid out of range");
+                assert!(!self.byz.contains(&pid), "cannot crash a byzantine pid");
+            }
+        }
         DelayCluster {
             cfg: self.cfg,
             assignment: self.assignment,
@@ -166,6 +208,7 @@ impl<P: Protocol> DelayClusterBuilder<P> {
             model: self.model,
             pacing: self.pacing,
             measure_bits: self.measure_bits,
+            churn: self.churn,
         }
     }
 }
@@ -207,6 +250,7 @@ pub struct DelayCluster<P: Protocol> {
     model: Box<dyn DelayModel>,
     pacing: Box<dyn RoundPacing>,
     measure_bits: bool,
+    churn: BTreeMap<u64, Vec<DelayChurn>>,
 }
 
 impl<P: Protocol> DelayCluster<P> {
@@ -228,6 +272,7 @@ impl<P: Protocol> DelayCluster<P> {
             model: Box::new(Instant),
             pacing: Box::new(FixedPacing::new(1)),
             measure_bits: false,
+            churn: BTreeMap::new(),
         }
     }
 
@@ -242,7 +287,7 @@ impl<P: Protocol> DelayCluster<P> {
     pub fn run<F>(&mut self, factory: &F, max_rounds: u64) -> DelayReport<P::Value>
     where
         F: ProtocolFactory<P = P>,
-        P::Msg: WireEncode,
+        P::Msg: WireEncode + WireDecode,
     {
         let n = self.cfg.n;
         let mut procs: BTreeMap<Pid, P> = self
@@ -251,10 +296,22 @@ impl<P: Protocol> DelayCluster<P> {
             .filter(|(pid, _)| !self.byz.contains(pid))
             .map(|(pid, id)| (pid, factory.spawn(id, self.inputs[pid.index()].clone())))
             .collect();
-        let correct_inputs: BTreeMap<Pid, P::Value> = procs
+        let correct_count = procs.len();
+        let mut correct_inputs: BTreeMap<Pid, P::Value> = procs
             .keys()
             .map(|&pid| (pid, self.inputs[pid.index()].clone()))
             .collect();
+
+        // Crash-recovery state: coordinator-held journals (one per
+        // correct process, only when a crash is scheduled), the crashed
+        // set, and the amnesiac rejoiners who left the accounting.
+        let mut churn = std::mem::take(&mut self.churn);
+        let mut journals: Option<BTreeMap<Pid, MemJournal>> =
+            (!churn.is_empty()).then(|| procs.keys().map(|&p| (p, MemJournal::new())).collect());
+        let mut crashed: BTreeSet<Pid> = BTreeSet::new();
+        let mut amnesiac: BTreeSet<Pid> = BTreeSet::new();
+        let mut journal_scratch: Vec<Vec<(Id, Arc<P::Msg>)>> = Vec::new();
+        let mut crash_dropped = 0u64;
 
         let mut net: InFlight<P::Msg> = InFlight::new();
         // Per-round routing buckets on the shared delivery fabric, reused
@@ -277,14 +334,77 @@ impl<P: Protocol> DelayCluster<P> {
             *last = Some(last.map_or(r, |prev: Round| prev.max(r)));
         };
 
-        while round.index() < max_rounds && decisions.len() < procs.len() {
+        while round.index() < max_rounds && decisions.len() + amnesiac.len() < correct_count {
             let start = tick;
             let duration = self.pacing.duration(round).max(1);
             let deadline = start + duration;
 
+            // 0. Apply due crash/recover events at the round boundary.
+            let due = churn.split_off(&(round.index() + 1));
+            for ev in std::mem::replace(&mut churn, due).into_values().flatten() {
+                match ev {
+                    DelayChurn::Crash(pid) => {
+                        assert!(
+                            procs.remove(&pid).is_some() && crashed.insert(pid),
+                            "cannot crash {pid}: not a live correct process"
+                        );
+                    }
+                    DelayChurn::Recover(pid, mode) => {
+                        assert!(crashed.remove(&pid), "{pid} is not crashed");
+                        let id = self.assignment.id_of(pid);
+                        let input = self.inputs[pid.index()].clone();
+                        let p = match mode {
+                            RecoveryMode::Durable => {
+                                let journal = journals
+                                    .as_ref()
+                                    .and_then(|j| j.get(&pid))
+                                    .expect("journal for crashed pid");
+                                let recovered = journal.recover();
+                                assert!(
+                                    recovered.damage.is_none(),
+                                    "journal of {pid} damaged: {:?}",
+                                    recovered.damage
+                                );
+                                let entries = journal::decode_entries::<P::Msg>(&recovered.records)
+                                    .expect("journal entries decode");
+                                let mut p = factory.spawn(id, input);
+                                journal::replay(&mut p, entries, self.cfg.counting)
+                                    .expect("journal replay");
+                                p
+                            }
+                            RecoveryMode::Amnesiac => {
+                                assert!(
+                                    self.byz.len() + amnesiac.len() + 1 <= self.cfg.t,
+                                    "fault budget exceeded: {} > t = {}",
+                                    self.byz.len() + amnesiac.len() + 1,
+                                    self.cfg.t
+                                );
+                                amnesiac.insert(pid);
+                                correct_inputs.remove(&pid);
+                                decisions.remove(&pid);
+                                if let Some(journal) =
+                                    journals.as_mut().and_then(|j| j.get_mut(&pid))
+                                {
+                                    journal.reset().expect("journal reset");
+                                }
+                                factory.spawn(id, input)
+                            }
+                        };
+                        procs.insert(pid, p);
+                    }
+                }
+            }
+
             // This round's on-time arrivals route into the reused fabric
-            // buckets.
+            // buckets; journaled processes also stage their deliveries
+            // for the write-ahead log.
             deliveries.clear();
+            if journals.is_some() {
+                journal_scratch.resize_with(n, Vec::new);
+                for buf in &mut journal_scratch {
+                    buf.clear();
+                }
+            }
 
             // 1. Correct sends at the round's opening tick; one Arc wrap
             //    per emission, shared by every recipient's flight.
@@ -311,6 +431,9 @@ impl<P: Protocol> DelayCluster<P> {
                         );
                         if to == pid {
                             // Self-delivery costs no network trip.
+                            if journals.is_some() {
+                                journal_scratch[to.index()].push((src_id, Arc::clone(&msg)));
+                            }
                             deliveries
                                 .push(to, SharedEnvelope::framed(src_id, Arc::clone(&msg), tok));
                         } else {
@@ -387,8 +510,17 @@ impl<P: Protocol> DelayCluster<P> {
             //    on-time (tagged with this round) and late (an earlier
             //    round's inbox already closed without them).
             for flight in net.arrivals_up_to(deadline) {
-                if flight.round == round {
+                if crashed.contains(&flight.to) {
+                    // A down process has no inbox: the arrival is lost,
+                    // exactly like a basic-model drop.
+                    crash_dropped += 1;
+                    mark_lossy(&mut last_lossy_round, flight.round);
+                } else if flight.round == round {
                     delivered_on_time += 1;
+                    if journals.is_some() && procs.contains_key(&flight.to) {
+                        journal_scratch[flight.to.index()]
+                            .push((flight.src, Arc::clone(&flight.msg)));
+                    }
                     deliveries.push(
                         flight.to,
                         SharedEnvelope::framed(flight.src, flight.msg, flight.tok),
@@ -400,10 +532,32 @@ impl<P: Protocol> DelayCluster<P> {
                 }
             }
 
+            // Persist this round's inboxes before they are consumed (the
+            // write-ahead contract: a crash after this point replays to
+            // the post-receive state).
+            if let Some(j) = &mut journals {
+                for (&pid, journal) in j.iter_mut() {
+                    if procs.contains_key(&pid) {
+                        journal
+                            .append(&journal::encode_deliveries_entry(
+                                round,
+                                &journal_scratch[pid.index()],
+                            ))
+                            .expect("journal append");
+                        journal.sync().expect("journal sync");
+                    }
+                }
+            }
+
             // 4. Close the round: deliver inboxes, record decisions.
             for (&pid, proc_) in procs.iter_mut() {
                 let inbox = deliveries.take_inbox(pid, self.cfg.counting);
                 proc_.receive(round, &inbox);
+                if amnesiac.contains(&pid) {
+                    // Amnesiac rejoiners run but left the accounting;
+                    // their decisions draw on the shared fault budget.
+                    continue;
+                }
                 if let Some(v) = proc_.decision() {
                     match decisions.get(&pid) {
                         None => {
@@ -458,6 +612,7 @@ impl<P: Protocol> DelayCluster<P> {
             delivered_on_time,
             late,
             unarrived,
+            crash_dropped,
             last_lossy_round,
             state_bits,
             peak_state_bits,
@@ -683,6 +838,75 @@ mod tests {
             DelayCluster::<FloodMin>::builder(cfg(4, 4, 1), IdAssignment::unique(4), inputs)
                 .build();
         assert_eq!(off.run(&factory, 10).bits_sent, None);
+    }
+
+    #[test]
+    fn zero_gap_durable_recovery_is_invisible() {
+        // Crash p1 at the start of round 2 and durably recover it in the
+        // same boundary: journal replay restores byte-identical state, so
+        // the whole report matches the uninterrupted run.
+        let factory = flood_factory(4);
+        let inputs = vec![9u32, 4, 7, 2];
+        let golden = DelayCluster::builder(cfg(4, 4, 1), IdAssignment::unique(4), inputs.clone())
+            .build()
+            .run(&factory, 10);
+        let recovered =
+            DelayCluster::builder(cfg(4, 4, 1), IdAssignment::unique(4), inputs.clone())
+                .crash_at(2, Pid::new(1))
+                .recover_at(2, Pid::new(1), homonym_core::RecoveryMode::Durable)
+                .build()
+                .run(&factory, 10);
+        assert_eq!(golden.outcome.decisions, recovered.outcome.decisions);
+        assert_eq!(golden.rounds, recovered.rounds);
+        assert_eq!(golden.messages_sent, recovered.messages_sent);
+        assert_eq!(recovered.crash_dropped, 0);
+    }
+
+    #[test]
+    fn gapped_durable_recovery_drops_inflight_and_catches_up() {
+        // p1 is down for rounds 1–2: messages addressed to it drop, it
+        // sends nothing, then journal replay brings it back and the flood
+        // still converges on the global minimum.
+        let factory = flood_factory(8);
+        let report =
+            DelayCluster::builder(cfg(4, 4, 1), IdAssignment::unique(4), vec![9u32, 4, 7, 2])
+                .crash_at(1, Pid::new(1))
+                .recover_at(3, Pid::new(1), homonym_core::RecoveryMode::Durable)
+                .build()
+                .run(&factory, 12);
+        assert!(report.crash_dropped > 0, "down rounds must drop arrivals");
+        assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+        for (v, _) in report.outcome.decisions.values() {
+            assert_eq!(*v, 2);
+        }
+    }
+
+    #[test]
+    fn amnesiac_rejoin_leaves_the_accounting() {
+        let factory = flood_factory(6);
+        let report =
+            DelayCluster::builder(cfg(4, 4, 1), IdAssignment::unique(4), vec![9u32, 4, 7, 2])
+                .crash_at(1, Pid::new(0))
+                .recover_at(2, Pid::new(0), homonym_core::RecoveryMode::Amnesiac)
+                .build()
+                .run(&factory, 10);
+        // The rejoiner consumed the fault budget: it neither counts for
+        // termination nor appears in the outcome.
+        assert!(!report.outcome.decisions.contains_key(&Pid::new(0)));
+        assert!(!report.outcome.inputs.contains_key(&Pid::new(0)));
+        assert!(report.verdict.all_hold(), "{:?}", report.verdict);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault budget exceeded")]
+    fn amnesiac_rejoin_over_budget_panics() {
+        // t = 0 leaves no budget for an amnesiac rejoin.
+        let factory = flood_factory(6);
+        let _ = DelayCluster::builder(cfg(3, 3, 0), IdAssignment::unique(3), vec![9u32, 4, 7])
+            .crash_at(1, Pid::new(0))
+            .recover_at(2, Pid::new(0), homonym_core::RecoveryMode::Amnesiac)
+            .build()
+            .run(&factory, 10);
     }
 
     #[test]

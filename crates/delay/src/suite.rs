@@ -85,7 +85,7 @@ pub fn run_delay_suite<P, F>(
 ) -> DelaySuiteResult<P::Value>
 where
     P: Protocol + 'static,
-    P::Msg: homonym_core::codec::WireEncode,
+    P::Msg: homonym_core::codec::WireEncode + homonym_core::codec::WireDecode,
     F: ProtocolFactory<P = P>,
 {
     let cfg = params.cfg;

@@ -31,10 +31,12 @@ use std::sync::Arc;
 use std::thread;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
-use homonym_core::codec::WireEncode;
+use homonym_core::codec::{WireDecode, WireEncode};
 use homonym_core::exec::{self, Executor, Sequential};
 use homonym_core::intern::{IdBits, Tok};
+use homonym_core::journal::{self, Journal, MemJournal};
 use homonym_core::spec::{self, Outcome};
+use homonym_core::RecoveryMode;
 use homonym_core::{
     ByzPower, Counting, Deliveries, DeliverySlots, FrameInterner, Id, IdAssignment, Inbox, Pid,
     Protocol, ProtocolFactory, Recipients, Round, SharedEnvelope, SystemConfig,
@@ -46,10 +48,18 @@ use homonym_sim::shards::{
 };
 use homonym_sim::{DropPolicy, NoDrops, RunReport};
 
-enum ToActor<M> {
+enum ToActor<P: Protocol> {
+    /// Replace the actor's automaton (a recovered process rejoins).
+    Restart(P),
     Collect(Round),
-    Deliver(Round, Inbox<M>),
+    Deliver(Round, Inbox<P::Msg>),
     Stop,
+}
+
+/// One scheduled crash/recover event of a single-shot [`Cluster`] run.
+enum ClusterChurn {
+    Crash(Pid),
+    Recover(Pid, RecoveryMode),
 }
 
 enum FromActor<M, V> {
@@ -84,6 +94,7 @@ pub struct Cluster<P: Protocol> {
     byz: BTreeSet<Pid>,
     adversary: Box<dyn Adversary<P::Msg>>,
     drops: Box<dyn DropPolicy>,
+    churn: BTreeMap<u64, Vec<ClusterChurn>>,
 }
 
 impl<P> Cluster<P>
@@ -102,7 +113,30 @@ where
             byz: BTreeSet::new(),
             adversary: Box::new(Silent),
             drops: Box::new(NoDrops),
+            churn: BTreeMap::new(),
         }
+    }
+
+    /// Schedules a crash of `pid` at the start of `round`: its actor
+    /// idles (no sends, inbox drops) and the coordinator's journal for
+    /// it becomes its only surviving state.
+    pub fn crash_at(mut self, round: u64, pid: Pid) -> Self {
+        self.churn
+            .entry(round)
+            .or_default()
+            .push(ClusterChurn::Crash(pid));
+        self
+    }
+
+    /// Schedules a recovery of `pid` at the start of `round` — durable
+    /// (journal replay into a fresh automaton, byte-identical state) or
+    /// amnesiac (fresh spawn consuming the shared `t` fault budget).
+    pub fn recover_at(mut self, round: u64, pid: Pid, mode: RecoveryMode) -> Self {
+        self.churn
+            .entry(round)
+            .or_default()
+            .push(ClusterChurn::Recover(pid, mode));
+        self
     }
 
     /// Declares Byzantine processes and their strategy (runs on the
@@ -144,6 +178,7 @@ where
     pub fn run<F>(mut self, factory: &F, max_rounds: u64) -> RunReport<P::Value>
     where
         F: ProtocolFactory<P = P>,
+        P::Msg: WireEncode + WireDecode,
     {
         let cfg = self.cfg;
         cfg.validate().expect("invalid system configuration");
@@ -161,10 +196,10 @@ where
             Sender<FromActor<P::Msg, P::Value>>,
             Receiver<FromActor<P::Msg, P::Value>>,
         ) = bounded(cfg.n * 2);
-        let mut to_actors: BTreeMap<Pid, Sender<ToActor<P::Msg>>> = BTreeMap::new();
+        let mut to_actors: BTreeMap<Pid, Sender<ToActor<P>>> = BTreeMap::new();
         let mut handles = Vec::new();
         for &pid in &correct {
-            let (to_tx, to_rx) = bounded::<ToActor<P::Msg>>(2);
+            let (to_tx, to_rx) = bounded::<ToActor<P>>(2);
             to_actors.insert(pid, to_tx);
             let from_tx = from_tx.clone();
             let mut proc_ =
@@ -172,6 +207,7 @@ where
             handles.push(thread::spawn(move || {
                 while let Ok(msg) = to_rx.recv() {
                     match msg {
+                        ToActor::Restart(p) => proc_ = p,
                         ToActor::Collect(round) => {
                             let out = proc_.send_shared(round);
                             from_tx
@@ -208,13 +244,87 @@ where
         let mut deliveries: Deliveries<P::Msg> = Deliveries::new(cfg.n);
         let mut frames: FrameInterner<P::Msg> = FrameInterner::new();
 
-        while round.index() < max_rounds && decisions.len() < correct.len() {
+        // Crash-recovery state: coordinator-held journals (one per
+        // correct process, only when a crash is scheduled), the crashed
+        // set, and the amnesiac rejoiners who left the accounting.
+        let mut churn = std::mem::take(&mut self.churn);
+        let mut journals: Option<BTreeMap<Pid, MemJournal>> =
+            (!churn.is_empty()).then(|| correct.iter().map(|&p| (p, MemJournal::new())).collect());
+        let mut crashed: BTreeSet<Pid> = BTreeSet::new();
+        let mut amnesiac: BTreeSet<Pid> = BTreeSet::new();
+        let mut correct_inputs = correct_inputs;
+        let mut journal_scratch: Vec<Vec<(Id, Arc<P::Msg>)>> = Vec::new();
+
+        while round.index() < max_rounds && decisions.len() + amnesiac.len() < correct.len() {
+            // 0. Apply due crash/recover events at the round boundary.
+            let due = churn.split_off(&(round.index() + 1));
+            for ev in std::mem::replace(&mut churn, due).into_values().flatten() {
+                match ev {
+                    ClusterChurn::Crash(pid) => {
+                        assert!(
+                            to_actors.contains_key(&pid) && !crashed.contains(&pid),
+                            "cannot crash {pid}: not a live correct process"
+                        );
+                        crashed.insert(pid);
+                    }
+                    ClusterChurn::Recover(pid, mode) => {
+                        assert!(crashed.contains(&pid), "{pid} is not crashed");
+                        let id = self.assignment.id_of(pid);
+                        let input = self.inputs[pid.index()].clone();
+                        let p = match mode {
+                            RecoveryMode::Durable => {
+                                let journal = journals
+                                    .as_ref()
+                                    .and_then(|j| j.get(&pid))
+                                    .expect("journal for crashed pid");
+                                let recovered = journal.recover();
+                                assert!(
+                                    recovered.damage.is_none(),
+                                    "journal of {pid} damaged: {:?}",
+                                    recovered.damage
+                                );
+                                let entries = journal::decode_entries::<P::Msg>(&recovered.records)
+                                    .expect("journal entries decode");
+                                let mut p = factory.spawn(id, input);
+                                journal::replay(&mut p, entries, cfg.counting)
+                                    .expect("journal replay");
+                                p
+                            }
+                            RecoveryMode::Amnesiac => {
+                                assert!(
+                                    self.byz.len() + amnesiac.len() + 1 <= cfg.t,
+                                    "fault budget exceeded: {} > t = {}",
+                                    self.byz.len() + amnesiac.len() + 1,
+                                    cfg.t
+                                );
+                                amnesiac.insert(pid);
+                                correct_inputs.remove(&pid);
+                                decisions.remove(&pid);
+                                if let Some(journal) =
+                                    journals.as_mut().and_then(|j| j.get_mut(&pid))
+                                {
+                                    journal.reset().expect("journal reset");
+                                }
+                                factory.spawn(id, input)
+                            }
+                        };
+                        crashed.remove(&pid);
+                        to_actors[&pid]
+                            .send(ToActor::Restart(p))
+                            .expect("actor alive");
+                    }
+                }
+            }
+
             // 1. Collect correct sends (in parallel across actors).
-            for tx in to_actors.values() {
-                tx.send(ToActor::Collect(round)).expect("actor alive");
+            let live = correct.len() - crashed.len();
+            for (pid, tx) in &to_actors {
+                if !crashed.contains(pid) {
+                    tx.send(ToActor::Collect(round)).expect("actor alive");
+                }
             }
             let mut sends: BTreeMap<Pid, Vec<(Recipients, Arc<P::Msg>)>> = BTreeMap::new();
-            for _ in 0..correct.len() {
+            for _ in 0..live {
                 match from_rx.recv().expect("actor alive") {
                     FromActor::Sends(pid, out) => {
                         sends.insert(pid, out);
@@ -271,31 +381,64 @@ where
                 }
             }
 
-            // 3. Drops and routing into the dense buckets.
+            // 3. Drops and routing into the dense buckets. The stateful
+            // drop policy is queried before the crash filter so its RNG
+            // stream stays in lockstep with an uninterrupted run.
+            if journals.is_some() {
+                journal_scratch.resize_with(cfg.n, Vec::new);
+                for buf in &mut journal_scratch {
+                    buf.clear();
+                }
+            }
             for (from, src_id, to, msg, tok) in wires.drain(..) {
                 let is_self = from == to;
                 if !is_self {
                     messages_sent += 1;
-                    if self.drops.drops(round, from, to) {
+                    let policy_drop = self.drops.drops(round, from, to);
+                    if policy_drop || crashed.contains(&to) {
                         messages_dropped += 1;
                         continue;
                     }
                     messages_delivered += 1;
+                } else if crashed.contains(&to) {
+                    continue;
+                }
+                if journals.is_some() && to_actors.contains_key(&to) {
+                    journal_scratch[to.index()].push((src_id, Arc::clone(&msg)));
                 }
                 deliveries.push(to, SharedEnvelope::framed(src_id, msg, tok));
+            }
+            if let Some(j) = &mut journals {
+                for (&pid, journal) in j.iter_mut() {
+                    if crashed.contains(&pid) {
+                        continue; // not executing this round
+                    }
+                    let entry =
+                        journal::encode_deliveries_entry(round, &journal_scratch[pid.index()]);
+                    journal
+                        .append(&entry)
+                        .and_then(|()| journal.sync())
+                        .expect("journal append failed");
+                }
             }
 
             // 4. Deliver to actors; collect decisions.
             for (&pid, tx) in &to_actors {
+                if crashed.contains(&pid) {
+                    continue;
+                }
                 let inbox = deliveries.take_inbox(pid, cfg.counting);
                 tx.send(ToActor::Deliver(round, inbox))
                     .expect("actor alive");
             }
             let mut round_bits = 0u64;
-            for _ in 0..correct.len() {
+            for _ in 0..live {
                 match from_rx.recv().expect("actor alive") {
                     FromActor::Received(pid, decision, bits) => {
                         round_bits += bits;
+                        if amnesiac.contains(&pid) {
+                            continue; // left the accounting
+                        }
                         if let Some(v) = decision {
                             match decisions.get(&pid) {
                                 None => {
@@ -343,7 +486,7 @@ where
         };
         let verdict = spec::check(&outcome);
         RunReport {
-            all_decided_round: (decisions.len() == correct.len())
+            all_decided_round: (decisions.len() + amnesiac.len() == correct.len())
                 .then(|| decisions.values().map(|&(_, r)| r).max())
                 .flatten(),
             outcome,
@@ -538,7 +681,7 @@ impl<P, E> ShardedCluster<P, E>
 where
     P: Protocol + Send + 'static,
     P::Value: Send,
-    P::Msg: WireEncode,
+    P::Msg: WireEncode + WireDecode,
     E: Executor,
 {
     /// Spawns one thread per process of every shard and runs global
@@ -674,6 +817,27 @@ where
                             }
                         }
                     }
+                    // Crash/recover: the core validates and (for durable
+                    // recoveries) replays the journal into a fresh
+                    // automaton; a crashed pid's actor simply idles —
+                    // never collected from or delivered to — until a
+                    // Restart ships the recovered automaton back.
+                    ChurnOp::Crash(sid, pid) => {
+                        shards[sid.index()]
+                            .core
+                            .crash(pid)
+                            .expect("churn plan crash failed");
+                    }
+                    ChurnOp::Recover(sid, pid, mode) => {
+                        let shard = &mut shards[sid.index()];
+                        let p = shard
+                            .core
+                            .recover(pid, mode)
+                            .expect("churn plan recover failed");
+                        shard.txs[&pid]
+                            .send(ToShardActor::Restart(p))
+                            .expect("actor alive");
+                    }
                 }
             }
             if !shards.iter().any(|s| s.core.active) && !churn.has_pending_after(tick) {
@@ -687,12 +851,12 @@ where
                 if !shard.core.active {
                     continue;
                 }
-                for pid in &shard.core.correct {
-                    shard.txs[pid]
+                for pid in shard.core.live() {
+                    shard.txs[&pid]
                         .send(ToShardActor::Collect(shard.core.round))
                         .expect("actor alive");
                 }
-                expected += shard.core.correct.len();
+                expected += shard.core.live_len();
             }
             for _ in 0..expected {
                 match from_rx.recv().expect("actor alive") {
@@ -719,14 +883,13 @@ where
                         send_scratch,
                         ..
                     } = shard;
-                    let ranges = exec::chunk_ranges(core.correct.len(), workers);
+                    let ranges = exec::chunk_ranges(core.live_len(), workers);
                     if send_scratch.len() < ranges.len() {
                         send_scratch.resize_with(ranges.len(), Default::default);
                     }
                     let outs: Vec<(Pid, Vec<(Recipients, Arc<P::Msg>)>)> = core
-                        .correct
-                        .iter()
-                        .map(|&pid| (pid, sends.remove(&pid).expect("send collected")))
+                        .live()
+                        .map(|pid| (pid, sends.remove(&pid).expect("send collected")))
                         .collect();
                     ctxs.push(SendCtx {
                         shard: ShardId::new(s),
@@ -775,7 +938,7 @@ where
                     ..
                 } = shard;
                 wires.clear();
-                let chunks = exec::chunk_ranges(core.correct.len(), workers).len();
+                let chunks = exec::chunk_ranges(core.live_len(), workers).len();
                 for scratch in send_scratch.iter_mut().take(chunks) {
                     scratch.drain_into(wires);
                 }
@@ -813,10 +976,9 @@ where
                     let chunk_txs = ranges
                         .iter()
                         .map(|range| {
-                            core.correct
-                                .iter()
+                            core.live()
                                 .filter(|pid| range.contains(&pid.index()))
-                                .map(|&pid| (pid, txs[&pid].clone()))
+                                .map(|pid| (pid, txs[&pid].clone()))
                                 .collect()
                         })
                         .collect();

@@ -21,10 +21,11 @@ use std::sync::Arc;
 
 use homonym_core::exec::{self, Executor, Sequential};
 use homonym_core::intern::IdBits;
+use homonym_core::journal::{self, Journal, MemJournal};
 use homonym_core::spec::{self, Outcome, Verdict};
 use homonym_core::{
-    Deliveries, FrameInterner, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory, Round,
-    SystemConfig,
+    Deliveries, FrameInterner, Id, IdAssignment, Inbox, Pid, Protocol, ProtocolFactory,
+    RecoveryMode, Round, SystemConfig, WireDecode, WireEncode,
 };
 
 use crate::adversary::{AdvCtx, Adversary, Silent};
@@ -41,10 +42,10 @@ use crate::trace::{Delivery, Trace};
 /// breach in their reports.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChurnError {
-    /// Turning these processes would push the ever-Byzantine count past
-    /// the fault budget `t`.
+    /// The event would push the ever-faulty count — Byzantine processes
+    /// plus amnesiac-recovered crashers, who share one budget — past `t`.
     BudgetExceeded {
-        /// The ever-Byzantine count the event would have produced.
+        /// The ever-faulty count the event would have produced.
         would_be: usize,
         /// The configured fault budget.
         t: usize,
@@ -53,16 +54,28 @@ pub enum ChurnError {
     UnknownPid(Pid),
     /// The named process is already Byzantine.
     AlreadyByzantine(Pid),
+    /// The named process is already crashed.
+    AlreadyCrashed(Pid),
+    /// A recovery was requested for a process that is not crashed.
+    NotCrashed(Pid),
+    /// A durable recovery could not restore the process (no journal, a
+    /// corrupt journal, or an undecodable snapshot). The engine's state
+    /// is unchanged; the caller may fall back to an amnesiac rejoin,
+    /// which consumes fault budget.
+    RecoveryFailed(String),
 }
 
 impl std::fmt::Display for ChurnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ChurnError::BudgetExceeded { would_be, t } => {
-                write!(f, "byzantine budget exceeded: {would_be} > t = {t}")
+                write!(f, "fault budget exceeded: {would_be} > t = {t}")
             }
             ChurnError::UnknownPid(pid) => write!(f, "unknown process {pid:?}"),
             ChurnError::AlreadyByzantine(pid) => write!(f, "{pid:?} is already byzantine"),
+            ChurnError::AlreadyCrashed(pid) => write!(f, "{pid:?} is already crashed"),
+            ChurnError::NotCrashed(pid) => write!(f, "{pid:?} is not crashed"),
+            ChurnError::RecoveryFailed(why) => write!(f, "recovery failed: {why}"),
         }
     }
 }
@@ -95,6 +108,22 @@ pub struct RunReport<V> {
     pub peak_state_bits: u64,
 }
 
+/// Encodes one round's delivered envelopes as a journal record — a
+/// monomorphized function pointer captured by
+/// [`SimulationBuilder::durable`], which is where the `Msg: WireEncode`
+/// bound is checked (the hot `step` path itself carries no codec bounds).
+type DeliveriesEncoder<P> = fn(Round, &[(Id, Arc<<P as Protocol>::Msg>)]) -> Vec<u8>;
+
+/// Per-process durability state: one journal per correct process, a
+/// snapshot cadence, and the codec hook.
+struct Durability<P: Protocol> {
+    journals: BTreeMap<Pid, Box<dyn Journal + Send>>,
+    snapshot_every: u64,
+    encode: DeliveriesEncoder<P>,
+    /// Per-recipient envelope buffers, reused across rounds.
+    scratch: Vec<Vec<(Id, Arc<P::Msg>)>>,
+}
+
 /// Builder for [`Simulation`]; see [`Simulation::builder`].
 pub struct SimulationBuilder<P: Protocol, E: Executor = Sequential> {
     cfg: SystemConfig,
@@ -105,6 +134,7 @@ pub struct SimulationBuilder<P: Protocol, E: Executor = Sequential> {
     drops: Box<dyn DropPolicy>,
     topology: Topology,
     record_trace: bool,
+    durable: Option<(u64, DeliveriesEncoder<P>)>,
     exec: E,
 }
 
@@ -123,8 +153,29 @@ impl<P: Protocol, E: Executor> SimulationBuilder<P, E> {
             drops: self.drops,
             topology: self.topology,
             record_trace: self.record_trace,
+            durable: self.durable,
             exec,
         }
+    }
+
+    /// Enables durable journaling: every correct process journals its
+    /// per-round deliveries (in-memory by default — see
+    /// [`Simulation::install_journal`] for a file-backed WAL) and, when
+    /// `snapshot_every > 0` and the protocol supports snapshots, a state
+    /// snapshot every `snapshot_every` rounds. A crashed process can then
+    /// rejoin bit-exact via
+    /// [`recover_with`](Simulation::recover_with)
+    /// ([`RecoveryMode::Durable`]). Without this, crashed processes can
+    /// only rejoin amnesiac (consuming fault budget).
+    pub fn durable(mut self, snapshot_every: u64) -> Self
+    where
+        P::Msg: WireEncode,
+    {
+        self.durable = Some((
+            snapshot_every,
+            journal::encode_deliveries_entry::<P::Msg> as DeliveriesEncoder<P>,
+        ));
+        self
     }
     /// Declares the Byzantine processes and the strategy controlling them.
     ///
@@ -211,12 +262,25 @@ impl<P: Protocol, E: Executor> SimulationBuilder<P, E> {
             .filter(|(pid, _)| !self.byz.contains(pid))
             .map(|(pid, _)| (pid, self.inputs[pid.index()].clone()))
             .collect();
+        let durability = self.durable.map(|(snapshot_every, encode)| Durability {
+            journals: procs
+                .keys()
+                .map(|&pid| (pid, Box::new(MemJournal::new()) as Box<dyn Journal + Send>))
+                .collect(),
+            snapshot_every,
+            encode,
+            scratch: Vec::new(),
+        });
         let n = self.cfg.n;
         Simulation {
             cfg: self.cfg,
             assignment: self.assignment,
+            spawn_inputs: self.inputs,
             inputs,
             procs,
+            crashed: BTreeSet::new(),
+            amnesiac: BTreeSet::new(),
+            durability,
             byz: self.byz,
             adversary: self.adversary,
             drops: self.drops,
@@ -265,8 +329,21 @@ impl<P: Protocol, E: Executor> SimulationBuilder<P, E> {
 pub struct Simulation<P: Protocol, E: Executor = Sequential> {
     cfg: SystemConfig,
     assignment: IdAssignment,
+    /// The full input vector, kept pristine for crash-recovery respawns
+    /// (the `inputs` map below is the spec checker's view and shrinks as
+    /// processes turn faulty).
+    spawn_inputs: Vec<P::Value>,
     inputs: BTreeMap<Pid, P::Value>,
     procs: BTreeMap<Pid, P>,
+    /// Processes currently down: not sending, inbound messages dropped.
+    /// Still *correct* (their inputs and decisions keep counting) — they
+    /// are expected to recover.
+    crashed: BTreeSet<Pid>,
+    /// Processes that rejoined amnesiac: running a correct automaton but
+    /// observably faulty, sharing the `t` budget with `byz`. Their
+    /// decisions are not recorded.
+    amnesiac: BTreeSet<Pid>,
+    durability: Option<Durability<P>>,
     byz: BTreeSet<Pid>,
     adversary: Box<dyn Adversary<P::Msg>>,
     drops: Box<dyn DropPolicy>,
@@ -318,6 +395,7 @@ impl<P: Protocol> Simulation<P> {
             drops: Box::new(NoDrops),
             topology: Topology::complete(cfg.n),
             record_trace: false,
+            durable: None,
             exec: Sequential,
         }
     }
@@ -339,9 +417,16 @@ impl<P: Protocol, E: Executor> Simulation<P, E> {
         self.drops.gst()
     }
 
-    /// Whether every correct process has decided.
+    /// Whether every correct process has decided. Crashed processes are
+    /// still correct (they are expected to recover), so an undecided
+    /// crashed process keeps the run going; amnesiac rejoiners are
+    /// faulty and do not count.
     pub fn all_decided(&self) -> bool {
-        self.decisions.len() == self.procs.len()
+        self.procs
+            .keys()
+            .filter(|p| !self.amnesiac.contains(p))
+            .chain(self.crashed.iter())
+            .all(|p| self.decisions.contains_key(p))
     }
 
     /// The decisions recorded so far.
@@ -377,6 +462,46 @@ impl<P: Protocol, E: Executor> Simulation<P, E> {
     /// The current Byzantine set.
     pub fn byz(&self) -> &BTreeSet<Pid> {
         &self.byz
+    }
+
+    /// The currently crashed processes.
+    pub fn crashed(&self) -> &BTreeSet<Pid> {
+        &self.crashed
+    }
+
+    /// The processes that rejoined amnesiac (ever — the set never
+    /// shrinks; it is the crash half of the shared fault budget).
+    pub fn amnesiac(&self) -> &BTreeSet<Pid> {
+        &self.amnesiac
+    }
+
+    /// The durable journal of `pid`, if durability is enabled and the
+    /// process had one (for inspecting journal sizes and injecting
+    /// faults in tests).
+    pub fn journal(&self, pid: Pid) -> Option<&(dyn Journal + Send)> {
+        self.durability
+            .as_ref()
+            .and_then(|d| d.journals.get(&pid))
+            .map(|j| j.as_ref())
+    }
+
+    /// Replaces `pid`'s journal backend (e.g. with a file-backed
+    /// [`homonym_core::journal::FileWal`]). The new journal should be
+    /// empty — it records from the current round on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if durability is not enabled or `pid` has no journal slot.
+    pub fn install_journal(&mut self, pid: Pid, journal: Box<dyn Journal + Send>) {
+        let dur = self
+            .durability
+            .as_mut()
+            .expect("durability not enabled (SimulationBuilder::durable)");
+        let slot = dur
+            .journals
+            .get_mut(&pid)
+            .unwrap_or_else(|| panic!("no journal slot for {pid}"));
+        *slot = journal;
     }
 
     /// Replaces the drop policy mid-run (a partition forms, a ramp
@@ -422,6 +547,11 @@ impl<P: Protocol, E: Executor> Simulation<P, E> {
     /// On success the turned processes leave the correct set: their
     /// automata are dropped and their inputs and decisions no longer count
     /// for the spec checker.
+    ///
+    /// The budget is *joint*: ever-Byzantine processes and amnesiac
+    /// crash-recoveries draw from the same `|faulty| ≤ t` pool (the
+    /// paper's bounds count processes that are ever faulty, whatever the
+    /// failure mode).
     pub fn try_turn_byzantine(&mut self, pids: &BTreeSet<Pid>) -> Result<(), ChurnError> {
         for &pid in pids {
             if pid.index() >= self.cfg.n {
@@ -431,20 +561,125 @@ impl<P: Protocol, E: Executor> Simulation<P, E> {
                 return Err(ChurnError::AlreadyByzantine(pid));
             }
         }
-        let would_be = self.byz.len() + pids.len();
-        if would_be > self.cfg.t {
-            return Err(ChurnError::BudgetExceeded {
-                would_be,
-                t: self.cfg.t,
-            });
-        }
+        self.check_fault_budget(pids.iter().copied())?;
         for &pid in pids {
             self.byz.insert(pid);
             self.procs.remove(&pid);
             self.inputs.remove(&pid);
             self.decisions.remove(&pid);
+            self.crashed.remove(&pid);
         }
         Ok(())
+    }
+
+    /// The joint fault-budget check shared by Byzantine churn and
+    /// amnesiac recovery: ever-faulty = `byz ∪ amnesiac ∪ extra`.
+    fn check_fault_budget(&self, extra: impl IntoIterator<Item = Pid>) -> Result<(), ChurnError> {
+        let mut ever: BTreeSet<Pid> = self.byz.union(&self.amnesiac).copied().collect();
+        ever.extend(extra);
+        if ever.len() > self.cfg.t {
+            return Err(ChurnError::BudgetExceeded {
+                would_be: ever.len(),
+                t: self.cfg.t,
+            });
+        }
+        Ok(())
+    }
+
+    /// Crashes `pid` at the current round boundary: its automaton leaves
+    /// the run (the journal, if any, is the only surviving state), it
+    /// stops sending, and every message addressed to it drops until it
+    /// recovers. The process is still *correct* — its input and any
+    /// recorded decision keep counting for the spec checker, on the
+    /// expectation that it recovers.
+    pub fn crash(&mut self, pid: Pid) -> Result<(), ChurnError> {
+        if pid.index() >= self.cfg.n {
+            return Err(ChurnError::UnknownPid(pid));
+        }
+        if self.byz.contains(&pid) {
+            return Err(ChurnError::AlreadyByzantine(pid));
+        }
+        if self.crashed.contains(&pid) {
+            return Err(ChurnError::AlreadyCrashed(pid));
+        }
+        self.procs.remove(&pid);
+        self.crashed.insert(pid);
+        Ok(())
+    }
+
+    /// Recovers crashed process `pid` at the current round boundary.
+    ///
+    /// [`RecoveryMode::Durable`] rebuilds the automaton from its durable
+    /// journal: a fresh spawn restores the latest snapshot (if any) and
+    /// replays the journaled rounds after it — determinism makes the
+    /// result byte-identical to the pre-crash state, so the process
+    /// rejoins *correct*, at zero fault-budget cost. A missing, corrupt,
+    /// or undecodable journal yields a typed
+    /// [`ChurnError::RecoveryFailed`] and changes nothing.
+    ///
+    /// [`RecoveryMode::Amnesiac`] respawns from the original input with
+    /// no memory. The rejoin is observably faulty (the process may
+    /// equivocate against its own pre-crash decisions), so it consumes
+    /// one unit of the joint `|faulty| ≤ t` budget — over budget, the
+    /// event is rejected with [`ChurnError::BudgetExceeded`] and nothing
+    /// changes. On success the pid's journal resets (pre-crash history
+    /// must not replay into the fresh automaton) and its input and
+    /// decisions leave the spec checker's view.
+    pub fn recover_with<F>(
+        &mut self,
+        factory: &F,
+        pid: Pid,
+        mode: RecoveryMode,
+    ) -> Result<(), ChurnError>
+    where
+        F: ProtocolFactory<P = P>,
+        P::Msg: WireDecode,
+    {
+        if !self.crashed.contains(&pid) {
+            return Err(ChurnError::NotCrashed(pid));
+        }
+        let id = self.assignment.id_of(pid);
+        let input = self.spawn_inputs[pid.index()].clone();
+        match mode {
+            RecoveryMode::Amnesiac => {
+                self.check_fault_budget([pid])?;
+                if let Some(dur) = &mut self.durability {
+                    if let Some(j) = dur.journals.get_mut(&pid) {
+                        j.reset()
+                            .map_err(|e| ChurnError::RecoveryFailed(e.to_string()))?;
+                    }
+                }
+                self.amnesiac.insert(pid);
+                self.inputs.remove(&pid);
+                self.decisions.remove(&pid);
+                self.crashed.remove(&pid);
+                self.procs.insert(pid, factory.spawn(id, input));
+                Ok(())
+            }
+            RecoveryMode::Durable => {
+                let dur = self.durability.as_ref().ok_or_else(|| {
+                    ChurnError::RecoveryFailed(
+                        "durability not enabled (SimulationBuilder::durable)".into(),
+                    )
+                })?;
+                let journal = dur
+                    .journals
+                    .get(&pid)
+                    .ok_or_else(|| ChurnError::RecoveryFailed(format!("no journal for {pid}")))?;
+                let recovered = journal.recover();
+                if let Some(damage) = recovered.damage {
+                    return Err(ChurnError::RecoveryFailed(damage.to_string()));
+                }
+                let entries = journal::decode_entries::<P::Msg>(&recovered.records)
+                    .map_err(|e| ChurnError::RecoveryFailed(e.to_string()))?;
+                let mut automaton = factory.spawn(id, input);
+                journal::replay(&mut automaton, entries, self.cfg.counting)
+                    .map_err(|e| ChurnError::RecoveryFailed(e.to_string()))?;
+                self.crashed.remove(&pid);
+                self.procs.insert(pid, automaton);
+                Ok(())
+            }
+        }
     }
 
     /// Executes one round: correct sends, adversary sends, topology /
@@ -534,10 +769,12 @@ impl<P: Protocol, E: Executor> Simulation<P, E> {
         //    observable); the delivery itself happens in the chunked
         //    phase 4, reading the plan concurrently.
         let trace = &mut self.trace;
+        let down = (!self.crashed.is_empty()).then_some(&self.crashed);
         let tallies = par::plan_routes(
             &self.wires,
             r,
             &self.topology,
+            down,
             self.drops.as_mut(),
             &mut self.route_plan,
             |wire, dropped| {
@@ -599,6 +836,12 @@ impl<P: Protocol, E: Executor> Simulation<P, E> {
         for out in self.recv_out.iter_mut().take(ranges.len()) {
             for (pid, decision, bits) in out.drain(..) {
                 total_bits += bits;
+                if self.amnesiac.contains(&pid) {
+                    // An amnesiac rejoiner is faulty: it runs a correct
+                    // automaton but its decisions don't count (and may
+                    // contradict its own pre-crash decision).
+                    continue;
+                }
                 if let Some(v) = decision {
                     match self.decisions.get(&pid) {
                         None => {
@@ -621,6 +864,40 @@ impl<P: Protocol, E: Executor> Simulation<P, E> {
         // prove their O(1) steady-state memory through this counter.
         self.state_bits = total_bits;
         self.peak_state_bits = self.peak_state_bits.max(self.state_bits);
+
+        // Journal this round's deliveries (and, at the snapshot cadence,
+        // each process's post-receive state) and make them durable. One
+        // entry per live process per round — `send` mutates state, so
+        // recovery replay must re-run even empty-inbox rounds.
+        if let Some(dur) = &mut self.durability {
+            if dur.scratch.len() < self.cfg.n {
+                dur.scratch.resize_with(self.cfg.n, Vec::new);
+            }
+            for buf in &mut dur.scratch {
+                buf.clear();
+            }
+            for (wire, &ok) in self.wires.iter().zip(&self.route_plan) {
+                if ok {
+                    dur.scratch[wire.to.index()].push((wire.src, Arc::clone(&wire.msg)));
+                }
+            }
+            let boundary = dur.snapshot_every > 0 && (r.index() + 1) % dur.snapshot_every == 0;
+            for (&pid, journal) in dur.journals.iter_mut() {
+                let Some(proc_) = self.procs.get(&pid) else {
+                    continue; // crashed or turned: journal idles
+                };
+                let record = (dur.encode)(r, &dur.scratch[pid.index()]);
+                journal.append(&record).expect("journal append failed");
+                if boundary {
+                    if let Some(bytes) = proc_.snapshot() {
+                        journal
+                            .append(&journal::encode_snapshot_entry(r.next(), &bytes))
+                            .expect("journal append failed");
+                    }
+                }
+                journal.sync().expect("journal sync failed");
+            }
+        }
 
         // 5. Tell the adversary what its processes received.
         let byz_inboxes: BTreeMap<Pid, Inbox<P::Msg>> = self

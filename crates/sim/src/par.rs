@@ -237,18 +237,24 @@ pub struct RouteTallies {
 }
 
 /// The route phase: walks the wire list **in order** on the coordinating
-/// thread, applying topology and the (stateful) drop policy, and writes
-/// the per-wire delivery plan the receive chunks will read concurrently.
-/// `record` is called for every *attempted* delivery (topology-connected
-/// wire) in routing order — the trace hook.
+/// thread, applying topology, the (stateful) drop policy, and the set of
+/// crashed (`down`) processes, and writes the per-wire delivery plan the
+/// receive chunks will read concurrently. `record` is called for every
+/// *attempted* delivery (topology-connected wire) in routing order — the
+/// trace hook.
 ///
 /// This pass is deliberately sequential: [`DropPolicy::drops`] may
 /// consume one RNG draw per queried message, so query order is
-/// observable and must match the sequential engine exactly.
+/// observable and must match the sequential engine exactly. For the same
+/// reason the policy is queried even for wires addressed to a crashed
+/// process *before* the crash filter forces the drop — the policy's RNG
+/// stream stays in lockstep with the uninterrupted run, which is what
+/// makes zero-gap crash/recover byte-identical to it.
 pub fn plan_routes<M>(
     wires: &[ShardWire<M>],
     r: Round,
     topology: &Topology,
+    down: Option<&BTreeSet<Pid>>,
     drops: &mut dyn DropPolicy,
     plan: &mut Vec<bool>,
     mut record: impl FnMut(&ShardWire<M>, bool),
@@ -270,7 +276,8 @@ pub fn plan_routes<M>(
             tallies.sent += 1;
             tallies.bits += wire.bits;
         }
-        let dropped = !is_self && drops.drops(r, wire.from, wire.to);
+        let downed = down.is_some_and(|d| d.contains(&wire.to) || d.contains(&wire.from));
+        let dropped = !is_self && (drops.drops(r, wire.from, wire.to) || downed);
         record(wire, dropped);
         if dropped {
             tallies.dropped += 1;

@@ -20,10 +20,12 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
+use homonym_core::codec::{WireDecode, WireEncode};
 use homonym_core::exec::{Executor, Sequential};
 use homonym_core::scenario::{stream, sub_seed, DropSpec, Schedule, ScheduleEvent, StrategyKind};
 use homonym_core::{
-    Id, IdAssignment, Message, Pid, Protocol, ProtocolFactory, Round, Synchrony, SystemConfig,
+    Id, IdAssignment, Message, Pid, Protocol, ProtocolFactory, RecoveryMode, Round, Synchrony,
+    SystemConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -306,6 +308,29 @@ impl Scenario {
                 _ => {}
             }
         }
+
+        // Crash/recover pair, from its own sub-stream. Durable recovery
+        // is free (journal replay); an amnesiac rejoin spends one unit of
+        // the shared fault budget, so it is only drawn when budget
+        // remains. The crash is pushed before the recovery, so a
+        // zero-gap pair applies in crash-then-recover order at its round.
+        let mut c_rng = StdRng::seed_from_u64(sub_seed(seed, stream::CRASHES));
+        if horizon >= 4 && !pool.is_empty() && c_rng.gen_bool(0.5) {
+            let k = c_rng.gen_range(0..pool.len());
+            let pid = pool.swap_remove(k);
+            let at = c_rng.gen_range(1..horizon - 2);
+            let gap = c_rng.gen_range(0..=2u64);
+            let mode = if budget > 0 && c_rng.gen_bool(0.25) {
+                RecoveryMode::Amnesiac
+            } else {
+                RecoveryMode::Durable
+            };
+            schedule.push(Round::new(at), ScheduleEvent::Crash { pid });
+            schedule.push(
+                Round::new((at + gap).min(horizon - 1)),
+                ScheduleEvent::Recover { pid, mode },
+            );
+        }
         schedule.normalize();
 
         Scenario {
@@ -450,6 +475,7 @@ fn topology_minus(n: usize, cut: &BTreeSet<(Pid, Pid)>) -> Topology {
 pub fn run_scenario<P, F>(scenario: &Scenario, factory: &F) -> ScenarioReport
 where
     P: Protocol<Value = bool> + Send + 'static,
+    P::Msg: WireEncode + WireDecode,
     F: ProtocolFactory<P = P>,
 {
     run_scenario_with(scenario, factory, Sequential)
@@ -463,6 +489,7 @@ where
 pub fn run_scenario_with<P, F, E>(scenario: &Scenario, factory: &F, exec: E) -> ScenarioReport
 where
     P: Protocol<Value = bool> + Send + 'static,
+    P::Msg: WireEncode + WireDecode,
     F: ProtocolFactory<P = P>,
     E: Executor,
 {
@@ -474,7 +501,14 @@ where
         &scenario.assignment,
         &scenario.init_byz,
     );
-    let mut sim = Simulation::builder(
+    // Journaling is only paid for when the schedule can actually crash
+    // someone (durable recovery needs the journals).
+    let has_crash = scenario
+        .schedule
+        .events
+        .iter()
+        .any(|te| matches!(te.event, ScheduleEvent::Crash { .. }));
+    let mut builder = Simulation::builder(
         scenario.cfg,
         scenario.assignment.clone(),
         scenario.inputs.clone(),
@@ -482,8 +516,11 @@ where
     .byzantine(scenario.init_byz.clone(), adversary)
     .drops(materialize_drops(&scenario.init_drops, seed))
     .record_trace(true)
-    .executor(exec)
-    .build_with(factory);
+    .executor(exec);
+    if has_crash {
+        builder = builder.durable(0);
+    }
+    let mut sim = builder.build_with(factory);
 
     let horizon = scenario.schedule.horizon.index();
     let mut breach: Option<(Round, String)> = None;
@@ -521,6 +558,18 @@ where
                 ScheduleEvent::SetTopology { cut } => {
                     sim.set_topology(topology_minus(scenario.cfg.n, cut));
                 }
+                ScheduleEvent::Crash { pid } => {
+                    if let Err(e) = sim.crash(*pid) {
+                        breach = Some((r, e.to_string()));
+                        break 'run;
+                    }
+                }
+                ScheduleEvent::Recover { pid, mode } => {
+                    if let Err(e) = sim.recover_with(factory, *pid, *mode) {
+                        breach = Some((r, e.to_string()));
+                        break 'run;
+                    }
+                }
                 ScheduleEvent::ShardAbort { .. } | ScheduleEvent::ShardEnqueue { .. } => {}
             }
         }
@@ -556,6 +605,7 @@ where
 pub fn shrink<P, F>(scenario: &Scenario, factory: &F, target: &ScenarioVerdict) -> Scenario
 where
     P: Protocol<Value = bool> + Send + 'static,
+    P::Msg: WireEncode + WireDecode,
     F: ProtocolFactory<P = P>,
 {
     let matches = |cand: &Scenario| run_scenario::<P, F>(cand, factory).verdict == *target;

@@ -41,18 +41,19 @@ use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
 
-use homonym_core::codec::{self, WireEncode};
+use homonym_core::codec::{self, WireDecode, WireEncode};
 use homonym_core::exec::{self, Executor, Sequential};
 use homonym_core::intern::{IdBits, Tok};
+use homonym_core::journal::{self, Journal, MemJournal};
 use homonym_core::spec::{self, Outcome};
 use homonym_core::{
     Counting, Deliveries, DeliverySlots, FrameInterner, Id, IdAssignment, Inbox, Pid, Protocol,
-    ProtocolFactory, Round, SystemConfig,
+    ProtocolFactory, RecoveryMode, Round, SystemConfig,
 };
 
 use crate::adversary::{AdvCtx, Adversary, Silent};
 use crate::drops::{DropPolicy, NoDrops};
-use crate::engine::RunReport;
+use crate::engine::{ChurnError, RunReport};
 use crate::par::{self, SendScratch};
 use crate::topology::Topology;
 use crate::trace::{Delivery, Trace};
@@ -148,6 +149,9 @@ pub struct ShardSpec<P: Protocol> {
     pub topology: Topology,
     /// The shots to run, in order.
     pub shots: VecDeque<ShotSpec<P>>,
+    /// Whether every correct process journals its execution so crashed
+    /// processes can be recovered durably (default: off).
+    pub durable: bool,
 }
 
 impl<P: Protocol> ShardSpec<P> {
@@ -160,7 +164,15 @@ impl<P: Protocol> ShardSpec<P> {
             assignment,
             topology: Topology::complete(n),
             shots: VecDeque::new(),
+            durable: false,
         }
+    }
+
+    /// Turns on per-process journaling, so [`ChurnOp::Crash`]ed processes
+    /// can be [`ChurnOp::Recover`]ed durably (journal replay).
+    pub fn durable(mut self) -> Self {
+        self.durable = true;
+        self
     }
 
     /// Installs a topology.
@@ -358,12 +370,31 @@ pub struct ShardCore<P: Protocol> {
     pub offset: usize,
     /// The current shot's position in the queue (0-based).
     pub shot: usize,
-    /// The correct processes of the current shot, ascending.
+    /// The correct processes of the current shot, ascending. Amnesiac
+    /// rejoiners stay here (they keep executing rounds) but leave
+    /// [`inputs`](ShardCore::inputs) and the decision accounting.
     pub correct: Vec<Pid>,
     /// The correct processes' inputs (for the outcome checker).
     pub inputs: BTreeMap<Pid, P::Value>,
+    /// The shot's full input vector, untouched by churn — recoveries
+    /// respawn from here even after the spec view dropped the pid.
+    spawn_inputs: Vec<P::Value>,
     /// The Byzantine processes of the current shot.
     pub byz: BTreeSet<Pid>,
+    /// The currently crashed processes of the current shot (their
+    /// automata are removed by the engine; the core force-drops their
+    /// wires and suspends their journals).
+    pub crashed: BTreeSet<Pid>,
+    /// The processes that rejoined amnesiac this shot — they share the
+    /// `t` fault budget with the Byzantine set and leave the shot's
+    /// correctness accounting.
+    pub amnesiac: BTreeSet<Pid>,
+    /// Whether this shard journals deliveries for durable recovery.
+    pub durable: bool,
+    /// Per-process journals (populated per shot when `durable`).
+    journals: BTreeMap<Pid, Box<dyn Journal + Send>>,
+    /// Per-pid delivery staging for the journaling pass (reused).
+    journal_scratch: Vec<Vec<(Id, Arc<P::Msg>)>>,
     /// The strategy controlling the Byzantine processes.
     pub adversary: Box<dyn Adversary<P::Msg> + Send>,
     /// The current shot's drop policy.
@@ -432,7 +463,13 @@ impl<P: Protocol> ShardCore<P> {
             shot: 0,
             correct: Vec::new(),
             inputs: BTreeMap::new(),
+            spawn_inputs: Vec::new(),
             byz: BTreeSet::new(),
+            crashed: BTreeSet::new(),
+            amnesiac: BTreeSet::new(),
+            durable: spec.durable,
+            journals: BTreeMap::new(),
+            journal_scratch: Vec::new(),
             adversary: Box::new(Silent),
             drops: Box::new(NoDrops),
             horizon: None,
@@ -491,7 +528,21 @@ impl<P: Protocol> ShardCore<P> {
             .iter()
             .map(|&pid| (pid, spec.inputs[pid.index()].clone()))
             .collect();
+        self.spawn_inputs = spec.inputs;
         self.byz = spec.byz;
+        self.crashed = BTreeSet::new();
+        self.amnesiac = BTreeSet::new();
+        self.journals = if self.durable {
+            self.correct
+                .iter()
+                .map(|&pid| {
+                    let journal: Box<dyn Journal + Send> = Box::new(MemJournal::new());
+                    (pid, journal)
+                })
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
         self.adversary = spec.adversary;
         self.drops = spec.drops;
         self.horizon = spec.horizon;
@@ -509,8 +560,25 @@ impl<P: Protocol> ShardCore<P> {
     }
 
     /// Whether every correct process of the live shot has decided.
+    /// Amnesiac rejoiners left the accounting; currently crashed
+    /// processes still count (the shot waits for them to recover and
+    /// decide, or runs to its horizon).
     pub fn all_decided(&self) -> bool {
-        self.decisions.len() == self.correct.len()
+        self.decisions.len() + self.amnesiac.len() == self.correct.len()
+    }
+
+    /// The processes currently executing rounds: the correct set
+    /// (including amnesiac rejoiners) minus the currently crashed.
+    pub fn live(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.correct
+            .iter()
+            .copied()
+            .filter(move |p| !self.crashed.contains(p))
+    }
+
+    /// The number of processes currently executing rounds.
+    pub fn live_len(&self) -> usize {
+        self.correct.len() - self.crashed.len()
     }
 
     /// Records one round's total [`Protocol::state_bits`] across the
@@ -527,6 +595,9 @@ impl<P: Protocol> ShardCore<P> {
     ///
     /// Panics if the decision changes (a protocol bug).
     pub fn record_decision(&mut self, pid: Pid, v: P::Value) {
+        if self.amnesiac.contains(&pid) {
+            return; // left the shot's correctness accounting
+        }
         match self.decisions.get(&pid) {
             None => {
                 self.decisions.insert(pid, (v, self.round));
@@ -685,10 +756,12 @@ impl<P: Protocol> ShardCore<P> {
             wires,
         );
         par::stamp_toks(&mut self.frames, wires);
+        let down = (!self.crashed.is_empty()).then_some(&self.crashed);
         let tallies = par::plan_routes(
             wires,
             self.round,
             &self.topology,
+            down,
             self.drops.as_mut(),
             route_plan,
             record,
@@ -697,6 +770,118 @@ impl<P: Protocol> ShardCore<P> {
         self.messages_delivered += tallies.delivered;
         self.messages_dropped += tallies.dropped;
         self.bits_sent += tallies.bits;
+        self.journal_deliveries(wires, route_plan);
+    }
+
+    /// Journals this round's planned deliveries, one [`Deliveries`
+    /// entry](journal::JournalEntry::Deliveries) per live journaled
+    /// process (even when its inbox is empty — sending mutates state, so
+    /// every executed round must replay). No-op unless the shard is
+    /// durable.
+    fn journal_deliveries(&mut self, wires: &[ShardWire<P::Msg>], plan: &[bool])
+    where
+        P::Msg: WireEncode,
+    {
+        if self.journals.is_empty() {
+            return;
+        }
+        let n = self.cfg.n;
+        self.journal_scratch.resize_with(n, Vec::new);
+        for buf in &mut self.journal_scratch {
+            buf.clear();
+        }
+        for (wire, &deliver) in wires.iter().zip(plan) {
+            if deliver && self.journals.contains_key(&wire.to) {
+                self.journal_scratch[wire.to.index()].push((wire.src, Arc::clone(&wire.msg)));
+            }
+        }
+        for (&pid, journal) in &mut self.journals {
+            if self.crashed.contains(&pid) {
+                continue; // not executing this round: nothing to replay
+            }
+            let entry =
+                journal::encode_deliveries_entry(self.round, &self.journal_scratch[pid.index()]);
+            journal
+                .append(&entry)
+                .and_then(|()| journal.sync())
+                .expect("journal append failed");
+        }
+    }
+
+    /// Marks `pid` crashed: its wires are force-dropped from the next
+    /// route pass on and its journal is suspended. The engine must drop
+    /// the pid's automaton itself (the core never holds automata).
+    pub fn crash(&mut self, pid: Pid) -> Result<(), ChurnError> {
+        if pid.index() >= self.cfg.n {
+            return Err(ChurnError::UnknownPid(pid));
+        }
+        if self.byz.contains(&pid) {
+            return Err(ChurnError::AlreadyByzantine(pid));
+        }
+        if self.crashed.contains(&pid) {
+            return Err(ChurnError::AlreadyCrashed(pid));
+        }
+        self.crashed.insert(pid);
+        Ok(())
+    }
+
+    /// Recovers a crashed `pid`, returning the automaton the engine must
+    /// place back where its automata live.
+    ///
+    /// [`Durable`](RecoveryMode::Durable) replays the pid's journal into
+    /// a fresh spawn — byte-identical state, no budget cost — and fails
+    /// with [`ChurnError::RecoveryFailed`] (state unchanged) if the
+    /// shard is not durable or the journal is damaged.
+    /// [`Amnesiac`](RecoveryMode::Amnesiac) rejoins with a fresh spawn,
+    /// consuming the shared `|byz ∪ amnesiac| ≤ t` fault budget and
+    /// leaving the shot's correctness accounting.
+    pub fn recover(&mut self, pid: Pid, mode: RecoveryMode) -> Result<P, ChurnError>
+    where
+        P::Msg: WireDecode,
+    {
+        if !self.crashed.contains(&pid) {
+            return Err(ChurnError::NotCrashed(pid));
+        }
+        let id = self.assignment.id_of(pid);
+        let input = self.spawn_inputs[pid.index()].clone();
+        match mode {
+            RecoveryMode::Amnesiac => {
+                let mut ever: BTreeSet<Pid> = self.byz.union(&self.amnesiac).copied().collect();
+                ever.insert(pid);
+                if ever.len() > self.cfg.t {
+                    return Err(ChurnError::BudgetExceeded {
+                        would_be: ever.len(),
+                        t: self.cfg.t,
+                    });
+                }
+                self.crashed.remove(&pid);
+                self.amnesiac.insert(pid);
+                self.inputs.remove(&pid);
+                self.decisions.remove(&pid);
+                if let Some(journal) = self.journals.get_mut(&pid) {
+                    journal.reset().expect("journal reset failed");
+                }
+                Ok(self.factory.spawn(id, input))
+            }
+            RecoveryMode::Durable => {
+                let Some(journal) = self.journals.get(&pid) else {
+                    return Err(ChurnError::RecoveryFailed(format!(
+                        "no journal for {pid} (shard not durable)"
+                    )));
+                };
+                let recovered = journal.recover();
+                if let Some(damage) = recovered.damage {
+                    return Err(ChurnError::RecoveryFailed(damage.to_string()));
+                }
+                let entries = journal::decode_entries::<P::Msg>(&recovered.records)
+                    .map_err(|e| ChurnError::RecoveryFailed(e.to_string()))?;
+                let mut proc_ = self.factory.spawn(id, input);
+                journal::replay(&mut proc_, entries, self.cfg.counting)
+                    .map_err(|e| ChurnError::RecoveryFailed(e.to_string()))?;
+                self.crashed.remove(&pid);
+                Ok(proc_)
+            }
+        }
     }
 
     /// Phase 3 (Byzantine half) — drain the Byzantine slots and hand the
@@ -723,6 +908,13 @@ pub enum ChurnOp<P: Protocol> {
     /// Enqueue a fresh shot on the shard; if the shard is idle, the shot
     /// starts immediately.
     Enqueue(ShardId, ShotSpec<P>),
+    /// Crash one process of the shard's live shot: its automaton is
+    /// dropped and its wires are force-dropped until it recovers.
+    Crash(ShardId, Pid),
+    /// Recover a crashed process of the shard's live shot, durably
+    /// (journal replay; requires [`ShardSpec::durable`]) or amnesiac
+    /// (fresh spawn consuming the shared `t` fault budget).
+    Recover(ShardId, Pid, RecoveryMode),
 }
 
 /// A tick-indexed script of shard churn: which shards abort, restart, or
@@ -1072,6 +1264,7 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
             let sid = ShardId(s);
             let SimShard {
                 core,
+                procs,
                 wires,
                 send_scratch,
                 trace_buf,
@@ -1081,7 +1274,7 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
             } = shard;
             let r = core.round;
             wires.clear();
-            let chunks = exec::chunk_ranges(core.correct.len(), workers).len();
+            let chunks = exec::chunk_ranges(procs.len(), workers).len();
             for scratch in send_scratch.iter_mut().take(chunks) {
                 scratch.drain_into(wires);
             }
@@ -1259,11 +1452,65 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
         }
     }
 
+    /// Crashes one process of `shard`'s live shot: the automaton is
+    /// dropped (sends stop, the inbox slot goes dark) and the journal —
+    /// if the shard is durable — becomes the pid's only surviving state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` does not exist.
+    pub fn crash_process(&mut self, shard: ShardId, pid: Pid) -> Result<(), ChurnError> {
+        let s = &mut self.shards[shard.index()];
+        s.core.crash(pid)?;
+        s.procs.remove(&pid);
+        Ok(())
+    }
+
+    /// Recovers a crashed process of `shard`'s live shot — durable
+    /// (journal replay into a fresh spawn, byte-identical state) or
+    /// amnesiac (fresh spawn consuming the shared `t` fault budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` does not exist.
+    pub fn recover_process(
+        &mut self,
+        shard: ShardId,
+        pid: Pid,
+        mode: RecoveryMode,
+    ) -> Result<(), ChurnError>
+    where
+        P::Msg: WireDecode,
+    {
+        let s = &mut self.shards[shard.index()];
+        let proc_ = s.core.recover(pid, mode)?;
+        s.procs.insert(pid, proc_);
+        Ok(())
+    }
+
     /// Applies one churn operation now.
-    pub fn apply_churn_op(&mut self, op: ChurnOp<P>) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if a crash/recover operation is invalid for the shard's
+    /// current state (scripted [`ChurnPlan`]s are engine-internal; the
+    /// scenario interpreter validates through the fallible
+    /// [`crash_process`](ShardedSimulation::crash_process) /
+    /// [`recover_process`](ShardedSimulation::recover_process) seam
+    /// instead).
+    pub fn apply_churn_op(&mut self, op: ChurnOp<P>)
+    where
+        P::Msg: WireDecode,
+    {
         match op {
             ChurnOp::Abort(shard) => self.abort_shot(shard),
             ChurnOp::Enqueue(shard, shot) => self.enqueue_shot(shard, shot),
+            ChurnOp::Crash(shard, pid) => self
+                .crash_process(shard, pid)
+                .expect("churn plan crash failed"),
+            ChurnOp::Recover(shard, pid, mode) => self
+                .recover_process(shard, pid, mode)
+                .expect("churn plan recover failed"),
         }
     }
 
@@ -1280,7 +1527,7 @@ impl<P: Protocol, E: Executor> ShardedSimulation<P, E> {
     where
         P: Send,
         P::Value: Send,
-        P::Msg: WireEncode,
+        P::Msg: WireEncode + WireDecode,
     {
         while self.tick < max_ticks {
             for op in plan.take_due(self.tick) {

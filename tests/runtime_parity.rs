@@ -5,7 +5,7 @@
 use homonyms::classic::{Eig, UniqueRunner};
 use homonyms::core::{
     ByzPower, Counting, Domain, FnFactory, IdAssignment, Pid, ProtocolFactory, Round, Synchrony,
-    SystemConfig,
+    SystemConfig, WireDecode, WireEncode,
 };
 use homonyms::psync::{AgreementFactory, RestrictedFactory};
 use homonyms::runtime::Cluster;
@@ -23,6 +23,7 @@ fn assert_parity<F, P>(
     horizon: u64,
 ) where
     P: homonyms::core::Protocol<Value = bool> + Send + 'static,
+    P::Msg: WireEncode + WireDecode,
     F: ProtocolFactory<P = P>,
 {
     let threaded = Cluster::new(cfg, assignment.clone(), inputs.clone())

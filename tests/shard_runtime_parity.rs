@@ -8,7 +8,7 @@
 use homonyms::classic::{Eig, UniqueRunner};
 use homonyms::core::{
     Domain, FnFactory, IdAssignment, Pid, Protocol, ProtocolFactory, Round, SystemConfig,
-    WireEncode,
+    WireDecode, WireEncode,
 };
 use homonyms::lower_bounds::fig1;
 use homonyms::psync::{AgreementFactory, RestrictedFactory};
@@ -22,7 +22,7 @@ fn assert_sharded_parity<P, F, S>(specs: impl Fn() -> Vec<(ShardSpec<P>, F)>, ma
 where
     P: Protocol + Send + 'static,
     P::Value: Send,
-    P::Msg: WireEncode,
+    P::Msg: WireEncode + WireDecode,
     F: ProtocolFactory<P = P> + Send + 'static,
     S: FromIterator<ShardReport<P::Value>>,
 {
